@@ -1,0 +1,75 @@
+//! Episode throughput: feedback items processed per second through the full
+//! policy-evaluation path (sampling, credit assignment, exploration,
+//! blacklist, rollback).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+use alex_core::{Agent, AlexConfig, LinkSpace, OracleFeedback, SpaceConfig};
+use alex_datagen::{generate_pair, Domain, Flavor, GeneratedPair, PairConfig, SideConfig};
+
+fn pair() -> GeneratedPair {
+    generate_pair(&PairConfig {
+        seed: 42,
+        left: SideConfig {
+            name: "L".into(),
+            ns: "http://l.example.org/".into(),
+            flavor: Flavor::Left,
+            noise: 0.1,
+            drop_prob: 0.12,
+            sparse: false,
+        },
+        right: SideConfig {
+            name: "R".into(),
+            ns: "http://r.example.org/".into(),
+            flavor: Flavor::Right,
+            noise: 0.12,
+            drop_prob: 0.12,
+            sparse: false,
+        },
+        shared: 150,
+        left_only: 250,
+        right_only: 80,
+        confusable_frac: 0.25,
+        domains: vec![Domain::Person, Domain::Organization],
+        left_extra_domains: Domain::ALL.to_vec(),
+    })
+}
+
+fn bench_episode(c: &mut Criterion) {
+    let pair = pair();
+    let space = LinkSpace::build(&pair.left, &pair.right, &SpaceConfig::default());
+    let truth: HashSet<(u32, u32)> = pair
+        .ground_truth
+        .iter()
+        .filter_map(|&(l, r)| Some((space.left_index().id(l)?, space.right_index().id(r)?)))
+        .collect();
+    let initial: Vec<(u32, u32)> = truth.iter().copied().take(40).collect();
+
+    let mut g = c.benchmark_group("episode");
+    g.sample_size(10);
+    g.bench_function("run_episode_200_items", |b| {
+        b.iter_with_setup(
+            || {
+                let agent = Agent::new(
+                    space.clone(),
+                    &initial,
+                    AlexConfig {
+                        episode_size: 200,
+                        ..AlexConfig::default()
+                    },
+                );
+                let oracle = OracleFeedback::new(truth.clone(), 9);
+                (agent, oracle)
+            },
+            |(mut agent, mut oracle)| {
+                black_box(agent.run_episode(&mut oracle));
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_episode);
+criterion_main!(benches);

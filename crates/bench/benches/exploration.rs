@@ -1,0 +1,66 @@
+//! The exploration query (§4.2): indexed binary-search range scan vs the
+//! linear-scan reference — the ablation for the per-feature score indexes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use alex_core::{LinkSpace, SpaceConfig};
+use alex_datagen::{generate_pair, Domain, Flavor, PairConfig, SideConfig};
+
+fn space() -> LinkSpace {
+    let pair = generate_pair(&PairConfig {
+        seed: 42,
+        left: SideConfig {
+            name: "L".into(),
+            ns: "http://l.example.org/".into(),
+            flavor: Flavor::Left,
+            noise: 0.1,
+            drop_prob: 0.12,
+            sparse: false,
+        },
+        right: SideConfig {
+            name: "R".into(),
+            ns: "http://r.example.org/".into(),
+            flavor: Flavor::Right,
+            noise: 0.12,
+            drop_prob: 0.12,
+            sparse: false,
+        },
+        shared: 200,
+        left_only: 300,
+        right_only: 100,
+        confusable_frac: 0.25,
+        domains: vec![Domain::Person, Domain::Place],
+        left_extra_domains: Domain::ALL.to_vec(),
+    });
+    LinkSpace::build(&pair.left, &pair.right, &SpaceConfig::default())
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let space = space();
+    let features: Vec<_> = space.catalog().iter().map(|(id, _)| id).collect();
+    assert!(!features.is_empty());
+    let mut g = c.benchmark_group("exploration");
+    g.bench_function("explore_indexed", |b| {
+        b.iter(|| {
+            for &f in &features {
+                for center in [0.5, 0.8, 0.95] {
+                    black_box(space.explore(f, black_box(center), 0.05));
+                }
+            }
+        })
+    });
+    g.bench_function("explore_scan_ablation", |b| {
+        b.iter(|| {
+            for &f in &features {
+                for center in [0.5, 0.8, 0.95] {
+                    black_box(space.explore_scan(f, black_box(center), 0.05));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

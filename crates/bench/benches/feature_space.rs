@@ -1,0 +1,67 @@
+//! Link-space construction: similarity matrices, θ-filtering, and the
+//! per-feature score indexes (§6.1). Includes the θ ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use alex_core::{LinkSpace, SpaceConfig};
+use alex_datagen::{generate_pair, Domain, Flavor, GeneratedPair, PairConfig, SideConfig};
+
+fn pair() -> GeneratedPair {
+    generate_pair(&PairConfig {
+        seed: 42,
+        left: SideConfig {
+            name: "L".into(),
+            ns: "http://l.example.org/".into(),
+            flavor: Flavor::Left,
+            noise: 0.1,
+            drop_prob: 0.12,
+            sparse: false,
+        },
+        right: SideConfig {
+            name: "R".into(),
+            ns: "http://r.example.org/".into(),
+            flavor: Flavor::Right,
+            noise: 0.12,
+            drop_prob: 0.12,
+            sparse: false,
+        },
+        shared: 150,
+        left_only: 250,
+        right_only: 80,
+        confusable_frac: 0.25,
+        domains: vec![Domain::Person, Domain::Place, Domain::Organization],
+        left_extra_domains: Domain::ALL.to_vec(),
+    })
+}
+
+fn bench_space_build(c: &mut Criterion) {
+    let pair = pair();
+    let mut g = c.benchmark_group("feature_space");
+    g.sample_size(10);
+    for theta in [0.3, 0.5, 0.7] {
+        g.bench_with_input(
+            BenchmarkId::new("build_theta", theta),
+            &theta,
+            |b, &theta| {
+                let cfg = SpaceConfig {
+                    theta,
+                    ..SpaceConfig::default()
+                };
+                b.iter(|| black_box(LinkSpace::build(&pair.left, &pair.right, &cfg)))
+            },
+        );
+    }
+    // Partitioned build: one partition's share of the work.
+    g.bench_function("build_partition_1_of_4", |b| {
+        let cfg = SpaceConfig {
+            partition: Some((0, 4)),
+            ..SpaceConfig::default()
+        };
+        b.iter(|| black_box(LinkSpace::build(&pair.left, &pair.right, &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_space_build);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Automatic-linking substrate: token blocking, the PARIS-like aligner, and
+//! the label baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use alex_datagen::{generate_pair, Domain, Flavor, GeneratedPair, PairConfig, SideConfig};
+use alex_linking::{candidate_pairs, BlockingConfig, LabelBaseline, Paris};
+
+fn pair() -> GeneratedPair {
+    generate_pair(&PairConfig {
+        seed: 42,
+        left: SideConfig {
+            name: "L".into(),
+            ns: "http://l.example.org/".into(),
+            flavor: Flavor::Left,
+            noise: 0.1,
+            drop_prob: 0.12,
+            sparse: false,
+        },
+        right: SideConfig {
+            name: "R".into(),
+            ns: "http://r.example.org/".into(),
+            flavor: Flavor::Right,
+            noise: 0.12,
+            drop_prob: 0.12,
+            sparse: false,
+        },
+        shared: 120,
+        left_only: 200,
+        right_only: 60,
+        confusable_frac: 0.25,
+        domains: vec![Domain::Person, Domain::Drug],
+        left_extra_domains: Domain::ALL.to_vec(),
+    })
+}
+
+fn bench_linking(c: &mut Criterion) {
+    let pair = pair();
+    let mut g = c.benchmark_group("linking");
+    g.sample_size(10);
+    g.bench_function("token_blocking", |b| {
+        let li = pair.left.entity_index();
+        let ri = pair.right.entity_index();
+        let cfg = BlockingConfig::default();
+        b.iter(|| {
+            black_box(candidate_pairs(&pair.left, &li, &pair.right, &ri, &cfg))
+        })
+    });
+    g.bench_function("label_baseline", |b| {
+        let linker = LabelBaseline::default();
+        b.iter(|| black_box(linker.link(&pair.left, &pair.right)))
+    });
+    g.bench_function("paris_like", |b| {
+        let linker = Paris::new();
+        b.iter(|| black_box(linker.link(&pair.left, &pair.right)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_linking);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Equal-size partitioning (§6.2): end-to-end run cost at 1 / 2 / 4
+//! partitions. On a multi-core host the wall-clock per episode drops with
+//! partition count; the slowest-partition metric mirrors the paper's
+//! execution-time accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use alex_core::{run_partitioned, AlexConfig, PartitionedConfig};
+use alex_datagen::{
+    generate_pair, sample_initial_links, Domain, Flavor, GeneratedPair, InitialLinksSpec,
+    PairConfig, SideConfig,
+};
+
+fn pair() -> GeneratedPair {
+    generate_pair(&PairConfig {
+        seed: 42,
+        left: SideConfig {
+            name: "L".into(),
+            ns: "http://l.example.org/".into(),
+            flavor: Flavor::Left,
+            noise: 0.1,
+            drop_prob: 0.12,
+            sparse: false,
+        },
+        right: SideConfig {
+            name: "R".into(),
+            ns: "http://r.example.org/".into(),
+            flavor: Flavor::Right,
+            noise: 0.12,
+            drop_prob: 0.12,
+            sparse: false,
+        },
+        shared: 120,
+        left_only: 200,
+        right_only: 60,
+        confusable_frac: 0.25,
+        domains: vec![Domain::Person, Domain::Place],
+        left_extra_domains: Domain::ALL.to_vec(),
+    })
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let pair = pair();
+    let initial = sample_initial_links(&pair, InitialLinksSpec::high_p_low_r(5));
+    let mut g = c.benchmark_group("partitioning");
+    g.sample_size(10);
+    for partitions in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("run_5_episodes", partitions),
+            &partitions,
+            |b, &partitions| {
+                let cfg = PartitionedConfig {
+                    partitions,
+                    alex: AlexConfig {
+                        episode_size: 100,
+                        max_episodes: 5,
+                        ..AlexConfig::default()
+                    },
+                    ..PartitionedConfig::default()
+                };
+                b.iter(|| {
+                    black_box(run_partitioned(
+                        &pair.left,
+                        &pair.right,
+                        &initial,
+                        &pair.ground_truth,
+                        &cfg,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

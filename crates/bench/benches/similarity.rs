@@ -1,0 +1,69 @@
+//! Microbenches for the similarity kernels — the innermost loop of link-
+//! space construction (millions of calls per experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use alex_sim::{
+    jaro_winkler, levenshtein, monge_elkan_jw, string_similarity, value_similarity, TypedValue,
+};
+
+const PAIRS: &[(&str, &str)] = &[
+    ("LeBron James", "James, LeBron"),
+    ("Quantum Meridian Systems", "Quantum Meridian Sys."),
+    ("International Conference on Linked Data 2013", "Workshop on Linked Data 2013"),
+    ("Silverford", "North Silverford"),
+    ("completely unrelated", "something else entirely"),
+];
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("similarity");
+    g.bench_function("levenshtein", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(levenshtein(black_box(x), black_box(y)));
+            }
+        })
+    });
+    g.bench_function("jaro_winkler", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(jaro_winkler(black_box(x), black_box(y)));
+            }
+        })
+    });
+    g.bench_function("monge_elkan", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(monge_elkan_jw(black_box(x), black_box(y)));
+            }
+        })
+    });
+    g.bench_function("string_similarity", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(string_similarity(black_box(x), black_box(y)));
+            }
+        })
+    });
+    g.bench_function("value_similarity_mixed", |b| {
+        let values = [
+            TypedValue::Text("LeBron James".into()),
+            TypedValue::Year(1984),
+            TypedValue::Integer(2_000_000),
+            TypedValue::Float(98.25),
+            TypedValue::Iri("http://e/Miami_Heat".into()),
+        ];
+        b.iter(|| {
+            for x in &values {
+                for y in &values {
+                    black_box(value_similarity(black_box(x), black_box(y)));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

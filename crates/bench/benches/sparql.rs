@@ -1,0 +1,67 @@
+//! SPARQL engine: parsing, single-source BGP evaluation, and federated
+//! joins through sameAs links with provenance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use alex_rdf::Dataset;
+use alex_sparql::{parse, DatasetEndpoint, FederatedEngine, SameAsLinks};
+
+fn engines() -> FederatedEngine {
+    let mut left = Dataset::new("L");
+    let mut right = Dataset::new("R");
+    let mut links = Vec::new();
+    for i in 0..500 {
+        let li = format!("http://l/e{i}");
+        let ri = format!("http://r/e{i}");
+        left.add_str(&li, "http://l/label", &format!("Entity Number {i}"));
+        left.add_str(&li, "http://l/group", &format!("g{}", i % 10));
+        right.add_iri(&format!("http://r/doc{i}"), "http://r/about", &ri);
+        right.add_str(&format!("http://r/doc{i}"), "http://r/title", &format!("Doc {i}"));
+        if i % 2 == 0 {
+            links.push((li, ri));
+        }
+    }
+    let mut engine = FederatedEngine::new();
+    engine.add_endpoint(Box::new(DatasetEndpoint::new(left)));
+    engine.add_endpoint(Box::new(DatasetEndpoint::new(right)));
+    engine.set_links(SameAsLinks::from_pairs(links));
+    engine
+}
+
+fn bench_sparql(c: &mut Criterion) {
+    let engine = engines();
+    let mut g = c.benchmark_group("sparql");
+    g.bench_function("parse", |b| {
+        b.iter(|| {
+            black_box(
+                parse(
+                    "PREFIX l: <http://l/> SELECT DISTINCT ?s ?o WHERE { \
+                     ?s l:label ?o . ?s l:group \"g3\" \
+                     FILTER(CONTAINS(STR(?o), \"42\") || ?o >= \"Entity Number 9\") } LIMIT 50",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    let single = parse(
+        "SELECT ?s ?o WHERE { ?s <http://l/group> \"g3\" . ?s <http://l/label> ?o }",
+    )
+    .unwrap();
+    g.bench_function("bgp_single_source", |b| {
+        b.iter(|| black_box(engine.execute(&single).unwrap()))
+    });
+    let federated = parse(
+        "SELECT ?doc ?o WHERE { \
+           ?s <http://l/group> \"g4\" . ?s <http://l/label> ?o . \
+           ?doc <http://r/about> ?s }",
+    )
+    .unwrap();
+    g.bench_function("federated_sameas_join", |b| {
+        b.iter(|| black_box(engine.execute(&federated).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sparql);
+criterion_main!(benches);

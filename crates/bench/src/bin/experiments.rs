@@ -1,0 +1,97 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments all        # everything, in paper order
+//! experiments fig2a      # one item: table1, fig2a..fig2c, fig3, fig4,
+//!                        # fig5, fig6, fig7, fig8, fig9, fig10, fig11, timing
+//! ```
+
+use alex_bench::experiments::*;
+
+fn run_one(which: &str) -> Option<String> {
+    let out = match which {
+        "table1" => table1::report(),
+        "fig2a" => fig2::report("a", &fig2::fig2a()),
+        "fig2b" => fig2::report("b", &fig2::fig2b()),
+        "fig2c" => fig2::report("c", &fig2::fig2c()),
+        "fig2" => [
+            fig2::report("a", &fig2::fig2a()),
+            fig2::report("b", &fig2::fig2b()),
+            fig2::report("c", &fig2::fig2c()),
+        ]
+        .join("\n"),
+        "fig3a" => fig3::report("a", &fig3::fig3a()),
+        "fig3b" => fig3::report("b", &fig3::fig3b()),
+        "fig3c" => fig3::report("c", &fig3::fig3c()),
+        "fig3" => [
+            fig3::report("a", &fig3::fig3a()),
+            fig3::report("b", &fig3::fig3b()),
+            fig3::report("c", &fig3::fig3c()),
+        ]
+        .join("\n"),
+        "fig4a" => fig4::report("a", &fig4::fig4a()),
+        "fig4b" => fig4::report("b", &fig4::fig4b()),
+        "fig4c" => fig4::report("c", &fig4::fig4c()),
+        "fig4d" => fig4::report("d", &fig4::fig4d()),
+        "fig4" => [
+            fig4::report("a", &fig4::fig4a()),
+            fig4::report("b", &fig4::fig4b()),
+            fig4::report("c", &fig4::fig4c()),
+            fig4::report("d", &fig4::fig4d()),
+        ]
+        .join("\n"),
+        "fig5" => fig5::report(),
+        "fig6" => {
+            let (with, without) = fig6::runs();
+            fig6::report(&with, &without)
+        }
+        "fig7" => {
+            let (without, with) = fig7::runs();
+            fig7::report(&without, &with)
+        }
+        "fig8" => fig8::report(&fig8::run()),
+        "fig9" => {
+            let (correct, noisy, matched_clean, matched_noisy) = fig9::runs();
+            fig9::report(&correct, &noisy, &matched_clean, &matched_noisy)
+        }
+        "fig10" => fig10::report(&fig10::runs()),
+        "fig11" => fig11::report(&fig11::runs()),
+        "timing" => {
+            let (batch, interactive) = timing::runs();
+            timing::report(&batch, &interactive)
+        }
+        _ => return None,
+    };
+    Some(out)
+}
+
+const ALL: &[&str] = &[
+    "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "timing",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    if which == "all" {
+        println!("# ALEX reproduction — full experiment suite\n");
+        for item in ALL {
+            eprintln!("[experiments] running {item} ...");
+            let started = std::time::Instant::now();
+            let out = run_one(item).expect("known experiment");
+            println!("{out}");
+            eprintln!("[experiments] {item} done in {:.1?}", started.elapsed());
+        }
+        return;
+    }
+    match run_one(which) {
+        Some(out) => print!("{out}"),
+        None => {
+            eprintln!(
+                "unknown experiment '{which}'; available: all, {}, fig2a..c, fig3a..c, fig4a..d",
+                ALL.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+}

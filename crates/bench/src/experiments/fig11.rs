@@ -1,0 +1,78 @@
+//! Figure 11 (Appendix D): sensitivity to the episode size.
+//!
+//! Episode sizes 500 / 1000 (default) / 1500. Paper shapes: the F-measure
+//! curves are close (1000 and 1500 slightly above 500); larger episodes
+//! converge in fewer episodes (26 / 14 / 13 in the paper).
+
+use std::fmt::Write as _;
+
+use alex_datagen::{DatasetKind, InitialLinksSpec, PairSpec};
+
+use crate::harness::{text_table, ExperimentRun, Workload, BASE_SEED};
+
+/// The episode sizes compared.
+pub const SIZES: [usize; 3] = [500, 1000, 1500];
+
+/// Run the three arms.
+pub fn runs() -> Vec<(usize, ExperimentRun)> {
+    SIZES
+        .iter()
+        .map(|&size| {
+            let run = Workload::batch(
+                PairSpec::of(DatasetKind::DBpedia, DatasetKind::NYTimes),
+                InitialLinksSpec::high_p_low_r(BASE_SEED + 16),
+            )
+            .with_episode_size(size)
+            .with_max_episodes(60)
+            .run();
+            (size, run)
+        })
+        .collect()
+}
+
+/// Format the Fig. 11 report.
+pub fn report(arms: &[(usize, ExperimentRun)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Figure 11 (Appendix D): episode-size sensitivity (DBpedia - NYTimes)");
+    let _ = writeln!(out);
+    let headers: Vec<String> = std::iter::once("episode".to_string())
+        .chain(arms.iter().map(|(s, _)| format!("F @ size {s}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let max_eps = arms.iter().map(|(_, r)| r.run.episodes.len()).max().unwrap_or(0);
+    let mut rows = Vec::new();
+    for e in 0..max_eps {
+        let mut row = vec![(e + 1).to_string()];
+        for (_, r) in arms {
+            row.push(
+                r.f_series()
+                    .get(e)
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        rows.push(row);
+    }
+    let _ = writeln!(out, "{}", text_table(&header_refs, &rows));
+    for (s, r) in arms {
+        let f = r.f_series();
+        let tail = &f[f.len().saturating_sub(5)..];
+        let tail_mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
+        let _ = writeln!(
+            out,
+            "episode size {s}: relaxed convergence at {}, ran {} episodes,              final F {:.3}, mean F over last 5 episodes {:.3}",
+            r.run
+                .relaxed_converged_at
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.run.episodes.len(),
+            r.run.final_quality().f_measure,
+            tail_mean
+        );
+    }
+    let _ = writeln!(
+        out,
+        "paper shape: larger episodes converge in fewer episodes (26 / 14 / 13)"
+    );
+    out
+}

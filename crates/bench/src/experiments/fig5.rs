@@ -1,0 +1,75 @@
+//! Figure 5: filtering to reduce the search space (§6.1, §7.3).
+//!
+//! (a) total possible links between the first partition of DBpedia and the
+//! whole NYTimes data set vs. the filtered search space (paper: filtering
+//! removes ~95%);
+//! (b) the filtered space vs. the ground-truth links in that partition
+//! (paper: the ground truth is ~0.2% of the filtered space).
+
+use std::fmt::Write as _;
+
+use alex_core::{LinkSpace, SpaceConfig};
+use alex_datagen::{generate_pair, DatasetKind, PairSpec};
+
+use crate::harness::{PAPER_PARTITIONS, BASE_SEED};
+
+/// Numbers behind Fig. 5.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Numbers {
+    /// |partition entities| × |right entities|.
+    pub total_possible: u64,
+    /// Pairs in the θ-filtered space.
+    pub filtered: usize,
+    /// Ground-truth links belonging to the partition.
+    pub ground_truth: usize,
+}
+
+/// Compute the Fig. 5 numbers for partition 0 of DBpedia–NYTimes.
+pub fn numbers() -> Fig5Numbers {
+    let spec = PairSpec::of(DatasetKind::DBpedia, DatasetKind::NYTimes);
+    let pair = generate_pair(&spec.config(BASE_SEED));
+    let cfg = SpaceConfig {
+        partition: Some((0, PAPER_PARTITIONS)),
+        ..SpaceConfig::default()
+    };
+    let space = LinkSpace::build(&pair.left, &pair.right, &cfg);
+    let li = pair.left.entity_index();
+    let gt_in_partition = pair
+        .ground_truth
+        .iter()
+        .filter(|&&(l, _)| {
+            li.id(l)
+                .map(|id| (id as usize).is_multiple_of(PAPER_PARTITIONS))
+                .unwrap_or(false)
+        })
+        .count();
+    Fig5Numbers {
+        total_possible: space.total_possible(),
+        filtered: space.len(),
+        ground_truth: gt_in_partition,
+    }
+}
+
+/// Format the Fig. 5 report.
+pub fn report() -> String {
+    let n = numbers();
+    let reduction = 100.0 * (1.0 - n.filtered as f64 / n.total_possible as f64);
+    let gt_frac = 100.0 * n.ground_truth as f64 / n.filtered.max(1) as f64;
+    let mut out = String::new();
+    let _ = writeln!(out, "## Figure 5: filtering the search space (DBpedia partition 0 vs NYTimes)");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "(a) total possible links : {}", n.total_possible);
+    let _ = writeln!(out, "    filtered search space: {}", n.filtered);
+    let _ = writeln!(
+        out,
+        "    reduction            : {reduction:.1}%  (paper: ~95%)"
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "(b) filtered search space: {}", n.filtered);
+    let _ = writeln!(out, "    ground-truth links   : {}", n.ground_truth);
+    let _ = writeln!(
+        out,
+        "    ground truth fraction: {gt_frac:.2}%  (paper: ~0.2%)"
+    );
+    out
+}

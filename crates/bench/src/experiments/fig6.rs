@@ -1,0 +1,75 @@
+//! Figure 6: effect of the blacklist (§6.3, §7.3).
+//!
+//! (a) F-measure with vs. without the blacklist — "a slight improvement";
+//! (b) percentage of negative feedback per episode — "using a blacklist
+//! significantly decreases the fraction of negative feedback".
+
+use std::fmt::Write as _;
+
+use alex_datagen::{DatasetKind, InitialLinksSpec, PairSpec};
+
+use crate::harness::{text_table, ExperimentRun, Workload, BASE_SEED};
+
+/// Run both arms.
+pub fn runs() -> (ExperimentRun, ExperimentRun) {
+    let spec = || PairSpec::of(DatasetKind::DBpedia, DatasetKind::NYTimes);
+    let regime = InitialLinksSpec::high_p_low_r(BASE_SEED + 11);
+    let with = Workload::batch(spec(), regime).run();
+    let without = Workload::batch(spec(), regime).with_blacklist(false).run();
+    (with, without)
+}
+
+/// Format the Fig. 6 report.
+pub fn report(with: &ExperimentRun, without: &ExperimentRun) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Figure 6: effect of the blacklist (DBpedia - NYTimes)");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "(a) F-measure per episode");
+    let f_with = with.f_series();
+    let f_without = without.f_series();
+    let episodes = f_with.len().max(f_without.len());
+    let mut rows = Vec::new();
+    for e in 0..episodes {
+        rows.push(vec![
+            (e + 1).to_string(),
+            f_with.get(e).map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()),
+            f_without.get(e).map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    let _ = writeln!(
+        out,
+        "{}",
+        text_table(&["episode", "with blacklist", "without blacklist"], &rows)
+    );
+
+    let _ = writeln!(out, "(b) negative feedback per episode (first 10)");
+    let n_with = with.negative_pct_series();
+    let n_without = without.negative_pct_series();
+    let mut rows = Vec::new();
+    for e in 0..10.min(n_with.len()).min(n_without.len()) {
+        rows.push(vec![
+            (e + 1).to_string(),
+            format!("{:.1}%", n_with[e]),
+            format!("{:.1}%", n_without[e]),
+        ]);
+    }
+    let _ = writeln!(
+        out,
+        "{}",
+        text_table(&["episode", "with blacklist", "without blacklist"], &rows)
+    );
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let _ = writeln!(
+        out,
+        "mean negative feedback: with = {:.1}%, without = {:.1}%  (paper: blacklist significantly lower)",
+        avg(&n_with),
+        avg(&n_without)
+    );
+    let _ = writeln!(
+        out,
+        "final F: with = {:.3}, without = {:.3}",
+        f_with.last().copied().unwrap_or(0.0),
+        f_without.last().copied().unwrap_or(0.0)
+    );
+    out
+}

@@ -1,0 +1,109 @@
+//! Figure 9 (Appendix C): effect of incorrect feedback.
+//!
+//! 10% of feedback items are flipped. Paper: recall is robust; precision is
+//! slightly worse (wrongly-approved links keep receiving positive feedback
+//! and stay in the candidate set); overall degradation is small.
+
+use std::fmt::Write as _;
+
+use alex_datagen::{DatasetKind, InitialLinksSpec, PairSpec};
+
+use crate::harness::{text_table, ExperimentRun, Workload, BASE_SEED};
+
+/// Run the arms: all-correct feedback, 10% incorrect at the paper's episode
+/// size, and 10% incorrect at a sampling-pressure-matched episode size.
+///
+/// The third arm exists because the scale substitution changes judgment
+/// pressure: the paper's links are each judged ~1.4 times over a whole run
+/// (episode 1000 over ~13k candidates x 18 episodes), while our scaled data
+/// reaches ~30 judgments per link — so rare double-mistakes accumulate and
+/// recall erodes more than the paper's Fig. 9(b) shows. Scaling the episode
+/// to 100 items restores the paper's per-link pressure and its
+/// recall-robustness shape.
+pub fn runs() -> (ExperimentRun, ExperimentRun, ExperimentRun, ExperimentRun) {
+    let spec = || PairSpec::of(DatasetKind::DBpedia, DatasetKind::NYTimes);
+    let regime = InitialLinksSpec::high_p_low_r(BASE_SEED + 14);
+    let correct = Workload::batch(spec(), regime).run();
+    let noisy = Workload::batch(spec(), regime).with_error_rate(0.10).run();
+    let matched_clean = Workload::batch(spec(), regime).with_episode_size(100).run();
+    let matched_noisy = Workload::batch(spec(), regime)
+        .with_error_rate(0.10)
+        .with_episode_size(100)
+        .run();
+    (correct, noisy, matched_clean, matched_noisy)
+}
+
+/// Format the Fig. 9 report.
+pub fn report(
+    correct: &ExperimentRun,
+    noisy: &ExperimentRun,
+    matched_clean: &ExperimentRun,
+    matched_noisy: &ExperimentRun,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Figure 9 (Appendix C): correct feedback vs 10% incorrect feedback (DBpedia - NYTimes)"
+    );
+    let _ = writeln!(out);
+    let (pc, rc, fc) = (
+        correct.precision_series(),
+        correct.recall_series(),
+        correct.f_series(),
+    );
+    let (pn, rn, fn_) = (
+        noisy.precision_series(),
+        noisy.recall_series(),
+        noisy.f_series(),
+    );
+    let episodes = pc.len().max(pn.len());
+    let cell = |v: &Vec<f64>, e: usize| {
+        v.get(e).map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into())
+    };
+    let mut rows = Vec::new();
+    for e in 0..episodes {
+        rows.push(vec![
+            (e + 1).to_string(),
+            cell(&pc, e),
+            cell(&pn, e),
+            cell(&rc, e),
+            cell(&rn, e),
+            cell(&fc, e),
+            cell(&fn_, e),
+        ]);
+    }
+    let _ = writeln!(
+        out,
+        "{}",
+        text_table(
+            &["episode", "P correct", "P 10% err", "R correct", "R 10% err", "F correct", "F 10% err"],
+            &rows
+        )
+    );
+    let final_q = |r: &ExperimentRun| r.run.final_quality();
+    let qc = final_q(correct);
+    let qn = final_q(noisy);
+    let _ = writeln!(
+        out,
+        "final: correct (P {:.3}, R {:.3}, F {:.3}) vs 10% incorrect (P {:.3}, R {:.3}, F {:.3})",
+        qc.precision, qc.recall, qc.f_measure, qn.precision, qn.recall, qn.f_measure
+    );
+    let qmc = final_q(matched_clean);
+    let qmn = final_q(matched_noisy);
+    let _ = writeln!(
+        out,
+        "sampling-pressure-matched arms (episode size 100 — paper-like per-link judgment \
+         pressure, equal budgets): clean (P {:.3}, R {:.3}) vs 10% error (P {:.3}, R {:.3}); \
+         recall gap {:+.3}",
+        qmc.precision,
+        qmc.recall,
+        qmn.precision,
+        qmn.recall,
+        qmn.recall - qmc.recall
+    );
+    let _ = writeln!(
+        out,
+        "paper shape: recall barely changes; precision slightly lower with incorrect feedback"
+    );
+    out
+}

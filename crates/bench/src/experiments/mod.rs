@@ -1,0 +1,29 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | Module | Paper item |
+//! |--------|-----------|
+//! | [`table1`] | Table 1 — data-set inventory |
+//! | [`fig2`] | Fig. 2 — batch quality, DBpedia vs NYTimes/Drugbank/Lexvo |
+//! | [`fig3`] | Fig. 3 — batch quality, OpenCyc vs the same |
+//! | [`fig4`] | Fig. 4 — specific domains (episode size 10) |
+//! | [`fig5`] | Fig. 5 — search-space filtering |
+//! | [`fig6`] | Fig. 6 — blacklist ablation |
+//! | [`fig7`] | Fig. 7 — rollback ablation |
+//! | [`fig8`] | Fig. 8 (App. B) — DBpedia–OpenCyc stress test |
+//! | [`fig9`] | Fig. 9 (App. C) — 10% incorrect feedback |
+//! | [`fig10`] | Fig. 10 (App. D) — step-size sensitivity |
+//! | [`fig11`] | Fig. 11 (App. D) — episode-size sensitivity |
+//! | [`timing`] | §7.3 — execution time |
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod timing;

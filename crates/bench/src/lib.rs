@@ -1,0 +1,10 @@
+//! # alex-bench — experiment harness for the ALEX reproduction
+//!
+//! One module per table/figure of the paper's evaluation (see
+//! `DESIGN.md` §2 for the index), a shared [`harness`], and the
+//! `experiments` binary that regenerates everything.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod harness;

@@ -1,0 +1,592 @@
+//! The ALEX agent: Algorithm 1 (ε-greedy Monte-Carlo link exploration).
+//!
+//! The agent owns the link space, the candidate set, the policy, the
+//! action-value estimates, and the blacklist/rollback state. Feedback items
+//! drive *policy evaluation* within an episode ([`Agent::process_feedback`]);
+//! [`Agent::end_episode`] performs *policy improvement*; the loop over both
+//! lives in [`crate::driver`].
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::blacklist::Blacklist;
+use crate::candidates::CandidateSet;
+use crate::config::AlexConfig;
+use crate::feature::FeatureId;
+use crate::feedback::{Feedback, FeedbackSource};
+use crate::policy::Policy;
+use crate::provenance::Provenance;
+use crate::space::{LinkSpace, PairId};
+use crate::value_fn::ActionValue;
+
+/// What one feedback item did to the candidate set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Links added by exploration.
+    pub added: usize,
+    /// Links removed (the judged link and any rollback victims).
+    pub removed: usize,
+    /// Whether a rollback fired.
+    pub rolled_back: bool,
+    /// The action taken on positive feedback, if any.
+    pub action: Option<FeatureId>,
+}
+
+/// Tallies for one episode of feedback.
+#[derive(Debug, Clone, Default)]
+pub struct EpisodeSummary {
+    /// Positive feedback items processed.
+    pub positive: usize,
+    /// Negative feedback items processed.
+    pub negative: usize,
+    /// Links added by exploration.
+    pub added: usize,
+    /// Links removed.
+    pub removed: usize,
+    /// Rollbacks triggered.
+    pub rollbacks: usize,
+}
+
+impl EpisodeSummary {
+    /// Total feedback items in the episode.
+    pub fn feedback_items(&self) -> usize {
+        self.positive + self.negative
+    }
+
+    /// Fraction of feedback that was negative (0 when no feedback).
+    pub fn negative_frac(&self) -> f64 {
+        let n = self.feedback_items();
+        if n == 0 {
+            0.0
+        } else {
+            self.negative as f64 / n as f64
+        }
+    }
+}
+
+/// Per-episode bookkeeping (first visits and improvement set).
+#[derive(Debug, Clone, Default)]
+struct EpisodeState {
+    first_visits: HashSet<PairId>,
+    improvement_states: HashSet<PairId>,
+}
+
+/// The ALEX agent.
+pub struct Agent {
+    space: LinkSpace,
+    candidates: CandidateSet,
+    approved: HashSet<PairId>,
+    policy: Policy,
+    qvalues: ActionValue,
+    blacklist: Blacklist,
+    provenance: Provenance,
+    cfg: AlexConfig,
+    rng: StdRng,
+    episode: EpisodeState,
+    episodes_completed: usize,
+}
+
+impl Agent {
+    /// Create an agent over `space`, seeding the candidate set with
+    /// `initial_links` (entity-id pairs from any automatic linker). Links
+    /// outside the blocked space are admitted via
+    /// [`LinkSpace::ensure_pair`].
+    pub fn new(mut space: LinkSpace, initial_links: &[(u32, u32)], cfg: AlexConfig) -> Agent {
+        cfg.validate();
+        let mut candidates = CandidateSet::new();
+        for &(l, r) in initial_links {
+            let id = space.ensure_pair(l, r);
+            candidates.insert(id);
+        }
+        Agent {
+            space,
+            candidates,
+            approved: HashSet::new(),
+            policy: Policy::new(cfg.epsilon),
+            qvalues: ActionValue::new(),
+            blacklist: Blacklist::new(cfg.use_blacklist),
+            provenance: Provenance::new(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            episode: EpisodeState::default(),
+            episodes_completed: 0,
+        }
+    }
+
+    /// The link space.
+    pub fn space(&self) -> &LinkSpace {
+        &self.space
+    }
+
+    /// The current candidate set.
+    pub fn candidates(&self) -> &CandidateSet {
+        &self.candidates
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AlexConfig {
+        &self.cfg
+    }
+
+    /// The policy (read-only view, for inspection and tests).
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The action-value estimates (read-only view).
+    pub fn qvalues(&self) -> &ActionValue {
+        &self.qvalues
+    }
+
+    /// Number of blacklisted links.
+    pub fn blacklisted(&self) -> usize {
+        self.blacklist.len()
+    }
+
+    /// Episodes completed so far.
+    pub fn episodes_completed(&self) -> usize {
+        self.episodes_completed
+    }
+
+    /// Current candidate links as entity-id pairs.
+    pub fn candidate_pairs(&self) -> Vec<(u32, u32)> {
+        self.candidates.iter().map(|id| self.space.pair(id)).collect()
+    }
+
+    /// Process one feedback item (policy evaluation, Algorithm 1 lines
+    /// 11–22).
+    pub fn process_feedback(&mut self, state: PairId, feedback: Feedback) -> StepOutcome {
+        let mut outcome = StepOutcome::default();
+        let reward = match feedback {
+            Feedback::Positive => self.cfg.positive_reward,
+            Feedback::Negative => -self.cfg.negative_penalty,
+        };
+
+        // Monte Carlo credit assignment: credit the return to every
+        // state-action pair that led here (lines 13–15). First-visit mode
+        // (the paper's §4.4.1 choice) counts only the first feedback per
+        // state per episode; every-visit mode counts all of them.
+        let credit = self.episode.first_visits.insert(state) || !self.cfg.first_visit_only;
+        if credit {
+            for (s, a) in self.provenance.ancestor_chain(state) {
+                self.qvalues.append_return(s, a, reward);
+                self.episode.improvement_states.insert(s);
+            }
+        }
+
+        match feedback {
+            Feedback::Positive => {
+                self.approved.insert(state);
+                // Positive feedback contradicts any earlier rejection
+                // (Appendix C resilience): the vote may unblock the link,
+                // and it counts in favor of the action that generated it
+                // (offsetting rollback votes).
+                self.blacklist.endorse(state);
+                self.provenance.record_positive(state);
+                self.episode.improvement_states.insert(state);
+                // a' = π(s') (line 18): choose a feature and explore around it.
+                let actions: Vec<FeatureId> = self
+                    .space
+                    .feature_set_of(state)
+                    .iter()
+                    .map(|&(f, _)| f)
+                    .collect();
+                if let Some(action) = self.policy.choose(state, &actions, &mut self.rng) {
+                    outcome.action = Some(action);
+                    outcome.added = self.explore(state, action);
+                }
+            }
+            Feedback::Negative => {
+                // Remove the link (line 20) and blacklist it (§6.3).
+                if self.candidates.remove(state) {
+                    outcome.removed += 1;
+                }
+                self.approved.remove(&state);
+                self.blacklist.add(state);
+
+                // Rollback (§6.3): tally against the generating state-action
+                // pair; past the threshold, remove everything it generated.
+                if let Some((generator, tally)) = self.provenance.record_negative(state) {
+                    if self.cfg.use_rollback && tally >= self.cfg.rollback_threshold {
+                        outcome.rolled_back = true;
+                        for link in self.provenance.take_generated(generator) {
+                            if self.cfg.rollback_spares_approved && self.approved.contains(&link)
+                            {
+                                continue;
+                            }
+                            // Removed links were not individually judged, so
+                            // they are NOT blacklisted — they may be correct
+                            // and can be rediscovered by a better action.
+                            if self.candidates.remove(link) {
+                                outcome.removed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Execute the chosen exploration action: add every link whose score for
+    /// `action` lies within ±step of this state's score (§4.2).
+    fn explore(&mut self, state: PairId, action: FeatureId) -> usize {
+        let Some(center) = crate::feature::feature_score(self.space.feature_set_of(state), action)
+        else {
+            return 0;
+        };
+        let mut added = 0;
+        for link in self.space.explore(action, center, self.cfg.step_size) {
+            if link == state || self.blacklist.blocks(link) || self.candidates.contains(link) {
+                continue;
+            }
+            self.candidates.insert(link);
+            self.provenance.record(link, (state, action));
+            added += 1;
+        }
+        added
+    }
+
+    /// Policy improvement at the end of an episode (Algorithm 1 lines
+    /// 24–33): make the argmax-Q action greedy at every state visited.
+    pub fn end_episode(&mut self) {
+        let states: Vec<PairId> = self.episode.improvement_states.iter().copied().collect();
+        for s in states {
+            let actions: Vec<FeatureId> = self
+                .space
+                .feature_set_of(s)
+                .iter()
+                .map(|&(f, _)| f)
+                .collect();
+            if let Some(best) = self.qvalues.argmax(s, &actions) {
+                self.policy.improve(s, best);
+            }
+        }
+        self.episode = EpisodeState::default();
+        self.episodes_completed += 1;
+    }
+
+    /// Run one full episode: collect `episode_size` feedback items from
+    /// `source` (stopping early if feedback dries up), then improve the
+    /// policy.
+    pub fn run_episode(&mut self, source: &mut dyn FeedbackSource) -> EpisodeSummary {
+        self.run_episode_sized(source, self.cfg.episode_size)
+    }
+
+    /// Run an episode with an explicit feedback budget (the partitioned
+    /// driver splits the global episode size across partitions).
+    pub fn run_episode_sized(
+        &mut self,
+        source: &mut dyn FeedbackSource,
+        size: usize,
+    ) -> EpisodeSummary {
+        let mut summary = EpisodeSummary::default();
+        for _ in 0..size {
+            let Some((state, feedback)) = source.next(&self.candidates, &self.space) else {
+                break;
+            };
+            match feedback {
+                Feedback::Positive => summary.positive += 1,
+                Feedback::Negative => summary.negative += 1,
+            }
+            let outcome = self.process_feedback(state, feedback);
+            summary.added += outcome.added;
+            summary.removed += outcome.removed;
+            if outcome.rolled_back {
+                summary.rollbacks += 1;
+            }
+        }
+        self.end_episode();
+        summary
+    }
+
+    /// Process a batch of externally produced feedback (the query-answer
+    /// bridge uses this), identified by entity-id pairs. Unknown pairs are
+    /// admitted to the space first.
+    pub fn feedback_on_pair(&mut self, pair: (u32, u32), feedback: Feedback) -> StepOutcome {
+        let id = self.space.ensure_pair(pair.0, pair.1);
+        if feedback == Feedback::Positive {
+            self.candidates.insert(id);
+        }
+        self.process_feedback(id, feedback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceConfig;
+    use alex_rdf::Dataset;
+
+    /// Ten entities with exact-match names on the diagonal plus a
+    /// non-distinctive type attribute everywhere.
+    fn build_space() -> LinkSpace {
+        let mut left = Dataset::new("L");
+        let mut right = Dataset::new("R");
+        let names = [
+            "Alpha Aardvark",
+            "Beta Bison",
+            "Gamma Gazelle",
+            "Delta Dingo",
+            "Epsilon Eagle",
+            "Zeta Zebra",
+            "Eta Egret",
+            "Theta Tapir",
+            "Iota Ibis",
+            "Kappa Koala",
+        ];
+        for (i, name) in names.iter().enumerate() {
+            left.add_str(&format!("http://l/{i}"), "http://l/label", name);
+            left.add_str(&format!("http://l/{i}"), "http://l/type", "animal");
+            right.add_str(&format!("http://r/{i}"), "http://r/name", name);
+            right.add_str(&format!("http://r/{i}"), "http://r/class", "animal");
+        }
+        LinkSpace::build(&left, &right, &SpaceConfig::default())
+    }
+
+    fn agent_with_initial(initial: &[(u32, u32)]) -> Agent {
+        Agent::new(build_space(), initial, AlexConfig::default())
+    }
+
+    #[test]
+    fn initial_links_populate_candidates() {
+        let agent = agent_with_initial(&[(0, 0), (1, 1)]);
+        assert_eq!(agent.candidates().len(), 2);
+        let pairs = agent.candidate_pairs();
+        assert!(pairs.contains(&(0, 0)));
+        assert!(pairs.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn positive_feedback_explores_new_links() {
+        let mut agent = agent_with_initial(&[(0, 0)]);
+        let id = agent.space().id_of(0, 0).unwrap();
+        let before = agent.candidates().len();
+        // Run several positive feedback items; at least one exploration
+        // around the name feature (score 1.0 ± 0.05) finds the other exact
+        // matches, and the type feature finds everything same-typed.
+        let mut total_added = 0;
+        for _ in 0..10 {
+            let out = agent.process_feedback(id, Feedback::Positive);
+            total_added += out.added;
+        }
+        assert!(total_added > 0, "exploration never added a link");
+        assert!(agent.candidates().len() > before);
+    }
+
+    #[test]
+    fn negative_feedback_removes_and_blacklists() {
+        let mut agent = agent_with_initial(&[(0, 0), (0, 1)]);
+        let wrong = agent.space().id_of(0, 1).unwrap();
+        let out = agent.process_feedback(wrong, Feedback::Negative);
+        assert_eq!(out.removed, 1);
+        assert!(!agent.candidates().contains(wrong));
+        // Two strikes block the link permanently (§6.3 with the Appendix C
+        // two-strike resilience rule).
+        assert_eq!(agent.blacklisted(), 0);
+        agent.feedback_on_pair((0, 1), Feedback::Negative);
+        assert_eq!(agent.blacklisted(), 1);
+    }
+
+    #[test]
+    fn blacklisted_links_are_not_rediscovered() {
+        let mut agent = agent_with_initial(&[(0, 0), (0, 1)]);
+        let wrong = agent.space().id_of(0, 1).unwrap();
+        agent.process_feedback(wrong, Feedback::Negative);
+        agent.feedback_on_pair((0, 1), Feedback::Negative); // second strike
+        let good = agent.space().id_of(0, 0).unwrap();
+        for _ in 0..20 {
+            agent.process_feedback(good, Feedback::Positive);
+        }
+        assert!(
+            !agent.candidates().contains(wrong),
+            "blacklisted link re-added by exploration"
+        );
+    }
+
+    #[test]
+    fn first_visit_credits_ancestors_once_per_episode() {
+        let mut agent = agent_with_initial(&[(0, 0)]);
+        let s0 = agent.space().id_of(0, 0).unwrap();
+        // Force exploration to attribute some links to (s0, a).
+        let mut action = None;
+        let mut discovered = Vec::new();
+        for _ in 0..10 {
+            let out = agent.process_feedback(s0, Feedback::Positive);
+            if out.added > 0 {
+                action = out.action;
+                discovered = agent
+                    .candidates()
+                    .iter()
+                    .filter(|&id| id != s0)
+                    .collect();
+                break;
+            }
+        }
+        let action = action.expect("exploration should fire");
+        let child = *discovered.first().expect("a discovered link");
+        let before = agent.qvalues().observations(s0, action);
+        agent.process_feedback(child, Feedback::Positive);
+        assert_eq!(agent.qvalues().observations(s0, action), before + 1);
+        // Second visit in the same episode: no additional return.
+        agent.process_feedback(child, Feedback::Negative);
+        assert_eq!(agent.qvalues().observations(s0, action), before + 1);
+        // New episode: a fresh first visit counts again.
+        agent.end_episode();
+        // child was removed by the negative feedback; re-add to candidates
+        // via positive feedback path.
+        let child_pair = agent.space().pair(child);
+        agent.feedback_on_pair(child_pair, Feedback::Positive);
+        assert_eq!(agent.qvalues().observations(s0, action), before + 2);
+    }
+
+    #[test]
+    fn every_visit_mode_credits_repeat_visits() {
+        let cfg = AlexConfig {
+            first_visit_only: false,
+            ..AlexConfig::default()
+        };
+        let mut agent = Agent::new(build_space(), &[(0, 0)], cfg);
+        let s0 = agent.space().id_of(0, 0).unwrap();
+        let mut action = None;
+        let mut child = None;
+        for _ in 0..10 {
+            let out = agent.process_feedback(s0, Feedback::Positive);
+            if out.added > 0 {
+                action = out.action;
+                child = agent.candidates().iter().find(|&id| id != s0);
+                break;
+            }
+        }
+        let (action, child) = (action.expect("explored"), child.expect("child"));
+        let before = agent.qvalues().observations(s0, action);
+        agent.process_feedback(child, Feedback::Positive);
+        agent.process_feedback(child, Feedback::Positive);
+        // Every-visit: BOTH visits in the same episode append a return.
+        assert_eq!(agent.qvalues().observations(s0, action), before + 2);
+    }
+
+    #[test]
+    fn rollback_removes_generated_links() {
+        let cfg = AlexConfig {
+            rollback_threshold: 2,
+            ..AlexConfig::default()
+        };
+        let mut agent = Agent::new(build_space(), &[(0, 0)], cfg);
+        let s0 = agent.space().id_of(0, 0).unwrap();
+        // Explore until something is added.
+        let mut added = 0;
+        for _ in 0..20 {
+            added += agent.process_feedback(s0, Feedback::Positive).added;
+            if added >= 3 {
+                break;
+            }
+        }
+        assert!(added >= 3, "needed a few generated links, got {added}");
+        let generated: Vec<PairId> = agent
+            .candidates()
+            .iter()
+            .filter(|&id| id != s0)
+            .collect();
+        // Two negatives on generated links trigger a rollback of the rest.
+        let n_before = agent.candidates().len();
+        agent.process_feedback(generated[0], Feedback::Negative);
+        let out = agent.process_feedback(generated[1], Feedback::Negative);
+        assert!(out.rolled_back || agent.candidates().len() < n_before - 2,
+            "rollback should fire once the tally reaches the threshold");
+        // Only s0 (and approved links) survive among candidates.
+        assert!(agent.candidates().contains(s0));
+    }
+
+    #[test]
+    fn rollback_disabled_keeps_links() {
+        let cfg = AlexConfig {
+            use_rollback: false,
+            rollback_threshold: 1,
+            ..AlexConfig::default()
+        };
+        let mut agent = Agent::new(build_space(), &[(0, 0)], cfg);
+        let s0 = agent.space().id_of(0, 0).unwrap();
+        let mut added = 0;
+        for _ in 0..20 {
+            added += agent.process_feedback(s0, Feedback::Positive).added;
+            if added >= 3 {
+                break;
+            }
+        }
+        let generated: Vec<PairId> = agent
+            .candidates()
+            .iter()
+            .filter(|&id| id != s0)
+            .collect();
+        let before = agent.candidates().len();
+        let out = agent.process_feedback(generated[0], Feedback::Negative);
+        assert!(!out.rolled_back);
+        assert_eq!(agent.candidates().len(), before - 1, "only the judged link goes");
+    }
+
+    #[test]
+    fn policy_improvement_prefers_rewarded_action() {
+        let mut agent = agent_with_initial(&[(0, 0)]);
+        let s0 = agent.space().id_of(0, 0).unwrap();
+        // Generate exploration and feedback so some action accumulates
+        // positive returns.
+        for _ in 0..5 {
+            agent.process_feedback(s0, Feedback::Positive);
+        }
+        let children: Vec<PairId> = agent
+            .candidates()
+            .iter()
+            .filter(|&id| id != s0)
+            .collect();
+        for &c in children.iter().take(3) {
+            agent.process_feedback(c, Feedback::Positive);
+        }
+        agent.end_episode();
+        assert_eq!(agent.episodes_completed(), 1);
+        if !agent.qvalues().is_empty() {
+            assert!(
+                agent.policy().greedy_action(s0).is_some(),
+                "improvement should set a greedy action for the visited state"
+            );
+        }
+    }
+
+    #[test]
+    fn run_episode_respects_episode_size() {
+        use crate::feedback::OracleFeedback;
+        let mut agent = Agent::new(
+            build_space(),
+            &[(0, 0), (1, 1), (2, 2)],
+            AlexConfig {
+                episode_size: 25,
+                ..AlexConfig::default()
+            },
+        );
+        let truth: HashSet<(u32, u32)> = (0..10).map(|i| (i, i)).collect();
+        let mut oracle = OracleFeedback::new(truth, 9);
+        let summary = agent.run_episode(&mut oracle);
+        assert_eq!(summary.feedback_items(), 25);
+        assert_eq!(agent.episodes_completed(), 1);
+    }
+
+    #[test]
+    fn empty_candidates_end_episode_early() {
+        use crate::feedback::OracleFeedback;
+        let mut agent = Agent::new(build_space(), &[], AlexConfig::default());
+        let mut oracle = OracleFeedback::new(HashSet::new(), 9);
+        let summary = agent.run_episode(&mut oracle);
+        assert_eq!(summary.feedback_items(), 0);
+    }
+
+    #[test]
+    fn feedback_on_unknown_pair_admits_it() {
+        let mut agent = agent_with_initial(&[]);
+        let out = agent.feedback_on_pair((3, 7), Feedback::Positive);
+        assert!(!agent.candidates().is_empty());
+        assert!(agent.space().id_of(3, 7).is_some());
+        let _ = out;
+    }
+}

@@ -1,0 +1,135 @@
+//! The blacklist optimization (§6.3): links judged incorrect are not
+//! proposed again by future explorations.
+//!
+//! The blacklist is *vote-based*: a link is blocked while its negative
+//! judgments outnumber its positive ones. With error-free feedback this is
+//! exactly the paper's behaviour (one rejection blocks the link forever);
+//! with noisy feedback (Appendix C) it is what makes ALEX resilient — a
+//! single mistaken rejection of a correct link removes it from the
+//! candidate set, but the link can be re-discovered by exploration and
+//! contradicted by later (correct) feedback, as §6.3 requires.
+
+use std::collections::HashMap;
+
+use crate::space::PairId;
+
+/// Vote-based set of links judged incorrect.
+#[derive(Debug, Clone, Default)]
+pub struct Blacklist {
+    votes: HashMap<PairId, (u32, u32)>, // (negatives, positives)
+    enabled: bool,
+}
+
+impl Blacklist {
+    /// A blacklist; when disabled, it records nothing and blocks nothing
+    /// (used by the Fig. 6 ablation).
+    pub fn new(enabled: bool) -> Self {
+        Blacklist {
+            votes: HashMap::new(),
+            enabled,
+        }
+    }
+
+    /// Record a negative judgment on a link.
+    pub fn add(&mut self, id: PairId) {
+        if self.enabled {
+            self.votes.entry(id).or_insert((0, 0)).0 += 1;
+        }
+    }
+
+    /// Record a positive judgment on a link (contradicting earlier
+    /// negatives; only tracked for links that have been voted on).
+    pub fn endorse(&mut self, id: PairId) {
+        if self.enabled {
+            if let Some(v) = self.votes.get_mut(&id) {
+                v.1 += 1;
+            }
+        }
+    }
+
+    /// Whether a link is currently blocked from (re-)proposal: at least two
+    /// negative judgments, strictly outnumbering the positives.
+    ///
+    /// The two-strike rule is the resilience mechanism of §6.3/Appendix C:
+    /// a link rejected once is removed from the candidate set but can still
+    /// be *re-discovered* by exploration — if the rejection was a user
+    /// error, later (correct) feedback contradicts it; if it was right, the
+    /// second rejection blocks the link permanently.
+    pub fn blocks(&self, id: PairId) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        match self.votes.get(&id) {
+            Some(&(neg, pos)) => neg >= 2 && neg > pos,
+            None => false,
+        }
+    }
+
+    /// Number of currently blocked links.
+    pub fn len(&self) -> usize {
+        self.votes.values().filter(|&&(n, p)| n >= 2 && n > p).count()
+    }
+
+    /// Whether nothing is currently blocked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_blacklist_blocks_after_two_strikes() {
+        let mut b = Blacklist::new(true);
+        b.add(PairId(1));
+        assert!(!b.blocks(PairId(1)), "one strike leaves re-discovery open");
+        b.add(PairId(1));
+        assert!(b.blocks(PairId(1)));
+        assert!(!b.blocks(PairId(2)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn disabled_blacklist_is_inert() {
+        let mut b = Blacklist::new(false);
+        b.add(PairId(1));
+        assert!(!b.blocks(PairId(1)));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn positive_votes_unblock() {
+        // A correct link hit by two mistaken rejections recovers once later
+        // feedback contradicts them (Appendix C resilience).
+        let mut b = Blacklist::new(true);
+        b.add(PairId(1));
+        b.add(PairId(1));
+        assert!(b.blocks(PairId(1)));
+        b.endorse(PairId(1));
+        b.endorse(PairId(1));
+        assert!(!b.blocks(PairId(1)));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn majority_negative_blocks_again() {
+        let mut b = Blacklist::new(true);
+        b.add(PairId(1));
+        b.endorse(PairId(1));
+        b.add(PairId(1));
+        b.add(PairId(1));
+        assert!(b.blocks(PairId(1)), "3 neg vs 1 pos blocks");
+    }
+
+    #[test]
+    fn endorse_without_votes_is_noop() {
+        let mut b = Blacklist::new(true);
+        b.endorse(PairId(5));
+        assert!(!b.blocks(PairId(5)));
+        b.add(PairId(5));
+        b.add(PairId(5));
+        assert!(b.blocks(PairId(5)), "endorsements before any vote don't pre-arm");
+    }
+}

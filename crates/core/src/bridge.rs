@@ -1,0 +1,146 @@
+//! The query-answer feedback bridge (Fig. 1's "Link to State" box).
+//!
+//! "ALEX considers the approval/rejection of a query answer as an
+//! approval/rejection of the link(s) used to produce this answer" (§1).
+//! The federated engine annotates each answer with the sameAs links it used
+//! (IRI-level, see [`alex_sparql::QueryAnswer`]); this bridge maps those
+//! links back to entity-id pairs the agent understands.
+
+use std::collections::HashMap;
+
+use alex_rdf::{Dataset, EntityIndex, Term};
+use alex_sparql::{Link, QueryAnswer};
+
+use crate::feedback::Feedback;
+
+/// Maps IRI-level links to `(left id, right id)` entity pairs.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackBridge {
+    left_ids: HashMap<String, u32>,
+    right_ids: HashMap<String, u32>,
+}
+
+impl FeedbackBridge {
+    /// Build from the two data sets and their entity indexes.
+    pub fn new(
+        left: &Dataset,
+        left_index: &EntityIndex,
+        right: &Dataset,
+        right_index: &EntityIndex,
+    ) -> FeedbackBridge {
+        let mut left_ids = HashMap::with_capacity(left_index.len());
+        for (id, term) in left_index.iter() {
+            if let Term::Iri(sym) = term {
+                left_ids.insert(left.resolve_sym(sym).to_string(), id);
+            }
+        }
+        let mut right_ids = HashMap::with_capacity(right_index.len());
+        for (id, term) in right_index.iter() {
+            if let Term::Iri(sym) = term {
+                right_ids.insert(right.resolve_sym(sym).to_string(), id);
+            }
+        }
+        FeedbackBridge {
+            left_ids,
+            right_ids,
+        }
+    }
+
+    /// Resolve a sameAs link to an entity-id pair, trying both orientations
+    /// (the engine preserves the stored orientation, which may be either).
+    pub fn link_to_pair(&self, link: &Link) -> Option<(u32, u32)> {
+        if let (Some(&l), Some(&r)) = (self.left_ids.get(&link.left), self.right_ids.get(&link.right))
+        {
+            return Some((l, r));
+        }
+        if let (Some(&l), Some(&r)) = (self.left_ids.get(&link.right), self.right_ids.get(&link.left))
+        {
+            return Some((l, r));
+        }
+        None
+    }
+
+    /// Translate feedback on a query answer into per-link feedback items:
+    /// every link used by the answer receives the answer's judgment.
+    /// Links that do not resolve to known entities are skipped.
+    pub fn feedback_for_answer(
+        &self,
+        answer: &QueryAnswer,
+        approved: bool,
+    ) -> Vec<((u32, u32), Feedback)> {
+        let feedback = if approved {
+            Feedback::Positive
+        } else {
+            Feedback::Negative
+        };
+        answer
+            .links_used
+            .iter()
+            .filter_map(|link| self.link_to_pair(link).map(|p| (p, feedback)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alex_sparql::Bindings;
+
+    fn setup() -> (Dataset, Dataset, FeedbackBridge) {
+        let mut left = Dataset::new("L");
+        left.add_str("http://l/a", "http://l/p", "x");
+        let mut right = Dataset::new("R");
+        right.add_str("http://r/1", "http://r/q", "y");
+        let li = left.entity_index();
+        let ri = right.entity_index();
+        let bridge = FeedbackBridge::new(&left, &li, &right, &ri);
+        (left, right, bridge)
+    }
+
+    #[test]
+    fn resolves_forward_orientation() {
+        let (_, _, bridge) = setup();
+        let link = Link::new("http://l/a", "http://r/1");
+        assert_eq!(bridge.link_to_pair(&link), Some((0, 0)));
+    }
+
+    #[test]
+    fn resolves_reverse_orientation() {
+        let (_, _, bridge) = setup();
+        let link = Link::new("http://r/1", "http://l/a");
+        assert_eq!(bridge.link_to_pair(&link), Some((0, 0)));
+    }
+
+    #[test]
+    fn unknown_iris_resolve_to_none() {
+        let (_, _, bridge) = setup();
+        let link = Link::new("http://ghost/x", "http://r/1");
+        assert_eq!(bridge.link_to_pair(&link), None);
+    }
+
+    #[test]
+    fn answer_feedback_fans_out_to_links() {
+        let (_, _, bridge) = setup();
+        let answer = QueryAnswer {
+            bindings: Bindings::new(),
+            links_used: vec![
+                Link::new("http://l/a", "http://r/1"),
+                Link::new("http://ghost/x", "http://ghost/y"),
+            ],
+        };
+        let approved = bridge.feedback_for_answer(&answer, true);
+        assert_eq!(approved, vec![((0, 0), Feedback::Positive)]);
+        let rejected = bridge.feedback_for_answer(&answer, false);
+        assert_eq!(rejected, vec![((0, 0), Feedback::Negative)]);
+    }
+
+    #[test]
+    fn answer_without_links_yields_no_feedback() {
+        let (_, _, bridge) = setup();
+        let answer = QueryAnswer {
+            bindings: Bindings::new(),
+            links_used: vec![],
+        };
+        assert!(bridge.feedback_for_answer(&answer, true).is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! The single-partition run driver: the policy-evaluation / policy-
+//! improvement loop with convergence detection and per-episode metrics.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use crate::agent::Agent;
+use crate::feedback::FeedbackSource;
+use crate::metrics::{EpisodeReport, Quality};
+use crate::space::PairId;
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Strict convergence: no change in the candidate set over an episode.
+    Converged,
+    /// Relaxed convergence: fewer than the configured fraction of links
+    /// changed, and `stop_on_relaxed` was set.
+    RelaxedConverged,
+    /// The episode cap was reached (the paper caps at 100).
+    MaxEpisodes,
+    /// Feedback dried up (empty candidate set).
+    NoFeedback,
+}
+
+/// The full record of a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Quality of the initial candidate set (episode 0 in the figures).
+    pub initial_quality: Quality,
+    /// Per-episode reports.
+    pub episodes: Vec<EpisodeReport>,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// First episode (1-based) at which fewer than the relaxed-convergence
+    /// fraction of links changed, if any — the paper's vertical green line.
+    pub relaxed_converged_at: Option<usize>,
+    /// Total wall-clock duration.
+    pub total_duration: std::time::Duration,
+}
+
+impl RunReport {
+    /// Number of episodes executed.
+    pub fn episode_count(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// Final quality (initial quality when no episode ran).
+    pub fn final_quality(&self) -> Quality {
+        self.episodes
+            .last()
+            .map(|e| e.quality)
+            .unwrap_or(self.initial_quality)
+    }
+}
+
+/// Run the agent to convergence against a feedback source, scoring each
+/// episode against `truth` (ground-truth entity-id pairs).
+pub fn run(
+    agent: &mut Agent,
+    source: &mut dyn FeedbackSource,
+    truth: &HashSet<(u32, u32)>,
+) -> RunReport {
+    let start = Instant::now();
+    let initial_quality = Quality::evaluate(agent.candidates(), agent.space(), truth);
+    let mut episodes = Vec::new();
+    let mut relaxed_converged_at = None;
+    let mut prev: HashSet<PairId> = agent.candidates().snapshot();
+    let mut stop = StopReason::MaxEpisodes;
+
+    for episode in 1..=agent.config().max_episodes {
+        let episode_start = Instant::now();
+        let summary = agent.run_episode(source);
+        let duration = episode_start.elapsed();
+
+        if summary.feedback_items() == 0 {
+            stop = StopReason::NoFeedback;
+            break;
+        }
+
+        let current = agent.candidates().snapshot();
+        let changed = current.symmetric_difference(&prev).count();
+        let change_frac = if prev.is_empty() {
+            if current.is_empty() {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            changed as f64 / prev.len() as f64
+        };
+
+        let (correct, quality) =
+            Quality::evaluate_counted(agent.candidates(), agent.space(), truth);
+        episodes.push(EpisodeReport {
+            episode,
+            quality,
+            candidates: current.len(),
+            correct,
+            added: summary.added,
+            removed: summary.removed,
+            negative_feedback_frac: summary.negative_frac(),
+            rollbacks: summary.rollbacks,
+            change_frac,
+            duration,
+        });
+
+        if relaxed_converged_at.is_none()
+            && change_frac < agent.config().relaxed_convergence_frac
+        {
+            relaxed_converged_at = Some(episode);
+        }
+        if changed == 0 {
+            stop = StopReason::Converged;
+            break;
+        }
+        if agent.config().stop_on_relaxed
+            && change_frac < agent.config().relaxed_convergence_frac
+        {
+            stop = StopReason::RelaxedConverged;
+            break;
+        }
+        prev = current;
+    }
+
+    RunReport {
+        initial_quality,
+        episodes,
+        stop,
+        relaxed_converged_at,
+        total_duration: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlexConfig;
+    use crate::feedback::OracleFeedback;
+    use crate::space::{LinkSpace, SpaceConfig};
+    use alex_rdf::Dataset;
+
+    fn build() -> (LinkSpace, HashSet<(u32, u32)>) {
+        let mut left = Dataset::new("L");
+        let mut right = Dataset::new("R");
+        let names = [
+            "Alpha Aardvark",
+            "Beta Bison",
+            "Gamma Gazelle",
+            "Delta Dingo",
+            "Epsilon Eagle",
+            "Zeta Zebra",
+            "Eta Egret",
+            "Theta Tapir",
+            "Iota Ibis",
+            "Kappa Koala",
+            "Lambda Lemur",
+            "Mu Marmot",
+        ];
+        for (i, name) in names.iter().enumerate() {
+            left.add_str(&format!("http://l/{i}"), "http://l/label", name);
+            left.add_str(&format!("http://l/{i}"), "http://l/type", "animal");
+            right.add_str(&format!("http://r/{i}"), "http://r/name", name);
+            right.add_str(&format!("http://r/{i}"), "http://r/class", "animal");
+        }
+        let space = LinkSpace::build(&left, &right, &SpaceConfig::default());
+        let truth: HashSet<(u32, u32)> = (0..names.len() as u32).map(|i| (i, i)).collect();
+        (space, truth)
+    }
+
+    #[test]
+    fn run_improves_recall_from_partial_start() {
+        let (space, truth) = build();
+        // Start with 25% of the ground truth.
+        let initial: Vec<(u32, u32)> = truth.iter().copied().take(3).collect();
+        let cfg = AlexConfig {
+            episode_size: 40,
+            max_episodes: 30,
+            ..AlexConfig::default()
+        };
+        let mut agent = Agent::new(space, &initial, cfg);
+        let mut oracle = OracleFeedback::new(truth.clone(), 5);
+        let report = run(&mut agent, &mut oracle, &truth);
+        assert!(report.initial_quality.recall <= 0.3);
+        let final_q = report.final_quality();
+        assert!(
+            final_q.recall > report.initial_quality.recall,
+            "recall did not improve: {:?} -> {:?}",
+            report.initial_quality,
+            final_q
+        );
+        assert!(final_q.recall >= 0.8, "final recall {:?}", final_q);
+    }
+
+    #[test]
+    fn run_cleans_bad_links() {
+        let (space, truth) = build();
+        // Start with all true links plus several wrong ones.
+        let mut initial: Vec<(u32, u32)> = truth.iter().copied().collect();
+        initial.extend([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let cfg = AlexConfig {
+            episode_size: 40,
+            max_episodes: 30,
+            ..AlexConfig::default()
+        };
+        let mut agent = Agent::new(space, &initial, cfg);
+        let mut oracle = OracleFeedback::new(truth.clone(), 6);
+        let report = run(&mut agent, &mut oracle, &truth);
+        let final_q = report.final_quality();
+        assert!(final_q.precision > report.initial_quality.precision);
+        assert!(final_q.precision >= 0.9, "final {final_q:?}");
+    }
+
+    #[test]
+    fn empty_start_stops_with_no_feedback() {
+        let (space, truth) = build();
+        let mut agent = Agent::new(space, &[], AlexConfig::default());
+        let mut oracle = OracleFeedback::new(truth.clone(), 7);
+        let report = run(&mut agent, &mut oracle, &truth);
+        assert_eq!(report.stop, StopReason::NoFeedback);
+        assert_eq!(report.episode_count(), 0);
+    }
+
+    #[test]
+    fn episode_reports_are_sequential_and_timed() {
+        let (space, truth) = build();
+        let initial: Vec<(u32, u32)> = truth.iter().copied().take(4).collect();
+        let cfg = AlexConfig {
+            episode_size: 20,
+            max_episodes: 5,
+            ..AlexConfig::default()
+        };
+        let mut agent = Agent::new(space, &initial, cfg);
+        let mut oracle = OracleFeedback::new(truth.clone(), 8);
+        let report = run(&mut agent, &mut oracle, &truth);
+        for (i, ep) in report.episodes.iter().enumerate() {
+            assert_eq!(ep.episode, i + 1);
+        }
+        assert!(report.total_duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn convergence_is_detected() {
+        let (space, truth) = build();
+        let initial: Vec<(u32, u32)> = truth.iter().copied().collect();
+        let cfg = AlexConfig {
+            episode_size: 60,
+            max_episodes: 50,
+            ..AlexConfig::default()
+        };
+        let mut agent = Agent::new(space, &initial, cfg);
+        let mut oracle = OracleFeedback::new(truth.clone(), 9);
+        let report = run(&mut agent, &mut oracle, &truth);
+        // Must stop before the cap: all-correct candidates stabilize.
+        assert_eq!(report.stop, StopReason::Converged);
+        assert!(report.relaxed_converged_at.is_some());
+        assert!(
+            report.relaxed_converged_at.unwrap() <= report.episode_count(),
+            "relaxed convergence cannot come after strict"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Feedback: the signal ALEX learns from.
+//!
+//! In deployment, feedback arrives from users judging query answers (see
+//! [`crate::bridge`]). In the paper's experiments (§7.1 "Generating
+//! Feedback") it is simulated: "We randomly choose a link out of the set of
+//! candidate links and compare it to the ground truth." [`OracleFeedback`]
+//! is that simulator, with an optional error rate for Appendix C.
+
+use std::collections::HashSet;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::candidates::CandidateSet;
+use crate::space::{LinkSpace, PairId};
+
+/// A user judgment on a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feedback {
+    /// The answer (and hence the link) is correct.
+    Positive,
+    /// The answer (and hence the link) is incorrect.
+    Negative,
+}
+
+/// A source of feedback items.
+pub trait FeedbackSource {
+    /// Produce the next feedback item over the current candidate set.
+    /// `None` means no feedback is available (e.g. the set is empty).
+    fn next(&mut self, candidates: &CandidateSet, space: &LinkSpace) -> Option<(PairId, Feedback)>;
+}
+
+/// Ground-truth oracle feedback with an optional error rate.
+#[derive(Debug)]
+pub struct OracleFeedback {
+    truth: HashSet<(u32, u32)>,
+    error_rate: f64,
+    rng: StdRng,
+}
+
+impl OracleFeedback {
+    /// An oracle over ground-truth `(left id, right id)` pairs.
+    pub fn new(truth: HashSet<(u32, u32)>, seed: u64) -> Self {
+        OracleFeedback {
+            truth,
+            error_rate: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// An oracle that flips each judgment with probability `error_rate`
+    /// (Appendix C uses 0.10).
+    pub fn with_error_rate(truth: HashSet<(u32, u32)>, error_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&error_rate), "error rate in [0, 1]");
+        OracleFeedback {
+            truth,
+            error_rate,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Whether the oracle's ground truth holds the pair.
+    pub fn is_correct(&self, pair: (u32, u32)) -> bool {
+        self.truth.contains(&pair)
+    }
+
+    /// Ground-truth size.
+    pub fn truth_len(&self) -> usize {
+        self.truth.len()
+    }
+}
+
+impl FeedbackSource for OracleFeedback {
+    fn next(&mut self, candidates: &CandidateSet, space: &LinkSpace) -> Option<(PairId, Feedback)> {
+        let id = candidates.sample(&mut self.rng)?;
+        let correct = self.is_correct(space.pair(id));
+        let mut feedback = if correct {
+            Feedback::Positive
+        } else {
+            Feedback::Negative
+        };
+        if self.error_rate > 0.0 && self.rng.random_bool(self.error_rate) {
+            feedback = match feedback {
+                Feedback::Positive => Feedback::Negative,
+                Feedback::Negative => Feedback::Positive,
+            };
+        }
+        Some((id, feedback))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceConfig;
+    use alex_rdf::Dataset;
+
+    fn space() -> LinkSpace {
+        let mut left = Dataset::new("L");
+        let mut right = Dataset::new("R");
+        for (i, name) in ["Alpha One", "Beta Two", "Gamma Three"].iter().enumerate() {
+            left.add_str(&format!("http://l/{i}"), "http://l/label", name);
+            right.add_str(&format!("http://r/{i}"), "http://r/name", name);
+        }
+        LinkSpace::build(&left, &right, &SpaceConfig::default())
+    }
+
+    #[test]
+    fn oracle_judges_against_ground_truth() {
+        let space = space();
+        // Ground truth: the diagonal.
+        let truth: HashSet<(u32, u32)> = (0..3).map(|i| (i, i)).collect();
+        let mut oracle = OracleFeedback::new(truth, 1);
+        let candidates = CandidateSet::from_iter(space.pair_ids());
+        let mut saw_positive = false;
+        let mut saw_negative = false;
+        for _ in 0..200 {
+            let (id, fb) = oracle.next(&candidates, &space).unwrap();
+            let (l, r) = space.pair(id);
+            match fb {
+                Feedback::Positive => {
+                    assert_eq!(l, r);
+                    saw_positive = true;
+                }
+                Feedback::Negative => {
+                    assert_ne!(l, r);
+                    saw_negative = true;
+                }
+            }
+        }
+        assert!(saw_positive);
+        // The space may or may not contain off-diagonal pairs depending on
+        // blocking; only assert negativity when they exist.
+        let has_off_diagonal = space.pair_ids().any(|id| {
+            let (l, r) = space.pair(id);
+            l != r
+        });
+        assert_eq!(saw_negative, has_off_diagonal);
+    }
+
+    #[test]
+    fn empty_candidates_yield_no_feedback() {
+        let space = space();
+        let truth = HashSet::new();
+        let mut oracle = OracleFeedback::new(truth, 1);
+        assert_eq!(oracle.next(&CandidateSet::new(), &space), None);
+    }
+
+    #[test]
+    fn error_rate_flips_judgments() {
+        let space = space();
+        let truth: HashSet<(u32, u32)> = (0..3).map(|i| (i, i)).collect();
+        // 100% error: every judgment is flipped.
+        let mut oracle = OracleFeedback::with_error_rate(truth, 1.0, 2);
+        let diagonal: Vec<PairId> = space
+            .pair_ids()
+            .filter(|&id| {
+                let (l, r) = space.pair(id);
+                l == r
+            })
+            .collect();
+        let candidates = CandidateSet::from_iter(diagonal);
+        for _ in 0..50 {
+            let (_, fb) = oracle.next(&candidates, &space).unwrap();
+            assert_eq!(fb, Feedback::Negative, "correct link must be misjudged");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let space = space();
+        let truth: HashSet<(u32, u32)> = (0..3).map(|i| (i, i)).collect();
+        let candidates = CandidateSet::from_iter(space.pair_ids());
+        let mut a = OracleFeedback::new(truth.clone(), 7);
+        let mut b = OracleFeedback::new(truth, 7);
+        for _ in 0..50 {
+            assert_eq!(a.next(&candidates, &space), b.next(&candidates, &space));
+        }
+    }
+}

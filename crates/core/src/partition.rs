@@ -1,0 +1,498 @@
+//! Equal-size partitioning and the parallel partitioned driver (§6.2).
+//!
+//! The larger (left) data set is split round-robin — "the i-th entity is in
+//! partition i mod n" — and feature sets are generated between each
+//! partition and the whole smaller data set. Partitions are independent, so
+//! they run in parallel threads. Each global episode's feedback budget is
+//! split across partitions in proportion to their candidate counts (feedback
+//! is "directed to all partitions"); metrics are aggregated over the union
+//! of the partitions' candidate sets.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use alex_rdf::{Dataset, Term};
+
+use crate::agent::Agent;
+use crate::config::AlexConfig;
+use crate::driver::StopReason;
+use crate::feedback::OracleFeedback;
+use crate::metrics::{EpisodeReport, Quality};
+use crate::space::{LinkSpace, PairId, SpaceConfig};
+
+/// Configuration for a partitioned run.
+#[derive(Debug, Clone)]
+pub struct PartitionedConfig {
+    /// Number of equal-size partitions (the paper uses 27).
+    pub partitions: usize,
+    /// Agent configuration. `episode_size` is the *global* per-episode
+    /// feedback budget, split across partitions.
+    pub alex: AlexConfig,
+    /// Space construction configuration (its `partition` field is set per
+    /// partition internally).
+    pub space: SpaceConfig,
+    /// Oracle error rate (Appendix C uses 0.10).
+    pub feedback_error_rate: f64,
+}
+
+impl Default for PartitionedConfig {
+    fn default() -> Self {
+        PartitionedConfig {
+            partitions: 4,
+            alex: AlexConfig::default(),
+            space: SpaceConfig::default(),
+            feedback_error_rate: 0.0,
+        }
+    }
+}
+
+/// Per-partition trace: the partition's own episode reports (scored against
+/// its local slice of the ground truth — the paper's Fig. 7(b)/(c) views).
+#[derive(Debug, Clone)]
+pub struct PartitionTrace {
+    /// Partition index.
+    pub partition: usize,
+    /// Local per-episode reports.
+    pub episodes: Vec<EpisodeReport>,
+    /// Total time this partition spent processing.
+    pub total_duration: Duration,
+}
+
+/// The result of a partitioned run.
+#[derive(Debug, Clone)]
+pub struct PartitionedRun {
+    /// Aggregate quality of the initial candidate set.
+    pub initial_quality: Quality,
+    /// Aggregated per-episode reports (union of partitions).
+    pub episodes: Vec<EpisodeReport>,
+    /// Per-partition traces.
+    pub per_partition: Vec<PartitionTrace>,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// First episode at which the aggregate change dropped below the
+    /// relaxed threshold.
+    pub relaxed_converged_at: Option<usize>,
+    /// The union of the partitions' final candidate links, as
+    /// `(left term, right term)` pairs — the improved link set a caller
+    /// exports.
+    pub final_links: Vec<(Term, Term)>,
+    /// Wall-clock duration of the slowest partition (the paper's reported
+    /// "execution time", §7.3).
+    pub slowest_partition: Duration,
+    /// Mean of the partitions' processing times.
+    pub mean_partition: Duration,
+    /// Total wall-clock duration of the whole run.
+    pub total_duration: Duration,
+}
+
+impl PartitionedRun {
+    /// Final aggregate quality.
+    pub fn final_quality(&self) -> Quality {
+        self.episodes
+            .last()
+            .map(|e| e.quality)
+            .unwrap_or(self.initial_quality)
+    }
+}
+
+struct PartitionState {
+    index: usize,
+    agent: Agent,
+    oracle: OracleFeedback,
+    prev: HashSet<PairId>,
+    local_truth: HashSet<(u32, u32)>,
+    episodes: Vec<EpisodeReport>,
+    total_duration: Duration,
+}
+
+impl PartitionState {
+    /// Run one episode round with the given feedback quota; returns
+    /// (changed-link count, correct, candidates, added, removed, negatives,
+    /// rollbacks, duration).
+    #[allow(clippy::type_complexity)]
+    fn run_round(&mut self, quota: usize) -> (usize, usize, usize, usize, usize, f64, usize, Duration) {
+        let start = Instant::now();
+        let summary = self.agent.run_episode_sized(&mut self.oracle, quota);
+        let duration = start.elapsed();
+        self.total_duration += duration;
+
+        let current = self.agent.candidates().snapshot();
+        let changed = current.symmetric_difference(&self.prev).count();
+        let change_frac = if self.prev.is_empty() {
+            if current.is_empty() {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            changed as f64 / self.prev.len() as f64
+        };
+        let (correct, quality) = Quality::evaluate_counted(
+            self.agent.candidates(),
+            self.agent.space(),
+            &self.local_truth,
+        );
+        self.episodes.push(EpisodeReport {
+            episode: self.episodes.len() + 1,
+            quality,
+            candidates: current.len(),
+            correct,
+            added: summary.added,
+            removed: summary.removed,
+            negative_feedback_frac: summary.negative_frac(),
+            rollbacks: summary.rollbacks,
+            change_frac,
+            duration,
+        });
+        self.prev = current;
+        (
+            changed,
+            correct,
+            self.agent.candidates().len(),
+            summary.added,
+            summary.removed,
+            summary.negative_frac(),
+            summary.rollbacks,
+            duration,
+        )
+    }
+}
+
+/// Run ALEX over `partitions` equal-size partitions in parallel.
+///
+/// `initial` and `truth` are `(left term, right term)` pairs (as produced by
+/// a linker and the ground truth respectively).
+pub fn run_partitioned(
+    left: &Dataset,
+    right: &Dataset,
+    initial: &[(Term, Term)],
+    truth: &[(Term, Term)],
+    cfg: &PartitionedConfig,
+) -> PartitionedRun {
+    assert!(cfg.partitions > 0, "at least one partition");
+    let run_start = Instant::now();
+    let n = cfg.partitions;
+
+    // Global id mapping (identical in every partition's space).
+    let left_index = left.entity_index();
+    let right_index = right.entity_index();
+    let to_ids = |pairs: &[(Term, Term)]| -> Vec<(u32, u32)> {
+        pairs
+            .iter()
+            .filter_map(|&(l, r)| Some((left_index.id(l)?, right_index.id(r)?)))
+            .collect()
+    };
+    let initial_ids = to_ids(initial);
+    let truth_ids: HashSet<(u32, u32)> = to_ids(truth).into_iter().collect();
+
+    // Build spaces in parallel, one per partition.
+    let spaces: Vec<LinkSpace> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let mut space_cfg = cfg.space.clone();
+                space_cfg.partition = Some((i, n));
+                s.spawn(move || LinkSpace::build(left, right, &space_cfg))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    });
+
+    // Assemble partition states.
+    let mut states: Vec<PartitionState> = spaces
+        .into_iter()
+        .enumerate()
+        .map(|(i, space)| {
+            let local_initial: Vec<(u32, u32)> = initial_ids
+                .iter()
+                .copied()
+                .filter(|&(l, _)| l as usize % n == i)
+                .collect();
+            let local_truth: HashSet<(u32, u32)> = truth_ids
+                .iter()
+                .copied()
+                .filter(|&(l, _)| l as usize % n == i)
+                .collect();
+            let mut alex_cfg = cfg.alex.clone();
+            alex_cfg.seed = cfg.alex.seed.wrapping_add(i as u64);
+            let agent = Agent::new(space, &local_initial, alex_cfg);
+            let prev = agent.candidates().snapshot();
+            let oracle = OracleFeedback::with_error_rate(
+                truth_ids.clone(),
+                cfg.feedback_error_rate,
+                cfg.alex.seed.wrapping_add(1000 + i as u64),
+            );
+            PartitionState {
+                index: i,
+                agent,
+                oracle,
+                prev,
+                local_truth,
+                episodes: Vec::new(),
+                total_duration: Duration::ZERO,
+            }
+        })
+        .collect();
+
+    // Initial aggregate quality.
+    let initial_counts: Vec<(usize, usize)> = states
+        .iter()
+        .map(|st| {
+            let (correct, _) = Quality::evaluate_counted(
+                st.agent.candidates(),
+                st.agent.space(),
+                &truth_ids,
+            );
+            (correct, st.agent.candidates().len())
+        })
+        .collect();
+    let initial_quality = Quality::from_counts(
+        initial_counts.iter().map(|c| c.0).sum(),
+        initial_counts.iter().map(|c| c.1).sum(),
+        truth_ids.len(),
+    );
+
+    let mut episodes: Vec<EpisodeReport> = Vec::new();
+    let mut relaxed_converged_at = None;
+    let mut stop = StopReason::MaxEpisodes;
+
+    for episode in 1..=cfg.alex.max_episodes {
+        // Quotas proportional to candidate counts.
+        let counts: Vec<usize> = states.iter().map(|s| s.agent.candidates().len()).collect();
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            stop = StopReason::NoFeedback;
+            break;
+        }
+        let mut quotas: Vec<usize> = counts
+            .iter()
+            .map(|&c| cfg.alex.episode_size * c / total)
+            .collect();
+        let mut assigned: usize = quotas.iter().sum();
+        // Distribute the rounding remainder to the largest partitions.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+        let mut oi = 0;
+        while assigned < cfg.alex.episode_size {
+            let i = order[oi % n];
+            if counts[i] > 0 {
+                quotas[i] += 1;
+                assigned += 1;
+            }
+            oi += 1;
+            if oi > 4 * n {
+                break; // all partitions empty of candidates
+            }
+        }
+
+        // Run the round in parallel.
+        let round: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = states
+                .iter_mut()
+                .zip(quotas.iter())
+                .map(|(st, &quota)| s.spawn(move || st.run_round(quota)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        });
+
+        // Aggregate.
+        let prev_total: usize = counts.iter().sum();
+        let changed: usize = round.iter().map(|r| r.0).sum();
+        let correct: usize = round.iter().map(|r| r.1).sum();
+        let candidates: usize = round.iter().map(|r| r.2).sum();
+        let added: usize = round.iter().map(|r| r.3).sum();
+        let removed: usize = round.iter().map(|r| r.4).sum();
+        let rollbacks: usize = round.iter().map(|r| r.6).sum();
+        let duration = round.iter().map(|r| r.7).max().unwrap_or(Duration::ZERO);
+        let neg_frac = {
+            let weighted: f64 = round
+                .iter()
+                .zip(quotas.iter())
+                .map(|(r, &q)| r.5 * q as f64)
+                .sum();
+            let q_total: usize = quotas.iter().sum();
+            if q_total == 0 {
+                0.0
+            } else {
+                weighted / q_total as f64
+            }
+        };
+        let change_frac = if prev_total == 0 {
+            0.0
+        } else {
+            changed as f64 / prev_total as f64
+        };
+        episodes.push(EpisodeReport {
+            episode,
+            quality: Quality::from_counts(correct, candidates, truth_ids.len()),
+            candidates,
+            correct,
+            added,
+            removed,
+            negative_feedback_frac: neg_frac,
+            rollbacks,
+            change_frac,
+            duration,
+        });
+        if relaxed_converged_at.is_none() && change_frac < cfg.alex.relaxed_convergence_frac {
+            relaxed_converged_at = Some(episode);
+        }
+        if changed == 0 {
+            stop = StopReason::Converged;
+            break;
+        }
+        if cfg.alex.stop_on_relaxed && change_frac < cfg.alex.relaxed_convergence_frac {
+            stop = StopReason::RelaxedConverged;
+            break;
+        }
+    }
+
+    let mut final_links: Vec<(Term, Term)> = Vec::new();
+    for st in &states {
+        for id in st.agent.candidates().iter() {
+            final_links.push(st.agent.space().pair_terms(id));
+        }
+    }
+    final_links.sort();
+    final_links.dedup();
+
+    let per_partition: Vec<PartitionTrace> = states
+        .into_iter()
+        .map(|st| PartitionTrace {
+            partition: st.index,
+            episodes: st.episodes,
+            total_duration: st.total_duration,
+        })
+        .collect();
+    let slowest_partition = per_partition
+        .iter()
+        .map(|p| p.total_duration)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let mean_partition = {
+        let total: Duration = per_partition.iter().map(|p| p.total_duration).sum();
+        total / per_partition.len().max(1) as u32
+    };
+
+    PartitionedRun {
+        initial_quality,
+        episodes,
+        per_partition,
+        final_links,
+        stop,
+        relaxed_converged_at,
+        slowest_partition,
+        mean_partition,
+        total_duration: run_start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn datasets() -> (Dataset, Dataset, Vec<(Term, Term)>) {
+        let mut left = Dataset::new("L");
+        let mut right = Dataset::new("R");
+        let names = [
+            "Alpha Aardvark",
+            "Beta Bison",
+            "Gamma Gazelle",
+            "Delta Dingo",
+            "Epsilon Eagle",
+            "Zeta Zebra",
+            "Eta Egret",
+            "Theta Tapir",
+            "Iota Ibis",
+            "Kappa Koala",
+            "Lambda Lemur",
+            "Mu Marmot",
+        ];
+        for (i, name) in names.iter().enumerate() {
+            left.add_str(&format!("http://l/{i}"), "http://l/label", name);
+            left.add_str(&format!("http://l/{i}"), "http://l/type", "animal");
+            right.add_str(&format!("http://r/{i}"), "http://r/name", name);
+            right.add_str(&format!("http://r/{i}"), "http://r/class", "animal");
+        }
+        let li = left.entity_index();
+        let ri = right.entity_index();
+        let mut truth = Vec::new();
+        for i in 0..names.len() {
+            let lt = left.interner().get(&format!("http://l/{i}")).map(Term::Iri).unwrap();
+            let rt = right.interner().get(&format!("http://r/{i}")).map(Term::Iri).unwrap();
+            assert!(li.id(lt).is_some() && ri.id(rt).is_some());
+            truth.push((lt, rt));
+        }
+        (left, right, truth)
+    }
+
+    #[test]
+    fn partitioned_run_improves_quality() {
+        let (left, right, truth) = datasets();
+        let initial: Vec<(Term, Term)> = truth.iter().copied().take(3).collect();
+        let cfg = PartitionedConfig {
+            partitions: 3,
+            alex: AlexConfig {
+                episode_size: 60,
+                max_episodes: 25,
+                ..AlexConfig::default()
+            },
+            ..PartitionedConfig::default()
+        };
+        let run = run_partitioned(&left, &right, &initial, &truth, &cfg);
+        assert!(run.initial_quality.recall < 0.5);
+        assert!(
+            run.final_quality().recall > run.initial_quality.recall,
+            "{:?} -> {:?}",
+            run.initial_quality,
+            run.final_quality()
+        );
+        assert_eq!(run.per_partition.len(), 3);
+    }
+
+    #[test]
+    fn single_partition_equals_plain_structure() {
+        let (left, right, truth) = datasets();
+        let initial: Vec<(Term, Term)> = truth.iter().copied().take(4).collect();
+        let cfg = PartitionedConfig {
+            partitions: 1,
+            alex: AlexConfig {
+                episode_size: 40,
+                max_episodes: 10,
+                ..AlexConfig::default()
+            },
+            ..PartitionedConfig::default()
+        };
+        let run = run_partitioned(&left, &right, &initial, &truth, &cfg);
+        assert_eq!(run.per_partition.len(), 1);
+        assert!((run.initial_quality.precision - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn durations_are_tracked() {
+        let (left, right, truth) = datasets();
+        let initial: Vec<(Term, Term)> = truth.clone();
+        let cfg = PartitionedConfig {
+            partitions: 2,
+            alex: AlexConfig {
+                episode_size: 20,
+                max_episodes: 3,
+                ..AlexConfig::default()
+            },
+            ..PartitionedConfig::default()
+        };
+        let run = run_partitioned(&left, &right, &initial, &truth, &cfg);
+        assert!(run.slowest_partition >= run.mean_partition);
+        assert!(run.total_duration >= run.slowest_partition);
+    }
+
+    #[test]
+    fn empty_initial_links_stop_without_feedback() {
+        let (left, right, truth) = datasets();
+        let cfg = PartitionedConfig {
+            partitions: 2,
+            ..PartitionedConfig::default()
+        };
+        let run = run_partitioned(&left, &right, &[], &truth, &cfg);
+        assert_eq!(run.stop, StopReason::NoFeedback);
+    }
+}

@@ -1,0 +1,162 @@
+//! Similarity matrices and state feature sets (§4.1).
+//!
+//! For a pair of entities, the similarity matrix holds
+//! `((p1x, p2y), sim(o1x, o2y))` for every attribute pair; entries below θ
+//! are discarded. The *state feature set* `sf` keeps, for each attribute of
+//! the larger-arity side, its best-scoring counterpart: "choosing the
+//! maximum value for each row in the similarity matrix if n > m or each
+//! column if m > n".
+
+use alex_rdf::Sym;
+use alex_sim::{value_similarity, TypedValue};
+
+use crate::feature::{FeatureCatalog, FeatureId, FeaturePair, FeatureSet};
+
+/// Build the state feature set for one entity pair.
+///
+/// `left_attrs` / `right_attrs` are the typed attribute lists; the result is
+/// sorted by [`FeatureId`] with one entry per distinct feature (max score).
+/// Returns an empty set when no attribute pair reaches θ — such pairs are
+/// dropped from the link space (§6.1).
+pub fn feature_set(
+    left_attrs: &[(Sym, TypedValue)],
+    right_attrs: &[(Sym, TypedValue)],
+    theta: f64,
+    catalog: &mut FeatureCatalog,
+) -> FeatureSet {
+    let n = left_attrs.len();
+    let m = right_attrs.len();
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    let mut set: FeatureSet = Vec::new();
+    let mut push = |id: FeatureId, score: f64| match set.iter_mut().find(|(f, _)| *f == id) {
+        Some((_, s)) => *s = s.max(score),
+        None => set.push((id, score)),
+    };
+
+    if n >= m {
+        // Max per row: each left attribute keeps its best right counterpart.
+        for &(lp, ref lv) in left_attrs {
+            let mut best: Option<(Sym, f64)> = None;
+            for &(rp, ref rv) in right_attrs {
+                let s = value_similarity(lv, rv);
+                if s >= theta && best.map(|(_, b)| s > b).unwrap_or(true) {
+                    best = Some((rp, s));
+                }
+            }
+            if let Some((rp, score)) = best {
+                let id = catalog.intern(FeaturePair { left: lp, right: rp });
+                push(id, score);
+            }
+        }
+    } else {
+        // Max per column: each right attribute keeps its best left counterpart.
+        for &(rp, ref rv) in right_attrs {
+            let mut best: Option<(Sym, f64)> = None;
+            for &(lp, ref lv) in left_attrs {
+                let s = value_similarity(lv, rv);
+                if s >= theta && best.map(|(_, b)| s > b).unwrap_or(true) {
+                    best = Some((lp, s));
+                }
+            }
+            if let Some((lp, score)) = best {
+                let id = catalog.intern(FeaturePair { left: lp, right: rp });
+                push(id, score);
+            }
+        }
+    }
+    set.sort_by_key(|&(f, _)| f);
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::feature_score;
+
+    fn sym(i: usize) -> Sym {
+        Sym::from_index(i)
+    }
+
+    fn text(s: &str) -> TypedValue {
+        TypedValue::Text(s.to_string())
+    }
+
+    #[test]
+    fn picks_best_counterpart_per_row() {
+        let mut catalog = FeatureCatalog::new();
+        // Left has 2 attrs, right has 2: n == m so per-row.
+        let left = vec![(sym(0), text("LeBron James")), (sym(1), TypedValue::Year(1984))];
+        let right = vec![(sym(10), text("lebron james")), (sym(11), TypedValue::Year(1984))];
+        let sf = feature_set(&left, &right, 0.3, &mut catalog);
+        assert_eq!(sf.len(), 2);
+        let name_feat = catalog.get(FeaturePair { left: sym(0), right: sym(10) }).unwrap();
+        let year_feat = catalog.get(FeaturePair { left: sym(1), right: sym(11) }).unwrap();
+        assert_eq!(feature_score(&sf, name_feat), Some(1.0));
+        assert_eq!(feature_score(&sf, year_feat), Some(1.0));
+    }
+
+    #[test]
+    fn theta_drops_weak_entries() {
+        let mut catalog = FeatureCatalog::new();
+        let left = vec![(sym(0), text("completely unrelated"))];
+        let right = vec![(sym(10), text("zzz qqq"))];
+        let sf = feature_set(&left, &right, 0.3, &mut catalog);
+        assert!(sf.is_empty());
+    }
+
+    #[test]
+    fn column_mode_when_right_larger() {
+        let mut catalog = FeatureCatalog::new();
+        let left = vec![(sym(0), text("alpha"))];
+        let right = vec![
+            (sym(10), text("alpha")),
+            (sym(11), text("alpha beta")),
+            (sym(12), TypedValue::Year(2000)),
+        ];
+        let sf = feature_set(&left, &right, 0.3, &mut catalog);
+        // m > n: one entry per right attribute that clears θ against the
+        // single left attribute. Year vs text fails θ.
+        assert_eq!(sf.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_feature_keeps_max() {
+        let mut catalog = FeatureCatalog::new();
+        // Two left values under the same predicate, both best-matching the
+        // same right attribute with different scores.
+        let left = vec![(sym(0), text("miami heat")), (sym(0), text("heat"))];
+        let right = vec![(sym(10), text("miami heat"))];
+        let sf = feature_set(&left, &right, 0.3, &mut catalog);
+        assert_eq!(sf.len(), 1);
+        assert_eq!(sf[0].1, 1.0);
+    }
+
+    #[test]
+    fn empty_sides_give_empty_set() {
+        let mut catalog = FeatureCatalog::new();
+        assert!(feature_set(&[], &[(sym(0), text("x"))], 0.3, &mut catalog).is_empty());
+        assert!(feature_set(&[(sym(0), text("x"))], &[], 0.3, &mut catalog).is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_by_feature_id() {
+        let mut catalog = FeatureCatalog::new();
+        let left = vec![
+            (sym(5), text("beta")),
+            (sym(1), text("alpha")),
+            (sym(3), TypedValue::Year(1999)),
+        ];
+        let right = vec![
+            (sym(11), text("alpha")),
+            (sym(12), text("beta")),
+            (sym(13), TypedValue::Year(1999)),
+        ];
+        let sf = feature_set(&left, &right, 0.3, &mut catalog);
+        let ids: Vec<u32> = sf.iter().map(|&(f, _)| f.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -1,0 +1,263 @@
+//! A simulated user population — the paper's proposed future work ("user
+//! studies using real applications... users are likely to generate some
+//! incorrect feedback", §8), implemented as a feedback source.
+//!
+//! Unlike [`crate::feedback::OracleFeedback`]'s i.i.d. error model
+//! (Appendix C), a population is *heterogeneous*: each user has their own
+//! error rate and a finite judgment budget, and feedback arrives from users
+//! in proportion to their remaining engagement. This reproduces the
+//! batch-mode story of §7.2 ("e.g., 1000 users providing 1 feedback item
+//! each") with realistic skew: a few sloppy users, many careful ones.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashSet;
+
+use crate::candidates::CandidateSet;
+use crate::feedback::{Feedback, FeedbackSource};
+use crate::space::{LinkSpace, PairId};
+
+/// One simulated user.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// Probability that this user's judgment is wrong.
+    pub error_rate: f64,
+    /// How many judgments this user will provide before disengaging;
+    /// `None` = unbounded.
+    pub budget: Option<usize>,
+}
+
+impl UserProfile {
+    /// A careful user: 2% error, unbounded.
+    pub fn careful() -> Self {
+        UserProfile {
+            error_rate: 0.02,
+            budget: None,
+        }
+    }
+
+    /// A sloppy user: 25% error, unbounded.
+    pub fn sloppy() -> Self {
+        UserProfile {
+            error_rate: 0.25,
+            budget: None,
+        }
+    }
+}
+
+/// A population of simulated users judging links against a ground truth.
+#[derive(Debug)]
+pub struct UserPopulation {
+    truth: HashSet<(u32, u32)>,
+    users: Vec<(UserProfile, usize)>, // (profile, judgments made)
+    rng: StdRng,
+}
+
+impl UserPopulation {
+    /// Create a population over ground-truth `(left id, right id)` pairs.
+    pub fn new(
+        truth: HashSet<(u32, u32)>,
+        users: Vec<UserProfile>,
+        seed: u64,
+    ) -> UserPopulation {
+        assert!(!users.is_empty(), "a population needs at least one user");
+        for u in &users {
+            assert!(
+                (0.0..=1.0).contains(&u.error_rate),
+                "error rate must be in [0, 1]"
+            );
+        }
+        UserPopulation {
+            truth,
+            users: users.into_iter().map(|u| (u, 0)).collect(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A mixed population: `n` users of which `sloppy_frac` are sloppy and
+    /// the rest careful.
+    pub fn mixed(truth: HashSet<(u32, u32)>, n: usize, sloppy_frac: f64, seed: u64) -> Self {
+        assert!(n > 0);
+        let sloppy = ((n as f64) * sloppy_frac.clamp(0.0, 1.0)).round() as usize;
+        let users = (0..n)
+            .map(|i| {
+                if i < sloppy {
+                    UserProfile::sloppy()
+                } else {
+                    UserProfile::careful()
+                }
+            })
+            .collect();
+        UserPopulation::new(truth, users, seed)
+    }
+
+    /// Number of users with remaining budget.
+    pub fn active_users(&self) -> usize {
+        self.users
+            .iter()
+            .filter(|(u, made)| u.budget.is_none_or(|b| *made < b))
+            .count()
+    }
+
+    /// Total judgments made so far.
+    pub fn judgments_made(&self) -> usize {
+        self.users.iter().map(|(_, made)| made).sum()
+    }
+
+    /// The population's effective (budget-weighted) error rate so far: the
+    /// mean error rate of the users who actually judged.
+    pub fn effective_error_rate(&self) -> f64 {
+        let total: usize = self.judgments_made();
+        if total == 0 {
+            return 0.0;
+        }
+        self.users
+            .iter()
+            .map(|(u, made)| u.error_rate * *made as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+impl FeedbackSource for UserPopulation {
+    fn next(&mut self, candidates: &CandidateSet, space: &LinkSpace) -> Option<(PairId, Feedback)> {
+        let link = candidates.sample(&mut self.rng)?;
+        // Pick an active user uniformly.
+        let active: Vec<usize> = self
+            .users
+            .iter()
+            .enumerate()
+            .filter(|(_, (u, made))| u.budget.is_none_or(|b| *made < b))
+            .map(|(i, _)| i)
+            .collect();
+        let &user_idx = active.choose(&mut self.rng)?;
+        self.users[user_idx].1 += 1;
+
+        let correct = self.truth.contains(&space.pair(link));
+        let mut feedback = if correct {
+            Feedback::Positive
+        } else {
+            Feedback::Negative
+        };
+        let err = self.users[user_idx].0.error_rate;
+        if err > 0.0 && self.rng.random_bool(err) {
+            feedback = match feedback {
+                Feedback::Positive => Feedback::Negative,
+                Feedback::Negative => Feedback::Positive,
+            };
+        }
+        Some((link, feedback))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceConfig;
+    use alex_rdf::Dataset;
+
+    fn space() -> LinkSpace {
+        let mut left = Dataset::new("L");
+        let mut right = Dataset::new("R");
+        for (i, name) in ["Alpha One", "Beta Two", "Gamma Three"].iter().enumerate() {
+            left.add_str(&format!("http://l/{i}"), "http://l/label", name);
+            right.add_str(&format!("http://r/{i}"), "http://r/name", name);
+        }
+        LinkSpace::build(&left, &right, &SpaceConfig::default())
+    }
+
+    fn diagonal_candidates(space: &LinkSpace) -> CandidateSet {
+        CandidateSet::from_iter(space.pair_ids().filter(|&id| {
+            let (l, r) = space.pair(id);
+            l == r
+        }))
+    }
+
+    #[test]
+    fn careful_population_judges_correctly() {
+        let space = space();
+        let truth: HashSet<(u32, u32)> = (0..3).map(|i| (i, i)).collect();
+        let mut pop = UserPopulation::new(
+            truth,
+            vec![UserProfile {
+                error_rate: 0.0,
+                budget: None,
+            }],
+            1,
+        );
+        let candidates = diagonal_candidates(&space);
+        for _ in 0..50 {
+            let (_, fb) = pop.next(&candidates, &space).unwrap();
+            assert_eq!(fb, Feedback::Positive);
+        }
+        assert_eq!(pop.judgments_made(), 50);
+        assert_eq!(pop.effective_error_rate(), 0.0);
+    }
+
+    #[test]
+    fn budgets_exhaust_the_population() {
+        let space = space();
+        let truth: HashSet<(u32, u32)> = (0..3).map(|i| (i, i)).collect();
+        let mut pop = UserPopulation::new(
+            truth,
+            vec![
+                UserProfile {
+                    error_rate: 0.0,
+                    budget: Some(3),
+                },
+                UserProfile {
+                    error_rate: 0.0,
+                    budget: Some(2),
+                },
+            ],
+            2,
+        );
+        let candidates = diagonal_candidates(&space);
+        let mut served = 0;
+        while pop.next(&candidates, &space).is_some() {
+            served += 1;
+            assert!(served <= 5, "budgets must bound total feedback");
+        }
+        assert_eq!(served, 5);
+        assert_eq!(pop.active_users(), 0);
+    }
+
+    #[test]
+    fn sloppy_users_flip_judgments_at_their_rate() {
+        let space = space();
+        let truth: HashSet<(u32, u32)> = (0..3).map(|i| (i, i)).collect();
+        let mut pop = UserPopulation::new(
+            truth,
+            vec![UserProfile {
+                error_rate: 1.0,
+                budget: None,
+            }],
+            3,
+        );
+        let candidates = diagonal_candidates(&space);
+        for _ in 0..30 {
+            let (_, fb) = pop.next(&candidates, &space).unwrap();
+            assert_eq!(fb, Feedback::Negative, "100%-error user always flips");
+        }
+        assert_eq!(pop.effective_error_rate(), 1.0);
+    }
+
+    #[test]
+    fn mixed_population_has_expected_composition() {
+        let truth = HashSet::new();
+        let pop = UserPopulation::mixed(truth, 10, 0.3, 4);
+        let sloppy = pop
+            .users
+            .iter()
+            .filter(|(u, _)| u.error_rate > 0.1)
+            .count();
+        assert_eq!(sloppy, 3);
+        assert_eq!(pop.active_users(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn empty_population_panics() {
+        let _ = UserPopulation::new(HashSet::new(), vec![], 0);
+    }
+}

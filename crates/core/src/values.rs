@@ -1,0 +1,80 @@
+//! Precomputed typed attribute values.
+//!
+//! Building the link space evaluates millions of value similarities; parsing
+//! and classifying each RDF term on every comparison would dominate the
+//! cost. [`SideValues`] resolves and classifies every entity's attribute
+//! values once per side.
+
+use alex_rdf::{Dataset, EntityIndex, Sym};
+use alex_sim::{typed_value, TypedValue};
+
+/// Typed attribute lists for every entity of one data set.
+#[derive(Debug, Clone, Default)]
+pub struct SideValues {
+    per_entity: Vec<Vec<(Sym, TypedValue)>>,
+}
+
+impl SideValues {
+    /// Resolve every indexed entity's attributes.
+    pub fn build(ds: &Dataset, idx: &EntityIndex) -> SideValues {
+        let per_entity = (0..idx.len() as u32)
+            .map(|id| {
+                ds.graph()
+                    .matching(Some(idx.term(id)), None, None)
+                    .map(|t| {
+                        let pred = t.predicate.as_iri().expect("IRI predicate");
+                        (pred, typed_value(ds, t.object))
+                    })
+                    .collect()
+            })
+            .collect();
+        SideValues { per_entity }
+    }
+
+    /// The typed attributes of entity `id`.
+    pub fn attrs(&self, id: u32) -> &[(Sym, TypedValue)] {
+        &self.per_entity[id as usize]
+    }
+
+    /// Number of entities covered.
+    pub fn len(&self) -> usize {
+        self.per_entity.len()
+    }
+
+    /// Whether no entity is covered.
+    pub fn is_empty(&self) -> bool {
+        self.per_entity.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alex_rdf::vocab;
+
+    #[test]
+    fn builds_typed_attrs_per_entity() {
+        let mut ds = Dataset::new("t");
+        ds.add_str("http://e/a", "http://e/name", "Alpha");
+        ds.add_typed("http://e/a", "http://e/born", "1984", vocab::XSD_GYEAR);
+        ds.add_str("http://e/b", "http://e/name", "Beta");
+        let idx = ds.entity_index();
+        let vals = SideValues::build(&ds, &idx);
+        assert_eq!(vals.len(), 2);
+        let a = idx.id(ds.interner().get("http://e/a").map(alex_rdf::Term::Iri).unwrap()).unwrap();
+        let attrs = vals.attrs(a);
+        assert_eq!(attrs.len(), 2);
+        assert!(attrs.iter().any(|(_, v)| *v == TypedValue::Year(1984)));
+        assert!(attrs
+            .iter()
+            .any(|(_, v)| matches!(v, TypedValue::Text(s) if s == "Alpha")));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::new("t");
+        let idx = ds.entity_index();
+        let vals = SideValues::build(&ds, &idx);
+        assert!(vals.is_empty());
+    }
+}

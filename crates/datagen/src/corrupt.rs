@@ -1,0 +1,252 @@
+//! Value corruption: the noise layer between canonical identities and
+//! rendered entity attributes.
+//!
+//! Real LOD data sets disagree on spelling, abbreviations, and precision.
+//! The corruption model reproduces that: character typos, token
+//! abbreviation, token dropping, and numeric jitter, all probability-driven
+//! by a per-side noise level in [0, 1].
+
+use rand::prelude::*;
+
+/// Apply string noise: with probability `noise` apply one corruption, with
+/// probability `noise²` a second one. Corruptions: adjacent-swap typo,
+/// character drop, character duplication, token abbreviation, token drop.
+pub fn corrupt_string(s: &str, noise: f64, rng: &mut impl Rng) -> String {
+    let mut out = s.to_string();
+    if noise <= 0.0 {
+        return out;
+    }
+    if rng.random_bool(noise.min(1.0)) {
+        out = corrupt_once(&out, rng);
+    }
+    if rng.random_bool((noise * noise).min(1.0)) {
+        out = corrupt_once(&out, rng);
+    }
+    out
+}
+
+fn corrupt_once(s: &str, rng: &mut impl Rng) -> String {
+    match rng.random_range(0..5) {
+        0 => swap_typo(s, rng),
+        1 => drop_char(s, rng),
+        2 => dup_char(s, rng),
+        3 => abbreviate_token(s, rng),
+        _ => drop_token(s, rng),
+    }
+}
+
+/// Swap two adjacent characters.
+fn swap_typo(s: &str, rng: &mut impl Rng) -> String {
+    let mut chars: Vec<char> = s.chars().collect();
+    if chars.len() < 2 {
+        return s.to_string();
+    }
+    let i = rng.random_range(0..chars.len() - 1);
+    chars.swap(i, i + 1);
+    chars.into_iter().collect()
+}
+
+/// Drop one character.
+fn drop_char(s: &str, rng: &mut impl Rng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 3 {
+        return s.to_string();
+    }
+    let i = rng.random_range(0..chars.len());
+    chars
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != i)
+        .map(|(_, c)| *c)
+        .collect()
+}
+
+/// Duplicate one character.
+fn dup_char(s: &str, rng: &mut impl Rng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return s.to_string();
+    }
+    let i = rng.random_range(0..chars.len());
+    let mut out: Vec<char> = Vec::with_capacity(chars.len() + 1);
+    for (j, c) in chars.iter().enumerate() {
+        out.push(*c);
+        if j == i {
+            out.push(*c);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Abbreviate one multi-character token to its initial plus '.'.
+fn abbreviate_token(s: &str, rng: &mut impl Rng) -> String {
+    let tokens: Vec<&str> = s.split(' ').collect();
+    if tokens.len() < 2 {
+        return s.to_string();
+    }
+    let i = rng.random_range(0..tokens.len());
+    let mut out: Vec<String> = tokens.iter().map(|t| t.to_string()).collect();
+    if let Some(first) = tokens[i].chars().next() {
+        if tokens[i].len() > 2 {
+            out[i] = format!("{first}.");
+        }
+    }
+    out.join(" ")
+}
+
+/// Drop one token of a multi-token string (never the last remaining one).
+fn drop_token(s: &str, rng: &mut impl Rng) -> String {
+    let tokens: Vec<&str> = s.split(' ').collect();
+    if tokens.len() < 3 {
+        return s.to_string();
+    }
+    let i = rng.random_range(0..tokens.len());
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != i)
+        .map(|(_, t)| *t)
+        .collect::<Vec<&str>>()
+        .join(" ")
+}
+
+/// Jitter an integer multiplicatively: with probability `noise`, scale by a
+/// factor in [1−spread, 1+spread].
+pub fn jitter_int(v: i64, noise: f64, spread: f64, rng: &mut impl Rng) -> i64 {
+    if noise > 0.0 && rng.random_bool(noise.min(1.0)) {
+        let factor = 1.0 + rng.random_range(-spread..=spread);
+        (v as f64 * factor).round() as i64
+    } else {
+        v
+    }
+}
+
+/// Jitter a float multiplicatively, same scheme as [`jitter_int`].
+pub fn jitter_float(v: f64, noise: f64, spread: f64, rng: &mut impl Rng) -> f64 {
+    if noise > 0.0 && rng.random_bool(noise.min(1.0)) {
+        v * (1.0 + rng.random_range(-spread..=spread))
+    } else {
+        v
+    }
+}
+
+/// Jitter a year by ±1 with probability `noise` (data-entry errors).
+pub fn jitter_year(y: i32, noise: f64, rng: &mut impl Rng) -> i32 {
+    if noise > 0.0 && rng.random_bool(noise.min(1.0)) {
+        y + if rng.random_bool(0.5) { 1 } else { -1 }
+    } else {
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut r = rng();
+        assert_eq!(corrupt_string("LeBron James", 0.0, &mut r), "LeBron James");
+        assert_eq!(jitter_int(100, 0.0, 0.5, &mut r), 100);
+        assert_eq!(jitter_float(1.5, 0.0, 0.5, &mut r), 1.5);
+        assert_eq!(jitter_year(1984, 0.0, &mut r), 1984);
+    }
+
+    #[test]
+    fn full_noise_usually_changes_strings() {
+        let mut r = rng();
+        let mut changed = 0;
+        for _ in 0..100 {
+            if corrupt_string("International Conference on Linked Data", 1.0, &mut r)
+                != "International Conference on Linked Data"
+            {
+                changed += 1;
+            }
+        }
+        assert!(changed > 80, "only {changed}/100 changed");
+    }
+
+    #[test]
+    fn corruption_keeps_string_recognizable() {
+        // Corrupted strings must stay recognizably similar — this is what
+        // makes exploration around name similarity productive. noise = 1.0
+        // forces a corruption and usually a second one (the worst case), so
+        // the per-sample floor is loose while the mean must stay high.
+        let mut r = rng();
+        let mut total = 0.0;
+        for _ in 0..100 {
+            let out = corrupt_string("Quantum Meridian Systems", 1.0, &mut r);
+            let sim = alex_sim::string_similarity("Quantum Meridian Systems", &out);
+            assert!(sim > 0.3, "{out} too dissimilar ({sim})");
+            total += sim;
+        }
+        assert!(total / 100.0 > 0.6, "mean similarity too low: {}", total / 100.0);
+    }
+
+    #[test]
+    fn swap_typo_preserves_length() {
+        let mut r = rng();
+        for _ in 0..20 {
+            assert_eq!(swap_typo("abcdef", &mut r).len(), 6);
+        }
+    }
+
+    #[test]
+    fn drop_char_shrinks_by_one() {
+        let mut r = rng();
+        assert_eq!(drop_char("abcdef", &mut r).chars().count(), 5);
+    }
+
+    #[test]
+    fn dup_char_grows_by_one() {
+        let mut r = rng();
+        assert_eq!(dup_char("abcdef", &mut r).chars().count(), 7);
+    }
+
+    #[test]
+    fn short_strings_survive() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let out = corrupt_string("ab", 1.0, &mut r);
+            assert!(!out.is_empty());
+        }
+        assert_eq!(drop_char("ab", &mut r), "ab");
+        assert_eq!(swap_typo("a", &mut r), "a");
+        assert_eq!(dup_char("", &mut r), "");
+    }
+
+    #[test]
+    fn jitter_year_moves_by_one() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let y = jitter_year(1984, 1.0, &mut r);
+            assert!((y - 1984).abs() == 1);
+        }
+    }
+
+    #[test]
+    fn jitter_int_bounded_by_spread() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = jitter_int(1000, 1.0, 0.1, &mut r);
+            assert!((900..=1100).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..20 {
+            assert_eq!(
+                corrupt_string("determinism test string", 0.8, &mut a),
+                corrupt_string("determinism test string", 0.8, &mut b)
+            );
+        }
+    }
+}

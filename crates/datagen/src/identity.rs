@@ -1,0 +1,461 @@
+//! Canonical identities: the "real-world individuals" behind generated
+//! entities.
+//!
+//! Each identity belongs to a [`Domain`] and carries canonical field values.
+//! The two sides of a generated pair render the *same* identity through
+//! different schemas, formats, and noise — that gap is exactly what automatic
+//! linking (and ALEX) must bridge.
+
+use rand::prelude::*;
+
+use crate::names;
+
+/// Entity domains mirroring the paper's data-set fields (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Domain {
+    /// People (NYTimes people, DBpedia persons).
+    Person,
+    /// Geographic locations (NYTimes locations, GeoNames-like).
+    Place,
+    /// Organizations (NYTimes organizations).
+    Organization,
+    /// Drugs (Drugbank).
+    Drug,
+    /// Human languages (Lexvo).
+    Language,
+    /// Conferences and workshops (Semantic Web Dogfood).
+    Publication,
+    /// NBA basketball players (the DBpedia/OpenCyc NBA subsets).
+    BasketballPlayer,
+}
+
+impl Domain {
+    /// All domains.
+    pub const ALL: [Domain; 7] = [
+        Domain::Person,
+        Domain::Place,
+        Domain::Organization,
+        Domain::Drug,
+        Domain::Language,
+        Domain::Publication,
+        Domain::BasketballPlayer,
+    ];
+
+    /// Stable lowercase name, used in IRIs and categorical values.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Domain::Person => "person",
+            Domain::Place => "place",
+            Domain::Organization => "organization",
+            Domain::Drug => "drug",
+            Domain::Language => "language",
+            Domain::Publication => "publication",
+            Domain::BasketballPlayer => "basketball_player",
+        }
+    }
+}
+
+/// A canonical field value, before side-specific rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CanonValue {
+    /// Free text.
+    Text(String),
+    /// A calendar date.
+    Date {
+        /// Year.
+        year: i32,
+        /// Month 1–12.
+        month: u8,
+        /// Day 1–28 (kept ≤28 so any rendering is valid).
+        day: u8,
+    },
+    /// A bare year.
+    Year(i32),
+    /// An integer quantity.
+    Int(i64),
+    /// A floating-point quantity.
+    Float(f64),
+    /// A categorical value from a closed list (low distinctiveness).
+    Category(String),
+}
+
+/// Canonical field keys. The schema layer maps these to per-side predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FieldKey {
+    /// Primary name / label — the most distinctive feature.
+    Name,
+    /// Birth or founding date.
+    BirthDate,
+    /// Founding / approval / event year.
+    Year,
+    /// A magnitude: population, molecular weight, speaker count.
+    Magnitude,
+    /// A second magnitude: latitude, height.
+    Magnitude2,
+    /// A short code (language ISO code).
+    Code,
+    /// Country.
+    Country,
+    /// City (birthplace, venue, HQ).
+    City,
+    /// Team (basketball players).
+    Team,
+    /// A closed-list category: occupation, industry, family, position.
+    /// Rendered with the *same* vocabulary on both sides, this is the
+    /// reproduction's bounded non-distinctive trap feature (§4.2): every
+    /// same-category pair scores 1.0 on it.
+    Category,
+    /// The entity's class. The two sides render it with *different*
+    /// vocabularies ("person" vs "C-PRS"), so — like real rdf:type values
+    /// across LOD data sets — the cross-side feature falls below θ.
+    Type,
+    /// An opaque registry identifier shared by both sides (like GeoNames
+    /// ids or ISBNs): the most distinctive feature when present.
+    Ident,
+    /// An abbreviated name variant ("J. Smith"), giving entities a second
+    /// productive exploration direction.
+    AltName,
+}
+
+impl FieldKey {
+    /// Stable lowercase name used to derive predicate IRIs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FieldKey::Name => "name",
+            FieldKey::BirthDate => "birth_date",
+            FieldKey::Year => "year",
+            FieldKey::Magnitude => "magnitude",
+            FieldKey::Magnitude2 => "magnitude2",
+            FieldKey::Code => "code",
+            FieldKey::Country => "country",
+            FieldKey::City => "city",
+            FieldKey::Team => "team",
+            FieldKey::Category => "category",
+            FieldKey::Type => "type",
+            FieldKey::Ident => "ident",
+            FieldKey::AltName => "alt_name",
+        }
+    }
+}
+
+/// A canonical identity: domain plus field values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Identity {
+    /// The identity's domain.
+    pub domain: Domain,
+    /// Canonical fields, in a fixed order per domain.
+    pub fields: Vec<(FieldKey, CanonValue)>,
+}
+
+impl Identity {
+    /// Generate a fresh identity of `domain`.
+    pub fn generate(domain: Domain, rng: &mut impl Rng) -> Identity {
+        let mut fields: Vec<(FieldKey, CanonValue)> = Vec::with_capacity(8);
+        fn push_common(
+            fields: &mut Vec<(FieldKey, CanonValue)>,
+            domain: Domain,
+            rng: &mut impl Rng,
+        ) {
+            fields.push((
+                FieldKey::Type,
+                CanonValue::Category(domain.tag().to_string()),
+            ));
+            fields.push((
+                FieldKey::Ident,
+                CanonValue::Text(names::registry_ident(rng)),
+            ));
+            // Note: AltName is NOT generated. Abbreviated aliases compare at
+            // mid similarity (~0.5) against full names on the other side,
+            // which creates nothing but block-shaped junk features; real
+            // data sets keep canonical labels. The field key and schema
+            // alias remain available for users generating their own data.
+        }
+        match domain {
+            Domain::Person => {
+                fields.push((FieldKey::Name, CanonValue::Text(names::person_name(rng))));
+                fields.push((
+                    FieldKey::BirthDate,
+                    CanonValue::Date {
+                        year: rng.random_range(1920..=1995),
+                        month: rng.random_range(1..=12),
+                        day: rng.random_range(1..=28),
+                    },
+                ));
+                fields.push((FieldKey::City, CanonValue::Text(names::city_name(rng))));
+                fields.push((
+                    FieldKey::Country,
+                    CanonValue::Category(pick(rng, names::COUNTRIES)),
+                ));
+                fields.push((
+                    FieldKey::Category,
+                    CanonValue::Category(pick(rng, names::OCCUPATIONS)),
+                ));
+            }
+            Domain::Place => {
+                fields.push((FieldKey::Name, CanonValue::Text(names::city_name(rng))));
+                fields.push((
+                    FieldKey::Magnitude,
+                    CanonValue::Int(rng.random_range(1_000..=5_000_000)),
+                ));
+                fields.push((
+                    FieldKey::Magnitude2,
+                    CanonValue::Float(rng.random_range(-60.0..=70.0)),
+                ));
+                fields.push((
+                    FieldKey::Country,
+                    CanonValue::Category(pick(rng, names::COUNTRIES)),
+                ));
+            }
+            Domain::Organization => {
+                fields.push((FieldKey::Name, CanonValue::Text(names::org_name(rng))));
+                fields.push((
+                    FieldKey::Year,
+                    CanonValue::Year(rng.random_range(1850..=2010)),
+                ));
+                fields.push((FieldKey::City, CanonValue::Text(names::city_name(rng))));
+                fields.push((
+                    FieldKey::Category,
+                    CanonValue::Category(pick(rng, names::INDUSTRIES)),
+                ));
+                fields.push((
+                    FieldKey::Country,
+                    CanonValue::Category(pick(rng, names::COUNTRIES)),
+                ));
+            }
+            Domain::Drug => {
+                fields.push((FieldKey::Name, CanonValue::Text(names::drug_name(rng))));
+                fields.push((
+                    FieldKey::Magnitude,
+                    CanonValue::Float(rng.random_range(50.0..=900.0)),
+                ));
+                fields.push((
+                    FieldKey::Year,
+                    CanonValue::Year(rng.random_range(1950..=2010)),
+                ));
+                fields.push((
+                    FieldKey::Category,
+                    CanonValue::Category(pick(rng, names::DRUG_CATEGORIES)),
+                ));
+            }
+            Domain::Language => {
+                let name = names::language_name(rng);
+                let code = names::language_code(&name, rng);
+                fields.push((FieldKey::Name, CanonValue::Text(name)));
+                fields.push((FieldKey::Code, CanonValue::Text(code)));
+                fields.push((
+                    FieldKey::Magnitude,
+                    CanonValue::Int(rng.random_range(10_000..=100_000_000)),
+                ));
+                fields.push((
+                    FieldKey::Category,
+                    CanonValue::Category(pick(rng, names::LANGUAGE_FAMILIES)),
+                ));
+            }
+            Domain::Publication => {
+                let year = rng.random_range(2001..=2014);
+                fields.push((
+                    FieldKey::Name,
+                    CanonValue::Text(names::conference_name(rng, year)),
+                ));
+                fields.push((FieldKey::Year, CanonValue::Year(year)));
+                fields.push((FieldKey::City, CanonValue::Text(names::city_name(rng))));
+                fields.push((
+                    FieldKey::Country,
+                    CanonValue::Category(pick(rng, names::COUNTRIES)),
+                ));
+            }
+            Domain::BasketballPlayer => {
+                fields.push((FieldKey::Name, CanonValue::Text(names::person_name(rng))));
+                fields.push((
+                    FieldKey::BirthDate,
+                    CanonValue::Date {
+                        year: rng.random_range(1955..=1992),
+                        month: rng.random_range(1..=12),
+                        day: rng.random_range(1..=28),
+                    },
+                ));
+                fields.push((FieldKey::Team, CanonValue::Text(names::team_name(rng))));
+                fields.push((
+                    FieldKey::Magnitude2,
+                    CanonValue::Float(rng.random_range(1.75..=2.25)),
+                ));
+                fields.push((
+                    FieldKey::Category,
+                    CanonValue::Category(pick(rng, names::POSITIONS)),
+                ));
+            }
+        }
+        push_common(&mut fields, domain, rng);
+        Identity { domain, fields }
+    }
+
+    /// The canonical name, always present.
+    pub fn name(&self) -> &str {
+        self.fields
+            .iter()
+            .find_map(|(k, v)| match (k, v) {
+                (FieldKey::Name, CanonValue::Text(s)) => Some(s.as_str()),
+                _ => None,
+            })
+            .expect("every identity has a Name field")
+    }
+
+    /// Derive a *confusable* variant of this identity: a distinct individual
+    /// with a similar name and nearby values. Used to create precision
+    /// pressure — pairs that look right but are wrong.
+    pub fn confusable(&self, rng: &mut impl Rng) -> Identity {
+        let mut out = self.clone();
+        for (key, value) in &mut out.fields {
+            match (key, value) {
+                (FieldKey::Name, CanonValue::Text(s)) => {
+                    *s = perturb_name(s, rng);
+                }
+                // A distinct individual has its own registry identifier.
+                (FieldKey::Ident, CanonValue::Text(s)) => {
+                    *s = names::registry_ident(rng);
+                }
+                (_, CanonValue::Date { year, month, day }) => {
+                    *year += rng.random_range(1..=5);
+                    *month = rng.random_range(1..=12);
+                    *day = rng.random_range(1..=28);
+                }
+                (_, CanonValue::Year(y)) => *y += rng.random_range(1..=5),
+                (_, CanonValue::Int(i)) => {
+                    *i = (*i as f64 * rng.random_range(1.1..2.0)) as i64;
+                }
+                (_, CanonValue::Float(f)) => *f *= rng.random_range(1.05..1.5),
+                _ => {}
+            }
+        }
+        // Keep the alternative name consistent with the perturbed name.
+        let new_alt = names::abbreviate_name(out.name());
+        for (key, value) in &mut out.fields {
+            if *key == FieldKey::AltName {
+                *value = CanonValue::Text(new_alt.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Replace one token of a multi-token name, or append a suffix to a
+/// single-token one, producing a similar-but-different name.
+fn perturb_name(name: &str, rng: &mut impl Rng) -> String {
+    let tokens: Vec<&str> = name.split(' ').collect();
+    if tokens.len() >= 2 {
+        let mut out: Vec<String> = tokens.iter().map(|t| t.to_string()).collect();
+        // Replace the first token (e.g. a different person with the same
+        // surname), re-drawing until it actually differs.
+        let mut replacement = pick_str(rng, names::FIRST_NAMES);
+        while replacement == out[0] {
+            replacement = pick_str(rng, names::FIRST_NAMES);
+        }
+        out[0] = replacement;
+        out.join(" ")
+    } else {
+        format!("{name}{}", rng.random_range(2..=9))
+    }
+}
+
+fn pick(rng: &mut impl Rng, list: &[&str]) -> String {
+    list.choose(rng).expect("non-empty list").to_string()
+}
+
+fn pick_str(rng: &mut impl Rng, list: &[&str]) -> String {
+    pick(rng, list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn every_domain_generates_with_name_and_type() {
+        let mut r = rng();
+        for d in Domain::ALL {
+            let id = Identity::generate(d, &mut r);
+            assert!(!id.name().is_empty());
+            assert!(
+                id.fields
+                    .iter()
+                    .any(|(k, _)| *k == FieldKey::Type),
+                "{d:?} missing Type"
+            );
+        }
+    }
+
+    #[test]
+    fn type_field_is_domain_tag() {
+        let mut r = rng();
+        let id = Identity::generate(Domain::Drug, &mut r);
+        let ty = id
+            .fields
+            .iter()
+            .find(|(k, _)| *k == FieldKey::Type)
+            .unwrap();
+        assert_eq!(ty.1, CanonValue::Category("drug".to_string()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = rng();
+        let mut b = rng();
+        for d in Domain::ALL {
+            assert_eq!(Identity::generate(d, &mut a), Identity::generate(d, &mut b));
+        }
+    }
+
+    #[test]
+    fn confusable_differs_but_shares_a_token() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let id = Identity::generate(Domain::Person, &mut r);
+            let twin = id.confusable(&mut r);
+            assert_ne!(id.name(), twin.name());
+            let orig_tokens: std::collections::HashSet<&str> = id.name().split(' ').collect();
+            let shared = twin.name().split(' ').any(|t| orig_tokens.contains(t));
+            assert!(shared, "{} vs {}", id.name(), twin.name());
+        }
+    }
+
+    #[test]
+    fn confusable_shifts_dates() {
+        let mut r = rng();
+        let id = Identity::generate(Domain::Person, &mut r);
+        let twin = id.confusable(&mut r);
+        let year_of = |i: &Identity| {
+            i.fields.iter().find_map(|(k, v)| match (k, v) {
+                (FieldKey::BirthDate, CanonValue::Date { year, .. }) => Some(*year),
+                _ => None,
+            })
+        };
+        assert_ne!(year_of(&id), year_of(&twin));
+    }
+
+    #[test]
+    fn domain_tags_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for d in Domain::ALL {
+            assert!(seen.insert(d.tag()));
+        }
+    }
+
+    #[test]
+    fn dates_stay_in_valid_ranges() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let id = Identity::generate(Domain::Person, &mut r);
+            for (_, v) in &id.fields {
+                if let CanonValue::Date { month, day, .. } = v {
+                    assert!((1..=12).contains(month));
+                    assert!((1..=28).contains(day));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Deterministic synthetic vocabulary.
+//!
+//! Word lists and name synthesizers for the entity domains that appear in the
+//! paper's data sets (people, places, organizations, drugs, languages,
+//! Semantic-Web publications, NBA players). All synthesis is driven by a
+//! caller-provided RNG, so a seed fully determines the output.
+
+use rand::prelude::*;
+
+/// First names for person-like entities.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
+    "Sarah", "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Betty",
+    "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy", "Kevin", "Carol",
+    "Brian", "Amanda", "George", "Melissa", "Edward", "Deborah", "Ronald", "Stephanie",
+    "Timothy", "Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob",
+    "Kathleen", "Gary", "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna",
+    "Stephen", "Brenda", "Larry", "Pamela", "Justin", "Emma", "Scott", "Nicole", "Brandon",
+    "Helen",
+];
+
+/// Last names for person-like entities.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
+    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans",
+    "Turner", "Diaz", "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson",
+    "Bailey", "Reed", "Kelly", "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson",
+];
+
+/// Roots for synthetic place names.
+pub const CITY_ROOTS: &[&str] = &[
+    "Spring", "River", "Oak", "Maple", "Cedar", "Pine", "Lake", "Hill", "Stone", "Clear",
+    "Fair", "Green", "North", "South", "East", "West", "Silver", "Golden", "Iron", "Copper",
+    "Bright", "Salt", "Sand", "Rock", "Elm", "Ash", "Birch", "Wolf", "Bear", "Eagle", "Falcon",
+    "Harbor", "Mill", "Fox", "Deer", "Crystal", "Amber", "Sun", "Moon", "Star",
+];
+
+/// Suffixes for synthetic place names.
+pub const CITY_SUFFIXES: &[&str] = &[
+    "field", "ville", "ton", "burg", "port", "wood", "dale", "ford", "haven", "view", "shire",
+    "mouth", "bridge", "crest", "side",
+];
+
+/// Country names used as a semi-distinctive categorical attribute.
+pub const COUNTRIES: &[&str] = &[
+    "United States", "Canada", "United Kingdom", "France", "Germany", "Spain", "Italy",
+    "Brazil", "Argentina", "Japan", "China", "India", "Australia", "Egypt", "Nigeria",
+    "Sweden", "Norway", "Poland", "Mexico", "Turkey",
+];
+
+/// UN M49-style numeric country codes, aligned index-for-index with
+/// [`COUNTRIES`]. The right-side schema renders countries as codes — like
+/// real LOD data sets, the two sides do not share a country vocabulary, so
+/// the (country, nation) feature falls below θ.
+pub const COUNTRY_CODES: &[&str] = &[
+    "840", "124", "826", "250", "276", "724", "380", "076", "032", "392", "156", "356", "036",
+    "818", "566", "752", "578", "616", "484", "792",
+];
+
+/// The right-side code for a country name (identity for unknown names).
+pub fn country_code(name: &str) -> &str {
+    COUNTRIES
+        .iter()
+        .position(|&c| c == name)
+        .map(|i| COUNTRY_CODES[i])
+        .unwrap_or(name)
+}
+
+/// Words for organization names.
+pub const ORG_WORDS: &[&str] = &[
+    "Global", "United", "National", "Advanced", "Dynamic", "Pacific", "Atlantic", "Summit",
+    "Pioneer", "Quantum", "Stellar", "Vertex", "Nexus", "Apex", "Horizon", "Beacon", "Vanguard",
+    "Keystone", "Anchor", "Catalyst", "Meridian", "Paragon", "Zenith", "Axiom", "Cobalt",
+    "Onyx", "Sterling", "Regent", "Monarch", "Sentinel",
+];
+
+/// Organization type suffixes.
+pub const ORG_SUFFIXES: &[&str] = &[
+    "Corporation", "Industries", "Systems", "Holdings", "Laboratories", "Partners", "Group",
+    "Institute", "University", "Foundation", "Technologies", "Networks",
+];
+
+/// Syllables for drug names.
+pub const DRUG_SYLLABLES: &[&str] = &[
+    "dex", "metho", "pril", "zol", "amox", "cilin", "ibu", "profen", "aceta", "min", "statin",
+    "olol", "pine", "mab", "tinib", "vir", "oxa", "cef", "mycin", "floxa", "sartan", "gliptin",
+    "dopa", "tropin", "caine", "pam", "lax", "fen", "tadine", "prazole",
+];
+
+/// Stems for language names.
+pub const LANGUAGE_STEMS: &[&str] = &[
+    "Alba", "Bren", "Casto", "Dalma", "Erdi", "Fenno", "Galdo", "Hespe", "Istro", "Jurma",
+    "Kelda", "Lusia", "Morva", "Norra", "Ostra", "Pelas", "Quena", "Rhoda", "Silva", "Tyrra",
+    "Umbra", "Valda", "Wessa", "Xanti", "Yslan", "Zenda", "Arlo", "Belti", "Corvi", "Drava",
+];
+
+/// Suffixes for language names.
+pub const LANGUAGE_SUFFIXES: &[&str] = &["ese", "ish", "ian", "ic", "i", "an"];
+
+/// Language family names (categorical attribute).
+pub const LANGUAGE_FAMILIES: &[&str] = &[
+    "Boreal", "Austral", "Riverine", "Montane", "Coastal", "Steppe", "Insular", "Highland",
+];
+
+/// Topics for Semantic-Web conference names.
+pub const CONFERENCE_TOPICS: &[&str] = &[
+    "Semantic Web", "Linked Data", "Knowledge Graphs", "Ontology Matching", "Data Integration",
+    "Web Reasoning", "RDF Stores", "Query Federation", "Information Extraction",
+    "Entity Resolution", "Graph Analytics", "Open Data",
+];
+
+/// Conference series kinds.
+pub const CONFERENCE_KINDS: &[&str] = &["International Conference", "Workshop", "Symposium"];
+
+/// NBA-ish team nicknames.
+pub const TEAM_NICKNAMES: &[&str] = &[
+    "Hawks", "Comets", "Titans", "Blazers", "Storm", "Raptors", "Wolves", "Knights", "Sharks",
+    "Pistons", "Rockets", "Flames", "Cyclones", "Thunder", "Chargers", "Stags",
+];
+
+/// Player positions (categorical attribute).
+pub const POSITIONS: &[&str] = &[
+    "Point Guard", "Shooting Guard", "Small Forward", "Power Forward", "Center",
+];
+
+/// Occupations for persons (categorical attribute).
+pub const OCCUPATIONS: &[&str] = &[
+    "Politician", "Actor", "Writer", "Scientist", "Musician", "Athlete", "Journalist",
+    "Entrepreneur", "Economist", "Historian",
+];
+
+/// Industries for organizations (categorical attribute).
+pub const INDUSTRIES: &[&str] = &[
+    "Finance", "Energy", "Healthcare", "Education", "Media", "Transport", "Software",
+    "Manufacturing",
+];
+
+/// Drug categories (categorical attribute).
+pub const DRUG_CATEGORIES: &[&str] = &[
+    "Analgesic", "Antibiotic", "Antiviral", "Antihypertensive", "Antidepressant", "Statin",
+    "Anticoagulant", "Antihistamine",
+];
+
+fn pick<'a>(rng: &mut impl Rng, list: &[&'a str]) -> &'a str {
+    list.choose(rng).expect("word lists are non-empty")
+}
+
+/// Synthesize a person name: "First Last", sometimes with a middle initial.
+pub fn person_name(rng: &mut impl Rng) -> String {
+    let first = pick(rng, FIRST_NAMES);
+    let last = pick(rng, LAST_NAMES);
+    if rng.random_bool(0.25) {
+        let middle = (b'A' + rng.random_range(0..26u8)) as char;
+        format!("{first} {middle}. {last}")
+    } else {
+        format!("{first} {last}")
+    }
+}
+
+/// Directional/size qualifiers occasionally prefixed to place names.
+pub const CITY_QUALIFIERS: &[&str] = &[
+    "North", "South", "East", "West", "Upper", "Lower", "New", "Old", "Port", "Fort", "Mount",
+    "Lake",
+];
+
+/// Synthesize a place name, e.g. "Silverford" or "North Silverford".
+/// Qualifiers appear 40% of the time, multiplying the name universe so
+/// coincidental exact-name collisions between distinct places stay rare.
+pub fn city_name(rng: &mut impl Rng) -> String {
+    let base = format!("{}{}", pick(rng, CITY_ROOTS), pick(rng, CITY_SUFFIXES));
+    if rng.random_bool(0.4) {
+        format!("{} {base}", pick(rng, CITY_QUALIFIERS))
+    } else {
+        base
+    }
+}
+
+/// Synthesize an organization name, e.g. "Quantum Meridian Systems".
+pub fn org_name(rng: &mut impl Rng) -> String {
+    let a = pick(rng, ORG_WORDS);
+    let mut b = pick(rng, ORG_WORDS);
+    while b == a {
+        b = pick(rng, ORG_WORDS);
+    }
+    format!("{a} {b} {}", pick(rng, ORG_SUFFIXES))
+}
+
+/// Synthesize a drug name from 2–3 syllables, capitalized.
+pub fn drug_name(rng: &mut impl Rng) -> String {
+    let n = rng.random_range(2..=3);
+    let mut s = String::new();
+    for _ in 0..n {
+        s.push_str(pick(rng, DRUG_SYLLABLES));
+    }
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => s,
+    }
+}
+
+/// Synthesize a language name, e.g. "Keldaese".
+pub fn language_name(rng: &mut impl Rng) -> String {
+    format!("{}{}", pick(rng, LANGUAGE_STEMS), pick(rng, LANGUAGE_SUFFIXES))
+}
+
+/// Synthesize a 3-letter language code derived from a name.
+pub fn language_code(name: &str, rng: &mut impl Rng) -> String {
+    let letters: Vec<char> = name.chars().filter(|c| c.is_alphabetic()).collect();
+    let mut code: String = letters.iter().take(3).collect::<String>().to_lowercase();
+    while code.len() < 3 {
+        code.push((b'a' + rng.random_range(0..26u8)) as char);
+    }
+    code
+}
+
+/// Synthesize a conference name, e.g.
+/// "International Conference on Linked Data 2013".
+pub fn conference_name(rng: &mut impl Rng, year: i32) -> String {
+    format!(
+        "{} on {} {year}",
+        pick(rng, CONFERENCE_KINDS),
+        pick(rng, CONFERENCE_TOPICS)
+    )
+}
+
+/// Synthesize a team name, e.g. "Silverford Hawks".
+pub fn team_name(rng: &mut impl Rng) -> String {
+    format!("{} {}", city_name(rng), pick(rng, TEAM_NICKNAMES))
+}
+
+/// Synthesize an opaque registry identifier, e.g. "QK-4821-ZD".
+/// Alphanumeric with letters on both ends so value sniffing treats it as
+/// text; random codes are pairwise dissimilar, making the (identifier,
+/// refCode) feature highly distinctive — an exploration direction that
+/// finds true links with few false positives.
+pub fn registry_ident(rng: &mut impl Rng) -> String {
+    // A single mixed token ("QK4821ZD"): it survives normalization as one
+    // unit, so it doubles as a near-unique blocking key.
+    let mut out = String::with_capacity(8);
+    for _ in 0..2 {
+        out.push((b'A' + rng.random_range(0..26u8)) as char);
+    }
+    let digits: u32 = rng.random_range(0..10_000);
+    out.push_str(&format!("{digits:04}"));
+    for _ in 0..2 {
+        out.push((b'A' + rng.random_range(0..26u8)) as char);
+    }
+    out
+}
+
+/// The right-side class code for a domain tag ("person" → "C73" style).
+/// Deliberately dissimilar from the left side's plain tag so the
+/// (type, class) feature is dropped by the θ filter — mirroring real data
+/// sets whose type vocabularies do not align (dbo:BasketballPlayer vs
+/// nytd_per).
+pub fn domain_class_code(tag: &str) -> String {
+    format!("C{:02}", small_hash(tag) % 90 + 10)
+}
+
+/// The right-side code for a categorical value ("Politician" → "K42" style).
+/// Category vocabularies, like type vocabularies, do not align across real
+/// data sets; rendering them as codes keeps the (category, kind) feature
+/// below θ instead of creating a whole-block score-1.0 feature.
+pub fn category_code(value: &str) -> String {
+    format!("K{:02}", small_hash(value) % 90 + 10)
+}
+
+/// A tiny deterministic string hash (FNV-1a folded to u32).
+fn small_hash(s: &str) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in s.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h % 1_000_000
+}
+
+/// Abbreviate a multi-token name: "James T. Smith" → "J. Smith";
+/// single-token names are returned unchanged.
+pub fn abbreviate_name(name: &str) -> String {
+    let tokens: Vec<&str> = name.split(' ').collect();
+    match tokens.as_slice() {
+        [] | [_] => name.to_string(),
+        [first, .., last] => match first.chars().next() {
+            Some(c) => format!("{c}. {last}"),
+            None => name.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn person_name_has_at_least_two_tokens() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let n = person_name(&mut r);
+            assert!(n.split(' ').count() >= 2, "{n}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..20 {
+            assert_eq!(person_name(&mut a), person_name(&mut b));
+        }
+    }
+
+    #[test]
+    fn org_name_words_differ() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let n = org_name(&mut r);
+            let tokens: Vec<&str> = n.split(' ').collect();
+            assert_eq!(tokens.len(), 3);
+            assert_ne!(tokens[0], tokens[1]);
+        }
+    }
+
+    #[test]
+    fn drug_name_is_capitalized() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let n = drug_name(&mut r);
+            assert!(n.chars().next().unwrap().is_uppercase(), "{n}");
+        }
+    }
+
+    #[test]
+    fn language_code_is_three_lowercase_letters() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let name = language_name(&mut r);
+            let code = language_code(&name, &mut r);
+            assert_eq!(code.len(), 3);
+            assert!(code.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn conference_name_embeds_year() {
+        let mut r = rng();
+        assert!(conference_name(&mut r, 2013).contains("2013"));
+    }
+
+    #[test]
+    fn word_lists_have_no_duplicates() {
+        for list in [FIRST_NAMES, LAST_NAMES, CITY_ROOTS, ORG_WORDS, LANGUAGE_STEMS] {
+            let mut seen = std::collections::HashSet::new();
+            for w in list {
+                assert!(seen.insert(w), "duplicate word {w}");
+            }
+        }
+    }
+}

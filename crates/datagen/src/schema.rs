@@ -1,0 +1,176 @@
+//! Per-side schema heterogeneity.
+//!
+//! The two data sets of a generated pair describe the same identities with
+//! *different* predicate IRIs, value formats, and precision — e.g. the left
+//! side says `ontology/birthDate "1984-12-30"^^xsd:date` while the right says
+//! `property/dateOfBirth "1984"^^xsd:gYear`, and the right writes person
+//! names as "Last, First". This is the semantic heterogeneity the paper's
+//! introduction motivates.
+
+use crate::identity::FieldKey;
+
+/// Which of the pair's two schemas an entity is rendered under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// The multi-domain side (DBpedia / OpenCyc style).
+    Left,
+    /// The domain-specific side (NYTimes / Drugbank / … style).
+    Right,
+}
+
+/// A side's schema: a namespace plus a flavor controlling aliases & formats.
+#[derive(Debug, Clone)]
+pub struct SideSchema {
+    /// Namespace prefix, e.g. `http://dbpedia.example.org/`.
+    pub ns: String,
+    /// Rendering flavor.
+    pub flavor: Flavor,
+}
+
+impl SideSchema {
+    /// Create a schema with the conventional path layout for its flavor.
+    pub fn new(ns: impl Into<String>, flavor: Flavor) -> Self {
+        SideSchema {
+            ns: ns.into(),
+            flavor,
+        }
+    }
+
+    /// The predicate alias for a canonical field key under this flavor.
+    ///
+    /// The two flavors never agree on the predicate local name, so linking
+    /// cannot cheat by comparing predicate IRIs — it must compare values,
+    /// exactly the regime ALEX's feature sets are designed for.
+    pub fn alias(&self, key: FieldKey) -> &'static str {
+        match self.flavor {
+            Flavor::Left => match key {
+                FieldKey::Name => "label",
+                FieldKey::BirthDate => "birthDate",
+                FieldKey::Year => "year",
+                FieldKey::Magnitude => "population",
+                FieldKey::Magnitude2 => "measure",
+                FieldKey::Code => "code",
+                FieldKey::Country => "country",
+                FieldKey::City => "city",
+                FieldKey::Team => "team",
+                FieldKey::Category => "category",
+                FieldKey::Type => "type",
+                FieldKey::Ident => "identifier",
+                FieldKey::AltName => "altLabel",
+            },
+            Flavor::Right => match key {
+                FieldKey::Name => "name",
+                FieldKey::BirthDate => "dateOfBirth",
+                FieldKey::Year => "established",
+                FieldKey::Magnitude => "size",
+                FieldKey::Magnitude2 => "value",
+                FieldKey::Code => "isoCode",
+                FieldKey::Country => "nation",
+                FieldKey::City => "location",
+                FieldKey::Team => "club",
+                FieldKey::Category => "kind",
+                FieldKey::Type => "class",
+                FieldKey::Ident => "refCode",
+                FieldKey::AltName => "alias",
+            },
+        }
+    }
+
+    /// Full predicate IRI for a canonical field key.
+    pub fn predicate_iri(&self, key: FieldKey) -> String {
+        let segment = match self.flavor {
+            Flavor::Left => "ontology",
+            Flavor::Right => "property",
+        };
+        format!("{}{}/{}", self.ns, segment, self.alias(key))
+    }
+
+    /// Entity IRI for the `index`-th entity of a domain.
+    pub fn entity_iri(&self, domain_tag: &str, index: usize) -> String {
+        format!("{}resource/{domain_tag}_{index}", self.ns)
+    }
+
+    /// Whether this flavor writes person-style names as "Last, First".
+    pub fn uses_last_first(&self) -> bool {
+        matches!(self.flavor, Flavor::Right)
+    }
+
+    /// Whether this flavor keeps full dates (vs. truncating to the year).
+    pub fn keeps_full_dates(&self) -> bool {
+        matches!(self.flavor, Flavor::Left)
+    }
+}
+
+/// Rewrite "First [M.] Last" into "Last, First [M.]".
+pub fn last_first(name: &str) -> String {
+    let tokens: Vec<&str> = name.split(' ').collect();
+    match tokens.as_slice() {
+        [] | [_] => name.to_string(),
+        [front @ .., last] => format!("{}, {}", last, front.join(" ")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flavors_never_share_aliases() {
+        let l = SideSchema::new("http://l/", Flavor::Left);
+        let r = SideSchema::new("http://r/", Flavor::Right);
+        for key in [
+            FieldKey::Name,
+            FieldKey::BirthDate,
+            FieldKey::Year,
+            FieldKey::Magnitude,
+            FieldKey::Magnitude2,
+            FieldKey::Code,
+            FieldKey::Country,
+            FieldKey::City,
+            FieldKey::Team,
+            FieldKey::Category,
+            FieldKey::Type,
+        ] {
+            assert_ne!(l.alias(key), r.alias(key), "{key:?}");
+        }
+    }
+
+    #[test]
+    fn predicate_iri_layout() {
+        let l = SideSchema::new("http://left.example.org/", Flavor::Left);
+        assert_eq!(
+            l.predicate_iri(FieldKey::Name),
+            "http://left.example.org/ontology/label"
+        );
+        let r = SideSchema::new("http://right.example.org/", Flavor::Right);
+        assert_eq!(
+            r.predicate_iri(FieldKey::Name),
+            "http://right.example.org/property/name"
+        );
+    }
+
+    #[test]
+    fn entity_iri_layout() {
+        let l = SideSchema::new("http://left.example.org/", Flavor::Left);
+        assert_eq!(
+            l.entity_iri("person", 7),
+            "http://left.example.org/resource/person_7"
+        );
+    }
+
+    #[test]
+    fn last_first_rewrites() {
+        assert_eq!(last_first("James Smith"), "Smith, James");
+        assert_eq!(last_first("James T. Smith"), "Smith, James T.");
+        assert_eq!(last_first("Mononym"), "Mononym");
+        assert_eq!(last_first(""), "");
+    }
+
+    #[test]
+    fn flavor_format_flags() {
+        let l = SideSchema::new("http://l/", Flavor::Left);
+        let r = SideSchema::new("http://r/", Flavor::Right);
+        assert!(l.keeps_full_dates() && !r.keeps_full_dates());
+        assert!(r.uses_last_first() && !l.uses_last_first());
+    }
+}

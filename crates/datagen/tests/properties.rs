@@ -1,0 +1,115 @@
+//! Property-based tests for the synthetic data generator: determinism,
+//! structural invariants, and regime control.
+
+use alex_datagen::{
+    generate_pair, sample_initial_links, score_links, Domain, Flavor, InitialLinksSpec,
+    PairConfig, SideConfig,
+};
+use proptest::prelude::*;
+
+fn config(seed: u64, shared: usize, left_only: usize, right_only: usize) -> PairConfig {
+    PairConfig {
+        seed,
+        left: SideConfig {
+            name: "L".into(),
+            ns: "http://l.example.org/".into(),
+            flavor: Flavor::Left,
+            noise: 0.1,
+            drop_prob: 0.1,
+            sparse: false,
+        },
+        right: SideConfig {
+            name: "R".into(),
+            ns: "http://r.example.org/".into(),
+            flavor: Flavor::Right,
+            noise: 0.12,
+            drop_prob: 0.1,
+            sparse: false,
+        },
+        shared,
+        left_only,
+        right_only,
+        confusable_frac: 0.2,
+        domains: vec![Domain::Person, Domain::Drug, Domain::Place],
+        left_extra_domains: Domain::ALL.to_vec(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..500, shared in 1usize..30) {
+        let a = generate_pair(&config(seed, shared, 10, 5));
+        let b = generate_pair(&config(seed, shared, 10, 5));
+        prop_assert_eq!(a.ground_truth, b.ground_truth);
+        prop_assert_eq!(
+            alex_rdf::ntriples::serialize(&a.left),
+            alex_rdf::ntriples::serialize(&b.left)
+        );
+        prop_assert_eq!(
+            alex_rdf::ntriples::serialize(&a.right),
+            alex_rdf::ntriples::serialize(&b.right)
+        );
+    }
+
+    #[test]
+    fn structural_invariants(seed in 0u64..200, shared in 1usize..25) {
+        let pair = generate_pair(&config(seed, shared, 12, 7));
+        prop_assert_eq!(pair.gt_len(), shared);
+        // Entity inventories match the data sets.
+        prop_assert_eq!(pair.left.entities().count(), pair.left_entities.len());
+        prop_assert_eq!(pair.right.entities().count(), pair.right_entities.len());
+        prop_assert_eq!(pair.left_entities.len(), shared + 12);
+        prop_assert!(pair.right_entities.len() >= shared + 7);
+        // Ground-truth endpoints exist in their data sets.
+        let li = pair.left.entity_index();
+        let ri = pair.right.entity_index();
+        for &(l, r) in &pair.ground_truth {
+            prop_assert!(li.id(l).is_some());
+            prop_assert!(ri.id(r).is_some());
+            prop_assert!(pair.is_correct(l, r));
+        }
+        // Every entity carries a name-ish attribute.
+        for &(t, _) in &pair.left_entities {
+            prop_assert!(pair.left.entity(t).arity() >= 2);
+        }
+    }
+
+    #[test]
+    fn initial_links_hit_requested_regime(
+        seed in 0u64..200,
+        precision in 0.3f64..1.0,
+        recall in 0.2f64..1.0,
+    ) {
+        let pair = generate_pair(&config(seed, 60, 40, 20));
+        let links = sample_initial_links(
+            &pair,
+            InitialLinksSpec { precision, recall, seed },
+        );
+        let (p, r, _) = score_links(&pair, &links);
+        prop_assert!((r - recall).abs() < 0.05, "recall {r} vs {recall}");
+        // Precision can fall short only if the sampler ran out of plausible
+        // false links; allow slack upward (more precise is fine).
+        prop_assert!(p >= precision - 0.08, "precision {p} vs {precision}");
+        // No duplicates.
+        let set: std::collections::HashSet<_> = links.iter().collect();
+        prop_assert_eq!(set.len(), links.len());
+    }
+
+    #[test]
+    fn corruption_never_empties_values(seed in 0u64..200) {
+        let mut cfg = config(seed, 20, 0, 0);
+        cfg.left.noise = 1.0;
+        cfg.right.noise = 1.0;
+        let pair = generate_pair(&cfg);
+        for ds in [&pair.left, &pair.right] {
+            for t in ds.graph().iter() {
+                if t.object.is_literal() {
+                    // Heavily corrupted values may shrink but never vanish.
+                    prop_assert!(!ds.resolve(t.object).is_empty());
+                }
+            }
+        }
+    }
+}

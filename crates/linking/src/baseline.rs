@@ -1,0 +1,143 @@
+//! A naive label-matching baseline linker.
+//!
+//! Links two entities when their best literal-value similarity exceeds a
+//! threshold, with greedy one-to-one assignment. This is the "syntax only"
+//! strawman that PARIS (and ALEX on top of it) improves upon; the linking
+//! bench compares the two.
+
+use alex_rdf::{Dataset, Term};
+use alex_sim::term_similarity;
+
+use crate::blocking::{candidate_pairs, BlockingConfig};
+use crate::candidates::{LinkSet, LinkerOutput, ScoredLink};
+
+/// Configuration for the label baseline.
+#[derive(Debug, Clone)]
+pub struct LabelBaseline {
+    /// Minimum best-value similarity to emit a link.
+    pub threshold: f64,
+    /// Blocking configuration for candidate generation.
+    pub blocking: BlockingConfig,
+}
+
+impl Default for LabelBaseline {
+    fn default() -> Self {
+        LabelBaseline {
+            threshold: 0.85,
+            blocking: BlockingConfig::default(),
+        }
+    }
+}
+
+impl LabelBaseline {
+    /// Link `left` and `right` by best literal-value similarity.
+    pub fn link(&self, left: &Dataset, right: &Dataset) -> LinkerOutput {
+        let left_index = left.entity_index();
+        let right_index = right.entity_index();
+        let pairs = candidate_pairs(left, &left_index, right, &right_index, &self.blocking);
+
+        let mut links = LinkSet::new();
+        for (lid, rid) in pairs {
+            let l_term = left_index.term(lid);
+            let r_term = right_index.term(rid);
+            let score = best_literal_similarity(left, l_term, right, r_term);
+            if score >= self.threshold {
+                links.push(ScoredLink {
+                    left: lid,
+                    right: rid,
+                    score,
+                });
+            }
+        }
+        LinkerOutput {
+            links: links.one_to_one(),
+            left_index,
+            right_index,
+        }
+    }
+}
+
+/// The best similarity between any literal value of `l` and any literal
+/// value of `r`.
+pub fn best_literal_similarity(left: &Dataset, l: Term, right: &Dataset, r: Term) -> f64 {
+    let mut best: f64 = 0.0;
+    for lt in left.graph().matching(Some(l), None, None) {
+        if !lt.object.is_literal() {
+            continue;
+        }
+        for rt in right.graph().matching(Some(r), None, None) {
+            if !rt.object.is_literal() {
+                continue;
+            }
+            best = best.max(term_similarity(left, lt.object, right, rt.object));
+            if best >= 1.0 {
+                return 1.0;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn datasets() -> (Dataset, Dataset) {
+        let mut left = Dataset::new("L");
+        left.add_str("http://l/a", "http://l/o/label", "LeBron James");
+        left.add_str("http://l/b", "http://l/o/label", "Michael Jordan");
+        let mut right = Dataset::new("R");
+        right.add_str("http://r/1", "http://r/p/name", "James, LeBron");
+        right.add_str("http://r/2", "http://r/p/name", "Jordan, Michael");
+        right.add_str("http://r/3", "http://r/p/name", "Kobe Bryant");
+        (left, right)
+    }
+
+    #[test]
+    fn links_matching_names() {
+        let (left, right) = datasets();
+        let out = LabelBaseline::default().link(&left, &right);
+        assert_eq!(out.links.len(), 2);
+        let pairs = out.links.to_term_pairs(&out.left_index, &out.right_index);
+        let as_strings: Vec<(String, String)> = pairs
+            .iter()
+            .map(|&(l, r)| (left.resolve(l).to_string(), right.resolve(r).to_string()))
+            .collect();
+        assert!(as_strings.contains(&("http://l/a".into(), "http://r/1".into())));
+        assert!(as_strings.contains(&("http://l/b".into(), "http://r/2".into())));
+    }
+
+    #[test]
+    fn threshold_excludes_weak_matches() {
+        let (left, right) = datasets();
+        let strict = LabelBaseline {
+            threshold: 1.01, // impossible
+            ..LabelBaseline::default()
+        };
+        let out = strict.link(&left, &right);
+        assert!(out.links.is_empty());
+    }
+
+    #[test]
+    fn best_literal_similarity_maximizes() {
+        let mut left = Dataset::new("L");
+        left.add_str("http://l/a", "http://l/p1", "zzz");
+        left.add_str("http://l/a", "http://l/p2", "LeBron James");
+        let mut right = Dataset::new("R");
+        right.add_str("http://r/1", "http://r/q", "lebron james");
+        let (li, ri) = (left.entity_index(), right.entity_index());
+        let s = best_literal_similarity(&left, li.term(0), &right, ri.term(0));
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn one_to_one_enforced() {
+        let mut left = Dataset::new("L");
+        left.add_str("http://l/a", "http://l/p", "Duplicate Name");
+        left.add_str("http://l/b", "http://l/p", "Duplicate Name");
+        let mut right = Dataset::new("R");
+        right.add_str("http://r/1", "http://r/q", "Duplicate Name");
+        let out = LabelBaseline::default().link(&left, &right);
+        assert_eq!(out.links.len(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Scored candidate links, the output type of every automatic linker.
+
+use alex_rdf::{EntityIndex, Term};
+
+/// A candidate `owl:sameAs` link with a confidence score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredLink {
+    /// Dense id of the left entity.
+    pub left: u32,
+    /// Dense id of the right entity.
+    pub right: u32,
+    /// Confidence in [0, 1].
+    pub score: f64,
+}
+
+/// A set of scored candidate links between two data sets.
+#[derive(Debug, Clone, Default)]
+pub struct LinkSet {
+    links: Vec<ScoredLink>,
+}
+
+impl LinkSet {
+    /// An empty link set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from raw scored links.
+    pub fn from_links(links: Vec<ScoredLink>) -> Self {
+        LinkSet { links }
+    }
+
+    /// Add a link.
+    pub fn push(&mut self, link: ScoredLink) {
+        self.links.push(link);
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Iterate over links.
+    pub fn iter(&self) -> impl Iterator<Item = &ScoredLink> {
+        self.links.iter()
+    }
+
+    /// Keep only links with `score >= threshold` (the paper keeps PARIS
+    /// links with score > 0.95).
+    pub fn threshold(&self, threshold: f64) -> LinkSet {
+        LinkSet {
+            links: self
+                .links
+                .iter()
+                .filter(|l| l.score >= threshold)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Sort by descending score (stable for equal scores by ids).
+    pub fn sort_by_score(&mut self) {
+        self.links.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.left, a.right).cmp(&(b.left, b.right)))
+        });
+    }
+
+    /// Greedy one-to-one assignment: scan by descending score, keeping a
+    /// link only if neither endpoint is taken. This is the usual final step
+    /// of instance matchers (each entity links to at most one partner).
+    pub fn one_to_one(&self) -> LinkSet {
+        let mut sorted = self.clone();
+        sorted.sort_by_score();
+        let mut left_taken = std::collections::HashSet::new();
+        let mut right_taken = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for l in sorted.links {
+            if left_taken.insert(l.left) && right_taken.insert(l.right) {
+                out.push(l);
+            } else {
+                left_taken.insert(l.left);
+                right_taken.insert(l.right);
+            }
+        }
+        let mut set = LinkSet { links: out };
+        set.sort_by_score();
+        set
+    }
+
+    /// Resolve dense ids to `(left term, right term)` pairs.
+    pub fn to_term_pairs(&self, left_idx: &EntityIndex, right_idx: &EntityIndex) -> Vec<(Term, Term)> {
+        self.links
+            .iter()
+            .map(|l| (left_idx.term(l.left), right_idx.term(l.right)))
+            .collect()
+    }
+}
+
+/// The complete output of an automatic linker: the links plus the entity
+/// indexes that give the dense ids meaning.
+#[derive(Debug, Clone)]
+pub struct LinkerOutput {
+    /// The scored links.
+    pub links: LinkSet,
+    /// Dense-id index over the left data set's entities.
+    pub left_index: EntityIndex,
+    /// Dense-id index over the right data set's entities.
+    pub right_index: EntityIndex,
+}
+
+impl LinkerOutput {
+    /// Resolve the links to `(left term, right term)` pairs.
+    pub fn term_pairs(&self) -> Vec<(Term, Term)> {
+        self.links.to_term_pairs(&self.left_index, &self.right_index)
+    }
+}
+
+impl FromIterator<ScoredLink> for LinkSet {
+    fn from_iter<I: IntoIterator<Item = ScoredLink>>(iter: I) -> Self {
+        LinkSet {
+            links: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(left: u32, right: u32, score: f64) -> ScoredLink {
+        ScoredLink { left, right, score }
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let set = LinkSet::from_links(vec![l(0, 0, 0.99), l(1, 1, 0.5), l(2, 2, 0.95)]);
+        let kept = set.threshold(0.95);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn sort_by_score_descending() {
+        let mut set = LinkSet::from_links(vec![l(0, 0, 0.3), l(1, 1, 0.9), l(2, 2, 0.6)]);
+        set.sort_by_score();
+        let scores: Vec<f64> = set.iter().map(|x| x.score).collect();
+        assert_eq!(scores, vec![0.9, 0.6, 0.3]);
+    }
+
+    #[test]
+    fn one_to_one_keeps_best_per_entity() {
+        let set = LinkSet::from_links(vec![
+            l(0, 0, 0.9),
+            l(0, 1, 0.8), // loses: left 0 taken
+            l(1, 1, 0.7), // loses: right 1 burned by the 0.8 attempt
+            l(2, 2, 0.6),
+        ]);
+        let assigned = set.one_to_one();
+        assert_eq!(assigned.len(), 2);
+        assert!(assigned.iter().any(|x| x.left == 0 && x.right == 0));
+        assert!(assigned.iter().any(|x| x.left == 2 && x.right == 2));
+    }
+
+    #[test]
+    fn one_to_one_no_duplicate_endpoints() {
+        let set = LinkSet::from_links(vec![
+            l(0, 5, 0.9),
+            l(1, 5, 0.85),
+            l(0, 6, 0.8),
+            l(2, 7, 0.7),
+        ]);
+        let assigned = set.one_to_one();
+        let mut lefts = std::collections::HashSet::new();
+        let mut rights = std::collections::HashSet::new();
+        for x in assigned.iter() {
+            assert!(lefts.insert(x.left));
+            assert!(rights.insert(x.right));
+        }
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let set = LinkSet::new();
+        assert!(set.is_empty());
+        assert!(set.threshold(0.5).is_empty());
+        assert!(set.one_to_one().is_empty());
+    }
+}

@@ -1,0 +1,346 @@
+//! The iterative probabilistic alignment at the heart of the PARIS-like
+//! linker.
+//!
+//! Simplified from Suchanek et al. (PVLDB 2011) but preserving its three
+//! mutually recursive estimates:
+//!
+//! 1. **Entity equivalence** `P(x ≡ y)` — combined by a noisy-or over shared
+//!    attribute evidence, each piece weighted by inverse functionality and
+//!    the current relation alignment;
+//! 2. **Relation alignment** `align(r, r')` — the probability that values of
+//!    `r` and `r'` agree on currently-matched entity pairs;
+//! 3. **Value equivalence** — literal similarity for literals, and for
+//!    IRI-valued attributes the current entity-equivalence estimate
+//!    (so matched teams reinforce player matches).
+//!
+//! Iterating the three to a fixed point is what makes PARIS holistic.
+
+use std::collections::HashMap;
+
+use alex_rdf::{Dataset, EntityIndex, Sym, Term};
+use alex_sim::term_similarity;
+
+use super::functionality::Functionality;
+use crate::candidates::{LinkSet, ScoredLink};
+
+/// One entity's attribute list, precomputed for the inner loop.
+type AttrList = Vec<(Sym, Term)>;
+
+/// Tunables for the alignment iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct AlignmentConfig {
+    /// Number of refinement iterations after the bootstrap pass.
+    pub iterations: usize,
+    /// Value-similarity floor: evidence below this contributes nothing.
+    pub sim_threshold: f64,
+    /// Entity pairs above this score count as "matched" when estimating
+    /// relation alignment.
+    pub match_threshold: f64,
+}
+
+impl Default for AlignmentConfig {
+    fn default() -> Self {
+        AlignmentConfig {
+            iterations: 2,
+            sim_threshold: 0.6,
+            match_threshold: 0.5,
+        }
+    }
+}
+
+/// Run the alignment over the blocked candidate pairs, returning the raw
+/// (not yet thresholded or one-to-one) scored links.
+pub fn align(
+    left: &Dataset,
+    left_idx: &EntityIndex,
+    right: &Dataset,
+    right_idx: &EntityIndex,
+    pairs: &[(u32, u32)],
+    cfg: &AlignmentConfig,
+) -> LinkSet {
+    let left_fun = Functionality::compute(left);
+    let right_fun = Functionality::compute(right);
+
+    // Precompute attribute lists.
+    let left_attrs: Vec<AttrList> = (0..left_idx.len() as u32)
+        .map(|id| attrs(left, left_idx.term(id)))
+        .collect();
+    let right_attrs: Vec<AttrList> = (0..right_idx.len() as u32)
+        .map(|id| attrs(right, right_idx.term(id)))
+        .collect();
+
+    // IRI-valued objects can refer to entities that are themselves candidate
+    // pairs; map terms back to ids to reuse equivalence estimates.
+    let mut scores: HashMap<(u32, u32), f64> = HashMap::with_capacity(pairs.len());
+    // Bootstrap pass: relation alignment unknown, assume 1.
+    let uniform_align = RelationAlignment::uniform();
+    for &(l, r) in pairs {
+        let s = pair_score(
+            left,
+            right,
+            &left_attrs[l as usize],
+            &right_attrs[r as usize],
+            &left_fun,
+            &right_fun,
+            &uniform_align,
+            &scores,
+            left_idx,
+            right_idx,
+            cfg,
+        );
+        if s > 0.0 {
+            scores.insert((l, r), s);
+        }
+    }
+
+    for _ in 0..cfg.iterations {
+        let rel_align = RelationAlignment::estimate(
+            left,
+            right,
+            &left_attrs,
+            &right_attrs,
+            &scores,
+            cfg,
+        );
+        let prev = scores.clone();
+        for &(l, r) in pairs {
+            let s = pair_score(
+                left,
+                right,
+                &left_attrs[l as usize],
+                &right_attrs[r as usize],
+                &left_fun,
+                &right_fun,
+                &rel_align,
+                &prev,
+                left_idx,
+                right_idx,
+                cfg,
+            );
+            if s > 0.0 {
+                scores.insert((l, r), s);
+            } else {
+                scores.remove(&(l, r));
+            }
+        }
+    }
+
+    scores
+        .into_iter()
+        .map(|((l, r), score)| ScoredLink {
+            left: l,
+            right: r,
+            score,
+        })
+        .collect()
+}
+
+fn attrs(ds: &Dataset, entity: Term) -> AttrList {
+    ds.graph()
+        .matching(Some(entity), None, None)
+        .map(|t| (t.predicate.as_iri().expect("IRI predicate"), t.object))
+        .collect()
+}
+
+/// Pairwise relation alignment estimates.
+struct RelationAlignment {
+    /// `align(r, r')` for observed relation pairs; `None` map = uniform 1.0.
+    table: Option<HashMap<(Sym, Sym), f64>>,
+}
+
+impl RelationAlignment {
+    fn uniform() -> Self {
+        RelationAlignment { table: None }
+    }
+
+    fn get(&self, l: Sym, r: Sym) -> f64 {
+        match &self.table {
+            None => 1.0,
+            Some(t) => t.get(&(l, r)).copied().unwrap_or(0.1),
+        }
+    }
+
+    /// Estimate `align(r, r')` from currently-matched pairs: the fraction of
+    /// matches where some value of `r` agrees (similarity above the floor)
+    /// with some value of `r'`.
+    fn estimate(
+        left: &Dataset,
+        right: &Dataset,
+        left_attrs: &[AttrList],
+        right_attrs: &[AttrList],
+        scores: &HashMap<(u32, u32), f64>,
+        cfg: &AlignmentConfig,
+    ) -> Self {
+        let mut agree: HashMap<(Sym, Sym), f64> = HashMap::new();
+        let mut seen: HashMap<(Sym, Sym), f64> = HashMap::new();
+        for (&(l, r), &score) in scores {
+            if score < cfg.match_threshold {
+                continue;
+            }
+            let la = &left_attrs[l as usize];
+            let ra = &right_attrs[r as usize];
+            for &(lp, lo) in la {
+                for &(rp, ro) in ra {
+                    let sim = term_similarity(left, lo, right, ro);
+                    *seen.entry((lp, rp)).or_insert(0.0) += 1.0;
+                    if sim >= cfg.sim_threshold {
+                        *agree.entry((lp, rp)).or_insert(0.0) += 1.0;
+                    }
+                }
+            }
+        }
+        let table = seen
+            .into_iter()
+            .map(|(key, n)| {
+                let a = agree.get(&key).copied().unwrap_or(0.0);
+                // Laplace-smoothed agreement rate.
+                (key, (a + 0.5) / (n + 1.0))
+            })
+            .collect();
+        RelationAlignment { table: Some(table) }
+    }
+}
+
+/// Noisy-or combination of attribute evidence for one candidate pair.
+#[allow(clippy::too_many_arguments)]
+fn pair_score(
+    left: &Dataset,
+    right: &Dataset,
+    l_attrs: &AttrList,
+    r_attrs: &AttrList,
+    left_fun: &Functionality,
+    right_fun: &Functionality,
+    rel_align: &RelationAlignment,
+    prev_scores: &HashMap<(u32, u32), f64>,
+    left_idx: &EntityIndex,
+    right_idx: &EntityIndex,
+    cfg: &AlignmentConfig,
+) -> f64 {
+    let mut not_equal = 1.0f64;
+    for &(lp, lo) in l_attrs {
+        for &(rp, ro) in r_attrs {
+            let mut sim = term_similarity(left, lo, right, ro);
+            // IRI-valued objects: reuse the current entity-equivalence
+            // estimate when both objects are indexed entities.
+            if lo.is_iri() && ro.is_iri() {
+                if let (Some(li), Some(ri)) = (left_idx.id(lo), right_idx.id(ro)) {
+                    if let Some(&s) = prev_scores.get(&(li, ri)) {
+                        sim = sim.max(s);
+                    }
+                }
+            }
+            if sim < cfg.sim_threshold {
+                continue;
+            }
+            let weight = right_fun.ifun(rp).max(left_fun.ifun(lp)) * rel_align.get(lp, rp);
+            let evidence = (weight * sim).clamp(0.0, 1.0);
+            not_equal *= 1.0 - evidence;
+        }
+    }
+    1.0 - not_equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build() -> (Dataset, Dataset) {
+        let mut left = Dataset::new("L");
+        left.add_str("http://l/a", "http://l/label", "LeBron James");
+        left.add_str("http://l/a", "http://l/type", "person");
+        left.add_str("http://l/b", "http://l/label", "Michael Jordan");
+        left.add_str("http://l/b", "http://l/type", "person");
+        left.add_str("http://l/c", "http://l/label", "Kobe Bryant");
+        left.add_str("http://l/c", "http://l/type", "person");
+        let mut right = Dataset::new("R");
+        right.add_str("http://r/1", "http://r/name", "LeBron James");
+        right.add_str("http://r/1", "http://r/class", "person");
+        right.add_str("http://r/2", "http://r/name", "Michael Jordan");
+        right.add_str("http://r/2", "http://r/class", "person");
+        right.add_str("http://r/3", "http://r/name", "Tim Duncan");
+        right.add_str("http://r/3", "http://r/class", "person");
+        (left, right)
+    }
+
+    fn all_pairs(li: &EntityIndex, ri: &EntityIndex) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for l in 0..li.len() as u32 {
+            for r in 0..ri.len() as u32 {
+                out.push((l, r));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matching_names_score_higher_than_type_only() {
+        let (left, right) = build();
+        let (li, ri) = (left.entity_index(), right.entity_index());
+        let pairs = all_pairs(&li, &ri);
+        let links = align(&left, &li, &right, &ri, &pairs, &AlignmentConfig::default());
+        let score_of = |l: &str, r: &str| {
+            let lt = li.id(left.interner().get(l).map(Term::Iri).unwrap()).unwrap();
+            let rt = ri.id(right.interner().get(r).map(Term::Iri).unwrap()).unwrap();
+            links
+                .iter()
+                .find(|x| x.left == lt && x.right == rt)
+                .map(|x| x.score)
+                .unwrap_or(0.0)
+        };
+        let same = score_of("http://l/a", "http://r/1");
+        let cross = score_of("http://l/a", "http://r/3");
+        assert!(same > 0.6, "same-name pair scored {same}");
+        assert!(
+            same > cross + 0.3,
+            "same {same} not clearly above cross {cross}"
+        );
+    }
+
+    #[test]
+    fn scores_stay_in_unit_interval() {
+        let (left, right) = build();
+        let (li, ri) = (left.entity_index(), right.entity_index());
+        let pairs = all_pairs(&li, &ri);
+        let links = align(&left, &li, &right, &ri, &pairs, &AlignmentConfig::default());
+        for l in links.iter() {
+            assert!((0.0..=1.0).contains(&l.score), "{:?}", l);
+        }
+    }
+
+    #[test]
+    fn empty_pairs_give_empty_links() {
+        let (left, right) = build();
+        let (li, ri) = (left.entity_index(), right.entity_index());
+        let links = align(&left, &li, &right, &ri, &[], &AlignmentConfig::default());
+        assert!(links.is_empty());
+    }
+
+    #[test]
+    fn iri_objects_propagate_equivalence() {
+        // Players point at teams; team names match, so after iteration the
+        // players that share only the team attribute still gain score.
+        let mut left = Dataset::new("L");
+        left.add_str("http://l/heat", "http://l/label", "Miami Heat");
+        left.add_iri("http://l/p1", "http://l/team", "http://l/heat");
+        left.add_str("http://l/p1", "http://l/label", "LeBron James");
+        let mut right = Dataset::new("R");
+        right.add_str("http://r/heat", "http://r/name", "Miami Heat");
+        right.add_iri("http://r/p1", "http://r/club", "http://r/heat");
+        right.add_str("http://r/p1", "http://r/name", "LeBron James");
+        let (li, ri) = (left.entity_index(), right.entity_index());
+        let pairs = all_pairs(&li, &ri);
+        let cfg = AlignmentConfig {
+            iterations: 3,
+            ..AlignmentConfig::default()
+        };
+        let links = align(&left, &li, &right, &ri, &pairs, &cfg);
+        let p1_l = li.id(Term::Iri(left.interner().get("http://l/p1").unwrap())).unwrap();
+        let p1_r = ri.id(Term::Iri(right.interner().get("http://r/p1").unwrap())).unwrap();
+        let s = links
+            .iter()
+            .find(|x| x.left == p1_l && x.right == p1_r)
+            .map(|x| x.score)
+            .unwrap_or(0.0);
+        assert!(s > 0.8, "player pair scored {s}");
+    }
+}

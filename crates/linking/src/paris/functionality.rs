@@ -1,0 +1,138 @@
+//! Relation functionality, PARIS's core statistical signal.
+//!
+//! The (inverse) functionality of a relation measures how identifying its
+//! values are. PARIS (Suchanek et al., VLDB 2011) defines:
+//!
+//! * functionality  `fun(r)  = #distinct subjects(r) / #triples(r)`
+//! * inverse funct. `ifun(r) = #distinct objects(r) / #triples(r)`
+//!
+//! Sharing the value of a highly inverse-functional relation (a name, a
+//! code) is strong evidence of equality; sharing the value of a relation
+//! whose objects repeat massively (`rdf:type`) is weak evidence. This is
+//! what lets PARIS — and our reproduction — discount non-distinctive
+//! attributes without supervision.
+
+use std::collections::{HashMap, HashSet};
+
+use alex_rdf::{Dataset, Sym, Term};
+
+/// Per-predicate functionality statistics for one data set.
+#[derive(Debug, Clone, Default)]
+pub struct Functionality {
+    fun: HashMap<Sym, f64>,
+    ifun: HashMap<Sym, f64>,
+}
+
+impl Functionality {
+    /// Compute statistics for every predicate of `ds`.
+    pub fn compute(ds: &Dataset) -> Functionality {
+        struct Acc {
+            triples: usize,
+            subjects: HashSet<Term>,
+            objects: HashSet<Term>,
+        }
+        let mut acc: HashMap<Sym, Acc> = HashMap::new();
+        for t in ds.graph().iter() {
+            let p = t.predicate.as_iri().expect("predicates are IRIs");
+            let e = acc.entry(p).or_insert_with(|| Acc {
+                triples: 0,
+                subjects: HashSet::new(),
+                objects: HashSet::new(),
+            });
+            e.triples += 1;
+            e.subjects.insert(t.subject);
+            e.objects.insert(t.object);
+        }
+        let mut fun = HashMap::with_capacity(acc.len());
+        let mut ifun = HashMap::with_capacity(acc.len());
+        for (p, e) in acc {
+            let n = e.triples as f64;
+            fun.insert(p, e.subjects.len() as f64 / n);
+            ifun.insert(p, e.objects.len() as f64 / n);
+        }
+        Functionality { fun, ifun }
+    }
+
+    /// `fun(r)`: 1.0 when every subject has exactly one value.
+    pub fn fun(&self, p: Sym) -> f64 {
+        self.fun.get(&p).copied().unwrap_or(0.0)
+    }
+
+    /// `ifun(r)`: 1.0 when every value identifies its subject uniquely.
+    pub fn ifun(&self, p: Sym) -> f64 {
+        self.ifun.get(&p).copied().unwrap_or(0.0)
+    }
+
+    /// Number of predicates with statistics.
+    pub fn len(&self) -> usize {
+        self.fun.len()
+    }
+
+    /// Whether no predicate was seen.
+    pub fn is_empty(&self) -> bool {
+        self.fun.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_values_have_ifun_one() {
+        let mut ds = Dataset::new("t");
+        ds.add_str("http://e/a", "http://e/name", "Alpha");
+        ds.add_str("http://e/b", "http://e/name", "Beta");
+        ds.add_str("http://e/c", "http://e/name", "Gamma");
+        let f = Functionality::compute(&ds);
+        let name = ds.interner().get("http://e/name").unwrap();
+        assert_eq!(f.ifun(name), 1.0);
+        assert_eq!(f.fun(name), 1.0);
+    }
+
+    #[test]
+    fn repeated_values_lower_ifun() {
+        let mut ds = Dataset::new("t");
+        for i in 0..10 {
+            ds.add_str(&format!("http://e/{i}"), "http://e/type", "Thing");
+        }
+        let f = Functionality::compute(&ds);
+        let ty = ds.interner().get("http://e/type").unwrap();
+        assert!((f.ifun(ty) - 0.1).abs() < 1e-12);
+        assert_eq!(f.fun(ty), 1.0);
+    }
+
+    #[test]
+    fn multi_valued_predicates_lower_fun() {
+        let mut ds = Dataset::new("t");
+        ds.add_str("http://e/a", "http://e/team", "Heat");
+        ds.add_str("http://e/a", "http://e/team", "Cavaliers");
+        let f = Functionality::compute(&ds);
+        let team = ds.interner().get("http://e/team").unwrap();
+        assert!((f.fun(team) - 0.5).abs() < 1e-12);
+        assert_eq!(f.ifun(team), 1.0);
+    }
+
+    #[test]
+    fn unknown_predicate_is_zero() {
+        let ds = Dataset::new("t");
+        let f = Functionality::compute(&ds);
+        assert!(f.is_empty());
+        assert_eq!(f.fun(alex_rdf::Sym::from_index(99)), 0.0);
+        assert_eq!(f.ifun(alex_rdf::Sym::from_index(99)), 0.0);
+    }
+
+    #[test]
+    fn name_beats_type_as_evidence() {
+        // The statistical heart of PARIS: names are better evidence than types.
+        let mut ds = Dataset::new("t");
+        for i in 0..20 {
+            ds.add_str(&format!("http://e/{i}"), "http://e/name", &format!("N{i}"));
+            ds.add_str(&format!("http://e/{i}"), "http://e/type", "person");
+        }
+        let f = Functionality::compute(&ds);
+        let name = ds.interner().get("http://e/name").unwrap();
+        let ty = ds.interner().get("http://e/type").unwrap();
+        assert!(f.ifun(name) > 10.0 * f.ifun(ty));
+    }
+}

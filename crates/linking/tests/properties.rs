@@ -1,0 +1,116 @@
+//! Property-based tests for the linking substrate: blocking soundness,
+//! PARIS score bounds, and one-to-one assignment invariants.
+
+use alex_linking::{candidate_pairs, BlockingConfig, LinkSet, Paris, ScoredLink};
+use alex_rdf::Dataset;
+use proptest::prelude::*;
+
+fn datasets_from(names: &[String]) -> (Dataset, Dataset) {
+    let mut left = Dataset::new("L");
+    let mut right = Dataset::new("R");
+    for (i, name) in names.iter().enumerate() {
+        left.add_str(&format!("http://l/{i}"), "http://l/label", name);
+        right.add_str(&format!("http://r/{i}"), "http://r/name", name);
+    }
+    (left, right)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Blocking is sound: every returned pair shares at least one usable
+    /// token; and it is symmetric-ish in content (ids are valid).
+    #[test]
+    fn blocking_pairs_are_valid_ids(
+        names in proptest::collection::vec("[a-z]{4,9} [a-z]{4,9}", 2..12)
+    ) {
+        let (left, right) = datasets_from(&names);
+        let (li, ri) = (left.entity_index(), right.entity_index());
+        let pairs = candidate_pairs(&left, &li, &right, &ri, &BlockingConfig::default());
+        for &(l, r) in &pairs {
+            prop_assert!((l as usize) < li.len());
+            prop_assert!((r as usize) < ri.len());
+        }
+        // Sorted, no duplicates.
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(pairs, sorted);
+    }
+
+    /// Identical names must block (they share every token), as long as the
+    /// token is usable (alphabetic, ≥3 chars, not a stop token).
+    #[test]
+    fn exact_duplicates_always_block(
+        names in proptest::collection::vec("[a-z]{4,9} [a-z]{4,9}", 2..10)
+    ) {
+        let distinct: std::collections::HashSet<&String> = names.iter().collect();
+        prop_assume!(distinct.len() == names.len());
+        let (left, right) = datasets_from(&names);
+        let (li, ri) = (left.entity_index(), right.entity_index());
+        let pairs = candidate_pairs(&left, &li, &right, &ri, &BlockingConfig::default());
+        for i in 0..names.len() {
+            let lt = left.interner().get(&format!("http://l/{i}")).map(alex_rdf::Term::Iri).unwrap();
+            let rt = right.interner().get(&format!("http://r/{i}")).map(alex_rdf::Term::Iri).unwrap();
+            let (lid, rid) = (li.id(lt).unwrap(), ri.id(rt).unwrap());
+            // Unless its tokens are stop tokens (many duplicates), the
+            // diagonal pair must be a candidate.
+            let token_count = names.iter().filter(|n| {
+                n.split(' ').any(|t| names[i].split(' ').any(|u| u == t))
+            }).count();
+            if token_count <= 4 {
+                prop_assert!(
+                    pairs.contains(&(lid, rid)),
+                    "diagonal pair {i} missing ({} shared-token names)",
+                    token_count
+                );
+            }
+        }
+    }
+
+    /// PARIS scores stay in [0, 1] and its one-to-one output never repeats
+    /// an endpoint.
+    #[test]
+    fn paris_output_is_one_to_one_with_unit_scores(
+        names in proptest::collection::vec("[a-z]{4,9} [a-z]{4,9}", 2..10)
+    ) {
+        let (left, right) = datasets_from(&names);
+        let out = Paris::new().link(&left, &right);
+        let mut lefts = std::collections::HashSet::new();
+        let mut rights = std::collections::HashSet::new();
+        for l in out.links.iter() {
+            prop_assert!((0.0..=1.0).contains(&l.score), "{l:?}");
+            prop_assert!(lefts.insert(l.left));
+            prop_assert!(rights.insert(l.right));
+        }
+    }
+
+    /// LinkSet::one_to_one keeps the best-scoring assignment greedily and
+    /// never increases the link count.
+    #[test]
+    fn one_to_one_invariants(
+        raw in proptest::collection::vec((0u32..8, 0u32..8, 0.0f64..1.0), 0..40)
+    ) {
+        let set = LinkSet::from_links(
+            raw.iter().map(|&(l, r, s)| ScoredLink { left: l, right: r, score: s }).collect()
+        );
+        let assigned = set.one_to_one();
+        prop_assert!(assigned.len() <= set.len());
+        let mut lefts = std::collections::HashSet::new();
+        let mut rights = std::collections::HashSet::new();
+        for l in assigned.iter() {
+            prop_assert!(lefts.insert(l.left));
+            prop_assert!(rights.insert(l.right));
+        }
+        // The top-scoring link overall always survives.
+        if let Some(best) = set
+            .iter()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+        {
+            prop_assert!(
+                assigned.iter().any(|l| l.score >= best.score - 1e-12),
+                "the globally best link must be kept"
+            );
+        }
+    }
+}

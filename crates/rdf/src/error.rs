@@ -1,0 +1,86 @@
+//! Error types for the RDF substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating RDF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A syntax error in serialized RDF (N-Triples), with line number and detail.
+    Syntax {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// An interned symbol was resolved against the wrong interner or is stale.
+    UnknownSymbol(u32),
+    /// A term of an unexpected kind was used in a position that does not allow it
+    /// (e.g. a literal in the subject position).
+    IllegalTermPosition {
+        /// The position in the triple: "subject", "predicate", or "object".
+        position: &'static str,
+        /// Description of the offending term.
+        term: String,
+    },
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Syntax { line, message } => {
+                write!(f, "N-Triples syntax error on line {line}: {message}")
+            }
+            RdfError::UnknownSymbol(sym) => {
+                write!(f, "symbol {sym} is not present in this interner")
+            }
+            RdfError::IllegalTermPosition { position, term } => {
+                write!(f, "term {term} is not allowed in the {position} position")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, RdfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_syntax_error() {
+        let e = RdfError::Syntax {
+            line: 7,
+            message: "expected '>'".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "N-Triples syntax error on line 7: expected '>'"
+        );
+    }
+
+    #[test]
+    fn display_unknown_symbol() {
+        assert_eq!(
+            RdfError::UnknownSymbol(3).to_string(),
+            "symbol 3 is not present in this interner"
+        );
+    }
+
+    #[test]
+    fn display_illegal_position() {
+        let e = RdfError::IllegalTermPosition {
+            position: "subject",
+            term: "\"lit\"".to_string(),
+        };
+        assert!(e.to_string().contains("subject"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&RdfError::UnknownSymbol(0));
+    }
+}

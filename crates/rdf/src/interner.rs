@@ -1,0 +1,182 @@
+//! String interning.
+//!
+//! RDF data is extremely repetitive: the same IRIs and lexical forms occur in
+//! many triples. Interning maps each distinct string to a dense [`Sym`] (a
+//! `u32`), which makes terms `Copy`, comparisons O(1), and the triple store
+//! compact. Every [`crate::Dataset`] owns one interner; symbols are only
+//! meaningful relative to the interner that produced them.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{RdfError, Result};
+
+/// An interned string: a dense index into an [`Interner`].
+///
+/// `Sym` is deliberately opaque — construct one only through
+/// [`Interner::intern`] and resolve it through [`Interner::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Raw index, useful for dense side tables keyed by symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a symbol from a raw index previously obtained via [`Sym::index`].
+    ///
+    /// The caller must ensure the index came from the same interner.
+    #[inline]
+    pub fn from_index(index: usize) -> Sym {
+        Sym(u32::try_from(index).expect("interner overflow: more than u32::MAX symbols"))
+    }
+}
+
+/// A string interner with O(1) amortized interning and O(1) resolution.
+///
+/// Strings are stored once behind an `Arc<str>` shared between the lookup map
+/// and the resolution table.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    lookup: HashMap<Arc<str>, Sym>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an interner with capacity for `n` distinct strings.
+    pub fn with_capacity(n: usize) -> Self {
+        Interner {
+            lookup: HashMap::with_capacity(n),
+            strings: Vec::with_capacity(n),
+        }
+    }
+
+    /// Intern `s`, returning its symbol. Idempotent: interning the same string
+    /// twice yields the same symbol.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let sym = Sym::from_index(self.strings.len());
+        self.strings.push(Arc::clone(&arc));
+        self.lookup.insert(arc, sym);
+        sym
+    }
+
+    /// Look up the symbol for `s` without interning it.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Resolve a symbol to its string. Panics on a foreign symbol in debug
+    /// builds; use [`Interner::try_resolve`] for a fallible variant.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Fallible resolution for symbols that may come from another interner.
+    pub fn try_resolve(&self, sym: Sym) -> Result<&str> {
+        self.strings
+            .get(sym.index())
+            .map(|s| s.as_ref())
+            .ok_or(RdfError::UnknownSymbol(sym.0))
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate over `(Sym, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym::from_index(i), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("http://example.org/a");
+        let b = i.intern("http://example.org/a");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let sym = i.intern("LeBron James");
+        assert_eq!(i.resolve(sym), "LeBron James");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("missing").is_none());
+        let sym = i.intern("present");
+        assert_eq!(i.get("present"), Some(sym));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn try_resolve_rejects_foreign_symbol() {
+        let i = Interner::new();
+        let foreign = Sym::from_index(42);
+        assert_eq!(i.try_resolve(foreign), Err(RdfError::UnknownSymbol(42)));
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        let collected: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(collected, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let mut i = Interner::new();
+        for n in 0..100 {
+            let sym = i.intern(&format!("s{n}"));
+            assert_eq!(sym.index(), n);
+        }
+    }
+}

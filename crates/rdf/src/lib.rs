@@ -1,0 +1,45 @@
+//! # alex-rdf — RDF substrate for the ALEX reproduction
+//!
+//! This crate provides the RDF data model the rest of the stack builds on:
+//!
+//! * [`Interner`] / [`Sym`] — string interning so terms are small and `Copy`;
+//! * [`Term`], [`Literal`] — IRIs, blank nodes, and typed literals;
+//! * [`Triple`], [`Graph`] — an indexed triple store (SPO/POS/OSP) with
+//!   range-scan pattern matching;
+//! * [`Entity`] — the paper's entity view: a subject and its attributes;
+//! * [`Dataset`], [`EntityIndex`] — a named data set with dense entity ids;
+//! * [`ntriples`] — N-Triples parsing and serialization;
+//! * [`vocab`] — well-known IRIs (`owl:sameAs`, `rdf:type`, XSD datatypes).
+//!
+//! ```
+//! use alex_rdf::Dataset;
+//!
+//! let mut ds = Dataset::new("demo");
+//! ds.add_str("http://e/LeBron", "http://e/name", "LeBron James");
+//! ds.add_typed("http://e/LeBron", "http://e/birth", "1984", alex_rdf::vocab::XSD_GYEAR);
+//! assert_eq!(ds.entities().count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod entity;
+pub mod error;
+pub mod graph;
+pub mod interner;
+pub mod ntriples;
+pub mod stats;
+pub mod term;
+pub mod triple;
+pub mod turtle;
+pub mod vocab;
+
+pub use dataset::{Dataset, EntityIndex};
+pub use entity::{Attribute, Entity};
+pub use error::{RdfError, Result};
+pub use graph::Graph;
+pub use stats::{DatasetStats, PredicateStats};
+pub use interner::{Interner, Sym};
+pub use term::{Literal, LiteralKind, Term};
+pub use triple::Triple;

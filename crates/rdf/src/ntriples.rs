@@ -1,0 +1,265 @@
+//! N-Triples parsing and serialization.
+//!
+//! Supports the full term syntax used by the LOD dumps the paper works with:
+//! IRIs, blank nodes, plain / language-tagged / datatyped literals, comments,
+//! and `\uXXXX` / `\UXXXXXXXX` escapes.
+
+use crate::dataset::Dataset;
+use crate::error::{RdfError, Result};
+use crate::term::{unescape_literal, Term};
+use crate::triple::Triple;
+
+/// Parse a full N-Triples document into `ds`. Returns the number of triples
+/// inserted (duplicates in the input count once).
+pub fn parse_into(ds: &mut Dataset, input: &str) -> Result<usize> {
+    let mut inserted = 0;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let triple = parse_line(ds, line, lineno + 1)?;
+        if ds.insert(triple) {
+            inserted += 1;
+        }
+    }
+    Ok(inserted)
+}
+
+/// Parse a single N-Triples statement (one line, ending in `.`).
+pub fn parse_line(ds: &mut Dataset, line: &str, lineno: usize) -> Result<Triple> {
+    let mut cursor = Cursor {
+        rest: line,
+        lineno,
+    };
+    let subject = cursor.term(ds)?;
+    cursor.skip_ws();
+    let predicate = cursor.term(ds)?;
+    cursor.skip_ws();
+    let object = cursor.term(ds)?;
+    cursor.skip_ws();
+    if !cursor.rest.starts_with('.') {
+        return Err(cursor.err("expected '.' terminator"));
+    }
+    cursor.rest = cursor.rest[1..].trim_start();
+    if !cursor.rest.is_empty() && !cursor.rest.starts_with('#') {
+        return Err(cursor.err("unexpected trailing content after '.'"));
+    }
+    Triple::checked(subject, predicate, object)
+}
+
+/// Serialize a data set's graph as an N-Triples document.
+pub fn serialize(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for t in ds.graph().iter() {
+        out.push_str(&t.to_ntriples(ds.interner()));
+        out.push('\n');
+    }
+    out
+}
+
+struct Cursor<'a> {
+    rest: &'a str,
+    lineno: usize,
+}
+
+impl Cursor<'_> {
+    fn err(&self, message: &str) -> RdfError {
+        RdfError::Syntax {
+            line: self.lineno,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn term(&mut self, ds: &mut Dataset) -> Result<Term> {
+        self.skip_ws();
+        if let Some(stripped) = self.rest.strip_prefix('<') {
+            let end = stripped
+                .find('>')
+                .ok_or_else(|| self.err("unterminated IRI: missing '>'"))?;
+            let iri = &stripped[..end];
+            self.rest = &stripped[end + 1..];
+            return Ok(ds.iri(iri));
+        }
+        if let Some(stripped) = self.rest.strip_prefix("_:") {
+            let end = stripped
+                .find(|c: char| c.is_whitespace())
+                .unwrap_or(stripped.len());
+            if end == 0 {
+                return Err(self.err("empty blank node label"));
+            }
+            let label = &stripped[..end];
+            self.rest = &stripped[end..];
+            let sym = ds.interner_mut().intern(label);
+            return Ok(Term::Blank(sym));
+        }
+        if let Some(stripped) = self.rest.strip_prefix('"') {
+            let end = find_closing_quote(stripped)
+                .ok_or_else(|| self.err("unterminated literal: missing '\"'"))?;
+            let raw = &stripped[..end];
+            let lexical = unescape_literal(raw)
+                .ok_or_else(|| self.err("malformed escape sequence in literal"))?;
+            self.rest = &stripped[end + 1..];
+            if let Some(after_at) = self.rest.strip_prefix('@') {
+                let end = after_at
+                    .find(|c: char| c.is_whitespace())
+                    .unwrap_or(after_at.len());
+                if end == 0 {
+                    return Err(self.err("empty language tag"));
+                }
+                let tag = &after_at[..end];
+                self.rest = &after_at[end..];
+                return Ok(ds.lang(&lexical, tag));
+            }
+            if let Some(after_caret) = self.rest.strip_prefix("^^<") {
+                let end = after_caret
+                    .find('>')
+                    .ok_or_else(|| self.err("unterminated datatype IRI"))?;
+                let dt = &after_caret[..end];
+                self.rest = &after_caret[end + 1..];
+                return Ok(ds.typed(&lexical, dt));
+            }
+            return Ok(ds.plain(&lexical));
+        }
+        Err(self.err("expected a term (<iri>, _:blank, or \"literal\")"))
+    }
+}
+
+/// Index of the closing unescaped quote in a string that starts just after
+/// the opening quote.
+fn find_closing_quote(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::LiteralKind;
+
+    #[test]
+    fn parse_iri_triple() {
+        let mut ds = Dataset::new("t");
+        let n = parse_into(&mut ds, "<http://e/s> <http://e/p> <http://e/o> .\n").unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn parse_plain_literal() {
+        let mut ds = Dataset::new("t");
+        parse_into(&mut ds, "<http://e/s> <http://e/p> \"hello world\" .").unwrap();
+        let t = ds.graph().iter().next().unwrap();
+        assert!(t.object.is_literal());
+        assert_eq!(ds.resolve(t.object), "hello world");
+    }
+
+    #[test]
+    fn parse_lang_literal() {
+        let mut ds = Dataset::new("t");
+        parse_into(&mut ds, "<http://e/s> <http://e/p> \"bonjour\"@fr .").unwrap();
+        let t = ds.graph().iter().next().unwrap();
+        let lit = t.object.as_literal().unwrap();
+        assert!(matches!(lit.kind, LiteralKind::Lang(_)));
+    }
+
+    #[test]
+    fn parse_typed_literal() {
+        let mut ds = Dataset::new("t");
+        parse_into(
+            &mut ds,
+            "<http://e/s> <http://e/p> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .",
+        )
+        .unwrap();
+        let t = ds.graph().iter().next().unwrap();
+        let lit = t.object.as_literal().unwrap();
+        assert!(matches!(lit.kind, LiteralKind::Typed(_)));
+    }
+
+    #[test]
+    fn parse_blank_nodes() {
+        let mut ds = Dataset::new("t");
+        parse_into(&mut ds, "_:b0 <http://e/p> _:b1 .").unwrap();
+        let t = ds.graph().iter().next().unwrap();
+        assert!(t.subject.is_blank());
+        assert!(t.object.is_blank());
+    }
+
+    #[test]
+    fn parse_escaped_quote_in_literal() {
+        let mut ds = Dataset::new("t");
+        parse_into(&mut ds, r#"<http://e/s> <http://e/p> "say \"hi\"" ."#).unwrap();
+        let t = ds.graph().iter().next().unwrap();
+        assert_eq!(ds.resolve(t.object), "say \"hi\"");
+    }
+
+    #[test]
+    fn skip_comments_and_blank_lines() {
+        let mut ds = Dataset::new("t");
+        let doc = "# comment\n\n<http://e/s> <http://e/p> <http://e/o> . # trailing\n";
+        assert_eq!(parse_into(&mut ds, doc).unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_lines_count_once() {
+        let mut ds = Dataset::new("t");
+        let doc = "<http://e/s> <http://e/p> <http://e/o> .\n<http://e/s> <http://e/p> <http://e/o> .\n";
+        assert_eq!(parse_into(&mut ds, doc).unwrap(), 1);
+    }
+
+    #[test]
+    fn error_on_missing_dot() {
+        let mut ds = Dataset::new("t");
+        let err = parse_into(&mut ds, "<http://e/s> <http://e/p> <http://e/o>").unwrap_err();
+        assert!(matches!(err, RdfError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn error_on_unterminated_iri() {
+        let mut ds = Dataset::new("t");
+        assert!(parse_into(&mut ds, "<http://e/s <http://e/p> <http://e/o> .").is_err());
+    }
+
+    #[test]
+    fn error_on_literal_subject() {
+        let mut ds = Dataset::new("t");
+        let err = parse_into(&mut ds, "\"lit\" <http://e/p> <http://e/o> .").unwrap_err();
+        assert!(matches!(err, RdfError::IllegalTermPosition { .. }));
+    }
+
+    #[test]
+    fn error_on_trailing_garbage() {
+        let mut ds = Dataset::new("t");
+        assert!(parse_into(&mut ds, "<http://e/s> <http://e/p> <http://e/o> . garbage").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_serialize() {
+        let mut ds = Dataset::new("t");
+        let doc = concat!(
+            "<http://e/s> <http://e/p> \"a\\nb\" .\n",
+            "<http://e/s> <http://e/p> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+            "<http://e/s> <http://e/q> \"x\"@en .\n",
+            "_:b0 <http://e/p> <http://e/o> .\n",
+        );
+        parse_into(&mut ds, doc).unwrap();
+        let serialized = serialize(&ds);
+        let mut ds2 = Dataset::new("t2");
+        parse_into(&mut ds2, &serialized).unwrap();
+        assert_eq!(ds2.len(), ds.len());
+        let again = serialize(&ds2);
+        assert_eq!(serialized, again);
+    }
+}

@@ -1,0 +1,208 @@
+//! Data-set statistics: the numbers a practitioner looks at before linking
+//! two data sets (and the backing of the CLI's `stats` command).
+
+use std::collections::HashMap;
+
+use crate::dataset::Dataset;
+use crate::interner::Sym;
+use crate::term::Term;
+
+/// Per-predicate usage statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredicateStats {
+    /// The predicate IRI symbol.
+    pub predicate: Sym,
+    /// Number of triples using it.
+    pub triples: usize,
+    /// Number of distinct subjects.
+    pub subjects: usize,
+    /// Number of distinct objects.
+    pub objects: usize,
+    /// Fraction of objects that are literals.
+    pub literal_frac: f64,
+}
+
+impl PredicateStats {
+    /// Functionality `#subjects / #triples` (1.0 = single-valued).
+    pub fn functionality(&self) -> f64 {
+        self.subjects as f64 / self.triples.max(1) as f64
+    }
+
+    /// Inverse functionality `#objects / #triples` (1.0 = values identify
+    /// their subject — the best linking evidence).
+    pub fn inverse_functionality(&self) -> f64 {
+        self.objects as f64 / self.triples.max(1) as f64
+    }
+}
+
+/// Whole-data-set statistics.
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Total triples.
+    pub triples: usize,
+    /// Distinct entities (IRI subjects).
+    pub entities: usize,
+    /// Distinct predicates.
+    pub predicates: usize,
+    /// Distinct literal objects.
+    pub literals: usize,
+    /// Mean number of triples per entity.
+    pub mean_degree: f64,
+    /// Per-predicate breakdown, sorted by descending triple count.
+    pub per_predicate: Vec<PredicateStats>,
+}
+
+impl DatasetStats {
+    /// Compute statistics for a data set.
+    pub fn of(ds: &Dataset) -> DatasetStats {
+        struct Acc {
+            triples: usize,
+            subjects: std::collections::HashSet<Term>,
+            objects: std::collections::HashSet<Term>,
+            literal_objects: usize,
+        }
+        let mut acc: HashMap<Sym, Acc> = HashMap::new();
+        let mut literals = std::collections::HashSet::new();
+        for t in ds.graph().iter() {
+            let p = t.predicate.as_iri().expect("IRI predicate");
+            let e = acc.entry(p).or_insert_with(|| Acc {
+                triples: 0,
+                subjects: Default::default(),
+                objects: Default::default(),
+                literal_objects: 0,
+            });
+            e.triples += 1;
+            e.subjects.insert(t.subject);
+            e.objects.insert(t.object);
+            if t.object.is_literal() {
+                e.literal_objects += 1;
+                literals.insert(t.object);
+            }
+        }
+        let mut per_predicate: Vec<PredicateStats> = acc
+            .into_iter()
+            .map(|(predicate, a)| PredicateStats {
+                predicate,
+                triples: a.triples,
+                subjects: a.subjects.len(),
+                objects: a.objects.len(),
+                literal_frac: a.literal_objects as f64 / a.triples.max(1) as f64,
+            })
+            .collect();
+        per_predicate.sort_by(|a, b| b.triples.cmp(&a.triples).then(a.predicate.cmp(&b.predicate)));
+
+        let entities = ds.entities().count();
+        DatasetStats {
+            triples: ds.len(),
+            entities,
+            predicates: per_predicate.len(),
+            literals: literals.len(),
+            mean_degree: ds.len() as f64 / entities.max(1) as f64,
+            per_predicate,
+        }
+    }
+
+    /// Render a compact text report (used by `alex stats`).
+    pub fn report(&self, ds: &Dataset) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} triples, {} entities, {} predicates, {} distinct literals, {:.1} triples/entity",
+            ds.name(),
+            self.triples,
+            self.entities,
+            self.predicates,
+            self.literals,
+            self.mean_degree
+        );
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>7} {:>6} {:>6} {:>5} {:>5}",
+            "predicate", "triples", "fun", "ifun", "lit%", "subj"
+        );
+        for p in &self.per_predicate {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>7} {:>6.2} {:>6.2} {:>4.0}% {:>5}",
+                ds.resolve_sym(p.predicate),
+                p.triples,
+                p.functionality(),
+                p.inverse_functionality(),
+                p.literal_frac * 100.0,
+                p.subjects
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new("S");
+        ds.add_str("http://e/a", "http://e/name", "Alpha");
+        ds.add_str("http://e/b", "http://e/name", "Beta");
+        ds.add_str("http://e/a", "http://e/type", "thing");
+        ds.add_str("http://e/b", "http://e/type", "thing");
+        ds.add_iri("http://e/a", "http://e/knows", "http://e/b");
+        ds
+    }
+
+    #[test]
+    fn totals() {
+        let ds = sample();
+        let s = DatasetStats::of(&ds);
+        assert_eq!(s.triples, 5);
+        assert_eq!(s.entities, 2);
+        assert_eq!(s.predicates, 3);
+        assert_eq!(s.literals, 3); // Alpha, Beta, thing
+        assert!((s.mean_degree - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_predicate_sorted_and_counted() {
+        let ds = sample();
+        let s = DatasetStats::of(&ds);
+        assert_eq!(s.per_predicate[0].triples, 2);
+        let name = ds.interner().get("http://e/name").unwrap();
+        let p = s.per_predicate.iter().find(|p| p.predicate == name).unwrap();
+        assert_eq!(p.subjects, 2);
+        assert_eq!(p.objects, 2);
+        assert_eq!(p.literal_frac, 1.0);
+        assert_eq!(p.functionality(), 1.0);
+        assert_eq!(p.inverse_functionality(), 1.0);
+    }
+
+    #[test]
+    fn type_predicate_has_low_inverse_functionality() {
+        let ds = sample();
+        let s = DatasetStats::of(&ds);
+        let ty = ds.interner().get("http://e/type").unwrap();
+        let p = s.per_predicate.iter().find(|p| p.predicate == ty).unwrap();
+        assert_eq!(p.objects, 1);
+        assert!((p.inverse_functionality() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_mentions_every_predicate() {
+        let ds = sample();
+        let s = DatasetStats::of(&ds);
+        let report = s.report(&ds);
+        for pred in ["http://e/name", "http://e/type", "http://e/knows"] {
+            assert!(report.contains(pred), "{report}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::new("E");
+        let s = DatasetStats::of(&ds);
+        assert_eq!(s.triples, 0);
+        assert_eq!(s.entities, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert!(s.per_predicate.is_empty());
+    }
+}

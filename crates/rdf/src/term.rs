@@ -1,0 +1,291 @@
+//! RDF terms: IRIs, blank nodes, and typed literals.
+//!
+//! Terms are small `Copy` values over interned symbols, so triples and
+//! indexes stay compact and comparisons are integer comparisons.
+
+use std::fmt;
+
+use crate::interner::{Interner, Sym};
+
+/// The kind qualifier of a literal: plain, language-tagged, or datatyped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LiteralKind {
+    /// A plain literal with no language tag or datatype (`"foo"`).
+    Plain,
+    /// A language-tagged literal (`"foo"@en`); the symbol is the tag.
+    Lang(Sym),
+    /// A datatyped literal (`"42"^^<http://www.w3.org/2001/XMLSchema#integer>`);
+    /// the symbol is the datatype IRI.
+    Typed(Sym),
+}
+
+/// An RDF literal: a lexical form plus a [`LiteralKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal {
+    /// Interned lexical form.
+    pub lexical: Sym,
+    /// Plain / language-tagged / datatyped.
+    pub kind: LiteralKind,
+}
+
+impl Literal {
+    /// A plain literal.
+    pub fn plain(lexical: Sym) -> Self {
+        Literal {
+            lexical,
+            kind: LiteralKind::Plain,
+        }
+    }
+
+    /// A language-tagged literal.
+    pub fn lang(lexical: Sym, tag: Sym) -> Self {
+        Literal {
+            lexical,
+            kind: LiteralKind::Lang(tag),
+        }
+    }
+
+    /// A datatyped literal.
+    pub fn typed(lexical: Sym, datatype: Sym) -> Self {
+        Literal {
+            lexical,
+            kind: LiteralKind::Typed(datatype),
+        }
+    }
+}
+
+/// An RDF term. `Ord` is derived so terms can live in ordered indexes; the
+/// ordering is an arbitrary but stable total order, not SPARQL value order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// An IRI reference.
+    Iri(Sym),
+    /// A blank node with an interned label.
+    Blank(Sym),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Whether this term is an IRI.
+    #[inline]
+    pub fn is_iri(self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// Whether this term is a blank node.
+    #[inline]
+    pub fn is_blank(self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    /// Whether this term is a literal.
+    #[inline]
+    pub fn is_literal(self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// The IRI symbol, if this term is an IRI.
+    #[inline]
+    pub fn as_iri(self) -> Option<Sym> {
+        match self {
+            Term::Iri(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The literal, if this term is one.
+    #[inline]
+    pub fn as_literal(self) -> Option<Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Render this term in N-Triples syntax using `interner` for resolution.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> TermDisplay<'a> {
+        TermDisplay {
+            term: self,
+            interner,
+        }
+    }
+}
+
+/// Helper implementing `Display` for a term against a specific interner.
+pub struct TermDisplay<'a> {
+    term: &'a Term,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for TermDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self.term {
+            Term::Iri(s) => write!(f, "<{}>", self.interner.resolve(s)),
+            Term::Blank(s) => write!(f, "_:{}", self.interner.resolve(s)),
+            Term::Literal(l) => {
+                write!(f, "\"{}\"", escape_literal(self.interner.resolve(l.lexical)))?;
+                match l.kind {
+                    LiteralKind::Plain => Ok(()),
+                    LiteralKind::Lang(tag) => write!(f, "@{}", self.interner.resolve(tag)),
+                    LiteralKind::Typed(dt) => write!(f, "^^<{}>", self.interner.resolve(dt)),
+                }
+            }
+        }
+    }
+}
+
+/// Escape a literal lexical form for N-Triples output.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Unescape an N-Triples literal lexical form. Returns `None` on a malformed
+/// escape sequence.
+pub fn unescape_literal(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            'U' => {
+                let hex: String = chars.by_ref().take(8).collect();
+                if hex.len() != 8 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Interner, Term, Term, Term) {
+        let mut i = Interner::new();
+        let iri = Term::Iri(i.intern("http://example.org/x"));
+        let blank = Term::Blank(i.intern("b0"));
+        let lex = i.intern("hello");
+        let lit = Term::Literal(Literal::plain(lex));
+        (i, iri, blank, lit)
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let (_, iri, blank, lit) = setup();
+        assert!(iri.is_iri() && !iri.is_blank() && !iri.is_literal());
+        assert!(blank.is_blank());
+        assert!(lit.is_literal());
+    }
+
+    #[test]
+    fn as_iri_and_as_literal() {
+        let (_, iri, _, lit) = setup();
+        assert!(iri.as_iri().is_some());
+        assert!(lit.as_iri().is_none());
+        assert!(lit.as_literal().is_some());
+        assert!(iri.as_literal().is_none());
+    }
+
+    #[test]
+    fn display_iri() {
+        let (i, iri, _, _) = setup();
+        assert_eq!(iri.display(&i).to_string(), "<http://example.org/x>");
+    }
+
+    #[test]
+    fn display_blank() {
+        let (i, _, blank, _) = setup();
+        assert_eq!(blank.display(&i).to_string(), "_:b0");
+    }
+
+    #[test]
+    fn display_plain_literal() {
+        let (i, _, _, lit) = setup();
+        assert_eq!(lit.display(&i).to_string(), "\"hello\"");
+    }
+
+    #[test]
+    fn display_lang_literal() {
+        let mut i = Interner::new();
+        let lex = i.intern("bonjour");
+        let fr = i.intern("fr");
+        let t = Term::Literal(Literal::lang(lex, fr));
+        assert_eq!(t.display(&i).to_string(), "\"bonjour\"@fr");
+    }
+
+    #[test]
+    fn display_typed_literal() {
+        let mut i = Interner::new();
+        let lex = i.intern("42");
+        let dt = i.intern("http://www.w3.org/2001/XMLSchema#integer");
+        let t = Term::Literal(Literal::typed(lex, dt));
+        assert_eq!(
+            t.display(&i).to_string(),
+            "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let original = "line1\nline2\t\"quoted\" back\\slash\r";
+        let escaped = escape_literal(original);
+        assert!(!escaped.contains('\n'));
+        assert_eq!(unescape_literal(&escaped).unwrap(), original);
+    }
+
+    #[test]
+    fn unescape_unicode() {
+        assert_eq!(unescape_literal("caf\\u00e9").unwrap(), "café");
+        assert_eq!(unescape_literal("\\U0001F600").unwrap(), "😀");
+    }
+
+    #[test]
+    fn unescape_rejects_bad_sequences() {
+        assert!(unescape_literal("bad\\q").is_none());
+        assert!(unescape_literal("bad\\u12").is_none());
+        assert!(unescape_literal("trailing\\").is_none());
+    }
+
+    #[test]
+    fn term_ordering_is_total_and_stable() {
+        let (_, iri, blank, lit) = setup();
+        let mut v = vec![lit, blank, iri];
+        v.sort();
+        let mut v2 = v.clone();
+        v2.sort();
+        assert_eq!(v, v2);
+    }
+}

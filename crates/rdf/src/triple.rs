@@ -1,0 +1,123 @@
+//! RDF triples.
+
+use crate::error::{RdfError, Result};
+use crate::interner::Interner;
+use crate::term::Term;
+
+/// An RDF triple (subject, predicate, object).
+///
+/// Invariants (checked by [`Triple::checked`]): the subject is an IRI or
+/// blank node, and the predicate is an IRI. The plain constructor does not
+/// enforce them, which keeps hot paths branch-free; the store re-checks in
+/// debug builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    /// Subject: an IRI or blank node.
+    pub subject: Term,
+    /// Predicate: an IRI.
+    pub predicate: Term,
+    /// Object: any term.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Build a triple without validating term positions.
+    #[inline]
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// Build a triple, validating RDF term-position rules.
+    pub fn checked(subject: Term, predicate: Term, object: Term) -> Result<Self> {
+        if subject.is_literal() {
+            return Err(RdfError::IllegalTermPosition {
+                position: "subject",
+                term: format!("{subject:?}"),
+            });
+        }
+        if !predicate.is_iri() {
+            return Err(RdfError::IllegalTermPosition {
+                position: "predicate",
+                term: format!("{predicate:?}"),
+            });
+        }
+        Ok(Triple::new(subject, predicate, object))
+    }
+
+    /// Render in N-Triples syntax (terminated with " .").
+    pub fn to_ntriples(&self, interner: &Interner) -> String {
+        format!(
+            "{} {} {} .",
+            self.subject.display(interner),
+            self.predicate.display(interner),
+            self.object.display(interner)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    #[test]
+    fn checked_accepts_valid_triple() {
+        let mut i = Interner::new();
+        let s = Term::Iri(i.intern("http://e/s"));
+        let p = Term::Iri(i.intern("http://e/p"));
+        let o = Term::Literal(Literal::plain(i.intern("v")));
+        assert!(Triple::checked(s, p, o).is_ok());
+    }
+
+    #[test]
+    fn checked_rejects_literal_subject() {
+        let mut i = Interner::new();
+        let lit = Term::Literal(Literal::plain(i.intern("v")));
+        let p = Term::Iri(i.intern("http://e/p"));
+        let err = Triple::checked(lit, p, lit).unwrap_err();
+        assert!(matches!(
+            err,
+            RdfError::IllegalTermPosition {
+                position: "subject",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn checked_rejects_non_iri_predicate() {
+        let mut i = Interner::new();
+        let s = Term::Iri(i.intern("http://e/s"));
+        let blank = Term::Blank(i.intern("b"));
+        let err = Triple::checked(s, blank, s).unwrap_err();
+        assert!(matches!(
+            err,
+            RdfError::IllegalTermPosition {
+                position: "predicate",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn to_ntriples_format() {
+        let mut i = Interner::new();
+        let s = Term::Iri(i.intern("http://e/s"));
+        let p = Term::Iri(i.intern("http://e/p"));
+        let o = Term::Literal(Literal::plain(i.intern("v")));
+        let t = Triple::new(s, p, o);
+        assert_eq!(t.to_ntriples(&i), "<http://e/s> <http://e/p> \"v\" .");
+    }
+
+    #[test]
+    fn blank_subject_is_valid() {
+        let mut i = Interner::new();
+        let s = Term::Blank(i.intern("b0"));
+        let p = Term::Iri(i.intern("http://e/p"));
+        assert!(Triple::checked(s, p, s).is_ok());
+    }
+}

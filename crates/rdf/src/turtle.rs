@@ -1,0 +1,605 @@
+//! A Turtle subset parser and writer.
+//!
+//! Covers the Turtle features real LOD dumps use heavily: `@prefix` /
+//! `@base`, prefixed names, the `a` keyword, predicate lists (`;`), object
+//! lists (`,`), blank node labels, language-tagged and datatyped literals
+//! (including `^^prefixed:name`), bare numeric and boolean literals, and
+//! comments. Collections `( … )` and anonymous blank nodes `[ … ]` are out
+//! of scope and reported as errors.
+
+use std::collections::HashMap;
+
+use crate::dataset::Dataset;
+use crate::error::{RdfError, Result};
+use crate::term::{unescape_literal, Term};
+use crate::triple::Triple;
+use crate::vocab;
+
+/// Parse a Turtle document into `ds`. Returns the number of distinct
+/// triples inserted.
+pub fn parse_into(ds: &mut Dataset, input: &str) -> Result<usize> {
+    let mut parser = TurtleParser {
+        input,
+        pos: 0,
+        line: 1,
+        prefixes: HashMap::new(),
+        base: String::new(),
+    };
+    parser.document(ds)
+}
+
+/// Serialize a data set as Turtle, grouping by subject and predicate.
+pub fn serialize(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let mut current_subject: Option<Term> = None;
+    let mut current_predicate: Option<Term> = None;
+    for t in ds.graph().iter() {
+        if current_subject != Some(t.subject) {
+            if current_subject.is_some() {
+                out.push_str(" .\n");
+            }
+            out.push_str(&format!("{}", t.subject.display(ds.interner())));
+            out.push_str(&format!("\n    {}", t.predicate.display(ds.interner())));
+            current_subject = Some(t.subject);
+            current_predicate = Some(t.predicate);
+        } else if current_predicate != Some(t.predicate) {
+            out.push_str(&format!(" ;\n    {}", t.predicate.display(ds.interner())));
+            current_predicate = Some(t.predicate);
+        } else {
+            out.push(',');
+        }
+        out.push_str(&format!(" {}", t.object.display(ds.interner())));
+    }
+    if current_subject.is_some() {
+        out.push_str(" .\n");
+    }
+    out
+}
+
+struct TurtleParser<'a> {
+    input: &'a str,
+    pos: usize,
+    line: usize,
+    prefixes: HashMap<String, String>,
+    base: String,
+}
+
+impl TurtleParser<'_> {
+    fn err(&self, message: impl Into<String>) -> RdfError {
+        RdfError::Syntax {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &str {
+        &self.input[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        let consumed = &self.input[self.pos..self.pos + n];
+        self.line += consumed.matches('\n').count();
+        self.pos += n;
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let rest = self.rest();
+            let trimmed = rest.trim_start();
+            let ws = rest.len() - trimmed.len();
+            if ws > 0 {
+                self.bump(ws);
+            }
+            if self.rest().starts_with('#') {
+                let end = self.rest().find('\n').unwrap_or(self.rest().len());
+                self.bump(end);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.rest().starts_with(token) {
+            self.bump(token.len());
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<()> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected '{token}', found '{}'",
+                self.rest().chars().take(12).collect::<String>()
+            )))
+        }
+    }
+
+    fn document(&mut self, ds: &mut Dataset) -> Result<usize> {
+        let mut inserted = 0;
+        loop {
+            self.skip_ws();
+            if self.rest().is_empty() {
+                return Ok(inserted);
+            }
+            if self.eat("@prefix") || self.eat("PREFIX") {
+                self.directive_prefix()?;
+                continue;
+            }
+            if self.eat("@base") || self.eat("BASE") {
+                self.directive_base()?;
+                continue;
+            }
+            inserted += self.triples_block(ds)?;
+        }
+    }
+
+    fn directive_prefix(&mut self) -> Result<()> {
+        self.skip_ws();
+        let rest = self.rest();
+        let colon = rest
+            .find(':')
+            .ok_or_else(|| self.err("expected ':' in @prefix"))?;
+        let name = rest[..colon].trim().to_string();
+        if name.contains(char::is_whitespace) {
+            return Err(self.err("malformed prefix name"));
+        }
+        self.bump(colon + 1);
+        self.skip_ws();
+        let iri = self.iri_ref()?;
+        self.prefixes.insert(name, iri);
+        self.skip_ws();
+        // '@prefix' requires a dot; SPARQL-style 'PREFIX' does not.
+        let _ = self.eat(".");
+        Ok(())
+    }
+
+    fn directive_base(&mut self) -> Result<()> {
+        self.skip_ws();
+        self.base = self.iri_ref()?;
+        self.skip_ws();
+        let _ = self.eat(".");
+        Ok(())
+    }
+
+    /// subject predicate-object-list '.'
+    fn triples_block(&mut self, ds: &mut Dataset) -> Result<usize> {
+        let mut inserted = 0;
+        let subject = self.subject(ds)?;
+        loop {
+            self.skip_ws();
+            let predicate = self.predicate(ds)?;
+            loop {
+                self.skip_ws();
+                let object = self.object(ds)?;
+                if ds.insert(Triple::checked(subject, predicate, object)?) {
+                    inserted += 1;
+                }
+                self.skip_ws();
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.skip_ws();
+            if self.eat(";") {
+                self.skip_ws();
+                // A trailing ';' before '.' is legal Turtle.
+                if self.rest().starts_with('.') {
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        self.skip_ws();
+        self.expect(".")?;
+        Ok(inserted)
+    }
+
+    fn subject(&mut self, ds: &mut Dataset) -> Result<Term> {
+        self.skip_ws();
+        if self.rest().starts_with("[") {
+            return Err(self.err("anonymous blank nodes '[ ]' are not supported"));
+        }
+        if self.rest().starts_with("(") {
+            return Err(self.err("collections '( )' are not supported"));
+        }
+        self.term(ds)
+    }
+
+    fn predicate(&mut self, ds: &mut Dataset) -> Result<Term> {
+        self.skip_ws();
+        // `a` shorthand: must be followed by whitespace.
+        if self.rest().starts_with('a')
+            && self
+                .rest()
+                .chars()
+                .nth(1)
+                .map(|c| c.is_whitespace())
+                .unwrap_or(false)
+        {
+            self.bump(1);
+            return Ok(ds.iri(vocab::RDF_TYPE));
+        }
+        let term = self.term(ds)?;
+        if !term.is_iri() {
+            return Err(self.err("predicate must be an IRI"));
+        }
+        Ok(term)
+    }
+
+    fn object(&mut self, ds: &mut Dataset) -> Result<Term> {
+        self.skip_ws();
+        self.term(ds)
+    }
+
+    fn term(&mut self, ds: &mut Dataset) -> Result<Term> {
+        let rest = self.rest();
+        let first = rest
+            .chars()
+            .next()
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        match first {
+            '<' => {
+                let iri = self.iri_ref()?;
+                Ok(ds.iri(&iri))
+            }
+            '"' | '\'' => self.literal(ds),
+            '_' if rest.starts_with("_:") => {
+                self.bump(2);
+                let end = self
+                    .rest()
+                    .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-'))
+                    .unwrap_or(self.rest().len());
+                if end == 0 {
+                    return Err(self.err("empty blank node label"));
+                }
+                let label = self.rest()[..end].to_string();
+                self.bump(end);
+                let sym = ds.interner_mut().intern(&label);
+                Ok(Term::Blank(sym))
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => self.numeric_literal(ds),
+            't' | 'f' if rest.starts_with("true") || rest.starts_with("false") => {
+                let word = if rest.starts_with("true") { "true" } else { "false" };
+                self.bump(word.len());
+                Ok(ds.typed(word, vocab::XSD_BOOLEAN))
+            }
+            '[' => Err(self.err("anonymous blank nodes '[ ]' are not supported")),
+            '(' => Err(self.err("collections '( )' are not supported")),
+            _ => {
+                let iri = self.prefixed_name()?;
+                Ok(ds.iri(&iri))
+            }
+        }
+    }
+
+    fn iri_ref(&mut self) -> Result<String> {
+        self.expect("<")?;
+        let end = self
+            .rest()
+            .find('>')
+            .ok_or_else(|| self.err("unterminated IRI"))?;
+        let raw = &self.rest()[..end];
+        if raw.contains(char::is_whitespace) {
+            return Err(self.err("whitespace inside IRI"));
+        }
+        let iri = if raw.contains("://") || self.base.is_empty() {
+            raw.to_string()
+        } else {
+            format!("{}{}", self.base, raw)
+        };
+        self.bump(end + 1);
+        Ok(iri)
+    }
+
+    fn prefixed_name(&mut self) -> Result<String> {
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| {
+                !(c.is_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.')
+            })
+            .unwrap_or(rest.len());
+        let mut token = &rest[..end];
+        // A trailing '.' is the statement terminator, not part of the name.
+        while token.ends_with('.') {
+            token = &token[..token.len() - 1];
+        }
+        let colon = token
+            .find(':')
+            .ok_or_else(|| self.err(format!("expected a term, found '{token}'")))?;
+        let (prefix, local) = (&token[..colon], &token[colon + 1..]);
+        let ns = self
+            .prefixes
+            .get(prefix)
+            .ok_or_else(|| self.err(format!("unknown prefix '{prefix}:'")))?;
+        let iri = format!("{ns}{local}");
+        self.bump(token.len());
+        Ok(iri)
+    }
+
+    fn literal(&mut self, ds: &mut Dataset) -> Result<Term> {
+        let quote = if self.eat("\"\"\"") {
+            "\"\"\""
+        } else if self.eat("'''") {
+            "'''"
+        } else if self.eat("\"") {
+            "\""
+        } else if self.eat("'") {
+            "'"
+        } else {
+            return Err(self.err("expected a string literal"));
+        };
+        let rest = self.rest();
+        let end = find_unescaped(rest, quote)
+            .ok_or_else(|| self.err("unterminated string literal"))?;
+        let raw = &rest[..end];
+        let lexical =
+            unescape_literal(raw).ok_or_else(|| self.err("malformed escape in literal"))?;
+        self.bump(end + quote.len());
+
+        if self.eat("@") {
+            let end = self
+                .rest()
+                .find(|c: char| !(c.is_alphanumeric() || c == '-'))
+                .unwrap_or(self.rest().len());
+            if end == 0 {
+                return Err(self.err("empty language tag"));
+            }
+            let tag = self.rest()[..end].to_string();
+            self.bump(end);
+            return Ok(ds.lang(&lexical, &tag));
+        }
+        if self.eat("^^") {
+            let dt = if self.rest().starts_with('<') {
+                self.iri_ref()?
+            } else {
+                self.prefixed_name()?
+            };
+            return Ok(ds.typed(&lexical, &dt));
+        }
+        Ok(ds.plain(&lexical))
+    }
+
+    fn numeric_literal(&mut self, ds: &mut Dataset) -> Result<Term> {
+        let rest = self.rest();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'))
+            .unwrap_or(rest.len());
+        let mut token = &rest[..end];
+        // Don't swallow the statement dot: "42." is integer 42 then '.'.
+        while token.ends_with('.') {
+            token = &token[..token.len() - 1];
+        }
+        if token.is_empty() {
+            return Err(self.err("malformed numeric literal"));
+        }
+        let term = if token.contains('.') || token.contains(['e', 'E']) {
+            token
+                .parse::<f64>()
+                .map_err(|_| self.err(format!("malformed number '{token}'")))?;
+            ds.typed(token, vocab::XSD_DOUBLE)
+        } else {
+            token
+                .parse::<i64>()
+                .map_err(|_| self.err(format!("malformed number '{token}'")))?;
+            ds.typed(token, vocab::XSD_INTEGER)
+        };
+        self.bump(token.len());
+        Ok(term)
+    }
+}
+
+/// Find the byte index of the first unescaped occurrence of `needle`.
+fn find_unescaped(haystack: &str, needle: &str) -> Option<usize> {
+    let bytes = haystack.as_bytes();
+    let nb = needle.as_bytes();
+    let mut i = 0;
+    while i + nb.len() <= bytes.len() {
+        if bytes[i] == b'\\' {
+            i += 2;
+            continue;
+        }
+        if &bytes[i..i + nb.len()] == nb {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::LiteralKind;
+
+    fn parse(doc: &str) -> Dataset {
+        let mut ds = Dataset::new("t");
+        parse_into(&mut ds, doc).unwrap();
+        ds
+    }
+
+    #[test]
+    fn basic_triple() {
+        let ds = parse("<http://e/s> <http://e/p> <http://e/o> .");
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn prefixes_expand() {
+        let ds = parse("@prefix ex: <http://e/> .\nex:s ex:p ex:o .");
+        let t = ds.graph().iter().next().unwrap();
+        assert_eq!(ds.resolve(t.subject), "http://e/s");
+        assert_eq!(ds.resolve(t.object), "http://e/o");
+    }
+
+    #[test]
+    fn sparql_style_prefix_without_dot() {
+        let ds = parse("PREFIX ex: <http://e/>\nex:s ex:p ex:o .");
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn a_shorthand() {
+        let ds = parse("@prefix ex: <http://e/> .\nex:s a ex:Person .");
+        let t = ds.graph().iter().next().unwrap();
+        assert_eq!(ds.resolve(t.predicate), vocab::RDF_TYPE);
+    }
+
+    #[test]
+    fn predicate_and_object_lists() {
+        let ds = parse(
+            "@prefix ex: <http://e/> .\n\
+             ex:s ex:p \"a\", \"b\" ;\n\
+                  ex:q \"c\" .",
+        );
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
+    fn trailing_semicolon_is_legal() {
+        let ds = parse("@prefix ex: <http://e/> .\nex:s ex:p ex:o ; .");
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn literals_with_lang_and_datatype() {
+        let ds = parse(
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n\
+             @prefix ex: <http://e/> .\n\
+             ex:s ex:p \"bonjour\"@fr .\n\
+             ex:s ex:q \"42\"^^xsd:integer .\n\
+             ex:s ex:r \"x\"^^<http://e/dt> .",
+        );
+        let kinds: Vec<LiteralKind> = ds
+            .graph()
+            .iter()
+            .filter_map(|t| t.object.as_literal())
+            .map(|l| l.kind)
+            .collect();
+        assert_eq!(kinds.len(), 3);
+        assert!(kinds.iter().any(|k| matches!(k, LiteralKind::Lang(_))));
+        assert_eq!(
+            kinds.iter().filter(|k| matches!(k, LiteralKind::Typed(_))).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn bare_numbers_and_booleans() {
+        let ds = parse(
+            "@prefix ex: <http://e/> .\n\
+             ex:s ex:int 42 ; ex:neg -7 ; ex:dbl 3.25 ; ex:flag true .",
+        );
+        assert_eq!(ds.len(), 4);
+        let lexicals: Vec<&str> = ds
+            .graph()
+            .iter()
+            .map(|t| ds.resolve(t.object))
+            .collect();
+        for expected in ["42", "-7", "3.25", "true"] {
+            assert!(lexicals.contains(&expected), "{lexicals:?}");
+        }
+    }
+
+    #[test]
+    fn statement_dot_after_integer() {
+        let ds = parse("@prefix ex: <http://e/> .\nex:s ex:p 42 .");
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn blank_node_labels() {
+        let ds = parse("_:b0 <http://e/p> _:b1 .");
+        let t = ds.graph().iter().next().unwrap();
+        assert!(t.subject.is_blank());
+        assert!(t.object.is_blank());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ds = parse(
+            "# a comment\n\
+             <http://e/s> <http://e/p> <http://e/o> . # trailing\n\
+             # another\n",
+        );
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn base_resolves_relative_iris() {
+        let ds = parse("@base <http://base.example.org/> .\n<s> <p> <o> .");
+        let t = ds.graph().iter().next().unwrap();
+        assert_eq!(ds.resolve(t.subject), "http://base.example.org/s");
+    }
+
+    #[test]
+    fn triple_quoted_strings() {
+        let ds = parse("<http://e/s> <http://e/p> \"\"\"multi\nline\"\"\" .");
+        let t = ds.graph().iter().next().unwrap();
+        assert_eq!(ds.resolve(t.object), "multi\nline");
+    }
+
+    #[test]
+    fn escaped_quotes_in_literals() {
+        let ds = parse(r#"<http://e/s> <http://e/p> "say \"hi\"" ."#);
+        let t = ds.graph().iter().next().unwrap();
+        assert_eq!(ds.resolve(t.object), "say \"hi\"");
+    }
+
+    #[test]
+    fn unknown_prefix_errors_with_line() {
+        let mut ds = Dataset::new("t");
+        let err = parse_into(&mut ds, "\n\nfoo:s foo:p foo:o .").unwrap_err();
+        match err {
+            RdfError::Syntax { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("foo"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_constructs_error() {
+        let mut ds = Dataset::new("t");
+        assert!(parse_into(&mut ds, "[] <http://e/p> <http://e/o> .").is_err());
+        assert!(parse_into(&mut ds, "<http://e/s> <http://e/p> (1 2) .").is_err());
+    }
+
+    #[test]
+    fn missing_dot_errors() {
+        let mut ds = Dataset::new("t");
+        assert!(parse_into(&mut ds, "<http://e/s> <http://e/p> <http://e/o>").is_err());
+    }
+
+    #[test]
+    fn serialize_round_trips() {
+        let original = parse(
+            "@prefix ex: <http://e/> .\n\
+             ex:s ex:p \"a\", \"b\"@en, \"3\"^^<http://dt> ;\n\
+                  a ex:Thing .\n\
+             ex:t ex:p ex:s .",
+        );
+        let turtle = serialize(&original);
+        let mut back = Dataset::new("copy");
+        parse_into(&mut back, &turtle).unwrap();
+        assert_eq!(back.len(), original.len());
+        assert_eq!(serialize(&back), turtle);
+    }
+
+    #[test]
+    fn ntriples_documents_are_valid_turtle() {
+        let mut ds = Dataset::new("src");
+        ds.add_str("http://e/a", "http://e/p", "value");
+        ds.add_iri("http://e/a", "http://e/q", "http://e/b");
+        let nt = crate::ntriples::serialize(&ds);
+        let mut back = Dataset::new("copy");
+        parse_into(&mut back, &nt).unwrap();
+        assert_eq!(back.len(), ds.len());
+    }
+}

@@ -1,0 +1,44 @@
+//! Well-known vocabulary IRIs used throughout the stack.
+
+/// `rdf:type`.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+/// `rdfs:label`.
+pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+/// `owl:sameAs` — the link predicate ALEX manages.
+pub const OWL_SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+/// `owl:Thing` — the paper's example of a non-distinctive feature value.
+pub const OWL_THING: &str = "http://www.w3.org/2002/07/owl#Thing";
+/// `xsd:string`.
+pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+/// `xsd:integer`.
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+/// `xsd:decimal`.
+pub const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+/// `xsd:double`.
+pub const XSD_DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+/// `xsd:date`.
+pub const XSD_DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+/// `xsd:gYear`.
+pub const XSD_GYEAR: &str = "http://www.w3.org/2001/XMLSchema#gYear";
+/// `xsd:boolean`.
+pub const XSD_BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_iris_are_absolute() {
+        for iri in [
+            RDF_TYPE, RDFS_LABEL, OWL_SAME_AS, OWL_THING, XSD_STRING, XSD_INTEGER, XSD_DECIMAL,
+            XSD_DOUBLE, XSD_DATE, XSD_GYEAR, XSD_BOOLEAN,
+        ] {
+            assert!(iri.starts_with("http://"), "{iri} not absolute");
+        }
+    }
+
+    #[test]
+    fn same_as_is_owl_namespace() {
+        assert!(OWL_SAME_AS.contains("owl#sameAs"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the RDF substrate: interning, graph index
+//! consistency, and N-Triples round-tripping under arbitrary content.
+
+use alex_rdf::{ntriples, Dataset, Graph, Interner, Term, Triple};
+use proptest::prelude::*;
+
+/// Strategy for IRI-ish strings (no whitespace or angle brackets).
+fn iri() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}(/[a-z0-9_]{1,8}){0,3}".prop_map(|s| format!("http://e/{s}"))
+}
+
+/// Strategy for literal lexical forms, including nasty characters.
+fn lexical() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[\\x20-\\x7e\u{e9}\u{4e16}\n\t\"\\\\]{0,24}").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn interner_round_trips(strings in proptest::collection::vec(".{0,20}", 0..40)) {
+        let mut interner = Interner::new();
+        let syms: Vec<_> = strings.iter().map(|s| interner.intern(s)).collect();
+        for (s, &sym) in strings.iter().zip(&syms) {
+            prop_assert_eq!(interner.resolve(sym), s.as_str());
+        }
+        // Idempotence: interning again yields identical symbols.
+        for (s, &sym) in strings.iter().zip(&syms) {
+            prop_assert_eq!(interner.intern(s), sym);
+        }
+        let distinct: std::collections::HashSet<&String> = strings.iter().collect();
+        prop_assert_eq!(interner.len(), distinct.len());
+    }
+
+    #[test]
+    fn graph_indexes_agree_on_every_pattern(
+        spec in proptest::collection::vec((0u32..6, 0u32..4, 0u32..6), 0..60)
+    ) {
+        let mut interner = Interner::new();
+        let term = |interner: &mut Interner, tag: &str, i: u32| {
+            Term::Iri(interner.intern(&format!("http://e/{tag}{i}")))
+        };
+        let triples: Vec<Triple> = spec
+            .iter()
+            .map(|&(s, p, o)| {
+                Triple::new(
+                    term(&mut interner, "s", s),
+                    term(&mut interner, "p", p),
+                    term(&mut interner, "o", o),
+                )
+            })
+            .collect();
+        let graph: Graph = triples.iter().copied().collect();
+
+        // Reference: brute-force filtering over the deduplicated list.
+        let mut dedup = triples.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(graph.len(), dedup.len());
+
+        for &t in dedup.iter().take(10) {
+            for (s, p, o) in [
+                (Some(t.subject), None, None),
+                (None, Some(t.predicate), None),
+                (None, None, Some(t.object)),
+                (Some(t.subject), Some(t.predicate), None),
+                (Some(t.subject), None, Some(t.object)),
+                (None, Some(t.predicate), Some(t.object)),
+                (Some(t.subject), Some(t.predicate), Some(t.object)),
+            ] {
+                let got: Vec<Triple> = graph.matching(s, p, o).collect();
+                let expected: Vec<Triple> = dedup
+                    .iter()
+                    .filter(|x| {
+                        s.is_none_or(|s| x.subject == s)
+                            && p.is_none_or(|p| x.predicate == p)
+                            && o.is_none_or(|o| x.object == o)
+                    })
+                    .copied()
+                    .collect();
+                prop_assert_eq!(got.len(), expected.len());
+                for e in &expected {
+                    prop_assert!(got.contains(e));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graph_remove_is_inverse_of_insert(
+        spec in proptest::collection::vec((0u32..5, 0u32..3, 0u32..5), 1..40)
+    ) {
+        let mut interner = Interner::new();
+        let mut graph = Graph::new();
+        let triples: Vec<Triple> = spec
+            .iter()
+            .map(|&(s, p, o)| {
+                Triple::new(
+                    Term::Iri(interner.intern(&format!("s{s}"))),
+                    Term::Iri(interner.intern(&format!("p{p}"))),
+                    Term::Iri(interner.intern(&format!("o{o}"))),
+                )
+            })
+            .collect();
+        for t in &triples {
+            graph.insert(*t);
+        }
+        for t in &triples {
+            graph.remove(t);
+        }
+        prop_assert!(graph.is_empty());
+        prop_assert_eq!(graph.matching(None, None, None).count(), 0);
+    }
+
+    #[test]
+    fn ntriples_round_trip(
+        rows in proptest::collection::vec((iri(), iri(), lexical()), 0..25)
+    ) {
+        let mut ds = Dataset::new("prop");
+        for (s, p, lex) in &rows {
+            ds.add_str(s, p, lex);
+            ds.add_iri(s, p, "http://e/shared");
+        }
+        let doc = ntriples::serialize(&ds);
+        let mut back = Dataset::new("copy");
+        ntriples::parse_into(&mut back, &doc).expect("own output must parse");
+        prop_assert_eq!(back.len(), ds.len());
+        prop_assert_eq!(ntriples::serialize(&back), doc);
+    }
+
+    #[test]
+    fn entity_views_cover_all_triples(
+        rows in proptest::collection::vec((0u32..6, 0u32..4, ".{0,10}"), 1..40)
+    ) {
+        let mut ds = Dataset::new("prop");
+        for (s, p, lex) in &rows {
+            ds.add_str(&format!("http://e/s{s}"), &format!("http://e/p{p}"), lex);
+        }
+        let total: usize = ds
+            .entities()
+            .map(|e| {
+                ds.entity(e)
+                    .attributes
+                    .iter()
+                    .map(|a| a.objects.len())
+                    .sum::<usize>()
+            })
+            .sum();
+        prop_assert_eq!(total, ds.len());
+    }
+}

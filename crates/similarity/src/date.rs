@@ -1,0 +1,74 @@
+//! Date similarity.
+
+use crate::numeric::scaled_numeric;
+use crate::value::Date;
+
+/// Number of approximate days after which two dates are fully dissimilar.
+/// Ten years: people born a decade apart are not the same person.
+pub const DATE_SCALE_DAYS: f64 = 3652.5;
+
+/// Date similarity in [0, 1]: linear decay over [`DATE_SCALE_DAYS`].
+pub fn date_similarity(a: Date, b: Date) -> f64 {
+    scaled_numeric(a.approx_days(), b.approx_days(), DATE_SCALE_DAYS)
+}
+
+/// Number of years after which two year values are fully dissimilar.
+/// Ten years: tight enough that a ±0.05 similarity window corresponds to
+/// a ±0.5-year band — year features remain informative without every
+/// contemporaneous pair scoring alike.
+pub const YEAR_SCALE: f64 = 10.0;
+
+/// Year similarity in [0, 1]: linear decay over [`YEAR_SCALE`].
+pub fn year_similarity(a: i32, b: i32) -> f64 {
+    scaled_numeric(a as f64, b as f64, YEAR_SCALE)
+}
+
+/// Similarity between a full date and a bare year: compare years only.
+pub fn date_year_similarity(d: Date, year: i32) -> f64 {
+    year_similarity(d.year, year)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Date {
+        Date::parse(s).unwrap()
+    }
+
+    #[test]
+    fn same_date_is_one() {
+        assert_eq!(date_similarity(d("1984-12-30"), d("1984-12-30")), 1.0);
+    }
+
+    #[test]
+    fn close_dates_score_high() {
+        assert!(date_similarity(d("1984-12-30"), d("1985-01-05")) > 0.99);
+    }
+
+    #[test]
+    fn decade_apart_is_zero() {
+        assert_eq!(date_similarity(d("1980-01-01"), d("1995-01-01")), 0.0);
+    }
+
+    #[test]
+    fn year_similarity_shape() {
+        assert_eq!(year_similarity(1984, 1984), 1.0);
+        assert!((year_similarity(1984, 1989) - 0.5).abs() < 1e-12);
+        assert_eq!(year_similarity(1900, 2000), 0.0);
+    }
+
+    #[test]
+    fn date_vs_year_uses_year() {
+        assert_eq!(date_year_similarity(d("1984-12-30"), 1984), 1.0);
+        assert!(date_year_similarity(d("1984-12-30"), 1985) < 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(
+            date_similarity(d("1984-01-01"), d("1986-01-01")),
+            date_similarity(d("1986-01-01"), d("1984-01-01"))
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Numeric and boolean similarity.
+
+/// Relative numeric similarity in [0, 1]:
+/// `1 − |a−b| / max(|a|, |b|)`, clamped; equal values (including 0, 0) are 1.
+///
+/// Scale-free, so it works for populations as well as ages.
+pub fn relative_numeric(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return 0.0;
+    }
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        return 1.0;
+    }
+    (1.0 - (a - b).abs() / denom).max(0.0)
+}
+
+/// Scaled numeric similarity in [0, 1]: `1 − |a−b| / scale`, clamped.
+///
+/// Used where the meaningful difference has a known range, e.g. years
+/// (`scale = 50` means values 50+ years apart are fully dissimilar).
+pub fn scaled_numeric(a: f64, b: f64, scale: f64) -> f64 {
+    debug_assert!(scale > 0.0);
+    if !a.is_finite() || !b.is_finite() {
+        return 0.0;
+    }
+    (1.0 - (a - b).abs() / scale).clamp(0.0, 1.0)
+}
+
+/// Boolean similarity: 1 for equal, 0 otherwise.
+pub fn boolean_similarity(a: bool, b: bool) -> f64 {
+    if a == b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_equal_is_one() {
+        assert_eq!(relative_numeric(5.0, 5.0), 1.0);
+        assert_eq!(relative_numeric(0.0, 0.0), 1.0);
+        assert_eq!(relative_numeric(-3.0, -3.0), 1.0);
+    }
+
+    #[test]
+    fn relative_monotone_in_gap() {
+        assert!(relative_numeric(100.0, 90.0) > relative_numeric(100.0, 50.0));
+    }
+
+    #[test]
+    fn relative_clamps_at_zero() {
+        assert_eq!(relative_numeric(1.0, -1.0), 0.0);
+        assert_eq!(relative_numeric(10.0, -1000.0), 0.0);
+    }
+
+    #[test]
+    fn relative_non_finite_is_zero() {
+        assert_eq!(relative_numeric(f64::NAN, 1.0), 0.0);
+        assert_eq!(relative_numeric(f64::INFINITY, 1.0), 0.0);
+    }
+
+    #[test]
+    fn scaled_basics() {
+        assert_eq!(scaled_numeric(1984.0, 1984.0, 50.0), 1.0);
+        assert!((scaled_numeric(1984.0, 1989.0, 50.0) - 0.9).abs() < 1e-12);
+        assert_eq!(scaled_numeric(1900.0, 2000.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn scaled_symmetric() {
+        assert_eq!(
+            scaled_numeric(10.0, 20.0, 30.0),
+            scaled_numeric(20.0, 10.0, 30.0)
+        );
+    }
+
+    #[test]
+    fn boolean_cases() {
+        assert_eq!(boolean_similarity(true, true), 1.0);
+        assert_eq!(boolean_similarity(false, false), 1.0);
+        assert_eq!(boolean_similarity(true, false), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Token-set Jaccard similarity.
+
+use std::collections::HashSet;
+
+use super::normalize::normalized_tokens;
+
+/// Jaccard similarity of two token sets: `|A∩B| / |A∪B|`, in [0, 1].
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    let ta: HashSet<String> = normalized_tokens(a).into_iter().collect();
+    let tb: HashSet<String> = normalized_tokens(b).into_iter().collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let intersection = ta.intersection(&tb).count();
+    let union = ta.len() + tb.len() - intersection;
+    intersection as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_token_sets() {
+        assert_eq!(jaccard_tokens("new york times", "times york new"), 1.0);
+    }
+
+    #[test]
+    fn half_overlap() {
+        // {a, b} vs {b, c}: intersection 1, union 3.
+        let s = jaccard_tokens("a b", "b c");
+        assert!((s - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        assert_eq!(jaccard_tokens("alpha beta", "gamma delta"), 0.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+        assert_eq!(jaccard_tokens("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn normalization_applies() {
+        assert_eq!(jaccard_tokens("New_York", "new york"), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(jaccard_tokens("a b c", "b c d"), jaccard_tokens("b c d", "a b c"));
+    }
+}

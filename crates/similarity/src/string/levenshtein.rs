@@ -1,0 +1,88 @@
+//! Levenshtein edit distance and its normalized similarity.
+
+/// Levenshtein edit distance between two strings, by character.
+///
+/// Uses the classic two-row dynamic program: O(|a|·|b|) time, O(min) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    // Iterate over the shorter string in the inner loop for cache friendliness.
+    let (short, long) = if a_chars.len() <= b_chars.len() {
+        (&a_chars, &b_chars)
+    } else {
+        (&b_chars, &a_chars)
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Normalized Levenshtein similarity in [0, 1]:
+/// `1 − distance / max(|a|, |b|)`; two empty strings are fully similar.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_distance_zero() {
+        assert_eq!(levenshtein("kitten", "kitten"), 0);
+    }
+
+    #[test]
+    fn classic_kitten_sitting() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(levenshtein("flaw", "lawn"), levenshtein("lawn", "flaw"));
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn similarity_range_and_identity() {
+        assert_eq!(levenshtein_similarity("same", "same"), 1.0);
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        let s = levenshtein_similarity("abc", "xyz");
+        assert!((0.0..=1.0).contains(&s));
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn similarity_of_near_strings_is_high() {
+        assert!(levenshtein_similarity("drugbank", "drugbnak") > 0.7);
+    }
+}

@@ -1,0 +1,99 @@
+//! Character n-gram Dice similarity (trigrams by default).
+
+use std::collections::HashMap;
+
+/// Multiset of character n-grams of `s`, with two padding characters on each
+/// side so short strings still produce grams.
+fn grams(s: &str, n: usize) -> HashMap<Vec<char>, usize> {
+    debug_assert!(n >= 1);
+    let padded: Vec<char> = std::iter::repeat_n('\u{1}', n - 1)
+        .chain(s.chars())
+        .chain(std::iter::repeat_n('\u{1}', n - 1))
+        .collect();
+    let mut out: HashMap<Vec<char>, usize> = HashMap::new();
+    if padded.len() < n {
+        return out;
+    }
+    for w in padded.windows(n) {
+        *out.entry(w.to_vec()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Sørensen–Dice coefficient over character n-gram multisets, in [0, 1].
+pub fn ngram_dice(a: &str, b: &str, n: usize) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let ga = grams(a, n);
+    let gb = grams(b, n);
+    let total: usize = ga.values().sum::<usize>() + gb.values().sum::<usize>();
+    if total == 0 {
+        return 0.0;
+    }
+    let overlap: usize = ga
+        .iter()
+        .map(|(g, &ca)| ca.min(gb.get(g).copied().unwrap_or(0)))
+        .sum();
+    2.0 * overlap as f64 / total as f64
+}
+
+/// Trigram Dice similarity (the common default in link-discovery tools).
+pub fn trigram_dice(a: &str, b: &str) -> f64 {
+    ngram_dice(a, b, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings() {
+        assert_eq!(trigram_dice("linked data", "linked data"), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_near_zero() {
+        assert!(trigram_dice("aaaa", "zzzz") < 0.2);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(trigram_dice("", ""), 1.0);
+        assert_eq!(trigram_dice("", "x"), 0.0);
+    }
+
+    #[test]
+    fn single_char_strings_work() {
+        let s = trigram_dice("a", "a");
+        assert_eq!(s, 1.0);
+        assert!(trigram_dice("a", "b") < 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(trigram_dice("night", "nacht"), trigram_dice("nacht", "night"));
+    }
+
+    #[test]
+    fn near_strings_score_high() {
+        assert!(trigram_dice("opencyc", "opencyc4") > 0.7);
+    }
+
+    #[test]
+    fn range_is_unit_interval() {
+        for (a, b) in [("ab", "ba"), ("short", "loooooong"), ("x", "")] {
+            let s = trigram_dice(a, b);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn bigram_variant() {
+        assert_eq!(ngram_dice("ab", "ab", 2), 1.0);
+        assert!(ngram_dice("ab", "cd", 2) < 1.0);
+    }
+}

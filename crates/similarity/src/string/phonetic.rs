@@ -1,0 +1,139 @@
+//! Phonetic similarity: Soundex codes and a phonetic token match.
+//!
+//! Record-linkage systems often complement edit-distance measures with a
+//! phonetic one — "Smyth" and "Smith" are spelled two edits apart but sound
+//! identical. Soundex is the classic (and census-proven) encoding: first
+//! letter plus three digits classifying the following consonants.
+
+/// The Soundex code of a word (standard American Soundex, 4 characters,
+/// zero-padded), or `None` if the word has no leading ASCII letter.
+pub fn soundex(word: &str) -> Option<String> {
+    let mut chars = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase());
+    let first = chars.next()?;
+    let mut code = String::with_capacity(4);
+    code.push(first);
+    let mut last_digit = digit_of(first);
+    for c in chars {
+        let d = digit_of(c);
+        match d {
+            // Vowels (and Y) reset the adjacency rule but emit nothing;
+            // H and W are transparent (do not reset).
+            0 => {
+                if matches!(c, 'H' | 'W') {
+                    continue;
+                }
+                last_digit = 0;
+            }
+            d if d != last_digit => {
+                code.push(char::from_digit(d as u32, 10).expect("1..=6"));
+                last_digit = d;
+                if code.len() == 4 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+/// Soundex digit class of a letter (0 = vowel/H/W/Y, i.e. no digit).
+fn digit_of(c: char) -> u8 {
+    match c {
+        'B' | 'F' | 'P' | 'V' => 1,
+        'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+        'D' | 'T' => 3,
+        'L' => 4,
+        'M' | 'N' => 5,
+        'R' => 6,
+        _ => 0,
+    }
+}
+
+/// Phonetic token similarity in [0, 1]: the fraction of tokens of the
+/// shorter side whose Soundex code also occurs on the other side. Intended
+/// as a *complement* to [`super::string_similarity`] — a coarse recall-
+/// oriented signal, not a precision-oriented one.
+pub fn phonetic_token_similarity(a: &str, b: &str) -> f64 {
+    let codes = |s: &str| -> Vec<String> {
+        super::normalize(s)
+            .split(' ')
+            .filter_map(soundex)
+            .collect()
+    };
+    let ca = codes(a);
+    let cb = codes(b);
+    if ca.is_empty() && cb.is_empty() {
+        return 1.0;
+    }
+    if ca.is_empty() || cb.is_empty() {
+        return 0.0;
+    }
+    let (short, long) = if ca.len() <= cb.len() { (&ca, &cb) } else { (&cb, &ca) };
+    let hits = short.iter().filter(|c| long.contains(c)).count();
+    hits as f64 / short.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_soundex_codes() {
+        // Canonical examples from the Soundex specification.
+        assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Ashcroft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex("Honeyman").as_deref(), Some("H555"));
+    }
+
+    #[test]
+    fn smith_and_smyth_sound_alike() {
+        assert_eq!(soundex("Smith"), soundex("Smyth"));
+        assert_ne!(soundex("Smith"), soundex("Jones"));
+    }
+
+    #[test]
+    fn short_words_are_zero_padded() {
+        assert_eq!(soundex("Lee").as_deref(), Some("L000"));
+        assert_eq!(soundex("A").as_deref(), Some("A000"));
+    }
+
+    #[test]
+    fn non_alphabetic_input() {
+        assert_eq!(soundex("1234"), None);
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex("O'Brien").as_deref(), Some("O165"));
+    }
+
+    #[test]
+    fn phonetic_token_similarity_basics() {
+        assert_eq!(phonetic_token_similarity("John Smith", "Jon Smyth"), 1.0);
+        assert_eq!(phonetic_token_similarity("", ""), 1.0);
+        assert_eq!(phonetic_token_similarity("John", ""), 0.0);
+        assert!(phonetic_token_similarity("John Smith", "Mary Jones") < 0.5);
+    }
+
+    #[test]
+    fn phonetic_is_shorter_side_coverage() {
+        // One of "smith" matches; the shorter side has 1 token.
+        assert_eq!(phonetic_token_similarity("Smith", "John Smith Jr"), 1.0);
+    }
+
+    #[test]
+    fn within_unit_interval() {
+        for (a, b) in [("a b c", "x y"), ("Kathryn", "Catherine"), ("X", "Y")] {
+            let s = phonetic_token_similarity(a, b);
+            assert!((0.0..=1.0).contains(&s), "{a} vs {b}: {s}");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Typed values: the bridge between RDF terms and typed similarity.
+//!
+//! The paper's similarity function "depends on the type of the attributes to
+//! be compared (string, integer, float, date, etc.)" (§4.1). [`TypedValue`]
+//! is that type layer: an RDF term resolved against its data set's interner
+//! and classified by datatype (or by sniffing, for plain literals, since LOD
+//! data frequently omits datatypes).
+
+use alex_rdf::{vocab, Dataset, LiteralKind, Term};
+
+/// A calendar date (proleptic Gregorian, no time zone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Year (may be negative for BCE).
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day 1–31.
+    pub day: u8,
+}
+
+impl Date {
+    /// Parse `YYYY-MM-DD` (with optional leading `-` on the year).
+    pub fn parse(s: &str) -> Option<Date> {
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let mut parts = body.splitn(3, '-');
+        let year: i32 = parts.next()?.parse().ok()?;
+        let month: u8 = parts.next()?.parse().ok()?;
+        let day: u8 = parts.next()?.parse().ok()?;
+        if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return None;
+        }
+        Some(Date {
+            year: if neg { -year } else { year },
+            month,
+            day,
+        })
+    }
+
+    /// Approximate day number since year 0 (months as 30.44-day blocks).
+    /// Good enough for similarity distances; not a civil calendar.
+    pub fn approx_days(self) -> f64 {
+        self.year as f64 * 365.25 + (self.month as f64 - 1.0) * 30.44 + self.day as f64
+    }
+}
+
+/// A value with a similarity-relevant type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypedValue {
+    /// Free text (plain or language-tagged literals, xsd:string).
+    Text(String),
+    /// An integer.
+    Integer(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A full date.
+    Date(Date),
+    /// A bare year (xsd:gYear or sniffed 3–4 digit numbers in year range).
+    Year(i32),
+    /// A boolean.
+    Boolean(bool),
+    /// An IRI (object property value); carries the full IRI text.
+    Iri(String),
+}
+
+impl TypedValue {
+    /// A short name for the value's type, used in diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            TypedValue::Text(_) => "text",
+            TypedValue::Integer(_) => "integer",
+            TypedValue::Float(_) => "float",
+            TypedValue::Date(_) => "date",
+            TypedValue::Year(_) => "year",
+            TypedValue::Boolean(_) => "boolean",
+            TypedValue::Iri(_) => "iri",
+        }
+    }
+}
+
+/// Classify an RDF term from `ds` into a [`TypedValue`].
+pub fn typed_value(ds: &Dataset, term: Term) -> TypedValue {
+    match term {
+        Term::Iri(sym) | Term::Blank(sym) => TypedValue::Iri(ds.resolve_sym(sym).to_string()),
+        Term::Literal(lit) => {
+            let lexical = ds.resolve_sym(lit.lexical);
+            match lit.kind {
+                LiteralKind::Plain | LiteralKind::Lang(_) => sniff(lexical),
+                LiteralKind::Typed(dt) => {
+                    let dt_iri = ds.resolve_sym(dt);
+                    classify_typed(lexical, dt_iri)
+                }
+            }
+        }
+    }
+}
+
+/// Classify a datatyped literal by its datatype IRI, falling back to sniffing.
+fn classify_typed(lexical: &str, datatype: &str) -> TypedValue {
+    match datatype {
+        vocab::XSD_INTEGER => lexical
+            .parse::<i64>()
+            .map(TypedValue::Integer)
+            .unwrap_or_else(|_| TypedValue::Text(lexical.to_string())),
+        vocab::XSD_DECIMAL | vocab::XSD_DOUBLE => lexical
+            .parse::<f64>()
+            .map(TypedValue::Float)
+            .unwrap_or_else(|_| TypedValue::Text(lexical.to_string())),
+        vocab::XSD_DATE => Date::parse(lexical)
+            .map(TypedValue::Date)
+            .unwrap_or_else(|| TypedValue::Text(lexical.to_string())),
+        vocab::XSD_GYEAR => lexical
+            .parse::<i32>()
+            .map(TypedValue::Year)
+            .unwrap_or_else(|_| TypedValue::Text(lexical.to_string())),
+        vocab::XSD_BOOLEAN => match lexical {
+            "true" | "1" => TypedValue::Boolean(true),
+            "false" | "0" => TypedValue::Boolean(false),
+            _ => TypedValue::Text(lexical.to_string()),
+        },
+        vocab::XSD_STRING => TypedValue::Text(lexical.to_string()),
+        _ => sniff(lexical),
+    }
+}
+
+/// Infer a type from an untyped lexical form.
+///
+/// Order matters: dates before integers (a date is not "2020 minus 1 minus 1"),
+/// integers before floats, year-range integers become [`TypedValue::Year`].
+pub fn sniff(lexical: &str) -> TypedValue {
+    let s = lexical.trim();
+    if let Some(d) = Date::parse(s) {
+        // Only treat as a date when it actually has the dashed shape.
+        if s.matches('-').count() >= 2 {
+            return TypedValue::Date(d);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if (1000..=2100).contains(&i) {
+            return TypedValue::Year(i as i32);
+        }
+        return TypedValue::Integer(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        if f.is_finite() {
+            return TypedValue::Float(f);
+        }
+    }
+    match s {
+        "true" => TypedValue::Boolean(true),
+        "false" => TypedValue::Boolean(false),
+        _ => TypedValue::Text(lexical.to_string()),
+    }
+}
+
+/// The last path segment or fragment of an IRI — its "local name".
+///
+/// Used to compare object-property values as strings: two data sets name the
+/// same individual with different namespaces but usually similar local names.
+pub fn iri_local_name(iri: &str) -> &str {
+    let after_hash = iri.rsplit('#').next().unwrap_or(iri);
+    after_hash.rsplit('/').next().unwrap_or(after_hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_parse_valid() {
+        assert_eq!(
+            Date::parse("1984-12-30"),
+            Some(Date {
+                year: 1984,
+                month: 12,
+                day: 30
+            })
+        );
+    }
+
+    #[test]
+    fn date_parse_negative_year() {
+        assert_eq!(Date::parse("-0044-03-15").map(|d| d.year), Some(-44));
+    }
+
+    #[test]
+    fn date_parse_rejects_bad_fields() {
+        assert!(Date::parse("1984-13-01").is_none());
+        assert!(Date::parse("1984-00-01").is_none());
+        assert!(Date::parse("1984-01-32").is_none());
+        assert!(Date::parse("not-a-date").is_none());
+        assert!(Date::parse("1984").is_none());
+    }
+
+    #[test]
+    fn sniff_year_range() {
+        assert_eq!(sniff("1984"), TypedValue::Year(1984));
+        assert_eq!(sniff("29"), TypedValue::Integer(29));
+        assert_eq!(sniff("99999"), TypedValue::Integer(99999));
+    }
+
+    #[test]
+    fn sniff_float_and_bool() {
+        assert_eq!(sniff("3.25"), TypedValue::Float(3.25));
+        assert_eq!(sniff("true"), TypedValue::Boolean(true));
+        assert_eq!(sniff("false"), TypedValue::Boolean(false));
+    }
+
+    #[test]
+    fn sniff_date_shape() {
+        assert!(matches!(sniff("2013-06-01"), TypedValue::Date(_)));
+    }
+
+    #[test]
+    fn sniff_text_fallback() {
+        assert_eq!(
+            sniff("LeBron James"),
+            TypedValue::Text("LeBron James".to_string())
+        );
+        assert!(matches!(sniff("inf"), TypedValue::Text(_)));
+    }
+
+    #[test]
+    fn typed_value_dispatch_on_datatype() {
+        let mut ds = Dataset::new("t");
+        let int = ds.typed("42", vocab::XSD_INTEGER);
+        let dbl = ds.typed("2.5", vocab::XSD_DOUBLE);
+        let date = ds.typed("2010-01-13", vocab::XSD_DATE);
+        let year = ds.typed("1984", vocab::XSD_GYEAR);
+        let boolean = ds.typed("true", vocab::XSD_BOOLEAN);
+        assert_eq!(typed_value(&ds, int), TypedValue::Integer(42));
+        assert_eq!(typed_value(&ds, dbl), TypedValue::Float(2.5));
+        assert!(matches!(typed_value(&ds, date), TypedValue::Date(_)));
+        assert_eq!(typed_value(&ds, year), TypedValue::Year(1984));
+        assert_eq!(typed_value(&ds, boolean), TypedValue::Boolean(true));
+    }
+
+    #[test]
+    fn typed_value_bad_lexical_falls_back_to_text() {
+        let mut ds = Dataset::new("t");
+        let bad = ds.typed("forty-two", vocab::XSD_INTEGER);
+        assert!(matches!(typed_value(&ds, bad), TypedValue::Text(_)));
+    }
+
+    #[test]
+    fn typed_value_iri() {
+        let mut ds = Dataset::new("t");
+        let iri = ds.iri("http://e/LeBron_James");
+        assert_eq!(
+            typed_value(&ds, iri),
+            TypedValue::Iri("http://e/LeBron_James".to_string())
+        );
+    }
+
+    #[test]
+    fn typed_value_plain_literal_is_sniffed() {
+        let mut ds = Dataset::new("t");
+        let plain = ds.plain("1984");
+        assert_eq!(typed_value(&ds, plain), TypedValue::Year(1984));
+    }
+
+    #[test]
+    fn local_name_extraction() {
+        assert_eq!(iri_local_name("http://e/path/LeBron_James"), "LeBron_James");
+        assert_eq!(iri_local_name("http://e/ns#Thing"), "Thing");
+        assert_eq!(iri_local_name("no-separators"), "no-separators");
+    }
+
+    #[test]
+    fn approx_days_monotone() {
+        let a = Date::parse("1984-01-01").unwrap();
+        let b = Date::parse("1984-06-01").unwrap();
+        let c = Date::parse("1985-01-01").unwrap();
+        assert!(a.approx_days() < b.approx_days());
+        assert!(b.approx_days() < c.approx_days());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the similarity measures: every measure must be
+//! symmetric, bounded to [0, 1], and return 1.0 on identical inputs.
+
+use alex_sim::{
+    jaccard_tokens, jaro, jaro_winkler, levenshtein, levenshtein_similarity, normalize,
+    relative_numeric, scaled_numeric, string_similarity, trigram_dice, value_similarity,
+    TypedValue,
+};
+use proptest::prelude::*;
+
+fn unit(x: f64) -> bool {
+    (0.0..=1.0 + 1e-12).contains(&x)
+}
+
+proptest! {
+    #[test]
+    fn levenshtein_triangle_inequality(a in ".{0,12}", b in ".{0,12}", c in ".{0,12}") {
+        let ab = levenshtein(&a, &b);
+        let bc = levenshtein(&b, &c);
+        let ac = levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn levenshtein_symmetry_and_identity(a in ".{0,16}", b in ".{0,16}") {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+    }
+
+    #[test]
+    fn levenshtein_similarity_bounded(a in ".{0,16}", b in ".{0,16}") {
+        prop_assert!(unit(levenshtein_similarity(&a, &b)));
+    }
+
+    #[test]
+    fn jaro_bounded_symmetric(a in ".{0,16}", b in ".{0,16}") {
+        let s1 = jaro(&a, &b);
+        let s2 = jaro(&b, &a);
+        prop_assert!(unit(s1));
+        prop_assert!((s1 - s2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jaro_winkler_dominates_jaro(a in ".{0,16}", b in ".{0,16}") {
+        prop_assert!(jaro_winkler(&a, &b) + 1e-12 >= jaro(&a, &b));
+        prop_assert!(unit(jaro_winkler(&a, &b)));
+    }
+
+    #[test]
+    fn jaccard_bounded_symmetric(a in "[a-z ]{0,24}", b in "[a-z ]{0,24}") {
+        let s1 = jaccard_tokens(&a, &b);
+        let s2 = jaccard_tokens(&b, &a);
+        prop_assert!(unit(s1));
+        prop_assert!((s1 - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trigram_bounded_symmetric_identity(a in ".{0,16}", b in ".{0,16}") {
+        let s = trigram_dice(&a, &b);
+        prop_assert!(unit(s));
+        prop_assert!((s - trigram_dice(&b, &a)).abs() < 1e-12);
+        prop_assert!((trigram_dice(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn string_similarity_identity_after_normalization(a in ".{0,20}") {
+        // Identical inputs always score 1.0.
+        prop_assert!((string_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn string_similarity_bounded_symmetric(a in ".{0,20}", b in ".{0,20}") {
+        let s1 = string_similarity(&a, &b);
+        prop_assert!(unit(s1));
+        prop_assert!((s1 - string_similarity(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_is_idempotent(a in ".{0,32}") {
+        let once = normalize(&a);
+        prop_assert_eq!(normalize(&once), once.clone());
+    }
+
+    #[test]
+    fn relative_numeric_bounded_symmetric(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+        let s = relative_numeric(a, b);
+        prop_assert!(unit(s));
+        prop_assert!((s - relative_numeric(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_numeric_bounded(a in -1e6f64..1e6, b in -1e6f64..1e6, scale in 0.1f64..1e6) {
+        prop_assert!(unit(scaled_numeric(a, b, scale)));
+    }
+
+    #[test]
+    fn value_similarity_symmetric_over_ints(a in -1000i64..1000, b in -1000i64..1000) {
+        let va = TypedValue::Integer(a);
+        let vb = TypedValue::Integer(b);
+        let s1 = value_similarity(&va, &vb);
+        prop_assert!(unit(s1));
+        prop_assert!((s1 - value_similarity(&vb, &va)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_similarity_text_symmetric(a in "[a-zA-Z0-9 ]{0,16}", b in "[a-zA-Z0-9 ]{0,16}") {
+        let va = TypedValue::Text(a);
+        let vb = TypedValue::Text(b);
+        let s1 = value_similarity(&va, &vb);
+        prop_assert!(unit(s1));
+        prop_assert!((s1 - value_similarity(&vb, &va)).abs() < 1e-9);
+    }
+}

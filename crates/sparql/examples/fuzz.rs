@@ -1,0 +1,28 @@
+//! Randomized robustness check: the parser must terminate (accept or error)
+//! on arbitrary input, including multi-byte UTF-8.
+//!
+//! ```sh
+//! cargo run --release -p alex-sparql --example fuzz
+//! ```
+
+use rand::prelude::*;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let chars: Vec<char> = (32u8..127)
+        .map(|b| b as char)
+        .chain("\n\t\u{e9}\u{4e16}\u{1F600}\u{0301}\u{2028}".chars())
+        .collect();
+    let iterations = 500_000u64;
+    for iter in 0..iterations {
+        let len = rng.random_range(0..60);
+        let s: String = (0..len).map(|_| *chars.choose(&mut rng).unwrap()).collect();
+        let start = std::time::Instant::now();
+        let _ = alex_sparql::parse(&s);
+        assert!(
+            start.elapsed().as_millis() < 500,
+            "parser stalled on {s:?} (iteration {iter})"
+        );
+    }
+    println!("parsed {iterations} random inputs without stalling");
+}

@@ -1,0 +1,260 @@
+//! Abstract syntax for the supported SPARQL subset.
+//!
+//! The subset covers what the paper's federated-query scenario needs:
+//! `PREFIX`, `SELECT [DISTINCT] ?v… | *` and `ASK`, basic graph patterns,
+//! `OPTIONAL { … }` groups, `FILTER` with comparisons / boolean connectives
+//! / `CONTAINS` / `STR`, `ORDER BY`, and `LIMIT`.
+
+use crate::value::Value;
+
+/// A position in a triple pattern: a variable or a constant value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermPattern {
+    /// A variable, without the leading `?`.
+    Var(String),
+    /// A constant value.
+    Value(Value),
+}
+
+impl TermPattern {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            TermPattern::Var(v) => Some(v),
+            TermPattern::Value(_) => None,
+        }
+    }
+}
+
+/// A triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub subject: TermPattern,
+    /// Predicate position.
+    pub predicate: TermPattern,
+    /// Object position.
+    pub object: TermPattern,
+}
+
+impl TriplePattern {
+    /// Variables mentioned by this pattern.
+    pub fn variables(&self) -> Vec<&str> {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(|t| t.as_var())
+            .collect()
+    }
+}
+
+/// Comparison operators in filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// An operand of a filter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A variable reference.
+    Var(String),
+    /// A constant.
+    Const(Value),
+    /// `STR(?v)` — the lexical form of a variable's value.
+    Str(String),
+}
+
+/// A filter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Binary comparison.
+    Cmp(CmpOp, Operand, Operand),
+    /// `CONTAINS(arg, "needle")`, case-insensitive.
+    Contains(Operand, String),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+/// One element of a `WHERE` group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhereElement {
+    /// A triple pattern.
+    Pattern(TriplePattern),
+    /// A filter.
+    Filter(Expr),
+    /// An `OPTIONAL { … }` group: left-outer-joined against the required
+    /// part. The subset allows triple patterns inside (no nesting).
+    Optional(Vec<TriplePattern>),
+}
+
+/// Projection clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// `SELECT *` — all variables in order of first appearance.
+    All,
+    /// `SELECT ?a ?b …`
+    Vars(Vec<String>),
+}
+
+/// The query form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// `SELECT …` — returns solution mappings.
+    Select,
+    /// `ASK …` — returns whether any solution exists.
+    Ask,
+}
+
+/// A sort key: variable plus direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Variable name (without `?`).
+    pub variable: String,
+    /// Whether the order is descending.
+    pub descending: bool,
+}
+
+/// A parsed SELECT or ASK query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT or ASK.
+    pub kind: QueryKind,
+    /// Projection (ignored for ASK).
+    pub selection: Selection,
+    /// Whether `DISTINCT` was specified.
+    pub distinct: bool,
+    /// Patterns and filters in syntactic order.
+    pub where_clause: Vec<WhereElement>,
+    /// `ORDER BY` keys, in priority order.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT`, if present.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// Required (non-optional) triple patterns of the query, in order.
+    pub fn patterns(&self) -> impl Iterator<Item = &TriplePattern> {
+        self.where_clause.iter().filter_map(|e| match e {
+            WhereElement::Pattern(p) => Some(p),
+            _ => None,
+        })
+    }
+
+    /// Filters of the query, in order.
+    pub fn filters(&self) -> impl Iterator<Item = &Expr> {
+        self.where_clause.iter().filter_map(|e| match e {
+            WhereElement::Filter(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// OPTIONAL groups of the query, in order.
+    pub fn optionals(&self) -> impl Iterator<Item = &Vec<TriplePattern>> {
+        self.where_clause.iter().filter_map(|e| match e {
+            WhereElement::Optional(g) => Some(g),
+            _ => None,
+        })
+    }
+
+    /// All variables in order of first appearance in the patterns
+    /// (required first, then optional groups).
+    pub fn pattern_variables(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let push = |p: &TriplePattern, out: &mut Vec<String>| {
+            for v in p.variables() {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.to_string());
+                }
+            }
+        };
+        for p in self.patterns() {
+            push(p, &mut out);
+        }
+        for group in self.optionals() {
+            for p in group {
+                push(p, &mut out);
+            }
+        }
+        out
+    }
+
+    /// The projected variables (resolving `SELECT *`).
+    pub fn projection(&self) -> Vec<String> {
+        match &self.selection {
+            Selection::All => self.pattern_variables(),
+            Selection::Vars(vs) => vs.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Query {
+        Query {
+            kind: QueryKind::Select,
+            order_by: Vec::new(),
+            selection: Selection::Vars(vec!["a".into()]),
+            distinct: false,
+            where_clause: vec![
+                WhereElement::Pattern(TriplePattern {
+                    subject: TermPattern::Var("a".into()),
+                    predicate: TermPattern::Value(Value::iri("http://e/p")),
+                    object: TermPattern::Var("b".into()),
+                }),
+                WhereElement::Filter(Expr::Cmp(
+                    CmpOp::Eq,
+                    Operand::Var("b".into()),
+                    Operand::Const(Value::plain("x")),
+                )),
+            ],
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn patterns_and_filters_split() {
+        let q = sample();
+        assert_eq!(q.patterns().count(), 1);
+        assert_eq!(q.filters().count(), 1);
+    }
+
+    #[test]
+    fn pattern_variables_in_order() {
+        let q = sample();
+        assert_eq!(q.pattern_variables(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn projection_resolves_star() {
+        let mut q = sample();
+        q.selection = Selection::All;
+        assert_eq!(q.projection(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn triple_pattern_variables() {
+        let p = TriplePattern {
+            subject: TermPattern::Var("s".into()),
+            predicate: TermPattern::Var("p".into()),
+            object: TermPattern::Value(Value::plain("o")),
+        };
+        assert_eq!(p.variables(), vec!["s", "p"]);
+    }
+}

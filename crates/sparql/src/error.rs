@@ -1,0 +1,61 @@
+//! Error types for the SPARQL engine.
+
+use std::fmt;
+
+/// Errors produced while parsing or evaluating SPARQL queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// Syntax error, with byte offset into the query text.
+    Parse {
+        /// Byte offset of the offending token.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A prefixed name used an undeclared prefix.
+    UnknownPrefix(String),
+    /// A runtime evaluation error (type error in a filter, etc.).
+    Eval(String),
+    /// The query uses a feature outside the supported subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            SparqlError::UnknownPrefix(p) => write!(f, "unknown prefix '{p}:'"),
+            SparqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SparqlError::Unsupported(m) => write!(f, "unsupported SPARQL feature: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SparqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SparqlError::Parse {
+            position: 4,
+            message: "x".into()
+        }
+        .to_string()
+        .contains("byte 4"));
+        assert!(SparqlError::UnknownPrefix("foaf".into())
+            .to_string()
+            .contains("foaf"));
+        assert!(SparqlError::Eval("bad".into()).to_string().contains("bad"));
+        assert!(SparqlError::Unsupported("OPTIONAL".into())
+            .to_string()
+            .contains("OPTIONAL"));
+    }
+}

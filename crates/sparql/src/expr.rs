@@ -1,0 +1,227 @@
+//! Filter-expression evaluation.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{CmpOp, Expr, Operand};
+use crate::error::{Result, SparqlError};
+use crate::value::Value;
+
+/// A solution mapping: variable name → value.
+pub type Bindings = BTreeMap<String, Value>;
+
+/// Evaluate a filter expression against a solution mapping.
+///
+/// Unbound variables are an evaluation error (the executor only applies a
+/// filter once all its variables are bound).
+pub fn eval_expr(expr: &Expr, bindings: &Bindings) -> Result<bool> {
+    match expr {
+        Expr::And(a, b) => Ok(eval_expr(a, bindings)? && eval_expr(b, bindings)?),
+        Expr::Or(a, b) => Ok(eval_expr(a, bindings)? || eval_expr(b, bindings)?),
+        Expr::Not(e) => Ok(!eval_expr(e, bindings)?),
+        Expr::Contains(arg, needle) => {
+            let v = resolve(arg, bindings)?;
+            Ok(v.lexical().to_lowercase().contains(&needle.to_lowercase()))
+        }
+        Expr::Cmp(op, left, right) => {
+            let l = resolve(left, bindings)?;
+            let r = resolve(right, bindings)?;
+            Ok(compare(*op, &l, &r))
+        }
+    }
+}
+
+/// Variables referenced by an expression.
+pub fn expr_variables(expr: &Expr) -> Vec<&str> {
+    fn operand_var(op: &Operand) -> Option<&str> {
+        match op {
+            Operand::Var(v) | Operand::Str(v) => Some(v),
+            Operand::Const(_) => None,
+        }
+    }
+    fn walk<'a>(expr: &'a Expr, out: &mut Vec<&'a str>) {
+        match expr {
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Expr::Not(e) => walk(e, out),
+            Expr::Contains(arg, _) => out.extend(operand_var(arg)),
+            Expr::Cmp(_, l, r) => {
+                out.extend(operand_var(l));
+                out.extend(operand_var(r));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(expr, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn resolve(op: &Operand, bindings: &Bindings) -> Result<Value> {
+    match op {
+        Operand::Const(v) => Ok(v.clone()),
+        Operand::Var(name) => bindings
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SparqlError::Eval(format!("unbound variable ?{name}"))),
+        Operand::Str(name) => {
+            let v = bindings
+                .get(name)
+                .ok_or_else(|| SparqlError::Eval(format!("unbound variable ?{name}")))?;
+            Ok(Value::plain(v.lexical()))
+        }
+    }
+}
+
+/// SPARQL-style value comparison: numeric when both sides parse as numbers,
+/// lexical-form comparison otherwise; equality falls back to term equality
+/// with a lexical-form escape hatch for `STR()`-ed values.
+fn compare(op: CmpOp, l: &Value, r: &Value) -> bool {
+    if let (Some(a), Some(b)) = (l.as_number(), r.as_number()) {
+        return match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        };
+    }
+    match op {
+        CmpOp::Eq => l == r || l.lexical() == r.lexical() && same_shape(l, r),
+        CmpOp::Ne => !compare(CmpOp::Eq, l, r),
+        CmpOp::Lt => l.lexical() < r.lexical(),
+        CmpOp::Le => l.lexical() <= r.lexical(),
+        CmpOp::Gt => l.lexical() > r.lexical(),
+        CmpOp::Ge => l.lexical() >= r.lexical(),
+    }
+}
+
+/// Whether two values are of comparable shapes for lexical equality: both
+/// literals (ignoring datatype/lang differences) or both IRIs.
+fn same_shape(l: &Value, r: &Value) -> bool {
+    matches!(
+        (l, r),
+        (Value::Literal { .. }, Value::Literal { .. }) | (Value::Iri(_), Value::Iri(_))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bind(pairs: &[(&str, Value)]) -> Bindings {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let b = bind(&[("x", Value::typed("5", alex_rdf::vocab::XSD_INTEGER))]);
+        let lt = Expr::Cmp(
+            CmpOp::Lt,
+            Operand::Var("x".into()),
+            Operand::Const(Value::typed("10", alex_rdf::vocab::XSD_INTEGER)),
+        );
+        assert!(eval_expr(&lt, &b).unwrap());
+        let ge = Expr::Cmp(
+            CmpOp::Ge,
+            Operand::Var("x".into()),
+            Operand::Const(Value::plain("5.0")),
+        );
+        assert!(eval_expr(&ge, &b).unwrap(), "mixed plain/typed numerics compare numerically");
+    }
+
+    #[test]
+    fn string_comparison_lexicographic() {
+        let b = bind(&[("x", Value::plain("apple"))]);
+        let lt = Expr::Cmp(
+            CmpOp::Lt,
+            Operand::Var("x".into()),
+            Operand::Const(Value::plain("banana")),
+        );
+        assert!(eval_expr(&lt, &b).unwrap());
+    }
+
+    #[test]
+    fn equality_ignores_plain_vs_typed_string() {
+        let b = bind(&[("x", Value::plain("abc"))]);
+        let eq = Expr::Cmp(
+            CmpOp::Eq,
+            Operand::Var("x".into()),
+            Operand::Const(Value::typed("abc", alex_rdf::vocab::XSD_STRING)),
+        );
+        assert!(eval_expr(&eq, &b).unwrap());
+    }
+
+    #[test]
+    fn iri_vs_literal_never_equal() {
+        let b = bind(&[("x", Value::iri("abc"))]);
+        let eq = Expr::Cmp(
+            CmpOp::Eq,
+            Operand::Var("x".into()),
+            Operand::Const(Value::plain("abc")),
+        );
+        assert!(!eval_expr(&eq, &b).unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let b = bind(&[("x", Value::typed("5", alex_rdf::vocab::XSD_INTEGER))]);
+        let true_cmp = || {
+            Expr::Cmp(
+                CmpOp::Eq,
+                Operand::Var("x".into()),
+                Operand::Const(Value::plain("5")),
+            )
+        };
+        let false_cmp = || {
+            Expr::Cmp(
+                CmpOp::Eq,
+                Operand::Var("x".into()),
+                Operand::Const(Value::plain("6")),
+            )
+        };
+        assert!(eval_expr(&Expr::And(Box::new(true_cmp()), Box::new(true_cmp())), &b).unwrap());
+        assert!(!eval_expr(&Expr::And(Box::new(true_cmp()), Box::new(false_cmp())), &b).unwrap());
+        assert!(eval_expr(&Expr::Or(Box::new(false_cmp()), Box::new(true_cmp())), &b).unwrap());
+        assert!(eval_expr(&Expr::Not(Box::new(false_cmp())), &b).unwrap());
+    }
+
+    #[test]
+    fn contains_is_case_insensitive() {
+        let b = bind(&[("n", Value::plain("LeBron James"))]);
+        let c = Expr::Contains(Operand::Str("n".into()), "lebron".into());
+        assert!(eval_expr(&c, &b).unwrap());
+        let miss = Expr::Contains(Operand::Str("n".into()), "jordan".into());
+        assert!(!eval_expr(&miss, &b).unwrap());
+    }
+
+    #[test]
+    fn unbound_variable_is_error() {
+        let b = Bindings::new();
+        let e = Expr::Cmp(
+            CmpOp::Eq,
+            Operand::Var("ghost".into()),
+            Operand::Const(Value::plain("x")),
+        );
+        assert!(matches!(eval_expr(&e, &b), Err(SparqlError::Eval(_))));
+    }
+
+    #[test]
+    fn expr_variables_collects_unique_sorted() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp(
+                CmpOp::Eq,
+                Operand::Var("b".into()),
+                Operand::Var("a".into()),
+            )),
+            Box::new(Expr::Contains(Operand::Str("a".into()), "x".into())),
+        );
+        assert_eq!(expr_variables(&e), vec!["a", "b"]);
+    }
+}

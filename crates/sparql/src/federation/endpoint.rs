@@ -1,0 +1,141 @@
+//! Endpoints: the federation engine's view of a data source.
+
+use alex_rdf::{Dataset, Term};
+
+use crate::value::Value;
+
+/// A queryable data source. In-process wrapper around a data set here; a
+/// network SPARQL endpoint in a deployed system.
+pub trait Endpoint {
+    /// The source's name (used in diagnostics and provenance).
+    fn name(&self) -> &str;
+
+    /// All triples matching the pattern; `None` positions are wildcards.
+    fn matching(
+        &self,
+        s: Option<&Value>,
+        p: Option<&Value>,
+        o: Option<&Value>,
+    ) -> Vec<[Value; 3]>;
+
+    /// Whether any triple matches (used for source selection). Default:
+    /// materialize and test, which implementations should override if they
+    /// can answer cheaper.
+    fn has_matches(&self, s: Option<&Value>, p: Option<&Value>, o: Option<&Value>) -> bool {
+        !self.matching(s, p, o).is_empty()
+    }
+}
+
+/// An in-process endpoint over an owned [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct DatasetEndpoint {
+    dataset: Dataset,
+}
+
+impl DatasetEndpoint {
+    /// Wrap a data set.
+    pub fn new(dataset: Dataset) -> Self {
+        DatasetEndpoint { dataset }
+    }
+
+    /// Borrow the wrapped data set.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Resolve a constant value to a dataset-local term. A constant that
+    /// does not occur in the data set matches nothing.
+    fn term_of(&self, v: Option<&Value>) -> Result<Option<Term>, ()> {
+        match v {
+            None => Ok(None),
+            Some(v) => match v.lookup_term(&self.dataset) {
+                Some(t) => Ok(Some(t)),
+                None => Err(()), // constant absent from this data set
+            },
+        }
+    }
+}
+
+impl Endpoint for DatasetEndpoint {
+    fn name(&self) -> &str {
+        self.dataset.name()
+    }
+
+    fn matching(
+        &self,
+        s: Option<&Value>,
+        p: Option<&Value>,
+        o: Option<&Value>,
+    ) -> Vec<[Value; 3]> {
+        let (Ok(s), Ok(p), Ok(o)) = (self.term_of(s), self.term_of(p), self.term_of(o)) else {
+            return Vec::new();
+        };
+        self.dataset
+            .graph()
+            .matching(s, p, o)
+            .map(|t| {
+                [
+                    Value::from_term(&self.dataset, t.subject),
+                    Value::from_term(&self.dataset, t.predicate),
+                    Value::from_term(&self.dataset, t.object),
+                ]
+            })
+            .collect()
+    }
+
+    fn has_matches(&self, s: Option<&Value>, p: Option<&Value>, o: Option<&Value>) -> bool {
+        let (Ok(s), Ok(p), Ok(o)) = (self.term_of(s), self.term_of(p), self.term_of(o)) else {
+            return false;
+        };
+        self.dataset.graph().matching(s, p, o).next().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn endpoint() -> DatasetEndpoint {
+        let mut ds = Dataset::new("T");
+        ds.add_str("http://e/a", "http://e/name", "Alpha");
+        ds.add_str("http://e/b", "http://e/name", "Beta");
+        DatasetEndpoint::new(ds)
+    }
+
+    #[test]
+    fn wildcard_scan() {
+        let ep = endpoint();
+        assert_eq!(ep.matching(None, None, None).len(), 2);
+    }
+
+    #[test]
+    fn bound_subject() {
+        let ep = endpoint();
+        let s = Value::iri("http://e/a");
+        let rows = ep.matching(Some(&s), None, None);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][2], Value::plain("Alpha"));
+    }
+
+    #[test]
+    fn absent_constant_matches_nothing() {
+        let ep = endpoint();
+        let s = Value::iri("http://elsewhere/x");
+        assert!(ep.matching(Some(&s), None, None).is_empty());
+        assert!(!ep.has_matches(Some(&s), None, None));
+    }
+
+    #[test]
+    fn has_matches_agrees_with_matching() {
+        let ep = endpoint();
+        let p = Value::iri("http://e/name");
+        assert!(ep.has_matches(None, Some(&p), None));
+        let q = Value::iri("http://e/other");
+        assert!(!ep.has_matches(None, Some(&q), None));
+    }
+
+    #[test]
+    fn name_is_dataset_name() {
+        assert_eq!(endpoint().name(), "T");
+    }
+}

@@ -1,0 +1,646 @@
+//! The federated query executor.
+//!
+//! FedX-style evaluation over in-process endpoints: per-pattern source
+//! selection, greedy variable-counting join ordering, bound nested-loop
+//! joins, and — the part ALEX depends on — `owl:sameAs` expansion with
+//! per-answer link provenance. When a pattern's subject or object is bound
+//! to an IRI, the executor also probes every sameAs-equivalent IRI; any
+//! answer produced through an equivalent records the link that enabled it.
+
+use std::collections::HashSet;
+
+use crate::ast::{Query, TermPattern, TriplePattern};
+use crate::error::Result;
+use crate::expr::{eval_expr, expr_variables, Bindings};
+use crate::value::Value;
+
+use super::endpoint::Endpoint;
+use super::links::{Link, SameAsLinks};
+
+/// One answer row: the projected bindings plus the sameAs links used to
+/// produce it. Feedback on the answer is feedback on those links (§3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// Variable bindings, projected per the query's SELECT clause.
+    pub bindings: Bindings,
+    /// The sameAs links that bridged data sets for this answer, in stored
+    /// orientation. Empty for single-source answers.
+    pub links_used: Vec<Link>,
+}
+
+/// A federation of endpoints plus the sameAs link index.
+#[derive(Default)]
+pub struct FederatedEngine {
+    endpoints: Vec<Box<dyn Endpoint>>,
+    links: SameAsLinks,
+}
+
+impl FederatedEngine {
+    /// An engine with no endpoints and no links.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an endpoint.
+    pub fn add_endpoint(&mut self, ep: Box<dyn Endpoint>) {
+        self.endpoints.push(ep);
+    }
+
+    /// Replace the link index.
+    pub fn set_links(&mut self, links: SameAsLinks) {
+        self.links = links;
+    }
+
+    /// Borrow the link index.
+    pub fn links(&self) -> &SameAsLinks {
+        &self.links
+    }
+
+    /// Mutably borrow the link index (ALEX adds/removes links here).
+    pub fn links_mut(&mut self) -> &mut SameAsLinks {
+        &mut self.links
+    }
+
+    /// Number of registered endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Execute a parsed query.
+    pub fn execute(&self, query: &Query) -> Result<Vec<QueryAnswer>> {
+        let patterns: Vec<&TriplePattern> = query.patterns().collect();
+        let filters: Vec<_> = query.filters().collect();
+
+        // Partial solutions: bindings + links used so far.
+        let mut partials: Vec<(Bindings, Vec<Link>)> = vec![(Bindings::new(), Vec::new())];
+        let mut remaining: Vec<&TriplePattern> = patterns;
+        let mut applied_filters = vec![false; filters.len()];
+
+        while !remaining.is_empty() {
+            // Greedy variable-counting order (FedX's heuristic): prefer the
+            // pattern with the most positions bound given current bindings.
+            let bound_vars: HashSet<String> = partials
+                .first()
+                .map(|(b, _)| b.keys().cloned().collect())
+                .unwrap_or_default();
+            let (idx, _) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, p)| boundness(p, &bound_vars))
+                .expect("remaining is non-empty");
+            let pattern = remaining.remove(idx);
+
+            let mut next: Vec<(Bindings, Vec<Link>)> = Vec::new();
+            for (bindings, links_used) in &partials {
+                self.extend_with_pattern(pattern, bindings, links_used, &mut next);
+            }
+            partials = next;
+            if partials.is_empty() {
+                break;
+            }
+
+            // Apply any filter whose variables are all bound now.
+            let now_bound: HashSet<String> = partials
+                .first()
+                .map(|(b, _)| b.keys().cloned().collect())
+                .unwrap_or_default();
+            for (fi, filter) in filters.iter().enumerate() {
+                if applied_filters[fi] {
+                    continue;
+                }
+                if expr_variables(filter).iter().all(|v| now_bound.contains(*v)) {
+                    applied_filters[fi] = true;
+                    let mut kept = Vec::with_capacity(partials.len());
+                    for (b, l) in partials {
+                        if eval_expr(filter, &b)? {
+                            kept.push((b, l));
+                        }
+                    }
+                    partials = kept;
+                }
+            }
+        }
+
+        // Any filter not yet applied (e.g. over a variable that never got
+        // bound) is evaluated now and surfaces unbound-variable errors.
+        for (fi, filter) in filters.iter().enumerate() {
+            if applied_filters[fi] {
+                continue;
+            }
+            let mut kept = Vec::with_capacity(partials.len());
+            for (b, l) in partials {
+                if eval_expr(filter, &b)? {
+                    kept.push((b, l));
+                }
+            }
+            partials = kept;
+        }
+
+        // OPTIONAL groups: left outer join. Each surviving solution is
+        // extended with every compatible solution of the group; solutions
+        // the group cannot extend are kept unextended.
+        for group in query.optionals() {
+            let mut next: Vec<(Bindings, Vec<Link>)> = Vec::new();
+            for (bindings, links_used) in partials {
+                let seed = vec![(bindings.clone(), links_used.clone())];
+                let extended = self.join_patterns(seed, group.iter().collect());
+                if extended.is_empty() {
+                    next.push((bindings, links_used));
+                } else {
+                    next.extend(extended);
+                }
+            }
+            partials = next;
+        }
+
+        // ORDER BY (on full bindings, before projection — SPARQL allows
+        // ordering by non-projected variables).
+        if !query.order_by.is_empty() {
+            partials.sort_by(|(a, _), (b, _)| {
+                for key in &query.order_by {
+                    let ord = compare_optional(a.get(&key.variable), b.get(&key.variable));
+                    let ord = if key.descending { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        // Projection, DISTINCT, LIMIT.
+        let projection = query.projection();
+        let mut answers: Vec<QueryAnswer> = Vec::with_capacity(partials.len());
+        let mut seen: HashSet<Vec<(String, Value)>> = HashSet::new();
+        for (bindings, mut links_used) in partials {
+            let projected: Bindings = projection
+                .iter()
+                .filter_map(|v| bindings.get(v).map(|val| (v.clone(), val.clone())))
+                .collect();
+            if query.distinct {
+                let key: Vec<(String, Value)> =
+                    projected.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                if !seen.insert(key) {
+                    continue;
+                }
+            }
+            links_used.sort_unstable();
+            links_used.dedup();
+            answers.push(QueryAnswer {
+                bindings: projected,
+                links_used,
+            });
+            if let Some(limit) = query.limit {
+                if answers.len() >= limit {
+                    break;
+                }
+            }
+        }
+        Ok(answers)
+    }
+
+    /// Evaluate an ASK query (or any query as an existence check): whether
+    /// at least one solution exists.
+    pub fn ask(&self, query: &Query) -> Result<bool> {
+        let mut bounded = query.clone();
+        bounded.limit = Some(1);
+        bounded.order_by.clear(); // ordering cannot change existence
+        Ok(!self.execute(&bounded)?.is_empty())
+    }
+
+    /// Join a set of partial solutions with a pattern group using the
+    /// greedy variable-counting order (no filters). Used for OPTIONAL
+    /// groups; the main BGP loop inlines the same logic plus eager filters.
+    fn join_patterns(
+        &self,
+        mut partials: Vec<(Bindings, Vec<Link>)>,
+        mut remaining: Vec<&TriplePattern>,
+    ) -> Vec<(Bindings, Vec<Link>)> {
+        while !remaining.is_empty() && !partials.is_empty() {
+            let bound_vars: HashSet<String> = partials
+                .first()
+                .map(|(b, _)| b.keys().cloned().collect())
+                .unwrap_or_default();
+            let (idx, _) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, p)| boundness(p, &bound_vars))
+                .expect("remaining is non-empty");
+            let pattern = remaining.remove(idx);
+            let mut next = Vec::new();
+            for (bindings, links_used) in &partials {
+                self.extend_with_pattern(pattern, bindings, links_used, &mut next);
+            }
+            partials = next;
+        }
+        partials
+    }
+
+    /// Join one pattern against all endpoints for one partial solution,
+    /// expanding bound IRIs through sameAs links.
+    fn extend_with_pattern(
+        &self,
+        pattern: &TriplePattern,
+        bindings: &Bindings,
+        links_used: &[Link],
+        out: &mut Vec<(Bindings, Vec<Link>)>,
+    ) {
+        // Resolve each position: bound value (with sameAs alternatives for
+        // IRIs in subject/object position) or wildcard.
+        let s_alts = alternatives(&pattern.subject, bindings, &self.links);
+        let p_alts = alternatives_no_expand(&pattern.predicate, bindings);
+        let o_alts = alternatives(&pattern.object, bindings, &self.links);
+
+        for (s_val, s_link) in &s_alts {
+            for p_val in &p_alts {
+                for (o_val, o_link) in &o_alts {
+                    for ep in &self.endpoints {
+                        let rows = ep.matching(s_val.as_ref(), p_val.as_ref(), o_val.as_ref());
+                        for [rs, rp, ro] in rows {
+                            let mut b = bindings.clone();
+                            if !bind_position(&mut b, bindings, &pattern.subject, rs) {
+                                continue;
+                            }
+                            if !bind_position(&mut b, bindings, &pattern.predicate, rp) {
+                                continue;
+                            }
+                            if !bind_position(&mut b, bindings, &pattern.object, ro) {
+                                continue;
+                            }
+                            let mut l = links_used.to_vec();
+                            if let Some(link) = s_link {
+                                l.push(link.clone());
+                            }
+                            if let Some(link) = o_link {
+                                l.push(link.clone());
+                            }
+                            out.push((b, l));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// How many positions of `pattern` are constants or already-bound variables.
+fn boundness(pattern: &TriplePattern, bound: &HashSet<String>) -> usize {
+    [&pattern.subject, &pattern.predicate, &pattern.object]
+        .into_iter()
+        .filter(|t| match t {
+            TermPattern::Value(_) => true,
+            TermPattern::Var(v) => bound.contains(v.as_str()),
+        })
+        .count()
+}
+
+/// SPARQL-ish value ordering for ORDER BY: unbound sorts last; numbers
+/// compare numerically when both sides parse; everything else compares by
+/// lexical form, then by term shape for stability.
+fn compare_optional(a: Option<&Value>, b: Option<&Value>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Greater,
+        (Some(_), None) => Ordering::Less,
+        (Some(x), Some(y)) => {
+            if let (Some(nx), Some(ny)) = (x.as_number(), y.as_number()) {
+                return nx.total_cmp(&ny);
+            }
+            x.lexical().cmp(y.lexical()).then_with(|| x.cmp(y))
+        }
+    }
+}
+
+/// The probe values for a position: the bound/constant value itself plus,
+/// for IRIs, every sameAs-equivalent (each tagged with the enabling link).
+/// An unbound variable yields a single wildcard.
+fn alternatives(
+    position: &TermPattern,
+    bindings: &Bindings,
+    links: &SameAsLinks,
+) -> Vec<(Option<Value>, Option<Link>)> {
+    let value = match position {
+        TermPattern::Value(v) => Some(v.clone()),
+        TermPattern::Var(name) => bindings.get(name).cloned(),
+    };
+    match value {
+        None => vec![(None, None)],
+        Some(v) => {
+            let mut out = vec![(Some(v.clone()), None)];
+            if let Value::Iri(iri) = &v {
+                for (other, link) in links.equivalents(iri) {
+                    out.push((Some(Value::iri(other)), Some(link)));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Probe values for the predicate position (never sameAs-expanded).
+fn alternatives_no_expand(position: &TermPattern, bindings: &Bindings) -> Vec<Option<Value>> {
+    match position {
+        TermPattern::Value(v) => vec![Some(v.clone())],
+        TermPattern::Var(name) => vec![bindings.get(name).cloned()],
+    }
+}
+
+/// Bind a pattern position to a concrete matched value.
+///
+/// * A variable bound *before* this pattern was probed keeps its original
+///   binding: the probe was substituted (possibly through a sameAs
+///   alternative), so the row is consistent by construction.
+/// * A variable bound *within* this row (duplicate variable in one pattern,
+///   e.g. `?x ?p ?x`) must match exactly.
+fn bind_position(
+    bindings: &mut Bindings,
+    pre: &Bindings,
+    position: &TermPattern,
+    matched: Value,
+) -> bool {
+    match position {
+        TermPattern::Value(_) => true,
+        TermPattern::Var(name) => {
+            if pre.contains_key(name) {
+                return true;
+            }
+            match bindings.get(name) {
+                None => {
+                    bindings.insert(name.clone(), matched);
+                    true
+                }
+                Some(existing) => *existing == matched,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federation::endpoint::DatasetEndpoint;
+    use crate::parser::parse;
+    use alex_rdf::Dataset;
+
+    /// The paper's motivating scenario: NYT articles + DBpedia facts.
+    fn engine() -> FederatedEngine {
+        let mut dbpedia = Dataset::new("DBpedia");
+        dbpedia.add_str("http://db/LeBron", "http://db/award", "NBA MVP 2013");
+        dbpedia.add_str("http://db/LeBron", "http://db/label", "LeBron James");
+        dbpedia.add_str("http://db/Durant", "http://db/award", "NBA MVP 2014");
+
+        let mut nyt = Dataset::new("NYTimes");
+        nyt.add_iri("http://nyt/article1", "http://nyt/about", "http://nyt/lebron-james");
+        nyt.add_str("http://nyt/article1", "http://nyt/headline", "James Leads Heat");
+        nyt.add_iri("http://nyt/article2", "http://nyt/about", "http://nyt/someone-else");
+
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(dbpedia)));
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(nyt)));
+        engine.set_links(SameAsLinks::from_pairs(vec![(
+            "http://db/LeBron",
+            "http://nyt/lebron-james",
+        )]));
+        engine
+    }
+
+    #[test]
+    fn single_source_query_has_no_provenance() {
+        let engine = engine();
+        let q = parse("SELECT ?who WHERE { ?who <http://db/award> \"NBA MVP 2013\" }").unwrap();
+        let answers = engine.execute(&q).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(
+            answers[0].bindings["who"],
+            Value::iri("http://db/LeBron")
+        );
+        assert!(answers[0].links_used.is_empty());
+    }
+
+    #[test]
+    fn cross_source_join_uses_same_as_and_records_provenance() {
+        let engine = engine();
+        // "Find all NYT articles about the NBA MVP of 2013."
+        let q = parse(
+            "SELECT ?article ?who WHERE { \
+               ?who <http://db/award> \"NBA MVP 2013\" . \
+               ?article <http://nyt/about> ?who }",
+        )
+        .unwrap();
+        let answers = engine.execute(&q).unwrap();
+        assert_eq!(answers.len(), 1);
+        let a = &answers[0];
+        assert_eq!(a.bindings["article"], Value::iri("http://nyt/article1"));
+        assert_eq!(
+            a.links_used,
+            vec![Link::new("http://db/LeBron", "http://nyt/lebron-james")]
+        );
+    }
+
+    #[test]
+    fn no_link_no_answer() {
+        let mut engine = engine();
+        engine.set_links(SameAsLinks::new());
+        let q = parse(
+            "SELECT ?article WHERE { \
+               ?who <http://db/award> \"NBA MVP 2013\" . \
+               ?article <http://nyt/about> ?who }",
+        )
+        .unwrap();
+        assert!(engine.execute(&q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn filters_apply() {
+        let engine = engine();
+        let q = parse(
+            "SELECT ?who ?award WHERE { ?who <http://db/award> ?award \
+             FILTER(CONTAINS(STR(?award), \"2014\")) }",
+        )
+        .unwrap();
+        let answers = engine.execute(&q).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].bindings["who"], Value::iri("http://db/Durant"));
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let engine = engine();
+        let q = parse("SELECT DISTINCT ?p WHERE { ?s ?p ?o } LIMIT 2").unwrap();
+        let answers = engine.execute(&q).unwrap();
+        assert_eq!(answers.len(), 2);
+        assert_ne!(answers[0].bindings["p"], answers[1].bindings["p"]);
+    }
+
+    #[test]
+    fn reverse_orientation_links_also_bridge() {
+        let mut engine = engine();
+        // Store the link in the opposite orientation; joins must still work
+        // and provenance must preserve the stored orientation.
+        engine.set_links(SameAsLinks::from_pairs(vec![(
+            "http://nyt/lebron-james",
+            "http://db/LeBron",
+        )]));
+        let q = parse(
+            "SELECT ?article WHERE { \
+               ?who <http://db/award> \"NBA MVP 2013\" . \
+               ?article <http://nyt/about> ?who }",
+        )
+        .unwrap();
+        let answers = engine.execute(&q).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(
+            answers[0].links_used,
+            vec![Link::new("http://nyt/lebron-james", "http://db/LeBron")]
+        );
+    }
+
+    #[test]
+    fn duplicate_variable_in_one_pattern_requires_equality() {
+        let mut ds = Dataset::new("T");
+        ds.add_iri("http://e/a", "http://e/p", "http://e/a"); // self-loop
+        ds.add_iri("http://e/a", "http://e/p", "http://e/b");
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(ds)));
+        let q = parse("SELECT ?x WHERE { ?x <http://e/p> ?x }").unwrap();
+        let answers = engine.execute(&q).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].bindings["x"], Value::iri("http://e/a"));
+    }
+
+    #[test]
+    fn empty_engine_returns_nothing() {
+        let engine = FederatedEngine::new();
+        let q = parse("SELECT * WHERE { ?s ?p ?o }").unwrap();
+        assert!(engine.execute(&q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn order_by_sorts_answers() {
+        let mut ds = Dataset::new("T");
+        for (i, name) in ["Charlie", "Alice", "Bob"].iter().enumerate() {
+            ds.add_str(&format!("http://e/{i}"), "http://e/name", name);
+            ds.add_typed(
+                &format!("http://e/{i}"),
+                "http://e/rank",
+                &(10 - i).to_string(),
+                alex_rdf::vocab::XSD_INTEGER,
+            );
+        }
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(ds)));
+
+        let q = parse("SELECT ?n WHERE { ?s <http://e/name> ?n } ORDER BY ?n").unwrap();
+        let names: Vec<String> = engine
+            .execute(&q)
+            .unwrap()
+            .iter()
+            .map(|a| a.bindings["n"].lexical().to_string())
+            .collect();
+        assert_eq!(names, vec!["Alice", "Bob", "Charlie"]);
+
+        // Numeric descending order (not lexicographic).
+        let q = parse(
+            "SELECT ?n WHERE { ?s <http://e/name> ?n . ?s <http://e/rank> ?r } \
+             ORDER BY DESC(?r)",
+        )
+        .unwrap();
+        let names: Vec<String> = engine
+            .execute(&q)
+            .unwrap()
+            .iter()
+            .map(|a| a.bindings["n"].lexical().to_string())
+            .collect();
+        assert_eq!(names, vec!["Charlie", "Alice", "Bob"]);
+    }
+
+    #[test]
+    fn optional_is_left_outer_join() {
+        let mut ds = Dataset::new("T");
+        ds.add_str("http://e/a", "http://e/name", "Alice");
+        ds.add_str("http://e/a", "http://e/email", "alice@example.org");
+        ds.add_str("http://e/b", "http://e/name", "Bob"); // no email
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(ds)));
+        let q = parse(
+            "SELECT ?n ?m WHERE { ?s <http://e/name> ?n \
+             OPTIONAL { ?s <http://e/email> ?m } } ORDER BY ?n",
+        )
+        .unwrap();
+        let answers = engine.execute(&q).unwrap();
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0].bindings["n"].lexical(), "Alice");
+        assert_eq!(answers[0].bindings["m"].lexical(), "alice@example.org");
+        assert_eq!(answers[1].bindings["n"].lexical(), "Bob");
+        assert!(
+            !answers[1].bindings.contains_key("m"),
+            "Bob keeps his row with ?m unbound"
+        );
+    }
+
+    #[test]
+    fn optional_can_multiply_rows() {
+        let mut ds = Dataset::new("T");
+        ds.add_str("http://e/a", "http://e/name", "Alice");
+        ds.add_str("http://e/a", "http://e/email", "a1@example.org");
+        ds.add_str("http://e/a", "http://e/email", "a2@example.org");
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(ds)));
+        let q = parse(
+            "SELECT ?n ?m WHERE { ?s <http://e/name> ?n OPTIONAL { ?s <http://e/email> ?m } }",
+        )
+        .unwrap();
+        assert_eq!(engine.execute(&q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn optional_across_sameas_carries_provenance() {
+        let engine = engine();
+        // Every awarded player, optionally with the NYT articles about them.
+        let q = parse(
+            "SELECT ?who ?article WHERE { ?who <http://db/award> ?a \
+             OPTIONAL { ?article <http://nyt/about> ?who } }",
+        )
+        .unwrap();
+        let answers = engine.execute(&q).unwrap();
+        // LeBron (linked, 1 article match) + Durant (unlinked, kept bare).
+        assert_eq!(answers.len(), 2);
+        let with_article: Vec<_> = answers
+            .iter()
+            .filter(|a| a.bindings.contains_key("article"))
+            .collect();
+        assert_eq!(with_article.len(), 1);
+        assert_eq!(with_article[0].links_used.len(), 1, "optional match used the link");
+        let bare: Vec<_> = answers
+            .iter()
+            .filter(|a| !a.bindings.contains_key("article"))
+            .collect();
+        assert!(bare[0].links_used.is_empty());
+    }
+
+    #[test]
+    fn ask_reports_existence() {
+        let engine = engine();
+        let yes = parse("ASK { ?who <http://db/award> \"NBA MVP 2013\" }").unwrap();
+        assert!(engine.ask(&yes).unwrap());
+        let no = parse("ASK { ?who <http://db/award> \"NBA MVP 1903\" }").unwrap();
+        assert!(!engine.ask(&no).unwrap());
+    }
+
+    #[test]
+    fn join_order_prefers_bound_patterns() {
+        // Regardless of syntactic order, the selective pattern runs first;
+        // verify by result correctness on a reversed-order query.
+        let engine = engine();
+        let q = parse(
+            "SELECT ?article WHERE { \
+               ?article <http://nyt/about> ?who . \
+               ?who <http://db/award> \"NBA MVP 2013\" }",
+        )
+        .unwrap();
+        let answers = engine.execute(&q).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].links_used.len(), 1);
+    }
+}

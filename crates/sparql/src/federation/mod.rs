@@ -1,0 +1,9 @@
+//! FedX-style federated query processing with sameAs provenance.
+
+pub mod endpoint;
+pub mod executor;
+pub mod links;
+
+pub use endpoint::{DatasetEndpoint, Endpoint};
+pub use executor::{FederatedEngine, QueryAnswer};
+pub use links::{Link, SameAsLinks};

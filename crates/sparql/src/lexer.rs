@@ -1,0 +1,446 @@
+//! Tokenizer for the SPARQL subset.
+
+use crate::error::{Result, SparqlError};
+
+/// A lexical token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset in the input.
+    pub position: usize,
+    /// Token payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A bare word: keyword (`SELECT`) or prefixed-name part.
+    Word(String),
+    /// A prefixed name `prefix:local`.
+    Prefixed(String, String),
+    /// `?name` variable.
+    Var(String),
+    /// `<iri>`.
+    Iri(String),
+    /// String literal with optional `@lang` / `^^<dt>` suffix.
+    Literal {
+        /// Lexical form (unescaped).
+        lexical: String,
+        /// Language tag.
+        lang: Option<String>,
+        /// Datatype IRI.
+        datatype: Option<String>,
+    },
+    /// Numeric literal, kept as text.
+    Number(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// Comparison or boolean operator: `= != < <= > >= && || !`.
+    Op(String),
+    /// End of input.
+    Eof,
+}
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Decode the actual character: casting the lead byte of a
+        // multi-byte UTF-8 sequence to `char` would misclassify it (the
+        // lead byte of '😀' casts to 'ð', which is alphabetic) and could
+        // stall the scanner on a zero-length word.
+        let c = input[i..].chars().next().expect("in-bounds char");
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                tokens.push(tok(start, TokenKind::LBrace));
+                i += 1;
+            }
+            '}' => {
+                tokens.push(tok(start, TokenKind::RBrace));
+                i += 1;
+            }
+            '(' => {
+                tokens.push(tok(start, TokenKind::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(tok(start, TokenKind::RParen));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(tok(start, TokenKind::Comma));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(tok(start, TokenKind::Star));
+                i += 1;
+            }
+            '.' => {
+                // A dot starting a number (".5") is not supported; treat as punctuation.
+                tokens.push(tok(start, TokenKind::Dot));
+                i += 1;
+            }
+            '<' => {
+                // `<iri>` or `<` / `<=` operator. An IRI never contains spaces.
+                if let Some(end) = input[i + 1..].find('>') {
+                    let candidate = &input[i + 1..i + 1 + end];
+                    if !candidate.contains(char::is_whitespace) && !candidate.contains('<') {
+                        tokens.push(tok(start, TokenKind::Iri(candidate.to_string())));
+                        i += end + 2;
+                        continue;
+                    }
+                }
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(tok(start, TokenKind::Op("<=".into())));
+                    i += 2;
+                } else {
+                    tokens.push(tok(start, TokenKind::Op("<".into())));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(tok(start, TokenKind::Op(">=".into())));
+                    i += 2;
+                } else {
+                    tokens.push(tok(start, TokenKind::Op(">".into())));
+                    i += 1;
+                }
+            }
+            '=' => {
+                tokens.push(tok(start, TokenKind::Op("=".into())));
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(tok(start, TokenKind::Op("!=".into())));
+                    i += 2;
+                } else {
+                    tokens.push(tok(start, TokenKind::Op("!".into())));
+                    i += 1;
+                }
+            }
+            '&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    tokens.push(tok(start, TokenKind::Op("&&".into())));
+                    i += 2;
+                } else {
+                    return Err(err(start, "expected '&&'"));
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    tokens.push(tok(start, TokenKind::Op("||".into())));
+                    i += 2;
+                } else {
+                    return Err(err(start, "expected '||'"));
+                }
+            }
+            '?' | '$' => {
+                let word_end = scan_word(input, i + 1);
+                if word_end == i + 1 {
+                    return Err(err(start, "empty variable name"));
+                }
+                tokens.push(tok(start, TokenKind::Var(input[i + 1..word_end].to_string())));
+                i = word_end;
+            }
+            '"' => {
+                let (lexical, after) = scan_string(input, i)?;
+                let mut lang = None;
+                let mut datatype = None;
+                let mut j = after;
+                if j < bytes.len() && bytes[j] == b'@' {
+                    let end = scan_word(input, j + 1);
+                    lang = Some(input[j + 1..end].to_string());
+                    j = end;
+                } else if input[j..].starts_with("^^<") {
+                    let Some(end) = input[j + 3..].find('>') else {
+                        return Err(err(j, "unterminated datatype IRI"));
+                    };
+                    datatype = Some(input[j + 3..j + 3 + end].to_string());
+                    j += end + 4;
+                }
+                tokens.push(tok(
+                    start,
+                    TokenKind::Literal {
+                        lexical,
+                        lang,
+                        datatype,
+                    },
+                ));
+                i = j;
+            }
+            c if c.is_ascii_digit() || (c == '-' && peek_digit(bytes, i + 1)) => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
+                {
+                    // Don't consume a trailing statement dot ("42 ." vs "4.2").
+                    if bytes[j] == b'.' && !peek_digit(bytes, j + 1) {
+                        break;
+                    }
+                    j += 1;
+                }
+                tokens.push(tok(start, TokenKind::Number(input[i..j].to_string())));
+                i = j;
+            }
+            c if is_word_start(c) => {
+                let end = scan_word(input, i);
+                let word = &input[i..end];
+                // Prefixed name?
+                if end < bytes.len() && bytes[end] == b':' {
+                    let local_end = scan_word(input, end + 1);
+                    tokens.push(tok(
+                        start,
+                        TokenKind::Prefixed(word.to_string(), input[end + 1..local_end].to_string()),
+                    ));
+                    i = local_end;
+                } else {
+                    tokens.push(tok(start, TokenKind::Word(word.to_string())));
+                    i = end;
+                }
+            }
+            ':' => {
+                // Default prefix `:local`.
+                let local_end = scan_word(input, i + 1);
+                tokens.push(tok(
+                    start,
+                    TokenKind::Prefixed(String::new(), input[i + 1..local_end].to_string()),
+                ));
+                i = local_end;
+            }
+            other => return Err(err(start, &format!("unexpected character '{other}'"))),
+        }
+    }
+    tokens.push(tok(input.len(), TokenKind::Eof));
+    Ok(tokens)
+}
+
+fn tok(position: usize, kind: TokenKind) -> Token {
+    Token { position, kind }
+}
+
+fn err(position: usize, message: &str) -> SparqlError {
+    SparqlError::Parse {
+        position,
+        message: message.to_string(),
+    }
+}
+
+fn peek_digit(bytes: &[u8], i: usize) -> bool {
+    i < bytes.len() && (bytes[i] as char).is_ascii_digit()
+}
+
+fn is_word_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+fn scan_word(input: &str, from: usize) -> usize {
+    input[from..]
+        .char_indices()
+        .find(|(_, c)| !is_word_char(*c))
+        .map(|(i, _)| from + i)
+        .unwrap_or(input.len())
+}
+
+/// Scan a quoted string starting at the opening quote; returns the unescaped
+/// content and the index just past the closing quote.
+fn scan_string(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, i + 1)),
+            b'\\' => {
+                if i + 1 >= bytes.len() {
+                    break;
+                }
+                match bytes[i + 1] {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    other => {
+                        return Err(err(
+                            i,
+                            &format!("unsupported escape '\\{}'", other as char),
+                        ))
+                    }
+                }
+                i += 2;
+            }
+            _ => {
+                // Copy a full UTF-8 character.
+                let ch = input[i..].chars().next().expect("valid UTF-8");
+                out.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+    Err(err(start, "unterminated string literal"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_select_query() {
+        let ks = kinds("SELECT ?s WHERE { ?s <http://e/p> \"v\" . }");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Word("SELECT".into()),
+                TokenKind::Var("s".into()),
+                TokenKind::Word("WHERE".into()),
+                TokenKind::LBrace,
+                TokenKind::Var("s".into()),
+                TokenKind::Iri("http://e/p".into()),
+                TokenKind::Literal {
+                    lexical: "v".into(),
+                    lang: None,
+                    datatype: None
+                },
+                TokenKind::Dot,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn literal_suffixes() {
+        let ks = kinds("\"a\"@en \"2\"^^<http://dt>");
+        assert_eq!(
+            ks[0],
+            TokenKind::Literal {
+                lexical: "a".into(),
+                lang: Some("en".into()),
+                datatype: None
+            }
+        );
+        assert_eq!(
+            ks[1],
+            TokenKind::Literal {
+                lexical: "2".into(),
+                lang: None,
+                datatype: Some("http://dt".into())
+            }
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("= != < <= > >= && || !");
+        let ops: Vec<String> = ks
+            .into_iter()
+            .filter_map(|k| match k {
+                TokenKind::Op(o) => Some(o),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec!["=", "!=", "<", "<=", ">", ">=", "&&", "||", "!"]);
+    }
+
+    #[test]
+    fn less_than_vs_iri() {
+        // `<` followed by a var is an operator, not an IRI opener.
+        let ks = kinds("?x < 5");
+        assert!(matches!(ks[1], TokenKind::Op(ref o) if o == "<"));
+        assert!(matches!(ks[2], TokenKind::Number(ref n) if n == "5"));
+    }
+
+    #[test]
+    fn numbers_and_statement_dot() {
+        let ks = kinds("42 . 4.5 -3");
+        assert_eq!(ks[0], TokenKind::Number("42".into()));
+        assert_eq!(ks[1], TokenKind::Dot);
+        assert_eq!(ks[2], TokenKind::Number("4.5".into()));
+        assert_eq!(ks[3], TokenKind::Number("-3".into()));
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let ks = kinds("foaf:name :local");
+        assert_eq!(ks[0], TokenKind::Prefixed("foaf".into(), "name".into()));
+        assert_eq!(ks[1], TokenKind::Prefixed("".into(), "local".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("SELECT # everything\n?x");
+        assert_eq!(ks.len(), 3);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let ks = kinds(r#""say \"hi\"\n""#);
+        assert_eq!(
+            ks[0],
+            TokenKind::Literal {
+                lexical: "say \"hi\"\n".into(),
+                lang: None,
+                datatype: None
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let e = tokenize("?x @").unwrap_err();
+        assert!(matches!(e, SparqlError::Parse { .. }));
+        let e = tokenize("\"unterminated").unwrap_err();
+        assert!(matches!(e, SparqlError::Parse { .. }));
+        let e = tokenize("a & b").unwrap_err();
+        assert!(matches!(e, SparqlError::Parse { .. }));
+    }
+
+    #[test]
+    fn multibyte_input_never_stalls() {
+        // Regression: the lead byte of a multi-byte char must not be
+        // misclassified as a word start (infinite empty-word loop).
+        assert!(tokenize("😀").is_err(), "emoji is not a token");
+        let ks = kinds("café 世界");
+        assert_eq!(ks[0], TokenKind::Word("café".into()));
+        assert_eq!(ks[1], TokenKind::Word("世界".into()));
+    }
+
+    #[test]
+    fn dollar_variables() {
+        let ks = kinds("$x");
+        assert_eq!(ks[0], TokenKind::Var("x".into()));
+    }
+}

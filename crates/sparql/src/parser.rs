@@ -1,0 +1,601 @@
+//! Recursive-descent parser for the SPARQL subset.
+
+use std::collections::HashMap;
+
+use crate::ast::{
+    CmpOp, Expr, Operand, OrderKey, Query, QueryKind, Selection, TermPattern, TriplePattern,
+    WhereElement,
+};
+use crate::error::{Result, SparqlError};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::value::Value;
+
+/// Parse a query string into a [`Query`].
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+    }
+    .query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn position(&self) -> usize {
+        self.tokens[self.pos].position
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn err(&self, message: impl Into<String>) -> SparqlError {
+        SparqlError::Parse {
+            position: self.position(),
+            message: message.into(),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        match self.bump() {
+            TokenKind::Word(w) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.err(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn expand(&self, prefix: &str, local: &str) -> Result<String> {
+        self.prefixes
+            .get(prefix)
+            .map(|ns| format!("{ns}{local}"))
+            .ok_or_else(|| SparqlError::UnknownPrefix(prefix.to_string()))
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        while self.peek_keyword("PREFIX") {
+            self.bump();
+            let (prefix, local) = match self.bump() {
+                TokenKind::Prefixed(p, l) => (p, l),
+                other => return Err(self.err(format!("expected prefix declaration, found {other:?}"))),
+            };
+            if !local.is_empty() {
+                return Err(self.err("prefix declaration must end with ':'"));
+            }
+            let iri = match self.bump() {
+                TokenKind::Iri(iri) => iri,
+                other => return Err(self.err(format!("expected IRI, found {other:?}"))),
+            };
+            self.prefixes.insert(prefix, iri);
+        }
+
+        let (kind, distinct, selection) = if self.peek_keyword("ASK") {
+            self.bump();
+            (QueryKind::Ask, false, Selection::All)
+        } else {
+            self.keyword("SELECT")?;
+            let distinct = if self.peek_keyword("DISTINCT") {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let selection = match self.peek() {
+                TokenKind::Star => {
+                    self.bump();
+                    Selection::All
+                }
+                TokenKind::Var(_) => {
+                    let mut vars = Vec::new();
+                    while let TokenKind::Var(v) = self.peek() {
+                        vars.push(v.clone());
+                        self.bump();
+                    }
+                    Selection::Vars(vars)
+                }
+                other => {
+                    return Err(self.err(format!("expected '*' or variables, found {other:?}")))
+                }
+            };
+            (QueryKind::Select, distinct, selection)
+        };
+
+        // `WHERE` is optional for ASK.
+        if self.peek_keyword("WHERE") {
+            self.bump();
+        } else if kind == QueryKind::Select {
+            return Err(self.err("expected WHERE"));
+        }
+        if !matches!(self.bump(), TokenKind::LBrace) {
+            return Err(self.err("expected '{'"));
+        }
+        let mut where_clause = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Word(w)
+                    if w.eq_ignore_ascii_case("FILTER") =>
+                {
+                    self.bump();
+                    if !matches!(self.bump(), TokenKind::LParen) {
+                        return Err(self.err("expected '(' after FILTER"));
+                    }
+                    let expr = self.or_expr()?;
+                    if !matches!(self.bump(), TokenKind::RParen) {
+                        return Err(self.err("expected ')' closing FILTER"));
+                    }
+                    where_clause.push(WhereElement::Filter(expr));
+                }
+                TokenKind::Word(w) if w.eq_ignore_ascii_case("OPTIONAL") => {
+                    self.bump();
+                    if !matches!(self.bump(), TokenKind::LBrace) {
+                        return Err(self.err("expected '{' after OPTIONAL"));
+                    }
+                    let mut group = Vec::new();
+                    loop {
+                        match self.peek() {
+                            TokenKind::RBrace => {
+                                self.bump();
+                                break;
+                            }
+                            TokenKind::Word(w)
+                                if w.eq_ignore_ascii_case("OPTIONAL")
+                                    || w.eq_ignore_ascii_case("FILTER") =>
+                            {
+                                return Err(SparqlError::Unsupported(format!(
+                                    "{w} inside OPTIONAL"
+                                )));
+                            }
+                            TokenKind::Eof => {
+                                return Err(self.err("unterminated OPTIONAL group"))
+                            }
+                            _ => {
+                                let subject = self.term_pattern()?;
+                                let predicate = self.predicate_pattern()?;
+                                let object = self.term_pattern()?;
+                                group.push(TriplePattern {
+                                    subject,
+                                    predicate,
+                                    object,
+                                });
+                                if matches!(self.peek(), TokenKind::Dot) {
+                                    self.bump();
+                                }
+                            }
+                        }
+                    }
+                    if group.is_empty() {
+                        return Err(self.err("empty OPTIONAL group"));
+                    }
+                    where_clause.push(WhereElement::Optional(group));
+                }
+                TokenKind::Word(w)
+                    if w.eq_ignore_ascii_case("UNION") || w.eq_ignore_ascii_case("GRAPH") =>
+                {
+                    return Err(SparqlError::Unsupported(w.clone()));
+                }
+                TokenKind::Eof => return Err(self.err("unterminated WHERE group")),
+                _ => {
+                    let subject = self.term_pattern()?;
+                    let predicate = self.predicate_pattern()?;
+                    let object = self.term_pattern()?;
+                    where_clause.push(WhereElement::Pattern(TriplePattern {
+                        subject,
+                        predicate,
+                        object,
+                    }));
+                    if matches!(self.peek(), TokenKind::Dot) {
+                        self.bump();
+                    }
+                }
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.peek_keyword("ORDER") {
+            self.bump();
+            self.keyword("BY")?;
+            loop {
+                match self.peek().clone() {
+                    TokenKind::Var(v) => {
+                        self.bump();
+                        order_by.push(OrderKey {
+                            variable: v,
+                            descending: false,
+                        });
+                    }
+                    TokenKind::Word(w)
+                        if w.eq_ignore_ascii_case("ASC") || w.eq_ignore_ascii_case("DESC") =>
+                    {
+                        let descending = w.eq_ignore_ascii_case("DESC");
+                        self.bump();
+                        if !matches!(self.bump(), TokenKind::LParen) {
+                            return Err(self.err("expected '(' after ASC/DESC"));
+                        }
+                        let var = match self.bump() {
+                            TokenKind::Var(v) => v,
+                            other => {
+                                return Err(
+                                    self.err(format!("expected variable, found {other:?}"))
+                                )
+                            }
+                        };
+                        if !matches!(self.bump(), TokenKind::RParen) {
+                            return Err(self.err("expected ')'"));
+                        }
+                        order_by.push(OrderKey {
+                            variable: var,
+                            descending,
+                        });
+                    }
+                    _ => break,
+                }
+            }
+            if order_by.is_empty() {
+                return Err(self.err("ORDER BY requires at least one key"));
+            }
+        }
+
+        let mut limit = None;
+        if self.peek_keyword("LIMIT") {
+            self.bump();
+            match self.bump() {
+                TokenKind::Number(n) => {
+                    limit = Some(n.parse().map_err(|_| self.err("invalid LIMIT"))?);
+                }
+                other => return Err(self.err(format!("expected number after LIMIT, found {other:?}"))),
+            }
+        }
+        match self.peek() {
+            TokenKind::Eof => {}
+            other => return Err(self.err(format!("unexpected trailing token {other:?}"))),
+        }
+
+        Ok(Query {
+            kind,
+            selection,
+            distinct,
+            where_clause,
+            order_by,
+            limit,
+        })
+    }
+
+    /// A term in subject/object position.
+    fn term_pattern(&mut self) -> Result<TermPattern> {
+        match self.bump() {
+            TokenKind::Var(v) => Ok(TermPattern::Var(v)),
+            TokenKind::Iri(iri) => Ok(TermPattern::Value(Value::Iri(iri))),
+            TokenKind::Prefixed(p, l) => Ok(TermPattern::Value(Value::Iri(self.expand(&p, &l)?))),
+            TokenKind::Literal {
+                lexical,
+                lang,
+                datatype,
+            } => Ok(TermPattern::Value(Value::Literal {
+                lexical,
+                lang,
+                datatype,
+            })),
+            TokenKind::Number(n) => Ok(TermPattern::Value(number_value(&n))),
+            other => Err(self.err(format!("expected a term, found {other:?}"))),
+        }
+    }
+
+    /// A term in predicate position; supports the `a` shorthand.
+    fn predicate_pattern(&mut self) -> Result<TermPattern> {
+        if let TokenKind::Word(w) = self.peek() {
+            if w == "a" {
+                self.bump();
+                return Ok(TermPattern::Value(Value::iri(alex_rdf::vocab::RDF_TYPE)));
+            }
+        }
+        self.term_pattern()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while matches!(self.peek(), TokenKind::Op(o) if o == "||") {
+            self.bump();
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.unary_expr()?;
+        while matches!(self.peek(), TokenKind::Op(o) if o == "&&") {
+            self.bump();
+            let right = self.unary_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), TokenKind::Op(o) if o == "!") {
+            self.bump();
+            return Ok(Expr::Not(Box::new(self.unary_expr()?)));
+        }
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.bump();
+            let e = self.or_expr()?;
+            if !matches!(self.bump(), TokenKind::RParen) {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(e);
+        }
+        if self.peek_keyword("CONTAINS") {
+            self.bump();
+            if !matches!(self.bump(), TokenKind::LParen) {
+                return Err(self.err("expected '(' after CONTAINS"));
+            }
+            let arg = self.operand()?;
+            if !matches!(self.bump(), TokenKind::Comma) {
+                return Err(self.err("expected ',' in CONTAINS"));
+            }
+            let needle = match self.bump() {
+                TokenKind::Literal { lexical, .. } => lexical,
+                other => return Err(self.err(format!("expected string, found {other:?}"))),
+            };
+            if !matches!(self.bump(), TokenKind::RParen) {
+                return Err(self.err("expected ')' closing CONTAINS"));
+            }
+            return Ok(Expr::Contains(arg, needle));
+        }
+        // Comparison.
+        let left = self.operand()?;
+        let op = match self.bump() {
+            TokenKind::Op(o) => match o.as_str() {
+                "=" => CmpOp::Eq,
+                "!=" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                other => return Err(self.err(format!("unexpected operator '{other}'"))),
+            },
+            other => return Err(self.err(format!("expected comparison operator, found {other:?}"))),
+        };
+        let right = self.operand()?;
+        Ok(Expr::Cmp(op, left, right))
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        if self.peek_keyword("STR") {
+            self.bump();
+            if !matches!(self.bump(), TokenKind::LParen) {
+                return Err(self.err("expected '(' after STR"));
+            }
+            let var = match self.bump() {
+                TokenKind::Var(v) => v,
+                other => return Err(self.err(format!("expected variable in STR, found {other:?}"))),
+            };
+            if !matches!(self.bump(), TokenKind::RParen) {
+                return Err(self.err("expected ')' closing STR"));
+            }
+            return Ok(Operand::Str(var));
+        }
+        match self.bump() {
+            TokenKind::Var(v) => Ok(Operand::Var(v)),
+            TokenKind::Iri(iri) => Ok(Operand::Const(Value::Iri(iri))),
+            TokenKind::Prefixed(p, l) => Ok(Operand::Const(Value::Iri(self.expand(&p, &l)?))),
+            TokenKind::Literal {
+                lexical,
+                lang,
+                datatype,
+            } => Ok(Operand::Const(Value::Literal {
+                lexical,
+                lang,
+                datatype,
+            })),
+            TokenKind::Number(n) => Ok(Operand::Const(number_value(&n))),
+            other => Err(self.err(format!("expected an operand, found {other:?}"))),
+        }
+    }
+}
+
+/// Convert a numeric token into a typed literal value.
+fn number_value(n: &str) -> Value {
+    if n.contains('.') {
+        Value::typed(n, alex_rdf::vocab::XSD_DOUBLE)
+    } else {
+        Value::typed(n, alex_rdf::vocab::XSD_INTEGER)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_query() {
+        let q = parse("SELECT ?s WHERE { ?s <http://e/p> ?o }").unwrap();
+        assert_eq!(q.selection, Selection::Vars(vec!["s".into()]));
+        assert_eq!(q.patterns().count(), 1);
+        assert!(!q.distinct);
+        assert_eq!(q.limit, None);
+    }
+
+    #[test]
+    fn parses_prefixes() {
+        let q = parse(
+            "PREFIX ex: <http://e/> SELECT * WHERE { ?s ex:p ex:o }",
+        )
+        .unwrap();
+        let p = q.patterns().next().unwrap();
+        assert_eq!(
+            p.predicate,
+            TermPattern::Value(Value::iri("http://e/p"))
+        );
+        assert_eq!(p.object, TermPattern::Value(Value::iri("http://e/o")));
+    }
+
+    #[test]
+    fn unknown_prefix_errors() {
+        let e = parse("SELECT * WHERE { ?s foaf:name ?o }").unwrap_err();
+        assert_eq!(e, SparqlError::UnknownPrefix("foaf".into()));
+    }
+
+    #[test]
+    fn parses_distinct_and_limit() {
+        let q = parse("SELECT DISTINCT ?s WHERE { ?s ?p ?o } LIMIT 10").unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_multiple_patterns_with_dots() {
+        let q = parse(
+            "SELECT * WHERE { ?s <http://e/p> ?o . ?o <http://e/q> \"v\" . }",
+        )
+        .unwrap();
+        assert_eq!(q.patterns().count(), 2);
+    }
+
+    #[test]
+    fn parses_a_shorthand() {
+        let q = parse("SELECT ?s WHERE { ?s a <http://e/C> }").unwrap();
+        let p = q.patterns().next().unwrap();
+        assert_eq!(
+            p.predicate,
+            TermPattern::Value(Value::iri(alex_rdf::vocab::RDF_TYPE))
+        );
+    }
+
+    #[test]
+    fn parses_filter_comparison() {
+        let q = parse("SELECT * WHERE { ?s <http://e/age> ?a FILTER(?a >= 18) }").unwrap();
+        let f = q.filters().next().unwrap();
+        assert!(matches!(f, Expr::Cmp(CmpOp::Ge, _, _)));
+    }
+
+    #[test]
+    fn parses_boolean_connectives_with_precedence() {
+        let q = parse(
+            "SELECT * WHERE { ?s <http://e/p> ?a FILTER(?a = 1 || ?a = 2 && ?a != 3) }",
+        )
+        .unwrap();
+        // && binds tighter than ||.
+        let f = q.filters().next().unwrap();
+        match f {
+            Expr::Or(_, right) => assert!(matches!(**right, Expr::And(_, _))),
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_contains_and_str() {
+        let q = parse(
+            "SELECT * WHERE { ?s <http://e/name> ?n FILTER(CONTAINS(STR(?n), \"james\")) }",
+        )
+        .unwrap();
+        let f = q.filters().next().unwrap();
+        assert!(matches!(f, Expr::Contains(Operand::Str(_), _)));
+    }
+
+    #[test]
+    fn parses_negation_and_parens() {
+        let q = parse("SELECT * WHERE { ?s ?p ?o FILTER(!(?o = 1)) }").unwrap();
+        assert!(matches!(q.filters().next().unwrap(), Expr::Not(_)));
+    }
+
+    #[test]
+    fn numbers_become_typed_literals() {
+        let q = parse("SELECT * WHERE { ?s <http://e/p> 42 }").unwrap();
+        let p = q.patterns().next().unwrap();
+        assert_eq!(
+            p.object,
+            TermPattern::Value(Value::typed("42", alex_rdf::vocab::XSD_INTEGER))
+        );
+    }
+
+    #[test]
+    fn parses_ask() {
+        let q = parse("ASK { ?s <http://e/p> \"v\" }").unwrap();
+        assert_eq!(q.kind, QueryKind::Ask);
+        let q = parse("ASK WHERE { ?s ?p ?o }").unwrap();
+        assert_eq!(q.kind, QueryKind::Ask);
+        assert_eq!(q.patterns().count(), 1);
+    }
+
+    #[test]
+    fn parses_order_by() {
+        let q = parse("SELECT ?s ?n WHERE { ?s <http://e/n> ?n } ORDER BY ?n LIMIT 3").unwrap();
+        assert_eq!(
+            q.order_by,
+            vec![OrderKey {
+                variable: "n".into(),
+                descending: false
+            }]
+        );
+        assert_eq!(q.limit, Some(3));
+        let q = parse("SELECT * WHERE { ?s ?p ?o } ORDER BY DESC(?o) ASC(?s)").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].descending);
+        assert!(!q.order_by[1].descending);
+    }
+
+    #[test]
+    fn order_by_requires_a_key() {
+        assert!(parse("SELECT * WHERE { ?s ?p ?o } ORDER BY LIMIT 2").is_err());
+    }
+
+    #[test]
+    fn parses_optional_groups() {
+        let q = parse(
+            "SELECT * WHERE { ?s <http://e/p> ?o OPTIONAL { ?s <http://e/q> ?x . ?x <http://e/r> ?y } }",
+        )
+        .unwrap();
+        assert_eq!(q.patterns().count(), 1);
+        let groups: Vec<_> = q.optionals().collect();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(q.pattern_variables(), vec!["s", "o", "x", "y"]);
+    }
+
+    #[test]
+    fn rejects_nested_or_filtered_optional() {
+        let e = parse("SELECT * WHERE { ?s ?p ?o OPTIONAL { OPTIONAL { ?a ?b ?c } } }").unwrap_err();
+        assert!(matches!(e, SparqlError::Unsupported(_)));
+        let e = parse("SELECT * WHERE { ?s ?p ?o OPTIONAL { FILTER(?o = 1) } }").unwrap_err();
+        assert!(matches!(e, SparqlError::Unsupported(_)));
+        assert!(parse("SELECT * WHERE { ?s ?p ?o OPTIONAL { } }").is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_features() {
+        let e = parse("SELECT * WHERE { ?s ?p ?o UNION { ?a ?b ?c } }").unwrap_err();
+        assert!(matches!(e, SparqlError::Unsupported(_)));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("SELECT * WHERE { ?s ?p ?o } garbage").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_where() {
+        assert!(parse("SELECT * WHERE { ?s ?p ?o").is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the SPARQL engine: lexer robustness, parser
+//! determinism, value ordering, and executor invariants.
+
+use alex_rdf::Dataset;
+use alex_sparql::{parse, DatasetEndpoint, FederatedEngine, SameAsLinks, Value};
+use proptest::prelude::*;
+
+proptest! {
+    /// The lexer and parser must never panic on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in ".{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// Parsing a well-formed query is deterministic.
+    #[test]
+    fn parsing_is_deterministic(
+        var in "[a-z]{1,6}",
+        iri in "[a-z]{1,8}",
+        lit in "[a-zA-Z0-9 ]{0,12}",
+        limit in 1usize..50,
+    ) {
+        let q = format!(
+            "SELECT ?{var} WHERE {{ ?{var} <http://e/{iri}> \"{lit}\" }} LIMIT {limit}"
+        );
+        let a = parse(&q).expect("well-formed");
+        let b = parse(&q).expect("well-formed");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Value ordering is a total order consistent with equality.
+    #[test]
+    fn value_ordering_is_total(
+        a in "[a-z:/#0-9]{0,12}",
+        b in "[a-z:/#0-9]{0,12}",
+    ) {
+        let va = Value::iri(a);
+        let vb = Value::plain(b);
+        // Antisymmetry between distinct kinds:
+        prop_assert_ne!(va.cmp(&vb), std::cmp::Ordering::Equal);
+        prop_assert_eq!(va.cmp(&vb), vb.cmp(&va).reverse());
+        prop_assert_eq!(va.cmp(&va), std::cmp::Ordering::Equal);
+    }
+
+    /// LIMIT always bounds the result size; DISTINCT never yields duplicates.
+    #[test]
+    fn limit_and_distinct_hold(
+        n_triples in 1usize..40,
+        limit in 1usize..10,
+    ) {
+        let mut ds = Dataset::new("P");
+        for i in 0..n_triples {
+            ds.add_str(
+                &format!("http://e/s{}", i % 7),
+                "http://e/p",
+                &format!("v{}", i % 5),
+            );
+        }
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(ds)));
+
+        let q = parse(&format!(
+            "SELECT DISTINCT ?o WHERE {{ ?s <http://e/p> ?o }} LIMIT {limit}"
+        ))
+        .expect("well-formed");
+        let answers = engine.execute(&q).expect("evaluates");
+        prop_assert!(answers.len() <= limit);
+        let mut seen = std::collections::HashSet::new();
+        for a in &answers {
+            prop_assert!(seen.insert(a.bindings.clone()), "duplicate under DISTINCT");
+        }
+    }
+
+    /// Every answer binding must come from the data (soundness of BGP
+    /// matching): any bound ?o value appears as an object in the store.
+    #[test]
+    fn bgp_answers_are_sound(
+        rows in proptest::collection::vec((0u32..6, 0u32..3, 0u32..6), 1..30)
+    ) {
+        let mut ds = Dataset::new("P");
+        let mut objects = std::collections::HashSet::new();
+        for (s, p, o) in &rows {
+            let obj = format!("o{o}");
+            ds.add_str(&format!("http://e/s{s}"), &format!("http://e/p{p}"), &obj);
+            objects.insert(obj);
+        }
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(ds)));
+        let q = parse("SELECT ?s ?o WHERE { ?s <http://e/p0> ?o }").expect("ok");
+        for a in engine.execute(&q).expect("evaluates") {
+            let o = a.bindings.get("o").expect("projected");
+            prop_assert!(objects.contains(o.lexical()));
+        }
+    }
+
+    /// sameAs expansion only ever adds answers, never removes them, and
+    /// every extra answer carries provenance.
+    #[test]
+    fn sameas_expansion_is_monotone(n_linked in 0usize..6) {
+        let mut left = Dataset::new("L");
+        let mut right = Dataset::new("R");
+        let mut links = Vec::new();
+        for i in 0..6 {
+            left.add_str(&format!("http://l/{i}"), "http://l/flag", "yes");
+            right.add_iri(&format!("http://r/doc{i}"), "http://r/about", &format!("http://r/{i}"));
+            if i < n_linked {
+                links.push((format!("http://l/{i}"), format!("http://r/{i}")));
+            }
+        }
+        let q = parse(
+            "SELECT ?doc WHERE { ?x <http://l/flag> \"yes\" . ?doc <http://r/about> ?x }",
+        )
+        .expect("ok");
+
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(left.clone())));
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(right.clone())));
+        let baseline = engine.execute(&q).expect("evaluates").len();
+        engine.set_links(SameAsLinks::from_pairs(links));
+        let answers = engine.execute(&q).expect("evaluates");
+        prop_assert!(answers.len() >= baseline);
+        prop_assert_eq!(answers.len(), n_linked);
+        for a in &answers {
+            prop_assert_eq!(a.links_used.len(), 1, "every bridged answer has provenance");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Automatic linking on its own: the PARIS-like probabilistic aligner vs
+//! the naive label-matching baseline.
+//!
+//! PARIS weighs evidence by inverse functionality (a shared name means much
+//! more than a shared category) and propagates equivalence through
+//! IRI-valued attributes, making it the more *precise* linker — the paper
+//! picks PARIS for exactly that confident-links property, and leaves recall
+//! to ALEX.
+//!
+//! ```sh
+//! cargo run --release --example paris_linking
+//! ```
+
+use alex::datagen::{generate_pair, Domain, Flavor, PairConfig, SideConfig};
+use alex::linking::{LabelBaseline, LinkerOutput, Paris, ParisConfig};
+
+fn score(pair: &alex::datagen::GeneratedPair, out: &LinkerOutput) -> (f64, f64, f64) {
+    let links = out.term_pairs();
+    let correct = links.iter().filter(|&&(l, r)| pair.is_correct(l, r)).count();
+    let p = correct as f64 / links.len().max(1) as f64;
+    let r = correct as f64 / pair.gt_len().max(1) as f64;
+    let f = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+    (p, r, f)
+}
+
+fn main() {
+    let pair = generate_pair(&PairConfig {
+        seed: 11,
+        left: SideConfig {
+            name: "LeftKB".into(),
+            ns: "http://left.example.org/".into(),
+            flavor: Flavor::Left,
+            noise: 0.2,
+            drop_prob: 0.2,
+            sparse: false,
+        },
+        right: SideConfig {
+            name: "RightKB".into(),
+            ns: "http://right.example.org/".into(),
+            flavor: Flavor::Right,
+            noise: 0.22,
+            drop_prob: 0.2,
+            sparse: false,
+        },
+        shared: 200,
+        left_only: 300,
+        right_only: 100,
+        confusable_frac: 0.5, // plenty of near-duplicates to trip up matching
+        domains: vec![Domain::Person, Domain::Place, Domain::Drug],
+        left_extra_domains: Domain::ALL.to_vec(),
+    });
+    println!(
+        "pair: {} triples vs {} triples, ground truth {}",
+        pair.left.len(),
+        pair.right.len(),
+        pair.gt_len()
+    );
+
+    let t0 = std::time::Instant::now();
+    let baseline = LabelBaseline::default().link(&pair.left, &pair.right);
+    let t_baseline = t0.elapsed();
+    let (bp, br, bf) = score(&pair, &baseline);
+
+    let t0 = std::time::Instant::now();
+    // The default output threshold (0.80) mimics the paper's conservative
+    // "keep only confident links" filtering; for a head-to-head recall
+    // comparison with the baseline, accept links at 0.70.
+    let paris = Paris::with_config(ParisConfig {
+        output_threshold: 0.70,
+        ..ParisConfig::default()
+    })
+    .link(&pair.left, &pair.right);
+    let t_paris = t0.elapsed();
+    let (pp, pr, pf) = score(&pair, &paris);
+
+    println!("\nlinker           links  precision  recall  f-measure  time");
+    println!(
+        "label baseline  {:>6}  {:>9.3}  {:>6.3}  {:>9.3}  {:>6.1?}",
+        baseline.links.len(),
+        bp,
+        br,
+        bf,
+        t_baseline
+    );
+    println!(
+        "PARIS-like      {:>6}  {:>9.3}  {:>6.3}  {:>9.3}  {:>6.1?}",
+        paris.links.len(),
+        pp,
+        pr,
+        pf,
+        t_paris
+    );
+    println!(
+        "\nPARIS links at higher precision ({:.3} vs {:.3}): functionality-weighted \
+         evidence suppresses coincidental literal matches. That conservatism costs \
+         recall — exactly the gap ALEX's feedback-driven exploration recovers \
+         (see the quickstart example).",
+        pp, bp
+    );
+    assert!(pp >= bp, "PARIS should be the more precise linker");
+}

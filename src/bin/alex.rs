@@ -1,0 +1,423 @@
+//! `alex` — command-line interface to the ALEX stack.
+//!
+//! ```text
+//! alex gen      --out-dir DIR [--pair dbpedia-nytimes] [--seed N]
+//! alex stats    FILE...
+//! alex link     LEFT RIGHT [--threshold T] [--baseline] [--out links.nt]
+//! alex improve  LEFT RIGHT --links L.nt --truth T.nt [options] [--out out.nt]
+//! alex query    --data A.nt --data B.nt [--links L.nt] (--query-file F | QUERY)
+//! ```
+//!
+//! Data files may be N-Triples (`.nt`) or the supported Turtle subset
+//! (`.ttl`). Links are exchanged as `owl:sameAs` N-Triples, so the output
+//! of `link`/`improve` is directly usable by any linked-data tool.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use alex::core::{run_partitioned, AlexConfig, PartitionedConfig, Quality, SpaceConfig};
+use alex::datagen::{all_pairs, generate_pair, DatasetKind, PairSpec};
+use alex::linking::{LabelBaseline, LinkerOutput, Paris, ParisConfig};
+use alex::rdf::{ntriples, turtle, Dataset, Term};
+use alex::sparql::{parse, DatasetEndpoint, FederatedEngine, SameAsLinks};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("link") => cmd_link(&args[1..]),
+        Some("improve") => cmd_improve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+alex — Automatic Link Exploration in Linked Data
+
+USAGE:
+  alex gen --out-dir DIR [--pair NAME] [--seed N]
+      Generate a synthetic data-set pair with ground truth.
+      Writes left.nt, right.nt, truth.nt. NAME is e.g. dbpedia-nytimes
+      (default), dbpedia-drugbank, opencyc-lexvo, ... (see DESIGN.md).
+
+  alex stats FILE... [--detail yes]
+      Triple/entity/predicate counts for RDF files (.nt or .ttl);
+      --detail adds a per-predicate functionality breakdown.
+
+  alex link LEFT RIGHT [--threshold T] [--baseline] [--out FILE]
+      Link two data sets with the PARIS-like aligner (or the label
+      baseline) and write owl:sameAs N-Triples (default: stdout).
+
+  alex improve LEFT RIGHT --links FILE --truth FILE
+              [--episodes N] [--episode-size K] [--partitions P]
+              [--error-rate E] [--out FILE]
+      Run ALEX: start from --links, learn from oracle feedback against
+      --truth, print per-episode precision/recall/F, and write the
+      improved links.
+
+  alex query --data FILE [--data FILE ...] [--links FILE]
+             (--query-file FILE | QUERY)
+      Evaluate a SPARQL query (SELECT or ASK) over one or more data
+      sets federated through optional sameAs links; answers produced
+      through links show their provenance.
+";
+
+/// Named `--flag value` options in command-line order.
+type Flags = Vec<(String, String)>;
+
+/// Parse `--flag value` style options; returns (positional, flags).
+fn split_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "baseline" {
+                flags.push((name.to_string(), "true".to_string()));
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} requires a value"))?;
+            flags.push((name.to_string(), value.clone()));
+            i += 2;
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag(flags, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value '{v}' for --{name}")),
+    }
+}
+
+/// Load an RDF file, dispatching on extension (.ttl → Turtle, else
+/// N-Triples).
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let name = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("data")
+        .to_string();
+    let mut ds = Dataset::new(name);
+    if path.ends_with(".ttl") {
+        turtle::parse_into(&mut ds, &content).map_err(|e| format!("{path}: {e}"))?;
+    } else {
+        ntriples::parse_into(&mut ds, &content).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(ds)
+}
+
+/// Load owl:sameAs pairs from a file.
+fn load_links(path: &str) -> Result<SameAsLinks, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    SameAsLinks::from_ntriples(&content).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_or_print(out: Option<&str>, content: &str) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn pair_spec_by_name(name: &str) -> Result<PairSpec, String> {
+    let normalize = |s: &str| s.to_lowercase().replace([' ', '_'], "-");
+    let target = normalize(name);
+    for spec in all_pairs() {
+        let label = normalize(&spec.label()).replace(" - ", "-").replace("--", "-");
+        let short = format!(
+            "{}-{}",
+            normalize(spec.left.paper_name()),
+            normalize(spec.right.paper_name())
+        )
+        .replace("-(nba)", "-nba");
+        if label == target || short == target {
+            return Ok(spec);
+        }
+    }
+    // Friendly aliases.
+    let alias = match target.as_str() {
+        "nba" => Some((DatasetKind::DBpediaNba, DatasetKind::NYTimes)),
+        _ => None,
+    };
+    if let Some((l, r)) = alias {
+        return Ok(PairSpec::of(l, r));
+    }
+    Err(format!(
+        "unknown pair '{name}'; try e.g. dbpedia-nytimes, dbpedia-drugbank, opencyc-lexvo"
+    ))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let (_, flags) = split_args(args)?;
+    let out_dir = flag(&flags, "out-dir").ok_or("--out-dir is required")?;
+    let pair_name = flag(&flags, "pair").unwrap_or("dbpedia-nytimes");
+    let seed: u64 = parse_flag(&flags, "seed", 20160501)?;
+    let spec = pair_spec_by_name(pair_name)?;
+
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let pair = generate_pair(&spec.config(seed));
+    let write = |file: &str, content: String| -> Result<(), String> {
+        let path = format!("{out_dir}/{file}");
+        std::fs::write(&path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+        Ok(())
+    };
+    write("left.nt", ntriples::serialize(&pair.left))?;
+    write("right.nt", ntriples::serialize(&pair.right))?;
+    let truth_links = SameAsLinks::from_pairs(pair.ground_truth.iter().map(|&(l, r)| {
+        (
+            pair.left.resolve(l).to_string(),
+            pair.right.resolve(r).to_string(),
+        )
+    }));
+    write("truth.nt", truth_links.to_ntriples())?;
+    eprintln!(
+        "generated '{}': {} + {} triples, {} ground-truth links (seed {seed})",
+        spec.label(),
+        pair.left.len(),
+        pair.right.len(),
+        pair.gt_len()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (files, flags) = split_args(args)?;
+    if files.is_empty() {
+        return Err("stats requires at least one file".into());
+    }
+    let detailed = flag(&flags, "detail").is_some();
+    if !detailed {
+        println!("{:<28} {:>9} {:>9} {:>11}", "file", "triples", "entities", "predicates");
+    }
+    for f in &files {
+        let ds = load_dataset(f)?;
+        if detailed {
+            print!("{}", alex::rdf::DatasetStats::of(&ds).report(&ds));
+        } else {
+            println!(
+                "{:<28} {:>9} {:>9} {:>11}",
+                f,
+                ds.len(),
+                ds.entities().count(),
+                ds.graph().predicates().count()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_link(args: &[String]) -> Result<(), String> {
+    let (files, flags) = split_args(args)?;
+    let [left_path, right_path] = files.as_slice() else {
+        return Err("link requires exactly two data files".into());
+    };
+    let left = load_dataset(left_path)?;
+    let right = load_dataset(right_path)?;
+    let threshold: f64 = parse_flag(&flags, "threshold", 0.80)?;
+
+    let started = std::time::Instant::now();
+    let output: LinkerOutput = if flag(&flags, "baseline").is_some() {
+        LabelBaseline {
+            threshold,
+            ..LabelBaseline::default()
+        }
+        .link(&left, &right)
+    } else {
+        Paris::with_config(ParisConfig {
+            output_threshold: threshold,
+            ..ParisConfig::default()
+        })
+        .link(&left, &right)
+    };
+    eprintln!(
+        "linked {} x {} entities -> {} links in {:.2?}",
+        output.left_index.len(),
+        output.right_index.len(),
+        output.links.len(),
+        started.elapsed()
+    );
+    let links = SameAsLinks::from_pairs(output.term_pairs().into_iter().map(|(l, r)| {
+        (left.resolve(l).to_string(), right.resolve(r).to_string())
+    }));
+    write_or_print(flag(&flags, "out"), &links.to_ntriples())
+}
+
+fn cmd_improve(args: &[String]) -> Result<(), String> {
+    let (files, flags) = split_args(args)?;
+    let [left_path, right_path] = files.as_slice() else {
+        return Err("improve requires exactly two data files".into());
+    };
+    let left = load_dataset(left_path)?;
+    let right = load_dataset(right_path)?;
+    let links = load_links(flag(&flags, "links").ok_or("--links is required")?)?;
+    let truth = load_links(flag(&flags, "truth").ok_or("--truth is required")?)?;
+
+    let to_term_pairs = |set: &SameAsLinks| -> Vec<(Term, Term)> {
+        set.iter()
+            .filter_map(|l| {
+                let lt = left.interner().get(&l.left).map(Term::Iri)?;
+                let rt = right.interner().get(&l.right).map(Term::Iri)?;
+                Some((lt, rt))
+            })
+            .collect()
+    };
+    let initial = to_term_pairs(&links);
+    let truth_pairs = to_term_pairs(&truth);
+    if truth_pairs.is_empty() {
+        return Err("no ground-truth link references entities of these data sets".into());
+    }
+    eprintln!(
+        "initial links: {} usable of {}; ground truth: {} usable of {}",
+        initial.len(),
+        links.len(),
+        truth_pairs.len(),
+        truth.len()
+    );
+
+    let cfg = PartitionedConfig {
+        partitions: parse_flag(&flags, "partitions", 4usize)?,
+        alex: AlexConfig {
+            episode_size: parse_flag(&flags, "episode-size", 1000usize)?,
+            max_episodes: parse_flag(&flags, "episodes", 40usize)?,
+            ..AlexConfig::default()
+        },
+        space: SpaceConfig::default(),
+        feedback_error_rate: parse_flag(&flags, "error-rate", 0.0f64)?,
+    };
+    let run = run_partitioned(&left, &right, &initial, &truth_pairs, &cfg);
+
+    let print_q = |tag: &str, q: Quality| {
+        println!(
+            "{tag:>8}  P {:.3}  R {:.3}  F {:.3}",
+            q.precision, q.recall, q.f_measure
+        );
+    };
+    print_q("initial", run.initial_quality);
+    for e in &run.episodes {
+        print_q(&format!("ep {}", e.episode), e.quality);
+    }
+    println!(
+        "stopped: {:?} after {} episodes ({:.2?})",
+        run.stop,
+        run.episodes.len(),
+        run.total_duration
+    );
+
+    // Export the union of the partitions' final candidate links.
+    if let Some(out) = flag(&flags, "out") {
+        let final_links = SameAsLinks::from_pairs(run.final_links.iter().map(|&(l, r)| {
+            (left.resolve(l).to_string(), right.resolve(r).to_string())
+        }));
+        write_or_print(Some(out), &final_links.to_ntriples())?;
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_args(args)?;
+    let data_files: Vec<&str> = flags
+        .iter()
+        .filter(|(n, _)| n == "data")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    if data_files.is_empty() {
+        return Err("query requires at least one --data file".into());
+    }
+    let query_text = match flag(&flags, "query-file") {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        None => positional
+            .first()
+            .cloned()
+            .ok_or("provide a query string or --query-file")?,
+    };
+    let query = parse(&query_text).map_err(|e| format!("query: {e}"))?;
+
+    let mut engine = FederatedEngine::new();
+    for f in &data_files {
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(load_dataset(f)?)));
+    }
+    if let Some(links_path) = flag(&flags, "links") {
+        engine.set_links(load_links(links_path)?);
+    }
+
+    if query.kind == alex::sparql::QueryKind::Ask {
+        let answer = engine.ask(&query).map_err(|e| format!("evaluation: {e}"))?;
+        println!("{answer}");
+        return Ok(());
+    }
+    let answers = engine.execute(&query).map_err(|e| format!("evaluation: {e}"))?;
+    let vars = query.projection();
+    println!("{}", vars.join("\t"));
+    for a in &answers {
+        let row: Vec<String> = vars
+            .iter()
+            .map(|v| {
+                a.bindings
+                    .get(v)
+                    .map(|val| val.to_string())
+                    .unwrap_or_else(|| "-".into())
+            })
+            .collect();
+        if a.links_used.is_empty() {
+            println!("{}", row.join("\t"));
+        } else {
+            let prov: Vec<String> = a
+                .links_used
+                .iter()
+                .map(|l| format!("{} sameAs {}", l.left, l.right))
+                .collect();
+            println!("{}\t# via {}", row.join("\t"), prov.join("; "));
+        }
+    }
+    eprintln!("{} answer(s)", answers.len());
+    Ok(())
+}

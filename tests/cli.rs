@@ -1,0 +1,185 @@
+//! End-to-end tests for the `alex` CLI binary: generate → stats → link →
+//! improve → query, through real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn alex() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_alex"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("alex-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let out = alex().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = alex().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn full_pipeline_gen_link_improve_query() {
+    let dir = workdir("pipeline");
+    let p = |f: &str| dir.join(f).to_string_lossy().to_string();
+
+    // gen
+    let out = alex()
+        .args(["gen", "--out-dir", &dir.to_string_lossy(), "--pair", "nba", "--seed", "7"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for f in ["left.nt", "right.nt", "truth.nt"] {
+        assert!(dir.join(f).exists(), "{f} missing");
+    }
+
+    // stats
+    let out = alex()
+        .args(["stats", &p("left.nt"), &p("right.nt")])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("triples"), "{stdout}");
+
+    // link
+    let out = alex()
+        .args([
+            "link",
+            &p("left.nt"),
+            &p("right.nt"),
+            "--threshold",
+            "0.95",
+            "--out",
+            &p("links.nt"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let links = std::fs::read_to_string(p("links.nt")).expect("links written");
+    assert!(links.lines().count() > 40, "too few links:\n{links}");
+    assert!(links.contains("owl#sameAs"));
+
+    // improve
+    let out = alex()
+        .args([
+            "improve",
+            &p("left.nt"),
+            &p("right.nt"),
+            "--links",
+            &p("links.nt"),
+            "--truth",
+            &p("truth.nt"),
+            "--episodes",
+            "8",
+            "--episode-size",
+            "50",
+            "--partitions",
+            "1",
+            "--out",
+            &p("improved.nt"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("initial"), "{stdout}");
+    let improved = std::fs::read_to_string(p("improved.nt")).expect("improved written");
+    assert!(
+        improved.lines().count() >= links.lines().count(),
+        "ALEX should not lose links on this workload"
+    );
+
+    // query with links: a federated ASK.
+    let out = alex()
+        .args([
+            "query",
+            "--data",
+            &p("left.nt"),
+            "--data",
+            &p("right.nt"),
+            "--links",
+            &p("improved.nt"),
+            "ASK { ?s <http://dbpedia-nba.example.org/ontology/label> ?n }",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "true");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_select_prints_bindings() {
+    let dir = workdir("query");
+    let data = dir.join("data.nt");
+    std::fs::write(
+        &data,
+        "<http://e/a> <http://e/name> \"Alice\" .\n<http://e/b> <http://e/name> \"Bob\" .\n",
+    )
+    .expect("write");
+    let out = alex()
+        .args([
+            "query",
+            "--data",
+            &data.to_string_lossy(),
+            "SELECT ?n WHERE { ?s <http://e/name> ?n } ORDER BY ?n",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "n");
+    assert!(lines[1].contains("Alice"));
+    assert!(lines[2].contains("Bob"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn improve_rejects_missing_inputs() {
+    // Nonexistent data files fail cleanly.
+    let out = alex()
+        .args(["improve", "/nonexistent-a.nt", "/nonexistent-b.nt"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    // With readable data but no --links, the flag error surfaces.
+    let dir = workdir("missing-flags");
+    let data = dir.join("d.nt");
+    std::fs::write(&data, "<http://e/a> <http://e/p> \"v\" .\n").expect("write");
+    let d = data.to_string_lossy().to_string();
+    let out = alex().args(["improve", &d, &d]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--links"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn turtle_files_are_accepted() {
+    let dir = workdir("turtle");
+    let data = dir.join("data.ttl");
+    std::fs::write(
+        &data,
+        "@prefix ex: <http://e/> .\nex:a ex:name \"Alice\" ; a ex:Person .\n",
+    )
+    .expect("write");
+    let out = alex()
+        .args(["stats", &data.to_string_lossy()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("2"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

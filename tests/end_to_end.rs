@@ -1,0 +1,151 @@
+//! End-to-end integration: datagen → PARIS-like linking → ALEX →
+//! measurable link-quality improvement, across all crates.
+
+use std::collections::HashSet;
+
+use alex::core::{driver, Agent, AlexConfig, LinkSpace, OracleFeedback, SpaceConfig, StopReason};
+use alex::datagen::{generate_pair, Domain, Flavor, PairConfig, SideConfig};
+use alex::linking::{Paris, ParisConfig};
+
+fn pair() -> alex::datagen::GeneratedPair {
+    generate_pair(&PairConfig {
+        seed: 99,
+        left: SideConfig {
+            name: "L".into(),
+            ns: "http://l.example.org/".into(),
+            flavor: Flavor::Left,
+            noise: 0.1,
+            drop_prob: 0.15,
+            sparse: false,
+        },
+        right: SideConfig {
+            name: "R".into(),
+            ns: "http://r.example.org/".into(),
+            flavor: Flavor::Right,
+            noise: 0.12,
+            drop_prob: 0.15,
+            sparse: false,
+        },
+        shared: 80,
+        left_only: 120,
+        right_only: 40,
+        confusable_frac: 0.25,
+        domains: vec![Domain::Person, Domain::Drug],
+        left_extra_domains: vec![Domain::Place, Domain::Organization],
+    })
+}
+
+#[test]
+fn paris_then_alex_improves_f_measure() {
+    let pair = pair();
+    // Conservative PARIS start (the paper's >0.95 threshold).
+    let linked = Paris::with_config(ParisConfig {
+        output_threshold: 0.95,
+        ..ParisConfig::default()
+    })
+    .link(&pair.left, &pair.right);
+    let initial = linked.term_pairs();
+    assert!(!initial.is_empty(), "PARIS must find something to start from");
+
+    let space = LinkSpace::build(&pair.left, &pair.right, &SpaceConfig::default());
+    let to_id = |l, r| Some((space.left_index().id(l)?, space.right_index().id(r)?));
+    let truth: HashSet<(u32, u32)> = pair
+        .ground_truth
+        .iter()
+        .filter_map(|&(l, r)| to_id(l, r))
+        .collect();
+    let initial_ids: Vec<(u32, u32)> = initial
+        .iter()
+        .filter_map(|&(l, r)| to_id(l, r))
+        .collect();
+
+    let cfg = AlexConfig {
+        episode_size: 80,
+        max_episodes: 25,
+        ..AlexConfig::default()
+    };
+    let mut agent = Agent::new(space, &initial_ids, cfg);
+    let mut oracle = OracleFeedback::new(truth.clone(), 3);
+    let report = driver::run(&mut agent, &mut oracle, &truth);
+
+    let q0 = report.initial_quality;
+    let qf = report.final_quality();
+    assert!(
+        qf.recall >= q0.recall,
+        "recall regressed: {q0:?} -> {qf:?}"
+    );
+    assert!(
+        qf.f_measure >= q0.f_measure - 0.02,
+        "F-measure regressed: {q0:?} -> {qf:?}"
+    );
+    assert!(qf.recall > 0.85, "final recall too low: {qf:?}");
+    assert!(qf.precision > 0.8, "final precision too low: {qf:?}");
+}
+
+#[test]
+fn alex_recovers_precision_from_bad_start() {
+    let pair = pair();
+    let space = LinkSpace::build(&pair.left, &pair.right, &SpaceConfig::default());
+    let to_id = |l, r| Some((space.left_index().id(l)?, space.right_index().id(r)?));
+    let truth: HashSet<(u32, u32)> = pair
+        .ground_truth
+        .iter()
+        .filter_map(|&(l, r)| to_id(l, r))
+        .collect();
+    // Full ground truth plus a pile of wrong links (the Fig. 2(b) regime).
+    let mut initial: Vec<(u32, u32)> = truth.iter().copied().collect();
+    let lefts: Vec<u32> = truth.iter().map(|&(l, _)| l).collect();
+    let rights: Vec<u32> = truth.iter().map(|&(_, r)| r).collect();
+    for i in 0..lefts.len() {
+        let wrong = (lefts[i], rights[(i + 7) % rights.len()]);
+        if !truth.contains(&wrong) {
+            initial.push(wrong);
+        }
+    }
+    let cfg = AlexConfig {
+        episode_size: 80,
+        max_episodes: 25,
+        ..AlexConfig::default()
+    };
+    let mut agent = Agent::new(space, &initial, cfg);
+    let mut oracle = OracleFeedback::new(truth.clone(), 4);
+    let report = driver::run(&mut agent, &mut oracle, &truth);
+    assert!(report.initial_quality.precision < 0.6);
+    assert!(
+        report.final_quality().precision > 0.9,
+        "precision not recovered: {:?}",
+        report.final_quality()
+    );
+    assert!(report.final_quality().recall > 0.9);
+}
+
+#[test]
+fn converged_runs_stop_before_the_cap() {
+    let pair = pair();
+    let space = LinkSpace::build(&pair.left, &pair.right, &SpaceConfig::default());
+    let to_id = |l, r| Some((space.left_index().id(l)?, space.right_index().id(r)?));
+    let truth: HashSet<(u32, u32)> = pair
+        .ground_truth
+        .iter()
+        .filter_map(|&(l, r)| to_id(l, r))
+        .collect();
+    let initial: Vec<(u32, u32)> = truth.iter().copied().collect();
+    let cfg = AlexConfig {
+        episode_size: 80,
+        max_episodes: 60,
+        stop_on_relaxed: true,
+        ..AlexConfig::default()
+    };
+    let mut agent = Agent::new(space, &initial, cfg);
+    let mut oracle = OracleFeedback::new(truth.clone(), 5);
+    let report = driver::run(&mut agent, &mut oracle, &truth);
+    assert!(
+        matches!(
+            report.stop,
+            StopReason::Converged | StopReason::RelaxedConverged
+        ),
+        "did not converge: {:?} after {} episodes",
+        report.stop,
+        report.episode_count()
+    );
+}
