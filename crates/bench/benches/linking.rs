@@ -43,9 +43,7 @@ fn bench_linking(c: &mut Criterion) {
         let li = pair.left.entity_index();
         let ri = pair.right.entity_index();
         let cfg = BlockingConfig::default();
-        b.iter(|| {
-            black_box(candidate_pairs(&pair.left, &li, &pair.right, &ri, &cfg))
-        })
+        b.iter(|| black_box(candidate_pairs(&pair.left, &li, &pair.right, &ri, &cfg)))
     });
     g.bench_function("label_baseline", |b| {
         let linker = LabelBaseline::default();

@@ -11,7 +11,10 @@ use alex_sim::{
 const PAIRS: &[(&str, &str)] = &[
     ("LeBron James", "James, LeBron"),
     ("Quantum Meridian Systems", "Quantum Meridian Sys."),
-    ("International Conference on Linked Data 2013", "Workshop on Linked Data 2013"),
+    (
+        "International Conference on Linked Data 2013",
+        "Workshop on Linked Data 2013",
+    ),
     ("Silverford", "North Silverford"),
     ("completely unrelated", "something else entirely"),
 ];

@@ -17,7 +17,11 @@ fn engines() -> FederatedEngine {
         left.add_str(&li, "http://l/label", &format!("Entity Number {i}"));
         left.add_str(&li, "http://l/group", &format!("g{}", i % 10));
         right.add_iri(&format!("http://r/doc{i}"), "http://r/about", &ri);
-        right.add_str(&format!("http://r/doc{i}"), "http://r/title", &format!("Doc {i}"));
+        right.add_str(
+            &format!("http://r/doc{i}"),
+            "http://r/title",
+            &format!("Doc {i}"),
+        );
         if i % 2 == 0 {
             links.push((li, ri));
         }
@@ -44,10 +48,9 @@ fn bench_sparql(c: &mut Criterion) {
             )
         })
     });
-    let single = parse(
-        "SELECT ?s ?o WHERE { ?s <http://l/group> \"g3\" . ?s <http://l/label> ?o }",
-    )
-    .unwrap();
+    let single =
+        parse("SELECT ?s ?o WHERE { ?s <http://l/group> \"g3\" . ?s <http://l/label> ?o }")
+            .unwrap();
     g.bench_function("bgp_single_source", |b| {
         b.iter(|| black_box(engine.execute(&single).unwrap()))
     });

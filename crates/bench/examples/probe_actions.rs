@@ -10,34 +10,51 @@ use std::collections::{HashMap, HashSet};
 fn main() {
     let spec = PairSpec::of(DatasetKind::DBpedia, DatasetKind::NYTimes);
     let pair = generate_pair(&spec.config(20160501));
-    let cfg = SpaceConfig { partition: Some((0, 27)), ..SpaceConfig::default() };
+    let cfg = SpaceConfig {
+        partition: Some((0, 27)),
+        ..SpaceConfig::default()
+    };
     let space = LinkSpace::build(&pair.left, &pair.right, &cfg);
     let li = pair.left.entity_index();
     let ri = pair.right.entity_index();
-    let truth: HashSet<(u32,u32)> = pair.ground_truth.iter()
-        .filter_map(|&(l,r)| Some((li.id(l)?, ri.id(r)?)))
-        .filter(|&(l,_)| (l as usize).is_multiple_of(27))
+    let truth: HashSet<(u32, u32)> = pair
+        .ground_truth
+        .iter()
+        .filter_map(|&(l, r)| Some((li.id(l)?, ri.id(r)?)))
+        .filter(|&(l, _)| (l as usize).is_multiple_of(27))
         .collect();
     println!("partition GT size: {}, space {}", truth.len(), space.len());
     // per-feature aggregated over GT states: avg explore size, avg correct frac
     let mut agg: HashMap<String, (usize, usize, usize)> = HashMap::new(); // (events, total_added, total_correct)
     for &(l, r) in &truth {
-        let Some(id) = space.id_of(l, r) else { continue };
+        let Some(id) = space.id_of(l, r) else {
+            continue;
+        };
         for &(f, score) in space.feature_set_of(id).iter() {
             let found = space.explore(f, score, 0.05);
-            let correct = found.iter().filter(|&&p| truth.contains(&space.pair(p))).count();
+            let correct = found
+                .iter()
+                .filter(|&&p| truth.contains(&space.pair(p)))
+                .count();
             let fp = space.catalog().pair(f);
-            let name = format!("({}, {})",
+            let name = format!(
+                "({}, {})",
                 pair.left.resolve_sym(fp.left).rsplit('/').next().unwrap(),
-                pair.right.resolve_sym(fp.right).rsplit('/').next().unwrap());
-            let e = agg.entry(name).or_insert((0,0,0));
-            e.0 += 1; e.1 += found.len(); e.2 += correct;
+                pair.right.resolve_sym(fp.right).rsplit('/').next().unwrap()
+            );
+            let e = agg.entry(name).or_insert((0, 0, 0));
+            e.0 += 1;
+            e.1 += found.len();
+            e.2 += correct;
         }
     }
     let mut rows: Vec<_> = agg.into_iter().collect();
-    rows.sort_by_key(|(_, (_,added,_))| std::cmp::Reverse(*added));
+    rows.sort_by_key(|(_, (_, added, _))| std::cmp::Reverse(*added));
     for (name, (events, added, correct)) in rows {
-        println!("{name:<38} events={events:<4} avg_added={:<8.1} correct_frac={:.3}",
-            added as f64 / events as f64, correct as f64 / added.max(1) as f64);
+        println!(
+            "{name:<38} events={events:<4} avg_added={:<8.1} correct_frac={:.3}",
+            added as f64 / events as f64,
+            correct as f64 / added.max(1) as f64
+        );
     }
 }

@@ -8,18 +8,34 @@ use alex_datagen::{generate_pair, DatasetKind, PairSpec};
 fn main() {
     let spec = PairSpec::of(DatasetKind::DBpedia, DatasetKind::NYTimes);
     let pair = generate_pair(&spec.config(20160501));
-    println!("left entities {}, right {}", pair.left_entities.len(), pair.right_entities.len());
-    let cfg = SpaceConfig { partition: Some((0, 27)), ..SpaceConfig::default() };
+    println!(
+        "left entities {}, right {}",
+        pair.left_entities.len(),
+        pair.right_entities.len()
+    );
+    let cfg = SpaceConfig {
+        partition: Some((0, 27)),
+        ..SpaceConfig::default()
+    };
     let space = LinkSpace::build(&pair.left, &pair.right, &cfg);
-    println!("partition 0/27: blocked={} filtered={} features={}", space.blocked_pairs(), space.len(), space.catalog().len());
+    println!(
+        "partition 0/27: blocked={} filtered={} features={}",
+        space.blocked_pairs(),
+        space.len(),
+        space.catalog().len()
+    );
     // Per-feature: total postings and biggest 0.1-window count
     let mut stats: Vec<(String, usize, usize)> = Vec::new();
     for (fid, fp) in space.catalog().iter() {
         let mut scores: Vec<f64> = Vec::new();
         for id in space.pair_ids() {
-            if let Some(s) = alex_core::feature::feature_score(space.feature_set_of(id), fid) { scores.push(s); }
+            if let Some(s) = alex_core::feature::feature_score(space.feature_set_of(id), fid) {
+                scores.push(s);
+            }
         }
-        if scores.is_empty() { continue; }
+        if scores.is_empty() {
+            continue;
+        }
         scores.sort_by(f64::total_cmp);
         // max count in any +-0.05 window centered at an observed score
         let mut maxw = 0;
@@ -27,11 +43,15 @@ fn main() {
             let hi = scores.partition_point(|&x| x <= c + 0.05);
             let lo = scores.partition_point(|&x| x < c - 0.05);
             maxw = maxw.max(hi - lo);
-            if i > 2000 { break; }
+            if i > 2000 {
+                break;
+            }
         }
-        let name = format!("({}, {})",
+        let name = format!(
+            "({}, {})",
             pair.left.resolve_sym(fp.left).rsplit('/').next().unwrap(),
-            pair.right.resolve_sym(fp.right).rsplit('/').next().unwrap());
+            pair.right.resolve_sym(fp.right).rsplit('/').next().unwrap()
+        );
         stats.push((name, scores.len(), maxw));
     }
     stats.sort_by_key(|s| std::cmp::Reverse(s.2));

@@ -34,7 +34,10 @@ pub fn runs() -> Vec<(f64, ExperimentRun)> {
 /// Format the Fig. 10 report.
 pub fn report(arms: &[(f64, ExperimentRun)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Figure 10 (Appendix D): step-size sensitivity (DBpedia - NYTimes)");
+    let _ = writeln!(
+        out,
+        "## Figure 10 (Appendix D): step-size sensitivity (DBpedia - NYTimes)"
+    );
     let _ = writeln!(out);
 
     let headers: Vec<String> = std::iter::once("episode".to_string())
@@ -42,7 +45,11 @@ pub fn report(arms: &[(f64, ExperimentRun)]) -> String {
         .chain(arms.iter().map(|(s, _)| format!("R @ step {s}")))
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let max_eps = arms.iter().map(|(_, r)| r.run.episodes.len()).max().unwrap_or(0);
+    let max_eps = arms
+        .iter()
+        .map(|(_, r)| r.run.episodes.len())
+        .max()
+        .unwrap_or(0);
     let mut rows = Vec::new();
     for e in 0..max_eps {
         let mut row = vec![(e + 1).to_string()];
@@ -64,7 +71,11 @@ pub fn report(arms: &[(f64, ExperimentRun)]) -> String {
         }
         rows.push(row);
     }
-    let _ = writeln!(out, "(a, b) F-measure and recall per episode\n{}", text_table(&header_refs, &rows));
+    let _ = writeln!(
+        out,
+        "(a, b) F-measure and recall per episode\n{}",
+        text_table(&header_refs, &rows)
+    );
 
     let _ = writeln!(out, "(c) negative feedback per episode (first 10)");
     let mut rows = Vec::new();

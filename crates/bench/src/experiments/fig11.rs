@@ -33,13 +33,20 @@ pub fn runs() -> Vec<(usize, ExperimentRun)> {
 /// Format the Fig. 11 report.
 pub fn report(arms: &[(usize, ExperimentRun)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Figure 11 (Appendix D): episode-size sensitivity (DBpedia - NYTimes)");
+    let _ = writeln!(
+        out,
+        "## Figure 11 (Appendix D): episode-size sensitivity (DBpedia - NYTimes)"
+    );
     let _ = writeln!(out);
     let headers: Vec<String> = std::iter::once("episode".to_string())
         .chain(arms.iter().map(|(s, _)| format!("F @ size {s}")))
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let max_eps = arms.iter().map(|(_, r)| r.run.episodes.len()).max().unwrap_or(0);
+    let max_eps = arms
+        .iter()
+        .map(|(_, r)| r.run.episodes.len())
+        .max()
+        .unwrap_or(0);
     let mut rows = Vec::new();
     for e in 0..max_eps {
         let mut row = vec![(e + 1).to_string()];

@@ -11,7 +11,7 @@ use std::fmt::Write as _;
 use alex_core::{LinkSpace, SpaceConfig};
 use alex_datagen::{generate_pair, DatasetKind, PairSpec};
 
-use crate::harness::{PAPER_PARTITIONS, BASE_SEED};
+use crate::harness::{BASE_SEED, PAPER_PARTITIONS};
 
 /// Numbers behind Fig. 5.
 #[derive(Debug, Clone, Copy)]
@@ -56,7 +56,10 @@ pub fn report() -> String {
     let reduction = 100.0 * (1.0 - n.filtered as f64 / n.total_possible as f64);
     let gt_frac = 100.0 * n.ground_truth as f64 / n.filtered.max(1) as f64;
     let mut out = String::new();
-    let _ = writeln!(out, "## Figure 5: filtering the search space (DBpedia partition 0 vs NYTimes)");
+    let _ = writeln!(
+        out,
+        "## Figure 5: filtering the search space (DBpedia partition 0 vs NYTimes)"
+    );
     let _ = writeln!(out);
     let _ = writeln!(out, "(a) total possible links : {}", n.total_possible);
     let _ = writeln!(out, "    filtered search space: {}", n.filtered);

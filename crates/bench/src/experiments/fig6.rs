@@ -22,7 +22,10 @@ pub fn runs() -> (ExperimentRun, ExperimentRun) {
 /// Format the Fig. 6 report.
 pub fn report(with: &ExperimentRun, without: &ExperimentRun) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Figure 6: effect of the blacklist (DBpedia - NYTimes)");
+    let _ = writeln!(
+        out,
+        "## Figure 6: effect of the blacklist (DBpedia - NYTimes)"
+    );
     let _ = writeln!(out);
     let _ = writeln!(out, "(a) F-measure per episode");
     let f_with = with.f_series();
@@ -32,8 +35,14 @@ pub fn report(with: &ExperimentRun, without: &ExperimentRun) -> String {
     for e in 0..episodes {
         rows.push(vec![
             (e + 1).to_string(),
-            f_with.get(e).map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()),
-            f_without.get(e).map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into()),
+            f_with
+                .get(e)
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            f_without
+                .get(e)
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     let _ = writeln!(

@@ -40,7 +40,10 @@ pub fn report(without: &ExperimentRun, with: &ExperimentRun) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## Figure 7: effect of rollback (DBpedia - NYTimes)");
     let _ = writeln!(out);
-    let _ = writeln!(out, "(a) overall quality WITHOUT rollback (cap 100 episodes)");
+    let _ = writeln!(
+        out,
+        "(a) overall quality WITHOUT rollback (cap 100 episodes)"
+    );
     let _ = writeln!(out, "{}", without.quality_table());
     let _ = writeln!(out, "{}", without.convergence_summary());
     let _ = writeln!(out);
@@ -85,7 +88,9 @@ pub fn report(without: &ExperimentRun, with: &ExperimentRun) -> String {
             out,
             "    example: partition {pidx} converges at episode {when} without rollback, \
              at episode {} with rollback",
-            with_when.map(|e| e.to_string()).unwrap_or_else(|| ">cap".into())
+            with_when
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| ">cap".into())
         );
         let trace = without
             .run

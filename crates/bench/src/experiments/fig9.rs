@@ -58,7 +58,9 @@ pub fn report(
     );
     let episodes = pc.len().max(pn.len());
     let cell = |v: &Vec<f64>, e: usize| {
-        v.get(e).map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into())
+        v.get(e)
+            .map(|x| format!("{x:.3}"))
+            .unwrap_or_else(|| "-".into())
     };
     let mut rows = Vec::new();
     for e in 0..episodes {
@@ -76,7 +78,15 @@ pub fn report(
         out,
         "{}",
         text_table(
-            &["episode", "P correct", "P 10% err", "R correct", "R 10% err", "F correct", "F 10% err"],
+            &[
+                "episode",
+                "P correct",
+                "P 10% err",
+                "R correct",
+                "R 10% err",
+                "F correct",
+                "F 10% err"
+            ],
             &rows
         )
     );

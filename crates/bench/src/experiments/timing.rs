@@ -39,25 +39,65 @@ pub fn report(batch: &ExperimentRun, interactive: &ExperimentRun) -> String {
         if r.run.episodes.is_empty() {
             std::time::Duration::ZERO
         } else {
-            r.run.episodes.iter().map(|e| e.duration).sum::<std::time::Duration>()
+            r.run
+                .episodes
+                .iter()
+                .map(|e| e.duration)
+                .sum::<std::time::Duration>()
                 / r.run.episodes.len() as u32
         }
     };
-    let _ = writeln!(out, "batch mode ({}, episode size 1000, 27 partitions):", batch.label);
-    let _ = writeln!(out, "  total wall time          : {:.2?}", batch.run.total_duration);
-    let _ = writeln!(out, "  slowest partition        : {:.2?}", batch.run.slowest_partition);
-    let _ = writeln!(out, "  mean partition           : {:.2?}", batch.run.mean_partition);
-    let _ = writeln!(out, "  mean episode (aggregate) : {:.2?}", per_episode(batch));
-    let _ = writeln!(out, "  episodes                 : {}", batch.run.episodes.len());
+    let _ = writeln!(
+        out,
+        "batch mode ({}, episode size 1000, 27 partitions):",
+        batch.label
+    );
+    let _ = writeln!(
+        out,
+        "  total wall time          : {:.2?}",
+        batch.run.total_duration
+    );
+    let _ = writeln!(
+        out,
+        "  slowest partition        : {:.2?}",
+        batch.run.slowest_partition
+    );
+    let _ = writeln!(
+        out,
+        "  mean partition           : {:.2?}",
+        batch.run.mean_partition
+    );
+    let _ = writeln!(
+        out,
+        "  mean episode (aggregate) : {:.2?}",
+        per_episode(batch)
+    );
+    let _ = writeln!(
+        out,
+        "  episodes                 : {}",
+        batch.run.episodes.len()
+    );
     let _ = writeln!(out);
     let _ = writeln!(
         out,
         "specific domain ({}, episode size 10, 1 partition):",
         interactive.label
     );
-    let _ = writeln!(out, "  total wall time          : {:.2?}", interactive.run.total_duration);
-    let _ = writeln!(out, "  mean episode             : {:.2?}", per_episode(interactive));
-    let _ = writeln!(out, "  episodes                 : {}", interactive.run.episodes.len());
+    let _ = writeln!(
+        out,
+        "  total wall time          : {:.2?}",
+        interactive.run.total_duration
+    );
+    let _ = writeln!(
+        out,
+        "  mean episode             : {:.2?}",
+        per_episode(interactive)
+    );
+    let _ = writeln!(
+        out,
+        "  episodes                 : {}",
+        interactive.run.episodes.len()
+    );
     let _ = writeln!(out);
     let ratio = batch.run.total_duration.as_secs_f64()
         / interactive.run.total_duration.as_secs_f64().max(1e-9);

@@ -11,6 +11,7 @@ use alex_datagen::{
     generate_pair, sample_initial_links, score_links, GeneratedPair, InitialLinksSpec, PairSpec,
 };
 use alex_rdf::Term;
+use alex_telemetry::{emit, span, Event};
 
 /// The paper runs 27 partitions; we default to the same number (threads are
 /// cheap — partitions are compute-bound and independent).
@@ -112,8 +113,13 @@ impl Workload {
 
     /// Execute: generate the pair, sample the initial links, run ALEX.
     pub fn run(&self) -> ExperimentRun {
-        let pair = generate_pair(&self.spec.config(BASE_SEED));
-        let initial = sample_initial_links(&pair, self.regime);
+        let workload_span = span("workload");
+        let (pair, initial) = {
+            let _s = span("generate");
+            let pair = generate_pair(&self.spec.config(BASE_SEED));
+            let initial = sample_initial_links(&pair, self.regime);
+            (pair, initial)
+        };
         let (p0, r0, f0) = score_links(&pair, &initial);
         let cfg = PartitionedConfig {
             partitions: self.partitions,
@@ -125,6 +131,16 @@ impl Workload {
             feedback_error_rate: self.error_rate,
         };
         let run = run_partitioned(&pair.left, &pair.right, &initial, &pair.ground_truth, &cfg);
+        emit!(Event::BenchSnapshot {
+            label: self.spec.label(),
+            episodes: run.episodes.len() as u64,
+            f_measure: run
+                .episodes
+                .last()
+                .map(|e| e.quality.f_measure)
+                .unwrap_or(run.initial_quality.f_measure),
+            duration_us: workload_span.elapsed().as_micros() as u64,
+        });
         ExperimentRun {
             label: self.spec.label(),
             sampled_initial_quality: Quality {
@@ -175,7 +191,10 @@ impl ExperimentRun {
     /// being the initial candidate set.
     pub fn quality_table(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "episode  precision  recall  f-measure  candidates  change");
+        let _ = writeln!(
+            out,
+            "episode  precision  recall  f-measure  candidates  change"
+        );
         let q0 = self.run.initial_quality;
         let _ = writeln!(
             out,
@@ -199,7 +218,11 @@ impl ExperimentRun {
 
     /// Per-episode F-measure series (episode 1..).
     pub fn f_series(&self) -> Vec<f64> {
-        self.run.episodes.iter().map(|e| e.quality.f_measure).collect()
+        self.run
+            .episodes
+            .iter()
+            .map(|e| e.quality.f_measure)
+            .collect()
     }
 
     /// Per-episode recall series.
@@ -209,7 +232,11 @@ impl ExperimentRun {
 
     /// Per-episode precision series.
     pub fn precision_series(&self) -> Vec<f64> {
-        self.run.episodes.iter().map(|e| e.quality.precision).collect()
+        self.run
+            .episodes
+            .iter()
+            .map(|e| e.quality.precision)
+            .collect()
     }
 
     /// Per-episode negative-feedback percentage series.

@@ -8,6 +8,7 @@
 
 use std::collections::HashSet;
 
+use alex_telemetry::{counter, emit, Event};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -152,7 +153,10 @@ impl Agent {
 
     /// Current candidate links as entity-id pairs.
     pub fn candidate_pairs(&self) -> Vec<(u32, u32)> {
-        self.candidates.iter().map(|id| self.space.pair(id)).collect()
+        self.candidates
+            .iter()
+            .map(|id| self.space.pair(id))
+            .collect()
     }
 
     /// Process one feedback item (policy evaluation, Algorithm 1 lines
@@ -194,6 +198,10 @@ impl Agent {
                     .map(|&(f, _)| f)
                     .collect();
                 if let Some(action) = self.policy.choose(state, &actions, &mut self.rng) {
+                    counter!("alex_exploration_actions_total").inc();
+                    emit!(Event::ExplorationAction {
+                        action: format!("{action:?}")
+                    });
                     outcome.action = Some(action);
                     outcome.added = self.explore(state, action);
                 }
@@ -202,6 +210,14 @@ impl Agent {
                 // Remove the link (line 20) and blacklist it (§6.3).
                 if self.candidates.remove(state) {
                     outcome.removed += 1;
+                    counter!("alex_links_removed_total").inc();
+                    emit!({
+                        let (l, r) = self.space.pair(state);
+                        Event::LinkRemoved {
+                            left: l as u64,
+                            right: r as u64,
+                        }
+                    });
                 }
                 self.approved.remove(&state);
                 self.blacklist.add(state);
@@ -211,9 +227,10 @@ impl Agent {
                 if let Some((generator, tally)) = self.provenance.record_negative(state) {
                     if self.cfg.use_rollback && tally >= self.cfg.rollback_threshold {
                         outcome.rolled_back = true;
+                        counter!("alex_rollbacks_total").inc();
+                        let mut rolled_back_links = 0u64;
                         for link in self.provenance.take_generated(generator) {
-                            if self.cfg.rollback_spares_approved && self.approved.contains(&link)
-                            {
+                            if self.cfg.rollback_spares_approved && self.approved.contains(&link) {
                                 continue;
                             }
                             // Removed links were not individually judged, so
@@ -221,12 +238,29 @@ impl Agent {
                             // and can be rediscovered by a better action.
                             if self.candidates.remove(link) {
                                 outcome.removed += 1;
+                                rolled_back_links += 1;
+                                counter!("alex_links_removed_total").inc();
+                                emit!({
+                                    let (l, r) = self.space.pair(link);
+                                    Event::LinkRemoved {
+                                        left: l as u64,
+                                        right: r as u64,
+                                    }
+                                });
                             }
                         }
+                        emit!(Event::Rollback {
+                            removed: rolled_back_links
+                        });
                     }
                 }
             }
         }
+        emit!(Event::FeedbackApplied {
+            positive: feedback == Feedback::Positive,
+            added: outcome.added as u64,
+            removed: outcome.removed as u64,
+        });
         outcome
     }
 
@@ -239,12 +273,31 @@ impl Agent {
         };
         let mut added = 0;
         for link in self.space.explore(action, center, self.cfg.step_size) {
-            if link == state || self.blacklist.blocks(link) || self.candidates.contains(link) {
+            if link == state || self.candidates.contains(link) {
+                continue;
+            }
+            if self.blacklist.blocks(link) {
+                counter!("alex_blacklist_hits_total").inc();
+                emit!({
+                    let (l, r) = self.space.pair(link);
+                    Event::BlacklistHit {
+                        left: l as u64,
+                        right: r as u64,
+                    }
+                });
                 continue;
             }
             self.candidates.insert(link);
             self.provenance.record(link, (state, action));
             added += 1;
+            counter!("alex_links_added_total").inc();
+            emit!({
+                let (l, r) = self.space.pair(link);
+                Event::LinkAdded {
+                    left: l as u64,
+                    right: r as u64,
+                }
+            });
         }
         added
     }
@@ -307,8 +360,12 @@ impl Agent {
     /// admitted to the space first.
     pub fn feedback_on_pair(&mut self, pair: (u32, u32), feedback: Feedback) -> StepOutcome {
         let id = self.space.ensure_pair(pair.0, pair.1);
-        if feedback == Feedback::Positive {
-            self.candidates.insert(id);
+        if feedback == Feedback::Positive && self.candidates.insert(id) {
+            counter!("alex_links_added_total").inc();
+            emit!(Event::LinkAdded {
+                left: pair.0 as u64,
+                right: pair.1 as u64
+            });
         }
         self.process_feedback(id, feedback)
     }
@@ -417,11 +474,7 @@ mod tests {
             let out = agent.process_feedback(s0, Feedback::Positive);
             if out.added > 0 {
                 action = out.action;
-                discovered = agent
-                    .candidates()
-                    .iter()
-                    .filter(|&id| id != s0)
-                    .collect();
+                discovered = agent.candidates().iter().filter(|&id| id != s0).collect();
                 break;
             }
         }
@@ -485,17 +538,15 @@ mod tests {
             }
         }
         assert!(added >= 3, "needed a few generated links, got {added}");
-        let generated: Vec<PairId> = agent
-            .candidates()
-            .iter()
-            .filter(|&id| id != s0)
-            .collect();
+        let generated: Vec<PairId> = agent.candidates().iter().filter(|&id| id != s0).collect();
         // Two negatives on generated links trigger a rollback of the rest.
         let n_before = agent.candidates().len();
         agent.process_feedback(generated[0], Feedback::Negative);
         let out = agent.process_feedback(generated[1], Feedback::Negative);
-        assert!(out.rolled_back || agent.candidates().len() < n_before - 2,
-            "rollback should fire once the tally reaches the threshold");
+        assert!(
+            out.rolled_back || agent.candidates().len() < n_before - 2,
+            "rollback should fire once the tally reaches the threshold"
+        );
         // Only s0 (and approved links) survive among candidates.
         assert!(agent.candidates().contains(s0));
     }
@@ -516,15 +567,15 @@ mod tests {
                 break;
             }
         }
-        let generated: Vec<PairId> = agent
-            .candidates()
-            .iter()
-            .filter(|&id| id != s0)
-            .collect();
+        let generated: Vec<PairId> = agent.candidates().iter().filter(|&id| id != s0).collect();
         let before = agent.candidates().len();
         let out = agent.process_feedback(generated[0], Feedback::Negative);
         assert!(!out.rolled_back);
-        assert_eq!(agent.candidates().len(), before - 1, "only the judged link goes");
+        assert_eq!(
+            agent.candidates().len(),
+            before - 1,
+            "only the judged link goes"
+        );
     }
 
     #[test]
@@ -536,11 +587,7 @@ mod tests {
         for _ in 0..5 {
             agent.process_feedback(s0, Feedback::Positive);
         }
-        let children: Vec<PairId> = agent
-            .candidates()
-            .iter()
-            .filter(|&id| id != s0)
-            .collect();
+        let children: Vec<PairId> = agent.candidates().iter().filter(|&id| id != s0).collect();
         for &c in children.iter().take(3) {
             agent.process_feedback(c, Feedback::Positive);
         }

@@ -67,7 +67,10 @@ impl Blacklist {
 
     /// Number of currently blocked links.
     pub fn len(&self) -> usize {
-        self.votes.values().filter(|&&(n, p)| n >= 2 && n > p).count()
+        self.votes
+            .values()
+            .filter(|&&(n, p)| n >= 2 && n > p)
+            .count()
     }
 
     /// Whether nothing is currently blocked.
@@ -130,6 +133,9 @@ mod tests {
         assert!(!b.blocks(PairId(5)));
         b.add(PairId(5));
         b.add(PairId(5));
-        assert!(b.blocks(PairId(5)), "endorsements before any vote don't pre-arm");
+        assert!(
+            b.blocks(PairId(5)),
+            "endorsements before any vote don't pre-arm"
+        );
     }
 }

@@ -49,12 +49,16 @@ impl FeedbackBridge {
     /// Resolve a sameAs link to an entity-id pair, trying both orientations
     /// (the engine preserves the stored orientation, which may be either).
     pub fn link_to_pair(&self, link: &Link) -> Option<(u32, u32)> {
-        if let (Some(&l), Some(&r)) = (self.left_ids.get(&link.left), self.right_ids.get(&link.right))
-        {
+        if let (Some(&l), Some(&r)) = (
+            self.left_ids.get(&link.left),
+            self.right_ids.get(&link.right),
+        ) {
             return Some((l, r));
         }
-        if let (Some(&l), Some(&r)) = (self.left_ids.get(&link.right), self.right_ids.get(&link.left))
-        {
+        if let (Some(&l), Some(&r)) = (
+            self.left_ids.get(&link.right),
+            self.right_ids.get(&link.left),
+        ) {
             return Some((l, r));
         }
         None

@@ -2,7 +2,8 @@
 //! improvement loop with convergence detection and per-episode metrics.
 
 use std::collections::HashSet;
-use std::time::Instant;
+
+use alex_telemetry::{emit, span, Event};
 
 use crate::agent::Agent;
 use crate::feedback::FeedbackSource;
@@ -61,17 +62,26 @@ pub fn run(
     source: &mut dyn FeedbackSource,
     truth: &HashSet<(u32, u32)>,
 ) -> RunReport {
-    let start = Instant::now();
-    let initial_quality = Quality::evaluate(agent.candidates(), agent.space(), truth);
+    let run_span = span("improve");
+    let initial_quality = {
+        let _s = span("initial_quality");
+        Quality::evaluate(agent.candidates(), agent.space(), truth)
+    };
     let mut episodes = Vec::new();
     let mut relaxed_converged_at = None;
     let mut prev: HashSet<PairId> = agent.candidates().snapshot();
     let mut stop = StopReason::MaxEpisodes;
 
     for episode in 1..=agent.config().max_episodes {
-        let episode_start = Instant::now();
-        let summary = agent.run_episode(source);
-        let duration = episode_start.elapsed();
+        let episode_span = span("episode");
+        emit!(Event::EpisodeStart {
+            episode: episode as u64
+        });
+        let summary = {
+            let _s = span("feedback");
+            agent.run_episode(source)
+        };
+        let duration = episode_span.elapsed();
 
         if summary.feedback_items() == 0 {
             stop = StopReason::NoFeedback;
@@ -90,8 +100,10 @@ pub fn run(
             changed as f64 / prev.len() as f64
         };
 
-        let (correct, quality) =
-            Quality::evaluate_counted(agent.candidates(), agent.space(), truth);
+        let (correct, quality) = {
+            let _s = span("evaluate");
+            Quality::evaluate_counted(agent.candidates(), agent.space(), truth)
+        };
         episodes.push(EpisodeReport {
             episode,
             quality,
@@ -104,19 +116,25 @@ pub fn run(
             change_frac,
             duration,
         });
+        emit!(Event::EpisodeEnd {
+            episode: episode as u64,
+            precision: quality.precision,
+            recall: quality.recall,
+            f_measure: quality.f_measure,
+            added: summary.added as u64,
+            removed: summary.removed as u64,
+            rollbacks: summary.rollbacks as u64,
+            duration_us: duration.as_micros() as u64,
+        });
 
-        if relaxed_converged_at.is_none()
-            && change_frac < agent.config().relaxed_convergence_frac
-        {
+        if relaxed_converged_at.is_none() && change_frac < agent.config().relaxed_convergence_frac {
             relaxed_converged_at = Some(episode);
         }
         if changed == 0 {
             stop = StopReason::Converged;
             break;
         }
-        if agent.config().stop_on_relaxed
-            && change_frac < agent.config().relaxed_convergence_frac
-        {
+        if agent.config().stop_on_relaxed && change_frac < agent.config().relaxed_convergence_frac {
             stop = StopReason::RelaxedConverged;
             break;
         }
@@ -128,7 +146,7 @@ pub fn run(
         episodes,
         stop,
         relaxed_converged_at,
-        total_duration: start.elapsed(),
+        total_duration: run_span.elapsed(),
     }
 }
 

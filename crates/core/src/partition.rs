@@ -9,9 +9,10 @@
 //! of the partitions' candidate sets.
 
 use std::collections::HashSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use alex_rdf::{Dataset, Term};
+use alex_telemetry::{emit, span, Event};
 
 use crate::agent::Agent;
 use crate::config::AlexConfig;
@@ -110,10 +111,14 @@ impl PartitionState {
     /// (changed-link count, correct, candidates, added, removed, negatives,
     /// rollbacks, duration).
     #[allow(clippy::type_complexity)]
-    fn run_round(&mut self, quota: usize) -> (usize, usize, usize, usize, usize, f64, usize, Duration) {
-        let start = Instant::now();
+    fn run_round(
+        &mut self,
+        quota: usize,
+    ) -> (usize, usize, usize, usize, usize, f64, usize, Duration) {
+        // Runs on a worker thread, so the span roots its own path there.
+        let round_span = span("partition_round");
         let summary = self.agent.run_episode_sized(&mut self.oracle, quota);
-        let duration = start.elapsed();
+        let duration = round_span.elapsed();
         self.total_duration += duration;
 
         let current = self.agent.candidates().snapshot();
@@ -170,7 +175,7 @@ pub fn run_partitioned(
     cfg: &PartitionedConfig,
 ) -> PartitionedRun {
     assert!(cfg.partitions > 0, "at least one partition");
-    let run_start = Instant::now();
+    let run_span = span("improve_partitioned");
     let n = cfg.partitions;
 
     // Global id mapping (identical in every partition's space).
@@ -186,16 +191,22 @@ pub fn run_partitioned(
     let truth_ids: HashSet<(u32, u32)> = to_ids(truth).into_iter().collect();
 
     // Build spaces in parallel, one per partition.
-    let spaces: Vec<LinkSpace> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..n)
-            .map(|i| {
-                let mut space_cfg = cfg.space.clone();
-                space_cfg.partition = Some((i, n));
-                s.spawn(move || LinkSpace::build(left, right, &space_cfg))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-    });
+    let spaces: Vec<LinkSpace> = {
+        let _s = span("build_spaces");
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let mut space_cfg = cfg.space.clone();
+                    space_cfg.partition = Some((i, n));
+                    s.spawn(move || LinkSpace::build(left, right, &space_cfg))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
+        })
+    };
 
     // Assemble partition states.
     let mut states: Vec<PartitionState> = spaces
@@ -237,11 +248,8 @@ pub fn run_partitioned(
     let initial_counts: Vec<(usize, usize)> = states
         .iter()
         .map(|st| {
-            let (correct, _) = Quality::evaluate_counted(
-                st.agent.candidates(),
-                st.agent.space(),
-                &truth_ids,
-            );
+            let (correct, _) =
+                Quality::evaluate_counted(st.agent.candidates(), st.agent.space(), &truth_ids);
             (correct, st.agent.candidates().len())
         })
         .collect();
@@ -256,6 +264,10 @@ pub fn run_partitioned(
     let mut stop = StopReason::MaxEpisodes;
 
     for episode in 1..=cfg.alex.max_episodes {
+        let _episode_span = span("episode");
+        emit!(Event::EpisodeStart {
+            episode: episode as u64
+        });
         // Quotas proportional to candidate counts.
         let counts: Vec<usize> = states.iter().map(|s| s.agent.candidates().len()).collect();
         let total: usize = counts.iter().sum();
@@ -291,7 +303,10 @@ pub fn run_partitioned(
                 .zip(quotas.iter())
                 .map(|(st, &quota)| s.spawn(move || st.run_round(quota)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
         });
 
         // Aggregate.
@@ -321,9 +336,10 @@ pub fn run_partitioned(
         } else {
             changed as f64 / prev_total as f64
         };
+        let quality = Quality::from_counts(correct, candidates, truth_ids.len());
         episodes.push(EpisodeReport {
             episode,
-            quality: Quality::from_counts(correct, candidates, truth_ids.len()),
+            quality,
             candidates,
             correct,
             added,
@@ -332,6 +348,16 @@ pub fn run_partitioned(
             rollbacks,
             change_frac,
             duration,
+        });
+        emit!(Event::EpisodeEnd {
+            episode: episode as u64,
+            precision: quality.precision,
+            recall: quality.recall,
+            f_measure: quality.f_measure,
+            added: added as u64,
+            removed: removed as u64,
+            rollbacks: rollbacks as u64,
+            duration_us: duration.as_micros() as u64,
         });
         if relaxed_converged_at.is_none() && change_frac < cfg.alex.relaxed_convergence_frac {
             relaxed_converged_at = Some(episode);
@@ -382,7 +408,7 @@ pub fn run_partitioned(
         relaxed_converged_at,
         slowest_partition,
         mean_partition,
-        total_duration: run_start.elapsed(),
+        total_duration: run_span.elapsed(),
     }
 }
 
@@ -417,8 +443,16 @@ mod tests {
         let ri = right.entity_index();
         let mut truth = Vec::new();
         for i in 0..names.len() {
-            let lt = left.interner().get(&format!("http://l/{i}")).map(Term::Iri).unwrap();
-            let rt = right.interner().get(&format!("http://r/{i}")).map(Term::Iri).unwrap();
+            let lt = left
+                .interner()
+                .get(&format!("http://l/{i}"))
+                .map(Term::Iri)
+                .unwrap();
+            let rt = right
+                .interner()
+                .get(&format!("http://r/{i}"))
+                .map(Term::Iri)
+                .unwrap();
             assert!(li.id(lt).is_some() && ri.id(rt).is_some());
             truth.push((lt, rt));
         }

@@ -164,7 +164,10 @@ mod tests {
             counts[c.0 as usize] += 1;
         }
         let freq_greedy = counts[1] as f64 / trials as f64;
-        assert!((freq_greedy - 0.85).abs() < 0.02, "greedy freq {freq_greedy}");
+        assert!(
+            (freq_greedy - 0.85).abs() < 0.02,
+            "greedy freq {freq_greedy}"
+        );
         for (i, &c) in counts.iter().enumerate() {
             if i != 1 {
                 let f = c as f64 / trials as f64;

@@ -46,7 +46,10 @@ pub fn feature_set(
                 }
             }
             if let Some((rp, score)) = best {
-                let id = catalog.intern(FeaturePair { left: lp, right: rp });
+                let id = catalog.intern(FeaturePair {
+                    left: lp,
+                    right: rp,
+                });
                 push(id, score);
             }
         }
@@ -61,7 +64,10 @@ pub fn feature_set(
                 }
             }
             if let Some((lp, score)) = best {
-                let id = catalog.intern(FeaturePair { left: lp, right: rp });
+                let id = catalog.intern(FeaturePair {
+                    left: lp,
+                    right: rp,
+                });
                 push(id, score);
             }
         }
@@ -87,12 +93,28 @@ mod tests {
     fn picks_best_counterpart_per_row() {
         let mut catalog = FeatureCatalog::new();
         // Left has 2 attrs, right has 2: n == m so per-row.
-        let left = vec![(sym(0), text("LeBron James")), (sym(1), TypedValue::Year(1984))];
-        let right = vec![(sym(10), text("lebron james")), (sym(11), TypedValue::Year(1984))];
+        let left = vec![
+            (sym(0), text("LeBron James")),
+            (sym(1), TypedValue::Year(1984)),
+        ];
+        let right = vec![
+            (sym(10), text("lebron james")),
+            (sym(11), TypedValue::Year(1984)),
+        ];
         let sf = feature_set(&left, &right, 0.3, &mut catalog);
         assert_eq!(sf.len(), 2);
-        let name_feat = catalog.get(FeaturePair { left: sym(0), right: sym(10) }).unwrap();
-        let year_feat = catalog.get(FeaturePair { left: sym(1), right: sym(11) }).unwrap();
+        let name_feat = catalog
+            .get(FeaturePair {
+                left: sym(0),
+                right: sym(10),
+            })
+            .unwrap();
+        let year_feat = catalog
+            .get(FeaturePair {
+                left: sym(1),
+                right: sym(11),
+            })
+            .unwrap();
         assert_eq!(feature_score(&sf, name_feat), Some(1.0));
         assert_eq!(feature_score(&sf, year_feat), Some(1.0));
     }

@@ -123,7 +123,10 @@ impl LinkSpace {
         let mut by_feature: HashMap<FeatureId, Vec<(f64, PairId)>> = HashMap::new();
         for (i, sf) in self.features.iter().enumerate() {
             for &(f, score) in sf {
-                by_feature.entry(f).or_default().push((score, PairId(i as u32)));
+                by_feature
+                    .entry(f)
+                    .or_default()
+                    .push((score, PairId(i as u32)));
             }
         }
         for list in by_feature.values_mut() {
@@ -264,9 +267,14 @@ mod tests {
     fn datasets() -> (Dataset, Dataset) {
         let mut left = Dataset::new("L");
         let mut right = Dataset::new("R");
-        for (i, name) in ["LeBron James", "Michael Jordan", "Tim Duncan", "Kobe Bryant"]
-            .iter()
-            .enumerate()
+        for (i, name) in [
+            "LeBron James",
+            "Michael Jordan",
+            "Tim Duncan",
+            "Kobe Bryant",
+        ]
+        .iter()
+        .enumerate()
         {
             left.add_str(&format!("http://l/{i}"), "http://l/label", name);
             left.add_str(&format!("http://l/{i}"), "http://l/type", "player");
@@ -333,7 +341,10 @@ mod tests {
         let name = right.interner().get("http://r/name").unwrap();
         let f = space
             .catalog()
-            .get(crate::feature::FeaturePair { left: label, right: name })
+            .get(crate::feature::FeaturePair {
+                left: label,
+                right: name,
+            })
             .unwrap();
         let found = space.explore(f, 1.0, 0.05);
         assert!(found.len() >= 4);

@@ -55,11 +55,7 @@ pub struct UserPopulation {
 
 impl UserPopulation {
     /// Create a population over ground-truth `(left id, right id)` pairs.
-    pub fn new(
-        truth: HashSet<(u32, u32)>,
-        users: Vec<UserProfile>,
-        seed: u64,
-    ) -> UserPopulation {
+    pub fn new(truth: HashSet<(u32, u32)>, users: Vec<UserProfile>, seed: u64) -> UserPopulation {
         assert!(!users.is_empty(), "a population needs at least one user");
         for u in &users {
             assert!(
@@ -246,11 +242,7 @@ mod tests {
     fn mixed_population_has_expected_composition() {
         let truth = HashSet::new();
         let pop = UserPopulation::mixed(truth, 10, 0.3, 4);
-        let sloppy = pop
-            .users
-            .iter()
-            .filter(|(u, _)| u.error_rate > 0.1)
-            .count();
+        let sloppy = pop.users.iter().filter(|(u, _)| u.error_rate > 0.1).count();
         assert_eq!(sloppy, 3);
         assert_eq!(pop.active_users(), 10);
     }

@@ -49,10 +49,7 @@ impl ActionValue {
     /// learned — Algorithm 1 keeps the arbitrary policy). Ties break toward
     /// the lower feature id for determinism.
     pub fn argmax(&self, state: PairId, actions: &[FeatureId]) -> Option<FeatureId> {
-        if actions
-            .iter()
-            .all(|&a| self.observations(state, a) == 0)
-        {
+        if actions.iter().all(|&a| self.observations(state, a) == 0) {
             return None;
         }
         let mut best: Option<(FeatureId, f64)> = None;

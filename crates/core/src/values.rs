@@ -61,7 +61,13 @@ mod tests {
         let idx = ds.entity_index();
         let vals = SideValues::build(&ds, &idx);
         assert_eq!(vals.len(), 2);
-        let a = idx.id(ds.interner().get("http://e/a").map(alex_rdf::Term::Iri).unwrap()).unwrap();
+        let a = idx
+            .id(ds
+                .interner()
+                .get("http://e/a")
+                .map(alex_rdf::Term::Iri)
+                .unwrap())
+            .unwrap();
         let attrs = vals.attrs(a);
         assert_eq!(attrs.len(), 2);
         assert!(attrs.iter().any(|(_, v)| *v == TypedValue::Year(1984)));

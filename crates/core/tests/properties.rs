@@ -2,11 +2,11 @@
 
 use std::collections::HashSet;
 
+use alex_core::feature::FeatureId;
 use alex_core::{
     feature::feature_score, Agent, AlexConfig, CandidateSet, Feedback, LinkSpace, PairId, Policy,
     SpaceConfig,
 };
-use alex_core::feature::FeatureId;
 use alex_rdf::Dataset;
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -185,7 +185,11 @@ mod tests {
             assert!(sim > 0.3, "{out} too dissimilar ({sim})");
             total += sim;
         }
-        assert!(total / 100.0 > 0.6, "mean similarity too low: {}", total / 100.0);
+        assert!(
+            total / 100.0 > 0.6,
+            "mean similarity too low: {}",
+            total / 100.0
+        );
     }
 
     #[test]

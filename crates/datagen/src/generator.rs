@@ -108,7 +108,14 @@ pub fn generate_pair(cfg: &PairConfig) -> GeneratedPair {
         let identity = Identity::generate(domain, &mut rng);
         let l_iri = left_schema.entity_iri(domain.tag(), i);
         let r_iri = right_schema.entity_iri(domain.tag(), i);
-        let l_term = render_entity(&mut left, &left_schema, &cfg.left, &l_iri, &identity, &mut rng);
+        let l_term = render_entity(
+            &mut left,
+            &left_schema,
+            &cfg.left,
+            &l_iri,
+            &identity,
+            &mut rng,
+        );
         let r_term = render_entity(
             &mut right,
             &right_schema,
@@ -143,7 +150,14 @@ pub fn generate_pair(cfg: &PairConfig) -> GeneratedPair {
         let domain = cfg.left_extra_domains[i % cfg.left_extra_domains.len()];
         let identity = Identity::generate(domain, &mut rng);
         let iri = left_schema.entity_iri(domain.tag(), cfg.shared + i);
-        let term = render_entity(&mut left, &left_schema, &cfg.left, &iri, &identity, &mut rng);
+        let term = render_entity(
+            &mut left,
+            &left_schema,
+            &cfg.left,
+            &iri,
+            &identity,
+            &mut rng,
+        );
         left_entities.push((term, domain));
     }
 
@@ -222,8 +236,8 @@ fn render_value(
 ) -> Term {
     match value {
         CanonValue::Text(s) => {
-            let person_like =
-                matches!(domain, Domain::Person | Domain::BasketballPlayer) && key == FieldKey::Name;
+            let person_like = matches!(domain, Domain::Person | Domain::BasketballPlayer)
+                && key == FieldKey::Name;
             let formatted = if person_like && schema.uses_last_first() {
                 last_first(s)
             } else {
@@ -394,8 +408,7 @@ mod tests {
                 .find(|a| pair.right.resolve_sym(a.predicate).ends_with("name"))
                 .and_then(|a| a.objects.first().copied());
             if let (Some(ln), Some(rn)) = (l_name, r_name) {
-                total +=
-                    alex_sim::string_similarity(pair.left.resolve(ln), pair.right.resolve(rn));
+                total += alex_sim::string_similarity(pair.left.resolve(ln), pair.right.resolve(rn));
                 n += 1;
             }
         }

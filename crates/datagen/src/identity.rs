@@ -381,9 +381,7 @@ mod tests {
             let id = Identity::generate(d, &mut r);
             assert!(!id.name().is_empty());
             assert!(
-                id.fields
-                    .iter()
-                    .any(|(k, _)| *k == FieldKey::Type),
+                id.fields.iter().any(|(k, _)| *k == FieldKey::Type),
                 "{d:?} missing Type"
             );
         }

@@ -133,7 +133,10 @@ pub fn sample_initial_links(pair: &GeneratedPair, spec: InitialLinksSpec) -> Vec
 
 /// Precision/recall/F1 of a candidate set against a pair's ground truth.
 pub fn score_links(pair: &GeneratedPair, links: &[(Term, Term)]) -> (f64, f64, f64) {
-    let correct = links.iter().filter(|&&(l, r)| pair.is_correct(l, r)).count();
+    let correct = links
+        .iter()
+        .filter(|&&(l, r)| pair.is_correct(l, r))
+        .count();
     let p = if links.is_empty() {
         0.0
     } else {

@@ -9,37 +9,178 @@ use rand::prelude::*;
 
 /// First names for person-like entities.
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Betty",
-    "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
-    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy", "Kevin", "Carol",
-    "Brian", "Amanda", "George", "Melissa", "Edward", "Deborah", "Ronald", "Stephanie",
-    "Timothy", "Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob",
-    "Kathleen", "Gary", "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna",
-    "Stephen", "Brenda", "Larry", "Pamela", "Justin", "Emma", "Scott", "Nicole", "Brandon",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Christopher",
+    "Lisa",
+    "Daniel",
+    "Nancy",
+    "Matthew",
+    "Betty",
+    "Anthony",
+    "Margaret",
+    "Mark",
+    "Sandra",
+    "Donald",
+    "Ashley",
+    "Steven",
+    "Kimberly",
+    "Paul",
+    "Emily",
+    "Andrew",
+    "Donna",
+    "Joshua",
+    "Michelle",
+    "Kenneth",
+    "Dorothy",
+    "Kevin",
+    "Carol",
+    "Brian",
+    "Amanda",
+    "George",
+    "Melissa",
+    "Edward",
+    "Deborah",
+    "Ronald",
+    "Stephanie",
+    "Timothy",
+    "Rebecca",
+    "Jason",
+    "Sharon",
+    "Jeffrey",
+    "Laura",
+    "Ryan",
+    "Cynthia",
+    "Jacob",
+    "Kathleen",
+    "Gary",
+    "Amy",
+    "Nicholas",
+    "Angela",
+    "Eric",
+    "Shirley",
+    "Jonathan",
+    "Anna",
+    "Stephen",
+    "Brenda",
+    "Larry",
+    "Pamela",
+    "Justin",
+    "Emma",
+    "Scott",
+    "Nicole",
+    "Brandon",
     "Helen",
 ];
 
 /// Last names for person-like entities.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
-    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans",
-    "Turner", "Diaz", "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
-    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson",
-    "Bailey", "Reed", "Kelly", "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
+    "Gomez",
+    "Phillips",
+    "Evans",
+    "Turner",
+    "Diaz",
+    "Parker",
+    "Cruz",
+    "Edwards",
+    "Collins",
+    "Reyes",
+    "Stewart",
+    "Morris",
+    "Morales",
+    "Murphy",
+    "Cook",
+    "Rogers",
+    "Gutierrez",
+    "Ortiz",
+    "Morgan",
+    "Cooper",
+    "Peterson",
+    "Bailey",
+    "Reed",
+    "Kelly",
+    "Howard",
+    "Ramos",
+    "Kim",
+    "Cox",
+    "Ward",
+    "Richardson",
 ];
 
 /// Roots for synthetic place names.
 pub const CITY_ROOTS: &[&str] = &[
-    "Spring", "River", "Oak", "Maple", "Cedar", "Pine", "Lake", "Hill", "Stone", "Clear",
-    "Fair", "Green", "North", "South", "East", "West", "Silver", "Golden", "Iron", "Copper",
-    "Bright", "Salt", "Sand", "Rock", "Elm", "Ash", "Birch", "Wolf", "Bear", "Eagle", "Falcon",
-    "Harbor", "Mill", "Fox", "Deer", "Crystal", "Amber", "Sun", "Moon", "Star",
+    "Spring", "River", "Oak", "Maple", "Cedar", "Pine", "Lake", "Hill", "Stone", "Clear", "Fair",
+    "Green", "North", "South", "East", "West", "Silver", "Golden", "Iron", "Copper", "Bright",
+    "Salt", "Sand", "Rock", "Elm", "Ash", "Birch", "Wolf", "Bear", "Eagle", "Falcon", "Harbor",
+    "Mill", "Fox", "Deer", "Crystal", "Amber", "Sun", "Moon", "Star",
 ];
 
 /// Suffixes for synthetic place names.
@@ -50,9 +191,26 @@ pub const CITY_SUFFIXES: &[&str] = &[
 
 /// Country names used as a semi-distinctive categorical attribute.
 pub const COUNTRIES: &[&str] = &[
-    "United States", "Canada", "United Kingdom", "France", "Germany", "Spain", "Italy",
-    "Brazil", "Argentina", "Japan", "China", "India", "Australia", "Egypt", "Nigeria",
-    "Sweden", "Norway", "Poland", "Mexico", "Turkey",
+    "United States",
+    "Canada",
+    "United Kingdom",
+    "France",
+    "Germany",
+    "Spain",
+    "Italy",
+    "Brazil",
+    "Argentina",
+    "Japan",
+    "China",
+    "India",
+    "Australia",
+    "Egypt",
+    "Nigeria",
+    "Sweden",
+    "Norway",
+    "Poland",
+    "Mexico",
+    "Turkey",
 ];
 
 /// UN M49-style numeric country codes, aligned index-for-index with
@@ -77,14 +235,24 @@ pub fn country_code(name: &str) -> &str {
 pub const ORG_WORDS: &[&str] = &[
     "Global", "United", "National", "Advanced", "Dynamic", "Pacific", "Atlantic", "Summit",
     "Pioneer", "Quantum", "Stellar", "Vertex", "Nexus", "Apex", "Horizon", "Beacon", "Vanguard",
-    "Keystone", "Anchor", "Catalyst", "Meridian", "Paragon", "Zenith", "Axiom", "Cobalt",
-    "Onyx", "Sterling", "Regent", "Monarch", "Sentinel",
+    "Keystone", "Anchor", "Catalyst", "Meridian", "Paragon", "Zenith", "Axiom", "Cobalt", "Onyx",
+    "Sterling", "Regent", "Monarch", "Sentinel",
 ];
 
 /// Organization type suffixes.
 pub const ORG_SUFFIXES: &[&str] = &[
-    "Corporation", "Industries", "Systems", "Holdings", "Laboratories", "Partners", "Group",
-    "Institute", "University", "Foundation", "Technologies", "Networks",
+    "Corporation",
+    "Industries",
+    "Systems",
+    "Holdings",
+    "Laboratories",
+    "Partners",
+    "Group",
+    "Institute",
+    "University",
+    "Foundation",
+    "Technologies",
+    "Networks",
 ];
 
 /// Syllables for drug names.
@@ -96,9 +264,9 @@ pub const DRUG_SYLLABLES: &[&str] = &[
 
 /// Stems for language names.
 pub const LANGUAGE_STEMS: &[&str] = &[
-    "Alba", "Bren", "Casto", "Dalma", "Erdi", "Fenno", "Galdo", "Hespe", "Istro", "Jurma",
-    "Kelda", "Lusia", "Morva", "Norra", "Ostra", "Pelas", "Quena", "Rhoda", "Silva", "Tyrra",
-    "Umbra", "Valda", "Wessa", "Xanti", "Yslan", "Zenda", "Arlo", "Belti", "Corvi", "Drava",
+    "Alba", "Bren", "Casto", "Dalma", "Erdi", "Fenno", "Galdo", "Hespe", "Istro", "Jurma", "Kelda",
+    "Lusia", "Morva", "Norra", "Ostra", "Pelas", "Quena", "Rhoda", "Silva", "Tyrra", "Umbra",
+    "Valda", "Wessa", "Xanti", "Yslan", "Zenda", "Arlo", "Belti", "Corvi", "Drava",
 ];
 
 /// Suffixes for language names.
@@ -111,9 +279,18 @@ pub const LANGUAGE_FAMILIES: &[&str] = &[
 
 /// Topics for Semantic-Web conference names.
 pub const CONFERENCE_TOPICS: &[&str] = &[
-    "Semantic Web", "Linked Data", "Knowledge Graphs", "Ontology Matching", "Data Integration",
-    "Web Reasoning", "RDF Stores", "Query Federation", "Information Extraction",
-    "Entity Resolution", "Graph Analytics", "Open Data",
+    "Semantic Web",
+    "Linked Data",
+    "Knowledge Graphs",
+    "Ontology Matching",
+    "Data Integration",
+    "Web Reasoning",
+    "RDF Stores",
+    "Query Federation",
+    "Information Extraction",
+    "Entity Resolution",
+    "Graph Analytics",
+    "Open Data",
 ];
 
 /// Conference series kinds.
@@ -127,25 +304,49 @@ pub const TEAM_NICKNAMES: &[&str] = &[
 
 /// Player positions (categorical attribute).
 pub const POSITIONS: &[&str] = &[
-    "Point Guard", "Shooting Guard", "Small Forward", "Power Forward", "Center",
+    "Point Guard",
+    "Shooting Guard",
+    "Small Forward",
+    "Power Forward",
+    "Center",
 ];
 
 /// Occupations for persons (categorical attribute).
 pub const OCCUPATIONS: &[&str] = &[
-    "Politician", "Actor", "Writer", "Scientist", "Musician", "Athlete", "Journalist",
-    "Entrepreneur", "Economist", "Historian",
+    "Politician",
+    "Actor",
+    "Writer",
+    "Scientist",
+    "Musician",
+    "Athlete",
+    "Journalist",
+    "Entrepreneur",
+    "Economist",
+    "Historian",
 ];
 
 /// Industries for organizations (categorical attribute).
 pub const INDUSTRIES: &[&str] = &[
-    "Finance", "Energy", "Healthcare", "Education", "Media", "Transport", "Software",
+    "Finance",
+    "Energy",
+    "Healthcare",
+    "Education",
+    "Media",
+    "Transport",
+    "Software",
     "Manufacturing",
 ];
 
 /// Drug categories (categorical attribute).
 pub const DRUG_CATEGORIES: &[&str] = &[
-    "Analgesic", "Antibiotic", "Antiviral", "Antihypertensive", "Antidepressant", "Statin",
-    "Anticoagulant", "Antihistamine",
+    "Analgesic",
+    "Antibiotic",
+    "Antiviral",
+    "Antihypertensive",
+    "Antidepressant",
+    "Statin",
+    "Anticoagulant",
+    "Antihistamine",
 ];
 
 fn pick<'a>(rng: &mut impl Rng, list: &[&'a str]) -> &'a str {
@@ -208,7 +409,11 @@ pub fn drug_name(rng: &mut impl Rng) -> String {
 
 /// Synthesize a language name, e.g. "Keldaese".
 pub fn language_name(rng: &mut impl Rng) -> String {
-    format!("{}{}", pick(rng, LANGUAGE_STEMS), pick(rng, LANGUAGE_SUFFIXES))
+    format!(
+        "{}{}",
+        pick(rng, LANGUAGE_STEMS),
+        pick(rng, LANGUAGE_SUFFIXES)
+    )
 }
 
 /// Synthesize a 3-letter language code derived from a name.
@@ -362,7 +567,13 @@ mod tests {
 
     #[test]
     fn word_lists_have_no_duplicates() {
-        for list in [FIRST_NAMES, LAST_NAMES, CITY_ROOTS, ORG_WORDS, LANGUAGE_STEMS] {
+        for list in [
+            FIRST_NAMES,
+            LAST_NAMES,
+            CITY_ROOTS,
+            ORG_WORDS,
+            LANGUAGE_STEMS,
+        ] {
             let mut seen = std::collections::HashSet::new();
             for w in list {
                 assert!(seen.insert(w), "duplicate word {w}");

@@ -179,76 +179,63 @@ impl PairSpec {
         use Domain as D;
         let media = vec![D::Person, D::Place, D::Organization];
         let all: Vec<Domain> = Domain::ALL.to_vec();
-        let (shared, left_only, right_only, domains, extra, conf, paper_gt) =
-            match (left, right) {
-                // Paper GT: 10968. Regime: PARIS high precision / low recall.
-                (K::DBpedia, K::NYTimes) => {
-                    (1100, 3500, 700, media.clone(), all.clone(), 0.25, 10_968)
-                }
-                // Paper GT: 1514. Regime: low precision / high recall.
-                (K::DBpedia, K::Drugbank) => {
-                    (150, 2500, 60, vec![D::Drug], all.clone(), 0.30, 1_514)
-                }
-                // Paper GT: 4364. Regime: low precision / low recall.
-                (K::DBpedia, K::Lexvo) => {
-                    (440, 2500, 260, vec![D::Language], all.clone(), 0.25, 4_364)
-                }
-                // Paper GT: 2965.
-                (K::OpenCyc, K::NYTimes) => {
-                    (300, 1200, 700, media.clone(), all.clone(), 0.25, 2_965)
-                }
-                // Paper GT: 204.
-                (K::OpenCyc, K::Drugbank) => {
-                    (40, 1200, 100, vec![D::Drug], all.clone(), 0.25, 204)
-                }
-                // Paper GT: 383.
-                (K::OpenCyc, K::Lexvo) => {
-                    (60, 1200, 200, vec![D::Language], all.clone(), 0.25, 383)
-                }
-                // Paper GT: 461 (universities and technical companies).
-                (K::DBpedia, K::SwDogfood) => (
-                    90,
-                    2500,
-                    140,
-                    vec![D::Organization, D::Publication],
-                    all.clone(),
-                    0.25,
-                    461,
-                ),
-                // Paper GT: 110.
-                (K::OpenCyc, K::SwDogfood) => (
-                    40,
-                    1200,
-                    100,
-                    vec![D::Organization, D::Publication],
-                    all.clone(),
-                    0.25,
-                    110,
-                ),
-                // Paper GT: 93 (kept at paper scale — already small).
-                (K::DBpediaNba, K::NYTimes) => (
-                    93,
-                    400,
-                    250,
-                    vec![D::BasketballPlayer],
-                    vec![D::BasketballPlayer],
-                    0.25,
-                    93,
-                ),
-                // Paper GT: 35 (kept at paper scale).
-                (K::OpenCycNba, K::NYTimes) => (
-                    35,
-                    60,
-                    250,
-                    vec![D::BasketballPlayer],
-                    vec![D::BasketballPlayer],
-                    0.25,
-                    35,
-                ),
-                // Paper GT: 41039 — the Appendix B stress test.
-                (K::DBpedia, K::OpenCyc) => (4100, 4000, 1500, all.clone(), all.clone(), 0.20, 41_039),
-                other => panic!("the paper does not evaluate the pair {other:?}"),
-            };
+        let (shared, left_only, right_only, domains, extra, conf, paper_gt) = match (left, right) {
+            // Paper GT: 10968. Regime: PARIS high precision / low recall.
+            (K::DBpedia, K::NYTimes) => (1100, 3500, 700, media.clone(), all.clone(), 0.25, 10_968),
+            // Paper GT: 1514. Regime: low precision / high recall.
+            (K::DBpedia, K::Drugbank) => (150, 2500, 60, vec![D::Drug], all.clone(), 0.30, 1_514),
+            // Paper GT: 4364. Regime: low precision / low recall.
+            (K::DBpedia, K::Lexvo) => (440, 2500, 260, vec![D::Language], all.clone(), 0.25, 4_364),
+            // Paper GT: 2965.
+            (K::OpenCyc, K::NYTimes) => (300, 1200, 700, media.clone(), all.clone(), 0.25, 2_965),
+            // Paper GT: 204.
+            (K::OpenCyc, K::Drugbank) => (40, 1200, 100, vec![D::Drug], all.clone(), 0.25, 204),
+            // Paper GT: 383.
+            (K::OpenCyc, K::Lexvo) => (60, 1200, 200, vec![D::Language], all.clone(), 0.25, 383),
+            // Paper GT: 461 (universities and technical companies).
+            (K::DBpedia, K::SwDogfood) => (
+                90,
+                2500,
+                140,
+                vec![D::Organization, D::Publication],
+                all.clone(),
+                0.25,
+                461,
+            ),
+            // Paper GT: 110.
+            (K::OpenCyc, K::SwDogfood) => (
+                40,
+                1200,
+                100,
+                vec![D::Organization, D::Publication],
+                all.clone(),
+                0.25,
+                110,
+            ),
+            // Paper GT: 93 (kept at paper scale — already small).
+            (K::DBpediaNba, K::NYTimes) => (
+                93,
+                400,
+                250,
+                vec![D::BasketballPlayer],
+                vec![D::BasketballPlayer],
+                0.25,
+                93,
+            ),
+            // Paper GT: 35 (kept at paper scale).
+            (K::OpenCycNba, K::NYTimes) => (
+                35,
+                60,
+                250,
+                vec![D::BasketballPlayer],
+                vec![D::BasketballPlayer],
+                0.25,
+                35,
+            ),
+            // Paper GT: 41039 — the Appendix B stress test.
+            (K::DBpedia, K::OpenCyc) => (4100, 4000, 1500, all.clone(), all.clone(), 0.20, 41_039),
+            other => panic!("the paper does not evaluate the pair {other:?}"),
+        };
         PairSpec {
             left,
             right,

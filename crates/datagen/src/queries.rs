@@ -62,16 +62,18 @@ pub fn federated_queries(pair: &GeneratedPair, n: usize, seed: u64) -> Vec<Feder
         }
         let entity = pair.left.entity(anchor);
         // Pick the most distinctive anchoring attribute available.
-        let pick = ["/identifier", "/label", "/name"].iter().find_map(|suffix| {
-            entity.attributes.iter().find_map(|a| {
-                let pred = pair.left.resolve_sym(a.predicate);
-                if !pred.ends_with(suffix) {
-                    return None;
-                }
-                let value = a.objects.iter().find(|o| o.is_literal())?;
-                Some((pred.to_string(), pair.left.resolve(*value).to_string()))
-            })
-        });
+        let pick = ["/identifier", "/label", "/name"]
+            .iter()
+            .find_map(|suffix| {
+                entity.attributes.iter().find_map(|a| {
+                    let pred = pair.left.resolve_sym(a.predicate);
+                    if !pred.ends_with(suffix) {
+                        return None;
+                    }
+                    let value = a.objects.iter().find(|o| o.is_literal())?;
+                    Some((pred.to_string(), pair.left.resolve(*value).to_string()))
+                })
+            });
         let Some((anchor_pred, anchor_value)) = pick else {
             continue;
         };

@@ -2,8 +2,8 @@
 //! structural invariants, and regime control.
 
 use alex_datagen::{
-    generate_pair, sample_initial_links, score_links, Domain, Flavor, InitialLinksSpec,
-    PairConfig, SideConfig,
+    generate_pair, sample_initial_links, score_links, Domain, Flavor, InitialLinksSpec, PairConfig,
+    SideConfig,
 };
 use proptest::prelude::*;
 

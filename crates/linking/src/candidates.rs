@@ -96,7 +96,11 @@ impl LinkSet {
     }
 
     /// Resolve dense ids to `(left term, right term)` pairs.
-    pub fn to_term_pairs(&self, left_idx: &EntityIndex, right_idx: &EntityIndex) -> Vec<(Term, Term)> {
+    pub fn to_term_pairs(
+        &self,
+        left_idx: &EntityIndex,
+        right_idx: &EntityIndex,
+    ) -> Vec<(Term, Term)> {
         self.links
             .iter()
             .map(|l| (left_idx.term(l.left), right_idx.term(l.right)))
@@ -119,7 +123,8 @@ pub struct LinkerOutput {
 impl LinkerOutput {
     /// Resolve the links to `(left term, right term)` pairs.
     pub fn term_pairs(&self) -> Vec<(Term, Term)> {
-        self.links.to_term_pairs(&self.left_index, &self.right_index)
+        self.links
+            .to_term_pairs(&self.left_index, &self.right_index)
     }
 }
 

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 
 use alex_rdf::{Dataset, EntityIndex, Sym, Term};
 use alex_sim::term_similarity;
+use alex_telemetry::{emit, span, Event};
 
 use super::functionality::Functionality;
 use crate::candidates::{LinkSet, ScoredLink};
@@ -73,35 +74,38 @@ pub fn align(
     // pairs; map terms back to ids to reuse equivalence estimates.
     let mut scores: HashMap<(u32, u32), f64> = HashMap::with_capacity(pairs.len());
     // Bootstrap pass: relation alignment unknown, assume 1.
-    let uniform_align = RelationAlignment::uniform();
-    for &(l, r) in pairs {
-        let s = pair_score(
-            left,
-            right,
-            &left_attrs[l as usize],
-            &right_attrs[r as usize],
-            &left_fun,
-            &right_fun,
-            &uniform_align,
-            &scores,
-            left_idx,
-            right_idx,
-            cfg,
-        );
-        if s > 0.0 {
-            scores.insert((l, r), s);
+    {
+        let bootstrap_span = span("paris/bootstrap");
+        let uniform_align = RelationAlignment::uniform();
+        for &(l, r) in pairs {
+            let s = pair_score(
+                left,
+                right,
+                &left_attrs[l as usize],
+                &right_attrs[r as usize],
+                &left_fun,
+                &right_fun,
+                &uniform_align,
+                &scores,
+                left_idx,
+                right_idx,
+                cfg,
+            );
+            if s > 0.0 {
+                scores.insert((l, r), s);
+            }
         }
+        emit!(Event::ParisIteration {
+            iteration: 0,
+            matches: scores.len() as u64,
+            duration_us: bootstrap_span.elapsed().as_micros() as u64,
+        });
     }
 
-    for _ in 0..cfg.iterations {
-        let rel_align = RelationAlignment::estimate(
-            left,
-            right,
-            &left_attrs,
-            &right_attrs,
-            &scores,
-            cfg,
-        );
+    for iteration in 0..cfg.iterations {
+        let iter_span = span("paris/iteration");
+        let rel_align =
+            RelationAlignment::estimate(left, right, &left_attrs, &right_attrs, &scores, cfg);
         let prev = scores.clone();
         for &(l, r) in pairs {
             let s = pair_score(
@@ -123,6 +127,11 @@ pub fn align(
                 scores.remove(&(l, r));
             }
         }
+        emit!(Event::ParisIteration {
+            iteration: iteration as u64 + 1,
+            matches: scores.len() as u64,
+            duration_us: iter_span.elapsed().as_micros() as u64,
+        });
     }
 
     scores
@@ -279,8 +288,12 @@ mod tests {
         let pairs = all_pairs(&li, &ri);
         let links = align(&left, &li, &right, &ri, &pairs, &AlignmentConfig::default());
         let score_of = |l: &str, r: &str| {
-            let lt = li.id(left.interner().get(l).map(Term::Iri).unwrap()).unwrap();
-            let rt = ri.id(right.interner().get(r).map(Term::Iri).unwrap()).unwrap();
+            let lt = li
+                .id(left.interner().get(l).map(Term::Iri).unwrap())
+                .unwrap();
+            let rt = ri
+                .id(right.interner().get(r).map(Term::Iri).unwrap())
+                .unwrap();
             links
                 .iter()
                 .find(|x| x.left == lt && x.right == rt)
@@ -334,8 +347,12 @@ mod tests {
             ..AlignmentConfig::default()
         };
         let links = align(&left, &li, &right, &ri, &pairs, &cfg);
-        let p1_l = li.id(Term::Iri(left.interner().get("http://l/p1").unwrap())).unwrap();
-        let p1_r = ri.id(Term::Iri(right.interner().get("http://r/p1").unwrap())).unwrap();
+        let p1_l = li
+            .id(Term::Iri(left.interner().get("http://l/p1").unwrap()))
+            .unwrap();
+        let p1_r = ri
+            .id(Term::Iri(right.interner().get("http://r/p1").unwrap()))
+            .unwrap();
         let s = links
             .iter()
             .find(|x| x.left == p1_l && x.right == p1_r)

@@ -67,7 +67,13 @@ impl Paris {
     pub fn link(&self, left: &Dataset, right: &Dataset) -> LinkerOutput {
         let left_index = left.entity_index();
         let right_index = right.entity_index();
-        let pairs = candidate_pairs(left, &left_index, right, &right_index, &self.config.blocking);
+        let pairs = candidate_pairs(
+            left,
+            &left_index,
+            right,
+            &right_index,
+            &self.config.blocking,
+        );
         let raw = alignment::align(
             left,
             &left_index,

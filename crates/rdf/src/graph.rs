@@ -81,9 +81,7 @@ impl Graph {
 
     /// Iterate over all triples in SPO order.
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo
-            .iter()
-            .map(|&(s, p, o)| Triple::new(s, p, o))
+        self.spo.iter().map(|&(s, p, o)| Triple::new(s, p, o))
     }
 
     /// Match a triple pattern; `None` positions are wildcards.
@@ -278,13 +276,21 @@ mod tests {
         let present = t(&mut i, "s1", "p1", "o1");
         let absent = t(&mut i, "s9", "p1", "o1");
         assert_eq!(
-            g.matching(Some(present.subject), Some(present.predicate), Some(present.object))
-                .count(),
+            g.matching(
+                Some(present.subject),
+                Some(present.predicate),
+                Some(present.object)
+            )
+            .count(),
             1
         );
         assert_eq!(
-            g.matching(Some(absent.subject), Some(absent.predicate), Some(absent.object))
-                .count(),
+            g.matching(
+                Some(absent.subject),
+                Some(absent.predicate),
+                Some(absent.object)
+            )
+            .count(),
             0
         );
     }

@@ -39,7 +39,7 @@ pub use dataset::{Dataset, EntityIndex};
 pub use entity::{Attribute, Entity};
 pub use error::{RdfError, Result};
 pub use graph::Graph;
-pub use stats::{DatasetStats, PredicateStats};
 pub use interner::{Interner, Sym};
+pub use stats::{DatasetStats, PredicateStats};
 pub use term::{Literal, LiteralKind, Term};
 pub use triple::Triple;

@@ -28,10 +28,7 @@ pub fn parse_into(ds: &mut Dataset, input: &str) -> Result<usize> {
 
 /// Parse a single N-Triples statement (one line, ending in `.`).
 pub fn parse_line(ds: &mut Dataset, line: &str, lineno: usize) -> Result<Triple> {
-    let mut cursor = Cursor {
-        rest: line,
-        lineno,
-    };
+    let mut cursor = Cursor { rest: line, lineno };
     let subject = cursor.term(ds)?;
     cursor.skip_ws();
     let predicate = cursor.term(ds)?;
@@ -215,7 +212,8 @@ mod tests {
     #[test]
     fn duplicate_lines_count_once() {
         let mut ds = Dataset::new("t");
-        let doc = "<http://e/s> <http://e/p> <http://e/o> .\n<http://e/s> <http://e/p> <http://e/o> .\n";
+        let doc =
+            "<http://e/s> <http://e/p> <http://e/o> .\n<http://e/s> <http://e/p> <http://e/o> .\n";
         assert_eq!(parse_into(&mut ds, doc).unwrap(), 1);
     }
 

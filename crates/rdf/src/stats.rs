@@ -89,7 +89,11 @@ impl DatasetStats {
                 literal_frac: a.literal_objects as f64 / a.triples.max(1) as f64,
             })
             .collect();
-        per_predicate.sort_by(|a, b| b.triples.cmp(&a.triples).then(a.predicate.cmp(&b.predicate)));
+        per_predicate.sort_by(|a, b| {
+            b.triples
+                .cmp(&a.triples)
+                .then(a.predicate.cmp(&b.predicate))
+        });
 
         let entities = ds.entities().count();
         DatasetStats {
@@ -168,7 +172,11 @@ mod tests {
         let s = DatasetStats::of(&ds);
         assert_eq!(s.per_predicate[0].triples, 2);
         let name = ds.interner().get("http://e/name").unwrap();
-        let p = s.per_predicate.iter().find(|p| p.predicate == name).unwrap();
+        let p = s
+            .per_predicate
+            .iter()
+            .find(|p| p.predicate == name)
+            .unwrap();
         assert_eq!(p.subjects, 2);
         assert_eq!(p.objects, 2);
         assert_eq!(p.literal_frac, 1.0);

@@ -124,7 +124,11 @@ impl fmt::Display for TermDisplay<'_> {
             Term::Iri(s) => write!(f, "<{}>", self.interner.resolve(s)),
             Term::Blank(s) => write!(f, "_:{}", self.interner.resolve(s)),
             Term::Literal(l) => {
-                write!(f, "\"{}\"", escape_literal(self.interner.resolve(l.lexical)))?;
+                write!(
+                    f,
+                    "\"{}\"",
+                    escape_literal(self.interner.resolve(l.lexical))
+                )?;
                 match l.kind {
                     LiteralKind::Plain => Ok(()),
                     LiteralKind::Lang(tag) => write!(f, "@{}", self.interner.resolve(tag)),

@@ -265,7 +265,11 @@ impl TurtleParser<'_> {
             }
             c if c.is_ascii_digit() || c == '-' || c == '+' => self.numeric_literal(ds),
             't' | 'f' if rest.starts_with("true") || rest.starts_with("false") => {
-                let word = if rest.starts_with("true") { "true" } else { "false" };
+                let word = if rest.starts_with("true") {
+                    "true"
+                } else {
+                    "false"
+                };
                 self.bump(word.len());
                 Ok(ds.typed(word, vocab::XSD_BOOLEAN))
             }
@@ -300,9 +304,7 @@ impl TurtleParser<'_> {
     fn prefixed_name(&mut self) -> Result<String> {
         let rest = self.rest();
         let end = rest
-            .find(|c: char| {
-                !(c.is_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.')
-            })
+            .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.'))
             .unwrap_or(rest.len());
         let mut token = &rest[..end];
         // A trailing '.' is the statement terminator, not part of the name.
@@ -335,8 +337,8 @@ impl TurtleParser<'_> {
             return Err(self.err("expected a string literal"));
         };
         let rest = self.rest();
-        let end = find_unescaped(rest, quote)
-            .ok_or_else(|| self.err("unterminated string literal"))?;
+        let end =
+            find_unescaped(rest, quote).ok_or_else(|| self.err("unterminated string literal"))?;
         let raw = &rest[..end];
         let lexical =
             unescape_literal(raw).ok_or_else(|| self.err("malformed escape in literal"))?;
@@ -368,7 +370,9 @@ impl TurtleParser<'_> {
     fn numeric_literal(&mut self, ds: &mut Dataset) -> Result<Term> {
         let rest = self.rest();
         let end = rest
-            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'))
+            .find(|c: char| {
+                !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+            })
             .unwrap_or(rest.len());
         let mut token = &rest[..end];
         // Don't swallow the statement dot: "42." is integer 42 then '.'.
@@ -484,7 +488,10 @@ mod tests {
         assert_eq!(kinds.len(), 3);
         assert!(kinds.iter().any(|k| matches!(k, LiteralKind::Lang(_))));
         assert_eq!(
-            kinds.iter().filter(|k| matches!(k, LiteralKind::Typed(_))).count(),
+            kinds
+                .iter()
+                .filter(|k| matches!(k, LiteralKind::Typed(_)))
+                .count(),
             2
         );
     }
@@ -496,11 +503,7 @@ mod tests {
              ex:s ex:int 42 ; ex:neg -7 ; ex:dbl 3.25 ; ex:flag true .",
         );
         assert_eq!(ds.len(), 4);
-        let lexicals: Vec<&str> = ds
-            .graph()
-            .iter()
-            .map(|t| ds.resolve(t.object))
-            .collect();
+        let lexicals: Vec<&str> = ds.graph().iter().map(|t| ds.resolve(t.object)).collect();
         for expected in ["42", "-7", "3.25", "true"] {
             assert!(lexicals.contains(&expected), "{lexicals:?}");
         }

@@ -30,8 +30,17 @@ mod tests {
     #[test]
     fn vocab_iris_are_absolute() {
         for iri in [
-            RDF_TYPE, RDFS_LABEL, OWL_SAME_AS, OWL_THING, XSD_STRING, XSD_INTEGER, XSD_DECIMAL,
-            XSD_DOUBLE, XSD_DATE, XSD_GYEAR, XSD_BOOLEAN,
+            RDF_TYPE,
+            RDFS_LABEL,
+            OWL_SAME_AS,
+            OWL_THING,
+            XSD_STRING,
+            XSD_INTEGER,
+            XSD_DECIMAL,
+            XSD_DOUBLE,
+            XSD_DATE,
+            XSD_GYEAR,
+            XSD_BOOLEAN,
         ] {
             assert!(iri.starts_with("http://"), "{iri} not absolute");
         }

@@ -31,9 +31,7 @@ pub fn value_similarity(a: &TypedValue, b: &TypedValue) -> f64 {
         (V::Date(x), V::Date(y)) => date_similarity(*x, *y),
         (V::Year(x), V::Year(y)) => year_similarity(*x, *y),
         (V::Date(d), V::Year(y)) | (V::Year(y), V::Date(d)) => date_year_similarity(*d, *y),
-        (V::Year(y), V::Integer(i)) | (V::Integer(i), V::Year(y)) => {
-            year_similarity(*y, *i as i32)
-        }
+        (V::Year(y), V::Integer(i)) | (V::Integer(i), V::Year(y)) => year_similarity(*y, *i as i32),
         (V::Boolean(x), V::Boolean(y)) => boolean_similarity(*x, *y),
         (V::Iri(x), V::Iri(y)) => {
             if x == y {
@@ -103,9 +101,7 @@ mod tests {
             value_similarity(&TypedValue::Integer(10), &TypedValue::Integer(10)),
             1.0
         );
-        assert!(
-            value_similarity(&TypedValue::Integer(10), &TypedValue::Float(9.5)) > 0.9
-        );
+        assert!(value_similarity(&TypedValue::Integer(10), &TypedValue::Float(9.5)) > 0.9);
     }
 
     #[test]

@@ -53,6 +53,9 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        assert_eq!(jaccard_tokens("a b c", "b c d"), jaccard_tokens("b c d", "a b c"));
+        assert_eq!(
+            jaccard_tokens("a b c", "b c d"),
+            jaccard_tokens("b c d", "a b c")
+        );
     }
 }

@@ -2,10 +2,10 @@
 
 pub mod jaccard;
 pub mod jaro;
-pub mod phonetic;
 pub mod levenshtein;
 pub mod ngram;
 pub mod normalize;
+pub mod phonetic;
 
 pub use jaccard::jaccard_tokens;
 pub use jaro::{jaro, jaro_winkler};

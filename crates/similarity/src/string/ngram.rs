@@ -75,7 +75,10 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        assert_eq!(trigram_dice("night", "nacht"), trigram_dice("nacht", "night"));
+        assert_eq!(
+            trigram_dice("night", "nacht"),
+            trigram_dice("nacht", "night")
+        );
     }
 
     #[test]

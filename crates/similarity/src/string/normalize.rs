@@ -12,8 +12,7 @@ pub fn normalize(s: &str) -> String {
     for c in s.chars() {
         let mapped = if c.is_alphanumeric() {
             Some(c.to_lowercase().next().unwrap_or(c))
-        } else if c.is_whitespace() || c == '_' || c == '-' || c == '.' || c == ',' || c == '\''
-        {
+        } else if c.is_whitespace() || c == '_' || c == '-' || c == '.' || c == ',' || c == '\'' {
             None
         } else {
             // Other punctuation is dropped entirely.

@@ -61,12 +61,8 @@ fn digit_of(c: char) -> u8 {
 /// as a *complement* to [`super::string_similarity`] — a coarse recall-
 /// oriented signal, not a precision-oriented one.
 pub fn phonetic_token_similarity(a: &str, b: &str) -> f64 {
-    let codes = |s: &str| -> Vec<String> {
-        super::normalize(s)
-            .split(' ')
-            .filter_map(soundex)
-            .collect()
-    };
+    let codes =
+        |s: &str| -> Vec<String> { super::normalize(s).split(' ').filter_map(soundex).collect() };
     let ca = codes(a);
     let cb = codes(b);
     if ca.is_empty() && cb.is_empty() {
@@ -75,7 +71,11 @@ pub fn phonetic_token_similarity(a: &str, b: &str) -> f64 {
     if ca.is_empty() || cb.is_empty() {
         return 0.0;
     }
-    let (short, long) = if ca.len() <= cb.len() { (&ca, &cb) } else { (&cb, &ca) };
+    let (short, long) = if ca.len() <= cb.len() {
+        (&ca, &cb)
+    } else {
+        (&cb, &ca)
+    };
     let hits = short.iter().filter(|c| long.contains(c)).count();
     hits as f64 / short.len() as f64
 }

@@ -133,7 +133,10 @@ mod tests {
             Operand::Var("x".into()),
             Operand::Const(Value::plain("5.0")),
         );
-        assert!(eval_expr(&ge, &b).unwrap(), "mixed plain/typed numerics compare numerically");
+        assert!(
+            eval_expr(&ge, &b).unwrap(),
+            "mixed plain/typed numerics compare numerically"
+        );
     }
 
     #[test]

@@ -11,12 +11,7 @@ pub trait Endpoint {
     fn name(&self) -> &str;
 
     /// All triples matching the pattern; `None` positions are wildcards.
-    fn matching(
-        &self,
-        s: Option<&Value>,
-        p: Option<&Value>,
-        o: Option<&Value>,
-    ) -> Vec<[Value; 3]>;
+    fn matching(&self, s: Option<&Value>, p: Option<&Value>, o: Option<&Value>) -> Vec<[Value; 3]>;
 
     /// Whether any triple matches (used for source selection). Default:
     /// materialize and test, which implementations should override if they
@@ -61,12 +56,7 @@ impl Endpoint for DatasetEndpoint {
         self.dataset.name()
     }
 
-    fn matching(
-        &self,
-        s: Option<&Value>,
-        p: Option<&Value>,
-        o: Option<&Value>,
-    ) -> Vec<[Value; 3]> {
+    fn matching(&self, s: Option<&Value>, p: Option<&Value>, o: Option<&Value>) -> Vec<[Value; 3]> {
         let (Ok(s), Ok(p), Ok(o)) = (self.term_of(s), self.term_of(p), self.term_of(o)) else {
             return Vec::new();
         };

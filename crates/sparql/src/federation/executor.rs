@@ -9,6 +9,8 @@
 
 use std::collections::HashSet;
 
+use alex_telemetry::{counter, emit, span, Event};
+
 use crate::ast::{Query, TermPattern, TriplePattern};
 use crate::error::Result;
 use crate::expr::{eval_expr, expr_variables, Bindings};
@@ -33,6 +35,18 @@ pub struct QueryAnswer {
 pub struct FederatedEngine {
     endpoints: Vec<Box<dyn Endpoint>>,
     links: SameAsLinks,
+}
+
+/// Per-execution telemetry tallies, folded into the global counters and the
+/// `federated_query` event when the query finishes.
+#[derive(Default)]
+struct ExecStats {
+    /// Per-endpoint `matching` probes issued (source selection + joins).
+    probes: u64,
+    /// Bound-join iterations: one per (pattern, partial-solution) pair.
+    bound_join_iterations: u64,
+    /// sameAs alternatives probed for bound subject/object IRIs.
+    sameas_expansions: u64,
 }
 
 impl FederatedEngine {
@@ -68,7 +82,10 @@ impl FederatedEngine {
 
     /// Execute a parsed query.
     pub fn execute(&self, query: &Query) -> Result<Vec<QueryAnswer>> {
+        let query_span = span("federated_query");
+        let mut stats = ExecStats::default();
         let patterns: Vec<&TriplePattern> = query.patterns().collect();
+        let pattern_count = patterns.len();
         let filters: Vec<_> = query.filters().collect();
 
         // Partial solutions: bindings + links used so far.
@@ -92,7 +109,7 @@ impl FederatedEngine {
 
             let mut next: Vec<(Bindings, Vec<Link>)> = Vec::new();
             for (bindings, links_used) in &partials {
-                self.extend_with_pattern(pattern, bindings, links_used, &mut next);
+                self.extend_with_pattern(pattern, bindings, links_used, &mut next, &mut stats);
             }
             partials = next;
             if partials.is_empty() {
@@ -108,7 +125,10 @@ impl FederatedEngine {
                 if applied_filters[fi] {
                     continue;
                 }
-                if expr_variables(filter).iter().all(|v| now_bound.contains(*v)) {
+                if expr_variables(filter)
+                    .iter()
+                    .all(|v| now_bound.contains(*v))
+                {
                     applied_filters[fi] = true;
                     let mut kept = Vec::with_capacity(partials.len());
                     for (b, l) in partials {
@@ -143,7 +163,7 @@ impl FederatedEngine {
             let mut next: Vec<(Bindings, Vec<Link>)> = Vec::new();
             for (bindings, links_used) in partials {
                 let seed = vec![(bindings.clone(), links_used.clone())];
-                let extended = self.join_patterns(seed, group.iter().collect());
+                let extended = self.join_patterns(seed, group.iter().collect(), &mut stats);
                 if extended.is_empty() {
                     next.push((bindings, links_used));
                 } else {
@@ -178,8 +198,10 @@ impl FederatedEngine {
                 .filter_map(|v| bindings.get(v).map(|val| (v.clone(), val.clone())))
                 .collect();
             if query.distinct {
-                let key: Vec<(String, Value)> =
-                    projected.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                let key: Vec<(String, Value)> = projected
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
                 if !seen.insert(key) {
                     continue;
                 }
@@ -196,6 +218,22 @@ impl FederatedEngine {
                 }
             }
         }
+
+        let provenance_answers = answers.iter().filter(|a| !a.links_used.is_empty()).count() as u64;
+        counter!("alex_federated_queries_total").inc();
+        counter!("alex_source_selection_probes_total").add(stats.probes);
+        counter!("alex_bound_join_iterations_total").add(stats.bound_join_iterations);
+        counter!("alex_sameas_expansions_total").add(stats.sameas_expansions);
+        counter!("alex_provenance_answers_total").add(provenance_answers);
+        emit!(Event::FederatedQuery {
+            patterns: pattern_count as u64,
+            answers: answers.len() as u64,
+            provenance_answers,
+            probes: stats.probes,
+            bound_join_iterations: stats.bound_join_iterations,
+            sameas_expansions: stats.sameas_expansions,
+            duration_us: query_span.elapsed().as_micros() as u64,
+        });
         Ok(answers)
     }
 
@@ -215,6 +253,7 @@ impl FederatedEngine {
         &self,
         mut partials: Vec<(Bindings, Vec<Link>)>,
         mut remaining: Vec<&TriplePattern>,
+        stats: &mut ExecStats,
     ) -> Vec<(Bindings, Vec<Link>)> {
         while !remaining.is_empty() && !partials.is_empty() {
             let bound_vars: HashSet<String> = partials
@@ -229,7 +268,7 @@ impl FederatedEngine {
             let pattern = remaining.remove(idx);
             let mut next = Vec::new();
             for (bindings, links_used) in &partials {
-                self.extend_with_pattern(pattern, bindings, links_used, &mut next);
+                self.extend_with_pattern(pattern, bindings, links_used, &mut next, stats);
             }
             partials = next;
         }
@@ -244,17 +283,24 @@ impl FederatedEngine {
         bindings: &Bindings,
         links_used: &[Link],
         out: &mut Vec<(Bindings, Vec<Link>)>,
+        stats: &mut ExecStats,
     ) {
+        stats.bound_join_iterations += 1;
+
         // Resolve each position: bound value (with sameAs alternatives for
         // IRIs in subject/object position) or wildcard.
         let s_alts = alternatives(&pattern.subject, bindings, &self.links);
         let p_alts = alternatives_no_expand(&pattern.predicate, bindings);
         let o_alts = alternatives(&pattern.object, bindings, &self.links);
 
+        // Every entry beyond the bound value itself is a sameAs expansion.
+        stats.sameas_expansions += (s_alts.len() - 1) as u64 + (o_alts.len() - 1) as u64;
+
         for (s_val, s_link) in &s_alts {
             for p_val in &p_alts {
                 for (o_val, o_link) in &o_alts {
                     for ep in &self.endpoints {
+                        stats.probes += 1;
                         let rows = ep.matching(s_val.as_ref(), p_val.as_ref(), o_val.as_ref());
                         for [rs, rp, ro] in rows {
                             let mut b = bindings.clone();
@@ -391,9 +437,21 @@ mod tests {
         dbpedia.add_str("http://db/Durant", "http://db/award", "NBA MVP 2014");
 
         let mut nyt = Dataset::new("NYTimes");
-        nyt.add_iri("http://nyt/article1", "http://nyt/about", "http://nyt/lebron-james");
-        nyt.add_str("http://nyt/article1", "http://nyt/headline", "James Leads Heat");
-        nyt.add_iri("http://nyt/article2", "http://nyt/about", "http://nyt/someone-else");
+        nyt.add_iri(
+            "http://nyt/article1",
+            "http://nyt/about",
+            "http://nyt/lebron-james",
+        );
+        nyt.add_str(
+            "http://nyt/article1",
+            "http://nyt/headline",
+            "James Leads Heat",
+        );
+        nyt.add_iri(
+            "http://nyt/article2",
+            "http://nyt/about",
+            "http://nyt/someone-else",
+        );
 
         let mut engine = FederatedEngine::new();
         engine.add_endpoint(Box::new(DatasetEndpoint::new(dbpedia)));
@@ -411,10 +469,7 @@ mod tests {
         let q = parse("SELECT ?who WHERE { ?who <http://db/award> \"NBA MVP 2013\" }").unwrap();
         let answers = engine.execute(&q).unwrap();
         assert_eq!(answers.len(), 1);
-        assert_eq!(
-            answers[0].bindings["who"],
-            Value::iri("http://db/LeBron")
-        );
+        assert_eq!(answers[0].bindings["who"], Value::iri("http://db/LeBron"));
         assert!(answers[0].links_used.is_empty());
     }
 
@@ -611,7 +666,11 @@ mod tests {
             .filter(|a| a.bindings.contains_key("article"))
             .collect();
         assert_eq!(with_article.len(), 1);
-        assert_eq!(with_article[0].links_used.len(), 1, "optional match used the link");
+        assert_eq!(
+            with_article[0].links_used.len(),
+            1,
+            "optional match used the link"
+        );
         let bare: Vec<_> = answers
             .iter()
             .filter(|a| !a.bindings.contains_key("article"))

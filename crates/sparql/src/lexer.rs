@@ -164,7 +164,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 if word_end == i + 1 {
                     return Err(err(start, "empty variable name"));
                 }
-                tokens.push(tok(start, TokenKind::Var(input[i + 1..word_end].to_string())));
+                tokens.push(tok(
+                    start,
+                    TokenKind::Var(input[i + 1..word_end].to_string()),
+                ));
                 i = word_end;
             }
             '"' => {
@@ -195,9 +198,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             c if c.is_ascii_digit() || (c == '-' && peek_digit(bytes, i + 1)) => {
                 let mut j = i + 1;
-                while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
-                {
+                while j < bytes.len() && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.') {
                     // Don't consume a trailing statement dot ("42 ." vs "4.2").
                     if bytes[j] == b'.' && !peek_digit(bytes, j + 1) {
                         break;
@@ -215,7 +216,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     let local_end = scan_word(input, end + 1);
                     tokens.push(tok(
                         start,
-                        TokenKind::Prefixed(word.to_string(), input[end + 1..local_end].to_string()),
+                        TokenKind::Prefixed(
+                            word.to_string(),
+                            input[end + 1..local_end].to_string(),
+                        ),
                     ));
                     i = local_end;
                 } else {
@@ -290,10 +294,7 @@ fn scan_string(input: &str, start: usize) -> Result<(String, usize)> {
                     b't' => out.push('\t'),
                     b'r' => out.push('\r'),
                     other => {
-                        return Err(err(
-                            i,
-                            &format!("unsupported escape '\\{}'", other as char),
-                        ))
+                        return Err(err(i, &format!("unsupported escape '\\{}'", other as char)))
                     }
                 }
                 i += 2;
@@ -314,7 +315,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -74,7 +74,9 @@ impl Parser {
             self.bump();
             let (prefix, local) = match self.bump() {
                 TokenKind::Prefixed(p, l) => (p, l),
-                other => return Err(self.err(format!("expected prefix declaration, found {other:?}"))),
+                other => {
+                    return Err(self.err(format!("expected prefix declaration, found {other:?}")))
+                }
             };
             if !local.is_empty() {
                 return Err(self.err("prefix declaration must end with ':'"));
@@ -133,9 +135,7 @@ impl Parser {
                     self.bump();
                     break;
                 }
-                TokenKind::Word(w)
-                    if w.eq_ignore_ascii_case("FILTER") =>
-                {
+                TokenKind::Word(w) if w.eq_ignore_ascii_case("FILTER") => {
                     self.bump();
                     if !matches!(self.bump(), TokenKind::LParen) {
                         return Err(self.err("expected '(' after FILTER"));
@@ -166,9 +166,7 @@ impl Parser {
                                     "{w} inside OPTIONAL"
                                 )));
                             }
-                            TokenKind::Eof => {
-                                return Err(self.err("unterminated OPTIONAL group"))
-                            }
+                            TokenKind::Eof => return Err(self.err("unterminated OPTIONAL group")),
                             _ => {
                                 let subject = self.term_pattern()?;
                                 let predicate = self.predicate_pattern()?;
@@ -235,9 +233,7 @@ impl Parser {
                         let var = match self.bump() {
                             TokenKind::Var(v) => v,
                             other => {
-                                return Err(
-                                    self.err(format!("expected variable, found {other:?}"))
-                                )
+                                return Err(self.err(format!("expected variable, found {other:?}")))
                             }
                         };
                         if !matches!(self.bump(), TokenKind::RParen) {
@@ -263,7 +259,9 @@ impl Parser {
                 TokenKind::Number(n) => {
                     limit = Some(n.parse().map_err(|_| self.err("invalid LIMIT"))?);
                 }
-                other => return Err(self.err(format!("expected number after LIMIT, found {other:?}"))),
+                other => {
+                    return Err(self.err(format!("expected number after LIMIT, found {other:?}")))
+                }
             }
         }
         match self.peek() {
@@ -439,15 +437,9 @@ mod tests {
 
     #[test]
     fn parses_prefixes() {
-        let q = parse(
-            "PREFIX ex: <http://e/> SELECT * WHERE { ?s ex:p ex:o }",
-        )
-        .unwrap();
+        let q = parse("PREFIX ex: <http://e/> SELECT * WHERE { ?s ex:p ex:o }").unwrap();
         let p = q.patterns().next().unwrap();
-        assert_eq!(
-            p.predicate,
-            TermPattern::Value(Value::iri("http://e/p"))
-        );
+        assert_eq!(p.predicate, TermPattern::Value(Value::iri("http://e/p")));
         assert_eq!(p.object, TermPattern::Value(Value::iri("http://e/o")));
     }
 
@@ -466,10 +458,7 @@ mod tests {
 
     #[test]
     fn parses_multiple_patterns_with_dots() {
-        let q = parse(
-            "SELECT * WHERE { ?s <http://e/p> ?o . ?o <http://e/q> \"v\" . }",
-        )
-        .unwrap();
+        let q = parse("SELECT * WHERE { ?s <http://e/p> ?o . ?o <http://e/q> \"v\" . }").unwrap();
         assert_eq!(q.patterns().count(), 2);
     }
 
@@ -492,10 +481,8 @@ mod tests {
 
     #[test]
     fn parses_boolean_connectives_with_precedence() {
-        let q = parse(
-            "SELECT * WHERE { ?s <http://e/p> ?a FILTER(?a = 1 || ?a = 2 && ?a != 3) }",
-        )
-        .unwrap();
+        let q = parse("SELECT * WHERE { ?s <http://e/p> ?a FILTER(?a = 1 || ?a = 2 && ?a != 3) }")
+            .unwrap();
         // && binds tighter than ||.
         let f = q.filters().next().unwrap();
         match f {
@@ -506,10 +493,9 @@ mod tests {
 
     #[test]
     fn parses_contains_and_str() {
-        let q = parse(
-            "SELECT * WHERE { ?s <http://e/name> ?n FILTER(CONTAINS(STR(?n), \"james\")) }",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT * WHERE { ?s <http://e/name> ?n FILTER(CONTAINS(STR(?n), \"james\")) }")
+                .unwrap();
         let f = q.filters().next().unwrap();
         assert!(matches!(f, Expr::Contains(Operand::Str(_), _)));
     }
@@ -576,7 +562,8 @@ mod tests {
 
     #[test]
     fn rejects_nested_or_filtered_optional() {
-        let e = parse("SELECT * WHERE { ?s ?p ?o OPTIONAL { OPTIONAL { ?a ?b ?c } } }").unwrap_err();
+        let e =
+            parse("SELECT * WHERE { ?s ?p ?o OPTIONAL { OPTIONAL { ?a ?b ?c } } }").unwrap_err();
         assert!(matches!(e, SparqlError::Unsupported(_)));
         let e = parse("SELECT * WHERE { ?s ?p ?o OPTIONAL { FILTER(?o = 1) } }").unwrap_err();
         assert!(matches!(e, SparqlError::Unsupported(_)));

@@ -1,0 +1,444 @@
+//! Structured JSONL event log.
+//!
+//! Events are typed, flat records serialized one-per-line as JSON (see
+//! [`crate::json`]). Emission goes through [`EventLog::emit_with`], which
+//! takes a *closure*: when no sink is attached the closure is never called,
+//! so the disabled-path cost is one relaxed atomic load and a branch — no
+//! allocation, no formatting.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use crate::json::{parse_object, JsonValue, ObjectWriter};
+
+/// One telemetry event. Every variant serializes to a flat JSON object
+/// with a `type` discriminator field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// An improvement episode began.
+    EpisodeStart {
+        /// 1-based episode number.
+        episode: u64,
+    },
+    /// An improvement episode finished.
+    EpisodeEnd {
+        /// 1-based episode number.
+        episode: u64,
+        /// Precision against ground truth after the episode.
+        precision: f64,
+        /// Recall against ground truth after the episode.
+        recall: f64,
+        /// F-measure after the episode.
+        f_measure: f64,
+        /// Links added during the episode.
+        added: u64,
+        /// Links removed during the episode.
+        removed: u64,
+        /// Rollbacks triggered during the episode.
+        rollbacks: u64,
+        /// Episode wall-clock time in microseconds.
+        duration_us: u64,
+    },
+    /// One feedback item was applied by the agent.
+    FeedbackApplied {
+        /// Whether the feedback was positive.
+        positive: bool,
+        /// Links the step added.
+        added: u64,
+        /// Links the step removed.
+        removed: u64,
+    },
+    /// The policy chose an exploration action.
+    ExplorationAction {
+        /// Debug rendering of the chosen action.
+        action: String,
+    },
+    /// A link entered the candidate set.
+    LinkAdded {
+        /// Left entity id (dense id within its data set).
+        left: u64,
+        /// Right entity id.
+        right: u64,
+    },
+    /// A link left the candidate set.
+    LinkRemoved {
+        /// Left entity id.
+        left: u64,
+        /// Right entity id.
+        right: u64,
+    },
+    /// Exploration proposed a link the blacklist rejected.
+    BlacklistHit {
+        /// Left entity id.
+        left: u64,
+        /// Right entity id.
+        right: u64,
+    },
+    /// Negative feedback rolled back generated links.
+    Rollback {
+        /// Links removed by the rollback.
+        removed: u64,
+    },
+    /// A federated query finished executing.
+    FederatedQuery {
+        /// Triple patterns in the query.
+        patterns: u64,
+        /// Total answers produced.
+        answers: u64,
+        /// Answers that depended on at least one sameAs link.
+        provenance_answers: u64,
+        /// Per-endpoint source-selection probes issued.
+        probes: u64,
+        /// Bound-join iterations executed.
+        bound_join_iterations: u64,
+        /// sameAs alternative expansions attempted.
+        sameas_expansions: u64,
+        /// Execution wall-clock time in microseconds.
+        duration_us: u64,
+    },
+    /// One PARIS probabilistic-matching iteration finished.
+    ParisIteration {
+        /// 1-based iteration number.
+        iteration: u64,
+        /// Match pairs above threshold after the iteration.
+        matches: u64,
+        /// Iteration wall-clock time in microseconds.
+        duration_us: u64,
+    },
+    /// A benchmark figure/workload finished (bench harness snapshots).
+    BenchSnapshot {
+        /// Workload label (e.g. `fig4_dbpedia_nytimes`).
+        label: String,
+        /// Episodes the run executed.
+        episodes: u64,
+        /// Final F-measure.
+        f_measure: f64,
+        /// Total wall-clock time in microseconds.
+        duration_us: u64,
+    },
+}
+
+impl Event {
+    /// The `type` discriminator used in the serialized form.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::EpisodeStart { .. } => "episode_start",
+            Event::EpisodeEnd { .. } => "episode_end",
+            Event::FeedbackApplied { .. } => "feedback_applied",
+            Event::ExplorationAction { .. } => "exploration_action",
+            Event::LinkAdded { .. } => "link_added",
+            Event::LinkRemoved { .. } => "link_removed",
+            Event::BlacklistHit { .. } => "blacklist_hit",
+            Event::Rollback { .. } => "rollback",
+            Event::FederatedQuery { .. } => "federated_query",
+            Event::ParisIteration { .. } => "paris_iteration",
+            Event::BenchSnapshot { .. } => "bench_snapshot",
+        }
+    }
+
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.str("type", self.kind());
+        match self {
+            Event::EpisodeStart { episode } => {
+                w.u64("episode", *episode);
+            }
+            Event::EpisodeEnd {
+                episode,
+                precision,
+                recall,
+                f_measure,
+                added,
+                removed,
+                rollbacks,
+                duration_us,
+            } => {
+                w.u64("episode", *episode)
+                    .f64("precision", *precision)
+                    .f64("recall", *recall)
+                    .f64("f_measure", *f_measure)
+                    .u64("added", *added)
+                    .u64("removed", *removed)
+                    .u64("rollbacks", *rollbacks)
+                    .u64("duration_us", *duration_us);
+            }
+            Event::FeedbackApplied {
+                positive,
+                added,
+                removed,
+            } => {
+                w.bool("positive", *positive)
+                    .u64("added", *added)
+                    .u64("removed", *removed);
+            }
+            Event::ExplorationAction { action } => {
+                w.str("action", action);
+            }
+            Event::LinkAdded { left, right }
+            | Event::LinkRemoved { left, right }
+            | Event::BlacklistHit { left, right } => {
+                w.u64("left", *left).u64("right", *right);
+            }
+            Event::Rollback { removed } => {
+                w.u64("removed", *removed);
+            }
+            Event::FederatedQuery {
+                patterns,
+                answers,
+                provenance_answers,
+                probes,
+                bound_join_iterations,
+                sameas_expansions,
+                duration_us,
+            } => {
+                w.u64("patterns", *patterns)
+                    .u64("answers", *answers)
+                    .u64("provenance_answers", *provenance_answers)
+                    .u64("probes", *probes)
+                    .u64("bound_join_iterations", *bound_join_iterations)
+                    .u64("sameas_expansions", *sameas_expansions)
+                    .u64("duration_us", *duration_us);
+            }
+            Event::ParisIteration {
+                iteration,
+                matches,
+                duration_us,
+            } => {
+                w.u64("iteration", *iteration)
+                    .u64("matches", *matches)
+                    .u64("duration_us", *duration_us);
+            }
+            Event::BenchSnapshot {
+                label,
+                episodes,
+                f_measure,
+                duration_us,
+            } => {
+                w.str("label", label)
+                    .u64("episodes", *episodes)
+                    .f64("f_measure", *f_measure)
+                    .u64("duration_us", *duration_us);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parse one JSONL line back into an event (inverse of [`to_json`]).
+    ///
+    /// [`to_json`]: Event::to_json
+    pub fn parse(line: &str) -> Result<Event, String> {
+        let map = parse_object(line)?;
+        let kind = map
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "missing \"type\" field".to_string())?;
+        let get_u64 = |field: &str| -> Result<u64, String> {
+            map.get(field)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("{kind}: missing u64 field {field:?}"))
+        };
+        let get_f64 = |field: &str| -> Result<f64, String> {
+            map.get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("{kind}: missing f64 field {field:?}"))
+        };
+        let get_str = |field: &str| -> Result<String, String> {
+            map.get(field)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{kind}: missing string field {field:?}"))
+        };
+        match kind {
+            "episode_start" => Ok(Event::EpisodeStart {
+                episode: get_u64("episode")?,
+            }),
+            "episode_end" => Ok(Event::EpisodeEnd {
+                episode: get_u64("episode")?,
+                precision: get_f64("precision")?,
+                recall: get_f64("recall")?,
+                f_measure: get_f64("f_measure")?,
+                added: get_u64("added")?,
+                removed: get_u64("removed")?,
+                rollbacks: get_u64("rollbacks")?,
+                duration_us: get_u64("duration_us")?,
+            }),
+            "feedback_applied" => Ok(Event::FeedbackApplied {
+                positive: map
+                    .get("positive")
+                    .and_then(JsonValue::as_bool)
+                    .ok_or("feedback_applied: missing bool field \"positive\"")?,
+                added: get_u64("added")?,
+                removed: get_u64("removed")?,
+            }),
+            "exploration_action" => Ok(Event::ExplorationAction {
+                action: get_str("action")?,
+            }),
+            "link_added" => Ok(Event::LinkAdded {
+                left: get_u64("left")?,
+                right: get_u64("right")?,
+            }),
+            "link_removed" => Ok(Event::LinkRemoved {
+                left: get_u64("left")?,
+                right: get_u64("right")?,
+            }),
+            "blacklist_hit" => Ok(Event::BlacklistHit {
+                left: get_u64("left")?,
+                right: get_u64("right")?,
+            }),
+            "rollback" => Ok(Event::Rollback {
+                removed: get_u64("removed")?,
+            }),
+            "federated_query" => Ok(Event::FederatedQuery {
+                patterns: get_u64("patterns")?,
+                answers: get_u64("answers")?,
+                provenance_answers: get_u64("provenance_answers")?,
+                probes: get_u64("probes")?,
+                bound_join_iterations: get_u64("bound_join_iterations")?,
+                sameas_expansions: get_u64("sameas_expansions")?,
+                duration_us: get_u64("duration_us")?,
+            }),
+            "paris_iteration" => Ok(Event::ParisIteration {
+                iteration: get_u64("iteration")?,
+                matches: get_u64("matches")?,
+                duration_us: get_u64("duration_us")?,
+            }),
+            "bench_snapshot" => Ok(Event::BenchSnapshot {
+                label: get_str("label")?,
+                episodes: get_u64("episodes")?,
+                f_measure: get_f64("f_measure")?,
+                duration_us: get_u64("duration_us")?,
+            }),
+            other => Err(format!("unknown event type {other:?}")),
+        }
+    }
+}
+
+/// Receiver for emitted events.
+pub trait EventSink: Send + Sync {
+    /// Handle one event.
+    fn emit(&self, event: &Event);
+    /// Flush any buffered output (best effort).
+    fn flush(&self) {}
+}
+
+/// Sink appending events as JSON lines to a file.
+pub struct JsonlFileSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlFileSink {
+    /// Create (truncate) `path` and return a sink writing to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlFileSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl EventSink for JsonlFileSink {
+    fn emit(&self, event: &Event) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
+        // Telemetry must never take the pipeline down; drop on I/O error.
+        let _ = writer.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        if let Ok(mut writer) = self.writer.lock() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+/// In-memory sink for tests.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of everything emitted so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// The event log: an optional sink behind an `attached` fast-path flag.
+#[derive(Default)]
+pub struct EventLog {
+    attached: AtomicBool,
+    sink: RwLock<Option<std::sync::Arc<dyn EventSink>>>,
+}
+
+impl EventLog {
+    /// Attach a sink (replacing any existing one, which is flushed).
+    pub fn attach(&self, sink: std::sync::Arc<dyn EventSink>) {
+        let mut slot = self.sink.write().expect("event log poisoned");
+        if let Some(old) = slot.take() {
+            old.flush();
+        }
+        *slot = Some(sink);
+        self.attached.store(true, Ordering::Release);
+    }
+
+    /// Detach the sink, flushing it first. Returns it if one was attached.
+    pub fn detach(&self) -> Option<std::sync::Arc<dyn EventSink>> {
+        let mut slot = self.sink.write().expect("event log poisoned");
+        self.attached.store(false, Ordering::Release);
+        let old = slot.take();
+        if let Some(sink) = &old {
+            sink.flush();
+        }
+        old
+    }
+
+    /// Whether a sink is currently attached (one relaxed load).
+    #[inline]
+    pub fn is_attached(&self) -> bool {
+        self.attached.load(Ordering::Relaxed)
+    }
+
+    /// Emit the event built by `build` — but only if a sink is attached.
+    /// With no sink this is a relaxed load and a branch; `build` never runs.
+    #[inline]
+    pub fn emit_with<F: FnOnce() -> Event>(&self, build: F) {
+        if !self.is_attached() {
+            return;
+        }
+        self.emit_slow(build());
+    }
+
+    #[cold]
+    fn emit_slow(&self, event: Event) {
+        if let Some(sink) = self.sink.read().expect("event log poisoned").as_ref() {
+            sink.emit(&event);
+        }
+    }
+
+    /// Flush the attached sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = self.sink.read().expect("event log poisoned").as_ref() {
+            sink.flush();
+        }
+    }
+}

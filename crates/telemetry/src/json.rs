@@ -1,0 +1,368 @@
+//! Minimal hand-rolled JSON support for the event log: a string escaper,
+//! an object writer, and a parser for the *flat* objects the event log
+//! emits (string / integer / float / bool values only, no nesting).
+//!
+//! This is deliberately not a general JSON library — events are flat by
+//! construction, and keeping the parser flat keeps it small and obviously
+//! correct for the round-trip tests.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A value in a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string.
+    Str(String),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float (always serialized with a decimal point or exponent).
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl JsonValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as u64, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as f64 (accepts both int and float).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Escape `s` into `out` as JSON string *contents* (no surrounding quotes).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Incremental writer for one flat JSON object.
+pub struct ObjectWriter {
+    buf: String,
+    first: bool,
+}
+
+impl ObjectWriter {
+    /// Start an object: `{`.
+    pub fn new() -> Self {
+        ObjectWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(key, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+
+    /// Write a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(value, &mut self.buf);
+        self.buf.push('"');
+        self
+    }
+
+    /// Write an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Write a float field. Non-finite values serialize as `null`-free
+    /// sentinels (`0.0`) — the event log never produces them.
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        let v = if value.is_finite() { value } else { 0.0 };
+        if v == v.trunc() && v.abs() < 1e15 {
+            // Keep a decimal point so ints and floats round-trip distinctly.
+            let _ = write!(self.buf, "{v:.1}");
+        } else {
+            let _ = write!(self.buf, "{v}");
+        }
+        self
+    }
+
+    /// Write a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Close the object and return the rendered line.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for ObjectWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Parse one flat JSON object (as produced by [`ObjectWriter`]).
+pub fn parse_object(input: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+        return p.finish(map);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.parse_string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        let value = p.parse_value()?;
+        map.insert(key, value);
+        p.skip_ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b'}') => return p.finish(map),
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn finish(
+        &mut self,
+        map: BTreeMap<String, JsonValue>,
+    ) -> Result<BTreeMap<String, JsonValue>, String> {
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", self.pos));
+        }
+        Ok(map)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.next() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!("expected {:?}, got {got:?}", b as char)),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected keyword {word}"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        if is_float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|e| format!("bad float {text}: {e}"))
+        } else {
+            text.parse::<i64>()
+                .map(JsonValue::Int)
+                .map_err(|e| format!("bad int {text}: {e}"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err("truncated \\u escape".into());
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex}"))?;
+                        self.pos += 4;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-assemble a multi-byte UTF-8 sequence.
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err("bad utf-8 in string".into()),
+                    };
+                    let start = self.pos - 1;
+                    if start + len > self.bytes.len() {
+                        return Err("truncated utf-8 sequence".into());
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| "bad utf-8 in string".to_string())?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_escapes_and_parser_restores() {
+        let mut w = ObjectWriter::new();
+        w.str("name", "a\"b\\c\nd\te\u{1}f\u{e9}\u{4e16}")
+            .u64("n", 42)
+            .f64("x", 2.5)
+            .f64("whole", 3.0)
+            .bool("ok", true);
+        let line = w.finish();
+        let map = parse_object(&line).unwrap();
+        assert_eq!(
+            map["name"].as_str().unwrap(),
+            "a\"b\\c\nd\te\u{1}f\u{e9}\u{4e16}"
+        );
+        assert_eq!(map["n"].as_u64(), Some(42));
+        assert_eq!(map["x"].as_f64(), Some(2.5));
+        assert_eq!(map["whole"], JsonValue::Float(3.0));
+        assert_eq!(map["ok"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn empty_object_round_trips() {
+        assert!(parse_object("{}").unwrap().is_empty());
+        assert!(parse_object(" { } ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_object("{").is_err());
+        assert!(parse_object("{\"a\":}").is_err());
+        assert!(parse_object("{\"a\":1} extra").is_err());
+        assert!(parse_object("[1,2]").is_err());
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        let map = parse_object("{\"a\":-7,\"b\":1.5e3}").unwrap();
+        assert_eq!(map["a"], JsonValue::Int(-7));
+        assert_eq!(map["b"], JsonValue::Float(1500.0));
+    }
+}

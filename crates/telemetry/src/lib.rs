@@ -1,0 +1,110 @@
+//! `alex-telemetry`: zero-dependency observability for the ALEX pipeline.
+//!
+//! Three pillars, all reachable through the process-wide [`global`]
+//! instance:
+//!
+//! * **Spans** ([`spans`]) — RAII wall-clock timers that nest per thread
+//!   and aggregate by slash-joined path (`improve/episode/feedback`).
+//! * **Metrics** ([`metrics`]) — atomic counters, gauges, and fixed-bucket
+//!   histograms with p50/p95/p99 accessors, exportable as Prometheus text
+//!   or JSON.
+//! * **Events** ([`events`]) — a typed, structured JSONL event log behind
+//!   an opt-in sink.
+//!
+//! # Cost model when disabled
+//!
+//! The library is built to be left compiled-in:
+//!
+//! * An un-sinked [`EventLog::emit_with`](events::EventLog::emit_with) is
+//!   one relaxed atomic load plus a branch; the event-building closure is
+//!   never invoked, so nothing allocates or formats.
+//! * A counter increment is one relaxed `fetch_add`; the name lookup is
+//!   paid once per call site via the [`counter!`] macro's `OnceLock`.
+//! * Spans cost two `Instant::now` calls plus one short mutex-guarded map
+//!   update on drop — they are placed at episode/phase granularity, never
+//!   inside per-item loops.
+
+#![forbid(unsafe_code)]
+
+pub mod events;
+pub mod json;
+pub mod metrics;
+pub mod spans;
+
+pub use events::{Event, EventLog, EventSink, JsonlFileSink, MemorySink};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, DURATION_BUCKETS};
+pub use spans::{span, SpanGuard, SpanRegistry, SpanStats};
+
+use std::sync::OnceLock;
+
+/// The three registries bundled as the process-wide telemetry instance.
+pub struct Telemetry {
+    spans: SpanRegistry,
+    metrics: MetricsRegistry,
+    events: EventLog,
+}
+
+impl Telemetry {
+    fn new() -> Self {
+        Telemetry {
+            spans: SpanRegistry::default(),
+            metrics: MetricsRegistry::default(),
+            events: EventLog::default(),
+        }
+    }
+
+    /// The span registry.
+    pub fn spans(&self) -> &SpanRegistry {
+        &self.spans
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+}
+
+/// The process-wide telemetry instance.
+pub fn global() -> &'static Telemetry {
+    static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+    GLOBAL.get_or_init(Telemetry::new)
+}
+
+/// Emit an event lazily: the expression is evaluated only when a sink is
+/// attached. Shorthand for `global().events().emit_with(|| ...)`.
+#[macro_export]
+macro_rules! emit {
+    ($event:expr) => {
+        $crate::global().events().emit_with(|| $event)
+    };
+}
+
+/// A cached handle to the global counter `$name`. The registry lookup runs
+/// once per call site; afterwards this is a `OnceLock` load.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().metrics().counter($name))
+    }};
+}
+
+/// A cached handle to the global histogram `$name` (duration buckets by
+/// default, or explicit bounds).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {
+        $crate::histogram!($name, $crate::DURATION_BUCKETS)
+    };
+    ($name:expr, $bounds:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().metrics().histogram($name, $bounds))
+    }};
+}

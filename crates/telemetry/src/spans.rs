@@ -1,0 +1,195 @@
+//! Hierarchical wall-clock spans.
+//!
+//! [`span`] returns an RAII guard; while it lives, further spans opened on
+//! the same thread nest under it, and the full slash-joined path (e.g.
+//! `improve/episode/feedback`) is what gets aggregated. On drop, the
+//! elapsed time folds into per-path statistics (count/total/min/max) in a
+//! global registry, which [`SpanRegistry::render_summary`] renders as the
+//! `--verbose` exit table.
+//!
+//! Guards also expose [`SpanGuard::elapsed`], so code that previously kept
+//! its own `Instant` (the driver's `RunReport` durations) reads the same
+//! clock the registry records.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStats {
+    /// Completed spans at this path.
+    pub count: u64,
+    /// Total wall-clock time.
+    pub total: Duration,
+    /// Shortest single span.
+    pub min: Duration,
+    /// Longest single span.
+    pub max: Duration,
+}
+
+impl SpanStats {
+    fn record(&mut self, d: Duration) {
+        self.count += 1;
+        self.total += d;
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+    }
+
+    /// Mean duration per span.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// Per-path span aggregation.
+#[derive(Default)]
+pub struct SpanRegistry {
+    stats: Mutex<BTreeMap<String, SpanStats>>,
+}
+
+impl SpanRegistry {
+    fn record(&self, path: String, d: Duration) {
+        let mut stats = self.stats.lock().expect("span registry poisoned");
+        stats
+            .entry(path)
+            .or_insert(SpanStats {
+                count: 0,
+                total: Duration::ZERO,
+                min: Duration::MAX,
+                max: Duration::ZERO,
+            })
+            .record(d);
+    }
+
+    /// Snapshot of all paths and their statistics, sorted by path.
+    pub fn snapshot(&self) -> Vec<(String, SpanStats)> {
+        let stats = self.stats.lock().expect("span registry poisoned");
+        stats.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Aggregate stats for one exact path, if any spans completed there.
+    pub fn get(&self, path: &str) -> Option<SpanStats> {
+        self.stats
+            .lock()
+            .expect("span registry poisoned")
+            .get(path)
+            .copied()
+    }
+
+    /// Render an aligned text table of the snapshot (the `--verbose` view).
+    pub fn render_summary(&self) -> String {
+        let snapshot = self.snapshot();
+        if snapshot.is_empty() {
+            return String::from("no spans recorded\n");
+        }
+        let path_width = snapshot
+            .iter()
+            .map(|(p, _)| p.len())
+            .max()
+            .unwrap_or(4)
+            .max("span".len());
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<path_width$}  {:>7}  {:>11}  {:>11}  {:>11}  {:>11}\n",
+            "span", "count", "total", "mean", "min", "max"
+        ));
+        for (path, s) in snapshot {
+            out.push_str(&format!(
+                "{:<path_width$}  {:>7}  {:>11}  {:>11}  {:>11}  {:>11}\n",
+                path,
+                s.count,
+                fmt_duration(s.total),
+                fmt_duration(s.mean()),
+                fmt_duration(s.min),
+                fmt_duration(s.max),
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// RAII guard for one span. Dropping it records the elapsed time under the
+/// span's full path.
+pub struct SpanGuard {
+    /// Full slash-joined path, computed at entry.
+    path: String,
+    start: Instant,
+    /// Stack depth at entry, used to pop exactly our frame even if inner
+    /// guards are dropped out of order.
+    depth: usize,
+}
+
+impl SpanGuard {
+    /// Time elapsed since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The full path this span records under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Truncate rather than pop: recovers cleanly if an inner guard
+            // leaked (e.g. mem::forget) or drops happened out of order.
+            stack.truncate(self.depth);
+        });
+        crate::global()
+            .spans()
+            .record(std::mem::take(&mut self.path), elapsed);
+    }
+}
+
+/// Open a span named `name`, nested under any span already open on this
+/// thread. The name is `&'static str` so entering a span allocates only
+/// the joined path string.
+pub fn span(name: &'static str) -> SpanGuard {
+    let (path, depth) = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let depth = stack.len();
+        let mut path =
+            String::with_capacity(stack.iter().map(|s| s.len() + 1).sum::<usize>() + name.len());
+        for frame in stack.iter() {
+            path.push_str(frame);
+            path.push('/');
+        }
+        path.push_str(name);
+        stack.push(name);
+        (path, depth)
+    });
+    SpanGuard {
+        path,
+        start: Instant::now(),
+        depth,
+    }
+}

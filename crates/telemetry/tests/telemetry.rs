@@ -1,0 +1,279 @@
+//! Unit tests for the telemetry crate: histogram boundary/percentile math,
+//! concurrent span nesting, Prometheus export format, and JSONL round-trips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use alex_telemetry::{
+    span, Event, EventLog, JsonlFileSink, MemorySink, MetricsRegistry, DURATION_BUCKETS,
+};
+
+// ---------------------------------------------------------------- histograms
+
+#[test]
+fn histogram_bucket_boundaries_are_inclusive_upper() {
+    let registry = MetricsRegistry::default();
+    let h = registry.histogram("h_bounds", &[1.0, 2.0, 4.0]);
+    // Exactly on a bound lands in that bound's bucket (le semantics).
+    h.observe(1.0);
+    h.observe(2.0);
+    h.observe(4.0);
+    // Above the last bound lands in +Inf.
+    h.observe(100.0);
+    assert_eq!(h.count(), 4);
+    assert!((h.sum() - 107.0).abs() < 1e-9);
+
+    let text = registry.render_prometheus();
+    // Cumulative bucket counts: le="1" 1, le="2" 2, le="4" 3, le="+Inf" 4.
+    assert!(text.contains("h_bounds_bucket{le=\"1\"} 1"), "{text}");
+    assert!(text.contains("h_bounds_bucket{le=\"2\"} 2"), "{text}");
+    assert!(text.contains("h_bounds_bucket{le=\"4\"} 3"), "{text}");
+    assert!(text.contains("h_bounds_bucket{le=\"+Inf\"} 4"), "{text}");
+    assert!(text.contains("h_bounds_count 4"), "{text}");
+}
+
+#[test]
+fn histogram_percentiles_interpolate_within_bucket() {
+    let registry = MetricsRegistry::default();
+    let h = registry.histogram("h_pct", &[1.0, 2.0, 4.0]);
+    for _ in 0..4 {
+        h.observe(0.5); // bucket le=1
+    }
+    for _ in 0..4 {
+        h.observe(3.0); // bucket le=4
+    }
+    // p50: target rank 4 falls at the end of the first bucket → 1.0.
+    assert!((h.p50() - 1.0).abs() < 1e-9, "p50 = {}", h.p50());
+    // p95: target rank 7.6, bucket (2, 4] holds ranks 5..=8;
+    // 2 + 2 * (7.6 - 4) / 4 = 3.8.
+    assert!((h.p95() - 3.8).abs() < 1e-9, "p95 = {}", h.p95());
+}
+
+#[test]
+fn histogram_inf_bucket_clamps_to_last_bound() {
+    let registry = MetricsRegistry::default();
+    let h = registry.histogram("h_inf", &[1.0, 2.0, 4.0]);
+    h.observe(1000.0);
+    assert!((h.p99() - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn empty_histogram_reports_zero() {
+    let registry = MetricsRegistry::default();
+    let h = registry.histogram("h_empty", DURATION_BUCKETS);
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.p50(), 0.0);
+}
+
+// ------------------------------------------------------------------- spans
+
+#[test]
+fn concurrent_span_nesting_keeps_paths_per_thread() {
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(|| {
+                let _outer = span("tst_outer");
+                for _ in 0..3 {
+                    let inner = span("tst_inner");
+                    assert_eq!(inner.path(), "tst_outer/tst_inner");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let spans = alex_telemetry::global().spans();
+    let outer = spans.get("tst_outer").expect("outer span recorded");
+    let inner = spans
+        .get("tst_outer/tst_inner")
+        .expect("inner span recorded");
+    assert_eq!(outer.count, 8);
+    assert_eq!(inner.count, 24);
+    assert!(
+        outer.total >= inner.total / 8,
+        "outer spans contain their inners"
+    );
+    assert!(outer.min <= outer.max);
+    assert!(inner.mean() <= inner.max);
+}
+
+#[test]
+fn sibling_spans_do_not_nest() {
+    {
+        let first = span("tst_sib_a");
+        assert_eq!(first.path(), "tst_sib_a");
+    }
+    let second = span("tst_sib_b");
+    assert_eq!(
+        second.path(),
+        "tst_sib_b",
+        "dropped sibling must not remain on the stack"
+    );
+}
+
+// -------------------------------------------------------------- prometheus
+
+#[test]
+fn prometheus_export_escapes_label_values() {
+    let registry = MetricsRegistry::default();
+    registry
+        .counter_with_labels("requests_total", &[("path", "a\\b\"c\nd")])
+        .add(3);
+    let text = registry.render_prometheus();
+    assert!(text.contains("# TYPE requests_total counter"), "{text}");
+    assert!(
+        text.contains("requests_total{path=\"a\\\\b\\\"c\\nd\"} 3"),
+        "backslash, quote and newline must be escaped: {text}"
+    );
+}
+
+#[test]
+fn prometheus_export_has_one_type_line_per_family() {
+    let registry = MetricsRegistry::default();
+    registry
+        .counter_with_labels("hits_total", &[("route", "a")])
+        .inc();
+    registry
+        .counter_with_labels("hits_total", &[("route", "b")])
+        .add(2);
+    registry.gauge("depth").set(-4);
+    let text = registry.render_prometheus();
+    assert_eq!(
+        text.matches("# TYPE hits_total counter").count(),
+        1,
+        "{text}"
+    );
+    assert!(text.contains("hits_total{route=\"a\"} 1"), "{text}");
+    assert!(text.contains("hits_total{route=\"b\"} 2"), "{text}");
+    assert!(text.contains("# TYPE depth gauge"), "{text}");
+    assert!(text.contains("depth -4"), "{text}");
+}
+
+#[test]
+fn json_export_includes_percentiles() {
+    let registry = MetricsRegistry::default();
+    let h = registry.histogram("lat", &[1.0, 2.0]);
+    h.observe(0.5);
+    let json = registry.render_json();
+    assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+    assert!(json.contains("\"name\":\"lat\""), "{json}");
+    assert!(json.contains("\"p50\""), "{json}");
+}
+
+// ------------------------------------------------------------------ events
+
+fn all_event_variants() -> Vec<Event> {
+    vec![
+        Event::EpisodeStart { episode: 1 },
+        Event::EpisodeEnd {
+            episode: 1,
+            precision: 0.875,
+            recall: 0.5,
+            f_measure: 0.6363,
+            added: 10,
+            removed: 3,
+            rollbacks: 1,
+            duration_us: 1234,
+        },
+        Event::FeedbackApplied {
+            positive: true,
+            added: 2,
+            removed: 0,
+        },
+        Event::ExplorationAction {
+            action: "Approve(7)".to_string(),
+        },
+        Event::LinkAdded { left: 4, right: 9 },
+        Event::LinkRemoved { left: 4, right: 9 },
+        Event::BlacklistHit { left: 1, right: 2 },
+        Event::Rollback { removed: 5 },
+        Event::FederatedQuery {
+            patterns: 2,
+            answers: 7,
+            provenance_answers: 3,
+            probes: 40,
+            bound_join_iterations: 9,
+            sameas_expansions: 4,
+            duration_us: 99,
+        },
+        Event::ParisIteration {
+            iteration: 2,
+            matches: 117,
+            duration_us: 5000,
+        },
+        Event::BenchSnapshot {
+            label: "fig4 \"dbpedia\"\n".to_string(),
+            episodes: 40,
+            f_measure: 0.91,
+            duration_us: 7_000_000,
+        },
+    ]
+}
+
+#[test]
+fn every_event_variant_round_trips_through_json() {
+    for event in all_event_variants() {
+        let line = event.to_json();
+        let parsed = Event::parse(&line).unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
+        assert_eq!(parsed, event, "round-trip mismatch for {line}");
+    }
+}
+
+#[test]
+fn jsonl_file_sink_round_trips_through_disk() {
+    let path = std::env::temp_dir().join(format!("alex-telemetry-{}.jsonl", std::process::id()));
+    let log = EventLog::default();
+    log.attach(Arc::new(JsonlFileSink::create(&path).unwrap()));
+    let events = all_event_variants();
+    for event in &events {
+        let e = event.clone();
+        log.emit_with(move || e);
+    }
+    log.detach();
+
+    let content = std::fs::read_to_string(&path).unwrap();
+    let parsed: Vec<Event> = content.lines().map(|l| Event::parse(l).unwrap()).collect();
+    assert_eq!(parsed, events);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn emit_with_is_lazy_without_a_sink() {
+    let log = EventLog::default();
+    let built = AtomicBool::new(false);
+    log.emit_with(|| {
+        built.store(true, Ordering::Relaxed);
+        Event::EpisodeStart { episode: 1 }
+    });
+    assert!(
+        !built.load(Ordering::Relaxed),
+        "closure must not run without a sink"
+    );
+
+    let sink = Arc::new(MemorySink::new());
+    log.attach(sink.clone());
+    log.emit_with(|| {
+        built.store(true, Ordering::Relaxed);
+        Event::EpisodeStart { episode: 2 }
+    });
+    assert!(built.load(Ordering::Relaxed));
+    assert_eq!(sink.events(), vec![Event::EpisodeStart { episode: 2 }]);
+}
+
+#[test]
+fn detach_stops_emission() {
+    let log = EventLog::default();
+    let sink = Arc::new(MemorySink::new());
+    log.attach(sink.clone());
+    log.emit_with(|| Event::Rollback { removed: 1 });
+    let detached = log.detach();
+    assert!(detached.is_some());
+    assert!(!log.is_attached());
+    log.emit_with(|| Event::Rollback { removed: 2 });
+    assert_eq!(
+        sink.events().len(),
+        1,
+        "events after detach must be dropped"
+    );
+}

@@ -20,8 +20,16 @@ fn main() {
     // --- Two tiny knowledge bases -------------------------------------
     let mut dbpedia = Dataset::new("DBpedia");
     for (iri, label, award) in [
-        ("http://db/LeBron_James", "LeBron James", Some("NBA MVP 2013")),
-        ("http://db/Kevin_Durant", "Kevin Durant", Some("NBA MVP 2014")),
+        (
+            "http://db/LeBron_James",
+            "LeBron James",
+            Some("NBA MVP 2013"),
+        ),
+        (
+            "http://db/Kevin_Durant",
+            "Kevin Durant",
+            Some("NBA MVP 2014"),
+        ),
         ("http://db/Tim_Duncan", "Tim Duncan", None),
     ] {
         dbpedia.add_str(iri, "http://db/ontology/label", label);
@@ -31,14 +39,42 @@ fn main() {
     }
 
     let mut nyt = Dataset::new("NYTimes");
-    nyt.add_str("http://nyt/per/lebron-james", "http://nyt/property/name", "James, LeBron");
-    nyt.add_str("http://nyt/per/kevin-durant", "http://nyt/property/name", "Durant, Kevin");
-    nyt.add_str("http://nyt/per/tim-duncan", "http://nyt/property/name", "Duncan, Tim");
+    nyt.add_str(
+        "http://nyt/per/lebron-james",
+        "http://nyt/property/name",
+        "James, LeBron",
+    );
+    nyt.add_str(
+        "http://nyt/per/kevin-durant",
+        "http://nyt/property/name",
+        "Durant, Kevin",
+    );
+    nyt.add_str(
+        "http://nyt/per/tim-duncan",
+        "http://nyt/property/name",
+        "Duncan, Tim",
+    );
     for (article, about, headline) in [
-        ("http://nyt/a/1", "http://nyt/per/lebron-james", "James Carries Heat to Title"),
-        ("http://nyt/a/2", "http://nyt/per/lebron-james", "MVP Again: James Repeats"),
-        ("http://nyt/a/3", "http://nyt/per/kevin-durant", "Durant's Scoring Clinic"),
-        ("http://nyt/a/4", "http://nyt/per/tim-duncan", "Duncan, Quiet Giant"),
+        (
+            "http://nyt/a/1",
+            "http://nyt/per/lebron-james",
+            "James Carries Heat to Title",
+        ),
+        (
+            "http://nyt/a/2",
+            "http://nyt/per/lebron-james",
+            "MVP Again: James Repeats",
+        ),
+        (
+            "http://nyt/a/3",
+            "http://nyt/per/kevin-durant",
+            "Durant's Scoring Clinic",
+        ),
+        (
+            "http://nyt/a/4",
+            "http://nyt/per/tim-duncan",
+            "Duncan, Quiet Giant",
+        ),
     ] {
         nyt.add_iri(article, "http://nyt/property/about", about);
         nyt.add_str(article, "http://nyt/property/headline", headline);
@@ -46,12 +82,7 @@ fn main() {
 
     // --- ALEX agent over the pair's link space -------------------------
     let space = LinkSpace::build(&dbpedia, &nyt, &SpaceConfig::default());
-    let bridge = FeedbackBridge::new(
-        &dbpedia,
-        space.left_index(),
-        &nyt,
-        space.right_index(),
-    );
+    let bridge = FeedbackBridge::new(&dbpedia, space.left_index(), &nyt, space.right_index());
     // The automatic linker made one good link and one WRONG link
     // (LeBron ↔ lebron-james is missing; Durant got mislinked to Duncan).
     let initial_links = [
@@ -78,10 +109,7 @@ fn main() {
         engine.add_endpoint(Box::new(DatasetEndpoint::new(nyt.clone())));
         let links = SameAsLinks::from_pairs(agent.candidates().iter().map(|id| {
             let (l, r) = agent.space().pair_terms(id);
-            (
-                dbpedia.resolve(l).to_string(),
-                nyt.resolve(r).to_string(),
-            )
+            (dbpedia.resolve(l).to_string(), nyt.resolve(r).to_string())
         }));
         engine.set_links(links);
         engine
@@ -100,7 +128,11 @@ fn main() {
     let answers = engine.execute(&query).expect("query evaluates");
     println!("Round 1 — articles about the NBA MVP of 2014:");
     for a in &answers {
-        println!("  {}   (via {} link(s))", a.bindings["headline"].lexical(), a.links_used.len());
+        println!(
+            "  {}   (via {} link(s))",
+            a.bindings["headline"].lexical(),
+            a.links_used.len()
+        );
     }
     assert_eq!(answers.len(), 1);
     assert!(answers[0].bindings["headline"].lexical().contains("Duncan"));

@@ -35,7 +35,13 @@ fn main() {
         },
     );
     let (p, r, f) = score_links(&pair, &initial);
-    println!("initial links: {} (P {:.2}, R {:.2}, F {:.2})", initial.len(), p, r, f);
+    println!(
+        "initial links: {} (P {:.2}, R {:.2}, F {:.2})",
+        initial.len(),
+        p,
+        r,
+        f
+    );
 
     let cfg = PartitionedConfig {
         partitions: 1,
@@ -52,7 +58,10 @@ fn main() {
 
     println!("\nepisode  precision  recall  f-measure  candidates");
     let q0 = run.initial_quality;
-    println!("{:>7}  {:>9.3}  {:>6.3}  {:>9.3}", 0, q0.precision, q0.recall, q0.f_measure);
+    println!(
+        "{:>7}  {:>9.3}  {:>6.3}  {:>9.3}",
+        0, q0.precision, q0.recall, q0.f_measure
+    );
     for e in &run.episodes {
         println!(
             "{:>7}  {:>9.3}  {:>6.3}  {:>9.3}  {:>10}",

@@ -16,10 +16,17 @@ use alex::linking::{LabelBaseline, LinkerOutput, Paris, ParisConfig};
 
 fn score(pair: &alex::datagen::GeneratedPair, out: &LinkerOutput) -> (f64, f64, f64) {
     let links = out.term_pairs();
-    let correct = links.iter().filter(|&&(l, r)| pair.is_correct(l, r)).count();
+    let correct = links
+        .iter()
+        .filter(|&&(l, r)| pair.is_correct(l, r))
+        .count();
     let p = correct as f64 / links.len().max(1) as f64;
     let r = correct as f64 / pair.gt_len().max(1) as f64;
-    let f = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+    let f = if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    };
     (p, r, f)
 }
 

@@ -60,7 +60,10 @@ fn main() {
     })
     .link(&pair.left, &pair.right);
     let initial = linked.term_pairs();
-    let correct = initial.iter().filter(|&&(l, r)| pair.is_correct(l, r)).count();
+    let correct = initial
+        .iter()
+        .filter(|&&(l, r)| pair.is_correct(l, r))
+        .count();
     println!(
         "PARIS-like linker: {} candidate links, {} correct (precision {:.2}, recall {:.2})",
         initial.len(),
@@ -75,15 +78,11 @@ fn main() {
     let truth: HashSet<(u32, u32)> = pair
         .ground_truth
         .iter()
-        .filter_map(|&(l, r)| {
-            Some((space.left_index().id(l)?, space.right_index().id(r)?))
-        })
+        .filter_map(|&(l, r)| Some((space.left_index().id(l)?, space.right_index().id(r)?)))
         .collect();
     let initial_ids: Vec<(u32, u32)> = initial
         .iter()
-        .filter_map(|&(l, r)| {
-            Some((space.left_index().id(l)?, space.right_index().id(r)?))
-        })
+        .filter_map(|&(l, r)| Some((space.left_index().id(l)?, space.right_index().id(r)?)))
         .collect();
 
     let cfg = AlexConfig {
@@ -97,7 +96,10 @@ fn main() {
 
     println!("\nepisode  precision  recall  f-measure");
     let q0 = report.initial_quality;
-    println!("{:>7}  {:>9.3}  {:>6.3}  {:>9.3}", 0, q0.precision, q0.recall, q0.f_measure);
+    println!(
+        "{:>7}  {:>9.3}  {:>6.3}  {:>9.3}",
+        0, q0.precision, q0.recall, q0.f_measure
+    );
     for e in &report.episodes {
         println!(
             "{:>7}  {:>9.3}  {:>6.3}  {:>9.3}",
@@ -112,5 +114,8 @@ fn main() {
         q0.f_measure,
         qf.f_measure
     );
-    assert!(qf.f_measure >= q0.f_measure, "ALEX should not make links worse");
+    assert!(
+        qf.f_measure >= q0.f_measure,
+        "ALEX should not make links worse"
+    );
 }

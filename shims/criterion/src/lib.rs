@@ -1,0 +1,272 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Bench targets written against the criterion API compile and run
+//! unchanged. Two modes, chosen by the presence of `--bench` in argv
+//! (cargo passes it when invoked as `cargo bench`):
+//!
+//! * **Smoke mode** (no `--bench`, i.e. `cargo test` building the
+//!   `harness = false` bench targets): every benchmark body runs exactly
+//!   once, so benches act as compile-and-run smoke tests without slowing
+//!   the test suite down.
+//! * **Measure mode** (`--bench`): each benchmark is warmed up briefly,
+//!   then timed over batches until ~`measurement_millis` elapse, and the
+//!   per-iteration mean/min are printed. No statistics beyond that — this
+//!   is a wall-clock sanity harness, not a rigorous estimator.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// How long measure mode spends per benchmark (after warm-up).
+const MEASUREMENT_MILLIS: u64 = 300;
+const WARMUP_MILLIS: u64 = 50;
+
+fn measure_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: measure_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measure = self.measure;
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            measure,
+        }
+    }
+
+    /// Register a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.measure, f);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    measure: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.measure, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.measure, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a bare name or name + parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Identifier rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various id forms accepted by `bench_function`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Drives iterations of one benchmark body.
+pub struct Bencher {
+    measure: bool,
+    /// (total duration, iterations) accumulated by the last `iter` call.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if !self.measure {
+            black_box(routine());
+            self.result = Some((Duration::ZERO, 1));
+            return;
+        }
+        // Warm-up.
+        let warm_until = Instant::now() + Duration::from_millis(WARMUP_MILLIS);
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_until {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Pick a batch size so each batch is ~1ms, then measure whole
+        // batches to amortize timer overhead.
+        let batch = warm_iters.div_ceil(WARMUP_MILLIS).max(1);
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let budget = Duration::from_millis(MEASUREMENT_MILLIS);
+        while elapsed < budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+        }
+        self.result = Some((elapsed, iters));
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_with_setup<I, R, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        if !self.measure {
+            let input = setup();
+            black_box(routine(input));
+            self.result = Some((Duration::ZERO, 1));
+            return;
+        }
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let budget = Duration::from_millis(MEASUREMENT_MILLIS);
+        while elapsed < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((elapsed, iters));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, measure: bool, mut f: F) {
+    let mut bencher = Bencher {
+        measure,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((elapsed, iters)) if measure && iters > 0 && elapsed > Duration::ZERO => {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            println!(
+                "{label:<48} time: {:>12}   ({iters} iterations)",
+                fmt_nanos(per_iter)
+            );
+        }
+        Some(_) => println!("{label:<48} ok (smoke)"),
+        None => println!("{label:<48} ok (no iter call)"),
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for the `proptest` crate (see `shims/README.md`).
+//!
+//! Property tests written against the real proptest API run unchanged:
+//! the [`proptest!`] macro generates `#[test]` functions that draw inputs
+//! from [`Strategy`] values and re-run the body for a configurable number
+//! of cases. Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case is reported verbatim (with the
+//!   generated inputs in the panic message) instead of being minimized.
+//! * **Deterministic seeding.** The RNG seed is derived from the test
+//!   name, so failures reproduce exactly under `cargo test`.
+//! * **Regex strategies** support the subset of regex syntax used as
+//!   generators in this workspace: literals, `.`, character classes with
+//!   ranges and escapes, groups, and `{m}`/`{m,n}`/`?`/`*`/`+`
+//!   quantifiers. No alternation, anchors, or backreferences.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod regex;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `true`/`false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rand::Rng::random_bool(rng, 0.5)
+        }
+    }
+}
+
+/// String strategies (`proptest::string::string_regex`).
+pub mod string {
+    use crate::regex::Pattern;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A compiled regex generator strategy.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        pattern: Pattern,
+    }
+
+    /// Error from compiling a generator regex.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "regex generator: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Compile `pattern` into a strategy generating matching strings.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        Pattern::parse(pattern)
+            .map(|pattern| RegexGeneratorStrategy { pattern })
+            .map_err(Error)
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.pattern.generate(rng)
+        }
+    }
+}
+
+/// The `prop::` namespace exposed by the prelude.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::string;
+}
+
+/// The usual glob import for property tests.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a property body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Mirrors the real proptest macro's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn my_property(x in 0u32..100, s in "[a-z]{1,8}") { prop_assert!(x < 100); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::test_rng(stringify!($name));
+                $(let $arg = &($strat);)+
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(100);
+                while accepted < config.cases {
+                    attempts += 1;
+                    if attempts > max_attempts {
+                        panic!(
+                            "property {} gave up: {} of {} cases accepted after {} attempts \
+                             (too many prop_assume! rejections)",
+                            stringify!($name), accepted, config.cases, attempts
+                        );
+                    }
+                    $(let $arg = $crate::strategy::Strategy::generate($arg, &mut rng);)+
+                    // Render inputs before the body can move them.
+                    let rendered_inputs =
+                        format!(concat!($("\n  ", stringify!($arg), " = {:?}"),+), $(&$arg),+);
+                    let case = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        { $body }
+                        Ok(())
+                    })();
+                    match case {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                            panic!(
+                                "property {} failed at case {}/{}:\n{}\ninputs:{}",
+                                stringify!($name),
+                                accepted + 1,
+                                config.cases,
+                                message,
+                                rendered_inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

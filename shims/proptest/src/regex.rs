@@ -1,0 +1,367 @@
+//! A generator for the regex subset used as proptest string strategies:
+//! literals, `.`, character classes (ranges, `\xHH`/`\n`/`\t`/`\\`/`\"`
+//! escapes), groups, and `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+//! No alternation, anchors, or backreferences — parsing any of those is a
+//! hard error so unsupported patterns fail loudly instead of generating
+//! wrong data.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Characters produced by `.`: printable ASCII plus two multi-byte
+/// characters so UTF-8 handling is exercised, mirroring the spirit of
+/// proptest's "any char" with a tractable alphabet.
+const DOT_EXTRA: [char; 2] = ['\u{e9}', '\u{4e16}'];
+
+/// Cap for unbounded quantifiers (`*`, `+`).
+const UNBOUNDED_MAX: u32 = 8;
+
+/// One parsed regex atom.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A literal character.
+    Literal(char),
+    /// `.` — any printable character.
+    Dot,
+    /// A character class: concrete chars plus inclusive ranges.
+    Class {
+        chars: Vec<char>,
+        ranges: Vec<(char, char)>,
+    },
+    /// A parenthesized sub-pattern.
+    Group(Pattern),
+}
+
+/// An atom with its repetition bounds.
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// A parsed generator pattern: a sequence of quantified atoms.
+#[derive(Debug, Clone, Default)]
+pub struct Pattern {
+    pieces: Vec<Piece>,
+}
+
+impl Pattern {
+    /// Parse `input`, rejecting unsupported syntax.
+    pub fn parse(input: &str) -> Result<Pattern, String> {
+        let mut chars: std::iter::Peekable<std::str::Chars<'_>> = input.chars().peekable();
+        let pattern = parse_sequence(&mut chars, false)?;
+        if chars.peek().is_some() {
+            return Err(format!("unexpected trailing input in {input:?}"));
+        }
+        Ok(pattern)
+    }
+
+    /// Generate one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        self.generate_into(rng, &mut out);
+        out
+    }
+
+    fn generate_into(&self, rng: &mut TestRng, out: &mut String) {
+        for piece in &self.pieces {
+            let n = if piece.min == piece.max {
+                piece.min
+            } else {
+                rng.random_range(piece.min..=piece.max)
+            };
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Dot => {
+                        // Printable ASCII (0x20..=0x7e) plus DOT_EXTRA.
+                        let idx = rng.random_range(0..(95 + DOT_EXTRA.len()));
+                        if idx < 95 {
+                            out.push((0x20 + idx as u32) as u8 as char);
+                        } else {
+                            out.push(DOT_EXTRA[idx - 95]);
+                        }
+                    }
+                    Atom::Class { chars, ranges } => {
+                        // Weight ranges by span so every member is reachable
+                        // roughly uniformly.
+                        let range_total: u32 =
+                            ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                        let total = chars.len() as u32 + range_total;
+                        let mut pick = rng.random_range(0..total);
+                        if (pick as usize) < chars.len() {
+                            out.push(chars[pick as usize]);
+                        } else {
+                            pick -= chars.len() as u32;
+                            for &(a, b) in ranges {
+                                let span = b as u32 - a as u32 + 1;
+                                if pick < span {
+                                    out.push(
+                                        char::from_u32(a as u32 + pick)
+                                            .expect("range endpoints are valid chars"),
+                                    );
+                                    break;
+                                }
+                                pick -= span;
+                            }
+                        }
+                    }
+                    Atom::Group(sub) => sub.generate_into(rng, out),
+                }
+            }
+        }
+    }
+}
+
+type CharStream<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_sequence(chars: &mut CharStream<'_>, in_group: bool) -> Result<Pattern, String> {
+    let mut pieces = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            if in_group {
+                break;
+            }
+            return Err("unmatched ')'".into());
+        }
+        let atom = match c {
+            '(' => {
+                chars.next();
+                let sub = parse_sequence(chars, true)?;
+                match chars.next() {
+                    Some(')') => Atom::Group(sub),
+                    _ => return Err("unterminated group".into()),
+                }
+            }
+            '[' => {
+                chars.next();
+                parse_class(chars)?
+            }
+            '.' => {
+                chars.next();
+                Atom::Dot
+            }
+            '\\' => {
+                chars.next();
+                Atom::Literal(parse_escape(chars)?)
+            }
+            '|' | '^' | '$' => {
+                return Err(format!("unsupported regex syntax {c:?}"));
+            }
+            _ => {
+                chars.next();
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = parse_quantifier(chars)?;
+        pieces.push(Piece { atom, min, max });
+    }
+    Ok(Pattern { pieces })
+}
+
+fn parse_quantifier(chars: &mut CharStream<'_>) -> Result<(u32, u32), String> {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        Some('*') => {
+            chars.next();
+            Ok((0, UNBOUNDED_MAX))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, UNBOUNDED_MAX))
+        }
+        Some('{') => {
+            chars.next();
+            let mut min_text = String::new();
+            let mut max_text = String::new();
+            let mut saw_comma = false;
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(',') if !saw_comma => saw_comma = true,
+                    Some(d) if d.is_ascii_digit() => {
+                        if saw_comma {
+                            max_text.push(d);
+                        } else {
+                            min_text.push(d);
+                        }
+                    }
+                    other => return Err(format!("bad quantifier near {other:?}")),
+                }
+            }
+            let min: u32 = min_text.parse().map_err(|_| "bad quantifier min")?;
+            let max: u32 = if !saw_comma {
+                min
+            } else if max_text.is_empty() {
+                min.saturating_add(UNBOUNDED_MAX)
+            } else {
+                max_text.parse().map_err(|_| "bad quantifier max")?
+            };
+            if max < min {
+                return Err(format!("quantifier max {max} < min {min}"));
+            }
+            Ok((min, max))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+fn parse_class(chars: &mut CharStream<'_>) -> Result<Atom, String> {
+    let mut members: Vec<char> = Vec::new();
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    if chars.peek() == Some(&'^') {
+        return Err("negated classes are not supported".into());
+    }
+    loop {
+        let c = match chars.next() {
+            None => return Err("unterminated character class".into()),
+            Some(']') => break,
+            Some('\\') => parse_escape(chars)?,
+            Some(c) => c,
+        };
+        // Range if the next char is '-' and the one after is not ']'.
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(&']') | None => members.push(c), // trailing '-' is literal
+                Some(_) => {
+                    chars.next(); // consume '-'
+                    let end = match chars.next() {
+                        Some('\\') => parse_escape(chars)?,
+                        Some(e) => e,
+                        None => return Err("unterminated range".into()),
+                    };
+                    if end < c {
+                        return Err(format!("inverted range {c:?}-{end:?}"));
+                    }
+                    ranges.push((c, end));
+                }
+            }
+        } else {
+            members.push(c);
+        }
+    }
+    if members.is_empty() && ranges.is_empty() {
+        return Err("empty character class".into());
+    }
+    Ok(Atom::Class {
+        chars: members,
+        ranges,
+    })
+}
+
+fn parse_escape(chars: &mut CharStream<'_>) -> Result<char, String> {
+    match chars.next() {
+        Some('n') => Ok('\n'),
+        Some('t') => Ok('\t'),
+        Some('r') => Ok('\r'),
+        Some('x') => {
+            let hi = chars.next().ok_or("truncated \\x escape")?;
+            let lo = chars.next().ok_or("truncated \\x escape")?;
+            let v = u32::from_str_radix(&format!("{hi}{lo}"), 16)
+                .map_err(|_| format!("bad \\x escape \\x{hi}{lo}"))?;
+            char::from_u32(v).ok_or_else(|| format!("\\x{hi}{lo} is not a char"))
+        }
+        Some(c) => Ok(c), // \\, \., \[, \-, \" etc.: the char itself
+        None => Err("truncated escape".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::test_rng;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let p = Pattern::parse(pattern).expect(pattern);
+        let mut rng = test_rng(pattern);
+        (0..n).map(|_| p.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        for s in gen_many("[a-z]{4,8}", 200) {
+            assert!((4..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_space_between_words() {
+        for s in gen_many("[a-z]{4,8} [a-z]{4,8}", 100) {
+            let parts: Vec<&str> = s.split(' ').collect();
+            assert_eq!(parts.len(), 2, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn groups_repeat() {
+        for s in gen_many("[a-z]{1,8}(/[a-z0-9_]{1,8}){0,3}", 200) {
+            assert!(s.split('/').count() <= 4, "{s:?}");
+            assert!(!s.starts_with('/'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_generates_printables() {
+        let all = gen_many(".{0,20}", 300);
+        assert!(all.iter().any(|s| s.is_empty()));
+        assert!(all.iter().any(|s| s.chars().count() >= 15));
+        for s in &all {
+            assert!(s
+                .chars()
+                .all(|c| c == '\u{e9}' || c == '\u{4e16}' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn hex_escapes_and_specials_in_class() {
+        // The pattern used by the RDF round-trip tests.
+        let p = "[\\x20-\\x7e\u{e9}\u{4e16}\n\t\"\\\\]{0,24}";
+        for s in gen_many(p, 300) {
+            for c in s.chars() {
+                let ok = (' '..='~').contains(&c)
+                    || c == '\u{e9}'
+                    || c == '\u{4e16}'
+                    || c == '\n'
+                    || c == '\t'
+                    || c == '"'
+                    || c == '\\';
+                assert!(ok, "unexpected char {c:?} in {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_class_with_literals_and_ranges() {
+        for s in gen_many("[a-z:/#0-9]{0,12}", 200) {
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || ":/#".contains(c),
+                    "{c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_count_and_optional() {
+        for s in gen_many("ab{3}c?", 50) {
+            assert!(s == "abbb" || s == "abbbc", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unsupported_syntax_is_rejected() {
+        assert!(Pattern::parse("a|b").is_err());
+        assert!(Pattern::parse("[^a]").is_err());
+        assert!(Pattern::parse("^a$").is_err());
+        assert!(Pattern::parse("(a").is_err());
+        assert!(Pattern::parse("[a").is_err());
+    }
+}

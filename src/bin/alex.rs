@@ -8,6 +8,11 @@
 //! alex query    --data A.nt --data B.nt [--links L.nt] (--query-file F | QUERY)
 //! ```
 //!
+//! `improve` and `query` also accept the observability flags
+//! `--telemetry FILE.jsonl` (structured event log), `--metrics-dump
+//! FILE.prom` (Prometheus text exposition of the global counters and
+//! histograms), and `--verbose` (per-span timing summary on stderr).
+//!
 //! Data files may be N-Triples (`.nt`) or the supported Turtle subset
 //! (`.ttl`). Links are exchanged as `owl:sameAs` N-Triples, so the output
 //! of `link`/`improve` is directly usable by any linked-data tool.
@@ -73,6 +78,15 @@ USAGE:
       Evaluate a SPARQL query (SELECT or ASK) over one or more data
       sets federated through optional sameAs links; answers produced
       through links show their provenance.
+
+OBSERVABILITY (improve and query):
+  --telemetry FILE.jsonl    Write the structured event log (one JSON
+                            object per line: episodes, link changes,
+                            federated query stats, ...).
+  --metrics-dump FILE.prom  Dump the global metrics registry in
+                            Prometheus text exposition format on exit.
+  --verbose                 Print the per-span wall-clock summary to
+                            stderr on exit.
 ";
 
 /// Named `--flag value` options in command-line order.
@@ -86,7 +100,7 @@ fn split_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "baseline" {
+            if name == "baseline" || name == "verbose" {
                 flags.push((name.to_string(), "true".to_string()));
                 i += 1;
                 continue;
@@ -128,8 +142,7 @@ fn parse_flag<T: std::str::FromStr>(
 /// Load an RDF file, dispatching on extension (.ttl → Turtle, else
 /// N-Triples).
 fn load_dataset(path: &str) -> Result<Dataset, String> {
-    let content =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let name = Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -146,8 +159,7 @@ fn load_dataset(path: &str) -> Result<Dataset, String> {
 
 /// Load owl:sameAs pairs from a file.
 fn load_links(path: &str) -> Result<SameAsLinks, String> {
-    let content =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     SameAsLinks::from_ntriples(&content).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -165,11 +177,50 @@ fn write_or_print(out: Option<&str>, content: &str) -> Result<(), String> {
     }
 }
 
+/// Observability flags shared by `improve` and `query`: attach the JSONL
+/// event sink up front, dump metrics / span summary on [`Self::finish`].
+struct TelemetryOpts {
+    metrics_dump: Option<String>,
+    verbose: bool,
+}
+
+fn telemetry_setup(flags: &Flags) -> Result<TelemetryOpts, String> {
+    if let Some(path) = flag(flags, "telemetry") {
+        let sink = alex::telemetry::JsonlFileSink::create(path)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        alex::telemetry::global()
+            .events()
+            .attach(std::sync::Arc::new(sink));
+    }
+    Ok(TelemetryOpts {
+        metrics_dump: flag(flags, "metrics-dump").map(str::to_string),
+        verbose: flag(flags, "verbose").is_some(),
+    })
+}
+
+impl TelemetryOpts {
+    fn finish(&self) -> Result<(), String> {
+        let telemetry = alex::telemetry::global();
+        telemetry.events().flush();
+        if let Some(path) = &self.metrics_dump {
+            std::fs::write(path, telemetry.metrics().render_prometheus())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        if self.verbose {
+            eprint!("{}", telemetry.spans().render_summary());
+        }
+        Ok(())
+    }
+}
+
 fn pair_spec_by_name(name: &str) -> Result<PairSpec, String> {
     let normalize = |s: &str| s.to_lowercase().replace([' ', '_'], "-");
     let target = normalize(name);
     for spec in all_pairs() {
-        let label = normalize(&spec.label()).replace(" - ", "-").replace("--", "-");
+        let label = normalize(&spec.label())
+            .replace(" - ", "-")
+            .replace("--", "-");
         let short = format!(
             "{}-{}",
             normalize(spec.left.paper_name()),
@@ -234,7 +285,10 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     }
     let detailed = flag(&flags, "detail").is_some();
     if !detailed {
-        println!("{:<28} {:>9} {:>9} {:>11}", "file", "triples", "entities", "predicates");
+        println!(
+            "{:<28} {:>9} {:>9} {:>11}",
+            "file", "triples", "entities", "predicates"
+        );
     }
     for f in &files {
         let ds = load_dataset(f)?;
@@ -283,9 +337,12 @@ fn cmd_link(args: &[String]) -> Result<(), String> {
         output.links.len(),
         started.elapsed()
     );
-    let links = SameAsLinks::from_pairs(output.term_pairs().into_iter().map(|(l, r)| {
-        (left.resolve(l).to_string(), right.resolve(r).to_string())
-    }));
+    let links = SameAsLinks::from_pairs(
+        output
+            .term_pairs()
+            .into_iter()
+            .map(|(l, r)| (left.resolve(l).to_string(), right.resolve(r).to_string())),
+    );
     write_or_print(flag(&flags, "out"), &links.to_ntriples())
 }
 
@@ -294,6 +351,7 @@ fn cmd_improve(args: &[String]) -> Result<(), String> {
     let [left_path, right_path] = files.as_slice() else {
         return Err("improve requires exactly two data files".into());
     };
+    let telemetry = telemetry_setup(&flags)?;
     let left = load_dataset(left_path)?;
     let right = load_dataset(right_path)?;
     let links = load_links(flag(&flags, "links").ok_or("--links is required")?)?;
@@ -352,12 +410,14 @@ fn cmd_improve(args: &[String]) -> Result<(), String> {
 
     // Export the union of the partitions' final candidate links.
     if let Some(out) = flag(&flags, "out") {
-        let final_links = SameAsLinks::from_pairs(run.final_links.iter().map(|&(l, r)| {
-            (left.resolve(l).to_string(), right.resolve(r).to_string())
-        }));
+        let final_links = SameAsLinks::from_pairs(
+            run.final_links
+                .iter()
+                .map(|&(l, r)| (left.resolve(l).to_string(), right.resolve(r).to_string())),
+        );
         write_or_print(Some(out), &final_links.to_ntriples())?;
     }
-    Ok(())
+    telemetry.finish()
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
@@ -370,6 +430,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if data_files.is_empty() {
         return Err("query requires at least one --data file".into());
     }
+    let telemetry = telemetry_setup(&flags)?;
     let query_text = match flag(&flags, "query-file") {
         Some(path) => {
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
@@ -392,9 +453,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if query.kind == alex::sparql::QueryKind::Ask {
         let answer = engine.ask(&query).map_err(|e| format!("evaluation: {e}"))?;
         println!("{answer}");
-        return Ok(());
+        return telemetry.finish();
     }
-    let answers = engine.execute(&query).map_err(|e| format!("evaluation: {e}"))?;
+    let answers = engine
+        .execute(&query)
+        .map_err(|e| format!("evaluation: {e}"))?;
     let vars = query.projection();
     println!("{}", vars.join("\t"));
     for a in &answers {
@@ -419,5 +482,5 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
     }
     eprintln!("{} answer(s)", answers.len());
-    Ok(())
+    telemetry.finish()
 }

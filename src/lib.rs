@@ -16,6 +16,7 @@
 //! | [`linking`] (`alex-linking`) | PARIS-like automatic linker + baseline |
 //! | [`core`] (`alex-core`) | ALEX itself: the RL link-exploration agent |
 //! | [`datagen`] (`alex-datagen`) | Deterministic synthetic LOD analogues |
+//! | [`telemetry`] (`alex-telemetry`) | Spans, metrics registry, structured event log |
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the experiment harness that regenerates every table and figure of the
@@ -30,6 +31,7 @@ pub use alex_linking as linking;
 pub use alex_rdf as rdf;
 pub use alex_sim as sim;
 pub use alex_sparql as sparql;
+pub use alex_telemetry as telemetry;
 
 pub use alex_core::{
     Agent, AlexConfig, Feedback, FeedbackBridge, LinkSpace, OracleFeedback, PairId, Quality,

@@ -45,10 +45,7 @@ fn build_pair() -> alex::datagen::GeneratedPair {
 }
 
 /// Build a federated engine reflecting the agent's current candidate links.
-fn engine_from_agent(
-    agent: &Agent,
-    pair: &alex::datagen::GeneratedPair,
-) -> FederatedEngine {
+fn engine_from_agent(agent: &Agent, pair: &alex::datagen::GeneratedPair) -> FederatedEngine {
     let mut engine = FederatedEngine::new();
     engine.add_endpoint(Box::new(DatasetEndpoint::new(pair.left.clone())));
     engine.add_endpoint(Box::new(DatasetEndpoint::new(pair.right.clone())));
@@ -68,7 +65,12 @@ fn engine_from_agent(
 fn answer_level_feedback_improves_links_and_query_coverage() {
     let pair = build_pair();
     let space = LinkSpace::build(&pair.left, &pair.right, &SpaceConfig::default());
-    let bridge = FeedbackBridge::new(&pair.left, space.left_index(), &pair.right, space.right_index());
+    let bridge = FeedbackBridge::new(
+        &pair.left,
+        space.left_index(),
+        &pair.right,
+        space.right_index(),
+    );
     let to_id = |l: Term, r: Term| Some((space.left_index().id(l)?, space.right_index().id(r)?));
     let truth_ids: HashSet<(u32, u32)> = pair
         .ground_truth
@@ -129,15 +131,12 @@ fn answer_level_feedback_improves_links_and_query_coverage() {
         let mut items = 0;
         for q in &parsed {
             for answer in engine.execute(q).expect("evaluates") {
-                let approved = answer
-                    .links_used
-                    .iter()
-                    .all(|link| {
-                        bridge
-                            .link_to_pair(link)
-                            .map(|p| truth_ids.contains(&p))
-                            .unwrap_or(false)
-                    });
+                let approved = answer.links_used.iter().all(|link| {
+                    bridge
+                        .link_to_pair(link)
+                        .map(|p| truth_ids.contains(&p))
+                        .unwrap_or(false)
+                });
                 for (link_pair, fb) in bridge.feedback_for_answer(&answer, approved) {
                     agent.feedback_on_pair(link_pair, fb);
                     items += 1;

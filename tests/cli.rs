@@ -33,10 +33,22 @@ fn full_pipeline_gen_link_improve_query() {
 
     // gen
     let out = alex()
-        .args(["gen", "--out-dir", &dir.to_string_lossy(), "--pair", "nba", "--seed", "7"])
+        .args([
+            "gen",
+            "--out-dir",
+            &dir.to_string_lossy(),
+            "--pair",
+            "nba",
+            "--seed",
+            "7",
+        ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for f in ["left.nt", "right.nt", "truth.nt"] {
         assert!(dir.join(f).exists(), "{f} missing");
     }
@@ -63,7 +75,11 @@ fn full_pipeline_gen_link_improve_query() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let links = std::fs::read_to_string(p("links.nt")).expect("links written");
     assert!(links.lines().count() > 40, "too few links:\n{links}");
     assert!(links.contains("owl#sameAs"));
@@ -89,13 +105,29 @@ fn full_pipeline_gen_link_improve_query() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("initial"), "{stdout}");
     let improved = std::fs::read_to_string(p("improved.nt")).expect("improved written");
+    assert!(!improved.is_empty(), "improved links written");
+    // ALEX legitimately removes wrong links, so the improved set may be
+    // smaller than the input — what must not regress is quality.
+    let f_values: Vec<f64> = stdout
+        .lines()
+        .filter_map(|l| l.split("F ").nth(1)?.trim().parse().ok())
+        .collect();
     assert!(
-        improved.lines().count() >= links.lines().count(),
-        "ALEX should not lose links on this workload"
+        f_values.len() >= 2,
+        "expected initial + episode F-measures:\n{stdout}"
+    );
+    let (initial_f, final_f) = (f_values[0], *f_values.last().unwrap());
+    assert!(
+        final_f >= initial_f,
+        "ALEX should not degrade F-measure: {initial_f} -> {final_f}\n{stdout}"
     );
 
     // query with links: a federated ASK.
@@ -112,7 +144,11 @@ fn full_pipeline_gen_link_improve_query() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "true");
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -136,12 +172,159 @@ fn query_select_prints_bindings() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = stdout.lines().collect();
     assert_eq!(lines[0], "n");
     assert!(lines[1].contains("Alice"));
     assert!(lines[2].contains("Bob"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `alex improve --telemetry --metrics-dump --verbose`: the event log and
+/// metrics dump must be parseable and reconcile with the printed report.
+#[test]
+fn improve_telemetry_outputs_reconcile() {
+    use alex::telemetry::Event;
+
+    let dir = workdir("telemetry");
+    let p = |f: &str| dir.join(f).to_string_lossy().to_string();
+
+    let out = alex()
+        .args([
+            "gen",
+            "--out-dir",
+            &dir.to_string_lossy(),
+            "--pair",
+            "nba",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = alex()
+        .args([
+            "improve",
+            &p("left.nt"),
+            &p("right.nt"),
+            "--links",
+            &p("truth.nt"), // start from truth subset semantics: any valid links work
+            "--truth",
+            &p("truth.nt"),
+            "--episodes",
+            "5",
+            "--episode-size",
+            "40",
+            "--partitions",
+            "1",
+            "--out",
+            &p("improved.nt"),
+            "--telemetry",
+            &p("events.jsonl"),
+            "--metrics-dump",
+            &p("metrics.prom"),
+            "--verbose",
+        ])
+        .output()
+        .expect("spawn");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stderr}");
+
+    // Every JSONL line parses back into a typed event.
+    let jsonl = std::fs::read_to_string(p("events.jsonl")).expect("telemetry written");
+    let events: Vec<Event> = jsonl
+        .lines()
+        .map(|l| Event::parse(l).unwrap_or_else(|e| panic!("bad event line {l:?}: {e}")))
+        .collect();
+    assert!(!events.is_empty());
+
+    // Exactly one episode_end per reported episode ("ep N" stdout lines).
+    let reported_episodes = stdout
+        .lines()
+        .filter(|l| l.trim_start().starts_with("ep "))
+        .count();
+    let episode_ends: Vec<&Event> = events
+        .iter()
+        .filter(|e| matches!(e, Event::EpisodeEnd { .. }))
+        .collect();
+    assert_eq!(
+        episode_ends.len(),
+        reported_episodes,
+        "one episode_end event per reported episode\n{stdout}\n{jsonl}"
+    );
+
+    // The metrics dump is Prometheus text format; pull the link counters.
+    let prom = std::fs::read_to_string(p("metrics.prom")).expect("metrics written");
+    let counter = |name: &str| -> u64 {
+        prom.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .map(|v| v.trim().parse().expect("counter value"))
+            .unwrap_or(0)
+    };
+    assert!(
+        prom.contains("# TYPE alex_links_added_total counter"),
+        "{prom}"
+    );
+    let (added_total, removed_total) = (
+        counter("alex_links_added_total"),
+        counter("alex_links_removed_total"),
+    );
+
+    // Counters reconcile with the per-episode event sums...
+    let (mut ev_added, mut ev_removed) = (0u64, 0u64);
+    for e in &episode_ends {
+        if let Event::EpisodeEnd { added, removed, .. } = e {
+            ev_added += added;
+            ev_removed += removed;
+        }
+    }
+    assert_eq!(
+        added_total, ev_added,
+        "added counter vs episode events\n{prom}"
+    );
+    assert_eq!(
+        removed_total, ev_removed,
+        "removed counter vs episode events\n{prom}"
+    );
+
+    // ...and with the candidate-set delta: final = initial + added - removed.
+    let initial_usable: u64 = stderr
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("initial links: ")?
+                .split(' ')
+                .next()?
+                .parse()
+                .ok()
+        })
+        .expect("initial links line on stderr");
+    let final_links = std::fs::read_to_string(p("improved.nt"))
+        .expect("improved written")
+        .lines()
+        .count() as u64;
+    assert_eq!(
+        final_links,
+        initial_usable + added_total - removed_total,
+        "candidate-set delta must match the counters\n{stderr}\n{prom}"
+    );
+
+    // --verbose printed the span summary.
+    assert!(
+        stderr.contains("improve_partitioned"),
+        "span summary on stderr:\n{stderr}"
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -179,7 +362,11 @@ fn turtle_files_are_accepted() {
         .args(["stats", &data.to_string_lossy()])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("2"));
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -45,7 +45,10 @@ fn paris_then_alex_improves_f_measure() {
     })
     .link(&pair.left, &pair.right);
     let initial = linked.term_pairs();
-    assert!(!initial.is_empty(), "PARIS must find something to start from");
+    assert!(
+        !initial.is_empty(),
+        "PARIS must find something to start from"
+    );
 
     let space = LinkSpace::build(&pair.left, &pair.right, &SpaceConfig::default());
     let to_id = |l, r| Some((space.left_index().id(l)?, space.right_index().id(r)?));
@@ -54,10 +57,7 @@ fn paris_then_alex_improves_f_measure() {
         .iter()
         .filter_map(|&(l, r)| to_id(l, r))
         .collect();
-    let initial_ids: Vec<(u32, u32)> = initial
-        .iter()
-        .filter_map(|&(l, r)| to_id(l, r))
-        .collect();
+    let initial_ids: Vec<(u32, u32)> = initial.iter().filter_map(|&(l, r)| to_id(l, r)).collect();
 
     let cfg = AlexConfig {
         episode_size: 80,
@@ -70,10 +70,7 @@ fn paris_then_alex_improves_f_measure() {
 
     let q0 = report.initial_quality;
     let qf = report.final_quality();
-    assert!(
-        qf.recall >= q0.recall,
-        "recall regressed: {q0:?} -> {qf:?}"
-    );
+    assert!(qf.recall >= q0.recall, "recall regressed: {q0:?} -> {qf:?}");
     assert!(
         qf.f_measure >= q0.f_measure - 0.02,
         "F-measure regressed: {q0:?} -> {qf:?}"

@@ -31,7 +31,11 @@ fn knowledge_bases() -> (Dataset, Dataset) {
             "http://b/prop/headline",
             &format!("Story {i}"),
         );
-        right.add_iri(&format!("http://b/article/{i}"), "http://b/prop/about", &iri);
+        right.add_iri(
+            &format!("http://b/article/{i}"),
+            "http://b/prop/about",
+            &iri,
+        );
     }
     (left, right)
 }

@@ -46,9 +46,7 @@ fn run_with(cfg: AlexConfig, seed: u64) -> (f64, f64, f64) {
     let truth: HashSet<(u32, u32)> = pair
         .ground_truth
         .iter()
-        .filter_map(|&(l, r)| {
-            Some((space.left_index().id(l)?, space.right_index().id(r)?))
-        })
+        .filter_map(|&(l, r)| Some((space.left_index().id(l)?, space.right_index().id(r)?)))
         .collect();
     let initial: Vec<(u32, u32)> = truth.iter().copied().take(30).collect();
     let mut agent = Agent::new(space, &initial, cfg);
@@ -210,13 +208,9 @@ fn ten_percent_incorrect_feedback_degrades_gracefully() {
         qn.recall > qc.recall - 0.35,
         "recall degraded too much under 10% incorrect feedback: {qc:?} vs {qn:?}"
     );
+    assert!(qn.f_measure > 0.6, "noisy run collapsed: {qn:?}");
     assert!(
-        qn.f_measure > 0.6,
-        "noisy run collapsed: {qn:?}"
-    );
-    assert!(
-        !noisy.episodes.is_empty()
-            && noisy.episodes.last().map(|e| e.candidates).unwrap_or(0) > 0,
+        !noisy.episodes.is_empty() && noisy.episodes.last().map(|e| e.candidates).unwrap_or(0) > 0,
         "candidate set must survive noisy feedback"
     );
 }

@@ -80,15 +80,17 @@ fn queries_agree_before_and_after_round_trip() {
 #[test]
 fn generated_entities_are_queryable_by_type() {
     let ds = generated();
-    let query = parse(
-        "SELECT DISTINCT ?s WHERE { ?s <http://g.example.org/ontology/type> \"drug\" }",
-    )
-    .expect("parses");
+    let query =
+        parse("SELECT DISTINCT ?s WHERE { ?s <http://g.example.org/ontology/type> \"drug\" }")
+            .expect("parses");
     let mut engine = FederatedEngine::new();
     engine.add_endpoint(Box::new(DatasetEndpoint::new(ds)));
     let answers = engine.execute(&query).expect("evaluates");
     assert!(!answers.is_empty(), "generated drugs must be queryable");
     for a in &answers {
-        assert!(a.links_used.is_empty(), "single-source answers have no provenance");
+        assert!(
+            a.links_used.is_empty(),
+            "single-source answers have no provenance"
+        );
     }
 }
