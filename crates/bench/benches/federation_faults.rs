@@ -1,0 +1,130 @@
+//! Resilience overhead: the same federated join evaluated on a bare
+//! engine, through a no-op fault injector (measures the decorator +
+//! breaker/deadline bookkeeping alone), and under live transient faults
+//! with retries masking them (the full recovery path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use alex_rdf::Dataset;
+use alex_sparql::{
+    parse, BreakerConfig, DatasetEndpoint, FaultProfile, FaultyEndpoint, FederatedEngine, Query,
+    ResilienceConfig, RetryPolicy, SameAsLinks,
+};
+
+fn datasets() -> (Dataset, Dataset, Vec<(String, String)>) {
+    let mut left = Dataset::new("L");
+    let mut right = Dataset::new("R");
+    let mut links = Vec::new();
+    for i in 0..500 {
+        let li = format!("http://l/e{i}");
+        let ri = format!("http://r/e{i}");
+        left.add_str(&li, "http://l/label", &format!("Entity Number {i}"));
+        left.add_str(&li, "http://l/group", &format!("g{}", i % 10));
+        right.add_iri(&format!("http://r/doc{i}"), "http://r/about", &ri);
+        right.add_str(
+            &format!("http://r/doc{i}"),
+            "http://r/title",
+            &format!("Doc {i}"),
+        );
+        if i % 2 == 0 {
+            links.push((li, ri));
+        }
+    }
+    (left, right, links)
+}
+
+fn engine(profile: Option<FaultProfile>, resilience: Option<ResilienceConfig>) -> FederatedEngine {
+    let (left, right, links) = datasets();
+    let mut engine = FederatedEngine::new();
+    match profile {
+        Some(p) => {
+            engine.add_endpoint(Box::new(FaultyEndpoint::new(
+                DatasetEndpoint::new(left),
+                p.clone(),
+            )));
+            engine.add_endpoint(Box::new(FaultyEndpoint::new(
+                DatasetEndpoint::new(right),
+                p,
+            )));
+        }
+        None => {
+            engine.add_endpoint(Box::new(DatasetEndpoint::new(left)));
+            engine.add_endpoint(Box::new(DatasetEndpoint::new(right)));
+        }
+    }
+    engine.set_links(SameAsLinks::from_pairs(links));
+    if let Some(r) = resilience {
+        engine.set_resilience(r);
+    }
+    engine
+}
+
+fn federated_join() -> Query {
+    parse(
+        "SELECT ?doc ?o WHERE { \
+           ?s <http://l/group> \"g4\" . ?s <http://l/label> ?o . \
+           ?doc <http://r/about> ?s }",
+    )
+    .expect("query parses")
+}
+
+fn bench_federation_faults(c: &mut Criterion) {
+    let query = federated_join();
+    let mut g = c.benchmark_group("federation_faults");
+
+    // Baseline: no decorator, default resilience (no budget, no faults).
+    let bare = engine(None, None);
+    g.bench_function("bare", |b| {
+        b.iter(|| black_box(bare.execute(&query).expect("evaluates")))
+    });
+
+    // No-op profile: decorator in place, zero rates — measures the pure
+    // overhead of the fault-injection and resilience plumbing.
+    let noop = engine(Some(FaultProfile::none()), None);
+    g.bench_function("noop_profile", |b| {
+        b.iter(|| black_box(noop.execute(&query).expect("evaluates")))
+    });
+
+    // Deadline bookkeeping on every call, still fault-free.
+    let budget = ResilienceConfig {
+        endpoint_budget: Some(Duration::from_secs(5)),
+        ..ResilienceConfig::default()
+    };
+    let with_budget = engine(Some(FaultProfile::none()), Some(budget));
+    g.bench_function("noop_profile_with_budget", |b| {
+        b.iter(|| black_box(with_budget.execute(&query).expect("evaluates")))
+    });
+
+    // Live 20% transients masked by retries: the full recovery path.
+    let resilience = ResilienceConfig {
+        retry: RetryPolicy {
+            max_retries: 4,
+            initial_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(80),
+            ..RetryPolicy::default()
+        },
+        breaker: BreakerConfig {
+            failure_threshold: 50,
+            ..BreakerConfig::default()
+        },
+        ..ResilienceConfig::default()
+    };
+    let faulty = engine(
+        Some(FaultProfile {
+            seed: 0xFA17,
+            transient_rate: 0.2,
+            ..FaultProfile::none()
+        }),
+        Some(resilience),
+    );
+    g.bench_function("transient_20pct_retried", |b| {
+        b.iter(|| black_box(faulty.execute(&query).expect("retries mask the faults")))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_federation_faults);
+criterion_main!(benches);

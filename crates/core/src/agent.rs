@@ -48,6 +48,11 @@ pub struct EpisodeSummary {
     pub removed: usize,
     /// Rollbacks triggered.
     pub rollbacks: usize,
+    /// Feedback items the source withheld because the producing query
+    /// degraded (partial answers; see [`crate::query_feedback`]). Nonzero
+    /// `degraded` with zero feedback means "sources were down", not
+    /// "feedback dried up".
+    pub degraded: usize,
 }
 
 impl EpisodeSummary {
@@ -351,6 +356,7 @@ impl Agent {
                 summary.rollbacks += 1;
             }
         }
+        summary.degraded = source.take_degraded();
         self.end_episode();
         summary
     }

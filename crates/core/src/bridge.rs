@@ -67,11 +67,22 @@ impl FeedbackBridge {
     /// Translate feedback on a query answer into per-link feedback items:
     /// every link used by the answer receives the answer's judgment.
     /// Links that do not resolve to known entities are skipped.
+    ///
+    /// A rejected answer from a *degraded* query (partial completeness —
+    /// some sources were skipped) yields no feedback: the answer may look
+    /// wrong only because a down source withheld its join partners, so it
+    /// must not count as negative evidence against the links. Approvals
+    /// still flow — a correct answer is correct regardless of what else is
+    /// missing.
     pub fn feedback_for_answer(
         &self,
         answer: &QueryAnswer,
         approved: bool,
     ) -> Vec<((u32, u32), Feedback)> {
+        if !approved && !answer.completeness.is_complete() {
+            alex_telemetry::counter!("alex_degraded_feedback_withheld_total").inc();
+            return Vec::new();
+        }
         let feedback = if approved {
             Feedback::Positive
         } else {
@@ -88,7 +99,7 @@ impl FeedbackBridge {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use alex_sparql::Bindings;
+    use alex_sparql::{Bindings, Completeness};
 
     fn setup() -> (Dataset, Dataset, FeedbackBridge) {
         let mut left = Dataset::new("L");
@@ -131,6 +142,7 @@ mod tests {
                 Link::new("http://l/a", "http://r/1"),
                 Link::new("http://ghost/x", "http://ghost/y"),
             ],
+            completeness: Completeness::Complete,
         };
         let approved = bridge.feedback_for_answer(&answer, true);
         assert_eq!(approved, vec![((0, 0), Feedback::Positive)]);
@@ -144,7 +156,28 @@ mod tests {
         let answer = QueryAnswer {
             bindings: Bindings::new(),
             links_used: vec![],
+            completeness: Completeness::Complete,
         };
         assert!(bridge.feedback_for_answer(&answer, true).is_empty());
+    }
+
+    #[test]
+    fn partial_answer_rejection_is_withheld_but_approval_flows() {
+        let (_, _, bridge) = setup();
+        let answer = QueryAnswer {
+            bindings: Bindings::new(),
+            links_used: vec![Link::new("http://l/a", "http://r/1")],
+            completeness: Completeness::Partial {
+                skipped_sources: vec!["NYT".into()],
+            },
+        };
+        // The missing source may have withheld the join partners that would
+        // have made this answer look right: no negative evidence.
+        assert!(bridge.feedback_for_answer(&answer, false).is_empty());
+        // Approvals are unaffected by degradation.
+        assert_eq!(
+            bridge.feedback_for_answer(&answer, true),
+            vec![((0, 0), Feedback::Positive)]
+        );
     }
 }

@@ -3,7 +3,7 @@
 
 use std::collections::HashSet;
 
-use alex_telemetry::{emit, span, Event};
+use alex_telemetry::{counter, emit, span, Event};
 
 use crate::agent::Agent;
 use crate::feedback::FeedbackSource;
@@ -84,6 +84,14 @@ pub fn run(
         let duration = episode_span.elapsed();
 
         if summary.feedback_items() == 0 {
+            if summary.degraded > 0 {
+                // Every judgment this episode was withheld because queries
+                // degraded (sources down). Skip the episode — record
+                // nothing, corrupt nothing — and try again: the breakers
+                // may recover.
+                counter!("alex_degraded_episodes_skipped_total").inc();
+                continue;
+            }
             stop = StopReason::NoFeedback;
             break;
         }

@@ -28,6 +28,16 @@ pub trait FeedbackSource {
     /// Produce the next feedback item over the current candidate set.
     /// `None` means no feedback is available (e.g. the set is empty).
     fn next(&mut self, candidates: &CandidateSet, space: &LinkSpace) -> Option<(PairId, Feedback)>;
+
+    /// Feedback items withheld since the last call because the producing
+    /// query degraded (partial answers from a federation with skipped
+    /// sources). Returns the count and resets it. The driver uses this to
+    /// tell "no feedback because sources were down" (skip the episode)
+    /// apart from "no feedback available" (stop). Sources that never
+    /// degrade keep the default.
+    fn take_degraded(&mut self) -> usize {
+        0
+    }
 }
 
 /// Ground-truth oracle feedback with an optional error rate.

@@ -64,6 +64,7 @@ pub mod metrics;
 pub mod partition;
 pub mod policy;
 pub mod provenance;
+pub mod query_feedback;
 pub mod simmatrix;
 pub mod space;
 pub mod users;
@@ -82,6 +83,7 @@ pub use metrics::{EpisodeReport, Quality};
 pub use partition::{run_partitioned, PartitionTrace, PartitionedConfig, PartitionedRun};
 pub use policy::Policy;
 pub use provenance::{Provenance, StateAction};
+pub use query_feedback::{workload_from_links, QueryFeedback};
 pub use space::{LinkSpace, PairId, SpaceConfig};
 pub use users::{UserPopulation, UserProfile};
 pub use value_fn::ActionValue;

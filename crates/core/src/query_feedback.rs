@@ -1,0 +1,353 @@
+//! Query-answer feedback over a (possibly faulty) federation — the
+//! deployment mode of Fig. 1 packaged as a [`FeedbackSource`].
+//!
+//! [`QueryFeedback`] owns a [`FederatedEngine`] and a SPARQL workload. Each
+//! time the episode loop asks for feedback, it keeps the engine's sameAs
+//! links in sync with the agent's current candidate set, executes workload
+//! queries, judges every answer against the ground truth, and routes the
+//! judgments through the [`FeedbackBridge`] back to entity-id pairs.
+//!
+//! Degradation-aware: when the federation skips sources (outage, open
+//! circuit, blown budget), rejected answers from those *partial* results
+//! are withheld rather than converted into negative evidence — the answer
+//! may look wrong only because a down source withheld its join partners.
+//! Withheld judgments are reported through
+//! [`FeedbackSource::take_degraded`], so the driver can skip the episode
+//! instead of mistaking an outage for convergence.
+
+use std::collections::{HashSet, VecDeque};
+
+use alex_rdf::Dataset;
+use alex_sparql::{parse, FederatedEngine, Query, SameAsLinks};
+use alex_telemetry::counter;
+
+use crate::bridge::FeedbackBridge;
+use crate::candidates::CandidateSet;
+use crate::feedback::{Feedback, FeedbackSource};
+use crate::space::{LinkSpace, PairId};
+
+/// A feedback source that judges federated query answers against ground
+/// truth and feeds the verdicts back as link-level feedback.
+pub struct QueryFeedback {
+    engine: FederatedEngine,
+    left: Dataset,
+    right: Dataset,
+    queries: Vec<Query>,
+    bridge: FeedbackBridge,
+    truth: HashSet<(u32, u32)>,
+    pending: VecDeque<((u32, u32), Feedback)>,
+    /// Judgments withheld because the producing query degraded, since the
+    /// last `take_degraded` call.
+    degraded: usize,
+    /// Cumulative withheld judgments (for end-of-run reporting).
+    degraded_total: usize,
+    /// Round-robin position in the workload.
+    cursor: usize,
+}
+
+impl QueryFeedback {
+    /// Build a source over `engine` (endpoints already registered, fault
+    /// wrappers and resilience applied by the caller). `left`/`right` are
+    /// used to resolve the agent's candidate pairs back to IRIs when
+    /// syncing the engine's link index; `truth` holds ground-truth
+    /// entity-id pairs for judging answers.
+    pub fn new(
+        engine: FederatedEngine,
+        left: Dataset,
+        right: Dataset,
+        queries: Vec<Query>,
+        bridge: FeedbackBridge,
+        truth: HashSet<(u32, u32)>,
+    ) -> QueryFeedback {
+        QueryFeedback {
+            engine,
+            left,
+            right,
+            queries,
+            bridge,
+            truth,
+            pending: VecDeque::new(),
+            degraded: 0,
+            degraded_total: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Number of queries in the workload.
+    pub fn workload_len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Cumulative judgments withheld due to degraded queries.
+    pub fn degraded_total(&self) -> usize {
+        self.degraded_total
+    }
+
+    /// Borrow the engine (e.g. to inspect breaker states after a run).
+    pub fn engine(&self) -> &FederatedEngine {
+        &self.engine
+    }
+
+    /// Sync the engine's links to the candidate set, then execute workload
+    /// queries (round-robin) until at least one judgment is queued or a
+    /// full pass produced nothing. Returns whether anything was queued.
+    fn refill(&mut self, candidates: &CandidateSet, space: &LinkSpace) -> bool {
+        self.engine
+            .set_links(SameAsLinks::from_pairs(candidates.iter().map(|id| {
+                let (lt, rt) = space.pair_terms(id);
+                (
+                    self.left.resolve(lt).to_string(),
+                    self.right.resolve(rt).to_string(),
+                )
+            })));
+        for _ in 0..self.queries.len() {
+            let query = &self.queries[self.cursor % self.queries.len()];
+            self.cursor += 1;
+            match self.engine.execute_full(query) {
+                Ok(result) => {
+                    for answer in &result.answers {
+                        if answer.links_used.is_empty() {
+                            continue; // single-source answer: no link to judge
+                        }
+                        let approved = answer.links_used.iter().all(|link| {
+                            self.bridge
+                                .link_to_pair(link)
+                                .map(|p| self.truth.contains(&p))
+                                .unwrap_or(false)
+                        });
+                        if !approved && !answer.completeness.is_complete() {
+                            // The bridge would also withhold this, but count
+                            // it here so the episode knows why it was dry.
+                            self.degraded += 1;
+                            self.degraded_total += 1;
+                            continue;
+                        }
+                        self.pending
+                            .extend(self.bridge.feedback_for_answer(answer, approved));
+                    }
+                }
+                Err(_) => {
+                    // Fail-fast engines surface endpoint errors; treat the
+                    // whole query as degraded rather than crashing the run.
+                    counter!("alex_query_feedback_errors_total").inc();
+                    self.degraded += 1;
+                    self.degraded_total += 1;
+                }
+            }
+            if !self.pending.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl FeedbackSource for QueryFeedback {
+    fn next(&mut self, candidates: &CandidateSet, space: &LinkSpace) -> Option<(PairId, Feedback)> {
+        loop {
+            if let Some((pair, feedback)) = self.pending.pop_front() {
+                // Pairs come from links built out of the candidate set, so
+                // they resolve; anything foreign is silently dropped.
+                if let Some(id) = space.id_of(pair.0, pair.1) {
+                    return Some((id, feedback));
+                }
+                continue;
+            }
+            if self.queries.is_empty() || candidates.is_empty() {
+                return None;
+            }
+            if !self.refill(candidates, space) {
+                return None;
+            }
+        }
+    }
+
+    fn take_degraded(&mut self) -> usize {
+        std::mem::take(&mut self.degraded)
+    }
+}
+
+/// Build a federated query workload from IRI-level links: for each
+/// `(left IRI, right IRI)` pair, anchor the left entity by one of its
+/// literal attributes and request an attribute of the linked right entity —
+/// a query only answerable across a sameAs link (the paper's Fig. 1 shape):
+///
+/// ```sparql
+/// SELECT ?e ?v WHERE { ?e <left-pred> "left-literal" . ?e <right-pred> ?v }
+/// ```
+///
+/// Links whose entities lack usable attributes (or whose literals would
+/// need escaping) are skipped; at most `cap` queries are produced.
+pub fn workload_from_links(
+    left: &Dataset,
+    right: &Dataset,
+    links: &[(String, String)],
+    cap: usize,
+) -> Vec<Query> {
+    let mut out = Vec::new();
+    for (left_iri, right_iri) in links {
+        if out.len() >= cap {
+            break;
+        }
+        let Some(anchor) = literal_attribute(left, left_iri) else {
+            continue;
+        };
+        let Some(right_pred) = any_attribute_predicate(right, right_iri) else {
+            continue;
+        };
+        let (anchor_pred, anchor_value) = anchor;
+        let sparql = format!(
+            "SELECT ?e ?v WHERE {{ ?e <{anchor_pred}> \"{anchor_value}\" . \
+             ?e <{right_pred}> ?v }}"
+        );
+        if let Ok(query) = parse(&sparql) {
+            out.push(query);
+        }
+    }
+    out
+}
+
+/// The first literal attribute of `iri` that can be embedded in SPARQL
+/// without escaping.
+fn literal_attribute(ds: &Dataset, iri: &str) -> Option<(String, String)> {
+    let sym = ds.interner().get(iri)?;
+    let entity = ds.entity(alex_rdf::Term::Iri(sym));
+    entity.attributes.iter().find_map(|a| {
+        let value = a.objects.iter().find(|o| o.is_literal())?;
+        let lexical = ds.resolve(*value);
+        if lexical.contains('"') || lexical.contains('\\') {
+            return None;
+        }
+        Some((ds.resolve_sym(a.predicate).to_string(), lexical.to_string()))
+    })
+}
+
+/// The predicate of the first attribute `iri` has at all.
+fn any_attribute_predicate(ds: &Dataset, iri: &str) -> Option<String> {
+    let sym = ds.interner().get(iri)?;
+    let entity = ds.entity(alex_rdf::Term::Iri(sym));
+    entity
+        .attributes
+        .first()
+        .map(|a| ds.resolve_sym(a.predicate).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceConfig;
+    use alex_sparql::{DatasetEndpoint, FaultProfile, FaultyEndpoint};
+
+    /// Two aligned toy data sets with literal labels on both sides.
+    fn datasets() -> (Dataset, Dataset) {
+        let mut left = Dataset::new("L");
+        let mut right = Dataset::new("R");
+        for (i, name) in ["Alpha One", "Beta Two", "Gamma Three"].iter().enumerate() {
+            left.add_str(&format!("http://l/{i}"), "http://l/label", name);
+            right.add_str(&format!("http://r/{i}"), "http://r/name", name);
+        }
+        (left, right)
+    }
+
+    fn truth_links(left: &Dataset, right: &Dataset) -> Vec<(String, String)> {
+        let _ = (left, right);
+        (0..3)
+            .map(|i| (format!("http://l/{i}"), format!("http://r/{i}")))
+            .collect()
+    }
+
+    fn build_source(engine_faulty: bool) -> (QueryFeedback, LinkSpace, HashSet<(u32, u32)>) {
+        let (left, right) = datasets();
+        let space = LinkSpace::build(&left, &right, &SpaceConfig::default());
+        let bridge = FeedbackBridge::new(&left, space.left_index(), &right, space.right_index());
+        let links = truth_links(&left, &right);
+        let queries = workload_from_links(&left, &right, &links, 10);
+        assert_eq!(queries.len(), 3);
+        let mut engine = FederatedEngine::new();
+        if engine_faulty {
+            engine.add_endpoint(Box::new(FaultyEndpoint::new(
+                DatasetEndpoint::new(left.clone()),
+                FaultProfile {
+                    outage: Some((0, u64::MAX)),
+                    ..FaultProfile::none()
+                },
+            )));
+        } else {
+            engine.add_endpoint(Box::new(DatasetEndpoint::new(left.clone())));
+        }
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(right.clone())));
+        let truth: HashSet<(u32, u32)> = (0..3).map(|i| (i, i)).collect();
+        let source = QueryFeedback::new(engine, left, right, queries, bridge, truth.clone());
+        (source, space, truth)
+    }
+
+    #[test]
+    fn judges_answers_against_truth() {
+        let (mut source, mut space, truth) = datasets_with_wrong_link();
+        let mut candidates = CandidateSet::new();
+        // One correct link and one wrong link in the candidate set.
+        candidates.insert(space.ensure_pair(0, 0));
+        candidates.insert(space.ensure_pair(1, 2));
+        let mut saw_positive = false;
+        let mut saw_negative = false;
+        for _ in 0..20 {
+            let Some((id, fb)) = source.next(&candidates, &space) else {
+                break;
+            };
+            let pair = space.pair(id);
+            match fb {
+                Feedback::Positive => {
+                    assert!(truth.contains(&pair), "positive only on true links");
+                    saw_positive = true;
+                }
+                Feedback::Negative => {
+                    assert!(!truth.contains(&pair), "negative only on false links");
+                    saw_negative = true;
+                }
+            }
+        }
+        assert!(saw_positive, "correct link must be approved");
+        assert!(saw_negative, "wrong link must be rejected");
+        assert_eq!(source.take_degraded(), 0);
+    }
+
+    fn datasets_with_wrong_link() -> (QueryFeedback, LinkSpace, HashSet<(u32, u32)>) {
+        build_source(false)
+    }
+
+    #[test]
+    fn dead_source_degrades_instead_of_judging() {
+        let (mut source, mut space, _) = build_source(true);
+        let mut candidates = CandidateSet::new();
+        candidates.insert(space.ensure_pair(0, 0));
+        candidates.insert(space.ensure_pair(1, 2));
+        // The left endpoint is hard-down: anchors never match, so queries
+        // produce no judgeable answers — but crucially no negatives either.
+        assert_eq!(source.next(&candidates, &space), None);
+        assert_eq!(source.degraded_total(), 0, "no answers at all, none judged");
+    }
+
+    #[test]
+    fn empty_candidates_yield_nothing() {
+        let (mut source, space, _) = build_source(false);
+        assert_eq!(source.next(&CandidateSet::new(), &space), None);
+    }
+
+    #[test]
+    fn workload_skips_entities_without_attributes() {
+        let (left, right) = datasets();
+        let links = vec![
+            ("http://l/0".to_string(), "http://r/0".to_string()),
+            ("http://ghost/x".to_string(), "http://r/1".to_string()),
+        ];
+        let queries = workload_from_links(&left, &right, &links, 10);
+        assert_eq!(queries.len(), 1, "ghost entity contributes no query");
+    }
+
+    #[test]
+    fn workload_respects_cap() {
+        let (left, right) = datasets();
+        let links = truth_links(&left, &right);
+        assert_eq!(workload_from_links(&left, &right, &links, 2).len(), 2);
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::federation::resilience::EndpointError;
+
 /// Errors produced while parsing or evaluating SPARQL queries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SparqlError {
@@ -18,6 +20,15 @@ pub enum SparqlError {
     Eval(String),
     /// The query uses a feature outside the supported subset.
     Unsupported(String),
+    /// A federated endpoint failed and the engine was configured to
+    /// fail fast rather than degrade to a partial result.
+    Endpoint(EndpointError),
+}
+
+impl From<EndpointError> for SparqlError {
+    fn from(err: EndpointError) -> Self {
+        SparqlError::Endpoint(err)
+    }
 }
 
 impl fmt::Display for SparqlError {
@@ -29,6 +40,7 @@ impl fmt::Display for SparqlError {
             SparqlError::UnknownPrefix(p) => write!(f, "unknown prefix '{p}:'"),
             SparqlError::Eval(m) => write!(f, "evaluation error: {m}"),
             SparqlError::Unsupported(m) => write!(f, "unsupported SPARQL feature: {m}"),
+            SparqlError::Endpoint(e) => write!(f, "federated endpoint failure: {e}"),
         }
     }
 }
@@ -57,5 +69,10 @@ mod tests {
         assert!(SparqlError::Unsupported("OPTIONAL".into())
             .to_string()
             .contains("OPTIONAL"));
+        assert!(SparqlError::Endpoint(EndpointError::DeadlineExceeded {
+            endpoint: "NYT".into()
+        })
+        .to_string()
+        .contains("NYT"));
     }
 }

@@ -1,8 +1,16 @@
 //! Endpoints: the federation engine's view of a data source.
+//!
+//! Endpoint calls are fallible and budgeted: a remote SPARQL endpoint can
+//! error, stall, or truncate its response, so `matching` returns a
+//! `Result` and takes a per-call [`Deadline`]. The in-process
+//! [`DatasetEndpoint`] never fails on its own, but still honors the
+//! deadline so the executor's budget accounting is uniform.
 
 use alex_rdf::{Dataset, Term};
 
 use crate::value::Value;
+
+use super::resilience::{Deadline, EndpointError};
 
 /// A queryable data source. In-process wrapper around a data set here; a
 /// network SPARQL endpoint in a deployed system.
@@ -11,13 +19,29 @@ pub trait Endpoint {
     fn name(&self) -> &str;
 
     /// All triples matching the pattern; `None` positions are wildcards.
-    fn matching(&self, s: Option<&Value>, p: Option<&Value>, o: Option<&Value>) -> Vec<[Value; 3]>;
+    /// Fails when the source errors or the `deadline` expires mid-call.
+    fn matching(
+        &self,
+        s: Option<&Value>,
+        p: Option<&Value>,
+        o: Option<&Value>,
+        deadline: &Deadline,
+    ) -> Result<Vec<[Value; 3]>, EndpointError>;
 
-    /// Whether any triple matches (used for source selection). Default:
-    /// materialize and test, which implementations should override if they
-    /// can answer cheaper.
-    fn has_matches(&self, s: Option<&Value>, p: Option<&Value>, o: Option<&Value>) -> bool {
-        !self.matching(s, p, o).is_empty()
+    /// Whether any triple matches (used for source selection). The default
+    /// checks the deadline before materializing and propagates endpoint
+    /// errors — a failing source must surface as an error, never as a
+    /// silent "no matches". Implementations should override this when they
+    /// can answer without materializing the full result.
+    fn has_matches(
+        &self,
+        s: Option<&Value>,
+        p: Option<&Value>,
+        o: Option<&Value>,
+        deadline: &Deadline,
+    ) -> Result<bool, EndpointError> {
+        deadline.check(self.name())?;
+        Ok(!self.matching(s, p, o, deadline)?.is_empty())
     }
 }
 
@@ -56,11 +80,19 @@ impl Endpoint for DatasetEndpoint {
         self.dataset.name()
     }
 
-    fn matching(&self, s: Option<&Value>, p: Option<&Value>, o: Option<&Value>) -> Vec<[Value; 3]> {
+    fn matching(
+        &self,
+        s: Option<&Value>,
+        p: Option<&Value>,
+        o: Option<&Value>,
+        deadline: &Deadline,
+    ) -> Result<Vec<[Value; 3]>, EndpointError> {
+        deadline.check(self.name())?;
         let (Ok(s), Ok(p), Ok(o)) = (self.term_of(s), self.term_of(p), self.term_of(o)) else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
-        self.dataset
+        Ok(self
+            .dataset
             .graph()
             .matching(s, p, o)
             .map(|t| {
@@ -70,20 +102,29 @@ impl Endpoint for DatasetEndpoint {
                     Value::from_term(&self.dataset, t.object),
                 ]
             })
-            .collect()
+            .collect())
     }
 
-    fn has_matches(&self, s: Option<&Value>, p: Option<&Value>, o: Option<&Value>) -> bool {
+    fn has_matches(
+        &self,
+        s: Option<&Value>,
+        p: Option<&Value>,
+        o: Option<&Value>,
+        deadline: &Deadline,
+    ) -> Result<bool, EndpointError> {
+        deadline.check(self.name())?;
         let (Ok(s), Ok(p), Ok(o)) = (self.term_of(s), self.term_of(p), self.term_of(o)) else {
-            return false;
+            return Ok(false);
         };
-        self.dataset.graph().matching(s, p, o).next().is_some()
+        Ok(self.dataset.graph().matching(s, p, o).next().is_some())
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn endpoint() -> DatasetEndpoint {
         let mut ds = Dataset::new("T");
@@ -95,14 +136,21 @@ mod tests {
     #[test]
     fn wildcard_scan() {
         let ep = endpoint();
-        assert_eq!(ep.matching(None, None, None).len(), 2);
+        assert_eq!(
+            ep.matching(None, None, None, &Deadline::none())
+                .unwrap()
+                .len(),
+            2
+        );
     }
 
     #[test]
     fn bound_subject() {
         let ep = endpoint();
         let s = Value::iri("http://e/a");
-        let rows = ep.matching(Some(&s), None, None);
+        let rows = ep
+            .matching(Some(&s), None, None, &Deadline::none())
+            .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][2], Value::plain("Alpha"));
     }
@@ -111,21 +159,88 @@ mod tests {
     fn absent_constant_matches_nothing() {
         let ep = endpoint();
         let s = Value::iri("http://elsewhere/x");
-        assert!(ep.matching(Some(&s), None, None).is_empty());
-        assert!(!ep.has_matches(Some(&s), None, None));
+        assert!(ep
+            .matching(Some(&s), None, None, &Deadline::none())
+            .unwrap()
+            .is_empty());
+        assert!(!ep
+            .has_matches(Some(&s), None, None, &Deadline::none())
+            .unwrap());
     }
 
     #[test]
     fn has_matches_agrees_with_matching() {
         let ep = endpoint();
         let p = Value::iri("http://e/name");
-        assert!(ep.has_matches(None, Some(&p), None));
+        assert!(ep
+            .has_matches(None, Some(&p), None, &Deadline::none())
+            .unwrap());
         let q = Value::iri("http://e/other");
-        assert!(!ep.has_matches(None, Some(&q), None));
+        assert!(!ep
+            .has_matches(None, Some(&q), None, &Deadline::none())
+            .unwrap());
     }
 
     #[test]
     fn name_is_dataset_name() {
         assert_eq!(endpoint().name(), "T");
+    }
+
+    #[test]
+    fn expired_deadline_errors_instead_of_empty() {
+        let ep = endpoint();
+        let expired = Deadline::within(Duration::ZERO);
+        assert_eq!(
+            ep.matching(None, None, None, &expired),
+            Err(EndpointError::DeadlineExceeded {
+                endpoint: "T".into()
+            })
+        );
+        assert_eq!(
+            ep.has_matches(None, None, None, &expired),
+            Err(EndpointError::DeadlineExceeded {
+                endpoint: "T".into()
+            })
+        );
+    }
+
+    /// The trait-level `has_matches` default must propagate underlying
+    /// errors and check the deadline before materializing anything.
+    #[test]
+    fn default_has_matches_reports_errors() {
+        struct Flaky;
+        impl Endpoint for Flaky {
+            fn name(&self) -> &str {
+                "Flaky"
+            }
+            fn matching(
+                &self,
+                _s: Option<&Value>,
+                _p: Option<&Value>,
+                _o: Option<&Value>,
+                _deadline: &Deadline,
+            ) -> Result<Vec<[Value; 3]>, EndpointError> {
+                Err(EndpointError::Transient {
+                    endpoint: "Flaky".into(),
+                    message: "503".into(),
+                })
+            }
+        }
+        let err = Flaky.has_matches(None, None, None, &Deadline::none());
+        assert_eq!(
+            err,
+            Err(EndpointError::Transient {
+                endpoint: "Flaky".into(),
+                message: "503".into(),
+            })
+        );
+        // Expired deadline short-circuits before the (failing) call.
+        let err = Flaky.has_matches(None, None, None, &Deadline::within(Duration::ZERO));
+        assert_eq!(
+            err,
+            Err(EndpointError::DeadlineExceeded {
+                endpoint: "Flaky".into()
+            })
+        );
     }
 }

@@ -6,18 +6,34 @@
 //! per-answer link provenance. When a pattern's subject or object is bound
 //! to an IRI, the executor also probes every sameAs-equivalent IRI; any
 //! answer produced through an equivalent records the link that enabled it.
+//!
+//! Endpoints are treated as unreliable: every probe runs under the
+//! engine's [`ResilienceConfig`] — bounded retries with jittered
+//! exponential backoff for transient errors, a per-endpoint circuit
+//! breaker, and a per-call deadline. A source that stays down past its
+//! allowance is skipped for the rest of the query and the result degrades
+//! gracefully: remaining sources still answer, and both the query-level
+//! [`FederatedResult`] and each [`QueryAnswer`] carry a [`Completeness`]
+//! marker naming the skipped sources.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use alex_telemetry::{counter, emit, span, Event};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::ast::{Query, TermPattern, TriplePattern};
-use crate::error::Result;
+use crate::error::{Result, SparqlError};
 use crate::expr::{eval_expr, expr_variables, Bindings};
 use crate::value::Value;
 
 use super::endpoint::Endpoint;
 use super::links::{Link, SameAsLinks};
+use super::resilience::{
+    BreakerState, CircuitBreaker, Completeness, Deadline, EndpointError, ResilienceConfig,
+};
 
 /// One answer row: the projected bindings plus the sameAs links used to
 /// produce it. Feedback on the answer is feedback on those links (§3.2).
@@ -28,13 +44,52 @@ pub struct QueryAnswer {
     /// The sameAs links that bridged data sets for this answer, in stored
     /// orientation. Empty for single-source answers.
     pub links_used: Vec<Link>,
+    /// Whether every registered source contributed, or some were skipped.
+    /// A partial answer may be missing join partners, so consumers (the RL
+    /// loop in particular) should not treat it as negative evidence.
+    pub completeness: Completeness,
+}
+
+/// A query result with query-level completeness provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederatedResult {
+    /// The answer rows (each also carries the completeness marker).
+    pub answers: Vec<QueryAnswer>,
+    /// `Complete` when every source answered every probe; `Partial` with
+    /// the skipped source names otherwise.
+    pub completeness: Completeness,
+}
+
+impl FederatedResult {
+    /// Whether no source was skipped while computing this result.
+    pub fn is_complete(&self) -> bool {
+        self.completeness.is_complete()
+    }
 }
 
 /// A federation of endpoints plus the sameAs link index.
-#[derive(Default)]
 pub struct FederatedEngine {
     endpoints: Vec<Box<dyn Endpoint>>,
     links: SameAsLinks,
+    resilience: ResilienceConfig,
+    /// One breaker per endpoint (same order). Behind mutexes because
+    /// `execute` takes `&self`.
+    breakers: Vec<Mutex<CircuitBreaker>>,
+    /// Backoff-jitter RNG, seeded from the resilience config.
+    jitter_rng: Mutex<StdRng>,
+}
+
+impl Default for FederatedEngine {
+    fn default() -> Self {
+        let resilience = ResilienceConfig::default();
+        FederatedEngine {
+            endpoints: Vec::new(),
+            links: SameAsLinks::default(),
+            jitter_rng: Mutex::new(StdRng::seed_from_u64(resilience.seed)),
+            breakers: Vec::new(),
+            resilience,
+        }
+    }
 }
 
 /// Per-execution telemetry tallies, folded into the global counters and the
@@ -47,6 +102,14 @@ struct ExecStats {
     bound_join_iterations: u64,
     /// sameAs alternatives probed for bound subject/object IRIs.
     sameas_expansions: u64,
+    /// Retries of transient endpoint failures.
+    retries: u64,
+    /// Circuit-breaker transitions to open.
+    circuit_opens: u64,
+    /// Probes rejected because a breaker was open.
+    circuit_rejections: u64,
+    /// Probes that failed past the retry allowance (endpoint skipped).
+    endpoint_failures: u64,
 }
 
 impl FederatedEngine {
@@ -55,9 +118,35 @@ impl FederatedEngine {
         Self::default()
     }
 
-    /// Register an endpoint.
+    /// Register an endpoint (with a fresh circuit breaker).
     pub fn add_endpoint(&mut self, ep: Box<dyn Endpoint>) {
         self.endpoints.push(ep);
+        self.breakers.push(Mutex::new(CircuitBreaker::new(
+            self.resilience.breaker.clone(),
+        )));
+    }
+
+    /// Replace the resilience configuration, resetting all breakers and
+    /// re-seeding the backoff-jitter RNG.
+    pub fn set_resilience(&mut self, resilience: ResilienceConfig) {
+        self.jitter_rng = Mutex::new(StdRng::seed_from_u64(resilience.seed));
+        self.breakers = self
+            .endpoints
+            .iter()
+            .map(|_| Mutex::new(CircuitBreaker::new(resilience.breaker.clone())))
+            .collect();
+        self.resilience = resilience;
+    }
+
+    /// Borrow the resilience configuration.
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
+    }
+
+    /// The breaker state for endpoint `idx` (diagnostics).
+    pub fn breaker_state(&self, idx: usize) -> Option<BreakerState> {
+        let breaker = self.breakers.get(idx)?;
+        Some(lock_unpoisoned(breaker).state())
     }
 
     /// Replace the link index.
@@ -80,10 +169,23 @@ impl FederatedEngine {
         self.endpoints.len()
     }
 
-    /// Execute a parsed query.
+    /// Execute a parsed query, returning only the answer rows. Degradation
+    /// provenance is still available per answer; use [`execute_full`] for
+    /// the query-level marker.
+    ///
+    /// [`execute_full`]: FederatedEngine::execute_full
     pub fn execute(&self, query: &Query) -> Result<Vec<QueryAnswer>> {
+        Ok(self.execute_full(query)?.answers)
+    }
+
+    /// Execute a parsed query, returning answers plus query-level
+    /// completeness provenance.
+    pub fn execute_full(&self, query: &Query) -> Result<FederatedResult> {
         let query_span = span("federated_query");
         let mut stats = ExecStats::default();
+        // Sources skipped this execution (down past their retry allowance
+        // or shed by an open breaker). BTreeSet keeps provenance sorted.
+        let mut skipped: BTreeSet<String> = BTreeSet::new();
         let patterns: Vec<&TriplePattern> = query.patterns().collect();
         let pattern_count = patterns.len();
         let filters: Vec<_> = query.filters().collect();
@@ -100,6 +202,9 @@ impl FederatedEngine {
                 .first()
                 .map(|(b, _)| b.keys().cloned().collect())
                 .unwrap_or_default();
+            // Invariant: the loop condition guarantees `remaining` is
+            // non-empty, so max_by_key cannot return None.
+            #[allow(clippy::expect_used)]
             let (idx, _) = remaining
                 .iter()
                 .enumerate()
@@ -109,7 +214,14 @@ impl FederatedEngine {
 
             let mut next: Vec<(Bindings, Vec<Link>)> = Vec::new();
             for (bindings, links_used) in &partials {
-                self.extend_with_pattern(pattern, bindings, links_used, &mut next, &mut stats);
+                self.extend_with_pattern(
+                    pattern,
+                    bindings,
+                    links_used,
+                    &mut next,
+                    &mut stats,
+                    &mut skipped,
+                )?;
             }
             partials = next;
             if partials.is_empty() {
@@ -163,7 +275,8 @@ impl FederatedEngine {
             let mut next: Vec<(Bindings, Vec<Link>)> = Vec::new();
             for (bindings, links_used) in partials {
                 let seed = vec![(bindings.clone(), links_used.clone())];
-                let extended = self.join_patterns(seed, group.iter().collect(), &mut stats);
+                let extended =
+                    self.join_patterns(seed, group.iter().collect(), &mut stats, &mut skipped)?;
                 if extended.is_empty() {
                     next.push((bindings, links_used));
                 } else {
@@ -188,6 +301,14 @@ impl FederatedEngine {
             });
         }
 
+        let completeness = if skipped.is_empty() {
+            Completeness::Complete
+        } else {
+            Completeness::Partial {
+                skipped_sources: skipped.iter().cloned().collect(),
+            }
+        };
+
         // Projection, DISTINCT, LIMIT.
         let projection = query.projection();
         let mut answers: Vec<QueryAnswer> = Vec::with_capacity(partials.len());
@@ -211,6 +332,7 @@ impl FederatedEngine {
             answers.push(QueryAnswer {
                 bindings: projected,
                 links_used,
+                completeness: completeness.clone(),
             });
             if let Some(limit) = query.limit {
                 if answers.len() >= limit {
@@ -225,6 +347,14 @@ impl FederatedEngine {
         counter!("alex_bound_join_iterations_total").add(stats.bound_join_iterations);
         counter!("alex_sameas_expansions_total").add(stats.sameas_expansions);
         counter!("alex_provenance_answers_total").add(provenance_answers);
+        counter!("federation_retries_total").add(stats.retries);
+        counter!("federation_circuit_open_total").add(stats.circuit_opens);
+        counter!("federation_circuit_rejections_total").add(stats.circuit_rejections);
+        counter!("federation_endpoint_errors_total").add(stats.endpoint_failures);
+        if !skipped.is_empty() {
+            counter!("federation_degraded_queries_total").inc();
+            counter!("federation_degraded_answers_total").add(answers.len() as u64);
+        }
         emit!(Event::FederatedQuery {
             patterns: pattern_count as u64,
             answers: answers.len() as u64,
@@ -232,9 +362,14 @@ impl FederatedEngine {
             probes: stats.probes,
             bound_join_iterations: stats.bound_join_iterations,
             sameas_expansions: stats.sameas_expansions,
+            retries: stats.retries,
+            skipped_sources: skipped.len() as u64,
             duration_us: query_span.elapsed().as_micros() as u64,
         });
-        Ok(answers)
+        Ok(FederatedResult {
+            answers,
+            completeness,
+        })
     }
 
     /// Evaluate an ASK query (or any query as an existence check): whether
@@ -254,12 +389,16 @@ impl FederatedEngine {
         mut partials: Vec<(Bindings, Vec<Link>)>,
         mut remaining: Vec<&TriplePattern>,
         stats: &mut ExecStats,
-    ) -> Vec<(Bindings, Vec<Link>)> {
+        skipped: &mut BTreeSet<String>,
+    ) -> Result<Vec<(Bindings, Vec<Link>)>> {
         while !remaining.is_empty() && !partials.is_empty() {
             let bound_vars: HashSet<String> = partials
                 .first()
                 .map(|(b, _)| b.keys().cloned().collect())
                 .unwrap_or_default();
+            // Invariant: the loop condition guarantees `remaining` is
+            // non-empty, so max_by_key cannot return None.
+            #[allow(clippy::expect_used)]
             let (idx, _) = remaining
                 .iter()
                 .enumerate()
@@ -268,15 +407,17 @@ impl FederatedEngine {
             let pattern = remaining.remove(idx);
             let mut next = Vec::new();
             for (bindings, links_used) in &partials {
-                self.extend_with_pattern(pattern, bindings, links_used, &mut next, stats);
+                self.extend_with_pattern(pattern, bindings, links_used, &mut next, stats, skipped)?;
             }
             partials = next;
         }
-        partials
+        Ok(partials)
     }
 
     /// Join one pattern against all endpoints for one partial solution,
-    /// expanding bound IRIs through sameAs links.
+    /// expanding bound IRIs through sameAs links. Endpoint failures are
+    /// absorbed by the resilience layer: the failing source is skipped
+    /// (recorded in `skipped`) unless the engine is in fail-fast mode.
     fn extend_with_pattern(
         &self,
         pattern: &TriplePattern,
@@ -284,7 +425,8 @@ impl FederatedEngine {
         links_used: &[Link],
         out: &mut Vec<(Bindings, Vec<Link>)>,
         stats: &mut ExecStats,
-    ) {
+        skipped: &mut BTreeSet<String>,
+    ) -> Result<()> {
         stats.bound_join_iterations += 1;
 
         // Resolve each position: bound value (with sameAs alternatives for
@@ -299,9 +441,19 @@ impl FederatedEngine {
         for (s_val, s_link) in &s_alts {
             for p_val in &p_alts {
                 for (o_val, o_link) in &o_alts {
-                    for ep in &self.endpoints {
+                    for (i, _) in self.endpoints.iter().enumerate() {
                         stats.probes += 1;
-                        let rows = ep.matching(s_val.as_ref(), p_val.as_ref(), o_val.as_ref());
+                        let Some(rows) = self.probe_endpoint(
+                            i,
+                            s_val.as_ref(),
+                            p_val.as_ref(),
+                            o_val.as_ref(),
+                            stats,
+                            skipped,
+                        )?
+                        else {
+                            continue; // source skipped; degrade gracefully
+                        };
                         for [rs, rp, ro] in rows {
                             let mut b = bindings.clone();
                             if !bind_position(&mut b, bindings, &pattern.subject, rs) {
@@ -326,6 +478,96 @@ impl FederatedEngine {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// One resilient probe against endpoint `idx`: circuit-breaker
+    /// admission, bounded retries with jittered backoff for retryable
+    /// errors, and degradation to `Ok(None)` (endpoint skipped) on
+    /// ultimate failure — or a [`SparqlError::Endpoint`] in fail-fast mode.
+    fn probe_endpoint(
+        &self,
+        idx: usize,
+        s: Option<&Value>,
+        p: Option<&Value>,
+        o: Option<&Value>,
+        stats: &mut ExecStats,
+        skipped: &mut BTreeSet<String>,
+    ) -> Result<Option<Vec<[Value; 3]>>> {
+        let ep = &self.endpoints[idx];
+        let name = ep.name();
+        // Once a source is skipped it stays skipped for this query: further
+        // probes would only burn the remaining sources' time budget.
+        if skipped.contains(name) {
+            return Ok(None);
+        }
+        let breaker = &self.breakers[idx];
+        let retry = &self.resilience.retry;
+        let mut attempt: u32 = 0;
+        loop {
+            if !lock_unpoisoned(breaker).allow_at(Instant::now()) {
+                stats.circuit_rejections += 1;
+                return self.skip_endpoint(
+                    name,
+                    skipped,
+                    EndpointError::Unavailable {
+                        endpoint: name.to_string(),
+                        message: "circuit open".to_string(),
+                    },
+                );
+            }
+            let deadline = match self.resilience.endpoint_budget {
+                Some(budget) => Deadline::within(budget),
+                None => Deadline::none(),
+            };
+            match ep.matching(s, p, o, &deadline) {
+                Ok(rows) => {
+                    lock_unpoisoned(breaker).record_success();
+                    return Ok(Some(rows));
+                }
+                Err(err) => {
+                    if lock_unpoisoned(breaker).record_failure_at(Instant::now()) {
+                        stats.circuit_opens += 1;
+                    }
+                    if err.is_retryable() && attempt < retry.max_retries {
+                        stats.retries += 1;
+                        let backoff =
+                            retry.backoff(attempt, &mut lock_unpoisoned(&self.jitter_rng));
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        attempt += 1;
+                        continue;
+                    }
+                    stats.endpoint_failures += 1;
+                    return self.skip_endpoint(name, skipped, err);
+                }
+            }
+        }
+    }
+
+    /// Mark `name` skipped for this execution; in fail-fast mode the
+    /// failure aborts the query instead.
+    fn skip_endpoint(
+        &self,
+        name: &str,
+        skipped: &mut BTreeSet<String>,
+        err: EndpointError,
+    ) -> Result<Option<Vec<[Value; 3]>>> {
+        if self.resilience.fail_fast {
+            return Err(SparqlError::Endpoint(err));
+        }
+        skipped.insert(name.to_string());
+        Ok(None)
+    }
+}
+
+/// Lock a mutex, recovering the inner value if a previous holder panicked —
+/// breaker and RNG state stay usable (at worst slightly stale).
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
     }
 }
 
@@ -423,19 +665,37 @@ fn bind_position(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::federation::endpoint::DatasetEndpoint;
+    use crate::federation::fault::{FaultProfile, FaultyEndpoint};
+    use crate::federation::resilience::{BreakerConfig, RetryPolicy};
     use crate::parser::parse;
     use alex_rdf::Dataset;
+    use std::time::Duration;
 
     /// The paper's motivating scenario: NYT articles + DBpedia facts.
     fn engine() -> FederatedEngine {
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(dbpedia())));
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(nyt())));
+        engine.set_links(SameAsLinks::from_pairs(vec![(
+            "http://db/LeBron",
+            "http://nyt/lebron-james",
+        )]));
+        engine
+    }
+
+    fn dbpedia() -> Dataset {
         let mut dbpedia = Dataset::new("DBpedia");
         dbpedia.add_str("http://db/LeBron", "http://db/award", "NBA MVP 2013");
         dbpedia.add_str("http://db/LeBron", "http://db/label", "LeBron James");
         dbpedia.add_str("http://db/Durant", "http://db/award", "NBA MVP 2014");
+        dbpedia
+    }
 
+    fn nyt() -> Dataset {
         let mut nyt = Dataset::new("NYTimes");
         nyt.add_iri(
             "http://nyt/article1",
@@ -452,16 +712,33 @@ mod tests {
             "http://nyt/about",
             "http://nyt/someone-else",
         );
-
-        let mut engine = FederatedEngine::new();
-        engine.add_endpoint(Box::new(DatasetEndpoint::new(dbpedia)));
-        engine.add_endpoint(Box::new(DatasetEndpoint::new(nyt)));
-        engine.set_links(SameAsLinks::from_pairs(vec![(
-            "http://db/LeBron",
-            "http://nyt/lebron-james",
-        )]));
-        engine
+        nyt
     }
+
+    /// Tiny backoffs so resilience tests stay fast.
+    fn fast_resilience() -> ResilienceConfig {
+        ResilienceConfig {
+            retry: RetryPolicy {
+                max_retries: 6,
+                initial_backoff: Duration::from_micros(20),
+                multiplier: 2.0,
+                max_backoff: Duration::from_micros(100),
+                jitter: 0.5,
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 4,
+                cooldown: Duration::from_millis(1),
+                probe_successes: 1,
+            },
+            endpoint_budget: None,
+            fail_fast: false,
+            seed: 11,
+        }
+    }
+
+    const CROSS_SOURCE: &str = "SELECT ?article ?who WHERE { \
+           ?who <http://db/award> \"NBA MVP 2013\" . \
+           ?article <http://nyt/about> ?who }";
 
     #[test]
     fn single_source_query_has_no_provenance() {
@@ -471,21 +748,18 @@ mod tests {
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0].bindings["who"], Value::iri("http://db/LeBron"));
         assert!(answers[0].links_used.is_empty());
+        assert!(answers[0].completeness.is_complete());
     }
 
     #[test]
     fn cross_source_join_uses_same_as_and_records_provenance() {
         let engine = engine();
         // "Find all NYT articles about the NBA MVP of 2013."
-        let q = parse(
-            "SELECT ?article ?who WHERE { \
-               ?who <http://db/award> \"NBA MVP 2013\" . \
-               ?article <http://nyt/about> ?who }",
-        )
-        .unwrap();
-        let answers = engine.execute(&q).unwrap();
-        assert_eq!(answers.len(), 1);
-        let a = &answers[0];
+        let q = parse(CROSS_SOURCE).unwrap();
+        let result = engine.execute_full(&q).unwrap();
+        assert!(result.is_complete());
+        assert_eq!(result.answers.len(), 1);
+        let a = &result.answers[0];
         assert_eq!(a.bindings["article"], Value::iri("http://nyt/article1"));
         assert_eq!(
             a.links_used,
@@ -568,7 +842,9 @@ mod tests {
     fn empty_engine_returns_nothing() {
         let engine = FederatedEngine::new();
         let q = parse("SELECT * WHERE { ?s ?p ?o }").unwrap();
-        assert!(engine.execute(&q).unwrap().is_empty());
+        let result = engine.execute_full(&q).unwrap();
+        assert!(result.answers.is_empty());
+        assert!(result.is_complete());
     }
 
     #[test]
@@ -701,5 +977,189 @@ mod tests {
         let answers = engine.execute(&q).unwrap();
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0].links_used.len(), 1);
+    }
+
+    // ---- resilience behavior ------------------------------------------
+
+    #[test]
+    fn retries_recover_from_transient_faults() {
+        // 40% transient failures but 3 retries: the cross-source join must
+        // still produce its complete answer.
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(FaultyEndpoint::new(
+            DatasetEndpoint::new(dbpedia()),
+            FaultProfile {
+                seed: 3,
+                transient_rate: 0.4,
+                ..FaultProfile::none()
+            },
+        )));
+        engine.add_endpoint(Box::new(FaultyEndpoint::new(
+            DatasetEndpoint::new(nyt()),
+            FaultProfile {
+                seed: 4,
+                transient_rate: 0.4,
+                ..FaultProfile::none()
+            },
+        )));
+        engine.set_links(SameAsLinks::from_pairs(vec![(
+            "http://db/LeBron",
+            "http://nyt/lebron-james",
+        )]));
+        let mut cfg = fast_resilience();
+        // Plenty of headroom so the breaker cannot cut the retry loop
+        // short — this test isolates retry masking.
+        cfg.breaker.failure_threshold = 50;
+        engine.set_resilience(cfg);
+        let q = parse(CROSS_SOURCE).unwrap();
+        // Run several times: with retries the answer is stable.
+        for _ in 0..5 {
+            let result = engine.execute_full(&q).unwrap();
+            assert_eq!(result.answers.len(), 1, "retries must mask transients");
+            assert!(result.is_complete());
+        }
+    }
+
+    #[test]
+    fn dead_endpoint_degrades_with_provenance() {
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(dbpedia())));
+        engine.add_endpoint(Box::new(FaultyEndpoint::new(
+            DatasetEndpoint::new(nyt()),
+            FaultProfile {
+                outage: Some((0, u64::MAX)),
+                ..FaultProfile::none()
+            },
+        )));
+        engine.set_resilience(fast_resilience());
+        // A single-source query still answers from the healthy source, but
+        // the result is marked partial and names the dead one.
+        let q = parse("SELECT ?who WHERE { ?who <http://db/award> \"NBA MVP 2013\" }").unwrap();
+        let result = engine.execute_full(&q).unwrap();
+        assert_eq!(result.answers.len(), 1);
+        assert!(!result.is_complete());
+        assert_eq!(result.completeness.skipped(), ["NYTimes".to_string()]);
+        assert_eq!(
+            result.answers[0].completeness.skipped(),
+            ["NYTimes".to_string()],
+            "each answer carries the marker too"
+        );
+    }
+
+    #[test]
+    fn repeated_failures_open_the_breaker() {
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(FaultyEndpoint::new(
+            DatasetEndpoint::new(nyt()),
+            FaultProfile {
+                outage: Some((0, u64::MAX)),
+                ..FaultProfile::none()
+            },
+        )));
+        let mut cfg = fast_resilience();
+        cfg.breaker.failure_threshold = 1;
+        cfg.breaker.cooldown = Duration::from_secs(3600);
+        engine.set_resilience(cfg);
+        let q = parse("SELECT * WHERE { ?s ?p ?o }").unwrap();
+        let first = engine.execute_full(&q).unwrap();
+        assert!(!first.is_complete());
+        assert_eq!(engine.breaker_state(0), Some(BreakerState::Open));
+        // Next query is shed by the breaker without touching the endpoint,
+        // and still degrades with provenance.
+        let second = engine.execute_full(&q).unwrap();
+        assert_eq!(second.completeness.skipped(), ["NYTimes".to_string()]);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_recovers() {
+        let mut engine = FederatedEngine::new();
+        // Down for the first 3 calls, healthy afterwards.
+        engine.add_endpoint(Box::new(FaultyEndpoint::new(
+            DatasetEndpoint::new(dbpedia()),
+            FaultProfile {
+                outage: Some((0, 3)),
+                ..FaultProfile::none()
+            },
+        )));
+        let mut cfg = fast_resilience();
+        cfg.retry.max_retries = 0;
+        cfg.breaker.failure_threshold = 1;
+        cfg.breaker.cooldown = Duration::ZERO; // immediate half-open probe
+        engine.set_resilience(cfg);
+        let q = parse("SELECT ?who WHERE { ?who <http://db/award> \"NBA MVP 2013\" }").unwrap();
+        // Three executions burn the outage window (one probe each).
+        for _ in 0..3 {
+            assert!(!engine.execute_full(&q).unwrap().is_complete());
+        }
+        // Endpoint recovered; the half-open probe succeeds and closes.
+        let result = engine.execute_full(&q).unwrap();
+        assert!(result.is_complete(), "breaker must recover via probe");
+        assert_eq!(result.answers.len(), 1);
+        assert_eq!(engine.breaker_state(0), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn fail_fast_surfaces_endpoint_error() {
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(FaultyEndpoint::new(
+            DatasetEndpoint::new(nyt()),
+            FaultProfile {
+                outage: Some((0, u64::MAX)),
+                ..FaultProfile::none()
+            },
+        )));
+        let mut cfg = fast_resilience();
+        cfg.fail_fast = true;
+        engine.set_resilience(cfg);
+        let q = parse("SELECT * WHERE { ?s ?p ?o }").unwrap();
+        match engine.execute_full(&q) {
+            Err(SparqlError::Endpoint(EndpointError::Unavailable { endpoint, .. })) => {
+                assert_eq!(endpoint, "NYTimes");
+            }
+            other => panic!("expected endpoint error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_sources_down_yields_empty_partial_result() {
+        let mut engine = FederatedEngine::new();
+        for ds in [dbpedia(), nyt()] {
+            engine.add_endpoint(Box::new(FaultyEndpoint::new(
+                DatasetEndpoint::new(ds),
+                FaultProfile {
+                    outage: Some((0, u64::MAX)),
+                    ..FaultProfile::none()
+                },
+            )));
+        }
+        engine.set_resilience(fast_resilience());
+        let q = parse("SELECT * WHERE { ?s ?p ?o }").unwrap();
+        let result = engine.execute_full(&q).unwrap();
+        assert!(result.answers.is_empty());
+        assert_eq!(
+            result.completeness.skipped(),
+            ["DBpedia".to_string(), "NYTimes".to_string()],
+            "skipped sources are sorted and complete"
+        );
+    }
+
+    #[test]
+    fn per_endpoint_budget_skips_slow_sources() {
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(dbpedia())));
+        engine.add_endpoint(Box::new(FaultyEndpoint::new(
+            DatasetEndpoint::new(nyt()),
+            FaultProfile {
+                latency: Duration::from_millis(3),
+                ..FaultProfile::none()
+            },
+        )));
+        let mut cfg = fast_resilience();
+        cfg.endpoint_budget = Some(Duration::from_micros(200));
+        engine.set_resilience(cfg);
+        let q = parse("SELECT ?who WHERE { ?who <http://db/award> \"NBA MVP 2013\" }").unwrap();
+        let result = engine.execute_full(&q).unwrap();
+        assert_eq!(result.answers.len(), 1, "fast source still answers");
+        assert_eq!(result.completeness.skipped(), ["NYTimes".to_string()]);
     }
 }

@@ -53,6 +53,10 @@ pub use ast::{
 };
 pub use error::{Result, SparqlError};
 pub use expr::{eval_expr, Bindings};
-pub use federation::{DatasetEndpoint, Endpoint, FederatedEngine, Link, QueryAnswer, SameAsLinks};
+pub use federation::{
+    BreakerConfig, BreakerState, Completeness, DatasetEndpoint, Deadline, Endpoint, EndpointError,
+    FaultProfile, FaultyEndpoint, FederatedEngine, FederatedResult, Link, QueryAnswer,
+    ResilienceConfig, RetryPolicy, SameAsLinks,
+};
 pub use parser::parse;
 pub use value::Value;

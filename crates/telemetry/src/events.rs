@@ -96,6 +96,11 @@ pub enum Event {
         bound_join_iterations: u64,
         /// sameAs alternative expansions attempted.
         sameas_expansions: u64,
+        /// Transient endpoint failures that were retried.
+        retries: u64,
+        /// Sources skipped (down past their budget or circuit open); the
+        /// result was degraded when this is nonzero.
+        skipped_sources: u64,
         /// Execution wall-clock time in microseconds.
         duration_us: u64,
     },
@@ -193,6 +198,8 @@ impl Event {
                 probes,
                 bound_join_iterations,
                 sameas_expansions,
+                retries,
+                skipped_sources,
                 duration_us,
             } => {
                 w.u64("patterns", *patterns)
@@ -201,6 +208,8 @@ impl Event {
                     .u64("probes", *probes)
                     .u64("bound_join_iterations", *bound_join_iterations)
                     .u64("sameas_expansions", *sameas_expansions)
+                    .u64("retries", *retries)
+                    .u64("skipped_sources", *skipped_sources)
                     .u64("duration_us", *duration_us);
             }
             Event::ParisIteration {
@@ -299,6 +308,8 @@ impl Event {
                 probes: get_u64("probes")?,
                 bound_join_iterations: get_u64("bound_join_iterations")?,
                 sameas_expansions: get_u64("sameas_expansions")?,
+                retries: get_u64("retries")?,
+                skipped_sources: get_u64("skipped_sources")?,
                 duration_us: get_u64("duration_us")?,
             }),
             "paris_iteration" => Ok(Event::ParisIteration {

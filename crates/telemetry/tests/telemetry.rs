@@ -195,6 +195,8 @@ fn all_event_variants() -> Vec<Event> {
             probes: 40,
             bound_join_iterations: 9,
             sameas_expansions: 4,
+            retries: 3,
+            skipped_sources: 1,
             duration_us: 99,
         },
         Event::ParisIteration {

@@ -10,7 +10,16 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> panic-free federation gate (unwrap/expect banned in crates/sparql/src/federation/)"
+# The federation modules carry #[deny(clippy::unwrap_used, clippy::expect_used)]
+# (see crates/sparql/src/federation/mod.rs); this run fails the build if a
+# new unwrap/expect sneaks into the fault-handling path.
+cargo clippy -p alex-sparql -- -D warnings
+
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> chaos suite (seeded fault injection over the full improve loop)"
+cargo test --test chaos_federation -q
 
 echo "CI OK"

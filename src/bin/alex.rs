@@ -20,11 +20,17 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use alex::core::{run_partitioned, AlexConfig, PartitionedConfig, Quality, SpaceConfig};
+use alex::core::{
+    driver, run_partitioned, workload_from_links, Agent, AlexConfig, FeedbackBridge, LinkSpace,
+    PartitionedConfig, Quality, QueryFeedback, SpaceConfig,
+};
 use alex::datagen::{all_pairs, generate_pair, DatasetKind, PairSpec};
 use alex::linking::{LabelBaseline, LinkerOutput, Paris, ParisConfig};
 use alex::rdf::{ntriples, turtle, Dataset, Term};
-use alex::sparql::{parse, DatasetEndpoint, FederatedEngine, SameAsLinks};
+use alex::sparql::{
+    parse, Completeness, DatasetEndpoint, Endpoint, FaultProfile, FaultyEndpoint, FederatedEngine,
+    ResilienceConfig, SameAsLinks,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,7 +83,29 @@ USAGE:
              (--query-file FILE | QUERY)
       Evaluate a SPARQL query (SELECT or ASK) over one or more data
       sets federated through optional sameAs links; answers produced
-      through links show their provenance.
+      through links show their provenance. Partial results (skipped
+      sources) are reported on stderr.
+
+  improve also accepts --feedback oracle|query (default oracle).
+  With 'query', feedback comes from judging federated query answers
+  over the two data sets (the paper's deployment loop) instead of
+  sampling the ground truth directly; --queries N caps the workload
+  size (default 50).
+
+FAULT TOLERANCE (improve --feedback query, and query):
+  --fault-profile SPEC      Inject deterministic faults into every
+                            endpoint, e.g.
+                            'seed=7,transient=0.3,truncate=0.1,latency-ms=5,outage=100..200'
+                            (rates in [0,1]; outage is a call-index
+                            window, 'start..' means forever).
+  --retries N               Max retry attempts per endpoint call
+                            (default 2; exponential backoff + jitter).
+  --backoff-ms MS           Initial retry backoff (default 10).
+  --endpoint-budget-ms MS   Per-call deadline; calls past the budget
+                            fail with a deadline error (default: none).
+  --fail-fast               Turn graceful degradation off: any endpoint
+                            failure aborts the query instead of
+                            completing partially without that source.
 
 OBSERVABILITY (improve and query):
   --telemetry FILE.jsonl    Write the structured event log (one JSON
@@ -100,7 +128,7 @@ fn split_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "baseline" || name == "verbose" {
+            if name == "baseline" || name == "verbose" || name == "fail-fast" {
                 flags.push((name.to_string(), "true".to_string()));
                 i += 1;
                 continue;
@@ -211,6 +239,53 @@ impl TelemetryOpts {
             eprint!("{}", telemetry.spans().render_summary());
         }
         Ok(())
+    }
+}
+
+/// Build the endpoint resilience policy from the shared fault-tolerance
+/// flags; `None` when no flag was given (keep the engine's default).
+fn resilience_from_flags(flags: &Flags) -> Result<Option<ResilienceConfig>, String> {
+    let mut cfg = ResilienceConfig::default();
+    let mut touched = false;
+    if let Some(v) = flag(flags, "retries") {
+        cfg.retry.max_retries = v
+            .parse()
+            .map_err(|_| format!("invalid value '{v}' for --retries"))?;
+        touched = true;
+    }
+    if let Some(v) = flag(flags, "backoff-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("invalid value '{v}' for --backoff-ms"))?;
+        cfg.retry.initial_backoff = std::time::Duration::from_millis(ms);
+        touched = true;
+    }
+    if let Some(v) = flag(flags, "endpoint-budget-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("invalid value '{v}' for --endpoint-budget-ms"))?;
+        cfg.endpoint_budget = Some(std::time::Duration::from_millis(ms));
+        touched = true;
+    }
+    if flag(flags, "fail-fast").is_some() {
+        cfg.fail_fast = true;
+        touched = true;
+    }
+    Ok(touched.then_some(cfg))
+}
+
+/// Parse `--fault-profile` when present.
+fn fault_profile_from_flags(flags: &Flags) -> Result<Option<FaultProfile>, String> {
+    flag(flags, "fault-profile")
+        .map(|spec| FaultProfile::parse(spec).map_err(|e| format!("--fault-profile: {e}")))
+        .transpose()
+}
+
+/// Wrap a dataset endpoint in the fault injector when a profile is active.
+fn make_endpoint(ds: Dataset, profile: &Option<FaultProfile>) -> Box<dyn Endpoint> {
+    match profile {
+        Some(p) => Box::new(FaultyEndpoint::new(DatasetEndpoint::new(ds), p.clone())),
+        None => Box::new(DatasetEndpoint::new(ds)),
     }
 }
 
@@ -357,6 +432,18 @@ fn cmd_improve(args: &[String]) -> Result<(), String> {
     let links = load_links(flag(&flags, "links").ok_or("--links is required")?)?;
     let truth = load_links(flag(&flags, "truth").ok_or("--truth is required")?)?;
 
+    match flag(&flags, "feedback").unwrap_or("oracle") {
+        "oracle" => {}
+        "query" => {
+            return improve_with_query_feedback(&left, &right, &links, &truth, &flags, &telemetry)
+        }
+        other => {
+            return Err(format!(
+                "--feedback must be 'oracle' or 'query', got '{other}'"
+            ))
+        }
+    }
+
     let to_term_pairs = |set: &SameAsLinks| -> Vec<(Term, Term)> {
         set.iter()
             .filter_map(|l| {
@@ -420,6 +507,113 @@ fn cmd_improve(args: &[String]) -> Result<(), String> {
     telemetry.finish()
 }
 
+/// `improve --feedback query`: the paper's deployment loop. Feedback comes
+/// from judging federated query answers (via the bridge) instead of
+/// sampling the ground truth directly; with `--fault-profile` the
+/// federation degrades and the driver must cope.
+fn improve_with_query_feedback(
+    left: &Dataset,
+    right: &Dataset,
+    links: &SameAsLinks,
+    truth: &SameAsLinks,
+    flags: &Flags,
+    telemetry: &TelemetryOpts,
+) -> Result<(), String> {
+    let left_index = left.entity_index();
+    let right_index = right.entity_index();
+    let to_ids = |set: &SameAsLinks| -> Vec<(u32, u32)> {
+        set.iter()
+            .filter_map(|l| {
+                let lt = left.interner().get(&l.left).map(Term::Iri)?;
+                let rt = right.interner().get(&l.right).map(Term::Iri)?;
+                Some((left_index.id(lt)?, right_index.id(rt)?))
+            })
+            .collect()
+    };
+    let initial_ids = to_ids(links);
+    let truth_ids: std::collections::HashSet<(u32, u32)> = to_ids(truth).into_iter().collect();
+    if truth_ids.is_empty() {
+        return Err("no ground-truth link references entities of these data sets".into());
+    }
+
+    // Queries anchored on ground-truth links: each is answerable only by
+    // crossing a sameAs link, so its answers carry judgeable provenance.
+    let truth_iris: Vec<(String, String)> = truth
+        .iter()
+        .map(|l| (l.left.clone(), l.right.clone()))
+        .collect();
+    let queries = workload_from_links(left, right, &truth_iris, parse_flag(flags, "queries", 50)?);
+    if queries.is_empty() {
+        return Err("could not derive any federated query from the ground-truth links".into());
+    }
+    eprintln!(
+        "initial links: {} usable of {}; ground truth: {} usable of {}; workload: {} queries",
+        initial_ids.len(),
+        links.len(),
+        truth_ids.len(),
+        truth.len(),
+        queries.len()
+    );
+
+    let profile = fault_profile_from_flags(flags)?;
+    let mut engine = FederatedEngine::new();
+    engine.add_endpoint(make_endpoint(left.clone(), &profile));
+    engine.add_endpoint(make_endpoint(right.clone(), &profile));
+    if let Some(resilience) = resilience_from_flags(flags)? {
+        engine.set_resilience(resilience);
+    }
+
+    let space = LinkSpace::build(left, right, &SpaceConfig::default());
+    let bridge = FeedbackBridge::new(left, space.left_index(), right, space.right_index());
+    let cfg = AlexConfig {
+        episode_size: parse_flag(flags, "episode-size", 200)?,
+        max_episodes: parse_flag(flags, "episodes", 40)?,
+        ..AlexConfig::default()
+    };
+    let mut agent = Agent::new(space, &initial_ids, cfg);
+    let mut source = QueryFeedback::new(
+        engine,
+        left.clone(),
+        right.clone(),
+        queries,
+        bridge,
+        truth_ids.clone(),
+    );
+    let report = driver::run(&mut agent, &mut source, &truth_ids);
+
+    let print_q = |tag: &str, q: Quality| {
+        println!(
+            "{tag:>8}  P {:.3}  R {:.3}  F {:.3}",
+            q.precision, q.recall, q.f_measure
+        );
+    };
+    print_q("initial", report.initial_quality);
+    for e in &report.episodes {
+        print_q(&format!("ep {}", e.episode), e.quality);
+    }
+    println!(
+        "stopped: {:?} after {} episodes ({:.2?})",
+        report.stop,
+        report.episodes.len(),
+        report.total_duration
+    );
+    if source.degraded_total() > 0 {
+        eprintln!(
+            "{} judgment(s) withheld because queries degraded (skipped sources)",
+            source.degraded_total()
+        );
+    }
+
+    if let Some(out) = flag(flags, "out") {
+        let final_links = SameAsLinks::from_pairs(agent.candidates().iter().map(|id| {
+            let (lt, rt) = agent.space().pair_terms(id);
+            (left.resolve(lt).to_string(), right.resolve(rt).to_string())
+        }));
+        write_or_print(Some(out), &final_links.to_ntriples())?;
+    }
+    telemetry.finish()
+}
+
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (positional, flags) = split_args(args)?;
     let data_files: Vec<&str> = flags
@@ -442,12 +636,16 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     };
     let query = parse(&query_text).map_err(|e| format!("query: {e}"))?;
 
+    let profile = fault_profile_from_flags(&flags)?;
     let mut engine = FederatedEngine::new();
     for f in &data_files {
-        engine.add_endpoint(Box::new(DatasetEndpoint::new(load_dataset(f)?)));
+        engine.add_endpoint(make_endpoint(load_dataset(f)?, &profile));
     }
     if let Some(links_path) = flag(&flags, "links") {
         engine.set_links(load_links(links_path)?);
+    }
+    if let Some(resilience) = resilience_from_flags(&flags)? {
+        engine.set_resilience(resilience);
     }
 
     if query.kind == alex::sparql::QueryKind::Ask {
@@ -455,9 +653,16 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         println!("{answer}");
         return telemetry.finish();
     }
-    let answers = engine
-        .execute(&query)
+    let result = engine
+        .execute_full(&query)
         .map_err(|e| format!("evaluation: {e}"))?;
+    if let Completeness::Partial { skipped_sources } = &result.completeness {
+        eprintln!(
+            "warning: partial result — skipped source(s): {}",
+            skipped_sources.join(", ")
+        );
+    }
+    let answers = result.answers;
     let vars = query.projection();
     println!("{}", vars.join("\t"));
     for a in &answers {
