@@ -1,7 +1,7 @@
 //! Automatic-linking substrate: token blocking, the PARIS-like aligner, and
 //! the label baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use alex_datagen::{generate_pair, Domain, Flavor, GeneratedPair, PairConfig, SideConfig};
@@ -53,6 +53,21 @@ fn bench_linking(c: &mut Criterion) {
         let linker = Paris::new();
         b.iter(|| black_box(linker.link(&pair.left, &pair.right)))
     });
+    // Thread sweep: the aligner's pair scoring and relation-equivalence
+    // estimation run on the deterministic pool, so the output is
+    // byte-identical at every width — only the wall clock moves.
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("paris_like_threads", threads),
+            &threads,
+            |b, &t| {
+                alex_parallel::set_threads(t);
+                let linker = Paris::new();
+                b.iter(|| black_box(linker.link(&pair.left, &pair.right)));
+            },
+        );
+    }
+    alex_parallel::set_threads(0);
     g.finish();
 }
 

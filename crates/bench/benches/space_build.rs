@@ -1,0 +1,117 @@
+//! Link-space construction: the blocked-candidate feature pass that the
+//! deterministic worker pool parallelizes, swept over thread counts.
+//!
+//! In measure mode (`cargo bench`) this target also writes
+//! `BENCH_parallel.json` at the repo root: a machine-readable snapshot of
+//! the thread sweep (mean per-iteration time and speedup vs one thread)
+//! for the space build and the PARIS aligner, so scaling regressions show
+//! up in review diffs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use alex_core::{LinkSpace, SpaceConfig};
+use alex_datagen::{generate_pair, Domain, Flavor, GeneratedPair, PairConfig, SideConfig};
+use alex_linking::Paris;
+
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn pair() -> GeneratedPair {
+    generate_pair(&PairConfig {
+        seed: 42,
+        left: SideConfig {
+            name: "L".into(),
+            ns: "http://l.example.org/".into(),
+            flavor: Flavor::Left,
+            noise: 0.1,
+            drop_prob: 0.12,
+            sparse: false,
+        },
+        right: SideConfig {
+            name: "R".into(),
+            ns: "http://r.example.org/".into(),
+            flavor: Flavor::Right,
+            noise: 0.12,
+            drop_prob: 0.12,
+            sparse: false,
+        },
+        shared: 120,
+        left_only: 200,
+        right_only: 60,
+        confusable_frac: 0.25,
+        domains: vec![Domain::Person, Domain::Drug],
+        left_extra_domains: Domain::ALL.to_vec(),
+    })
+}
+
+fn bench_space_build(c: &mut Criterion) {
+    let pair = pair();
+    let cfg = SpaceConfig::default();
+    let mut g = c.benchmark_group("space_build");
+    g.sample_size(10);
+    for threads in SWEEP {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            alex_parallel::set_threads(t);
+            b.iter(|| black_box(LinkSpace::build(&pair.left, &pair.right, &cfg)));
+        });
+    }
+    alex_parallel::set_threads(0);
+    g.finish();
+    write_snapshot(&pair, &cfg);
+}
+
+/// Mean microseconds per iteration of `f` over a small fixed batch.
+fn mean_us(iters: u32, mut f: impl FnMut()) -> f64 {
+    // One unmeasured warm-up iteration.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_micros() as f64 / iters as f64
+}
+
+fn write_snapshot(pair: &GeneratedPair, cfg: &SpaceConfig) {
+    // Snapshots are wall-clock measurements; only meaningful (and only
+    // worth the time) under `cargo bench`, not the smoke pass.
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    let mut rows = Vec::new();
+    let mut base = (0.0f64, 0.0f64);
+    for threads in SWEEP {
+        alex_parallel::set_threads(threads);
+        let build_us = mean_us(5, || {
+            black_box(LinkSpace::build(&pair.left, &pair.right, cfg));
+        });
+        let paris_us = mean_us(3, || {
+            black_box(Paris::new().link(&pair.left, &pair.right));
+        });
+        if threads == 1 {
+            base = (build_us, paris_us);
+        }
+        rows.push(format!(
+            "    {{\"threads\":{threads},\"space_build_us\":{build_us:.1},\
+             \"space_build_speedup\":{:.2},\"paris_align_us\":{paris_us:.1},\
+             \"paris_align_speedup\":{:.2}}}",
+            base.0 / build_us,
+            base.1 / paris_us,
+        ));
+    }
+    alex_parallel::set_threads(0);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_sweep\",\n  \"host_cores\": {cores},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_space_build);
+criterion_main!(benches);

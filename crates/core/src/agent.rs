@@ -156,12 +156,19 @@ impl Agent {
         self.episodes_completed
     }
 
-    /// Current candidate links as entity-id pairs.
+    /// Current candidate links as entity-id pairs, sorted by
+    /// `(left, right)`. The candidate set iterates in hash order, which
+    /// varies between processes; sorting here keeps every downstream
+    /// consumer (CLI output, serialized link sets, tests) byte-stable
+    /// across runs and thread counts.
     pub fn candidate_pairs(&self) -> Vec<(u32, u32)> {
-        self.candidates
+        let mut pairs: Vec<(u32, u32)> = self
+            .candidates
             .iter()
             .map(|id| self.space.pair(id))
-            .collect()
+            .collect();
+        pairs.sort_unstable();
+        pairs
     }
 
     /// Process one feedback item (policy evaluation, Algorithm 1 lines

@@ -132,6 +132,7 @@ pub fn run(
             added: summary.added as u64,
             removed: summary.removed as u64,
             rollbacks: summary.rollbacks as u64,
+            threads: alex_parallel::configured_threads() as u64,
             duration_us: duration.as_micros() as u64,
         });
 

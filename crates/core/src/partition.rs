@@ -357,6 +357,7 @@ pub fn run_partitioned(
             added: added as u64,
             removed: removed as u64,
             rollbacks: rollbacks as u64,
+            threads: alex_parallel::configured_threads() as u64,
             duration_us: duration.as_micros() as u64,
         });
         if relaxed_converged_at.is_none() && change_frac < cfg.alex.relaxed_convergence_frac {

@@ -10,29 +10,31 @@
 use alex_rdf::Sym;
 use alex_sim::{value_similarity, TypedValue};
 
-use crate::feature::{FeatureCatalog, FeatureId, FeaturePair, FeatureSet};
+use crate::feature::{FeatureCatalog, FeaturePair, FeatureSet};
 
-/// Build the state feature set for one entity pair.
+/// Catalog-free similarity pass for one entity pair: the state feature
+/// set as `(FeaturePair, score)` entries in best-counterpart discovery
+/// order, deduplicated (max score per pair), *not yet interned*.
 ///
-/// `left_attrs` / `right_attrs` are the typed attribute lists; the result is
-/// sorted by [`FeatureId`] with one entry per distinct feature (max score).
-/// Returns an empty set when no attribute pair reaches θ — such pairs are
-/// dropped from the link space (§6.1).
-pub fn feature_set(
+/// This is the parallel-safe half of [`feature_set`]: it touches no
+/// shared state, so worker threads can compute it for disjoint candidate
+/// chunks while the single-threaded caller interns the results in
+/// original candidate order — reproducing the sequential intern order
+/// exactly, which keeps [`FeatureId`]s byte-identical at any thread count.
+pub fn raw_feature_set(
     left_attrs: &[(Sym, TypedValue)],
     right_attrs: &[(Sym, TypedValue)],
     theta: f64,
-    catalog: &mut FeatureCatalog,
-) -> FeatureSet {
+) -> Vec<(FeaturePair, f64)> {
     let n = left_attrs.len();
     let m = right_attrs.len();
     if n == 0 || m == 0 {
         return Vec::new();
     }
-    let mut set: FeatureSet = Vec::new();
-    let mut push = |id: FeatureId, score: f64| match set.iter_mut().find(|(f, _)| *f == id) {
+    let mut set: Vec<(FeaturePair, f64)> = Vec::new();
+    let mut push = |pair: FeaturePair, score: f64| match set.iter_mut().find(|(p, _)| *p == pair) {
         Some((_, s)) => *s = s.max(score),
-        None => set.push((id, score)),
+        None => set.push((pair, score)),
     };
 
     if n >= m {
@@ -46,11 +48,13 @@ pub fn feature_set(
                 }
             }
             if let Some((rp, score)) = best {
-                let id = catalog.intern(FeaturePair {
-                    left: lp,
-                    right: rp,
-                });
-                push(id, score);
+                push(
+                    FeaturePair {
+                        left: lp,
+                        right: rp,
+                    },
+                    score,
+                );
             }
         }
     } else {
@@ -64,16 +68,47 @@ pub fn feature_set(
                 }
             }
             if let Some((lp, score)) = best {
-                let id = catalog.intern(FeaturePair {
-                    left: lp,
-                    right: rp,
-                });
-                push(id, score);
+                push(
+                    FeaturePair {
+                        left: lp,
+                        right: rp,
+                    },
+                    score,
+                );
             }
         }
     }
+    set
+}
+
+/// Intern a [`raw_feature_set`] result into `catalog`, in discovery order,
+/// and sort by [`FeatureId`]. Split out so [`feature_set`] and the
+/// parallel build's ordered merge share one interning path.
+pub fn intern_feature_set(
+    raw: Vec<(FeaturePair, f64)>,
+    catalog: &mut FeatureCatalog,
+) -> FeatureSet {
+    let mut set: FeatureSet = raw
+        .into_iter()
+        .map(|(pair, score)| (catalog.intern(pair), score))
+        .collect();
     set.sort_by_key(|&(f, _)| f);
     set
+}
+
+/// Build the state feature set for one entity pair.
+///
+/// `left_attrs` / `right_attrs` are the typed attribute lists; the result is
+/// sorted by [`FeatureId`] with one entry per distinct feature (max score).
+/// Returns an empty set when no attribute pair reaches θ — such pairs are
+/// dropped from the link space (§6.1).
+pub fn feature_set(
+    left_attrs: &[(Sym, TypedValue)],
+    right_attrs: &[(Sym, TypedValue)],
+    theta: f64,
+    catalog: &mut FeatureCatalog,
+) -> FeatureSet {
+    intern_feature_set(raw_feature_set(left_attrs, right_attrs, theta), catalog)
 }
 
 #[cfg(test)]

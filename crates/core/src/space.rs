@@ -19,7 +19,7 @@ use alex_linking::{candidate_pairs, BlockingConfig};
 use alex_rdf::{Dataset, EntityIndex, Term};
 
 use crate::feature::{FeatureCatalog, FeatureId, FeatureSet};
-use crate::simmatrix::feature_set;
+use crate::simmatrix::{feature_set, intern_feature_set, raw_feature_set};
 use crate::values::SideValues;
 
 /// Dense id of an entity pair in the link space.
@@ -80,21 +80,26 @@ impl LinkSpace {
         }
         let blocked_pairs = candidates.len();
 
+        // Similarity is the O(pairs × attrs²) hot loop: workers compute
+        // catalog-free raw feature sets for candidate chunks, then the
+        // ordered merge below interns them in original candidate order —
+        // the exact intern sequence the sequential loop produces, so
+        // feature ids (and everything downstream) are byte-identical at
+        // any thread count.
+        let pool = alex_parallel::Pool::new("space_build");
+        let raw = pool.map(&candidates, |&(l, r)| {
+            raw_feature_set(left_values.attrs(l), right_values.attrs(r), cfg.theta)
+        });
+
         let mut catalog = FeatureCatalog::new();
         let mut pairs = Vec::new();
         let mut features: Vec<FeatureSet> = Vec::new();
-        for (l, r) in candidates {
-            let sf = feature_set(
-                left_values.attrs(l),
-                right_values.attrs(r),
-                cfg.theta,
-                &mut catalog,
-            );
-            if sf.is_empty() {
+        for (&(l, r), raw_sf) in candidates.iter().zip(raw) {
+            if raw_sf.is_empty() {
                 continue;
             }
             pairs.push((l, r));
-            features.push(sf);
+            features.push(intern_feature_set(raw_sf, &mut catalog));
         }
 
         let pair_lookup = pairs

@@ -92,6 +92,32 @@ proptest! {
         }
     }
 
+    /// The indexed/scan agreement survives dynamic growth: after
+    /// arbitrary `ensure_pair` insertions (which splice new entries into
+    /// the per-feature score lists and may mint new features), `explore`
+    /// still returns exactly what the linear scan finds, for every
+    /// feature and window.
+    #[test]
+    fn explore_agrees_with_scan_after_ensure_pair(
+        tokens in proptest::collection::vec("[a-z]{4,8} [a-z]{4,8}", 3..10),
+        inserts in proptest::collection::vec((0u32..12, 0u32..12), 1..20),
+        center in 0.0f64..1.2,
+        step in 0.01f64..0.3,
+    ) {
+        let mut space = space_from_names(&tokens);
+        for (l, r) in inserts {
+            let n = tokens.len() as u32;
+            space.ensure_pair(l % n, r % n);
+        }
+        for (f, _) in space.catalog().iter() {
+            let mut a = space.explore(f, center, step);
+            let mut b = space.explore_scan(f, center, step);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
     /// Every explored link's score really lies within the window.
     #[test]
     fn explore_respects_window(

@@ -72,13 +72,22 @@ pub fn align(
 
     // IRI-valued objects can refer to entities that are themselves candidate
     // pairs; map terms back to ids to reuse equivalence estimates.
+    //
+    // Every pass has snapshot semantics: each pair scores against the
+    // estimates from the *previous* pass only, never against updates made
+    // within the current one. That makes each pass order-independent, so
+    // the per-pair scoring fans out over the pool with an ordered merge
+    // and the result is byte-identical at any thread count.
+    let pool = alex_parallel::Pool::new("paris");
     let mut scores: HashMap<(u32, u32), f64> = HashMap::with_capacity(pairs.len());
-    // Bootstrap pass: relation alignment unknown, assume 1.
+    // Bootstrap pass: relation alignment unknown, assume 1; no previous
+    // equivalence estimates yet.
     {
         let bootstrap_span = span("paris/bootstrap");
         let uniform_align = RelationAlignment::uniform();
-        for &(l, r) in pairs {
-            let s = pair_score(
+        let prev: HashMap<(u32, u32), f64> = HashMap::new();
+        let boot = pool.map(pairs, |&(l, r)| {
+            pair_score(
                 left,
                 right,
                 &left_attrs[l as usize],
@@ -86,11 +95,13 @@ pub fn align(
                 &left_fun,
                 &right_fun,
                 &uniform_align,
-                &scores,
+                &prev,
                 left_idx,
                 right_idx,
                 cfg,
-            );
+            )
+        });
+        for (&(l, r), s) in pairs.iter().zip(boot) {
             if s > 0.0 {
                 scores.insert((l, r), s);
             }
@@ -104,11 +115,19 @@ pub fn align(
 
     for iteration in 0..cfg.iterations {
         let iter_span = span("paris/iteration");
-        let rel_align =
-            RelationAlignment::estimate(left, right, &left_attrs, &right_attrs, &scores, cfg);
+        let rel_align = RelationAlignment::estimate(
+            left,
+            right,
+            &left_attrs,
+            &right_attrs,
+            pairs,
+            &scores,
+            cfg,
+            &pool,
+        );
         let prev = scores.clone();
-        for &(l, r) in pairs {
-            let s = pair_score(
+        let next = pool.map(pairs, |&(l, r)| {
+            pair_score(
                 left,
                 right,
                 &left_attrs[l as usize],
@@ -120,7 +139,9 @@ pub fn align(
                 left_idx,
                 right_idx,
                 cfg,
-            );
+            )
+        });
+        for (&(l, r), s) in pairs.iter().zip(next) {
             if s > 0.0 {
                 scores.insert((l, r), s);
             } else {
@@ -134,14 +155,19 @@ pub fn align(
         });
     }
 
-    scores
+    // Emit links in (left, right) order: HashMap iteration order varies
+    // per process, and downstream consumers (diffs, link dumps, the
+    // one-to-one pass on score ties) deserve a reproducible sequence.
+    let mut links: Vec<ScoredLink> = scores
         .into_iter()
         .map(|((l, r), score)| ScoredLink {
             left: l,
             right: r,
             score,
         })
-        .collect()
+        .collect();
+    links.sort_by_key(|l| (l.left, l.right));
+    links.into_iter().collect()
 }
 
 fn attrs(ds: &Dataset, entity: Term) -> AttrList {
@@ -172,36 +198,58 @@ impl RelationAlignment {
     /// Estimate `align(r, r')` from currently-matched pairs: the fraction of
     /// matches where some value of `r` agrees (similarity above the floor)
     /// with some value of `r'`.
+    ///
+    /// Walks the candidate `pairs` slice (not the score map, whose
+    /// iteration order is arbitrary) and fans chunks out over `pool`.
+    /// Chunk-local agree/seen counts merge by addition, which is exact for
+    /// integer-valued `f64` counters, so the table is independent of both
+    /// chunk boundaries and thread count.
+    #[allow(clippy::too_many_arguments)]
     fn estimate(
         left: &Dataset,
         right: &Dataset,
         left_attrs: &[AttrList],
         right_attrs: &[AttrList],
+        pairs: &[(u32, u32)],
         scores: &HashMap<(u32, u32), f64>,
         cfg: &AlignmentConfig,
+        pool: &alex_parallel::Pool,
     ) -> Self {
-        let mut agree: HashMap<(Sym, Sym), f64> = HashMap::new();
-        let mut seen: HashMap<(Sym, Sym), f64> = HashMap::new();
-        for (&(l, r), &score) in scores {
-            if score < cfg.match_threshold {
-                continue;
-            }
-            let la = &left_attrs[l as usize];
-            let ra = &right_attrs[r as usize];
-            for &(lp, lo) in la {
-                for &(rp, ro) in ra {
-                    let sim = term_similarity(left, lo, right, ro);
-                    *seen.entry((lp, rp)).or_insert(0.0) += 1.0;
-                    if sim >= cfg.sim_threshold {
-                        *agree.entry((lp, rp)).or_insert(0.0) += 1.0;
+        type Counts = HashMap<(Sym, Sym), (f64, f64)>;
+        let counts: Counts = pool.reduce(
+            pairs,
+            Counts::new,
+            |acc, &(l, r)| {
+                let matched = scores
+                    .get(&(l, r))
+                    .is_some_and(|&s| s >= cfg.match_threshold);
+                if !matched {
+                    return;
+                }
+                let la = &left_attrs[l as usize];
+                let ra = &right_attrs[r as usize];
+                for &(lp, lo) in la {
+                    for &(rp, ro) in ra {
+                        let sim = term_similarity(left, lo, right, ro);
+                        let entry = acc.entry((lp, rp)).or_insert((0.0, 0.0));
+                        entry.1 += 1.0;
+                        if sim >= cfg.sim_threshold {
+                            entry.0 += 1.0;
+                        }
                     }
                 }
-            }
-        }
-        let table = seen
+            },
+            |acc, other| {
+                for (key, (a, n)) in other {
+                    let entry = acc.entry(key).or_insert((0.0, 0.0));
+                    entry.0 += a;
+                    entry.1 += n;
+                }
+            },
+        );
+        let table = counts
             .into_iter()
-            .map(|(key, n)| {
-                let a = agree.get(&key).copied().unwrap_or(0.0);
+            .map(|(key, (a, n))| {
                 // Laplace-smoothed agreement rate.
                 (key, (a + 0.5) / (n + 1.0))
             })

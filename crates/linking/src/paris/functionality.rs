@@ -25,24 +25,45 @@ pub struct Functionality {
 
 impl Functionality {
     /// Compute statistics for every predicate of `ds`.
+    ///
+    /// Counting fans out over the worker pool: chunk-local accumulators
+    /// (triple counts + subject/object sets per predicate) merge by
+    /// integer addition and set union — both order-independent — so the
+    /// resulting statistics are identical at any thread count.
     pub fn compute(ds: &Dataset) -> Functionality {
+        #[derive(Default)]
         struct Acc {
             triples: usize,
             subjects: HashSet<Term>,
             objects: HashSet<Term>,
         }
-        let mut acc: HashMap<Sym, Acc> = HashMap::new();
-        for t in ds.graph().iter() {
-            let p = t.predicate.as_iri().expect("predicates are IRIs");
-            let e = acc.entry(p).or_insert_with(|| Acc {
-                triples: 0,
-                subjects: HashSet::new(),
-                objects: HashSet::new(),
-            });
-            e.triples += 1;
-            e.subjects.insert(t.subject);
-            e.objects.insert(t.object);
-        }
+        let triples: Vec<(Sym, Term, Term)> = ds
+            .graph()
+            .iter()
+            .map(|t| {
+                let p = t.predicate.as_iri().expect("predicates are IRIs");
+                (p, t.subject, t.object)
+            })
+            .collect();
+        let pool = alex_parallel::Pool::new("paris_functionality");
+        let acc: HashMap<Sym, Acc> = pool.reduce(
+            &triples,
+            HashMap::new,
+            |acc, &(p, s, o)| {
+                let e: &mut Acc = acc.entry(p).or_default();
+                e.triples += 1;
+                e.subjects.insert(s);
+                e.objects.insert(o);
+            },
+            |acc, other| {
+                for (p, partial) in other {
+                    let e: &mut Acc = acc.entry(p).or_default();
+                    e.triples += partial.triples;
+                    e.subjects.extend(partial.subjects);
+                    e.objects.extend(partial.objects);
+                }
+            },
+        );
         let mut fun = HashMap::with_capacity(acc.len());
         let mut ifun = HashMap::with_capacity(acc.len());
         for (p, e) in acc {

@@ -14,7 +14,11 @@ use super::resilience::{Deadline, EndpointError};
 
 /// A queryable data source. In-process wrapper around a data set here; a
 /// network SPARQL endpoint in a deployed system.
-pub trait Endpoint {
+///
+/// `Send + Sync` because the executor dispatches probes to different
+/// endpoints concurrently; implementations with mutable state (the fault
+/// injector, a connection pool) must synchronize it internally.
+pub trait Endpoint: Send + Sync {
     /// The source's name (used in diagnostics and provenance).
     fn name(&self) -> &str;
 

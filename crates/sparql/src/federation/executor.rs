@@ -364,6 +364,7 @@ impl FederatedEngine {
             sameas_expansions: stats.sameas_expansions,
             retries: stats.retries,
             skipped_sources: skipped.len() as u64,
+            threads: alex_parallel::configured_threads() as u64,
             duration_us: query_span.elapsed().as_micros() as u64,
         });
         Ok(FederatedResult {
@@ -418,6 +419,14 @@ impl FederatedEngine {
     /// expanding bound IRIs through sameAs links. Endpoint failures are
     /// absorbed by the resilience layer: the failing source is skipped
     /// (recorded in `skipped`) unless the engine is in fail-fast mode.
+    ///
+    /// Probes fan out concurrently, one worker task per endpoint; within
+    /// each endpoint the probe sequence stays in job order, so per-endpoint
+    /// behavior (retry sequences, breaker transitions, the fault injector's
+    /// seeded call stream) is identical to the sequential executor. The
+    /// merge below replays the sequential (job, endpoint) nesting, so
+    /// answer order, stat totals, skip provenance, and fail-fast error
+    /// selection are all unchanged.
     fn extend_with_pattern(
         &self,
         pattern: &TriplePattern,
@@ -438,83 +447,163 @@ impl FederatedEngine {
         // Every entry beyond the bound value itself is a sameAs expansion.
         stats.sameas_expansions += (s_alts.len() - 1) as u64 + (o_alts.len() - 1) as u64;
 
+        // Flatten the alternative cross-product into an ordered job list:
+        // one job = one (s, p, o) probe tuple, dispatched to every endpoint.
+        let mut jobs: Vec<ProbeJob<'_>> = Vec::new();
         for (s_val, s_link) in &s_alts {
             for p_val in &p_alts {
                 for (o_val, o_link) in &o_alts {
-                    for (i, _) in self.endpoints.iter().enumerate() {
-                        stats.probes += 1;
-                        let Some(rows) = self.probe_endpoint(
-                            i,
-                            s_val.as_ref(),
-                            p_val.as_ref(),
-                            o_val.as_ref(),
-                            stats,
-                            skipped,
-                        )?
-                        else {
-                            continue; // source skipped; degrade gracefully
-                        };
-                        for [rs, rp, ro] in rows {
-                            let mut b = bindings.clone();
-                            if !bind_position(&mut b, bindings, &pattern.subject, rs) {
-                                continue;
-                            }
-                            if !bind_position(&mut b, bindings, &pattern.predicate, rp) {
-                                continue;
-                            }
-                            if !bind_position(&mut b, bindings, &pattern.object, ro) {
-                                continue;
-                            }
-                            let mut l = links_used.to_vec();
-                            if let Some(link) = s_link {
-                                l.push(link.clone());
-                            }
-                            if let Some(link) = o_link {
-                                l.push(link.clone());
-                            }
-                            out.push((b, l));
-                        }
+                    jobs.push(ProbeJob {
+                        s: s_val.as_ref(),
+                        p: p_val.as_ref(),
+                        o: o_val.as_ref(),
+                        s_link: s_link.as_ref(),
+                        o_link: o_link.as_ref(),
+                    });
+                }
+            }
+        }
+        // The sequential loop counted one probe per (job, endpoint) combo,
+        // including combos short-circuited by an earlier skip.
+        stats.probes += (jobs.len() * self.endpoints.len()) as u64;
+
+        let mut runs = self.dispatch_jobs(&jobs, stats, skipped)?;
+
+        // Ordered merge: job-major, endpoint-minor — the sequential order.
+        for (j, job) in jobs.iter().enumerate() {
+            for run in &mut runs {
+                let Some(rows) = run.rows[j].take() else {
+                    continue; // source skipped; degrade gracefully
+                };
+                for [rs, rp, ro] in rows {
+                    let mut b = bindings.clone();
+                    if !bind_position(&mut b, bindings, &pattern.subject, rs) {
+                        continue;
                     }
+                    if !bind_position(&mut b, bindings, &pattern.predicate, rp) {
+                        continue;
+                    }
+                    if !bind_position(&mut b, bindings, &pattern.object, ro) {
+                        continue;
+                    }
+                    let mut l = links_used.to_vec();
+                    if let Some(link) = job.s_link {
+                        l.push(link.clone());
+                    }
+                    if let Some(link) = job.o_link {
+                        l.push(link.clone());
+                    }
+                    out.push((b, l));
                 }
             }
         }
         Ok(())
     }
 
+    /// Run every probe job against every endpoint, one concurrent worker
+    /// task per endpoint, then fold the per-endpoint outcomes back into
+    /// the shared stats/skip state in endpoint order (deterministic).
+    fn dispatch_jobs(
+        &self,
+        jobs: &[ProbeJob<'_>],
+        stats: &mut ExecStats,
+        skipped: &mut BTreeSet<String>,
+    ) -> Result<Vec<EndpointRun>> {
+        // Sources already skipped stay skipped for this query: further
+        // probes would only burn the remaining sources' time budget.
+        let pre_skipped: Vec<bool> = self
+            .endpoints
+            .iter()
+            .map(|ep| skipped.contains(ep.name()))
+            .collect();
+        let indices: Vec<usize> = (0..self.endpoints.len()).collect();
+        let pool = alex_parallel::Pool::new("federation");
+        let runs = pool.map_each(&indices, |&i| {
+            self.run_endpoint_jobs(i, jobs, pre_skipped[i])
+        });
+
+        for run in &runs {
+            stats.retries += run.delta.retries;
+            stats.circuit_opens += run.delta.circuit_opens;
+            stats.circuit_rejections += run.delta.circuit_rejections;
+            stats.endpoint_failures += run.delta.endpoint_failures;
+        }
+        if self.resilience.fail_fast {
+            // The sequential executor aborted at the first terminal failure
+            // in (job, endpoint) order; pick exactly that one.
+            let first = runs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, run)| run.terminal.as_ref().map(|(j, err)| (*j, i, err)))
+                .min_by_key(|&(j, i, _)| (j, i));
+            if let Some((_, _, err)) = first {
+                return Err(SparqlError::Endpoint(err.clone()));
+            }
+        } else {
+            for (i, run) in runs.iter().enumerate() {
+                if run.terminal.is_some() {
+                    skipped.insert(self.endpoints[i].name().to_string());
+                }
+            }
+        }
+        Ok(runs)
+    }
+
+    /// Probe every job against endpoint `idx`, in job order. After a
+    /// terminal failure (retries exhausted or breaker open) the endpoint
+    /// is dead for the remaining jobs — same as the sequential skip set.
+    fn run_endpoint_jobs(
+        &self,
+        idx: usize,
+        jobs: &[ProbeJob<'_>],
+        pre_skipped: bool,
+    ) -> EndpointRun {
+        let mut run = EndpointRun {
+            rows: Vec::with_capacity(jobs.len()),
+            delta: ProbeDelta::default(),
+            terminal: None,
+        };
+        let mut dead = pre_skipped;
+        for (j, job) in jobs.iter().enumerate() {
+            if dead {
+                run.rows.push(None);
+                continue;
+            }
+            match self.probe_once(idx, job.s, job.p, job.o, &mut run.delta) {
+                Ok(rows) => run.rows.push(Some(rows)),
+                Err(err) => {
+                    run.rows.push(None);
+                    run.terminal = Some((j, err));
+                    dead = true;
+                }
+            }
+        }
+        run
+    }
+
     /// One resilient probe against endpoint `idx`: circuit-breaker
     /// admission, bounded retries with jittered backoff for retryable
-    /// errors, and degradation to `Ok(None)` (endpoint skipped) on
-    /// ultimate failure — or a [`SparqlError::Endpoint`] in fail-fast mode.
-    fn probe_endpoint(
+    /// errors. A terminal failure is returned as `Err` for the caller to
+    /// translate into a skip (or a query abort in fail-fast mode).
+    fn probe_once(
         &self,
         idx: usize,
         s: Option<&Value>,
         p: Option<&Value>,
         o: Option<&Value>,
-        stats: &mut ExecStats,
-        skipped: &mut BTreeSet<String>,
-    ) -> Result<Option<Vec<[Value; 3]>>> {
+        delta: &mut ProbeDelta,
+    ) -> std::result::Result<Vec<[Value; 3]>, EndpointError> {
         let ep = &self.endpoints[idx];
-        let name = ep.name();
-        // Once a source is skipped it stays skipped for this query: further
-        // probes would only burn the remaining sources' time budget.
-        if skipped.contains(name) {
-            return Ok(None);
-        }
         let breaker = &self.breakers[idx];
         let retry = &self.resilience.retry;
         let mut attempt: u32 = 0;
         loop {
             if !lock_unpoisoned(breaker).allow_at(Instant::now()) {
-                stats.circuit_rejections += 1;
-                return self.skip_endpoint(
-                    name,
-                    skipped,
-                    EndpointError::Unavailable {
-                        endpoint: name.to_string(),
-                        message: "circuit open".to_string(),
-                    },
-                );
+                delta.circuit_rejections += 1;
+                return Err(EndpointError::Unavailable {
+                    endpoint: ep.name().to_string(),
+                    message: "circuit open".to_string(),
+                });
             }
             let deadline = match self.resilience.endpoint_budget {
                 Some(budget) => Deadline::within(budget),
@@ -523,14 +612,14 @@ impl FederatedEngine {
             match ep.matching(s, p, o, &deadline) {
                 Ok(rows) => {
                     lock_unpoisoned(breaker).record_success();
-                    return Ok(Some(rows));
+                    return Ok(rows);
                 }
                 Err(err) => {
                     if lock_unpoisoned(breaker).record_failure_at(Instant::now()) {
-                        stats.circuit_opens += 1;
+                        delta.circuit_opens += 1;
                     }
                     if err.is_retryable() && attempt < retry.max_retries {
-                        stats.retries += 1;
+                        delta.retries += 1;
                         let backoff =
                             retry.backoff(attempt, &mut lock_unpoisoned(&self.jitter_rng));
                         if !backoff.is_zero() {
@@ -539,27 +628,40 @@ impl FederatedEngine {
                         attempt += 1;
                         continue;
                     }
-                    stats.endpoint_failures += 1;
-                    return self.skip_endpoint(name, skipped, err);
+                    delta.endpoint_failures += 1;
+                    return Err(err);
                 }
             }
         }
     }
+}
 
-    /// Mark `name` skipped for this execution; in fail-fast mode the
-    /// failure aborts the query instead.
-    fn skip_endpoint(
-        &self,
-        name: &str,
-        skipped: &mut BTreeSet<String>,
-        err: EndpointError,
-    ) -> Result<Option<Vec<[Value; 3]>>> {
-        if self.resilience.fail_fast {
-            return Err(SparqlError::Endpoint(err));
-        }
-        skipped.insert(name.to_string());
-        Ok(None)
-    }
+/// One (s, p, o) probe tuple plus the sameAs links that produced the
+/// bound alternatives (recorded as provenance on every row it yields).
+struct ProbeJob<'a> {
+    s: Option<&'a Value>,
+    p: Option<&'a Value>,
+    o: Option<&'a Value>,
+    s_link: Option<&'a Link>,
+    o_link: Option<&'a Link>,
+}
+
+/// Resilience tallies from one endpoint's probe run, merged into
+/// [`ExecStats`] on the coordinating thread.
+#[derive(Default)]
+struct ProbeDelta {
+    retries: u64,
+    circuit_opens: u64,
+    circuit_rejections: u64,
+    endpoint_failures: u64,
+}
+
+/// The outcome of one endpoint's pass over the job list: per-job rows
+/// (`None` = skipped), stat deltas, and the first terminal failure.
+struct EndpointRun {
+    rows: Vec<Option<Vec<[Value; 3]>>>,
+    delta: ProbeDelta,
+    terminal: Option<(usize, EndpointError)>,
 }
 
 /// Lock a mutex, recovering the inner value if a previous holder panicked —

@@ -114,9 +114,16 @@ impl SameAsLinks {
         out
     }
 
-    /// Iterate over all links.
+    /// Iterate over all links, sorted by `(left, right)`. The backing set
+    /// hashes, so raw iteration order would vary per process — and this
+    /// ordering seeds the agent's candidate set, where it decides which
+    /// index the seeded sampler maps to which pair. Sorting here keeps
+    /// whole improve runs byte-reproducible across processes and thread
+    /// counts.
     pub fn iter(&self) -> impl Iterator<Item = &Link> {
-        self.set.iter()
+        let mut links: Vec<&Link> = self.set.iter().collect();
+        links.sort_unstable();
+        links.into_iter()
     }
 
     /// Serialize every link as `owl:sameAs` N-Triples (sorted, stable) —

@@ -39,6 +39,8 @@ pub enum Event {
         removed: u64,
         /// Rollbacks triggered during the episode.
         rollbacks: u64,
+        /// Worker threads configured for the run (parallel pools).
+        threads: u64,
         /// Episode wall-clock time in microseconds.
         duration_us: u64,
     },
@@ -101,6 +103,8 @@ pub enum Event {
         /// Sources skipped (down past their budget or circuit open); the
         /// result was degraded when this is nonzero.
         skipped_sources: u64,
+        /// Worker threads configured for endpoint dispatch.
+        threads: u64,
         /// Execution wall-clock time in microseconds.
         duration_us: u64,
     },
@@ -160,6 +164,7 @@ impl Event {
                 added,
                 removed,
                 rollbacks,
+                threads,
                 duration_us,
             } => {
                 w.u64("episode", *episode)
@@ -169,6 +174,7 @@ impl Event {
                     .u64("added", *added)
                     .u64("removed", *removed)
                     .u64("rollbacks", *rollbacks)
+                    .u64("threads", *threads)
                     .u64("duration_us", *duration_us);
             }
             Event::FeedbackApplied {
@@ -200,6 +206,7 @@ impl Event {
                 sameas_expansions,
                 retries,
                 skipped_sources,
+                threads,
                 duration_us,
             } => {
                 w.u64("patterns", *patterns)
@@ -210,6 +217,7 @@ impl Event {
                     .u64("sameas_expansions", *sameas_expansions)
                     .u64("retries", *retries)
                     .u64("skipped_sources", *skipped_sources)
+                    .u64("threads", *threads)
                     .u64("duration_us", *duration_us);
             }
             Event::ParisIteration {
@@ -273,6 +281,7 @@ impl Event {
                 added: get_u64("added")?,
                 removed: get_u64("removed")?,
                 rollbacks: get_u64("rollbacks")?,
+                threads: get_u64("threads")?,
                 duration_us: get_u64("duration_us")?,
             }),
             "feedback_applied" => Ok(Event::FeedbackApplied {
@@ -310,6 +319,7 @@ impl Event {
                 sameas_expansions: get_u64("sameas_expansions")?,
                 retries: get_u64("retries")?,
                 skipped_sources: get_u64("skipped_sources")?,
+                threads: get_u64("threads")?,
                 duration_us: get_u64("duration_us")?,
             }),
             "paris_iteration" => Ok(Event::ParisIteration {

@@ -174,6 +174,7 @@ fn all_event_variants() -> Vec<Event> {
             added: 10,
             removed: 3,
             rollbacks: 1,
+            threads: 4,
             duration_us: 1234,
         },
         Event::FeedbackApplied {
@@ -197,6 +198,7 @@ fn all_event_variants() -> Vec<Event> {
             sameas_expansions: 4,
             retries: 3,
             skipped_sources: 1,
+            threads: 2,
             duration_us: 99,
         },
         Event::ParisIteration {
@@ -220,6 +222,31 @@ fn every_event_variant_round_trips_through_json() {
         let parsed = Event::parse(&line).unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
         assert_eq!(parsed, event, "round-trip mismatch for {line}");
     }
+}
+
+/// The parallel execution layer records its configured thread count on
+/// the episode and federated-query events.
+#[test]
+fn episode_and_query_events_carry_thread_count() {
+    for event in all_event_variants() {
+        match &event {
+            Event::EpisodeEnd { threads, .. } => {
+                assert_eq!(*threads, 4);
+                assert!(event.to_json().contains("\"threads\":4"));
+            }
+            Event::FederatedQuery { threads, .. } => {
+                assert_eq!(*threads, 2);
+                assert!(event.to_json().contains("\"threads\":2"));
+            }
+            _ => {}
+        }
+    }
+    // A line without the field fails to parse — the schema is mandatory,
+    // not best-effort, so dashboards can rely on it.
+    let missing = "{\"type\":\"episode_end\",\"episode\":1,\"precision\":1.0,\
+                   \"recall\":1.0,\"f_measure\":1.0,\"added\":0,\"removed\":0,\
+                   \"rollbacks\":0,\"duration_us\":1}";
+    assert!(Event::parse(missing).is_err());
 }
 
 #[test]

@@ -16,8 +16,16 @@ echo "==> panic-free federation gate (unwrap/expect banned in crates/sparql/src/
 # new unwrap/expect sneaks into the fault-handling path.
 cargo clippy -p alex-sparql -- -D warnings
 
-echo "==> cargo test"
-cargo test --workspace -q
+echo "==> cargo test (ALEX_THREADS=1: deterministic pool runs inline)"
+ALEX_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test (ALEX_THREADS=4: same suite, parallel pool)"
+# The pool's ordered reduction makes results byte-identical at any width,
+# so the whole suite must pass unchanged with 4 workers.
+ALEX_THREADS=4 cargo test --workspace -q
+
+echo "==> cargo bench --no-run (bench targets must compile)"
+cargo bench --workspace --no-run -q
 
 echo "==> chaos suite (seeded fault injection over the full improve loop)"
 cargo test --test chaos_federation -q

@@ -107,6 +107,13 @@ FAULT TOLERANCE (improve --feedback query, and query):
                             failure aborts the query instead of
                             completing partially without that source.
 
+PARALLELISM (link, improve, query):
+  --threads N               Worker threads for the deterministic pool
+                            driving space build, PARIS alignment, and
+                            federated endpoint dispatch. Default: the
+                            ALEX_THREADS env var, else all available
+                            cores. Results are byte-identical at any N.
+
 OBSERVABILITY (improve and query):
   --telemetry FILE.jsonl    Write the structured event log (one JSON
                             object per line: episodes, link changes,
@@ -165,6 +172,22 @@ fn parse_flag<T: std::str::FromStr>(
             .parse()
             .map_err(|_| format!("invalid value '{v}' for --{name}")),
     }
+}
+
+/// Apply `--threads N` as the process-global pool width. Without the
+/// flag the pool keeps its own resolution order (ALEX_THREADS env var,
+/// else `available_parallelism`).
+fn configure_threads(flags: &Flags) -> Result<(), String> {
+    if let Some(v) = flag(flags, "threads") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| format!("invalid value '{v}' for --threads"))?;
+        if n == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        alex::parallel::set_threads(n);
+    }
+    Ok(())
 }
 
 /// Load an RDF file, dispatching on extension (.ttl → Turtle, else
@@ -387,6 +410,7 @@ fn cmd_link(args: &[String]) -> Result<(), String> {
     let [left_path, right_path] = files.as_slice() else {
         return Err("link requires exactly two data files".into());
     };
+    configure_threads(&flags)?;
     let left = load_dataset(left_path)?;
     let right = load_dataset(right_path)?;
     let threshold: f64 = parse_flag(&flags, "threshold", 0.80)?;
@@ -426,6 +450,7 @@ fn cmd_improve(args: &[String]) -> Result<(), String> {
     let [left_path, right_path] = files.as_slice() else {
         return Err("improve requires exactly two data files".into());
     };
+    configure_threads(&flags)?;
     let telemetry = telemetry_setup(&flags)?;
     let left = load_dataset(left_path)?;
     let right = load_dataset(right_path)?;
@@ -624,6 +649,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if data_files.is_empty() {
         return Err("query requires at least one --data file".into());
     }
+    configure_threads(&flags)?;
     let telemetry = telemetry_setup(&flags)?;
     let query_text = match flag(&flags, "query-file") {
         Some(path) => {

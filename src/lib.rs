@@ -17,6 +17,7 @@
 //! | [`core`] (`alex-core`) | ALEX itself: the RL link-exploration agent |
 //! | [`datagen`] (`alex-datagen`) | Deterministic synthetic LOD analogues |
 //! | [`telemetry`] (`alex-telemetry`) | Spans, metrics registry, structured event log |
+//! | [`parallel`] (`alex-parallel`) | Deterministic scoped worker pool (order-preserving reduction) |
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the experiment harness that regenerates every table and figure of the
@@ -28,6 +29,7 @@
 pub use alex_core as core;
 pub use alex_datagen as datagen;
 pub use alex_linking as linking;
+pub use alex_parallel as parallel;
 pub use alex_rdf as rdf;
 pub use alex_sim as sim;
 pub use alex_sparql as sparql;
