@@ -17,6 +17,7 @@ use crate::candidates::CandidateSet;
 use crate::config::AlexConfig;
 use crate::feature::FeatureId;
 use crate::feedback::{Feedback, FeedbackSource};
+use crate::persist::{self, AgentState};
 use crate::policy::Policy;
 use crate::provenance::Provenance;
 use crate::space::{LinkSpace, PairId};
@@ -92,6 +93,8 @@ pub struct Agent {
     rng: StdRng,
     episode: EpisodeState,
     episodes_completed: usize,
+    base_fingerprint: u64,
+    base_admissions: usize,
 }
 
 impl Agent {
@@ -106,6 +109,9 @@ impl Agent {
             let id = space.ensure_pair(l, r);
             candidates.insert(id);
         }
+        let base_fingerprint =
+            persist::base_fingerprint(space.fingerprint(), persist::config_fingerprint(&cfg));
+        let base_admissions = space.admissions().len();
         Agent {
             space,
             candidates,
@@ -118,6 +124,8 @@ impl Agent {
             cfg,
             episode: EpisodeState::default(),
             episodes_completed: 0,
+            base_fingerprint,
+            base_admissions,
         }
     }
 
@@ -382,9 +390,160 @@ impl Agent {
         }
         self.process_feedback(id, feedback)
     }
+
+    /// Fingerprint of the link space (after initial-link admission) and
+    /// configuration this agent was built over. Durable snapshots pin it so
+    /// a resume against different inputs fails loudly.
+    pub fn base_fingerprint(&self) -> u64 {
+        self.base_fingerprint
+    }
+
+    /// Capture the full learning state for a durable snapshot. Must be
+    /// called at an episode boundary (the intra-episode bookkeeping is
+    /// always empty there and is not captured).
+    pub fn capture_state(&self) -> AgentState {
+        let mut approved: Vec<u32> = self.approved.iter().map(|id| id.0).collect();
+        approved.sort_unstable();
+        let mut greedy: Vec<(u32, u32)> =
+            self.policy.iter_greedy().map(|(s, a)| (s.0, a.0)).collect();
+        greedy.sort_unstable();
+        let mut returns: Vec<((u32, u32), Vec<f64>)> = self
+            .qvalues
+            .iter_returns()
+            .map(|((s, a), rs)| ((s.0, a.0), rs.to_vec()))
+            .collect();
+        returns.sort_unstable_by_key(|&(k, _)| k);
+        let mut blacklist_votes: Vec<(u32, u32, u32)> = self
+            .blacklist
+            .iter_votes()
+            .map(|(id, (n, p))| (id.0, n, p))
+            .collect();
+        blacklist_votes.sort_unstable();
+        let mut generated: Vec<((u32, u32), Vec<u32>)> = self
+            .provenance
+            .iter_generated()
+            .map(|((s, a), links)| ((s.0, a.0), links.iter().map(|l| l.0).collect()))
+            .collect();
+        generated.sort_unstable_by_key(|&(k, _)| k);
+        let mut provenance_votes: Vec<((u32, u32), u32, u32)> = self
+            .provenance
+            .iter_votes()
+            .map(|((s, a), (n, p))| ((s.0, a.0), n, p))
+            .collect();
+        provenance_votes.sort_unstable();
+        AgentState {
+            rng: self.rng.state(),
+            episodes_completed: self.episodes_completed as u64,
+            admissions: self.space.admissions()[self.base_admissions..].to_vec(),
+            candidates: self.candidates.iter().map(|id| id.0).collect(),
+            approved,
+            greedy,
+            returns,
+            blacklist_votes,
+            generated,
+            provenance_votes,
+        }
+    }
+
+    /// Restore learning state captured by [`Agent::capture_state`] onto a
+    /// *freshly constructed* agent over the same space, initial links, and
+    /// configuration. Admissions are replayed first so every persisted raw
+    /// id resolves to the same pair it named when captured.
+    pub fn restore_state(&mut self, state: &AgentState) -> Result<(), String> {
+        if self.space.admissions().len() != self.base_admissions || self.episodes_completed != 0 {
+            return Err("restore_state requires a freshly constructed agent".to_string());
+        }
+        for &(l, r) in &state.admissions {
+            self.space.ensure_pair(l, r);
+        }
+        let in_space = |raw: u32| -> Result<PairId, String> {
+            if (raw as usize) < self.space.len() {
+                Ok(PairId(raw))
+            } else {
+                Err(format!(
+                    "persisted pair id {raw} is outside the rebuilt space ({} pairs); \
+                     the state dir does not belong to this run",
+                    self.space.len()
+                ))
+            }
+        };
+        self.candidates = CandidateSet::new();
+        for &raw in &state.candidates {
+            self.candidates.insert(in_space(raw)?);
+        }
+        self.approved = HashSet::new();
+        for &raw in &state.approved {
+            self.approved.insert(in_space(raw)?);
+        }
+        self.policy = Policy::new(self.cfg.epsilon);
+        for &(s, a) in &state.greedy {
+            self.policy.improve(in_space(s)?, FeatureId(a));
+        }
+        self.qvalues = ActionValue::new();
+        for ((s, a), rs) in &state.returns {
+            self.qvalues
+                .restore_returns(in_space(*s)?, FeatureId(*a), rs.clone());
+        }
+        self.blacklist = Blacklist::new(self.cfg.use_blacklist);
+        for &(id, n, p) in &state.blacklist_votes {
+            self.blacklist.restore_votes(in_space(id)?, n, p);
+        }
+        self.provenance = Provenance::new();
+        for ((s, a), links) in &state.generated {
+            let generator = (in_space(*s)?, FeatureId(*a));
+            let mut restored = Vec::with_capacity(links.len());
+            for &l in links {
+                restored.push(in_space(l)?);
+            }
+            self.provenance.restore_generated(generator, restored);
+        }
+        for &((s, a), n, p) in &state.provenance_votes {
+            self.provenance
+                .restore_votes((in_space(s)?, FeatureId(a)), n, p);
+        }
+        self.rng = StdRng::from_state(state.rng);
+        self.episode = EpisodeState::default();
+        self.episodes_completed = state.episodes_completed as usize;
+        Ok(())
+    }
+
+    /// Replay one journaled episode: drive the recorded judgments through
+    /// the normal feedback path, then improve the policy — exactly what
+    /// [`Agent::run_episode`] did live. Because the agent RNG and candidate
+    /// set were restored to their pre-episode state, the resulting state is
+    /// byte-identical to the pre-crash one.
+    pub fn replay_episode(&mut self, items: &[(u32, u32, bool)]) -> Result<EpisodeSummary, String> {
+        let mut summary = EpisodeSummary::default();
+        for &(l, r, positive) in items {
+            let Some(id) = self.space.id_of(l, r) else {
+                return Err(format!(
+                    "journaled pair ({l}, {r}) is not in the rebuilt space; \
+                     the state dir does not belong to this run"
+                ));
+            };
+            let feedback = if positive {
+                Feedback::Positive
+            } else {
+                Feedback::Negative
+            };
+            match feedback {
+                Feedback::Positive => summary.positive += 1,
+                Feedback::Negative => summary.negative += 1,
+            }
+            let outcome = self.process_feedback(id, feedback);
+            summary.added += outcome.added;
+            summary.removed += outcome.removed;
+            if outcome.rolled_back {
+                summary.rollbacks += 1;
+            }
+        }
+        self.end_episode();
+        Ok(summary)
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::space::SpaceConfig;

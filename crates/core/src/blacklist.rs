@@ -77,9 +77,26 @@ impl Blacklist {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Whether this blacklist records and blocks at all.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Iterate over `(link, (negatives, positives))` vote entries, in
+    /// arbitrary map order. Persistence sorts before encoding.
+    pub fn iter_votes(&self) -> impl Iterator<Item = (PairId, (u32, u32))> + '_ {
+        self.votes.iter().map(|(&id, &v)| (id, v))
+    }
+
+    /// Replace a link's vote counts wholesale (crash-recovery restore).
+    pub fn restore_votes(&mut self, id: PairId, negatives: u32, positives: u32) {
+        self.votes.insert(id, (negatives, positives));
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

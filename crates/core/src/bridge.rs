@@ -97,6 +97,7 @@ impl FeedbackBridge {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use alex_sparql::{Bindings, Completeness};

@@ -1,14 +1,27 @@
 //! The single-partition run driver: the policy-evaluation / policy-
 //! improvement loop with convergence detection and per-episode metrics.
+//!
+//! ## Durable runs
+//!
+//! [`run_durable`] adds crash safety on top of the same loop: every episode
+//! is committed to an `alex-store` journal before the run proceeds, full
+//! snapshots are taken every `snapshot_every` episodes, and a killed run is
+//! resumed with [`Durability::resume`] — the newest snapshot is restored and
+//! the journal tail *replayed* through the agent, reproducing the exact
+//! pre-crash learning state (byte-identical candidate links and
+//! [`RunReport`], durations aside).
 
 use std::collections::HashSet;
+use std::time::Duration;
 
+use alex_store::{Recovery, Store};
 use alex_telemetry::{counter, emit, span, Event};
 
-use crate::agent::Agent;
-use crate::feedback::FeedbackSource;
+use crate::agent::{Agent, EpisodeSummary};
+use crate::feedback::{Feedback, FeedbackSource};
 use crate::metrics::{EpisodeReport, Quality};
-use crate::space::PairId;
+use crate::persist::{self, EpisodeRecord, EpisodeStats, RunSnapshot};
+use crate::space::{LinkSpace, PairId};
 
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +35,9 @@ pub enum StopReason {
     MaxEpisodes,
     /// Feedback dried up (empty candidate set).
     NoFeedback,
+    /// A durable run suspended itself after `stop_after` committed episodes
+    /// (kill-and-resume harness); resume with [`Durability::resume`].
+    Suspended,
 }
 
 /// The full record of a run.
@@ -55,6 +71,201 @@ impl RunReport {
     }
 }
 
+/// Durability settings for [`run_durable`]: the open store, the recovery it
+/// produced, and the commit cadence.
+pub struct Durability<'a> {
+    store: &'a mut dyn Store,
+    recovery: Option<Recovery>,
+    snapshot_every: u64,
+    resume: bool,
+    stop_after: Option<u64>,
+    on_commit: Option<Box<dyn FnMut(u64) + 'a>>,
+}
+
+impl<'a> Durability<'a> {
+    /// Durability over an opened store and the [`Recovery`] its open
+    /// returned. Defaults: snapshot every 10 episodes, no resume, no
+    /// suspension.
+    pub fn new(store: &'a mut dyn Store, recovery: Recovery) -> Self {
+        Durability {
+            store,
+            recovery: Some(recovery),
+            snapshot_every: 10,
+            resume: false,
+            stop_after: None,
+            on_commit: None,
+        }
+    }
+
+    /// Allow continuing a run found in the state directory. Without this, a
+    /// non-empty state directory is an error (refusing to silently clobber
+    /// or double-run). A fresh directory with `resume` set simply starts
+    /// fresh, so resuming is safe even if the original process died before
+    /// its first commit.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Take a full snapshot every `n` committed episodes (0 disables
+    /// periodic snapshots; the journal alone still recovers everything).
+    pub fn snapshot_every(mut self, n: u64) -> Self {
+        self.snapshot_every = n;
+        self
+    }
+
+    /// Suspend the run (stop reason [`StopReason::Suspended`]) after `n`
+    /// episodes have been committed *in this session* — the in-process half
+    /// of the kill-and-resume harness.
+    pub fn stop_after(mut self, n: u64) -> Self {
+        self.stop_after = Some(n);
+        self
+    }
+
+    /// Invoke `f` with the episode number after each durable commit (the
+    /// CLI's `--kill-after` hook sends itself SIGKILL from here).
+    pub fn on_commit(mut self, f: impl FnMut(u64) + 'a) -> Self {
+        self.on_commit = Some(Box::new(f));
+        self
+    }
+}
+
+/// Wraps a live feedback source, recording every judged item so the episode
+/// can be journaled (and later replayed) exactly.
+struct RecordingSource<'a> {
+    inner: &'a mut dyn FeedbackSource,
+    items: Vec<(u32, u32, bool)>,
+}
+
+impl FeedbackSource for RecordingSource<'_> {
+    fn next(
+        &mut self,
+        candidates: &crate::candidates::CandidateSet,
+        space: &LinkSpace,
+    ) -> Option<(PairId, Feedback)> {
+        let (id, feedback) = self.inner.next(candidates, space)?;
+        let (l, r) = space.pair(id);
+        self.items.push((l, r, feedback == Feedback::Positive));
+        Some((id, feedback))
+    }
+
+    fn take_degraded(&mut self) -> usize {
+        self.inner.take_degraded()
+    }
+}
+
+/// Mutable bookkeeping shared by the fresh, replay, and live paths.
+struct RunState {
+    episodes: Vec<EpisodeReport>,
+    relaxed_converged_at: Option<usize>,
+    prev: HashSet<PairId>,
+    stop: Option<StopReason>,
+    recovered_from: u64,
+}
+
+/// Per-episode bookkeeping: convergence math, metrics, report, telemetry.
+/// Identical for live and replayed episodes — that is what makes replay
+/// reach the same stop decision the live run would have.
+fn note_episode(
+    agent: &Agent,
+    truth: &HashSet<(u32, u32)>,
+    st: &mut RunState,
+    episode: usize,
+    summary: &EpisodeSummary,
+    duration: Duration,
+) {
+    let current = agent.candidates().snapshot();
+    let changed = current.symmetric_difference(&st.prev).count();
+    let change_frac = if st.prev.is_empty() {
+        if current.is_empty() {
+            0.0
+        } else {
+            1.0
+        }
+    } else {
+        changed as f64 / st.prev.len() as f64
+    };
+
+    let (correct, quality) = {
+        let _s = span("evaluate");
+        Quality::evaluate_counted(agent.candidates(), agent.space(), truth)
+    };
+    st.episodes.push(EpisodeReport {
+        episode,
+        quality,
+        candidates: current.len(),
+        correct,
+        added: summary.added,
+        removed: summary.removed,
+        negative_feedback_frac: summary.negative_frac(),
+        rollbacks: summary.rollbacks,
+        change_frac,
+        duration,
+    });
+    emit!(Event::EpisodeEnd {
+        episode: episode as u64,
+        precision: quality.precision,
+        recall: quality.recall,
+        f_measure: quality.f_measure,
+        added: summary.added as u64,
+        removed: summary.removed as u64,
+        rollbacks: summary.rollbacks as u64,
+        threads: alex_parallel::configured_threads() as u64,
+        duration_us: duration.as_micros() as u64,
+        recovered_from: st.recovered_from,
+    });
+
+    if st.relaxed_converged_at.is_none() && change_frac < agent.config().relaxed_convergence_frac {
+        st.relaxed_converged_at = Some(episode);
+    }
+    if changed == 0 {
+        st.stop = Some(StopReason::Converged);
+    } else if agent.config().stop_on_relaxed
+        && change_frac < agent.config().relaxed_convergence_frac
+    {
+        st.stop = Some(StopReason::RelaxedConverged);
+    }
+    st.prev = current;
+}
+
+/// Encode a full-run snapshot of the current agent + driver state.
+fn snapshot_payload(
+    agent: &Agent,
+    source: &dyn FeedbackSource,
+    st: &RunState,
+    last_episode: u64,
+    completed: bool,
+) -> Result<Vec<u8>, String> {
+    let source_state = source
+        .durable_state()
+        .ok_or_else(|| "feedback source stopped providing durable state".to_string())?;
+    Ok(persist::encode_snapshot(&RunSnapshot {
+        base_fingerprint: agent.base_fingerprint(),
+        last_episode,
+        completed,
+        relaxed_converged_at: st.relaxed_converged_at.map(|e| e as u64),
+        episodes: st
+            .episodes
+            .iter()
+            .map(|e| EpisodeStats {
+                episode: e.episode as u64,
+                precision: e.quality.precision,
+                recall: e.quality.recall,
+                f_measure: e.quality.f_measure,
+                candidates: e.candidates as u64,
+                correct: e.correct as u64,
+                added: e.added as u64,
+                removed: e.removed as u64,
+                negative_feedback_frac: e.negative_feedback_frac,
+                rollbacks: e.rollbacks as u64,
+                change_frac: e.change_frac,
+            })
+            .collect(),
+        agent: agent.capture_state(),
+        source_state,
+    }))
+}
+
 /// Run the agent to convergence against a feedback source, scoring each
 /// episode against `truth` (ground-truth entity-id pairs).
 pub fn run(
@@ -62,104 +273,271 @@ pub fn run(
     source: &mut dyn FeedbackSource,
     truth: &HashSet<(u32, u32)>,
 ) -> RunReport {
+    match run_impl(agent, source, truth, None) {
+        Ok(report) => report,
+        // Without durability there is no I/O and no recovery: nothing in
+        // run_impl can fail.
+        Err(e) => unreachable!("non-durable run cannot fail: {e}"),
+    }
+}
+
+/// Run the agent with crash-safe durable state: every episode is journaled
+/// before the run proceeds, snapshots are taken periodically, and a prior
+/// interrupted run is resumed (snapshot restore + journal replay) when
+/// [`Durability::resume`] is set.
+///
+/// Fails on store I/O errors, corrupt state that recovery could not repair,
+/// a state directory belonging to a different run, or a feedback source
+/// without durable state.
+pub fn run_durable(
+    agent: &mut Agent,
+    source: &mut dyn FeedbackSource,
+    truth: &HashSet<(u32, u32)>,
+    durability: Durability<'_>,
+) -> Result<RunReport, String> {
+    run_impl(agent, source, truth, Some(durability))
+}
+
+fn run_impl(
+    agent: &mut Agent,
+    source: &mut dyn FeedbackSource,
+    truth: &HashSet<(u32, u32)>,
+    mut durability: Option<Durability<'_>>,
+) -> Result<RunReport, String> {
     let run_span = span("improve");
     let initial_quality = {
         let _s = span("initial_quality");
         Quality::evaluate(agent.candidates(), agent.space(), truth)
     };
-    let mut episodes = Vec::new();
-    let mut relaxed_converged_at = None;
-    let mut prev: HashSet<PairId> = agent.candidates().snapshot();
-    let mut stop = StopReason::MaxEpisodes;
+    let mut st = RunState {
+        episodes: Vec::new(),
+        relaxed_converged_at: None,
+        prev: agent.candidates().snapshot(),
+        stop: None,
+        recovered_from: 0,
+    };
+    let mut start_episode = 1usize;
 
-    for episode in 1..=agent.config().max_episodes {
-        let episode_span = span("episode");
-        emit!(Event::EpisodeStart {
-            episode: episode as u64
-        });
-        let summary = {
-            let _s = span("feedback");
-            agent.run_episode(source)
-        };
-        let duration = episode_span.elapsed();
-
-        if summary.feedback_items() == 0 {
-            if summary.degraded > 0 {
-                // Every judgment this episode was withheld because queries
-                // degraded (sources down). Skip the episode — record
-                // nothing, corrupt nothing — and try again: the breakers
-                // may recover.
-                counter!("alex_degraded_episodes_skipped_total").inc();
-                continue;
-            }
-            stop = StopReason::NoFeedback;
-            break;
+    if let Some(d) = durability.as_mut() {
+        if source.durable_state().is_none() {
+            return Err(
+                "durable runs need a feedback source with durable state (the oracle); \
+                 live user feedback cannot be journaled for replay"
+                    .to_string(),
+            );
         }
-
-        let current = agent.candidates().snapshot();
-        let changed = current.symmetric_difference(&prev).count();
-        let change_frac = if prev.is_empty() {
-            if current.is_empty() {
-                0.0
-            } else {
-                1.0
-            }
+        let recovery = d
+            .recovery
+            .take()
+            .ok_or_else(|| "durability recovery already consumed".to_string())?;
+        if recovery.is_fresh() {
+            // Brand-new state dir (with or without --resume: resuming
+            // nothing is starting fresh, which keeps resume safe even if
+            // the original process died before its first commit). Pin the
+            // run with an initial snapshot before any episode runs.
+            let payload = snapshot_payload(agent, source, &st, 0, false)?;
+            d.store
+                .write_snapshot(0, &payload)
+                .map_err(|e| e.to_string())?;
+            counter!("store_snapshots_total").inc();
         } else {
-            changed as f64 / prev.len() as f64
-        };
+            if !d.resume {
+                return Err(format!(
+                    "state dir {} already holds a run; pass --resume to continue it \
+                     or point --state-dir at an empty directory",
+                    d.store.dir().display()
+                ));
+            }
+            counter!("store_recoveries_total").inc();
+            counter!("store_truncated_records_total").add(recovery.truncated_records);
+            let last = recovery.last_seq().unwrap_or(0);
 
-        let (correct, quality) = {
-            let _s = span("evaluate");
-            Quality::evaluate_counted(agent.candidates(), agent.space(), truth)
-        };
-        episodes.push(EpisodeReport {
-            episode,
-            quality,
-            candidates: current.len(),
-            correct,
-            added: summary.added,
-            removed: summary.removed,
-            negative_feedback_frac: summary.negative_frac(),
-            rollbacks: summary.rollbacks,
-            change_frac,
-            duration,
-        });
-        emit!(Event::EpisodeEnd {
-            episode: episode as u64,
-            precision: quality.precision,
-            recall: quality.recall,
-            f_measure: quality.f_measure,
-            added: summary.added as u64,
-            removed: summary.removed as u64,
-            rollbacks: summary.rollbacks as u64,
-            threads: alex_parallel::configured_threads() as u64,
-            duration_us: duration.as_micros() as u64,
-        });
+            let mut expected_seq = 1u64;
+            if let Some((snap_seq, payload)) = &recovery.snapshot {
+                let snap = persist::decode_snapshot(payload)?;
+                if snap.completed {
+                    return Err(
+                        "this run already completed; nothing to resume (start a fresh \
+                         run with a new --state-dir)"
+                            .to_string(),
+                    );
+                }
+                if snap.base_fingerprint != agent.base_fingerprint() {
+                    return Err(
+                        "state dir belongs to a different run: the link space, initial \
+                         links, or configuration changed since the snapshot was taken"
+                            .to_string(),
+                    );
+                }
+                agent.restore_state(&snap.agent)?;
+                source.restore_durable_state(&snap.source_state)?;
+                st.relaxed_converged_at = snap.relaxed_converged_at.map(|e| e as usize);
+                st.episodes = snap
+                    .episodes
+                    .iter()
+                    .map(|e| EpisodeReport {
+                        episode: e.episode as usize,
+                        quality: Quality {
+                            precision: e.precision,
+                            recall: e.recall,
+                            f_measure: e.f_measure,
+                        },
+                        candidates: e.candidates as usize,
+                        correct: e.correct as usize,
+                        added: e.added as usize,
+                        removed: e.removed as usize,
+                        negative_feedback_frac: e.negative_feedback_frac,
+                        rollbacks: e.rollbacks as usize,
+                        change_frac: e.change_frac,
+                        // Wall-clock time belongs to the original session;
+                        // resume identity excludes durations.
+                        duration: Duration::ZERO,
+                    })
+                    .collect();
+                st.prev = agent.candidates().snapshot();
+                expected_seq = snap_seq + 1;
+            }
+            st.recovered_from = last;
 
-        if relaxed_converged_at.is_none() && change_frac < agent.config().relaxed_convergence_frac {
-            relaxed_converged_at = Some(episode);
+            // Replay the journal tail through the restored agent. The same
+            // bookkeeping as the live loop runs here, so convergence that
+            // struck just before the crash is re-detected.
+            for (seq, payload) in &recovery.journal_tail {
+                if *seq != expected_seq {
+                    return Err(format!(
+                        "journal gap: expected episode {expected_seq}, found {seq}; \
+                         the state dir is damaged beyond recovery"
+                    ));
+                }
+                expected_seq += 1;
+                let episode_span = span("episode");
+                emit!(Event::EpisodeStart { episode: *seq });
+                let record = persist::decode_episode(payload)?;
+                let summary = agent.replay_episode(&record.items)?;
+                source.restore_durable_state(&record.source_state)?;
+                note_episode(
+                    agent,
+                    truth,
+                    &mut st,
+                    *seq as usize,
+                    &summary,
+                    episode_span.elapsed(),
+                );
+                if st.stop.is_some() {
+                    break;
+                }
+            }
+            start_episode = last as usize + 1;
         }
-        if changed == 0 {
-            stop = StopReason::Converged;
-            break;
-        }
-        if agent.config().stop_on_relaxed && change_frac < agent.config().relaxed_convergence_frac {
-            stop = StopReason::RelaxedConverged;
-            break;
-        }
-        prev = current;
     }
 
-    RunReport {
+    let mut committed_this_session = 0u64;
+    if st.stop.is_none() {
+        for episode in start_episode..=agent.config().max_episodes {
+            let episode_span = span("episode");
+            emit!(Event::EpisodeStart {
+                episode: episode as u64
+            });
+            let (summary, items) = {
+                let _s = span("feedback");
+                if durability.is_some() {
+                    let mut recorder = RecordingSource {
+                        inner: source,
+                        items: Vec::new(),
+                    };
+                    let summary = agent.run_episode(&mut recorder);
+                    (summary, recorder.items)
+                } else {
+                    (agent.run_episode(source), Vec::new())
+                }
+            };
+            let duration = episode_span.elapsed();
+
+            if summary.feedback_items() == 0 {
+                if summary.degraded > 0 {
+                    // Every judgment this episode was withheld because
+                    // queries degraded (sources down). Skip the episode —
+                    // record nothing, corrupt nothing — and try again: the
+                    // breakers may recover.
+                    counter!("alex_degraded_episodes_skipped_total").inc();
+                    continue;
+                }
+                st.stop = Some(StopReason::NoFeedback);
+                break;
+            }
+
+            if let Some(d) = durability.as_mut() {
+                // Commit before acting on the episode: once append returns,
+                // this episode survives a crash.
+                let source_state = source.durable_state().ok_or_else(|| {
+                    "feedback source stopped providing durable state mid-run".to_string()
+                })?;
+                let record = persist::encode_episode(&EpisodeRecord {
+                    items,
+                    source_state,
+                });
+                d.store
+                    .append_episode(episode as u64, &record)
+                    .map_err(|e| e.to_string())?;
+                counter!("store_journal_records_total").inc();
+            }
+
+            note_episode(agent, truth, &mut st, episode, &summary, duration);
+
+            if let Some(d) = durability.as_mut() {
+                committed_this_session += 1;
+                if st.stop.is_none()
+                    && d.snapshot_every > 0
+                    && (episode as u64).is_multiple_of(d.snapshot_every)
+                {
+                    let payload = snapshot_payload(agent, source, &st, episode as u64, false)?;
+                    d.store
+                        .write_snapshot(episode as u64, &payload)
+                        .map_err(|e| e.to_string())?;
+                    counter!("store_snapshots_total").inc();
+                }
+                if let Some(cb) = d.on_commit.as_mut() {
+                    cb(episode as u64);
+                }
+                if st.stop.is_none() && d.stop_after == Some(committed_this_session) {
+                    st.stop = Some(StopReason::Suspended);
+                }
+            }
+            if st.stop.is_some() {
+                break;
+            }
+        }
+    }
+
+    let stop = st.stop.unwrap_or(StopReason::MaxEpisodes);
+    if let Some(d) = durability.as_mut() {
+        if stop != StopReason::Suspended {
+            // Final snapshot, flagged completed: a later --resume fails
+            // with a clear message instead of re-running a finished run.
+            let last = st
+                .episodes
+                .last()
+                .map(|e| e.episode as u64)
+                .unwrap_or(st.recovered_from);
+            let payload = snapshot_payload(agent, source, &st, last, true)?;
+            d.store
+                .write_snapshot(last, &payload)
+                .map_err(|e| e.to_string())?;
+            counter!("store_snapshots_total").inc();
+        }
+    }
+
+    Ok(RunReport {
         initial_quality,
-        episodes,
+        episodes: st.episodes,
         stop,
-        relaxed_converged_at,
+        relaxed_converged_at: st.relaxed_converged_at,
         total_duration: run_span.elapsed(),
-    }
+    })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::config::AlexConfig;
@@ -285,5 +663,276 @@ mod tests {
             report.relaxed_converged_at.unwrap() <= report.episode_count(),
             "relaxed convergence cannot come after strict"
         );
+    }
+
+    // ------------------------------------------------------------ durable
+
+    use alex_store::DirectStore;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("alex-driver-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg() -> AlexConfig {
+        AlexConfig {
+            episode_size: 40,
+            max_episodes: 30,
+            ..AlexConfig::default()
+        }
+    }
+
+    /// Reports compared for resume identity: everything except wall-clock
+    /// durations (which belong to whichever session ran the episode).
+    fn report_identity(r: &RunReport) -> Vec<String> {
+        let mut out = vec![format!(
+            "initial {:?} stop {:?} relaxed {:?}",
+            r.initial_quality, r.stop, r.relaxed_converged_at
+        )];
+        for e in &r.episodes {
+            out.push(format!(
+                "ep {} q {:?} cand {} correct {} +{} -{} neg {} rb {} chg {}",
+                e.episode,
+                e.quality,
+                e.candidates,
+                e.correct,
+                e.added,
+                e.removed,
+                e.negative_feedback_frac,
+                e.rollbacks,
+                e.change_frac
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn durable_fresh_run_matches_plain_run() {
+        let (space, truth) = build();
+        let initial: Vec<(u32, u32)> = truth.iter().copied().take(3).collect();
+
+        let mut plain_agent = Agent::new(space.clone(), &initial, cfg());
+        let mut plain_oracle = OracleFeedback::new(truth.clone(), 11);
+        let plain = run(&mut plain_agent, &mut plain_oracle, &truth);
+
+        let dir = tmpdir("fresh-vs-plain");
+        let (mut store, recovery) = DirectStore::open(&dir).unwrap();
+        let mut agent = Agent::new(space, &initial, cfg());
+        let mut oracle = OracleFeedback::new(truth.clone(), 11);
+        let durable = run_durable(
+            &mut agent,
+            &mut oracle,
+            &truth,
+            Durability::new(&mut store, recovery),
+        )
+        .unwrap();
+
+        assert_eq!(report_identity(&plain), report_identity(&durable));
+        assert_eq!(plain_agent.capture_state(), agent.capture_state());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn suspend_and_resume_is_identical() {
+        let (space, truth) = build();
+        let initial: Vec<(u32, u32)> = truth.iter().copied().take(3).collect();
+
+        // Small episodes plus noisy feedback so the candidate set keeps
+        // churning (rollbacks included) and the cut point lands strictly
+        // mid-run instead of after convergence.
+        let cfg = || AlexConfig {
+            episode_size: 5,
+            max_episodes: 12,
+            ..AlexConfig::default()
+        };
+        let noisy = |seed| OracleFeedback::with_error_rate(truth.clone(), 0.2, seed);
+
+        // Uninterrupted reference run.
+        let dir_ref = tmpdir("resume-ref");
+        let (mut store, recovery) = DirectStore::open(&dir_ref).unwrap();
+        let mut ref_agent = Agent::new(space.clone(), &initial, cfg());
+        let mut ref_oracle = noisy(12);
+        let reference = run_durable(
+            &mut ref_agent,
+            &mut ref_oracle,
+            &truth,
+            Durability::new(&mut store, recovery).snapshot_every(4),
+        )
+        .unwrap();
+        assert!(
+            reference.episode_count() > 3,
+            "reference too short to test: {} episodes",
+            reference.episode_count()
+        );
+
+        // Interrupted run: suspend after 3 committed episodes...
+        let dir = tmpdir("resume-cut");
+        let (mut store, recovery) = DirectStore::open(&dir).unwrap();
+        let mut agent = Agent::new(space.clone(), &initial, cfg());
+        let mut oracle = noisy(12);
+        let cut = run_durable(
+            &mut agent,
+            &mut oracle,
+            &truth,
+            Durability::new(&mut store, recovery)
+                .snapshot_every(4)
+                .stop_after(3),
+        )
+        .unwrap();
+        assert_eq!(cut.stop, StopReason::Suspended);
+        assert_eq!(cut.episode_count(), 3);
+        drop(store);
+
+        // ...then resume with a *fresh* agent and oracle, as a new process
+        // would.
+        let (mut store, recovery) = DirectStore::open(&dir).unwrap();
+        assert!(!recovery.is_fresh());
+        let mut agent2 = Agent::new(space, &initial, cfg());
+        let mut oracle2 = noisy(12);
+        let resumed = run_durable(
+            &mut agent2,
+            &mut oracle2,
+            &truth,
+            Durability::new(&mut store, recovery)
+                .snapshot_every(4)
+                .resume(true),
+        )
+        .unwrap();
+
+        assert_eq!(report_identity(&reference), report_identity(&resumed));
+        assert_eq!(ref_agent.capture_state(), agent2.capture_state());
+        let _ = std::fs::remove_dir_all(&dir_ref);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn used_state_dir_requires_resume_flag() {
+        let (space, truth) = build();
+        let initial: Vec<(u32, u32)> = truth.iter().copied().take(3).collect();
+        let dir = tmpdir("no-flag");
+
+        let (mut store, recovery) = DirectStore::open(&dir).unwrap();
+        let mut agent = Agent::new(space.clone(), &initial, cfg());
+        let mut oracle = OracleFeedback::new(truth.clone(), 13);
+        run_durable(
+            &mut agent,
+            &mut oracle,
+            &truth,
+            Durability::new(&mut store, recovery).stop_after(1),
+        )
+        .unwrap();
+        drop(store);
+
+        let (mut store, recovery) = DirectStore::open(&dir).unwrap();
+        let mut agent2 = Agent::new(space, &initial, cfg());
+        let mut oracle2 = OracleFeedback::new(truth.clone(), 13);
+        let err = run_durable(
+            &mut agent2,
+            &mut oracle2,
+            &truth,
+            Durability::new(&mut store, recovery),
+        )
+        .unwrap_err();
+        assert!(err.contains("--resume"), "unexpected error: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completed_run_refuses_resume() {
+        let (space, truth) = build();
+        let initial: Vec<(u32, u32)> = truth.iter().copied().take(3).collect();
+        let dir = tmpdir("completed");
+
+        let (mut store, recovery) = DirectStore::open(&dir).unwrap();
+        let mut agent = Agent::new(space.clone(), &initial, cfg());
+        let mut oracle = OracleFeedback::new(truth.clone(), 14);
+        run_durable(
+            &mut agent,
+            &mut oracle,
+            &truth,
+            Durability::new(&mut store, recovery),
+        )
+        .unwrap();
+        drop(store);
+
+        let (mut store, recovery) = DirectStore::open(&dir).unwrap();
+        let mut agent2 = Agent::new(space, &initial, cfg());
+        let mut oracle2 = OracleFeedback::new(truth.clone(), 14);
+        let err = run_durable(
+            &mut agent2,
+            &mut oracle2,
+            &truth,
+            Durability::new(&mut store, recovery).resume(true),
+        )
+        .unwrap_err();
+        assert!(err.contains("already completed"), "unexpected error: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_run_is_rejected() {
+        let (space, truth) = build();
+        let initial: Vec<(u32, u32)> = truth.iter().copied().take(3).collect();
+        let dir = tmpdir("mismatch");
+
+        let (mut store, recovery) = DirectStore::open(&dir).unwrap();
+        let mut agent = Agent::new(space.clone(), &initial, cfg());
+        let mut oracle = OracleFeedback::new(truth.clone(), 15);
+        run_durable(
+            &mut agent,
+            &mut oracle,
+            &truth,
+            Durability::new(&mut store, recovery).stop_after(1),
+        )
+        .unwrap();
+        drop(store);
+
+        // Same space, different config seed → different fingerprint.
+        let other = AlexConfig {
+            seed: cfg().seed + 1,
+            ..cfg()
+        };
+        let (mut store, recovery) = DirectStore::open(&dir).unwrap();
+        let mut agent2 = Agent::new(space, &initial, other);
+        let mut oracle2 = OracleFeedback::new(truth.clone(), 15);
+        let err = run_durable(
+            &mut agent2,
+            &mut oracle2,
+            &truth,
+            Durability::new(&mut store, recovery).resume(true),
+        )
+        .unwrap_err();
+        assert!(err.contains("different run"), "unexpected error: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_durable_source_is_rejected() {
+        struct LiveOnly;
+        impl FeedbackSource for LiveOnly {
+            fn next(
+                &mut self,
+                _: &crate::candidates::CandidateSet,
+                _: &LinkSpace,
+            ) -> Option<(PairId, Feedback)> {
+                None
+            }
+        }
+        let (space, truth) = build();
+        let dir = tmpdir("live-only");
+        let (mut store, recovery) = DirectStore::open(&dir).unwrap();
+        let mut agent = Agent::new(space, &[(0, 0)], cfg());
+        let err = run_durable(
+            &mut agent,
+            &mut LiveOnly,
+            &truth,
+            Durability::new(&mut store, recovery),
+        )
+        .unwrap_err();
+        assert!(err.contains("durable state"), "unexpected error: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

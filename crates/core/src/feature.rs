@@ -40,7 +40,9 @@ impl FeatureCatalog {
         if let Some(&id) = self.lookup.get(&pair) {
             return id;
         }
-        let id = FeatureId(u32::try_from(self.pairs.len()).expect("feature catalog overflow"));
+        // Feature catalogs are bounded by distinct attribute-pair counts,
+        // far below u32::MAX; saturate rather than panic if that ever breaks.
+        let id = FeatureId(u32::try_from(self.pairs.len()).unwrap_or(u32::MAX));
         self.pairs.push(pair);
         self.lookup.insert(pair, id);
         id
@@ -87,6 +89,7 @@ pub fn feature_score(set: &FeatureSet, feature: FeatureId) -> Option<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

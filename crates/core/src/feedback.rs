@@ -38,6 +38,21 @@ pub trait FeedbackSource {
     fn take_degraded(&mut self) -> usize {
         0
     }
+
+    /// Serialized internal state for crash-durable runs, or `None` when the
+    /// source cannot be made durable (e.g. live users). Durable runs persist
+    /// this after every episode so a resumed run replays the *same* feedback
+    /// stream; sources returning `None` cannot drive a `--state-dir` run.
+    fn durable_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore state previously produced by
+    /// [`FeedbackSource::durable_state`]. The default (for non-durable
+    /// sources) rejects.
+    fn restore_durable_state(&mut self, _state: &[u8]) -> Result<(), String> {
+        Err("this feedback source does not support durable state".to_string())
+    }
 }
 
 /// Ground-truth oracle feedback with an optional error rate.
@@ -97,9 +112,37 @@ impl FeedbackSource for OracleFeedback {
         }
         Some((id, feedback))
     }
+
+    fn durable_state(&self) -> Option<Vec<u8>> {
+        // The truth set and error rate are reconstructed from the run
+        // inputs; only the RNG position needs persisting.
+        let mut out = Vec::with_capacity(32);
+        for w in self.rng.state() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        Some(out)
+    }
+
+    fn restore_durable_state(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.len() != 32 {
+            return Err(format!(
+                "oracle feedback state must be 32 bytes, got {}",
+                state.len()
+            ));
+        }
+        let mut words = [0u64; 4];
+        for (i, w) in words.iter_mut().enumerate() {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&state[i * 8..(i + 1) * 8]);
+            *w = u64::from_le_bytes(raw);
+        }
+        self.rng = StdRng::from_state(words);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::space::SpaceConfig;

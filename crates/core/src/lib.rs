@@ -51,6 +51,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod agent;
 pub mod blacklist;
@@ -62,6 +63,7 @@ pub mod feature;
 pub mod feedback;
 pub mod metrics;
 pub mod partition;
+pub mod persist;
 pub mod policy;
 pub mod provenance;
 pub mod query_feedback;
@@ -76,11 +78,12 @@ pub use blacklist::Blacklist;
 pub use bridge::FeedbackBridge;
 pub use candidates::CandidateSet;
 pub use config::AlexConfig;
-pub use driver::{run, RunReport, StopReason};
+pub use driver::{run, run_durable, Durability, RunReport, StopReason};
 pub use feature::{FeatureCatalog, FeatureId, FeaturePair, FeatureSet};
 pub use feedback::{Feedback, FeedbackSource, OracleFeedback};
 pub use metrics::{EpisodeReport, Quality};
 pub use partition::{run_partitioned, PartitionTrace, PartitionedConfig, PartitionedRun};
+pub use persist::{AgentState, EpisodeRecord, EpisodeStats, RunSnapshot};
 pub use policy::Policy;
 pub use provenance::{Provenance, StateAction};
 pub use query_feedback::{workload_from_links, QueryFeedback};

@@ -98,6 +98,7 @@ pub struct EpisodeReport {
 
 /// Allow sampling-free quality math to be checked exactly.
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

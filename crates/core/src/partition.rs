@@ -203,7 +203,10 @@ pub fn run_partitioned(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("no panics"))
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
                 .collect()
         })
     };
@@ -305,7 +308,10 @@ pub fn run_partitioned(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("no panics"))
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
                 .collect()
         });
 
@@ -359,6 +365,7 @@ pub fn run_partitioned(
             rollbacks: rollbacks as u64,
             threads: alex_parallel::configured_threads() as u64,
             duration_us: duration.as_micros() as u64,
+            recovered_from: 0,
         });
         if relaxed_converged_at.is_none() && change_frac < cfg.alex.relaxed_convergence_frac {
             relaxed_converged_at = Some(episode);
@@ -414,6 +421,7 @@ pub fn run_partitioned(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,536 @@
+//! Stable binary (de)serialization of learning state for crash-durable
+//! runs (the `alex-store` integration).
+//!
+//! Two artifacts are encoded here:
+//!
+//! * **Snapshots** — the agent's full learning state after a committed
+//!   episode, plus run bookkeeping (episode counter, relaxed-convergence
+//!   mark, feedback-source state). Byte-stable: hash maps are sorted before
+//!   encoding, while order-sensitive lists (candidate insertion order,
+//!   per-key return lists, provenance attribution order) are preserved
+//!   verbatim, because replay determinism depends on them.
+//! * **Episode records** — the journal payload for one episode: the judged
+//!   `(left, right, feedback)` items in order plus the feedback source's
+//!   post-episode state. Resume replays these through the restored agent to
+//!   reproduce the exact pre-crash state.
+//!
+//! Both carry a format version and are validated field-by-field; a snapshot
+//! additionally carries the run's *base fingerprint* (link space + config),
+//! so resuming against different inputs fails loudly instead of silently
+//! diverging.
+
+use alex_store::{ByteReader, ByteWriter};
+
+use crate::config::AlexConfig;
+
+/// Version of the domain encoding (independent of the store-layer framing).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Serialized learning state of an [`crate::Agent`], captured after an
+/// episode boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentState {
+    /// Agent RNG state words.
+    pub rng: [u64; 4],
+    /// Episodes the agent has completed.
+    pub episodes_completed: u64,
+    /// Pairs admitted via `ensure_pair` after agent construction, in
+    /// admission order (replayed to reproduce `PairId` assignment).
+    pub admissions: Vec<(u32, u32)>,
+    /// Candidate set, raw pair ids in insertion order (sampling order
+    /// depends on it).
+    pub candidates: Vec<u32>,
+    /// Approved links, sorted.
+    pub approved: Vec<u32>,
+    /// Learned greedy actions `(state, feature)`, sorted by state.
+    pub greedy: Vec<(u32, u32)>,
+    /// Q returns per `(state, feature)`, sorted by key; each return list is
+    /// in append order (float summation order affects Q).
+    pub returns: Vec<((u32, u32), Vec<f64>)>,
+    /// Blacklist votes `(link, negatives, positives)`, sorted by link.
+    pub blacklist_votes: Vec<(u32, u32, u32)>,
+    /// Provenance attribution `((state, feature), links)`, sorted by key;
+    /// each link list is in attribution order (rollback removal order).
+    pub generated: Vec<((u32, u32), Vec<u32>)>,
+    /// Provenance votes `((state, feature), negatives, positives)`, sorted.
+    pub provenance_votes: Vec<((u32, u32), u32, u32)>,
+}
+
+/// Per-episode statistics persisted so a resumed run reports the *full*
+/// episode history, not just the episodes it ran itself. Mirrors
+/// [`crate::EpisodeReport`] minus the wall-clock duration (which is
+/// session-local and excluded from resume identity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeStats {
+    /// 1-based episode number.
+    pub episode: u64,
+    /// Precision after the episode.
+    pub precision: f64,
+    /// Recall after the episode.
+    pub recall: f64,
+    /// F-measure after the episode.
+    pub f_measure: f64,
+    /// Candidate-set size after the episode.
+    pub candidates: u64,
+    /// Correct candidates after the episode.
+    pub correct: u64,
+    /// Links added during the episode.
+    pub added: u64,
+    /// Links removed during the episode.
+    pub removed: u64,
+    /// Fraction of feedback that was negative.
+    pub negative_feedback_frac: f64,
+    /// Rollbacks triggered.
+    pub rollbacks: u64,
+    /// Fraction of links changed vs the previous episode.
+    pub change_frac: f64,
+}
+
+/// One full-run snapshot: agent state plus driver bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSnapshot {
+    /// Fingerprint of the link space + configuration this state was
+    /// learned against.
+    pub base_fingerprint: u64,
+    /// Last committed episode (0 for the initial pre-run snapshot).
+    pub last_episode: u64,
+    /// Whether the run finished (resuming a completed run is an error).
+    pub completed: bool,
+    /// First episode at which relaxed convergence held, if any.
+    pub relaxed_converged_at: Option<u64>,
+    /// Full per-episode history up to `last_episode`.
+    pub episodes: Vec<EpisodeStats>,
+    /// Agent learning state.
+    pub agent: AgentState,
+    /// Opaque feedback-source state
+    /// ([`crate::FeedbackSource::durable_state`]).
+    pub source_state: Vec<u8>,
+}
+
+/// One journal episode record: the judged items, in order, plus the
+/// feedback source's state *after* the episode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpisodeRecord {
+    /// Judged items as `(left, right, positive)`.
+    pub items: Vec<(u32, u32, bool)>,
+    /// Feedback-source state after the episode.
+    pub source_state: Vec<u8>,
+}
+
+fn fnv_mix(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Order-sensitive FNV-1a fingerprint of every [`AlexConfig`] field.
+/// Resuming under a different configuration would silently diverge from the
+/// original run, so the snapshot pins it.
+pub fn config_fingerprint(cfg: &AlexConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv_mix(&mut h, cfg.theta.to_bits());
+    fnv_mix(&mut h, cfg.step_size.to_bits());
+    fnv_mix(&mut h, cfg.episode_size as u64);
+    fnv_mix(&mut h, cfg.epsilon.to_bits());
+    fnv_mix(&mut h, cfg.positive_reward.to_bits());
+    fnv_mix(&mut h, cfg.negative_penalty.to_bits());
+    fnv_mix(&mut h, u64::from(cfg.use_blacklist));
+    fnv_mix(&mut h, u64::from(cfg.use_rollback));
+    fnv_mix(&mut h, u64::from(cfg.rollback_threshold));
+    fnv_mix(&mut h, u64::from(cfg.rollback_spares_approved));
+    fnv_mix(&mut h, cfg.max_episodes as u64);
+    fnv_mix(&mut h, cfg.relaxed_convergence_frac.to_bits());
+    fnv_mix(&mut h, u64::from(cfg.stop_on_relaxed));
+    fnv_mix(&mut h, u64::from(cfg.first_visit_only));
+    fnv_mix(&mut h, cfg.seed);
+    h
+}
+
+/// Combine a space fingerprint and a config fingerprint into the run's base
+/// fingerprint.
+pub fn base_fingerprint(space: u64, config: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv_mix(&mut h, space);
+    fnv_mix(&mut h, config);
+    h
+}
+
+fn err(what: &str) -> String {
+    format!("corrupt durable state: {what}")
+}
+
+/// Encode a [`RunSnapshot`] as the snapshot payload handed to the store.
+pub fn encode_snapshot(s: &RunSnapshot) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(FORMAT_VERSION);
+    w.u64(s.base_fingerprint);
+    w.u64(s.last_episode);
+    w.u8(u8::from(s.completed));
+    match s.relaxed_converged_at {
+        Some(ep) => {
+            w.u8(1);
+            w.u64(ep);
+        }
+        None => {
+            w.u8(0);
+            w.u64(0);
+        }
+    }
+    w.u64(s.episodes.len() as u64);
+    for e in &s.episodes {
+        w.u64(e.episode);
+        w.f64(e.precision);
+        w.f64(e.recall);
+        w.f64(e.f_measure);
+        w.u64(e.candidates);
+        w.u64(e.correct);
+        w.u64(e.added);
+        w.u64(e.removed);
+        w.f64(e.negative_feedback_frac);
+        w.u64(e.rollbacks);
+        w.f64(e.change_frac);
+    }
+    let a = &s.agent;
+    for word in a.rng {
+        w.u64(word);
+    }
+    w.u64(a.episodes_completed);
+    w.u64(a.admissions.len() as u64);
+    for &(l, r) in &a.admissions {
+        w.u32(l);
+        w.u32(r);
+    }
+    w.u64(a.candidates.len() as u64);
+    for &id in &a.candidates {
+        w.u32(id);
+    }
+    w.u64(a.approved.len() as u64);
+    for &id in &a.approved {
+        w.u32(id);
+    }
+    w.u64(a.greedy.len() as u64);
+    for &(s_, f) in &a.greedy {
+        w.u32(s_);
+        w.u32(f);
+    }
+    w.u64(a.returns.len() as u64);
+    for ((s_, f), rs) in &a.returns {
+        w.u32(*s_);
+        w.u32(*f);
+        w.u64(rs.len() as u64);
+        for &v in rs {
+            w.f64(v);
+        }
+    }
+    w.u64(a.blacklist_votes.len() as u64);
+    for &(id, n, p) in &a.blacklist_votes {
+        w.u32(id);
+        w.u32(n);
+        w.u32(p);
+    }
+    w.u64(a.generated.len() as u64);
+    for ((s_, f), links) in &a.generated {
+        w.u32(*s_);
+        w.u32(*f);
+        w.u64(links.len() as u64);
+        for &l in links {
+            w.u32(l);
+        }
+    }
+    w.u64(a.provenance_votes.len() as u64);
+    for &((s_, f), n, p) in &a.provenance_votes {
+        w.u32(s_);
+        w.u32(f);
+        w.u32(n);
+        w.u32(p);
+    }
+    w.bytes(&s.source_state);
+    w.finish()
+}
+
+/// Decode a snapshot payload (inverse of [`encode_snapshot`]).
+pub fn decode_snapshot(payload: &[u8]) -> Result<RunSnapshot, String> {
+    let mut r = ByteReader::new(payload);
+    let version = r.u32("snapshot version").map_err(|e| err(&e.to_string()))?;
+    if version != FORMAT_VERSION {
+        return Err(err(&format!(
+            "snapshot format version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let map = |e: alex_store::CodecError| err(&e.to_string());
+    let base_fp = r.u64("base fingerprint").map_err(map)?;
+    let last_episode = r.u64("last episode").map_err(map)?;
+    let completed = r.u8("completed flag").map_err(map)? != 0;
+    let relaxed_flag = r.u8("relaxed flag").map_err(map)?;
+    let relaxed_ep = r.u64("relaxed episode").map_err(map)?;
+    let n = r.len("episode stats").map_err(map)?;
+    let mut episodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        episodes.push(EpisodeStats {
+            episode: r.u64("stat episode").map_err(map)?,
+            precision: r.f64("stat precision").map_err(map)?,
+            recall: r.f64("stat recall").map_err(map)?,
+            f_measure: r.f64("stat f_measure").map_err(map)?,
+            candidates: r.u64("stat candidates").map_err(map)?,
+            correct: r.u64("stat correct").map_err(map)?,
+            added: r.u64("stat added").map_err(map)?,
+            removed: r.u64("stat removed").map_err(map)?,
+            negative_feedback_frac: r.f64("stat negative frac").map_err(map)?,
+            rollbacks: r.u64("stat rollbacks").map_err(map)?,
+            change_frac: r.f64("stat change frac").map_err(map)?,
+        });
+    }
+    let mut rng = [0u64; 4];
+    for word in &mut rng {
+        *word = r.u64("rng word").map_err(map)?;
+    }
+    let episodes_completed = r.u64("episodes completed").map_err(map)?;
+
+    let n = r.len("admissions").map_err(map)?;
+    let mut admissions = Vec::with_capacity(n);
+    for _ in 0..n {
+        admissions.push((
+            r.u32("admission left").map_err(map)?,
+            r.u32("admission right").map_err(map)?,
+        ));
+    }
+    let n = r.len("candidates").map_err(map)?;
+    let mut candidates = Vec::with_capacity(n);
+    for _ in 0..n {
+        candidates.push(r.u32("candidate id").map_err(map)?);
+    }
+    let n = r.len("approved").map_err(map)?;
+    let mut approved = Vec::with_capacity(n);
+    for _ in 0..n {
+        approved.push(r.u32("approved id").map_err(map)?);
+    }
+    let n = r.len("greedy").map_err(map)?;
+    let mut greedy = Vec::with_capacity(n);
+    for _ in 0..n {
+        greedy.push((
+            r.u32("greedy state").map_err(map)?,
+            r.u32("greedy action").map_err(map)?,
+        ));
+    }
+    let n = r.len("returns").map_err(map)?;
+    let mut returns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = (
+            r.u32("return state").map_err(map)?,
+            r.u32("return action").map_err(map)?,
+        );
+        let m = r.len("return list").map_err(map)?;
+        let mut rs = Vec::with_capacity(m);
+        for _ in 0..m {
+            rs.push(r.f64("return value").map_err(map)?);
+        }
+        returns.push((key, rs));
+    }
+    let n = r.len("blacklist votes").map_err(map)?;
+    let mut blacklist_votes = Vec::with_capacity(n);
+    for _ in 0..n {
+        blacklist_votes.push((
+            r.u32("blacklist link").map_err(map)?,
+            r.u32("blacklist negatives").map_err(map)?,
+            r.u32("blacklist positives").map_err(map)?,
+        ));
+    }
+    let n = r.len("generated").map_err(map)?;
+    let mut generated = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = (
+            r.u32("generator state").map_err(map)?,
+            r.u32("generator action").map_err(map)?,
+        );
+        let m = r.len("generated links").map_err(map)?;
+        let mut links = Vec::with_capacity(m);
+        for _ in 0..m {
+            links.push(r.u32("generated link").map_err(map)?);
+        }
+        generated.push((key, links));
+    }
+    let n = r.len("provenance votes").map_err(map)?;
+    let mut provenance_votes = Vec::with_capacity(n);
+    for _ in 0..n {
+        provenance_votes.push((
+            (
+                r.u32("vote state").map_err(map)?,
+                r.u32("vote action").map_err(map)?,
+            ),
+            r.u32("vote negatives").map_err(map)?,
+            r.u32("vote positives").map_err(map)?,
+        ));
+    }
+    let source_state = r.bytes("source state").map_err(map)?.to_vec();
+    r.expect_exhausted("snapshot trailer").map_err(map)?;
+
+    Ok(RunSnapshot {
+        base_fingerprint: base_fp,
+        last_episode,
+        completed,
+        relaxed_converged_at: (relaxed_flag != 0).then_some(relaxed_ep),
+        episodes,
+        agent: AgentState {
+            rng,
+            episodes_completed,
+            admissions,
+            candidates,
+            approved,
+            greedy,
+            returns,
+            blacklist_votes,
+            generated,
+            provenance_votes,
+        },
+        source_state,
+    })
+}
+
+/// Encode an [`EpisodeRecord`] as the journal payload for one episode.
+pub fn encode_episode(record: &EpisodeRecord) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(FORMAT_VERSION);
+    w.u64(record.items.len() as u64);
+    for &(l, r, positive) in &record.items {
+        w.u32(l);
+        w.u32(r);
+        w.u8(u8::from(positive));
+    }
+    w.bytes(&record.source_state);
+    w.finish()
+}
+
+/// Decode a journal episode payload (inverse of [`encode_episode`]).
+pub fn decode_episode(payload: &[u8]) -> Result<EpisodeRecord, String> {
+    let mut r = ByteReader::new(payload);
+    let map = |e: alex_store::CodecError| err(&e.to_string());
+    let version = r.u32("episode version").map_err(map)?;
+    if version != FORMAT_VERSION {
+        return Err(err(&format!(
+            "episode format version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let n = r.len("episode items").map_err(map)?;
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        items.push((
+            r.u32("item left").map_err(map)?,
+            r.u32("item right").map_err(map)?,
+            r.u8("item feedback").map_err(map)? != 0,
+        ));
+    }
+    let source_state = r.bytes("episode source state").map_err(map)?.to_vec();
+    r.expect_exhausted("episode trailer").map_err(map)?;
+    Ok(EpisodeRecord {
+        items,
+        source_state,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> RunSnapshot {
+        RunSnapshot {
+            base_fingerprint: 0xFEED_BEEF,
+            last_episode: 7,
+            completed: false,
+            relaxed_converged_at: Some(5),
+            episodes: vec![EpisodeStats {
+                episode: 7,
+                precision: 0.75,
+                recall: 0.5,
+                f_measure: 0.6,
+                candidates: 11,
+                correct: 8,
+                added: 4,
+                removed: 1,
+                negative_feedback_frac: 0.25,
+                rollbacks: 0,
+                change_frac: 0.125,
+            }],
+            agent: AgentState {
+                rng: [1, 2, 3, u64::MAX],
+                episodes_completed: 7,
+                admissions: vec![(9, 12), (0, 3)],
+                candidates: vec![4, 1, 0],
+                approved: vec![0, 4],
+                greedy: vec![(0, 2), (4, 1)],
+                returns: vec![((0, 2), vec![1.0, -2.0, 1.0]), ((4, 1), vec![0.5])],
+                blacklist_votes: vec![(3, 2, 1)],
+                generated: vec![((0, 2), vec![4, 1])],
+                provenance_votes: vec![((0, 2), 1, 3)],
+            },
+            source_state: vec![0xAB; 32],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = sample_snapshot();
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_encoding_is_deterministic() {
+        let snap = sample_snapshot();
+        assert_eq!(encode_snapshot(&snap), encode_snapshot(&snap));
+    }
+
+    #[test]
+    fn episode_round_trips() {
+        let rec = EpisodeRecord {
+            items: vec![(0, 0, true), (3, 7, false)],
+            source_state: vec![1, 2, 3],
+        };
+        let bytes = encode_episode(&rec);
+        assert_eq!(decode_episode(&bytes).unwrap(), rec);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let bytes = encode_snapshot(&sample_snapshot());
+        assert!(decode_snapshot(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_snapshot(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = encode_snapshot(&sample_snapshot());
+        bytes[0] = 99;
+        let msg = decode_snapshot(&bytes).unwrap_err();
+        assert!(msg.contains("version"), "{msg}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_episode(&EpisodeRecord {
+            items: vec![],
+            source_state: vec![],
+        });
+        bytes.push(0);
+        assert!(decode_episode(&bytes).is_err());
+    }
+
+    #[test]
+    fn config_fingerprint_is_field_sensitive() {
+        let base = AlexConfig::default();
+        let fp = config_fingerprint(&base);
+        assert_eq!(fp, config_fingerprint(&AlexConfig::default()));
+        let reseeded = AlexConfig {
+            seed: base.seed + 1,
+            ..AlexConfig::default()
+        };
+        assert_ne!(fp, config_fingerprint(&reseeded));
+        let shifted = AlexConfig {
+            epsilon: base.epsilon + 0.01,
+            ..AlexConfig::default()
+        };
+        assert_ne!(fp, config_fingerprint(&shifted));
+    }
+}

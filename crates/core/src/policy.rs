@@ -99,9 +99,17 @@ impl Policy {
     pub fn forget(&mut self, state: PairId) {
         self.greedy.remove(&state);
     }
+
+    /// Iterate over learned `(state, greedy action)` entries, in arbitrary
+    /// order. Persistence sorts before encoding; restore goes through
+    /// [`Policy::improve`].
+    pub fn iter_greedy(&self) -> impl Iterator<Item = (PairId, FeatureId)> + '_ {
+        self.greedy.iter().map(|(&s, &a)| (s, a))
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -233,6 +233,7 @@ fn any_attribute_predicate(ds: &Dataset, iri: &str) -> Option<String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::space::SpaceConfig;

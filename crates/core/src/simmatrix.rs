@@ -112,6 +112,7 @@ pub fn feature_set(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::feature::feature_score;

@@ -63,6 +63,7 @@ pub struct LinkSpace {
     by_feature: HashMap<FeatureId, Vec<(f64, PairId)>>,
     theta: f64,
     blocked_pairs: usize,
+    admitted: Vec<(u32, u32)>,
 }
 
 impl LinkSpace {
@@ -119,6 +120,7 @@ impl LinkSpace {
             by_feature: HashMap::new(),
             theta: cfg.theta,
             blocked_pairs,
+            admitted: Vec::new(),
         };
         space.rebuild_feature_index();
         space
@@ -232,7 +234,42 @@ impl LinkSpace {
         self.pairs.push((left, right));
         self.pair_lookup.insert((left, right), id);
         self.features.push(sf);
+        self.admitted.push((left, right));
         id
+    }
+
+    /// Every pair admitted by [`LinkSpace::ensure_pair`] after the build, in
+    /// admission order. Replaying this log against a freshly built space
+    /// reproduces the exact same `PairId` (and `FeatureId`) assignments, which
+    /// is what lets crash recovery persist raw ids.
+    pub fn admissions(&self) -> &[(u32, u32)] {
+        &self.admitted
+    }
+
+    /// Order-sensitive FNV-1a fingerprint of the built space: the pair list,
+    /// the catalog's feature definitions, and θ. Two spaces with the same
+    /// fingerprint assign the same `PairId`/`FeatureId` meanings, so a
+    /// snapshot taken against one can be restored against the other.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.pairs.len() as u64);
+        for &(l, r) in &self.pairs {
+            mix(u64::from(l));
+            mix(u64::from(r));
+        }
+        for (f, fp) in self.catalog.iter() {
+            mix(u64::from(f.0));
+            mix(fp.left.index() as u64);
+            mix(fp.right.index() as u64);
+        }
+        mix(self.theta.to_bits());
+        h
     }
 
     /// The exploration query (§4.2): all pairs whose score for `feature`
@@ -266,6 +303,7 @@ impl LinkSpace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

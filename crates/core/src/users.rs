@@ -147,6 +147,7 @@ impl FeedbackSource for UserPopulation {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::space::SpaceConfig;

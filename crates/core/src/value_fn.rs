@@ -81,9 +81,23 @@ impl ActionValue {
     pub fn is_empty(&self) -> bool {
         self.returns.is_empty()
     }
+
+    /// Iterate over `((state, action), returns)` entries, in arbitrary map
+    /// order. The per-entry return *lists* are in append order — that order
+    /// matters, because [`ActionValue::q`] sums them as floats.
+    pub fn iter_returns(&self) -> impl Iterator<Item = ((PairId, FeatureId), &[f64])> + '_ {
+        self.returns.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Replace an entry's return list wholesale (crash-recovery restore).
+    /// The list must be in original append order to keep Q byte-identical.
+    pub fn restore_returns(&mut self, state: PairId, action: FeatureId, returns: Vec<f64>) {
+        self.returns.insert((state, action), returns);
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -21,9 +21,11 @@ impl SideValues {
             .map(|id| {
                 ds.graph()
                     .matching(Some(idx.term(id)), None, None)
-                    .map(|t| {
-                        let pred = t.predicate.as_iri().expect("IRI predicate");
-                        (pred, typed_value(ds, t.object))
+                    .filter_map(|t| {
+                        // Predicates are IRIs in every well-formed graph;
+                        // drop (rather than die on) anything else.
+                        let pred = t.predicate.as_iri()?;
+                        Some((pred, typed_value(ds, t.object)))
                     })
                     .collect()
             })
@@ -48,6 +50,7 @@ impl SideValues {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use alex_rdf::vocab;

@@ -43,6 +43,9 @@ pub enum Event {
         threads: u64,
         /// Episode wall-clock time in microseconds.
         duration_us: u64,
+        /// For a resumed durable run, the episode the state was recovered
+        /// from (snapshot + journal tail); 0 for fresh runs.
+        recovered_from: u64,
     },
     /// One feedback item was applied by the agent.
     FeedbackApplied {
@@ -166,6 +169,7 @@ impl Event {
                 rollbacks,
                 threads,
                 duration_us,
+                recovered_from,
             } => {
                 w.u64("episode", *episode)
                     .f64("precision", *precision)
@@ -175,7 +179,8 @@ impl Event {
                     .u64("removed", *removed)
                     .u64("rollbacks", *rollbacks)
                     .u64("threads", *threads)
-                    .u64("duration_us", *duration_us);
+                    .u64("duration_us", *duration_us)
+                    .u64("recovered_from", *recovered_from);
             }
             Event::FeedbackApplied {
                 positive,
@@ -283,6 +288,11 @@ impl Event {
                 rollbacks: get_u64("rollbacks")?,
                 threads: get_u64("threads")?,
                 duration_us: get_u64("duration_us")?,
+                // Absent in logs written before durable runs existed.
+                recovered_from: map
+                    .get("recovered_from")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
             }),
             "feedback_applied" => Ok(Event::FeedbackApplied {
                 positive: map

@@ -176,6 +176,7 @@ fn all_event_variants() -> Vec<Event> {
             rollbacks: 1,
             threads: 4,
             duration_us: 1234,
+            recovered_from: 0,
         },
         Event::FeedbackApplied {
             positive: true,

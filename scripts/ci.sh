@@ -10,11 +10,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> panic-free federation gate (unwrap/expect banned in crates/sparql/src/federation/)"
+echo "==> panic-free gate (unwrap/expect banned in federation, alex-core, alex-store)"
 # The federation modules carry #[deny(clippy::unwrap_used, clippy::expect_used)]
-# (see crates/sparql/src/federation/mod.rs); this run fails the build if a
-# new unwrap/expect sneaks into the fault-handling path.
+# (see crates/sparql/src/federation/mod.rs), and alex-core / alex-store deny
+# the same lints crate-wide (see their lib.rs); these runs fail the build if
+# a new unwrap/expect sneaks into the fault-handling or durability paths.
 cargo clippy -p alex-sparql -- -D warnings
+cargo clippy -p alex-core -- -D warnings
+cargo clippy -p alex-store -- -D warnings
 
 echo "==> cargo test (ALEX_THREADS=1: deterministic pool runs inline)"
 ALEX_THREADS=1 cargo test --workspace -q
@@ -29,5 +32,29 @@ cargo bench --workspace --no-run -q
 
 echo "==> chaos suite (seeded fault injection over the full improve loop)"
 cargo test --test chaos_federation -q
+
+echo "==> kill-and-resume smoke (SIGKILL mid-run, --resume, diff vs reference)"
+# An improve run is SIGKILLed at an episode commit, resumed with --resume,
+# and its final links must be byte-identical to an uninterrupted reference.
+cargo build -q --bin alex
+ALEX=target/debug/alex
+SMOKE=$(mktemp -d -t alex-ci-resume.XXXXXX)
+trap 'rm -rf "$SMOKE"' EXIT
+"$ALEX" gen --out-dir "$SMOKE" --pair nba --seed 7
+improve() {
+  "$ALEX" improve "$SMOKE/left.nt" "$SMOKE/right.nt" \
+    --links "$SMOKE/truth.nt" --truth "$SMOKE/truth.nt" \
+    --episodes 6 --episode-size 30 --error-rate 0.1 "$@"
+}
+improve --state-dir "$SMOKE/state-ref" --out "$SMOKE/ref.nt" --threads 1
+# `kill -9` at the 2nd commit: the run must die by signal, not exit cleanly.
+if improve --state-dir "$SMOKE/state-cut" --kill-after 2 --threads 4; then
+  echo "kill-and-resume smoke: run survived --kill-after 2" >&2
+  exit 1
+fi
+improve --state-dir "$SMOKE/state-cut" --resume --out "$SMOKE/resumed.nt" --threads 4
+cmp "$SMOKE/ref.nt" "$SMOKE/resumed.nt" \
+  || { echo "kill-and-resume smoke: resumed links differ from reference" >&2; exit 1; }
+echo "resumed links byte-identical to uninterrupted reference"
 
 echo "CI OK"

@@ -122,6 +122,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Raw xoshiro256++ state words — **beyond-rand extension** used by
+        /// the durability layer to persist and restore the generator across
+        /// a crash. The words round-trip exactly through [`StdRng::from_state`].
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from raw state words previously obtained via
+        /// [`StdRng::state`] — **beyond-rand extension** for crash recovery.
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256++ (Blackman & Vigna).
@@ -238,6 +253,19 @@ mod tests {
         assert!(rng.random_bool(1.0));
         let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
         assert!((2600..3400).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn state_round_trips_exactly() {
+        let mut a = StdRng::seed_from_u64(1234);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let saved = a.state();
+        let mut b = StdRng::from_state(saved);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -21,8 +21,8 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use alex::core::{
-    driver, run_partitioned, workload_from_links, Agent, AlexConfig, FeedbackBridge, LinkSpace,
-    PartitionedConfig, Quality, QueryFeedback, SpaceConfig,
+    driver, run_partitioned, workload_from_links, Agent, AlexConfig, Durability, FeedbackBridge,
+    LinkSpace, OracleFeedback, PartitionedConfig, Quality, QueryFeedback, SpaceConfig, StopReason,
 };
 use alex::datagen::{all_pairs, generate_pair, DatasetKind, PairSpec};
 use alex::linking::{LabelBaseline, LinkerOutput, Paris, ParisConfig};
@@ -107,6 +107,23 @@ FAULT TOLERANCE (improve --feedback query, and query):
                             failure aborts the query instead of
                             completing partially without that source.
 
+DURABILITY (improve, oracle feedback):
+  --state-dir DIR           Journal every episode and snapshot the full
+                            learning state under DIR; a killed run can be
+                            continued with --resume. Durable runs are
+                            single-partition and deterministic: an
+                            interrupted-and-resumed run produces exactly
+                            the links an uninterrupted one would.
+  --resume                  Continue the run found in --state-dir
+                            (snapshot restore + journal replay). A fresh
+                            directory starts fresh, so --resume is always
+                            safe to pass.
+  --snapshot-every N        Full-snapshot cadence in episodes (default
+                            10; 0 journals only).
+  --kill-after N            SIGKILL this process right after the N-th
+                            episode commit of this session (crash-safety
+                            harness; requires --state-dir).
+
 PARALLELISM (link, improve, query):
   --threads N               Worker threads for the deterministic pool
                             driving space build, PARIS alignment, and
@@ -135,7 +152,7 @@ fn split_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "baseline" || name == "verbose" || name == "fail-fast" {
+            if name == "baseline" || name == "verbose" || name == "fail-fast" || name == "resume" {
                 flags.push((name.to_string(), "true".to_string()));
                 i += 1;
                 continue;
@@ -263,6 +280,60 @@ impl TelemetryOpts {
         }
         Ok(())
     }
+}
+
+/// Durable-run options (`--state-dir` and friends), validated as a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DurableOpts {
+    state_dir: String,
+    snapshot_every: u64,
+    resume: bool,
+    kill_after: Option<u64>,
+}
+
+/// Parse and validate the durability flags. `None` when no `--state-dir`
+/// was given; an error when a dependent flag appears without it (or with a
+/// setting durable runs cannot honor).
+fn durable_opts(flags: &Flags) -> Result<Option<DurableOpts>, String> {
+    let state_dir = flag(flags, "state-dir");
+    for dependent in ["resume", "snapshot-every", "kill-after"] {
+        if flag(flags, dependent).is_some() && state_dir.is_none() {
+            return Err(format!(
+                "--{dependent} requires --state-dir: it only applies to durable runs"
+            ));
+        }
+    }
+    let Some(dir) = state_dir else {
+        return Ok(None);
+    };
+    if let Some(p) = flag(flags, "partitions") {
+        if p != "1" {
+            return Err(
+                "--state-dir runs are single-partition; drop --partitions or set it to 1".into(),
+            );
+        }
+    }
+    if flag(flags, "feedback").is_some_and(|f| f != "oracle") {
+        return Err(
+            "--state-dir requires oracle feedback: live query feedback cannot be \
+                    journaled for deterministic replay"
+                .into(),
+        );
+    }
+    let kill_after = flag(flags, "kill-after")
+        .map(|v| {
+            v.parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("invalid value '{v}' for --kill-after (need a count >= 1)"))
+        })
+        .transpose()?;
+    Ok(Some(DurableOpts {
+        state_dir: dir.to_string(),
+        snapshot_every: parse_flag(flags, "snapshot-every", 10u64)?,
+        resume: flag(flags, "resume").is_some(),
+        kill_after,
+    }))
 }
 
 /// Build the endpoint resilience policy from the shared fault-tolerance
@@ -451,11 +522,16 @@ fn cmd_improve(args: &[String]) -> Result<(), String> {
         return Err("improve requires exactly two data files".into());
     };
     configure_threads(&flags)?;
+    let durable = durable_opts(&flags)?;
     let telemetry = telemetry_setup(&flags)?;
     let left = load_dataset(left_path)?;
     let right = load_dataset(right_path)?;
     let links = load_links(flag(&flags, "links").ok_or("--links is required")?)?;
     let truth = load_links(flag(&flags, "truth").ok_or("--truth is required")?)?;
+
+    if let Some(opts) = durable {
+        return improve_durable(&left, &right, &links, &truth, &flags, &telemetry, opts);
+    }
 
     match flag(&flags, "feedback").unwrap_or("oracle") {
         "oracle" => {}
@@ -527,6 +603,129 @@ fn cmd_improve(args: &[String]) -> Result<(), String> {
                 .iter()
                 .map(|&(l, r)| (left.resolve(l).to_string(), right.resolve(r).to_string())),
         );
+        write_or_print(Some(out), &final_links.to_ntriples())?;
+    }
+    telemetry.finish()
+}
+
+/// `improve --state-dir`: the crash-safe single-partition run. Every episode
+/// is journaled before the run proceeds; `--resume` restores the newest
+/// snapshot and replays the journal tail, yielding exactly the links an
+/// uninterrupted run would have produced.
+#[allow(clippy::too_many_arguments)]
+fn improve_durable(
+    left: &Dataset,
+    right: &Dataset,
+    links: &SameAsLinks,
+    truth: &SameAsLinks,
+    flags: &Flags,
+    telemetry: &TelemetryOpts,
+    opts: DurableOpts,
+) -> Result<(), String> {
+    let left_index = left.entity_index();
+    let right_index = right.entity_index();
+    let to_ids = |set: &SameAsLinks| -> Vec<(u32, u32)> {
+        set.iter()
+            .filter_map(|l| {
+                let lt = left.interner().get(&l.left).map(Term::Iri)?;
+                let rt = right.interner().get(&l.right).map(Term::Iri)?;
+                Some((left_index.id(lt)?, right_index.id(rt)?))
+            })
+            .collect()
+    };
+    let initial_ids = to_ids(links);
+    let truth_ids: std::collections::HashSet<(u32, u32)> = to_ids(truth).into_iter().collect();
+    if truth_ids.is_empty() {
+        return Err("no ground-truth link references entities of these data sets".into());
+    }
+    eprintln!(
+        "initial links: {} usable of {}; ground truth: {} usable of {} (durable: {})",
+        initial_ids.len(),
+        links.len(),
+        truth_ids.len(),
+        truth.len(),
+        opts.state_dir
+    );
+
+    let cfg = AlexConfig {
+        episode_size: parse_flag(flags, "episode-size", 1000usize)?,
+        max_episodes: parse_flag(flags, "episodes", 40usize)?,
+        ..AlexConfig::default()
+    };
+    let space = LinkSpace::build(left, right, &SpaceConfig::default());
+    let mut agent = Agent::new(space, &initial_ids, cfg.clone());
+    let error_rate: f64 = parse_flag(flags, "error-rate", 0.0f64)?;
+    let mut oracle = OracleFeedback::with_error_rate(truth_ids.clone(), error_rate, cfg.seed);
+
+    let (mut store, recovery) = alex::store::DirectStore::open(Path::new(&opts.state_dir))
+        .map_err(|e| format!("cannot open state dir {}: {e}", opts.state_dir))?;
+    if !recovery.is_fresh() {
+        eprintln!(
+            "recovering from {}: snapshot {}, {} journal episode(s){}",
+            opts.state_dir,
+            recovery
+                .snapshot
+                .as_ref()
+                .map(|(seq, _)| seq.to_string())
+                .unwrap_or_else(|| "none".into()),
+            recovery.journal_tail.len(),
+            if recovery.repaired() {
+                " (repaired torn/corrupt records)"
+            } else {
+                ""
+            }
+        );
+    }
+    let mut durability = Durability::new(&mut store, recovery)
+        .snapshot_every(opts.snapshot_every)
+        .resume(opts.resume);
+    let mut commits_this_session = 0u64;
+    if let Some(kill_after) = opts.kill_after {
+        durability = durability.on_commit(move |episode| {
+            commits_this_session += 1;
+            if commits_this_session == kill_after {
+                // A genuine SIGKILL — no unwinding, no destructors, no
+                // flushing — exactly what the crash-safety tests need.
+                eprintln!("kill-after: SIGKILL at episode {episode} commit");
+                let _ = std::process::Command::new("kill")
+                    .args(["-9", &std::process::id().to_string()])
+                    .status();
+                // Unreachable once the signal lands; sleep so we never race
+                // past the commit boundary and run another episode.
+                std::thread::sleep(std::time::Duration::from_secs(60));
+            }
+        });
+    }
+    let report = driver::run_durable(&mut agent, &mut oracle, &truth_ids, durability)?;
+
+    let print_q = |tag: &str, q: Quality| {
+        println!(
+            "{tag:>8}  P {:.3}  R {:.3}  F {:.3}",
+            q.precision, q.recall, q.f_measure
+        );
+    };
+    print_q("initial", report.initial_quality);
+    for e in &report.episodes {
+        print_q(&format!("ep {}", e.episode), e.quality);
+    }
+    println!(
+        "stopped: {:?} after {} episodes ({:.2?})",
+        report.stop,
+        report.episodes.len(),
+        report.total_duration
+    );
+    if report.stop == StopReason::Suspended {
+        eprintln!(
+            "run suspended; continue with: alex improve ... --state-dir {} --resume",
+            opts.state_dir
+        );
+    }
+
+    if let Some(out) = flag(flags, "out") {
+        let final_links = SameAsLinks::from_pairs(agent.candidates().iter().map(|id| {
+            let (lt, rt) = agent.space().pair_terms(id);
+            (left.resolve(lt).to_string(), right.resolve(rt).to_string())
+        }));
         write_or_print(Some(out), &final_links.to_ntriples())?;
     }
     telemetry.finish()
@@ -714,4 +913,96 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     }
     eprintln!("{} answer(s)", answers.len());
     telemetry.finish()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn flags_of(line: &str) -> Flags {
+        let args: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        split_args(&args).unwrap().1
+    }
+
+    #[test]
+    fn no_durability_flags_means_no_durable_opts() {
+        assert_eq!(durable_opts(&flags_of("--episodes 5")).unwrap(), None);
+    }
+
+    #[test]
+    fn state_dir_enables_durable_defaults() {
+        let opts = durable_opts(&flags_of("--state-dir /tmp/s"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            opts,
+            DurableOpts {
+                state_dir: "/tmp/s".into(),
+                snapshot_every: 10,
+                resume: false,
+                kill_after: None,
+            }
+        );
+    }
+
+    #[test]
+    fn all_durability_flags_parse() {
+        let opts = durable_opts(&flags_of(
+            "--state-dir /tmp/s --resume --snapshot-every 3 --kill-after 2",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            opts,
+            DurableOpts {
+                state_dir: "/tmp/s".into(),
+                snapshot_every: 3,
+                resume: true,
+                kill_after: Some(2),
+            }
+        );
+    }
+
+    #[test]
+    fn resume_without_state_dir_is_rejected() {
+        let err = durable_opts(&flags_of("--resume")).unwrap_err();
+        assert!(err.contains("--resume requires --state-dir"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_every_without_state_dir_is_rejected() {
+        let err = durable_opts(&flags_of("--snapshot-every 5")).unwrap_err();
+        assert!(
+            err.contains("--snapshot-every requires --state-dir"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn kill_after_without_state_dir_is_rejected() {
+        let err = durable_opts(&flags_of("--kill-after 2")).unwrap_err();
+        assert!(err.contains("--kill-after requires --state-dir"), "{err}");
+    }
+
+    #[test]
+    fn state_dir_rejects_multiple_partitions() {
+        let err = durable_opts(&flags_of("--state-dir /tmp/s --partitions 4")).unwrap_err();
+        assert!(err.contains("single-partition"), "{err}");
+        // Explicit --partitions 1 is fine.
+        assert!(durable_opts(&flags_of("--state-dir /tmp/s --partitions 1")).is_ok());
+    }
+
+    #[test]
+    fn state_dir_rejects_query_feedback() {
+        let err = durable_opts(&flags_of("--state-dir /tmp/s --feedback query")).unwrap_err();
+        assert!(err.contains("oracle feedback"), "{err}");
+        assert!(durable_opts(&flags_of("--state-dir /tmp/s --feedback oracle")).is_ok());
+    }
+
+    #[test]
+    fn kill_after_must_be_positive() {
+        let err = durable_opts(&flags_of("--state-dir /tmp/s --kill-after 0")).unwrap_err();
+        assert!(err.contains("--kill-after"), "{err}");
+    }
 }

@@ -18,6 +18,7 @@
 //! | [`datagen`] (`alex-datagen`) | Deterministic synthetic LOD analogues |
 //! | [`telemetry`] (`alex-telemetry`) | Spans, metrics registry, structured event log |
 //! | [`parallel`] (`alex-parallel`) | Deterministic scoped worker pool (order-preserving reduction) |
+//! | [`store`] (`alex-store`) | Crash-safe durable state: episode journal + checksummed snapshots |
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the experiment harness that regenerates every table and figure of the
@@ -33,6 +34,7 @@ pub use alex_parallel as parallel;
 pub use alex_rdf as rdf;
 pub use alex_sim as sim;
 pub use alex_sparql as sparql;
+pub use alex_store as store;
 pub use alex_telemetry as telemetry;
 
 pub use alex_core::{

@@ -1,0 +1,63 @@
+//! Noisy-feedback robustness (the paper's Appendix C): with a seeded
+//! fraction of judgments flipped, the rollback + blacklist optimizations
+//! must keep the final F-measure within tolerance of a clean-feedback run.
+
+use std::collections::HashSet;
+
+use alex::core::{driver, Agent, AlexConfig, LinkSpace, OracleFeedback, SpaceConfig};
+use alex::datagen::{generate_pair, DatasetKind, PairSpec};
+
+/// Generate the NBA pair (small, realistic ambiguity) and map its ground
+/// truth into dense ids.
+fn build() -> (LinkSpace, HashSet<(u32, u32)>) {
+    let spec = PairSpec::of(DatasetKind::DBpediaNba, DatasetKind::NYTimes);
+    let pair = generate_pair(&spec.config(7));
+    let space = LinkSpace::build(&pair.left, &pair.right, &SpaceConfig::default());
+    let truth: HashSet<(u32, u32)> = pair
+        .ground_truth
+        .iter()
+        .filter_map(|&(l, r)| Some((space.left_index().id(l)?, space.right_index().id(r)?)))
+        .collect();
+    assert!(!truth.is_empty(), "ground truth must map into the space");
+    (space, truth)
+}
+
+fn run_with_error_rate(
+    space: &LinkSpace,
+    truth: &HashSet<(u32, u32)>,
+    initial: &[(u32, u32)],
+    error_rate: f64,
+) -> f64 {
+    let cfg = AlexConfig {
+        episode_size: 150,
+        max_episodes: 15,
+        ..AlexConfig::default()
+    };
+    let mut agent = Agent::new(space.clone(), initial, cfg);
+    let mut oracle = OracleFeedback::with_error_rate(truth.clone(), error_rate, 31);
+    let report = driver::run(&mut agent, &mut oracle, truth);
+    report.final_quality().f_measure
+}
+
+#[test]
+fn flipped_judgments_stay_within_tolerance_of_clean_run() {
+    let (space, truth) = build();
+    // Start from 40% of the truth plus a few wrong links.
+    let mut initial: Vec<(u32, u32)> = truth.iter().copied().collect();
+    initial.sort_unstable();
+    let keep = initial.len() * 2 / 5;
+    initial.truncate(keep);
+    initial.extend([(0, 1), (1, 2), (2, 0)]);
+
+    let clean_f = run_with_error_rate(&space, &truth, &initial, 0.0);
+    assert!(clean_f > 0.5, "clean run should learn: F {clean_f}");
+
+    for flip_fraction in [0.05, 0.10] {
+        let noisy_f = run_with_error_rate(&space, &truth, &initial, flip_fraction);
+        assert!(
+            noisy_f >= clean_f - 0.15,
+            "with {flip_fraction} of judgments flipped, rollback+blacklist should keep \
+             F within tolerance: clean {clean_f}, noisy {noisy_f}"
+        );
+    }
+}
