@@ -18,7 +18,7 @@
 use std::collections::{HashSet, VecDeque};
 
 use alex_rdf::Dataset;
-use alex_sparql::{parse, FederatedEngine, Query, SameAsLinks};
+use alex_sparql::{parse, FederatedEngine, Link, Query};
 use alex_telemetry::counter;
 
 use crate::bridge::FeedbackBridge;
@@ -88,18 +88,64 @@ impl QueryFeedback {
         &self.engine
     }
 
+    /// Mutably borrow the engine (e.g. to enable the answer cache after
+    /// construction).
+    pub fn engine_mut(&mut self) -> &mut FederatedEngine {
+        &mut self.engine
+    }
+
     /// Sync the engine's links to the candidate set, then execute workload
     /// queries (round-robin) until at least one judgment is queued or a
     /// full pass produced nothing. Returns whether anything was queued.
     fn refill(&mut self, candidates: &CandidateSet, space: &LinkSpace) -> bool {
-        self.engine
-            .set_links(SameAsLinks::from_pairs(candidates.iter().map(|id| {
+        // Incremental sync: diff the desired link set against the engine's
+        // current one and issue only the actual adds/removes. Every
+        // exploration add, rejection remove, blacklist, rollback, and
+        // resume-replay thus flows through `SameAsLinks::add`/`remove` —
+        // the single notification hook — so subscribers (the answer
+        // cache's invalidator) see exactly the mutated pairs instead of a
+        // wholesale replacement forcing a full flush.
+        let mut desired: Vec<Link> = candidates
+            .iter()
+            .map(|id| {
                 let (lt, rt) = space.pair_terms(id);
-                (
+                Link::new(
                     self.left.resolve(lt).to_string(),
                     self.right.resolve(rt).to_string(),
                 )
-            })));
+            })
+            .collect();
+        desired.sort_unstable();
+        desired.dedup();
+        // `iter()` is sorted, so a two-pointer merge finds the diff.
+        let current: Vec<Link> = self.engine.links().iter().cloned().collect();
+        let (mut i, mut j) = (0, 0);
+        let links = self.engine.links_mut();
+        while i < current.len() || j < desired.len() {
+            match (current.get(i), desired.get(j)) {
+                (Some(have), Some(want)) if have == want => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(have), Some(want)) if have < want => {
+                    links.remove(have);
+                    i += 1;
+                }
+                (Some(_), Some(want)) => {
+                    links.add(want.clone());
+                    j += 1;
+                }
+                (Some(have), None) => {
+                    links.remove(have);
+                    i += 1;
+                }
+                (None, Some(want)) => {
+                    links.add(want.clone());
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
         for _ in 0..self.queries.len() {
             let query = &self.queries[self.cursor % self.queries.len()];
             self.cursor += 1;
@@ -332,6 +378,63 @@ mod tests {
     fn empty_candidates_yield_nothing() {
         let (mut source, space, _) = build_source(false);
         assert_eq!(source.next(&CandidateSet::new(), &space), None);
+    }
+
+    #[test]
+    fn refill_syncs_links_incrementally_through_the_notification_hook() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct Recorder {
+            added: Mutex<Vec<Link>>,
+            removed: Mutex<Vec<Link>>,
+        }
+        impl alex_sparql::LinkObserver for Recorder {
+            fn link_added(&self, link: &Link) {
+                self.added.lock().unwrap().push(link.clone());
+            }
+            fn link_removed(&self, link: &Link) {
+                self.removed.lock().unwrap().push(link.clone());
+            }
+        }
+
+        let (mut source, mut space, _) = build_source(false);
+        let rec = Arc::new(Recorder::default());
+        source.engine_mut().links_mut().subscribe(rec.clone());
+
+        // First sync: both candidates appear as adds (exploration path).
+        let mut candidates = CandidateSet::new();
+        candidates.insert(space.ensure_pair(0, 0));
+        candidates.insert(space.ensure_pair(1, 1));
+        assert!(source.next(&candidates, &space).is_some());
+        assert_eq!(
+            *rec.added.lock().unwrap(),
+            vec![
+                Link::new("http://l/0", "http://r/0"),
+                Link::new("http://l/1", "http://r/1")
+            ],
+        );
+        assert!(rec.removed.lock().unwrap().is_empty());
+
+        // Shrinking the candidate set (rejection/rollback path) must
+        // surface as exactly one remove — not a rebuild of everything.
+        let mut shrunk = CandidateSet::new();
+        shrunk.insert(space.ensure_pair(0, 0));
+        for _ in 0..40 {
+            if !rec.removed.lock().unwrap().is_empty() {
+                break;
+            }
+            source.next(&shrunk, &space);
+        }
+        assert_eq!(
+            *rec.removed.lock().unwrap(),
+            vec![Link::new("http://l/1", "http://r/1")],
+        );
+        assert_eq!(
+            rec.added.lock().unwrap().len(),
+            2,
+            "the surviving link must not be re-added"
+        );
     }
 
     #[test]

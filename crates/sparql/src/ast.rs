@@ -200,6 +200,217 @@ impl Query {
             Selection::Vars(vs) => vs.clone(),
         }
     }
+
+    /// Serialize back to SPARQL text that re-parses to an equal `Query`.
+    ///
+    /// The output is normalized: IRIs are written in full `<…>` form
+    /// (prefixes were expanded at parse time), numbers as typed literals
+    /// (how the parser stores them), and nested boolean expressions are
+    /// fully parenthesized. For any query the parser can produce,
+    /// `parse(q.to_sparql())` equals `q` and serialization is a fixpoint
+    /// — the round-trip property the fuzz harness enforces. Queries
+    /// built by hand around the parser's value space (blank nodes,
+    /// variable names with non-word characters, literals with escapes
+    /// outside `\" \\ \n \t \r`) have no parseable concrete syntax and
+    /// are not round-trippable.
+    pub fn to_sparql(&self) -> String {
+        let mut out = String::new();
+        match self.kind {
+            QueryKind::Select => {
+                out.push_str("SELECT ");
+                if self.distinct {
+                    out.push_str("DISTINCT ");
+                }
+                match &self.selection {
+                    Selection::All => out.push('*'),
+                    Selection::Vars(vs) => {
+                        for (i, v) in vs.iter().enumerate() {
+                            if i > 0 {
+                                out.push(' ');
+                            }
+                            out.push('?');
+                            out.push_str(v);
+                        }
+                    }
+                }
+                out.push_str(" WHERE ");
+            }
+            QueryKind::Ask => out.push_str("ASK "),
+        }
+        out.push_str("{ ");
+        for (i, element) in self.where_clause.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match element {
+                WhereElement::Pattern(p) => {
+                    write_pattern(&mut out, p);
+                    out.push_str(" .");
+                }
+                WhereElement::Filter(f) => {
+                    out.push_str("FILTER(");
+                    write_expr(&mut out, f);
+                    out.push(')');
+                }
+                WhereElement::Optional(group) => {
+                    out.push_str("OPTIONAL { ");
+                    for (j, p) in group.iter().enumerate() {
+                        if j > 0 {
+                            out.push(' ');
+                        }
+                        write_pattern(&mut out, p);
+                        out.push_str(" .");
+                    }
+                    out.push_str(" }");
+                }
+            }
+        }
+        out.push_str(" }");
+        if !self.order_by.is_empty() {
+            out.push_str(" ORDER BY");
+            for key in &self.order_by {
+                out.push(' ');
+                out.push_str(if key.descending { "DESC(?" } else { "ASC(?" });
+                out.push_str(&key.variable);
+                out.push(')');
+            }
+        }
+        if let Some(limit) = self.limit {
+            out.push_str(&format!(" LIMIT {limit}"));
+        }
+        out
+    }
+}
+
+fn write_pattern(out: &mut String, p: &TriplePattern) {
+    write_term(out, &p.subject);
+    out.push(' ');
+    write_term(out, &p.predicate);
+    out.push(' ');
+    write_term(out, &p.object);
+}
+
+fn write_term(out: &mut String, t: &TermPattern) {
+    match t {
+        TermPattern::Var(v) => {
+            out.push('?');
+            out.push_str(v);
+        }
+        TermPattern::Value(v) => write_value(out, v),
+    }
+}
+
+/// A value in concrete syntax. Unlike `Value`'s `Display` (a debugging
+/// form), string escapes here are exactly the set the lexer accepts.
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Iri(iri) => {
+            out.push('<');
+            out.push_str(iri);
+            out.push('>');
+        }
+        // The parser has no blank-node syntax; emit the Display form so
+        // the output is at least readable (it will not re-parse).
+        Value::Blank(label) => {
+            out.push_str("_:");
+            out.push_str(label);
+        }
+        Value::Literal {
+            lexical,
+            lang,
+            datatype,
+        } => {
+            out.push('"');
+            for c in lexical.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            if let Some(lang) = lang {
+                out.push('@');
+                out.push_str(lang);
+            } else if let Some(dt) = datatype {
+                out.push_str("^^<");
+                out.push_str(dt);
+                out.push('>');
+            }
+        }
+    }
+}
+
+fn write_operand(out: &mut String, op: &Operand) {
+    match op {
+        Operand::Var(v) => {
+            out.push('?');
+            out.push_str(v);
+        }
+        Operand::Const(v) => write_value(out, v),
+        Operand::Str(v) => {
+            out.push_str("STR(?");
+            out.push_str(v);
+            out.push(')');
+        }
+    }
+}
+
+/// Fully parenthesized rendering: operand order and nesting survive the
+/// parser's precedence (`||` looser than `&&` looser than `!`) exactly.
+fn write_expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Cmp(op, a, b) => {
+            write_operand(out, a);
+            out.push_str(match op {
+                CmpOp::Eq => " = ",
+                CmpOp::Ne => " != ",
+                CmpOp::Lt => " < ",
+                CmpOp::Le => " <= ",
+                CmpOp::Gt => " > ",
+                CmpOp::Ge => " >= ",
+            });
+            write_operand(out, b);
+        }
+        Expr::Contains(arg, needle) => {
+            out.push_str("CONTAINS(");
+            write_operand(out, arg);
+            out.push_str(", \"");
+            for c in needle.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c => out.push(c),
+                }
+            }
+            out.push_str("\")");
+        }
+        Expr::And(a, b) => {
+            out.push('(');
+            write_expr(out, a);
+            out.push_str(") && (");
+            write_expr(out, b);
+            out.push(')');
+        }
+        Expr::Or(a, b) => {
+            out.push('(');
+            write_expr(out, a);
+            out.push_str(") || (");
+            write_expr(out, b);
+            out.push(')');
+        }
+        Expr::Not(inner) => {
+            out.push_str("!(");
+            write_expr(out, inner);
+            out.push(')');
+        }
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +457,29 @@ mod tests {
         let mut q = sample();
         q.selection = Selection::All;
         assert_eq!(q.projection(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn to_sparql_round_trips_through_the_parser() {
+        let src = "SELECT DISTINCT ?a ?b WHERE { ?a <http://e/p> ?b . \
+                   FILTER((?b = \"x\") && (!(?a != ?b))) \
+                   OPTIONAL { ?a <http://e/q> ?c } } \
+                   ORDER BY ASC(?b) DESC(?a) LIMIT 5";
+        let q = crate::parser::parse(src).unwrap();
+        let text = q.to_sparql();
+        let q2 = crate::parser::parse(&text)
+            .unwrap_or_else(|e| panic!("serialized form must re-parse: {e:?}\n{text}"));
+        assert_eq!(q, q2);
+        assert_eq!(q2.to_sparql(), text, "serialization is a fixpoint");
+    }
+
+    #[test]
+    fn to_sparql_escapes_and_types_literals() {
+        let src = "ASK { ?s <http://e/p> \"line\\nbreak \\\"quoted\\\"\" . \
+                   ?s <http://e/n> 42 . ?s <http://e/l> \"hi\"@en }";
+        let q = crate::parser::parse(src).unwrap();
+        let text = q.to_sparql();
+        assert_eq!(crate::parser::parse(&text).unwrap(), q);
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! Canonical query fingerprints for cache keying and deduplication.
+//!
+//! [`fingerprint`] hashes a parsed [`Query`] into a `u64` that is
+//! invariant under the two rewrites that do not change a query's
+//! meaning in this subset:
+//!
+//! * **variable renaming** — variables contribute no name, only a
+//!   *color* computed by iterative refinement from how they occur
+//!   (which positions, alongside which constants, in which clause
+//!   kinds), starting from a name-independent constant; and
+//! * **triple reordering** — the required patterns (and the patterns
+//!   within each OPTIONAL group, and the filter set) are combined
+//!   commutatively, so their syntactic order cannot matter.
+//!
+//! Everything semantically ordered stays ordered: the projection list,
+//! `ORDER BY` keys, the sequence of OPTIONAL groups (left-outer joins
+//! compose in order), `DISTINCT`, `LIMIT`, and the query kind.
+//!
+//! This is color refinement, not full graph canonicalization: two
+//! structurally distinct queries can in principle collide (as can any
+//! 64-bit hash), which is fine for cache keying — lookups that care
+//! about exactness compare the normalized text from
+//! [`Query::to_sparql`] as a tiebreak.
+
+use std::collections::HashMap;
+
+use crate::ast::{CmpOp, Expr, Operand, Query, Selection, TermPattern, TriplePattern};
+use crate::value::Value;
+
+/// FNV-1a offset basis.
+const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a over a byte string.
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = SEED;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Order-sensitive combine (a tagged mix; not commutative).
+fn mix(h: u64, x: u64) -> u64 {
+    let mut v = h ^ x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    v ^= v >> 29;
+    v = v.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    v ^= v >> 32;
+    v
+}
+
+/// How many refinement rounds: enough to separate variables along any
+/// chain the subset can express (pattern counts are small), bounded so
+/// hashing stays O(query size).
+const ROUNDS: usize = 4;
+
+/// Name-independent initial color for every variable.
+const INITIAL_COLOR: u64 = 0x5bd1_e995;
+
+/// Hash one term under the current variable coloring.
+fn term_hash(term: &TermPattern, colors: &HashMap<String, u64>) -> u64 {
+    match term {
+        TermPattern::Value(v) => mix(hash_bytes(b"val"), value_hash(v)),
+        TermPattern::Var(name) => mix(
+            hash_bytes(b"var"),
+            colors.get(name).copied().unwrap_or(INITIAL_COLOR),
+        ),
+    }
+}
+
+fn value_hash(v: &Value) -> u64 {
+    hash_bytes(v.to_string().as_bytes())
+}
+
+/// Structural hash of a pattern: position-tagged term hashes, mixed in
+/// (subject, predicate, object) order.
+fn pattern_hash(p: &TriplePattern, colors: &HashMap<String, u64>) -> u64 {
+    let mut h = hash_bytes(b"pattern");
+    h = mix(h, term_hash(&p.subject, colors));
+    h = mix(h, term_hash(&p.predicate, colors));
+    h = mix(h, term_hash(&p.object, colors));
+    h
+}
+
+fn operand_hash(op: &Operand, colors: &HashMap<String, u64>) -> u64 {
+    match op {
+        Operand::Var(v) => mix(
+            hash_bytes(b"ovar"),
+            colors.get(v).copied().unwrap_or(INITIAL_COLOR),
+        ),
+        Operand::Const(v) => mix(hash_bytes(b"oconst"), value_hash(v)),
+        Operand::Str(v) => mix(
+            hash_bytes(b"ostr"),
+            colors.get(v).copied().unwrap_or(INITIAL_COLOR),
+        ),
+    }
+}
+
+fn expr_hash(e: &Expr, colors: &HashMap<String, u64>) -> u64 {
+    match e {
+        Expr::Cmp(op, a, b) => {
+            let tag = match op {
+                CmpOp::Eq => b"cmp=" as &[u8],
+                CmpOp::Ne => b"cmp!",
+                CmpOp::Lt => b"cmp<",
+                CmpOp::Le => b"cmpl",
+                CmpOp::Gt => b"cmp>",
+                CmpOp::Ge => b"cmpg",
+            };
+            mix(
+                mix(hash_bytes(tag), operand_hash(a, colors)),
+                operand_hash(b, colors),
+            )
+        }
+        Expr::Contains(arg, needle) => mix(
+            mix(hash_bytes(b"contains"), operand_hash(arg, colors)),
+            hash_bytes(needle.as_bytes()),
+        ),
+        Expr::And(a, b) => {
+            // && is commutative: combine the sides order-free.
+            hash_bytes(b"and").wrapping_add(expr_hash(a, colors).wrapping_add(expr_hash(b, colors)))
+        }
+        Expr::Or(a, b) => {
+            hash_bytes(b"or").wrapping_add(expr_hash(a, colors).wrapping_add(expr_hash(b, colors)))
+        }
+        Expr::Not(inner) => mix(hash_bytes(b"not"), expr_hash(inner, colors)),
+    }
+}
+
+/// All variable names mentioned anywhere in the query.
+fn all_variables(q: &Query) -> Vec<String> {
+    let mut out: Vec<String> = q.pattern_variables();
+    let mut push = |name: &str| {
+        if !out.iter().any(|v| v == name) {
+            out.push(name.to_string());
+        }
+    };
+    fn expr_vars(e: &Expr, push: &mut dyn FnMut(&str)) {
+        match e {
+            Expr::Cmp(_, a, b) => {
+                operand_var(a, push);
+                operand_var(b, push);
+            }
+            Expr::Contains(arg, _) => operand_var(arg, push),
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                expr_vars(a, push);
+                expr_vars(b, push);
+            }
+            Expr::Not(inner) => expr_vars(inner, push),
+        }
+    }
+    fn operand_var(op: &Operand, push: &mut dyn FnMut(&str)) {
+        match op {
+            Operand::Var(v) | Operand::Str(v) => push(v),
+            Operand::Const(_) => {}
+        }
+    }
+    for f in q.filters() {
+        expr_vars(f, &mut push);
+    }
+    for key in &q.order_by {
+        push(&key.variable);
+    }
+    if let Selection::Vars(vs) = &q.selection {
+        for v in vs {
+            push(v);
+        }
+    }
+    out
+}
+
+/// One refinement round: every variable absorbs a commutative signal
+/// from each of its occurrences (the enclosing clause's hash, tagged by
+/// position and clause kind), so a variable's color encodes its whole
+/// neighbourhood after a few rounds — without ever reading its name.
+fn refine(q: &Query, colors: &mut HashMap<String, u64>) {
+    let mut signals: HashMap<String, u64> = HashMap::new();
+    let mut send = |name: &str, signal: u64| {
+        let entry = signals.entry(name.to_string()).or_insert(0);
+        // Commutative accumulation: occurrence order cannot matter.
+        *entry = entry.wrapping_add(signal);
+    };
+    let pattern_signals = |p: &TriplePattern, clause_tag: u64, send: &mut dyn FnMut(&str, u64)| {
+        let ph = mix(clause_tag, pattern_hash(p, colors));
+        for (pos, term) in [
+            (b"s" as &[u8], &p.subject),
+            (b"p", &p.predicate),
+            (b"o", &p.object),
+        ] {
+            if let TermPattern::Var(name) = term {
+                send(name, mix(hash_bytes(pos), ph));
+            }
+        }
+    };
+    let required_tag = hash_bytes(b"required");
+    for p in q.patterns() {
+        pattern_signals(p, required_tag, &mut send);
+    }
+    // OPTIONAL groups are ordered; tag each group's patterns with its
+    // index so "same pattern, different group" stays distinguishable.
+    for (gi, group) in q.optionals().enumerate() {
+        let tag = mix(hash_bytes(b"optional"), gi as u64);
+        for p in group {
+            pattern_signals(p, tag, &mut send);
+        }
+    }
+    for f in q.filters() {
+        let fh = mix(hash_bytes(b"filter"), expr_hash(f, colors));
+        for name in crate::expr::expr_variables(f) {
+            send(name, fh);
+        }
+    }
+    for (name, signal) in signals {
+        let old = colors.get(&name).copied().unwrap_or(INITIAL_COLOR);
+        colors.insert(name, mix(old, signal));
+    }
+}
+
+/// Canonical 64-bit fingerprint of a query (see module docs for the
+/// exact invariances).
+pub fn fingerprint(q: &Query) -> u64 {
+    let mut colors: HashMap<String, u64> = all_variables(q)
+        .into_iter()
+        .map(|v| (v, INITIAL_COLOR))
+        .collect();
+    for _ in 0..ROUNDS {
+        refine(q, &mut colors);
+    }
+
+    let mut h = hash_bytes(b"alex-query-v1");
+    h = mix(
+        h,
+        match q.kind {
+            crate::ast::QueryKind::Select => 1,
+            crate::ast::QueryKind::Ask => 2,
+        },
+    );
+    h = mix(h, u64::from(q.distinct));
+    h = mix(h, q.limit.map_or(u64::MAX, |l| l as u64));
+
+    // Projection is ordered (SELECT ?a ?b ≠ SELECT ?b ?a).
+    match &q.selection {
+        Selection::All => h = mix(h, hash_bytes(b"select*")),
+        Selection::Vars(vs) => {
+            h = mix(h, hash_bytes(b"select"));
+            for v in vs {
+                h = mix(h, colors.get(v).copied().unwrap_or(INITIAL_COLOR));
+            }
+        }
+    }
+
+    // Required patterns and filters: commutative (reorder-invariant).
+    let mut required: u64 = 0;
+    for p in q.patterns() {
+        required = required.wrapping_add(pattern_hash(p, &colors));
+    }
+    h = mix(h, required);
+    let mut filters: u64 = 0;
+    for f in q.filters() {
+        filters = filters.wrapping_add(expr_hash(f, &colors));
+    }
+    h = mix(h, filters);
+
+    // OPTIONAL groups: ordered sequence of commutative group hashes.
+    for group in q.optionals() {
+        let mut gh: u64 = 0;
+        for p in group {
+            gh = gh.wrapping_add(pattern_hash(p, &colors));
+        }
+        h = mix(h, mix(hash_bytes(b"group"), gh));
+    }
+
+    // ORDER BY: ordered, with direction.
+    for key in &q.order_by {
+        let color = colors.get(&key.variable).copied().unwrap_or(INITIAL_COLOR);
+        h = mix(h, mix(color, u64::from(key.descending)));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn fp(src: &str) -> u64 {
+        fingerprint(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn renaming_variables_preserves_the_fingerprint() {
+        assert_eq!(
+            fp("SELECT ?a WHERE { ?a <http://e/p> ?b . ?b <http://e/q> \"x\" }"),
+            fp("SELECT ?x WHERE { ?x <http://e/p> ?y . ?y <http://e/q> \"x\" }"),
+        );
+    }
+
+    #[test]
+    fn reordering_required_patterns_preserves_the_fingerprint() {
+        assert_eq!(
+            fp("SELECT * WHERE { ?a <http://e/p> ?b . ?b <http://e/q> ?c }"),
+            fp("SELECT * WHERE { ?b <http://e/q> ?c . ?a <http://e/p> ?b }"),
+        );
+    }
+
+    #[test]
+    fn different_structure_changes_the_fingerprint() {
+        let base = fp("SELECT ?a WHERE { ?a <http://e/p> ?b }");
+        assert_ne!(base, fp("SELECT ?a WHERE { ?a <http://e/q> ?b }"));
+        assert_ne!(base, fp("SELECT ?b WHERE { ?a <http://e/p> ?b }"));
+        assert_ne!(base, fp("ASK { ?a <http://e/p> ?b }"));
+        assert_ne!(base, fp("SELECT DISTINCT ?a WHERE { ?a <http://e/p> ?b }"));
+        assert_ne!(base, fp("SELECT ?a WHERE { ?a <http://e/p> ?b } LIMIT 3"));
+    }
+
+    #[test]
+    fn projection_order_matters() {
+        assert_ne!(
+            fp("SELECT ?a ?b WHERE { ?a <http://e/p> ?b }"),
+            fp("SELECT ?b ?a WHERE { ?a <http://e/p> ?b }"),
+        );
+    }
+
+    #[test]
+    fn variable_topology_is_distinguished_without_names() {
+        // ?a→?b, ?b→?c (chain) vs ?a→?b, ?a→?c (fan-out): same pattern
+        // multiset shapes, different joins — refinement must separate
+        // them.
+        assert_ne!(
+            fp("SELECT * WHERE { ?a <http://e/p> ?b . ?b <http://e/p> ?c }"),
+            fp("SELECT * WHERE { ?a <http://e/p> ?b . ?a <http://e/p> ?c }"),
+        );
+    }
+
+    #[test]
+    fn filter_and_order_reorderings_behave() {
+        // Filters are an unordered set…
+        assert_eq!(
+            fp("SELECT ?a WHERE { ?a <http://e/p> ?b FILTER(?b > 1) FILTER(?b < 9) }"),
+            fp("SELECT ?a WHERE { ?a <http://e/p> ?b FILTER(?b < 9) FILTER(?b > 1) }"),
+        );
+        // …but ORDER BY keys are a priority list.
+        assert_ne!(
+            fp("SELECT * WHERE { ?a <http://e/p> ?b } ORDER BY ?a ?b"),
+            fp("SELECT * WHERE { ?a <http://e/p> ?b } ORDER BY ?b ?a"),
+        );
+    }
+}

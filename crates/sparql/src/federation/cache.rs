@@ -1,0 +1,144 @@
+//! Answer-cache glue between the federated executor and [`alex_cache`].
+//!
+//! The executor caches at the *per-endpoint sub-query batch* level: one
+//! entry holds everything a single endpoint returned for one pattern
+//! extension (the full probe-job list derived from the pattern's
+//! resolved positions and their sameAs alternatives). The key is the
+//! endpoint id plus the binding signature of the pattern's positions
+//! *before* sameAs expansion; the anchors are exactly the bound
+//! subject/object IRIs whose `equivalents()` neighbourhood determined
+//! the job list. Mutating a link `(l, r)` changes `equivalents()` only
+//! for `l` and `r`, so invalidating the entries anchored there — via
+//! the cache's inverted index — is exact: no stale entry survives, no
+//! unaffected entry is dropped.
+
+use std::sync::Arc;
+
+use alex_cache::AnswerCache;
+use alex_telemetry::counter;
+
+use super::links::{Link, LinkObserver};
+use crate::value::Value;
+
+/// Per-endpoint answer batch for one probe-job list: `rows[j]` is the
+/// complete row set job `j` returned on this endpoint.
+pub(crate) type CachedRows = Vec<Vec<[Value; 3]>>;
+
+/// The executor's cache instantiation.
+pub(crate) type FederationCache = AnswerCache<CachedRows>;
+
+/// [`LinkObserver`] dropping exactly the cached entries whose
+/// provenance touches a mutated sameAs pair. Subscribed to the
+/// engine's link index when the cache is enabled, so every effective
+/// mutation — add on exploration, remove on rejection, blacklist,
+/// rollback, resume-replay — invalidates through the same hook.
+pub(crate) struct CacheInvalidator {
+    pub(crate) cache: Arc<FederationCache>,
+}
+
+impl LinkObserver for CacheInvalidator {
+    fn link_added(&self, link: &Link) {
+        let n = self.cache.invalidate_pair(&link.left, &link.right);
+        counter!("cache_invalidations_total").add(n as u64);
+    }
+
+    fn link_removed(&self, link: &Link) {
+        let n = self.cache.invalidate_pair(&link.left, &link.right);
+        counter!("cache_invalidations_total").add(n as u64);
+    }
+}
+
+/// Append one resolved probe position to a key: `*;` for a wildcard,
+/// else the length-prefixed display form (the prefix makes the
+/// three-part concatenation injective — no two position triples can
+/// collide by boundary shifting).
+fn push_sig(out: &mut String, v: Option<&Value>) {
+    match v {
+        None => out.push_str("*;"),
+        Some(v) => {
+            let s = v.to_string();
+            out.push_str(&s.len().to_string());
+            out.push(':');
+            out.push_str(&s);
+            out.push(';');
+        }
+    }
+}
+
+/// Cache addressing for one pattern extension: the binding signature of
+/// the pattern's resolved positions (pre-sameAs-expansion) plus the
+/// anchors the cached batches depend on.
+pub(crate) struct CacheProbe {
+    base: String,
+    anchors: Vec<String>,
+}
+
+impl CacheProbe {
+    /// Build the signature from the three resolved positions (`None` =
+    /// unbound wildcard). Anchors are the bound subject/object IRIs:
+    /// the probe-job list varies with the link index only through
+    /// their `equivalents()` sets.
+    pub(crate) fn new(s: Option<&Value>, p: Option<&Value>, o: Option<&Value>) -> CacheProbe {
+        let mut base = String::new();
+        push_sig(&mut base, s);
+        push_sig(&mut base, p);
+        push_sig(&mut base, o);
+        let mut anchors: Vec<String> = Vec::new();
+        if let Some(Value::Iri(iri)) = s {
+            anchors.push(iri.clone());
+        }
+        if let Some(Value::Iri(iri)) = o {
+            if !anchors.contains(iri) {
+                anchors.push(iri.clone());
+            }
+        }
+        CacheProbe { base, anchors }
+    }
+
+    /// The full cache key for one endpoint.
+    pub(crate) fn key_for(&self, endpoint: &str) -> String {
+        let mut key = String::with_capacity(endpoint.len() + self.base.len() + 8);
+        push_sig(&mut key, Some(&Value::plain(endpoint)));
+        key.push_str(&self.base);
+        key
+    }
+
+    /// The IRIs whose sameAs neighbourhood the cached batches depend on.
+    pub(crate) fn anchors(&self) -> &[String] {
+        &self.anchors
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_are_injective_across_boundaries() {
+        // "ab" + "c" vs "a" + "bc" must not produce the same key.
+        let a = CacheProbe::new(Some(&Value::plain("ab")), Some(&Value::plain("c")), None);
+        let b = CacheProbe::new(Some(&Value::plain("a")), Some(&Value::plain("bc")), None);
+        assert_ne!(a.key_for("e"), b.key_for("e"));
+        // Endpoint name cannot bleed into the signature either.
+        assert_ne!(a.key_for("e1"), a.key_for("e"));
+    }
+
+    #[test]
+    fn anchors_are_bound_iris_only() {
+        let p = CacheProbe::new(
+            Some(&Value::iri("http://l/1")),
+            Some(&Value::iri("http://pred")),
+            Some(&Value::plain("literal")),
+        );
+        assert_eq!(p.anchors(), ["http://l/1".to_string()]);
+        let wild = CacheProbe::new(None, None, None);
+        assert!(wild.anchors().is_empty());
+        let dup = CacheProbe::new(
+            Some(&Value::iri("http://x")),
+            None,
+            Some(&Value::iri("http://x")),
+        );
+        assert_eq!(dup.anchors().len(), 1);
+    }
+}

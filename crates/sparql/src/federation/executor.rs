@@ -17,7 +17,7 @@
 //! marker naming the skipped sources.
 
 use std::collections::{BTreeSet, HashSet};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use alex_telemetry::{counter, emit, span, Event};
@@ -29,6 +29,7 @@ use crate::error::{Result, SparqlError};
 use crate::expr::{eval_expr, expr_variables, Bindings};
 use crate::value::Value;
 
+use super::cache::{CacheInvalidator, CacheProbe, CachedRows, FederationCache};
 use super::endpoint::Endpoint;
 use super::links::{Link, SameAsLinks};
 use super::resilience::{
@@ -77,6 +78,9 @@ pub struct FederatedEngine {
     breakers: Vec<Mutex<CircuitBreaker>>,
     /// Backoff-jitter RNG, seeded from the resilience config.
     jitter_rng: Mutex<StdRng>,
+    /// Optional answer cache (per-endpoint sub-query batches). Behind an
+    /// `Arc` because the link index holds an invalidator pointing at it.
+    cache: Option<Arc<FederationCache>>,
 }
 
 impl Default for FederatedEngine {
@@ -88,6 +92,7 @@ impl Default for FederatedEngine {
             jitter_rng: Mutex::new(StdRng::seed_from_u64(resilience.seed)),
             breakers: Vec::new(),
             resilience,
+            cache: None,
         }
     }
 }
@@ -110,6 +115,12 @@ struct ExecStats {
     circuit_rejections: u64,
     /// Probes that failed past the retry allowance (endpoint skipped).
     endpoint_failures: u64,
+    /// Per-endpoint batch lookups served from the answer cache.
+    cache_hits: u64,
+    /// Batch lookups that missed and were dispatched live.
+    cache_misses: u64,
+    /// Cache entries evicted by capacity pressure while inserting.
+    cache_evictions: u64,
 }
 
 impl FederatedEngine {
@@ -149,9 +160,39 @@ impl FederatedEngine {
         Some(lock_unpoisoned(breaker).state())
     }
 
-    /// Replace the link index.
+    /// Enable the answer cache with room for `capacity` per-endpoint
+    /// batches, subscribing its invalidator to the link index so every
+    /// effective link mutation drops exactly the entries it staled.
+    pub fn enable_cache(&mut self, capacity: usize) {
+        let cache = Arc::new(FederationCache::new(capacity));
+        self.links.subscribe(Arc::new(CacheInvalidator {
+            cache: Arc::clone(&cache),
+        }));
+        self.cache = Some(cache);
+    }
+
+    /// Whether the answer cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Snapshot of the cache counters (`None` when disabled).
+    pub fn cache_stats(&self) -> Option<alex_cache::CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Replace the link index. With the cache enabled this is the
+    /// wholesale path: provenance recorded against the old index says
+    /// nothing about the new one, so the cache is cleared outright and
+    /// the invalidator re-subscribed on the replacement.
     pub fn set_links(&mut self, links: SameAsLinks) {
         self.links = links;
+        if let Some(cache) = &self.cache {
+            cache.clear();
+            self.links.subscribe(Arc::new(CacheInvalidator {
+                cache: Arc::clone(cache),
+            }));
+        }
     }
 
     /// Borrow the link index.
@@ -355,6 +396,11 @@ impl FederatedEngine {
             counter!("federation_degraded_queries_total").inc();
             counter!("federation_degraded_answers_total").add(answers.len() as u64);
         }
+        if self.cache.is_some() {
+            counter!("cache_hits_total").add(stats.cache_hits);
+            counter!("cache_misses_total").add(stats.cache_misses);
+            counter!("cache_evictions_total").add(stats.cache_evictions);
+        }
         emit!(Event::FederatedQuery {
             patterns: pattern_count as u64,
             answers: answers.len() as u64,
@@ -364,6 +410,9 @@ impl FederatedEngine {
             sameas_expansions: stats.sameas_expansions,
             retries: stats.retries,
             skipped_sources: skipped.len() as u64,
+            cache: self.cache.is_some(),
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
             threads: alex_parallel::configured_threads() as u64,
             duration_us: query_span.elapsed().as_micros() as u64,
         });
@@ -464,10 +513,27 @@ impl FederatedEngine {
             }
         }
         // The sequential loop counted one probe per (job, endpoint) combo,
-        // including combos short-circuited by an earlier skip.
+        // including combos short-circuited by an earlier skip. Cached
+        // hits keep this formula: `probes` counts logical source
+        // selection, not endpoint calls, so the event field is identical
+        // with the cache on or off.
         stats.probes += (jobs.len() * self.endpoints.len()) as u64;
 
-        let mut runs = self.dispatch_jobs(&jobs, stats, skipped)?;
+        // Cache addressing: the key is the pattern's resolved positions
+        // *before* sameAs expansion (the first alternative is always the
+        // bound value itself), the anchors the bound s/o IRIs. While an
+        // entry lives, `equivalents()` of those anchors is unchanged, so
+        // re-deriving the job list above yields the same jobs in the
+        // same order as when the entry was inserted.
+        let probe = self.cache.as_ref().map(|_| {
+            CacheProbe::new(
+                s_alts[0].0.as_ref(),
+                p_alts[0].as_ref(),
+                o_alts[0].0.as_ref(),
+            )
+        });
+
+        let mut runs = self.dispatch_jobs(&jobs, probe.as_ref(), stats, skipped)?;
 
         // Ordered merge: job-major, endpoint-minor — the sequential order.
         for (j, job) in jobs.iter().enumerate() {
@@ -506,6 +572,7 @@ impl FederatedEngine {
     fn dispatch_jobs(
         &self,
         jobs: &[ProbeJob<'_>],
+        probe: Option<&CacheProbe>,
         stats: &mut ExecStats,
         skipped: &mut BTreeSet<String>,
     ) -> Result<Vec<EndpointRun>> {
@@ -516,10 +583,45 @@ impl FederatedEngine {
             .iter()
             .map(|ep| skipped.contains(ep.name()))
             .collect();
+
+        // Consult the cache before dispatch, on the coordinator thread in
+        // endpoint order (deterministic LRU movement). A hit bypasses the
+        // resilience layer entirely — no endpoint call, no retry, no
+        // breaker transition — so a cached hit can never trip a breaker.
+        // Skipped sources stay skipped: serving them from cache would
+        // resurrect a source mid-query.
+        let mut keys: Vec<Option<String>> = vec![None; self.endpoints.len()];
+        let mut hits: Vec<Option<Arc<CachedRows>>> = vec![None; self.endpoints.len()];
+        if let (Some(cache), Some(probe)) = (self.cache.as_ref(), probe) {
+            for (i, ep) in self.endpoints.iter().enumerate() {
+                if pre_skipped[i] {
+                    continue;
+                }
+                let key = probe.key_for(ep.name());
+                match cache.get(&key) {
+                    // A live entry always matches the re-derived job
+                    // list; the length check is a defensive backstop.
+                    Some(rows) if rows.len() == jobs.len() => {
+                        stats.cache_hits += 1;
+                        hits[i] = Some(rows);
+                    }
+                    _ => {
+                        stats.cache_misses += 1;
+                        keys[i] = Some(key);
+                    }
+                }
+            }
+        }
+
         let indices: Vec<usize> = (0..self.endpoints.len()).collect();
         let pool = alex_parallel::Pool::new("federation");
-        let runs = pool.map_each(&indices, |&i| {
-            self.run_endpoint_jobs(i, jobs, pre_skipped[i])
+        let runs = pool.map_each(&indices, |&i| match &hits[i] {
+            Some(rows) => EndpointRun {
+                rows: rows.iter().map(|r| Some(r.clone())).collect(),
+                delta: ProbeDelta::default(),
+                terminal: None,
+            },
+            None => self.run_endpoint_jobs(i, jobs, pre_skipped[i]),
         });
 
         for run in &runs {
@@ -543,6 +645,20 @@ impl FederatedEngine {
             for (i, run) in runs.iter().enumerate() {
                 if run.terminal.is_some() {
                     skipped.insert(self.endpoints[i].name().to_string());
+                }
+            }
+        }
+
+        // Fresh, fully healthy runs become cache entries (coordinator
+        // thread, endpoint order — deterministic). A run that skipped
+        // any job is never cached: only complete batches may be served.
+        if let (Some(cache), Some(probe)) = (self.cache.as_ref(), probe) {
+            for (i, run) in runs.iter().enumerate() {
+                let Some(key) = &keys[i] else { continue };
+                if run.terminal.is_none() && run.rows.iter().all(Option::is_some) {
+                    let rows: CachedRows = run.rows.iter().flatten().cloned().collect();
+                    let evicted = cache.insert(key, probe.anchors(), rows);
+                    stats.cache_evictions += evicted as u64;
                 }
             }
         }
@@ -1243,6 +1359,195 @@ mod tests {
             ["DBpedia".to_string(), "NYTimes".to_string()],
             "skipped sources are sorted and complete"
         );
+    }
+
+    // ---- answer cache behavior ----------------------------------------
+
+    /// Endpoint wrapper counting `matching` calls, to prove cached hits
+    /// bypass dispatch entirely.
+    struct CountingEndpoint {
+        inner: DatasetEndpoint,
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl CountingEndpoint {
+        fn new(ds: Dataset) -> Self {
+            CountingEndpoint {
+                inner: DatasetEndpoint::new(ds),
+                calls: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Endpoint for CountingEndpoint {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn matching(
+            &self,
+            s: Option<&Value>,
+            p: Option<&Value>,
+            o: Option<&Value>,
+            deadline: &Deadline,
+        ) -> std::result::Result<Vec<[Value; 3]>, EndpointError> {
+            self.calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.matching(s, p, o, deadline)
+        }
+    }
+
+    fn cached_engine() -> (FederatedEngine, Arc<CountingEndpoint>) {
+        // Box<Arc<...>> keeps a second handle to read the call counter.
+        struct Shared(Arc<CountingEndpoint>);
+        impl Endpoint for Shared {
+            fn name(&self) -> &str {
+                self.0.name()
+            }
+            fn matching(
+                &self,
+                s: Option<&Value>,
+                p: Option<&Value>,
+                o: Option<&Value>,
+                deadline: &Deadline,
+            ) -> std::result::Result<Vec<[Value; 3]>, EndpointError> {
+                self.0.matching(s, p, o, deadline)
+            }
+        }
+        let counter = Arc::new(CountingEndpoint::new(dbpedia()));
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(Shared(Arc::clone(&counter))));
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(nyt())));
+        engine.set_links(SameAsLinks::from_pairs(vec![(
+            "http://db/LeBron",
+            "http://nyt/lebron-james",
+        )]));
+        engine.enable_cache(64);
+        (engine, counter)
+    }
+
+    #[test]
+    fn repeat_query_is_served_from_cache_without_endpoint_calls() {
+        let (engine, counter) = cached_engine();
+        let q = parse(CROSS_SOURCE).unwrap();
+        let first = engine.execute(&q).unwrap();
+        let calls_after_first = counter.calls.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(calls_after_first > 0);
+        let second = engine.execute(&q).unwrap();
+        assert_eq!(first, second, "cached answers must be byte-identical");
+        assert_eq!(
+            counter.calls.load(std::sync::atomic::Ordering::Relaxed),
+            calls_after_first,
+            "a warm repeat must not touch the endpoint at all \
+             (which is also why a cached hit can never trip a breaker)"
+        );
+        let stats = engine.cache_stats().unwrap();
+        assert!(stats.hits > 0, "second run must hit: {stats:?}");
+    }
+
+    #[test]
+    fn link_mutation_invalidates_exactly_the_affected_entries() {
+        let (mut engine, _counter) = cached_engine();
+        let q = parse(CROSS_SOURCE).unwrap();
+        assert_eq!(engine.execute(&q).unwrap().len(), 1);
+        engine.execute(&q).unwrap(); // warm
+
+        // Removing the bridging link must drop the dependent entries:
+        // the next run re-probes and finds no cross-source answer.
+        let link = Link::new("http://db/LeBron", "http://nyt/lebron-james");
+        assert!(engine.links_mut().remove(&link));
+        assert!(engine.execute(&q).unwrap().is_empty());
+
+        // Re-adding restores the answer (again via invalidation, not a
+        // stale entry from before the removal).
+        assert!(engine.links_mut().add(link));
+        assert_eq!(engine.execute(&q).unwrap().len(), 1);
+        let stats = engine.cache_stats().unwrap();
+        assert!(stats.invalidations > 0);
+    }
+
+    #[test]
+    fn unrelated_link_mutation_keeps_entries_warm() {
+        let (engine, counter) = cached_engine();
+        let mut engine = engine;
+        let q = parse(CROSS_SOURCE).unwrap();
+        engine.execute(&q).unwrap();
+        let calls_warm = counter.calls.load(std::sync::atomic::Ordering::Relaxed);
+        // A link on entities this query never binds must not invalidate.
+        engine
+            .links_mut()
+            .add(Link::new("http://db/Unrelated", "http://nyt/unrelated"));
+        let answers = engine.execute(&q).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(
+            counter.calls.load(std::sync::atomic::Ordering::Relaxed),
+            calls_warm,
+            "unrelated mutations must leave the cache warm"
+        );
+    }
+
+    #[test]
+    fn set_links_clears_cache_and_resubscribes_invalidator() {
+        let (mut engine, _counter) = cached_engine();
+        let q = parse(CROSS_SOURCE).unwrap();
+        engine.execute(&q).unwrap();
+        assert!(engine.cache_stats().unwrap().entries > 0);
+
+        // Wholesale replacement: full clear.
+        engine.set_links(SameAsLinks::from_pairs(vec![(
+            "http://db/LeBron",
+            "http://nyt/lebron-james",
+        )]));
+        assert_eq!(engine.cache_stats().unwrap().entries, 0);
+
+        // The invalidator must follow the engine onto the new index.
+        engine.execute(&q).unwrap(); // warm against the new links
+        assert!(engine.cache_stats().unwrap().entries > 0);
+        engine
+            .links_mut()
+            .remove(&Link::new("http://db/LeBron", "http://nyt/lebron-james"));
+        assert!(
+            engine.execute(&q).unwrap().is_empty(),
+            "mutations after set_links must still invalidate"
+        );
+    }
+
+    #[test]
+    fn cached_and_uncached_answers_are_identical_under_faults() {
+        // Retry-masked transients: answers are stable, so cache on/off
+        // must agree byte-for-byte even though call streams differ.
+        let build = |cache: bool| {
+            let mut engine = FederatedEngine::new();
+            engine.add_endpoint(Box::new(FaultyEndpoint::new(
+                DatasetEndpoint::new(dbpedia()),
+                FaultProfile {
+                    seed: 3,
+                    transient_rate: 0.3,
+                    ..FaultProfile::none()
+                },
+            )));
+            engine.add_endpoint(Box::new(DatasetEndpoint::new(nyt())));
+            engine.set_links(SameAsLinks::from_pairs(vec![(
+                "http://db/LeBron",
+                "http://nyt/lebron-james",
+            )]));
+            let mut cfg = fast_resilience();
+            cfg.breaker.failure_threshold = 100;
+            engine.set_resilience(cfg);
+            if cache {
+                engine.enable_cache(64);
+            }
+            engine
+        };
+        let cached = build(true);
+        let uncached = build(false);
+        let q = parse(CROSS_SOURCE).unwrap();
+        for _ in 0..5 {
+            let a = cached.execute_full(&q).unwrap();
+            let b = uncached.execute_full(&q).unwrap();
+            assert_eq!(a, b);
+        }
+        assert!(cached.cache_stats().unwrap().hits > 0);
+        assert!(uncached.cache_stats().is_none());
     }
 
     #[test]

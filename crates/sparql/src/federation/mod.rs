@@ -7,6 +7,8 @@
 //! failure must degrade or surface as a typed error, never crash the loop.
 
 #[deny(clippy::unwrap_used, clippy::expect_used)]
+pub(crate) mod cache;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod endpoint;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod executor;
@@ -20,7 +22,7 @@ pub mod resilience;
 pub use endpoint::{DatasetEndpoint, Endpoint};
 pub use executor::{FederatedEngine, FederatedResult, QueryAnswer};
 pub use fault::{FaultProfile, FaultyEndpoint};
-pub use links::{Link, SameAsLinks};
+pub use links::{Link, LinkObserver, SameAsLinks};
 pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, Completeness, Deadline, EndpointError,
     ResilienceConfig, RetryPolicy,

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod canon;
 pub mod error;
 pub mod expr;
 pub mod federation;
@@ -51,12 +52,13 @@ pub use ast::{
     CmpOp, Expr, Operand, OrderKey, Query, QueryKind, Selection, TermPattern, TriplePattern,
     WhereElement,
 };
+pub use canon::fingerprint;
 pub use error::{Result, SparqlError};
 pub use expr::{eval_expr, Bindings};
 pub use federation::{
     BreakerConfig, BreakerState, Completeness, DatasetEndpoint, Deadline, Endpoint, EndpointError,
-    FaultProfile, FaultyEndpoint, FederatedEngine, FederatedResult, Link, QueryAnswer,
-    ResilienceConfig, RetryPolicy, SameAsLinks,
+    FaultProfile, FaultyEndpoint, FederatedEngine, FederatedResult, Link, LinkObserver,
+    QueryAnswer, ResilienceConfig, RetryPolicy, SameAsLinks,
 };
 pub use parser::parse;
 pub use value::Value;

@@ -106,6 +106,12 @@ pub enum Event {
         /// Sources skipped (down past their budget or circuit open); the
         /// result was degraded when this is nonzero.
         skipped_sources: u64,
+        /// Whether the answer cache was enabled for this query.
+        cache: bool,
+        /// Per-endpoint batch lookups served from the cache.
+        cache_hits: u64,
+        /// Batch lookups that missed and were dispatched live.
+        cache_misses: u64,
         /// Worker threads configured for endpoint dispatch.
         threads: u64,
         /// Execution wall-clock time in microseconds.
@@ -211,6 +217,9 @@ impl Event {
                 sameas_expansions,
                 retries,
                 skipped_sources,
+                cache,
+                cache_hits,
+                cache_misses,
                 threads,
                 duration_us,
             } => {
@@ -222,6 +231,9 @@ impl Event {
                     .u64("sameas_expansions", *sameas_expansions)
                     .u64("retries", *retries)
                     .u64("skipped_sources", *skipped_sources)
+                    .bool("cache", *cache)
+                    .u64("cache_hits", *cache_hits)
+                    .u64("cache_misses", *cache_misses)
                     .u64("threads", *threads)
                     .u64("duration_us", *duration_us);
             }
@@ -329,6 +341,20 @@ impl Event {
                 sameas_expansions: get_u64("sameas_expansions")?,
                 retries: get_u64("retries")?,
                 skipped_sources: get_u64("skipped_sources")?,
+                // Cache fields postdate the schema; logs written before
+                // they existed parse as "cache off" rather than erroring.
+                cache: map
+                    .get("cache")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false),
+                cache_hits: map
+                    .get("cache_hits")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
+                cache_misses: map
+                    .get("cache_misses")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
                 threads: get_u64("threads")?,
                 duration_us: get_u64("duration_us")?,
             }),

@@ -199,6 +199,9 @@ fn all_event_variants() -> Vec<Event> {
             sameas_expansions: 4,
             retries: 3,
             skipped_sources: 1,
+            cache: true,
+            cache_hits: 5,
+            cache_misses: 2,
             threads: 2,
             duration_us: 99,
         },

@@ -10,14 +10,16 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> panic-free gate (unwrap/expect banned in federation, alex-core, alex-store)"
+echo "==> panic-free gate (unwrap/expect banned in federation, alex-core, alex-store, alex-cache)"
 # The federation modules carry #[deny(clippy::unwrap_used, clippy::expect_used)]
-# (see crates/sparql/src/federation/mod.rs), and alex-core / alex-store deny
-# the same lints crate-wide (see their lib.rs); these runs fail the build if
-# a new unwrap/expect sneaks into the fault-handling or durability paths.
+# (see crates/sparql/src/federation/mod.rs), and alex-core / alex-store /
+# alex-cache deny the same lints crate-wide (see their lib.rs); these runs
+# fail the build if a new unwrap/expect sneaks into the fault-handling,
+# durability, or caching paths.
 cargo clippy -p alex-sparql -- -D warnings
 cargo clippy -p alex-core -- -D warnings
 cargo clippy -p alex-store -- -D warnings
+cargo clippy -p alex-cache -- -D warnings
 
 echo "==> cargo test (ALEX_THREADS=1: deterministic pool runs inline)"
 ALEX_THREADS=1 cargo test --workspace -q
@@ -32,6 +34,17 @@ cargo bench --workspace --no-run -q
 
 echo "==> chaos suite (seeded fault injection over the full improve loop)"
 cargo test --test chaos_federation -q
+
+echo "==> cache differential suite (cached vs uncached byte-identity, shadow-oracle invalidation)"
+# The answer cache must be behaviorally invisible: improve/query output is
+# compared cached-vs-uncached across --threads 1/4 and fault profiles, and
+# random link-mutation sequences are checked against a from-scratch oracle.
+cargo test --test cache_differential -q
+
+echo "==> SPARQL fuzz (fixed seed budget: ~4k structured + ~6k mutated inputs)"
+# Seeds are hard-coded in the test file, so this budget is deterministic;
+# no-panic, parse/serialize fixpoint, and fingerprint-invariance properties.
+cargo test --test fuzz_sparql -q
 
 echo "==> kill-and-resume smoke (SIGKILL mid-run, --resume, diff vs reference)"
 # An improve run is SIGKILLed at an episode commit, resumed with --resume,

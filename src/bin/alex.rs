@@ -131,6 +131,22 @@ PARALLELISM (link, improve, query):
                             ALEX_THREADS env var, else all available
                             cores. Results are byte-identical at any N.
 
+ANSWER CACHING (improve --feedback query, and query):
+  --cache                   Enable the sharded LRU answer cache in the
+                            federated executor: repeated sub-queries are
+                            served from memory instead of re-dispatched,
+                            and link mutations invalidate exactly the
+                            entries whose provenance touches the mutated
+                            pair. Output is byte-identical with the cache
+                            on or off, at any --threads. Accepted but
+                            inert for oracle-feedback improve (so resume
+                            invocations can keep their flags unchanged).
+  --cache-capacity N        Max cached sub-query batches (default 4096;
+                            requires --cache). Counters:
+                            cache_hits_total, cache_misses_total,
+                            cache_invalidations_total,
+                            cache_evictions_total.
+
 OBSERVABILITY (improve and query):
   --telemetry FILE.jsonl    Write the structured event log (one JSON
                             object per line: episodes, link changes,
@@ -152,7 +168,12 @@ fn split_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if name == "baseline" || name == "verbose" || name == "fail-fast" || name == "resume" {
+            if name == "baseline"
+                || name == "verbose"
+                || name == "fail-fast"
+                || name == "resume"
+                || name == "cache"
+            {
                 flags.push((name.to_string(), "true".to_string()));
                 i += 1;
                 continue;
@@ -205,6 +226,24 @@ fn configure_threads(flags: &Flags) -> Result<(), String> {
         alex::parallel::set_threads(n);
     }
     Ok(())
+}
+
+/// `--cache` / `--cache-capacity N` → Some(capacity) when the answer
+/// cache is requested. `--cache-capacity` without `--cache` is rejected
+/// rather than silently ignored.
+fn cache_opts(flags: &Flags) -> Result<Option<usize>, String> {
+    let enabled = flag(flags, "cache").is_some();
+    if !enabled {
+        if flag(flags, "cache-capacity").is_some() {
+            return Err("--cache-capacity requires --cache".into());
+        }
+        return Ok(None);
+    }
+    let capacity: usize = parse_flag(flags, "cache-capacity", 4096)?;
+    if capacity == 0 {
+        return Err("--cache-capacity must be at least 1".into());
+    }
+    Ok(Some(capacity))
 }
 
 /// Load an RDF file, dispatching on extension (.ttl → Turtle, else
@@ -786,6 +825,9 @@ fn improve_with_query_feedback(
     if let Some(resilience) = resilience_from_flags(flags)? {
         engine.set_resilience(resilience);
     }
+    if let Some(capacity) = cache_opts(flags)? {
+        engine.enable_cache(capacity);
+    }
 
     let space = LinkSpace::build(left, right, &SpaceConfig::default());
     let bridge = FeedbackBridge::new(left, space.left_index(), right, space.right_index());
@@ -872,6 +914,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if let Some(resilience) = resilience_from_flags(&flags)? {
         engine.set_resilience(resilience);
     }
+    if let Some(capacity) = cache_opts(&flags)? {
+        engine.enable_cache(capacity);
+    }
 
     if query.kind == alex::sparql::QueryKind::Ask {
         let answer = engine.ask(&query).map_err(|e| format!("evaluation: {e}"))?;
@@ -928,6 +973,39 @@ mod tests {
     #[test]
     fn no_durability_flags_means_no_durable_opts() {
         assert_eq!(durable_opts(&flags_of("--episodes 5")).unwrap(), None);
+    }
+
+    #[test]
+    fn cache_flag_is_boolean_and_defaults_capacity() {
+        assert_eq!(cache_opts(&flags_of("--episodes 5")).unwrap(), None);
+        assert_eq!(cache_opts(&flags_of("--cache")).unwrap(), Some(4096));
+        assert_eq!(
+            cache_opts(&flags_of("--cache --cache-capacity 64")).unwrap(),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn cache_capacity_requires_cache() {
+        assert!(cache_opts(&flags_of("--cache-capacity 64")).is_err());
+        assert!(cache_opts(&flags_of("--cache --cache-capacity 0")).is_err());
+        assert!(cache_opts(&flags_of("--cache --cache-capacity lots")).is_err());
+    }
+
+    #[test]
+    fn cache_is_a_value_less_flag() {
+        // `--cache --cache-capacity 8` must not swallow the next token
+        // as the value of --cache.
+        let (positional, flags) = split_args(&[
+            "--cache".to_string(),
+            "--cache-capacity".to_string(),
+            "8".to_string(),
+            "extra".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(positional, vec!["extra"]);
+        assert_eq!(flag(&flags, "cache"), Some("true"));
+        assert_eq!(flag(&flags, "cache-capacity"), Some("8"));
     }
 
     #[test]

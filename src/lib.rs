@@ -19,6 +19,7 @@
 //! | [`telemetry`] (`alex-telemetry`) | Spans, metrics registry, structured event log |
 //! | [`parallel`] (`alex-parallel`) | Deterministic scoped worker pool (order-preserving reduction) |
 //! | [`store`] (`alex-store`) | Crash-safe durable state: episode journal + checksummed snapshots |
+//! | [`cache`] (`alex-cache`) | Sharded LRU answer cache with provenance-keyed invalidation |
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the experiment harness that regenerates every table and figure of the
@@ -27,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use alex_cache as cache;
 pub use alex_core as core;
 pub use alex_datagen as datagen;
 pub use alex_linking as linking;
