@@ -100,10 +100,22 @@ fn write_snapshot(pair: &GeneratedPair, cfg: &SpaceConfig) {
         ));
     }
     alex_parallel::set_threads(0);
+
+    // Worker-attribution snapshot: one PARIS alignment at 4 threads with
+    // the timeline recorder on, reduced to per-phase self time, per-worker
+    // busy/idle, chunk skew, and the critical-path estimate.
+    alex_telemetry::timeline::enable();
+    alex_parallel::set_threads(4);
+    black_box(Paris::new().link(&pair.left, &pair.right));
+    alex_parallel::set_threads(0);
+    let traces = alex_telemetry::timeline::drain();
+    alex_telemetry::timeline::disable();
+    let attribution = alex_telemetry::attribute(&traces).to_json();
+
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"parallel_sweep\",\n  \"host_cores\": {cores},\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
+         \"results\": [\n{}\n  ],\n  \"attribution\": {attribution}\n}}\n",
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");

@@ -20,8 +20,14 @@ fn disabled_telemetry_overhead_is_under_two_percent_of_episode_loop() {
         !alex_telemetry::global().events().is_attached(),
         "test requires the no-sink configuration"
     );
+    assert!(
+        !alex_telemetry::timeline::enabled(),
+        "test requires the timeline recorder to be off"
+    );
 
-    // Per-op cost of the two hot-path primitives, amortized over many calls.
+    // Per-op cost of the three hot-path primitives, amortized over many
+    // calls: a disabled event emit, a counter increment, and a disabled
+    // timeline record (one relaxed atomic load).
     const OPS: u32 = 1_000_000;
     let start = Instant::now();
     for i in 0..OPS {
@@ -30,8 +36,10 @@ fn disabled_telemetry_overhead_is_under_two_percent_of_episode_loop() {
             right: i as u64
         });
         counter!("overhead_test_total").inc();
+        alex_telemetry::timeline::instant("overhead_probe");
     }
-    // Each iteration did one disabled emit + one counter increment.
+    // Each iteration did one disabled emit + one counter increment + one
+    // disabled timeline record.
     let per_feedback_item = start.elapsed() / OPS;
 
     // One real episode loop, telemetry compiled in but un-sinked.

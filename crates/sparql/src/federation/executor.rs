@@ -620,15 +620,30 @@ impl FederatedEngine {
                 rows: rows.iter().map(|r| Some(r.clone())).collect(),
                 delta: ProbeDelta::default(),
                 terminal: None,
+                duration_us: 0,
             },
             None => self.run_endpoint_jobs(i, jobs, pre_skipped[i]),
         });
 
-        for run in &runs {
+        for (i, run) in runs.iter().enumerate() {
             stats.retries += run.delta.retries;
             stats.circuit_opens += run.delta.circuit_opens;
             stats.circuit_rejections += run.delta.circuit_rejections;
             stats.endpoint_failures += run.delta.endpoint_failures;
+            // Per-endpoint batch event, emitted on the coordinator thread
+            // in endpoint order — the raw material for the `alex report`
+            // per-endpoint latency percentiles.
+            emit!(Event::EndpointBatch {
+                endpoint: self.endpoints[i].name().to_string(),
+                jobs: jobs.len() as u64,
+                duration_us: run.duration_us,
+                retries: run.delta.retries,
+                circuit_opens: run.delta.circuit_opens,
+                circuit_rejections: run.delta.circuit_rejections,
+                failures: run.delta.endpoint_failures,
+                skipped: pre_skipped[i] || run.terminal.is_some(),
+                cache_hit: hits[i].is_some(),
+            });
         }
         if self.resilience.fail_fast {
             // The sequential executor aborted at the first terminal failure
@@ -674,10 +689,12 @@ impl FederatedEngine {
         jobs: &[ProbeJob<'_>],
         pre_skipped: bool,
     ) -> EndpointRun {
+        let started = Instant::now();
         let mut run = EndpointRun {
             rows: Vec::with_capacity(jobs.len()),
             delta: ProbeDelta::default(),
             terminal: None,
+            duration_us: 0,
         };
         let mut dead = pre_skipped;
         for (j, job) in jobs.iter().enumerate() {
@@ -693,6 +710,9 @@ impl FederatedEngine {
                     dead = true;
                 }
             }
+        }
+        if !pre_skipped {
+            run.duration_us = started.elapsed().as_micros() as u64;
         }
         run
     }
@@ -773,11 +793,13 @@ struct ProbeDelta {
 }
 
 /// The outcome of one endpoint's pass over the job list: per-job rows
-/// (`None` = skipped), stat deltas, and the first terminal failure.
+/// (`None` = skipped), stat deltas, the first terminal failure, and the
+/// batch's wall-clock time (0 for cache hits and pre-skipped endpoints).
 struct EndpointRun {
     rows: Vec<Option<Vec<[Value; 3]>>>,
     delta: ProbeDelta,
     terminal: Option<(usize, EndpointError)>,
+    duration_us: u64,
 }
 
 /// Lock a mutex, recovering the inner value if a previous holder panicked —

@@ -117,6 +117,29 @@ pub enum Event {
         /// Execution wall-clock time in microseconds.
         duration_us: u64,
     },
+    /// One endpoint's batch of jobs finished within a federated query
+    /// (the unit `alex report` aggregates per-endpoint latency from).
+    EndpointBatch {
+        /// Endpoint name.
+        endpoint: String,
+        /// Jobs dispatched to the endpoint in this batch.
+        jobs: u64,
+        /// Batch wall-clock time in microseconds (0 when skipped).
+        duration_us: u64,
+        /// Transient failures retried within the batch.
+        retries: u64,
+        /// Circuit-breaker opens triggered by the batch.
+        circuit_opens: u64,
+        /// Jobs rejected by an already-open circuit.
+        circuit_rejections: u64,
+        /// Jobs that exhausted retries and failed.
+        failures: u64,
+        /// Whether the endpoint was skipped without dispatching (down
+        /// past its budget, circuit open, or fail-fast terminal).
+        skipped: bool,
+        /// Whether the batch was served from the answer cache.
+        cache_hit: bool,
+    },
     /// One PARIS probabilistic-matching iteration finished.
     ParisIteration {
         /// 1-based iteration number.
@@ -152,6 +175,7 @@ impl Event {
             Event::BlacklistHit { .. } => "blacklist_hit",
             Event::Rollback { .. } => "rollback",
             Event::FederatedQuery { .. } => "federated_query",
+            Event::EndpointBatch { .. } => "endpoint_batch",
             Event::ParisIteration { .. } => "paris_iteration",
             Event::BenchSnapshot { .. } => "bench_snapshot",
         }
@@ -236,6 +260,27 @@ impl Event {
                     .u64("cache_misses", *cache_misses)
                     .u64("threads", *threads)
                     .u64("duration_us", *duration_us);
+            }
+            Event::EndpointBatch {
+                endpoint,
+                jobs,
+                duration_us,
+                retries,
+                circuit_opens,
+                circuit_rejections,
+                failures,
+                skipped,
+                cache_hit,
+            } => {
+                w.str("endpoint", endpoint)
+                    .u64("jobs", *jobs)
+                    .u64("duration_us", *duration_us)
+                    .u64("retries", *retries)
+                    .u64("circuit_opens", *circuit_opens)
+                    .u64("circuit_rejections", *circuit_rejections)
+                    .u64("failures", *failures)
+                    .bool("skipped", *skipped)
+                    .bool("cache_hit", *cache_hit);
             }
             Event::ParisIteration {
                 iteration,
@@ -357,6 +402,23 @@ impl Event {
                     .unwrap_or(0),
                 threads: get_u64("threads")?,
                 duration_us: get_u64("duration_us")?,
+            }),
+            "endpoint_batch" => Ok(Event::EndpointBatch {
+                endpoint: get_str("endpoint")?,
+                jobs: get_u64("jobs")?,
+                duration_us: get_u64("duration_us")?,
+                retries: get_u64("retries")?,
+                circuit_opens: get_u64("circuit_opens")?,
+                circuit_rejections: get_u64("circuit_rejections")?,
+                failures: get_u64("failures")?,
+                skipped: map
+                    .get("skipped")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false),
+                cache_hit: map
+                    .get("cache_hit")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false),
             }),
             "paris_iteration" => Ok(Event::ParisIteration {
                 iteration: get_u64("iteration")?,

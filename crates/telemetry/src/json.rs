@@ -1,15 +1,17 @@
-//! Minimal hand-rolled JSON support for the event log: a string escaper,
-//! an object writer, and a parser for the *flat* objects the event log
-//! emits (string / integer / float / bool values only, no nesting).
+//! Minimal hand-rolled JSON support for the event log and trace tooling:
+//! a string escaper, an object writer, and a recursive-descent parser.
 //!
-//! This is deliberately not a general JSON library — events are flat by
-//! construction, and keeping the parser flat keeps it small and obviously
-//! correct for the round-trip tests.
+//! The event log itself emits *flat* objects (string / integer / float /
+//! bool values only) and [`parse_object`] keeps rejecting non-object
+//! top-level input for it. The nested [`JsonValue::Obj`] / [`JsonValue::Arr`]
+//! variants exist for the trace validator ([`crate::trace`]), which must
+//! read back full Chrome trace-event files. This is still deliberately not
+//! a general JSON library — just enough for our own round-trips.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// A value in a flat JSON object.
+/// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     /// A JSON string.
@@ -20,6 +22,10 @@ pub enum JsonValue {
     Float(f64),
     /// A boolean.
     Bool(bool),
+    /// A nested object.
+    Obj(BTreeMap<String, JsonValue>),
+    /// An array.
+    Arr(Vec<JsonValue>),
 }
 
 impl JsonValue {
@@ -52,6 +58,22 @@ impl JsonValue {
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
             _ => None,
         }
     }
@@ -136,6 +158,14 @@ impl ObjectWriter {
         self
     }
 
+    /// Write a pre-rendered JSON value verbatim — used to nest an object
+    /// built by another writer (the caller guarantees it is valid JSON).
+    pub fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
     /// Close the object and return the rendered line.
     pub fn finish(mut self) -> String {
         self.buf.push('}');
@@ -149,52 +179,51 @@ impl Default for ObjectWriter {
     }
 }
 
-/// Parse one flat JSON object (as produced by [`ObjectWriter`]).
+/// Parse one JSON object (as produced by [`ObjectWriter`]). The top level
+/// must be an object — arrays and scalars are rejected, which is what the
+/// event-log parser wants; use [`parse_value_str`] for arbitrary values.
 pub fn parse_object(input: &str) -> Result<BTreeMap<String, JsonValue>, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     p.expect(b'{')?;
-    let mut map = BTreeMap::new();
-    p.skip_ws();
-    if p.peek() == Some(b'}') {
-        p.pos += 1;
-        return p.finish(map);
-    }
-    loop {
-        p.skip_ws();
-        let key = p.parse_string()?;
-        p.skip_ws();
-        p.expect(b':')?;
-        p.skip_ws();
-        let value = p.parse_value()?;
-        map.insert(key, value);
-        p.skip_ws();
-        match p.next() {
-            Some(b',') => continue,
-            Some(b'}') => return p.finish(map),
-            other => return Err(format!("expected ',' or '}}', got {other:?}")),
-        }
-    }
+    let map = p.parse_object_body()?;
+    p.finish(map)
 }
+
+/// Parse a whole JSON value of any type (object, array, or scalar),
+/// requiring that it spans the entire input.
+pub fn parse_value_str(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.finish(value)
+}
+
+/// Nesting cap for the recursive parser — far above anything our trace
+/// files produce, low enough to fail before a stack overflow on garbage.
+const MAX_DEPTH: usize = 64;
 
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
-    fn finish(
-        &mut self,
-        map: BTreeMap<String, JsonValue>,
-    ) -> Result<BTreeMap<String, JsonValue>, String> {
+    fn finish<T>(&mut self, value: T) -> Result<T, String> {
         self.skip_ws();
         if self.pos != self.bytes.len() {
             return Err(format!("trailing bytes at offset {}", self.pos));
         }
-        Ok(map)
+        Ok(value)
     }
 
     fn peek(&self) -> Option<u8> {
@@ -228,7 +257,73 @@ impl Parser<'_> {
             Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
             Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
             Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(b'{') => {
+                self.pos += 1;
+                self.parse_object_body().map(JsonValue::Obj)
+            }
+            Some(b'[') => self.parse_array(),
             other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    /// Parse object fields after the opening `{` has been consumed.
+    fn parse_object_body(&mut self) -> Result<BTreeMap<String, JsonValue>, String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => {
+                    self.depth -= 1;
+                    return Ok(map);
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b']') => {
+                    self.depth -= 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
         }
     }
 
@@ -364,5 +459,24 @@ mod tests {
         let map = parse_object("{\"a\":-7,\"b\":1.5e3}").unwrap();
         assert_eq!(map["a"], JsonValue::Int(-7));
         assert_eq!(map["b"], JsonValue::Float(1500.0));
+    }
+
+    #[test]
+    fn nested_objects_and_arrays_parse() {
+        let v = parse_value_str("[{\"a\":[1,2,{\"b\":true}]},[],{}]").unwrap();
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        let inner = arr[0].as_obj().unwrap()["a"].as_arr().unwrap();
+        assert_eq!(inner[0], JsonValue::Int(1));
+        assert_eq!(inner[2].as_obj().unwrap()["b"].as_bool(), Some(true));
+        assert_eq!(arr[1], JsonValue::Arr(Vec::new()));
+        assert_eq!(arr[2], JsonValue::Obj(BTreeMap::new()));
+
+        // parse_object still rejects non-object top level.
+        assert!(parse_object("[{\"a\":1}]").is_err());
+        // Unterminated nesting and depth bombs fail, not overflow.
+        assert!(parse_value_str("[[[").is_err());
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse_value_str(&deep).is_err());
     }
 }

@@ -11,6 +11,16 @@
 //! * **Events** ([`events`]) — a typed, structured JSONL event log behind
 //!   an opt-in sink.
 //!
+//! Plus the profiling layer built on top of spans:
+//!
+//! * **Timeline** ([`timeline`]) — an opt-in lock-free per-thread recorder
+//!   of span begin/end + instant events, which [`trace`] exports as Chrome
+//!   trace-event JSON (Perfetto-loadable) and [`attribution`] reduces to
+//!   per-phase self time, per-worker busy/idle, chunk skew, and a
+//!   critical-path estimate.
+//! * **Reports** ([`report`]) — aggregation of JSONL event logs + metrics
+//!   dumps into a convergence / latency / completeness run report.
+//!
 //! # Cost model when disabled
 //!
 //! The library is built to be left compiled-in:
@@ -26,14 +36,21 @@
 
 #![forbid(unsafe_code)]
 
+pub mod attribution;
 pub mod events;
 pub mod json;
 pub mod metrics;
+pub mod report;
 pub mod spans;
+pub mod timeline;
+pub mod trace;
 
+pub use attribution::{attribute, Attribution};
 pub use events::{Event, EventLog, EventSink, JsonlFileSink, MemorySink};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, DURATION_BUCKETS};
-pub use spans::{span, SpanGuard, SpanRegistry, SpanStats};
+pub use report::RunReport;
+pub use spans::{span, ContextGuard, SpanContext, SpanGuard, SpanRegistry, SpanStats};
+pub use trace::{chrome_trace_json, validate_chrome_trace, write_chrome_trace};
 
 use std::sync::OnceLock;
 

@@ -7,18 +7,46 @@
 //! global registry, which [`SpanRegistry::render_summary`] renders as the
 //! `--verbose` exit table.
 //!
+//! Paths are *interned*: the registry assigns each distinct
+//! (parent, name) pair a small integer id and builds the joined path
+//! string exactly once, when the pair is first seen anywhere in the
+//! process. Entering a span after that is a thread-local cache hit (no
+//! lock, no allocation), and recording on drop indexes the stats slot by
+//! id — the hot path never re-joins or re-allocates the path.
+//!
 //! Guards also expose [`SpanGuard::elapsed`], so code that previously kept
 //! its own `Instant` (the driver's `RunReport` durations) reads the same
 //! clock the registry records.
+//!
+//! [`SpanContext`] captures the innermost open span as a cloneable,
+//! thread-portable handle. `alex-parallel` hands it to every worker task
+//! so spans opened inside a worker nest under the pool's caller instead of
+//! starting a fresh root on the worker thread; the timeline recorder
+//! ([`crate::timeline`]) uses the same context to label worker chunks.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+/// Sentinel parent id for root spans (no enclosing span).
+const ROOT: usize = usize::MAX;
+
+/// Intern-cache value: (node id, full path).
+type InternedNode = (usize, Arc<str>);
+
 thread_local! {
-    /// Names of the spans currently open on this thread, outermost first.
-    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Open spans on this thread, outermost first: (node id, full path).
+    static SPAN_STACK: RefCell<Vec<InternedNode>> = const { RefCell::new(Vec::new()) };
+    /// Thread-local intern cache: (parent id, name) → (node id, path).
+    /// Hits bypass the registry mutex entirely.
+    static INTERN_CACHE: RefCell<HashMap<(usize, &'static str), InternedNode>> =
+        RefCell::new(HashMap::new());
+}
+
+fn empty_path() -> Arc<str> {
+    static EMPTY: OnceLock<Arc<str>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from("")).clone()
 }
 
 /// Aggregated statistics for one span path.
@@ -35,6 +63,13 @@ pub struct SpanStats {
 }
 
 impl SpanStats {
+    const ZERO: SpanStats = SpanStats {
+        count: 0,
+        total: Duration::ZERO,
+        min: Duration::MAX,
+        max: Duration::ZERO,
+    };
+
     fn record(&mut self, d: Duration) {
         self.count += 1;
         self.total += d;
@@ -42,49 +77,86 @@ impl SpanStats {
         self.max = self.max.max(d);
     }
 
-    /// Mean duration per span.
+    /// Mean duration per span. Computed in integer nanoseconds so counts
+    /// beyond `u32::MAX` divide exactly instead of truncating.
     pub fn mean(&self) -> Duration {
         if self.count == 0 {
             Duration::ZERO
         } else {
-            self.total / self.count as u32
+            Duration::from_nanos((self.total.as_nanos() / self.count as u128) as u64)
         }
     }
 }
 
-/// Per-path span aggregation.
+/// One interned span path plus its aggregate statistics.
+struct Node {
+    path: Arc<str>,
+    stats: SpanStats,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// (parent id, leaf name) → node id.
+    index: HashMap<(usize, &'static str), usize>,
+    nodes: Vec<Node>,
+}
+
+/// Per-path span aggregation over interned path ids.
 #[derive(Default)]
 pub struct SpanRegistry {
-    stats: Mutex<BTreeMap<String, SpanStats>>,
+    inner: Mutex<Inner>,
 }
 
 impl SpanRegistry {
-    fn record(&self, path: String, d: Duration) {
-        let mut stats = self.stats.lock().expect("span registry poisoned");
-        stats
-            .entry(path)
-            .or_insert(SpanStats {
-                count: 0,
-                total: Duration::ZERO,
-                min: Duration::MAX,
-                max: Duration::ZERO,
-            })
-            .record(d);
+    /// Get or create the node for `name` under `parent`. The joined path
+    /// string is allocated only on first creation.
+    fn intern(&self, parent: usize, name: &'static str) -> (usize, Arc<str>) {
+        let mut inner = self.inner.lock().expect("span registry poisoned");
+        if let Some(&id) = inner.index.get(&(parent, name)) {
+            return (id, inner.nodes[id].path.clone());
+        }
+        let path: Arc<str> = if parent == ROOT {
+            Arc::from(name)
+        } else {
+            Arc::from(format!("{}/{}", inner.nodes[parent].path, name))
+        };
+        let id = inner.nodes.len();
+        inner.nodes.push(Node {
+            path: path.clone(),
+            stats: SpanStats::ZERO,
+        });
+        inner.index.insert((parent, name), id);
+        (id, path)
     }
 
-    /// Snapshot of all paths and their statistics, sorted by path.
+    /// Fold one completed span into its node's stats — an indexed slot
+    /// update, no allocation.
+    fn record_id(&self, id: usize, d: Duration) {
+        let mut inner = self.inner.lock().expect("span registry poisoned");
+        inner.nodes[id].stats.record(d);
+    }
+
+    /// Snapshot of all paths with at least one completed span, sorted by
+    /// path.
     pub fn snapshot(&self) -> Vec<(String, SpanStats)> {
-        let stats = self.stats.lock().expect("span registry poisoned");
-        stats.iter().map(|(k, v)| (k.clone(), *v)).collect()
+        let inner = self.inner.lock().expect("span registry poisoned");
+        let sorted: BTreeMap<String, SpanStats> = inner
+            .nodes
+            .iter()
+            .filter(|n| n.stats.count > 0)
+            .map(|n| (n.path.to_string(), n.stats))
+            .collect();
+        sorted.into_iter().collect()
     }
 
     /// Aggregate stats for one exact path, if any spans completed there.
     pub fn get(&self, path: &str) -> Option<SpanStats> {
-        self.stats
-            .lock()
-            .expect("span registry poisoned")
-            .get(path)
-            .copied()
+        let inner = self.inner.lock().expect("span registry poisoned");
+        inner
+            .nodes
+            .iter()
+            .find(|n| &*n.path == path && n.stats.count > 0)
+            .map(|n| n.stats)
     }
 
     /// Render an aligned text table of the snapshot (the `--verbose` view).
@@ -132,15 +204,87 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// A cloneable, thread-portable handle to the innermost span open on the
+/// capturing thread. Workers [`enter`](SpanContext::enter) it so their
+/// spans nest under the pool caller's path.
+#[derive(Debug, Clone)]
+pub struct SpanContext {
+    node: usize,
+    path: Arc<str>,
+}
+
+impl SpanContext {
+    /// The context of the innermost span open on this thread, or the root
+    /// context when no span is open.
+    pub fn current() -> SpanContext {
+        SPAN_STACK.with(|stack| match stack.borrow().last() {
+            Some((node, path)) => SpanContext {
+                node: *node,
+                path: path.clone(),
+            },
+            None => SpanContext {
+                node: ROOT,
+                path: empty_path(),
+            },
+        })
+    }
+
+    /// The captured span's full path (empty for the root context).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The path a child named `name` would record under this context —
+    /// `name` at root, `path/name` otherwise. Does not intern a registry
+    /// node; used by the timeline recorder to label worker chunks.
+    pub fn child_path(&self, name: &str) -> Arc<str> {
+        if self.node == ROOT && self.path.is_empty() {
+            Arc::from(name)
+        } else {
+            Arc::from(format!("{}/{name}", self.path))
+        }
+    }
+
+    /// Seed this thread's span stack with the captured context: spans
+    /// opened while the guard lives nest under the context's path, exactly
+    /// as if they ran on the capturing thread.
+    pub fn enter(&self) -> ContextGuard {
+        let depth = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let depth = stack.len();
+            if self.node != ROOT {
+                stack.push((self.node, self.path.clone()));
+            }
+            depth
+        });
+        ContextGuard { depth }
+    }
+}
+
+/// RAII guard for an entered [`SpanContext`]; restores the thread's span
+/// stack on drop.
+pub struct ContextGuard {
+    depth: usize,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|stack| stack.borrow_mut().truncate(self.depth));
+    }
+}
+
 /// RAII guard for one span. Dropping it records the elapsed time under the
 /// span's full path.
 pub struct SpanGuard {
-    /// Full slash-joined path, computed at entry.
-    path: String,
+    id: usize,
+    path: Arc<str>,
     start: Instant,
     /// Stack depth at entry, used to pop exactly our frame even if inner
     /// guards are dropped out of order.
     depth: usize,
+    /// Whether the timeline recorder accepted our begin event (its end
+    /// must be recorded iff the begin was).
+    timeline: bool,
 }
 
 impl SpanGuard {
@@ -164,32 +308,39 @@ impl Drop for SpanGuard {
             // leaked (e.g. mem::forget) or drops happened out of order.
             stack.truncate(self.depth);
         });
-        crate::global()
-            .spans()
-            .record(std::mem::take(&mut self.path), elapsed);
+        if self.timeline {
+            crate::timeline::end(true);
+        }
+        crate::global().spans().record_id(self.id, elapsed);
     }
 }
 
 /// Open a span named `name`, nested under any span already open on this
-/// thread. The name is `&'static str` so entering a span allocates only
-/// the joined path string.
+/// thread. After the first occurrence of a (parent, name) pair, entering
+/// is a thread-local cache hit: no lock and no path allocation.
 pub fn span(name: &'static str) -> SpanGuard {
-    let (path, depth) = SPAN_STACK.with(|stack| {
-        let mut stack = stack.borrow_mut();
-        let depth = stack.len();
-        let mut path =
-            String::with_capacity(stack.iter().map(|s| s.len() + 1).sum::<usize>() + name.len());
-        for frame in stack.iter() {
-            path.push_str(frame);
-            path.push('/');
-        }
-        path.push_str(name);
-        stack.push(name);
-        (path, depth)
+    let (parent, depth) = SPAN_STACK.with(|stack| {
+        let stack = stack.borrow();
+        (stack.last().map_or(ROOT, |(id, _)| *id), stack.len())
     });
+    let (id, path) = INTERN_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        match cache.get(&(parent, name)) {
+            Some((id, path)) => (*id, path.clone()),
+            None => {
+                let entry = crate::global().spans().intern(parent, name);
+                cache.insert((parent, name), entry.clone());
+                entry
+            }
+        }
+    });
+    SPAN_STACK.with(|stack| stack.borrow_mut().push((id, path.clone())));
+    let timeline = crate::timeline::enabled() && crate::timeline::begin(name, &path, None);
     SpanGuard {
+        id,
         path,
         start: Instant::now(),
         depth,
+        timeline,
     }
 }

@@ -1,0 +1,319 @@
+//! Chrome trace-event export and validation.
+//!
+//! [`chrome_trace_json`] renders drained [`ThreadTrace`]s as a Chrome
+//! trace-event JSON array (the format `chrome://tracing` and Perfetto
+//! load): `B`/`E` duration events per thread, `i` instants, and `M`
+//! metadata naming the process and each thread. Pool dispatch and chunk
+//! spans carry their [`PoolLabels`](crate::timeline::PoolLabels) in
+//! `args`, so a worker's chunks are visibly tied to the dispatch that
+//! issued them.
+//!
+//! [`validate_chrome_trace`] is the reverse direction, used by tests and
+//! the CI trace-schema gate: parse a trace file, check every `B` has a
+//! matching `E` on the same thread with non-decreasing timestamps, and
+//! check every chunk span lies inside a dispatch span with the same
+//! `(pool, seq)`.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::json::{parse_value_str, JsonValue, ObjectWriter};
+use crate::timeline::{PoolRole, ThreadTrace, TimelineKind};
+
+/// Render thread traces as a Chrome trace-event JSON array, one event per
+/// line (valid JSON *and* greppable).
+pub fn chrome_trace_json(traces: &[ThreadTrace]) -> String {
+    let mut lines: Vec<String> = Vec::new();
+
+    let mut meta = ObjectWriter::new();
+    meta.str("ph", "M")
+        .u64("pid", 1)
+        .u64("tid", 0)
+        .str("name", "process_name")
+        .raw("args", "{\"name\":\"alex\"}");
+    lines.push(meta.finish());
+
+    let min_tid = traces.iter().map(|t| t.tid).min().unwrap_or(0);
+    for trace in traces {
+        let mut w = ObjectWriter::new();
+        let mut args = ObjectWriter::new();
+        args.str("name", &thread_label(trace, min_tid));
+        w.str("ph", "M")
+            .u64("pid", 1)
+            .u64("tid", trace.tid)
+            .str("name", "thread_name")
+            .raw("args", &args.finish());
+        lines.push(w.finish());
+    }
+
+    for trace in traces {
+        for event in &trace.events {
+            let mut w = ObjectWriter::new();
+            match &event.kind {
+                TimelineKind::Begin { name, path, pool } => {
+                    w.str("ph", "B")
+                        .u64("pid", 1)
+                        .u64("tid", trace.tid)
+                        .u64("ts", event.ts_us)
+                        .str("name", name)
+                        .str("cat", if pool.is_some() { "pool" } else { "span" });
+                    let mut args = ObjectWriter::new();
+                    args.str("path", path);
+                    if let Some(labels) = pool {
+                        args.str("pool", labels.pool).u64("seq", labels.seq);
+                        match labels.role {
+                            PoolRole::Dispatch { chunks, workers } => {
+                                args.str("role", "dispatch")
+                                    .u64("chunks", chunks as u64)
+                                    .u64("workers", workers as u64);
+                            }
+                            PoolRole::Chunk {
+                                worker,
+                                chunk,
+                                items,
+                            } => {
+                                args.str("role", "chunk")
+                                    .u64("worker", worker as u64)
+                                    .u64("chunk", chunk as u64)
+                                    .u64("items", items as u64);
+                            }
+                        }
+                    }
+                    w.raw("args", &args.finish());
+                }
+                TimelineKind::End => {
+                    w.str("ph", "E")
+                        .u64("pid", 1)
+                        .u64("tid", trace.tid)
+                        .u64("ts", event.ts_us);
+                }
+                TimelineKind::Instant { name } => {
+                    w.str("ph", "i")
+                        .u64("pid", 1)
+                        .u64("tid", trace.tid)
+                        .u64("ts", event.ts_us)
+                        .str("name", name)
+                        .str("s", "t");
+                }
+            }
+            lines.push(w.finish());
+        }
+    }
+
+    let mut out = String::from("[\n");
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str(line);
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// Human label for one thread's track: derived from its first chunk-role
+/// begin (`{pool} worker {w}`), else `main` for the lowest tid, else
+/// `thread {tid}`.
+fn thread_label(trace: &ThreadTrace, min_tid: u64) -> String {
+    for event in &trace.events {
+        if let TimelineKind::Begin {
+            pool: Some(labels), ..
+        } = &event.kind
+        {
+            if let PoolRole::Chunk { worker, .. } = labels.role {
+                return format!("{} worker {worker}", labels.pool);
+            }
+        }
+    }
+    if trace.tid == min_tid {
+        String::from("main")
+    } else {
+        format!("thread {}", trace.tid)
+    }
+}
+
+/// Write [`chrome_trace_json`] to `path`.
+pub fn write_chrome_trace(path: &str, traces: &[ThreadTrace]) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json(traces))
+}
+
+/// What [`validate_chrome_trace`] verified, summarized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Distinct threads with at least one non-metadata event.
+    pub threads: usize,
+    /// Total non-metadata events.
+    pub events: usize,
+    /// Completed B/E span pairs.
+    pub spans: usize,
+    /// Spans labelled as pool chunks.
+    pub chunk_spans: usize,
+    /// Spans labelled as pool dispatches.
+    pub dispatch_spans: usize,
+    /// Pool names seen, sorted.
+    pub pools: Vec<String>,
+}
+
+struct OpenSpan {
+    ts: u64,
+    pool: Option<(String, u64, bool)>, // (pool, seq, is_dispatch)
+}
+
+struct DoneSpan {
+    ts: u64,
+    end: u64,
+    pool: Option<(String, u64, bool)>,
+}
+
+/// Parse and structurally validate a Chrome trace-event JSON string.
+///
+/// Checks: top level is an array of objects; every event has a known `ph`;
+/// `B`/`E` pairs balance per `(pid, tid)` with `E.ts >= B.ts`; and every
+/// chunk span is enclosed by a dispatch span with the same `(pool, seq)`.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceCheck, String> {
+    let value = parse_value_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = value.as_arr().ok_or("top level is not an array")?;
+
+    let mut stacks: HashMap<(u64, u64), Vec<OpenSpan>> = HashMap::new();
+    let mut done: Vec<DoneSpan> = Vec::new();
+    let mut threads: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut pools: BTreeSet<String> = BTreeSet::new();
+    let mut non_meta = 0usize;
+
+    let field_u64 = |obj: &BTreeMap<String, JsonValue>, key: &str| -> Result<u64, String> {
+        obj.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("event missing numeric {key:?}"))
+    };
+
+    for (i, event) in events.iter().enumerate() {
+        let obj = event
+            .as_obj()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i} missing \"ph\""))?;
+        let pid = field_u64(obj, "pid")?;
+        let tid = field_u64(obj, "tid")?;
+        match ph {
+            "M" => continue,
+            "B" => {
+                non_meta += 1;
+                threads.insert((pid, tid));
+                let ts = field_u64(obj, "ts")?;
+                obj.get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("B event {i} missing \"name\""))?;
+                let pool = match obj.get("args").and_then(JsonValue::as_obj) {
+                    Some(args) => pool_labels(args, i)?,
+                    None => None,
+                };
+                if let Some((name, _, _)) = &pool {
+                    pools.insert(name.clone());
+                }
+                stacks
+                    .entry((pid, tid))
+                    .or_default()
+                    .push(OpenSpan { ts, pool });
+            }
+            "E" => {
+                non_meta += 1;
+                threads.insert((pid, tid));
+                let ts = field_u64(obj, "ts")?;
+                let open = stacks
+                    .get_mut(&(pid, tid))
+                    .and_then(Vec::pop)
+                    .ok_or_else(|| format!("event {i}: E without open B on tid {tid}"))?;
+                if ts < open.ts {
+                    return Err(format!(
+                        "event {i}: span ends at {ts} before it began at {}",
+                        open.ts
+                    ));
+                }
+                done.push(DoneSpan {
+                    ts: open.ts,
+                    end: ts,
+                    pool: open.pool,
+                });
+            }
+            "i" => {
+                non_meta += 1;
+                threads.insert((pid, tid));
+                field_u64(obj, "ts")?;
+            }
+            other => return Err(format!("event {i}: unknown ph {other:?}")),
+        }
+    }
+
+    for ((_, tid), stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid}: {} B event(s) without matching E",
+                stack.len()
+            ));
+        }
+    }
+
+    // Every chunk must sit inside a dispatch with the same (pool, seq).
+    let mut dispatches: HashMap<(String, u64), (u64, u64)> = HashMap::new();
+    let mut dispatch_spans = 0usize;
+    let mut chunk_spans = 0usize;
+    for span in &done {
+        if let Some((pool, seq, true)) = &span.pool {
+            dispatches.insert((pool.clone(), *seq), (span.ts, span.end));
+            dispatch_spans += 1;
+        }
+    }
+    for span in &done {
+        if let Some((pool, seq, false)) = &span.pool {
+            chunk_spans += 1;
+            let (d_ts, d_end) = dispatches
+                .get(&(pool.clone(), *seq))
+                .ok_or_else(|| format!("chunk span in pool {pool:?} seq {seq} has no dispatch"))?;
+            if span.ts < *d_ts || span.end > *d_end {
+                return Err(format!(
+                    "chunk [{}, {}] outside dispatch [{d_ts}, {d_end}] (pool {pool:?} seq {seq})",
+                    span.ts, span.end
+                ));
+            }
+        }
+    }
+
+    Ok(TraceCheck {
+        threads: threads.len(),
+        events: non_meta,
+        spans: done.len(),
+        chunk_spans,
+        dispatch_spans,
+        pools: pools.into_iter().collect(),
+    })
+}
+
+/// Extract `(pool, seq, is_dispatch)` from a B event's args, if the span
+/// is pool-labelled.
+fn pool_labels(
+    args: &BTreeMap<String, JsonValue>,
+    i: usize,
+) -> Result<Option<(String, u64, bool)>, String> {
+    let Some(role) = args.get("role").and_then(JsonValue::as_str) else {
+        return Ok(None);
+    };
+    let pool = args
+        .get("pool")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("event {i}: role without pool"))?;
+    let seq = args
+        .get("seq")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("event {i}: role without seq"))?;
+    let is_dispatch = match role {
+        "dispatch" => true,
+        "chunk" => false,
+        other => return Err(format!("event {i}: unknown role {other:?}")),
+    };
+    Ok(Some((pool.to_string(), seq, is_dispatch)))
+}

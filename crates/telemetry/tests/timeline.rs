@@ -1,0 +1,149 @@
+//! Tests for the global timeline recorder. The recorder is process-wide
+//! state (enable flag, capacity, finished-buffer collector), so every test
+//! here serializes on one mutex and drains leftovers before recording.
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use alex_telemetry::timeline::{self, TimelineKind, DEFAULT_CAPACITY};
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[test]
+fn begin_end_round_trips_through_drain() {
+    let _guard = exclusive();
+    let _ = timeline::drain();
+    timeline::enable();
+
+    let path: Arc<str> = Arc::from("t/outer");
+    let began = timeline::begin("outer", &path, None);
+    assert!(began, "begin admitted while enabled");
+    timeline::instant("mark");
+    timeline::end(began);
+
+    timeline::disable();
+    let traces = timeline::drain();
+    assert_eq!(traces.len(), 1, "only this thread recorded");
+    let events = &traces[0].events;
+    assert_eq!(events.len(), 3);
+    assert!(matches!(
+        &events[0].kind,
+        TimelineKind::Begin { name: "outer", .. }
+    ));
+    assert!(matches!(
+        &events[1].kind,
+        TimelineKind::Instant { name: "mark" }
+    ));
+    assert!(matches!(&events[2].kind, TimelineKind::End));
+    assert!(events[0].ts_us <= events[2].ts_us, "timestamps monotone");
+    assert_eq!(traces[0].dropped, 0);
+}
+
+#[test]
+fn full_buffer_drops_whole_spans_and_stays_balanced() {
+    let _guard = exclusive();
+    let _ = timeline::drain();
+    timeline::set_capacity(8);
+    timeline::enable();
+
+    let path: Arc<str> = Arc::from("t/deep");
+    // Nested begins: admission reserves an End slot per Begin, so with
+    // capacity 8 exactly four begins fit and the fifth is rejected.
+    let admitted: Vec<bool> = (0..5)
+        .map(|_| timeline::begin("deep", &path, None))
+        .collect();
+    assert_eq!(admitted, vec![true, true, true, true, false]);
+    // No room left for an instant either: 4 events + 4 reserved ends.
+    timeline::instant("squeezed");
+    // Close them all, passing each begin's own admission result back.
+    for &began in admitted.iter().rev() {
+        timeline::end(began);
+    }
+
+    timeline::disable();
+    let traces = timeline::drain();
+    timeline::set_capacity(DEFAULT_CAPACITY);
+    assert_eq!(traces.len(), 1);
+    let trace = &traces[0];
+    // Exactly at capacity, and balanced: 4 begins, 4 ends, nothing else.
+    assert_eq!(trace.events.len(), 8);
+    let begins = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, TimelineKind::Begin { .. }))
+        .count();
+    let ends = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, TimelineKind::End))
+        .count();
+    assert_eq!((begins, ends), (4, 4));
+    // The rejected begin and the rejected instant were counted.
+    assert_eq!(trace.dropped, 2);
+}
+
+#[test]
+fn end_still_records_when_disabled_mid_span() {
+    let _guard = exclusive();
+    let _ = timeline::drain();
+    timeline::enable();
+
+    let path: Arc<str> = Arc::from("t/crossing");
+    let began = timeline::begin("crossing", &path, None);
+    assert!(began);
+    timeline::disable();
+    // The recorder is off, but the admitted begin reserved this slot — the
+    // end must land so the exported trace stays balanced.
+    timeline::end(began);
+    // A begin after disable records nothing and returns false.
+    assert!(!timeline::begin("late", &path, None));
+
+    let traces = timeline::drain();
+    assert_eq!(traces.len(), 1);
+    assert_eq!(traces[0].events.len(), 2);
+    assert!(matches!(&traces[0].events[1].kind, TimelineKind::End));
+}
+
+#[test]
+fn drain_merges_worker_thread_buffers() {
+    let _guard = exclusive();
+    let _ = timeline::drain();
+    timeline::enable();
+
+    let path: Arc<str> = Arc::from("t/main");
+    let began = timeline::begin("main", &path, None);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                let wpath: Arc<str> = Arc::from("t/worker");
+                let began = timeline::begin("worker", &wpath, None);
+                timeline::end(began);
+                // Scoped threads must flush before returning: the scope
+                // unblocks before TLS destructors run, so the drop flush
+                // alone would race the drain below (this mirrors what the
+                // worker pool does).
+                timeline::flush_current_thread();
+            });
+        }
+    });
+    timeline::end(began);
+
+    timeline::disable();
+    let traces = timeline::drain();
+    // Main plus two workers, each with a balanced begin/end pair.
+    assert_eq!(traces.len(), 3);
+    for trace in &traces {
+        assert_eq!(trace.events.len(), 2);
+    }
+    // Tids are unique and sorted.
+    let tids: Vec<u64> = traces.iter().map(|t| t.tid).collect();
+    let mut sorted = tids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(tids, sorted);
+}

@@ -20,6 +20,9 @@ cargo clippy -p alex-sparql -- -D warnings
 cargo clippy -p alex-core -- -D warnings
 cargo clippy -p alex-store -- -D warnings
 cargo clippy -p alex-cache -- -D warnings
+# The profiling layer (timeline/trace/attribution/report modules) carries
+# the same per-module deny, so the exporter and aggregators stay panic-free.
+cargo clippy -p alex-telemetry -- -D warnings
 
 echo "==> cargo test (ALEX_THREADS=1: deterministic pool runs inline)"
 ALEX_THREADS=1 cargo test --workspace -q
@@ -46,6 +49,9 @@ echo "==> SPARQL fuzz (fixed seed budget: ~4k structured + ~6k mutated inputs)"
 # no-panic, parse/serialize fixpoint, and fingerprint-invariance properties.
 cargo test --test fuzz_sparql -q
 
+echo "==> trace & report suite (--trace validity, PARIS worker nesting, alex report)"
+cargo test --test trace_report -q
+
 echo "==> kill-and-resume smoke (SIGKILL mid-run, --resume, diff vs reference)"
 # An improve run is SIGKILLed at an episode commit, resumed with --resume,
 # and its final links must be byte-identical to an uninterrupted reference.
@@ -69,5 +75,14 @@ improve --state-dir "$SMOKE/state-cut" --resume --out "$SMOKE/resumed.nt" --thre
 cmp "$SMOKE/ref.nt" "$SMOKE/resumed.nt" \
   || { echo "kill-and-resume smoke: resumed links differ from reference" >&2; exit 1; }
 echo "resumed links byte-identical to uninterrupted reference"
+
+echo "==> trace-schema smoke (--trace under --threads 4, validated via alex report)"
+# The emitted Chrome trace must pass structural validation: balanced B/E
+# per thread and every pool chunk span enclosed by its dispatch span.
+improve --out "$SMOKE/traced.nt" --threads 4 \
+  --trace "$SMOKE/trace.json" --profile 2> "$SMOKE/profile.err"
+grep -q "phase" "$SMOKE/profile.err" \
+  || { echo "trace-schema smoke: --profile printed no attribution table" >&2; exit 1; }
+"$ALEX" report --check-trace "$SMOKE/trace.json"
 
 echo "CI OK"

@@ -6,12 +6,16 @@
 //! alex link     LEFT RIGHT [--threshold T] [--baseline] [--out links.nt]
 //! alex improve  LEFT RIGHT --links L.nt --truth T.nt [options] [--out out.nt]
 //! alex query    --data A.nt --data B.nt [--links L.nt] (--query-file F | QUERY)
+//! alex report   EVENTS.jsonl... [--metrics F.prom] [--json OUT] [--check-trace T.json]
 //! ```
 //!
-//! `improve` and `query` also accept the observability flags
+//! `link`, `improve`, and `query` also accept the observability flags
 //! `--telemetry FILE.jsonl` (structured event log), `--metrics-dump
 //! FILE.prom` (Prometheus text exposition of the global counters and
-//! histograms), and `--verbose` (per-span timing summary on stderr).
+//! histograms), `--verbose` (per-span timing summary on stderr),
+//! `--trace FILE.json` (Chrome trace-event timeline, Perfetto-loadable),
+//! and `--profile` (worker-attribution table on stderr). `report` turns
+//! event logs back into a convergence / latency / completeness summary.
 //!
 //! Data files may be N-Triples (`.nt`) or the supported Turtle subset
 //! (`.ttl`). Links are exchanged as `owl:sameAs` N-Triples, so the output
@@ -40,6 +44,7 @@ fn main() -> ExitCode {
         Some("link") => cmd_link(&args[1..]),
         Some("improve") => cmd_improve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -85,6 +90,18 @@ USAGE:
       sets federated through optional sameAs links; answers produced
       through links show their provenance. Partial results (skipped
       sources) are reported on stderr.
+
+  alex report EVENTS.jsonl [EVENTS.jsonl ...] [--metrics FILE.prom]
+              [--format table|json] [--json OUT.json]
+              [--check-trace TRACE.json]
+      Aggregate one or more runs' --telemetry event logs (plus an
+      optional --metrics-dump file) into a run report: per-episode
+      F-measure / link-churn convergence, federation cache hit ratio
+      and completeness, per-endpoint latency p50/p95/p99 and
+      retry/breaker counts. --json writes the JSON form to a file;
+      --format json prints it instead of the table. --check-trace
+      validates a --trace output file (well-formed Chrome trace JSON,
+      balanced begin/end pairs per thread, chunks inside dispatches).
 
   improve also accepts --feedback oracle|query (default oracle).
   With 'query', feedback comes from judging federated query answers
@@ -147,7 +164,7 @@ ANSWER CACHING (improve --feedback query, and query):
                             cache_invalidations_total,
                             cache_evictions_total.
 
-OBSERVABILITY (improve and query):
+OBSERVABILITY (link, improve, and query):
   --telemetry FILE.jsonl    Write the structured event log (one JSON
                             object per line: episodes, link changes,
                             federated query stats, ...).
@@ -155,6 +172,16 @@ OBSERVABILITY (improve and query):
                             Prometheus text exposition format on exit.
   --verbose                 Print the per-span wall-clock summary to
                             stderr on exit.
+  --trace FILE.json         Record the span/worker timeline and write it
+                            as Chrome trace-event JSON on exit — load it
+                            in Perfetto (ui.perfetto.dev) or
+                            chrome://tracing. Worker-pool chunks appear
+                            as spans labelled {pool, worker, chunk}
+                            nested under the dispatching caller.
+  --profile                 Record the same timeline and print the
+                            attribution table on exit: per-phase self
+                            time, per-worker busy/idle, chunk-cost skew,
+                            and a per-pool critical-path estimate.
 ";
 
 /// Named `--flag value` options in command-line order.
@@ -173,6 +200,7 @@ fn split_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 || name == "fail-fast"
                 || name == "resume"
                 || name == "cache"
+                || name == "profile"
             {
                 flags.push((name.to_string(), "true".to_string()));
                 i += 1;
@@ -284,11 +312,14 @@ fn write_or_print(out: Option<&str>, content: &str) -> Result<(), String> {
     }
 }
 
-/// Observability flags shared by `improve` and `query`: attach the JSONL
-/// event sink up front, dump metrics / span summary on [`Self::finish`].
+/// Observability flags shared by `link`, `improve`, and `query`: attach
+/// the JSONL event sink and enable the timeline recorder up front, dump
+/// metrics / trace / attribution / span summary on [`Self::finish`].
 struct TelemetryOpts {
     metrics_dump: Option<String>,
     verbose: bool,
+    trace: Option<String>,
+    profile: bool,
 }
 
 fn telemetry_setup(flags: &Flags) -> Result<TelemetryOpts, String> {
@@ -299,16 +330,34 @@ fn telemetry_setup(flags: &Flags) -> Result<TelemetryOpts, String> {
             .events()
             .attach(std::sync::Arc::new(sink));
     }
-    Ok(TelemetryOpts {
+    let opts = TelemetryOpts {
         metrics_dump: flag(flags, "metrics-dump").map(str::to_string),
         verbose: flag(flags, "verbose").is_some(),
-    })
+        trace: flag(flags, "trace").map(str::to_string),
+        profile: flag(flags, "profile").is_some(),
+    };
+    if opts.trace.is_some() || opts.profile {
+        alex::telemetry::timeline::enable();
+    }
+    Ok(opts)
 }
 
 impl TelemetryOpts {
     fn finish(&self) -> Result<(), String> {
         let telemetry = alex::telemetry::global();
         telemetry.events().flush();
+        if self.trace.is_some() || self.profile {
+            // One drain serves both consumers.
+            let traces = alex::telemetry::timeline::drain();
+            if let Some(path) = &self.trace {
+                alex::telemetry::write_chrome_trace(path, &traces)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            if self.profile {
+                eprint!("{}", alex::telemetry::attribute(&traces).render_table());
+            }
+        }
         if let Some(path) = &self.metrics_dump {
             std::fs::write(path, telemetry.metrics().render_prometheus())
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -521,6 +570,7 @@ fn cmd_link(args: &[String]) -> Result<(), String> {
         return Err("link requires exactly two data files".into());
     };
     configure_threads(&flags)?;
+    let telemetry = telemetry_setup(&flags)?;
     let left = load_dataset(left_path)?;
     let right = load_dataset(right_path)?;
     let threshold: f64 = parse_flag(&flags, "threshold", 0.80)?;
@@ -552,7 +602,8 @@ fn cmd_link(args: &[String]) -> Result<(), String> {
             .into_iter()
             .map(|(l, r)| (left.resolve(l).to_string(), right.resolve(r).to_string())),
     );
-    write_or_print(flag(&flags, "out"), &links.to_ntriples())
+    write_or_print(flag(&flags, "out"), &links.to_ntriples())?;
+    telemetry.finish()
 }
 
 fn cmd_improve(args: &[String]) -> Result<(), String> {
@@ -960,6 +1011,105 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     telemetry.finish()
 }
 
+/// Output shape for `alex report`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReportFormat {
+    Table,
+    Json,
+}
+
+/// Validated `alex report` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ReportOpts {
+    logs: Vec<String>,
+    metrics: Option<String>,
+    json_out: Option<String>,
+    format: ReportFormat,
+    check_trace: Option<String>,
+}
+
+/// Parse and validate the `report` flags: at least one events log (or a
+/// `--check-trace` file) is required, and `--format` must be known.
+fn report_opts(positional: &[String], flags: &Flags) -> Result<ReportOpts, String> {
+    let format = match flag(flags, "format").unwrap_or("table") {
+        "table" => ReportFormat::Table,
+        "json" => ReportFormat::Json,
+        other => return Err(format!("--format must be 'table' or 'json', got '{other}'")),
+    };
+    let check_trace = flag(flags, "check-trace").map(str::to_string);
+    if positional.is_empty() && check_trace.is_none() {
+        return Err(
+            "report requires at least one events JSONL file (or --check-trace FILE)".into(),
+        );
+    }
+    if positional.is_empty() && (flag(flags, "metrics").is_some() || flag(flags, "json").is_some())
+    {
+        return Err("--metrics/--json apply to events logs; give at least one JSONL file".into());
+    }
+    Ok(ReportOpts {
+        logs: positional.to_vec(),
+        metrics: flag(flags, "metrics").map(str::to_string),
+        json_out: flag(flags, "json").map(str::to_string),
+        format,
+        check_trace,
+    })
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_args(args)?;
+    let opts = report_opts(&positional, &flags)?;
+
+    if let Some(path) = &opts.check_trace {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let check = alex::telemetry::validate_chrome_trace(&json)
+            .map_err(|e| format!("{path}: invalid trace: {e}"))?;
+        println!(
+            "trace {path} ok: {} thread(s), {} event(s), {} span(s) \
+             ({} dispatch, {} chunk), pools [{}]",
+            check.threads,
+            check.events,
+            check.spans,
+            check.dispatch_spans,
+            check.chunk_spans,
+            check.pools.join(", ")
+        );
+    }
+    if opts.logs.is_empty() {
+        return Ok(());
+    }
+
+    let mut report = alex::telemetry::RunReport::new();
+    for log in &opts.logs {
+        let content =
+            std::fs::read_to_string(log).map_err(|e| format!("cannot read {log}: {e}"))?;
+        let mut events = Vec::new();
+        for (n, line) in content.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(
+                alex::telemetry::Event::parse(line).map_err(|e| format!("{log}:{}: {e}", n + 1))?,
+            );
+        }
+        report.add_events(&events);
+    }
+    if let Some(path) = &opts.metrics {
+        let prom = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        report.add_metrics_dump(&prom);
+    }
+    if let Some(out) = &opts.json_out {
+        let mut json = report.to_json();
+        json.push('\n');
+        std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    match opts.format {
+        ReportFormat::Json => println!("{}", report.to_json()),
+        ReportFormat::Table => print!("{}", report.render_table()),
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -1082,5 +1232,70 @@ mod tests {
     fn kill_after_must_be_positive() {
         let err = durable_opts(&flags_of("--state-dir /tmp/s --kill-after 0")).unwrap_err();
         assert!(err.contains("--kill-after"), "{err}");
+    }
+
+    #[test]
+    fn profile_is_a_value_less_flag() {
+        // `--profile --trace out.json` must not swallow --trace as the
+        // value of --profile.
+        let (positional, flags) = split_args(&[
+            "--profile".to_string(),
+            "--trace".to_string(),
+            "out.json".to_string(),
+            "left.nt".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(positional, vec!["left.nt"]);
+        assert_eq!(flag(&flags, "profile"), Some("true"));
+        assert_eq!(flag(&flags, "trace"), Some("out.json"));
+    }
+
+    #[test]
+    fn observability_flags_parse_uniformly() {
+        let flags = flags_of("--telemetry e.jsonl --metrics-dump m.prom --verbose");
+        assert_eq!(flag(&flags, "telemetry"), Some("e.jsonl"));
+        assert_eq!(flag(&flags, "metrics-dump"), Some("m.prom"));
+        assert_eq!(flag(&flags, "verbose"), Some("true"));
+        // --trace requires a value.
+        let err = split_args(&["--trace".to_string()]).unwrap_err();
+        assert!(err.contains("--trace requires a value"), "{err}");
+    }
+
+    #[test]
+    fn report_requires_logs_or_check_trace() {
+        let err = report_opts(&[], &flags_of("")).unwrap_err();
+        assert!(err.contains("at least one events JSONL"), "{err}");
+        // --check-trace alone is a valid invocation.
+        let opts = report_opts(&[], &flags_of("--check-trace t.json")).unwrap();
+        assert_eq!(opts.check_trace.as_deref(), Some("t.json"));
+        assert!(opts.logs.is_empty());
+    }
+
+    #[test]
+    fn report_parses_full_flag_set() {
+        let opts = report_opts(
+            &["a.jsonl".to_string(), "b.jsonl".to_string()],
+            &flags_of("--metrics m.prom --json out.json --format json"),
+        )
+        .unwrap();
+        assert_eq!(
+            opts,
+            ReportOpts {
+                logs: vec!["a.jsonl".into(), "b.jsonl".into()],
+                metrics: Some("m.prom".into()),
+                json_out: Some("out.json".into()),
+                format: ReportFormat::Json,
+                check_trace: None,
+            }
+        );
+    }
+
+    #[test]
+    fn report_rejects_bad_combinations() {
+        let err = report_opts(&[], &flags_of("--format yaml --check-trace t.json")).unwrap_err();
+        assert!(err.contains("--format"), "{err}");
+        // Log-scoped flags without any log are caught, not ignored.
+        let err = report_opts(&[], &flags_of("--check-trace t.json --metrics m.prom")).unwrap_err();
+        assert!(err.contains("at least one JSONL"), "{err}");
     }
 }
