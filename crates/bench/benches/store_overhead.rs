@@ -160,10 +160,10 @@ fn representative_payloads(
         .expect("oracle feedback has durable state");
     let mut pairs: Vec<(u32, u32)> = fx.truth.iter().copied().collect();
     pairs.sort_unstable();
-    let items: Vec<(u32, u32, bool)> = (0..EPISODE_SIZE)
+    let items: Vec<(u32, u32, bool, u32)> = (0..EPISODE_SIZE)
         .map(|i| {
             let (l, r) = pairs[i % pairs.len()];
-            (l, r, i % 3 != 0)
+            (l, r, i % 3 != 0, (i % 7) as u32)
         })
         .collect();
     let record = encode_episode(&EpisodeRecord {

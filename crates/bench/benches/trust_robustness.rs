@@ -1,0 +1,158 @@
+//! Adversarial-robustness economics: what the trust gate buys under a
+//! seeded poisoning attack, and what it costs per episode.
+//!
+//! Four improve runs over the NBA pair — {clean, 30% targeted poisoners}
+//! × {trust gate on, off} — produce per-episode F curves. The acceptance
+//! criteria from the robustness issue are asserted here so a regression
+//! shows up in review diffs: with the gate on, poisoned F may degrade at
+//! most 5 points from the clean baseline, and the ungated run must
+//! degrade strictly more. The full curves land in `BENCH_trust.json` at
+//! the repo root. A Criterion group additionally prices the gate's
+//! bookkeeping (gated vs ungated clean episodes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+use alex_core::{
+    driver, AdversarialPopulation, Agent, AlexConfig, LinkSpace, RunReport, SpaceConfig,
+    TrustConfig,
+};
+use alex_datagen::{assign_roles, generate_pair, AdversaryProfile, DatasetKind, PairSpec};
+
+const SOURCES: usize = 10;
+const SEED: u64 = 42;
+const POISON_FRACTION: f64 = 0.3;
+/// The issue's acceptance bound: gated degradation ≤ 5 F-points.
+const MAX_GATED_DEGRADATION: f64 = 0.05;
+
+struct Fixture {
+    space: LinkSpace,
+    truth: HashSet<(u32, u32)>,
+    initial: Vec<(u32, u32)>,
+}
+
+fn fixture() -> Fixture {
+    let spec = PairSpec::of(DatasetKind::DBpediaNba, DatasetKind::NYTimes);
+    let pair = generate_pair(&spec.config(7));
+    let space = LinkSpace::build(&pair.left, &pair.right, &SpaceConfig::default());
+    let truth: HashSet<(u32, u32)> = pair
+        .ground_truth
+        .iter()
+        .filter_map(|&(l, r)| Some((space.left_index().id(l)?, space.right_index().id(r)?)))
+        .collect();
+    let mut initial: Vec<(u32, u32)> = truth.iter().copied().collect();
+    initial.sort_unstable();
+    let keep = initial.len() * 2 / 5;
+    initial.truncate(keep);
+    initial.extend([(0, 1), (1, 2), (2, 0)]);
+    Fixture {
+        space,
+        truth,
+        initial,
+    }
+}
+
+fn cfg(trust: bool) -> AlexConfig {
+    AlexConfig {
+        episode_size: 400,
+        max_episodes: 12,
+        trust: trust.then(TrustConfig::default),
+        ..AlexConfig::default()
+    }
+}
+
+/// One full improve run; `poisoned` seeds 30% targeted poisoners into the
+/// source population.
+fn run(fx: &Fixture, poisoned: bool, trust: bool) -> RunReport {
+    let profile = poisoned
+        .then(|| AdversaryProfile::parse(&format!("poisoner:{POISON_FRACTION}")))
+        .transpose()
+        .expect("profile parses");
+    let roles = assign_roles(profile.as_ref(), SOURCES, SEED);
+    let mut population = AdversarialPopulation::new(fx.truth.clone(), roles, 0.0, SEED);
+    let mut agent = Agent::new(fx.space.clone(), &fx.initial, cfg(trust));
+    driver::run(&mut agent, &mut population, &fx.truth)
+}
+
+/// Initial quality followed by each episode's F.
+fn curve(report: &RunReport) -> Vec<f64> {
+    std::iter::once(report.initial_quality.f_measure)
+        .chain(report.episodes.iter().map(|e| e.quality.f_measure))
+        .collect()
+}
+
+fn json_curve(curve: &[f64]) -> String {
+    let points: Vec<String> = curve.iter().map(|f| format!("{f:.4}")).collect();
+    format!("[{}]", points.join(", "))
+}
+
+fn bench_trust_robustness(c: &mut Criterion) {
+    let fx = fixture();
+
+    // Quality curves + acceptance criteria. Deterministic (no wall clock),
+    // so this runs in the smoke pass too: a defense regression fails
+    // `cargo test` on the bench targets, not just `cargo bench`.
+    let clean_on = run(&fx, false, true);
+    let poisoned_on = run(&fx, true, true);
+    let clean_off = run(&fx, false, false);
+    let poisoned_off = run(&fx, true, false);
+
+    let final_f = |r: &RunReport| r.final_quality().f_measure;
+    let deg_on = final_f(&clean_on) - final_f(&poisoned_on);
+    let deg_off = final_f(&clean_off) - final_f(&poisoned_off);
+    assert!(
+        deg_on <= MAX_GATED_DEGRADATION + 1e-9,
+        "trust-gated degradation exceeds the {MAX_GATED_DEGRADATION} bound: \
+         clean {:.4} vs poisoned {:.4} ({deg_on:.4})",
+        final_f(&clean_on),
+        final_f(&poisoned_on),
+    );
+    assert!(
+        deg_off > deg_on,
+        "the ungated run must degrade strictly more than the gated one: \
+         gated {deg_on:.4}, ungated {deg_off:.4}"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"trust_robustness\",\n  \
+         \"pair\": \"nba\",\n  \"sources\": {SOURCES},\n  \
+         \"poison_fraction\": {POISON_FRACTION},\n  \
+         \"episodes\": {},\n  \"episode_size\": 400,\n  \
+         \"f_curve_clean_trust_on\": {},\n  \
+         \"f_curve_poisoned_trust_on\": {},\n  \
+         \"f_curve_clean_trust_off\": {},\n  \
+         \"f_curve_poisoned_trust_off\": {},\n  \
+         \"degradation_trust_on\": {deg_on:.4},\n  \
+         \"degradation_trust_off\": {deg_off:.4},\n  \
+         \"max_gated_degradation\": {MAX_GATED_DEGRADATION}\n}}\n",
+        clean_on.episode_count(),
+        json_curve(&curve(&clean_on)),
+        json_curve(&curve(&poisoned_on)),
+        json_curve(&curve(&clean_off)),
+        json_curve(&curve(&poisoned_off)),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trust.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    // Price the gate itself: clean episodes with and without admission
+    // bookkeeping (buffering, posterior updates, discredit sweeps).
+    let mut g = c.benchmark_group("trust_robustness");
+    g.sample_size(10);
+    g.bench_function("clean_run_ungated", |b| {
+        b.iter(|| black_box(run(&fx, false, false).episode_count()))
+    });
+    g.bench_function("clean_run_gated", |b| {
+        b.iter(|| black_box(run(&fx, false, true).episode_count()))
+    });
+    g.bench_function("poisoned_run_gated", |b| {
+        b.iter(|| black_box(run(&fx, true, true).episode_count()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trust_robustness);
+criterion_main!(benches);

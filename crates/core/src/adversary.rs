@@ -1,0 +1,324 @@
+//! A multi-source feedback population with seeded adversaries.
+//!
+//! [`AdversarialPopulation`] is the attack harness for the trust layer: a
+//! round-robin population of feedback sources, each assigned a
+//! [`SourceRole`] by `alex-datagen`'s seeded profile machinery. Honest
+//! sources behave like [`crate::feedback::OracleFeedback`]; adversarial
+//! ones lie according to their strategy. The whole stream is a pure
+//! function of `(truth, roles, seed)`, and the source is durable — kill
+//! and resume replays the exact same judgments from the exact same
+//! sources.
+
+use std::collections::HashSet;
+
+use alex_datagen::SourceRole;
+use alex_trust::SourceId;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::candidates::CandidateSet;
+use crate::feedback::{Feedback, FeedbackItem, FeedbackSource};
+use crate::space::{LinkSpace, PairId};
+
+/// Round-robin population of honest and adversarial feedback sources.
+#[derive(Debug)]
+pub struct AdversarialPopulation {
+    truth: HashSet<(u32, u32)>,
+    roles: Vec<SourceRole>,
+    honest_error_rate: f64,
+    rng: StdRng,
+    cursor: u64,
+}
+
+impl AdversarialPopulation {
+    /// A population over ground truth. `roles[i]` drives source `i + 1`
+    /// (source id 0 is reserved for anonymous feedback);
+    /// `honest_error_rate` is the per-judgment flip probability of honest
+    /// members (Appendix C noise, independent of any adversary).
+    pub fn new(
+        truth: HashSet<(u32, u32)>,
+        roles: Vec<SourceRole>,
+        honest_error_rate: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!roles.is_empty(), "population needs at least one source");
+        assert!(
+            (0.0..=1.0).contains(&honest_error_rate),
+            "error rate in [0, 1]"
+        );
+        AdversarialPopulation {
+            truth,
+            roles,
+            honest_error_rate,
+            rng: StdRng::seed_from_u64(seed),
+            cursor: 0,
+        }
+    }
+
+    /// Number of sources in the population.
+    pub fn sources(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Whether the ground truth holds the pair.
+    pub fn is_correct(&self, pair: (u32, u32)) -> bool {
+        self.truth.contains(&pair)
+    }
+
+    /// Whether a colluding coalition with `cohort` targets this pair: a
+    /// seeded hash buckets the link space so every member lies on the same
+    /// `density` fraction of it.
+    fn coalition_targets(cohort: u64, density: f64, pair: (u32, u32)) -> bool {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ cohort;
+        for byte in pair.0.to_le_bytes().into_iter().chain(pair.1.to_le_bytes()) {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Map the hash to [0, 1) with 53-bit precision and compare.
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < density
+    }
+
+    fn judge(&mut self, role: SourceRole, id: PairId, space: &LinkSpace) -> Feedback {
+        let pair = space.pair(id);
+        let truthful = if self.is_correct(pair) {
+            Feedback::Positive
+        } else {
+            Feedback::Negative
+        };
+        let flip = |f: Feedback| match f {
+            Feedback::Positive => Feedback::Negative,
+            Feedback::Negative => Feedback::Positive,
+        };
+        match role {
+            SourceRole::Honest => {
+                if self.honest_error_rate > 0.0 && self.rng.random_bool(self.honest_error_rate) {
+                    flip(truthful)
+                } else {
+                    truthful
+                }
+            }
+            SourceRole::Flipper { rate } => {
+                if self.rng.random_bool(rate) {
+                    flip(truthful)
+                } else {
+                    truthful
+                }
+            }
+            SourceRole::Poisoner { threshold } => {
+                // The sleeper attack: truthful on ordinary links (earning
+                // trust), lying exactly on high-value ones — pairs whose
+                // best feature score reaches the threshold.
+                let best = space
+                    .feature_set_of(id)
+                    .iter()
+                    .map(|&(_, score)| score)
+                    .fold(0.0_f64, f64::max);
+                if best >= threshold {
+                    flip(truthful)
+                } else {
+                    truthful
+                }
+            }
+            SourceRole::Sybil => flip(truthful),
+            SourceRole::Colluder { cohort, density } => {
+                if Self::coalition_targets(cohort, density, pair) {
+                    flip(truthful)
+                } else {
+                    truthful
+                }
+            }
+        }
+    }
+}
+
+impl FeedbackSource for AdversarialPopulation {
+    fn next(&mut self, candidates: &CandidateSet, space: &LinkSpace) -> Option<(PairId, Feedback)> {
+        self.next_item(candidates, space)
+            .map(|item| (item.state, item.feedback))
+    }
+
+    fn next_item(&mut self, candidates: &CandidateSet, space: &LinkSpace) -> Option<FeedbackItem> {
+        let id = candidates.sample(&mut self.rng)?;
+        let turn = (self.cursor % self.roles.len() as u64) as usize;
+        self.cursor = self.cursor.wrapping_add(1);
+        let role = self.roles[turn];
+        let feedback = self.judge(role, id, space);
+        Some(FeedbackItem {
+            state: id,
+            feedback,
+            // Source ids are 1-based; 0 is SourceId::ANONYMOUS.
+            source: SourceId(turn as u32 + 1),
+        })
+    }
+
+    fn durable_state(&self) -> Option<Vec<u8>> {
+        // Truth and roles are rebuilt from the run inputs; only the RNG
+        // position and the round-robin cursor need persisting.
+        let mut out = Vec::with_capacity(40);
+        for w in self.rng.state() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&self.cursor.to_le_bytes());
+        Some(out)
+    }
+
+    fn restore_durable_state(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.len() != 40 {
+            return Err(format!(
+                "adversarial population state must be 40 bytes, got {}",
+                state.len()
+            ));
+        }
+        let mut words = [0u64; 5];
+        for (i, w) in words.iter_mut().enumerate() {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&state[i * 8..(i + 1) * 8]);
+            *w = u64::from_le_bytes(raw);
+        }
+        self.rng = StdRng::from_state([words[0], words[1], words[2], words[3]]);
+        self.cursor = words[4];
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceConfig;
+    use alex_rdf::Dataset;
+
+    fn space() -> LinkSpace {
+        let mut left = Dataset::new("L");
+        let mut right = Dataset::new("R");
+        for (i, name) in ["Alpha One", "Beta Two", "Gamma Three"].iter().enumerate() {
+            left.add_str(&format!("http://l/{i}"), "http://l/label", name);
+            right.add_str(&format!("http://r/{i}"), "http://r/name", name);
+        }
+        LinkSpace::build(&left, &right, &SpaceConfig::default())
+    }
+
+    fn diagonal_truth() -> HashSet<(u32, u32)> {
+        (0..3).map(|i| (i, i)).collect()
+    }
+
+    #[test]
+    fn sources_rotate_round_robin_with_one_based_ids() {
+        let space = space();
+        let candidates = CandidateSet::from_iter(space.pair_ids());
+        let mut pop =
+            AdversarialPopulation::new(diagonal_truth(), vec![SourceRole::Honest; 3], 0.0, 7);
+        let ids: Vec<u32> = (0..6)
+            .map(|_| pop.next_item(&candidates, &space).unwrap().source.0)
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sybil_always_lies_and_honest_never_does_at_zero_error() {
+        let space = space();
+        let candidates = CandidateSet::from_iter(space.pair_ids());
+        let mut pop = AdversarialPopulation::new(
+            diagonal_truth(),
+            vec![SourceRole::Honest, SourceRole::Sybil],
+            0.0,
+            11,
+        );
+        for _ in 0..100 {
+            let item = pop.next_item(&candidates, &space).unwrap();
+            let correct = pop.is_correct(space.pair(item.state));
+            let truthful = item.feedback
+                == if correct {
+                    Feedback::Positive
+                } else {
+                    Feedback::Negative
+                };
+            match item.source.0 {
+                1 => assert!(truthful, "honest source lied"),
+                2 => assert!(!truthful, "sybil told the truth"),
+                other => panic!("unexpected source {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn poisoner_lies_only_on_high_value_links() {
+        let space = space();
+        let candidates = CandidateSet::from_iter(space.pair_ids());
+        let mut pop = AdversarialPopulation::new(
+            diagonal_truth(),
+            vec![SourceRole::Poisoner { threshold: 0.9 }],
+            0.0,
+            13,
+        );
+        let mut lied_high = false;
+        for _ in 0..200 {
+            let item = pop.next_item(&candidates, &space).unwrap();
+            let best = space
+                .feature_set_of(item.state)
+                .iter()
+                .map(|&(_, s)| s)
+                .fold(0.0_f64, f64::max);
+            let correct = pop.is_correct(space.pair(item.state));
+            let truthful = item.feedback
+                == if correct {
+                    Feedback::Positive
+                } else {
+                    Feedback::Negative
+                };
+            if best >= 0.9 {
+                assert!(!truthful, "poisoner must lie on high-value links");
+                lied_high = true;
+            } else {
+                assert!(truthful, "poisoner must earn trust on ordinary links");
+            }
+        }
+        assert!(lied_high, "the space should contain high-value links");
+    }
+
+    #[test]
+    fn colluders_lie_on_the_same_targets() {
+        let space = space();
+        let candidates = CandidateSet::from_iter(space.pair_ids());
+        let role = SourceRole::Colluder {
+            cohort: 99,
+            density: 0.5,
+        };
+        let mut pop = AdversarialPopulation::new(diagonal_truth(), vec![role, role], 0.0, 17);
+        // Two colluders must agree on every pair's treatment.
+        let mut verdicts: std::collections::HashMap<PairId, Vec<Feedback>> = Default::default();
+        for _ in 0..300 {
+            let item = pop.next_item(&candidates, &space).unwrap();
+            verdicts.entry(item.state).or_default().push(item.feedback);
+        }
+        for (_, vs) in verdicts {
+            assert!(vs.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn durable_state_round_trips_mid_stream() {
+        let space = space();
+        let candidates = CandidateSet::from_iter(space.pair_ids());
+        let roles = vec![
+            SourceRole::Honest,
+            SourceRole::Flipper { rate: 0.5 },
+            SourceRole::Sybil,
+        ];
+        let mut a = AdversarialPopulation::new(diagonal_truth(), roles.clone(), 0.1, 23);
+        for _ in 0..7 {
+            a.next_item(&candidates, &space);
+        }
+        let saved = a.durable_state().unwrap();
+        let mut b = AdversarialPopulation::new(diagonal_truth(), roles, 0.1, 23);
+        b.restore_durable_state(&saved).unwrap();
+        for _ in 0..50 {
+            assert_eq!(
+                a.next_item(&candidates, &space),
+                b.next_item(&candidates, &space)
+            );
+        }
+        assert!(b.restore_durable_state(&[0u8; 3]).is_err());
+    }
+}

@@ -9,6 +9,7 @@
 use std::collections::HashSet;
 
 use alex_telemetry::{counter, emit, Event};
+use alex_trust::{net_support, SourceId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -16,11 +17,12 @@ use crate::blacklist::Blacklist;
 use crate::candidates::CandidateSet;
 use crate::config::AlexConfig;
 use crate::feature::FeatureId;
-use crate::feedback::{Feedback, FeedbackSource};
+use crate::feedback::{Feedback, FeedbackItem, FeedbackSource};
 use crate::persist::{self, AgentState};
 use crate::policy::Policy;
 use crate::provenance::Provenance;
 use crate::space::{LinkSpace, PairId};
+use crate::trust_gate::{AdmissionRecord, RollbackUndo, TrustGate};
 use crate::value_fn::ActionValue;
 
 /// What one feedback item did to the candidate set.
@@ -34,6 +36,12 @@ pub struct StepOutcome {
     pub rolled_back: bool,
     /// The action taken on positive feedback, if any.
     pub action: Option<FeatureId>,
+    /// Trust gate: the vote crossed quorum and the feedback applied.
+    pub trust_admitted: bool,
+    /// Trust gate: the vote was buffered awaiting quorum.
+    pub trust_deferred: bool,
+    /// Trust gate: admissions revoked by cascading rollback this step.
+    pub trust_cascades: usize,
 }
 
 /// Tallies for one episode of feedback.
@@ -54,6 +62,12 @@ pub struct EpisodeSummary {
     /// `degraded` with zero feedback means "sources were down", not
     /// "feedback dried up".
     pub degraded: usize,
+    /// Trust gate: feedback items admitted past the quorum.
+    pub admitted: usize,
+    /// Trust gate: feedback items deferred (buffered, not dropped).
+    pub deferred: usize,
+    /// Trust gate: admissions revoked by cascading rollback.
+    pub cascades: usize,
 }
 
 impl EpisodeSummary {
@@ -70,6 +84,22 @@ impl EpisodeSummary {
         } else {
             self.negative as f64 / n as f64
         }
+    }
+
+    /// Fold one step's outcome into the episode tallies.
+    pub fn tally(&mut self, outcome: &StepOutcome) {
+        self.added += outcome.added;
+        self.removed += outcome.removed;
+        if outcome.rolled_back {
+            self.rollbacks += 1;
+        }
+        if outcome.trust_admitted {
+            self.admitted += 1;
+        }
+        if outcome.trust_deferred {
+            self.deferred += 1;
+        }
+        self.cascades += outcome.trust_cascades;
     }
 }
 
@@ -95,6 +125,7 @@ pub struct Agent {
     episodes_completed: usize,
     base_fingerprint: u64,
     base_admissions: usize,
+    trust: Option<TrustGate>,
 }
 
 impl Agent {
@@ -121,6 +152,7 @@ impl Agent {
             blacklist: Blacklist::new(cfg.use_blacklist),
             provenance: Provenance::new(),
             rng: StdRng::seed_from_u64(cfg.seed),
+            trust: cfg.trust.map(TrustGate::new),
             cfg,
             episode: EpisodeState::default(),
             episodes_completed: 0,
@@ -180,8 +212,23 @@ impl Agent {
     }
 
     /// Process one feedback item (policy evaluation, Algorithm 1 lines
-    /// 11–22).
+    /// 11–22). Bypasses the trust gate: the judgment applies immediately, as
+    /// in the paper. Gated runs route through
+    /// [`Agent::process_attributed`] instead.
     pub fn process_feedback(&mut self, state: PairId, feedback: Feedback) -> StepOutcome {
+        self.apply_feedback(state, feedback, None)
+    }
+
+    /// Apply one judgment to the learning state. When `undo` is supplied
+    /// (the trust gate admitting buffered feedback), every mutation is
+    /// recorded in it so a later discredit can revert this admission
+    /// exactly.
+    fn apply_feedback(
+        &mut self,
+        state: PairId,
+        feedback: Feedback,
+        mut undo: Option<&mut AdmissionRecord>,
+    ) -> StepOutcome {
         let mut outcome = StepOutcome::default();
         let reward = match feedback {
             Feedback::Positive => self.cfg.positive_reward,
@@ -197,18 +244,22 @@ impl Agent {
             for (s, a) in self.provenance.ancestor_chain(state) {
                 self.qvalues.append_return(s, a, reward);
                 self.episode.improvement_states.insert(s);
+                if let Some(u) = undo.as_deref_mut() {
+                    u.credited.push((s, a));
+                    u.reward = reward;
+                }
             }
         }
 
         match feedback {
             Feedback::Positive => {
-                self.approved.insert(state);
+                let newly_approved = self.approved.insert(state);
                 // Positive feedback contradicts any earlier rejection
                 // (Appendix C resilience): the vote may unblock the link,
                 // and it counts in favor of the action that generated it
                 // (offsetting rollback votes).
-                self.blacklist.endorse(state);
-                self.provenance.record_positive(state);
+                let endorsed = self.blacklist.endorse(state);
+                let prov_target = self.provenance.record_positive(state);
                 self.episode.improvement_states.insert(state);
                 // a' = π(s') (line 18): choose a feature and explore around it.
                 let actions: Vec<FeatureId> = self
@@ -217,18 +268,28 @@ impl Agent {
                     .iter()
                     .map(|&(f, _)| f)
                     .collect();
+                let mut added = Vec::new();
                 if let Some(action) = self.policy.choose(state, &actions, &mut self.rng) {
                     counter!("alex_exploration_actions_total").inc();
                     emit!(Event::ExplorationAction {
                         action: format!("{action:?}")
                     });
                     outcome.action = Some(action);
-                    outcome.added = self.explore(state, action);
+                    added = self.explore(state, action);
+                }
+                outcome.added = added.len();
+                if let Some(u) = undo.as_deref_mut() {
+                    u.newly_approved = newly_approved;
+                    u.endorsed = endorsed;
+                    u.prov_target = prov_target;
+                    u.action = outcome.action;
+                    u.added = added;
                 }
             }
             Feedback::Negative => {
                 // Remove the link (line 20) and blacklist it (§6.3).
-                if self.candidates.remove(state) {
+                let removed_candidate = self.candidates.remove(state);
+                if removed_candidate {
                     outcome.removed += 1;
                     counter!("alex_links_removed_total").inc();
                     emit!({
@@ -239,17 +300,25 @@ impl Agent {
                         }
                     });
                 }
-                self.approved.remove(&state);
-                self.blacklist.add(state);
+                let was_approved = self.approved.remove(&state);
+                let blacklist_added = self.blacklist.add(state);
 
                 // Rollback (§6.3): tally against the generating state-action
                 // pair; past the threshold, remove everything it generated.
+                let mut prov_target = None;
+                let mut rollback_undo = None;
                 if let Some((generator, tally)) = self.provenance.record_negative(state) {
+                    prov_target = Some(generator);
                     if self.cfg.use_rollback && tally >= self.cfg.rollback_threshold {
                         outcome.rolled_back = true;
                         counter!("alex_rollbacks_total").inc();
+                        // Snapshot the tallies (including the triggering
+                        // negative) before take_generated clears them.
+                        let votes = self.provenance.votes_of(generator).unwrap_or((0, 0));
+                        let links = self.provenance.take_generated(generator);
+                        let mut removed = Vec::new();
                         let mut rolled_back_links = 0u64;
-                        for link in self.provenance.take_generated(generator) {
+                        for &link in &links {
                             if self.cfg.rollback_spares_approved && self.approved.contains(&link) {
                                 continue;
                             }
@@ -259,6 +328,7 @@ impl Agent {
                             if self.candidates.remove(link) {
                                 outcome.removed += 1;
                                 rolled_back_links += 1;
+                                removed.push(link);
                                 counter!("alex_links_removed_total").inc();
                                 emit!({
                                     let (l, r) = self.space.pair(link);
@@ -272,7 +342,20 @@ impl Agent {
                         emit!(Event::Rollback {
                             removed: rolled_back_links
                         });
+                        rollback_undo = Some(RollbackUndo {
+                            generator,
+                            links,
+                            votes,
+                            removed,
+                        });
                     }
+                }
+                if let Some(u) = undo {
+                    u.removed_candidate = removed_candidate;
+                    u.was_approved = was_approved;
+                    u.blacklist_added = blacklist_added;
+                    u.prov_target = prov_target;
+                    u.rollback = rollback_undo;
                 }
             }
         }
@@ -284,14 +367,238 @@ impl Agent {
         outcome
     }
 
+    /// Process one *attributed* feedback item. Without a trust gate this is
+    /// [`Agent::process_feedback`]; with one, the judgment becomes a vote in
+    /// the quorum buffer and only applies once trust-weighted agreement
+    /// crosses the configured quorum. Deferred votes are buffered, never
+    /// dropped. Admissions that a later quorum flip or source discredit
+    /// contradicts are revoked by cascading rollback.
+    pub fn process_attributed(&mut self, item: FeedbackItem) -> StepOutcome {
+        let Some(mut gate) = self.trust.take() else {
+            return self.process_feedback(item.state, item.feedback);
+        };
+        let positive = item.feedback == Feedback::Positive;
+        gate.buffer.vote(item.state.0, item.source, positive);
+        let decision = gate
+            .buffer
+            .decide(item.state.0, &gate.cfg, |s| gate.weight(s));
+        let Some(adm) = decision else {
+            counter!("trust_deferred_total").inc();
+            let outcome = StepOutcome {
+                trust_deferred: true,
+                ..StepOutcome::default()
+            };
+            self.trust = Some(gate);
+            return outcome;
+        };
+        counter!("trust_admitted_total").inc();
+
+        // The quorum outcome is the reliability signal: every buffered voter
+        // either agreed with it (evidence of honesty) or opposed it.
+        let votes = gate.buffer.take(item.state.0);
+        let mut supporters = Vec::new();
+        let mut opposers = Vec::new();
+        for (src, vote) in votes {
+            gate.model.record(src, vote == adm.positive);
+            if vote == adm.positive {
+                supporters.push(src);
+            } else {
+                opposers.push(src);
+            }
+        }
+
+        // Quorum flip: a live admission of the *opposite* direction on this
+        // same link is now contradicted by a stronger quorum. Its supporters
+        // were wrong (late-episode precision signal), its opposers right —
+        // and its learning-state mutations are revoked before the new
+        // direction applies.
+        let mut cascades = 0usize;
+        if let Some(prev) = gate
+            .log
+            .iter()
+            .rposition(|r| !r.revoked && r.state == item.state && r.positive != adm.positive)
+        {
+            let sup = gate.log[prev].supporters.clone();
+            let opp = gate.log[prev].opposers.clone();
+            for s in sup {
+                gate.model.record(s, false);
+            }
+            for s in opp {
+                gate.model.record(s, true);
+            }
+            cascades += self.revoke_admission(&mut gate, prev);
+        }
+
+        let mut record = AdmissionRecord::new(item.state, adm.positive);
+        record.supporters = supporters;
+        record.opposers = opposers;
+        let feedback = if adm.positive {
+            Feedback::Positive
+        } else {
+            Feedback::Negative
+        };
+        let mut outcome = self.apply_feedback(item.state, feedback, Some(&mut record));
+        gate.log.push(record);
+        cascades += self.sweep_discredited(&mut gate);
+        outcome.trust_admitted = true;
+        outcome.trust_cascades = cascades;
+        self.trust = Some(gate);
+        outcome
+    }
+
+    /// Revoke admission `idx`: transitively revoke every later live
+    /// admission that depends on its footprint (judged the same link, or
+    /// touched a link it added or rolled back), then undo its own mutations
+    /// in reverse apply order. Returns the number of admissions revoked.
+    fn revoke_admission(&mut self, gate: &mut TrustGate, idx: usize) -> usize {
+        if gate.log[idx].revoked {
+            return 0;
+        }
+        gate.log[idx].revoked = true;
+        counter!("cascading_rollbacks_total").inc();
+        let mut count = 1;
+
+        let mut footprint: HashSet<PairId> = HashSet::new();
+        footprint.insert(gate.log[idx].state);
+        for &(l, _) in &gate.log[idx].added {
+            footprint.insert(l);
+        }
+        if let Some(rb) = &gate.log[idx].rollback {
+            footprint.extend(rb.links.iter().copied());
+        }
+        // Later admissions are undone first (descending), so each sees the
+        // state its own apply left behind; recursion extends the cascade to
+        // transitive dependents.
+        for j in (idx + 1..gate.log.len()).rev() {
+            let depends = {
+                let r = &gate.log[j];
+                !r.revoked
+                    && (footprint.contains(&r.state)
+                        || r.added.iter().any(|&(l, _)| footprint.contains(&l))
+                        || r.rollback
+                            .as_ref()
+                            .is_some_and(|rb| rb.links.iter().any(|l| footprint.contains(l))))
+            };
+            if depends {
+                count += self.revoke_admission(gate, j);
+            }
+        }
+
+        let rec = gate.log[idx].clone();
+        if rec.positive {
+            // Reverse of the positive apply: un-explore, un-vote, un-endorse,
+            // un-approve, un-credit.
+            for &(link, attributed) in rec.added.iter().rev() {
+                self.candidates.remove(link);
+                if let (true, Some(action)) = (attributed, rec.action) {
+                    self.provenance
+                        .retract_attribution(link, (rec.state, action));
+                }
+            }
+            if let Some(g) = rec.prov_target {
+                self.provenance.retract_vote_positive(g);
+            }
+            if rec.endorsed {
+                self.blacklist.retract_endorse(rec.state);
+            }
+            if rec.newly_approved {
+                self.approved.remove(&rec.state);
+            }
+        } else {
+            // Reverse of the negative apply: un-rollback, un-vote, un-strike,
+            // re-approve, re-admit, un-credit.
+            if let Some(rb) = &rec.rollback {
+                for &link in rb.removed.iter().rev() {
+                    self.candidates.insert(link);
+                }
+                self.provenance
+                    .restore_generated(rb.generator, rb.links.clone());
+                self.provenance
+                    .restore_votes(rb.generator, rb.votes.0, rb.votes.1);
+            }
+            if let Some(g) = rec.prov_target {
+                self.provenance.retract_vote_negative(g);
+            }
+            if rec.blacklist_added {
+                self.blacklist.retract_add(rec.state);
+            }
+            if rec.was_approved {
+                self.approved.insert(rec.state);
+            }
+            if rec.removed_candidate {
+                self.candidates.insert(rec.state);
+            }
+        }
+        for &(s, a) in rec.credited.iter().rev() {
+            self.qvalues.retract_return(s, a, rec.reward);
+        }
+        count
+    }
+
+    /// Detect newly discredited sources and re-examine every live admission
+    /// without their voting weight; admissions that no longer meet the
+    /// quorum are revoked (latest first, so each cascade sees consistent
+    /// state). Returns the number of admissions revoked.
+    fn sweep_discredited(&mut self, gate: &mut TrustGate) -> usize {
+        let mut newly = Vec::new();
+        for (src, _, _) in gate.model.iter_counts() {
+            if !gate.discredited.contains(&src) && gate.model.is_discredited(src, &gate.cfg) {
+                newly.push(src);
+            }
+        }
+        if newly.is_empty() {
+            return 0;
+        }
+        for src in newly {
+            gate.discredited.insert(src);
+            counter!("trust_discredited_total").inc();
+        }
+        let mut to_revoke = Vec::new();
+        for (i, rec) in gate.log.iter().enumerate() {
+            if rec.revoked {
+                continue;
+            }
+            let votes: Vec<(SourceId, bool)> = rec
+                .supporters
+                .iter()
+                .map(|&s| (s, rec.positive))
+                .chain(rec.opposers.iter().map(|&s| (s, !rec.positive)))
+                .collect();
+            let support = net_support(&votes, rec.positive, |s| gate.weight(s));
+            if support < gate.cfg.quorum {
+                to_revoke.push(i);
+            }
+        }
+        let mut count = 0;
+        for i in to_revoke.into_iter().rev() {
+            if !gate.log[i].revoked {
+                count += self.revoke_admission(gate, i);
+            }
+        }
+        count
+    }
+
+    /// The trust gate, when this agent runs with trust admission enabled
+    /// (read-only view, for inspection and tests).
+    pub fn trust_gate(&self) -> Option<&TrustGate> {
+        self.trust.as_ref()
+    }
+
+    /// Whether the blacklist currently blocks a link from (re-)proposal.
+    pub fn blacklist_blocks(&self, id: PairId) -> bool {
+        self.blacklist.blocks(id)
+    }
+
     /// Execute the chosen exploration action: add every link whose score for
-    /// `action` lies within ±step of this state's score (§4.2).
-    fn explore(&mut self, state: PairId, action: FeatureId) -> usize {
+    /// `action` lies within ±step of this state's score (§4.2). Returns the
+    /// added links in insertion order, each with whether this call created
+    /// its provenance attribution.
+    fn explore(&mut self, state: PairId, action: FeatureId) -> Vec<(PairId, bool)> {
         let Some(center) = crate::feature::feature_score(self.space.feature_set_of(state), action)
         else {
-            return 0;
+            return Vec::new();
         };
-        let mut added = 0;
+        let mut added = Vec::new();
         for link in self.space.explore(action, center, self.cfg.step_size) {
             if link == state || self.candidates.contains(link) {
                 continue;
@@ -308,8 +615,8 @@ impl Agent {
                 continue;
             }
             self.candidates.insert(link);
-            self.provenance.record(link, (state, action));
-            added += 1;
+            let attributed = self.provenance.record(link, (state, action));
+            added.push((link, attributed));
             counter!("alex_links_added_total").inc();
             emit!({
                 let (l, r) = self.space.pair(link);
@@ -357,19 +664,15 @@ impl Agent {
     ) -> EpisodeSummary {
         let mut summary = EpisodeSummary::default();
         for _ in 0..size {
-            let Some((state, feedback)) = source.next(&self.candidates, &self.space) else {
+            let Some(item) = source.next_item(&self.candidates, &self.space) else {
                 break;
             };
-            match feedback {
+            match item.feedback {
                 Feedback::Positive => summary.positive += 1,
                 Feedback::Negative => summary.negative += 1,
             }
-            let outcome = self.process_feedback(state, feedback);
-            summary.added += outcome.added;
-            summary.removed += outcome.removed;
-            if outcome.rolled_back {
-                summary.rollbacks += 1;
-            }
+            let outcome = self.process_attributed(item);
+            summary.tally(&outcome);
         }
         summary.degraded = source.take_degraded();
         self.end_episode();
@@ -442,6 +745,7 @@ impl Agent {
             blacklist_votes,
             generated,
             provenance_votes,
+            trust: self.trust.as_ref().map(TrustGate::to_state),
         }
     }
 
@@ -501,6 +805,16 @@ impl Agent {
             self.provenance
                 .restore_votes((in_space(s)?, FeatureId(a)), n, p);
         }
+        self.trust = match (self.cfg.trust, &state.trust) {
+            (Some(cfg), Some(ts)) => Some(TrustGate::from_state(cfg, ts)),
+            (Some(cfg), None) => Some(TrustGate::new(cfg)),
+            (None, Some(_)) => {
+                return Err(
+                    "snapshot carries trust state but this run has trust disabled".to_string(),
+                );
+            }
+            (None, None) => None,
+        };
         self.rng = StdRng::from_state(state.rng);
         self.episode = EpisodeState::default();
         self.episodes_completed = state.episodes_completed as usize;
@@ -512,9 +826,12 @@ impl Agent {
     /// [`Agent::run_episode`] did live. Because the agent RNG and candidate
     /// set were restored to their pre-episode state, the resulting state is
     /// byte-identical to the pre-crash one.
-    pub fn replay_episode(&mut self, items: &[(u32, u32, bool)]) -> Result<EpisodeSummary, String> {
+    pub fn replay_episode(
+        &mut self,
+        items: &[(u32, u32, bool, u32)],
+    ) -> Result<EpisodeSummary, String> {
         let mut summary = EpisodeSummary::default();
-        for &(l, r, positive) in items {
+        for &(l, r, positive, source) in items {
             let Some(id) = self.space.id_of(l, r) else {
                 return Err(format!(
                     "journaled pair ({l}, {r}) is not in the rebuilt space; \
@@ -530,12 +847,12 @@ impl Agent {
                 Feedback::Positive => summary.positive += 1,
                 Feedback::Negative => summary.negative += 1,
             }
-            let outcome = self.process_feedback(id, feedback);
-            summary.added += outcome.added;
-            summary.removed += outcome.removed;
-            if outcome.rolled_back {
-                summary.rollbacks += 1;
-            }
+            let outcome = self.process_attributed(FeedbackItem {
+                state: id,
+                feedback,
+                source: SourceId(source),
+            });
+            summary.tally(&outcome);
         }
         self.end_episode();
         Ok(summary)
@@ -807,5 +1124,172 @@ mod tests {
         assert!(!agent.candidates().is_empty());
         assert!(agent.space().id_of(3, 7).is_some());
         let _ = out;
+    }
+
+    // -------------------------------------------------------- trust gating
+
+    use alex_trust::TrustConfig;
+
+    fn trusted_agent(initial: &[(u32, u32)]) -> Agent {
+        Agent::new(
+            build_space(),
+            initial,
+            AlexConfig {
+                trust: Some(TrustConfig::default()),
+                ..AlexConfig::default()
+            },
+        )
+    }
+
+    fn vote(agent: &mut Agent, state: PairId, source: u32, positive: bool) -> StepOutcome {
+        agent.process_attributed(FeedbackItem {
+            state,
+            feedback: if positive {
+                Feedback::Positive
+            } else {
+                Feedback::Negative
+            },
+            source: SourceId(source),
+        })
+    }
+
+    #[test]
+    fn trust_defers_below_quorum_and_admits_past_it() {
+        let mut agent = trusted_agent(&[(0, 0), (0, 1)]);
+        let wrong = agent.space().id_of(0, 1).unwrap();
+        // One fresh source carries weight 0.5 < quorum 1.0: deferred, and
+        // the judgment does NOT apply.
+        let out = vote(&mut agent, wrong, 1, false);
+        assert!(out.trust_deferred && !out.trust_admitted);
+        assert_eq!(out.removed, 0);
+        assert!(agent.candidates().contains(wrong));
+        assert_eq!(agent.trust_gate().unwrap().buffer.pending_votes(), 1);
+        // A second agreeing source crosses the quorum: the buffered votes
+        // drain and the negative applies.
+        let out = vote(&mut agent, wrong, 2, false);
+        assert!(out.trust_admitted && !out.trust_deferred);
+        assert_eq!(out.removed, 1);
+        assert!(!agent.candidates().contains(wrong));
+        let gate = agent.trust_gate().unwrap();
+        assert_eq!(gate.buffer.pending_votes(), 0);
+        assert_eq!(gate.log.len(), 1);
+        assert_eq!(gate.log[0].supporters, vec![SourceId(1), SourceId(2)]);
+        // Both voters agreed with the outcome: one recorded agreement each.
+        assert_eq!(gate.model.observations(SourceId(1)), 1);
+        assert_eq!(gate.model.observations(SourceId(2)), 1);
+    }
+
+    #[test]
+    fn without_trust_process_attributed_applies_immediately() {
+        let mut agent = agent_with_initial(&[(0, 0), (0, 1)]);
+        let wrong = agent.space().id_of(0, 1).unwrap();
+        let out = vote(&mut agent, wrong, 1, false);
+        assert!(!out.trust_deferred && !out.trust_admitted);
+        assert_eq!(out.removed, 1);
+        assert!(agent.trust_gate().is_none());
+    }
+
+    #[test]
+    fn quorum_flip_revokes_the_contradicted_admission() {
+        let mut agent = trusted_agent(&[(0, 0), (0, 1)]);
+        let link = agent.space().id_of(0, 1).unwrap();
+        // Two sources admit a negative: link removed, blacklist strike.
+        vote(&mut agent, link, 1, false);
+        let out = vote(&mut agent, link, 2, false);
+        assert!(out.trust_admitted);
+        assert!(!agent.candidates().contains(link));
+        // Two fresh sources then admit the opposite direction (0.5 + 0.5
+        // crosses the 1.0 quorum). The flip first revokes the negative
+        // admission (restoring the candidate and retracting the strike),
+        // then applies the positive.
+        let out = vote(&mut agent, link, 3, true);
+        assert!(out.trust_deferred);
+        let out = vote(&mut agent, link, 4, true);
+        assert!(out.trust_admitted);
+        assert!(out.trust_cascades >= 1, "flip must revoke the negative");
+        assert!(agent.candidates().contains(link));
+        assert_eq!(agent.blacklisted(), 0);
+        let gate = agent.trust_gate().unwrap();
+        assert!(gate.log[0].revoked);
+        assert!(!gate.log.last().unwrap().revoked);
+        // The old supporters were contradicted by the stronger quorum: one
+        // agreement (their own admission) plus one disagreement (the flip)
+        // puts them back at the prior mean.
+        assert_eq!(gate.model.observations(SourceId(1)), 2);
+        assert!((gate.model.trust(SourceId(1), &gate.cfg) - 0.5).abs() < 1e-12);
+        assert!((gate.model.trust(SourceId(2), &gate.cfg) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discredit_sweep_revokes_admissions_that_lose_quorum() {
+        let mut agent = trusted_agent(&[(0, 0), (0, 1), (1, 1), (2, 2)]);
+        let victim = agent.space().id_of(0, 1).unwrap();
+        // Poisoner 9 plus honest 20 admit a negative on the victim link:
+        // pivotal admission where 9's weight mattered.
+        vote(&mut agent, victim, 9, false);
+        let out = vote(&mut agent, victim, 20, false);
+        assert!(out.trust_admitted);
+        assert!(!agent.candidates().contains(victim));
+        // Source 9 then disagrees with a string of settled quorums (four
+        // honest voters against it on a fresh link each round), driving its
+        // posterior through the discredit floor. Its pivotal agreement
+        // raised its weight to 2/3, so four fresh honest voters (2.0 total)
+        // are needed to outvote it early on.
+        let mut cascades = 0;
+        for i in 1..=8u32 {
+            let state = agent.space().id_of(i, i).unwrap();
+            cascades += vote(&mut agent, state, 9, false).trust_cascades;
+            for honest in 10..=13 {
+                cascades += vote(&mut agent, state, honest, true).trust_cascades;
+            }
+        }
+        let gate = agent.trust_gate().unwrap();
+        assert!(
+            gate.discredited.contains(&SourceId(9)),
+            "eight disagreements past the floor must discredit the source"
+        );
+        // With 9's weight zeroed the pivotal admission no longer meets the
+        // quorum (honest 20 alone carries < 1.0): it was revoked and the
+        // victim link restored.
+        assert!(cascades >= 1, "discredit must trigger a cascading rollback");
+        assert!(gate.log[0].revoked);
+        assert!(
+            agent.candidates().contains(victim),
+            "revoked admission must restore the candidate it removed"
+        );
+        assert_eq!(agent.blacklisted(), 0);
+    }
+
+    #[test]
+    fn trust_state_survives_capture_and_restore() {
+        let mut agent = trusted_agent(&[(0, 0), (0, 1), (1, 1)]);
+        let link = agent.space().id_of(0, 1).unwrap();
+        let good = agent.space().id_of(0, 0).unwrap();
+        vote(&mut agent, link, 1, false); // deferred, stays buffered
+        vote(&mut agent, good, 2, true);
+        vote(&mut agent, good, 3, true); // admitted positive
+        agent.end_episode();
+        let state = agent.capture_state();
+        assert!(state.trust.is_some());
+
+        let mut fresh = trusted_agent(&[(0, 0), (0, 1), (1, 1)]);
+        fresh.restore_state(&state).unwrap();
+        assert_eq!(fresh.capture_state(), state);
+        let gate = fresh.trust_gate().unwrap();
+        assert_eq!(gate.buffer.pending_votes(), 1);
+        assert_eq!(gate.log.len(), 1);
+    }
+
+    #[test]
+    fn restore_rejects_trust_state_when_trust_is_disabled() {
+        let mut gated = trusted_agent(&[(0, 0)]);
+        let good = gated.space().id_of(0, 0).unwrap();
+        vote(&mut gated, good, 1, true);
+        gated.end_episode();
+        let state = gated.capture_state();
+
+        let mut plain = agent_with_initial(&[(0, 0)]);
+        let err = plain.restore_state(&state).unwrap_err();
+        assert!(err.contains("trust"), "{err}");
     }
 }

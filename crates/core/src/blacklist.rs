@@ -30,19 +30,52 @@ impl Blacklist {
         }
     }
 
-    /// Record a negative judgment on a link.
-    pub fn add(&mut self, id: PairId) {
+    /// Record a negative judgment on a link. Returns whether a vote was
+    /// recorded (false when disabled), so a caller that may later have to
+    /// retract the judgment knows there is something to retract. Tallies
+    /// saturate instead of wrapping, so a hostile feedback flood cannot
+    /// overflow a counter back to "unblocked".
+    pub fn add(&mut self, id: PairId) -> bool {
         if self.enabled {
-            self.votes.entry(id).or_insert((0, 0)).0 += 1;
+            let v = self.votes.entry(id).or_insert((0, 0));
+            v.0 = v.0.saturating_add(1);
         }
+        self.enabled
     }
 
     /// Record a positive judgment on a link (contradicting earlier
-    /// negatives; only tracked for links that have been voted on).
-    pub fn endorse(&mut self, id: PairId) {
+    /// negatives; only tracked for links that have been voted on). Returns
+    /// whether a vote was recorded. Saturating, like [`Blacklist::add`].
+    pub fn endorse(&mut self, id: PairId) -> bool {
         if self.enabled {
             if let Some(v) = self.votes.get_mut(&id) {
-                v.1 += 1;
+                v.1 = v.1.saturating_add(1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Retract one negative judgment previously recorded by
+    /// [`Blacklist::add`] (trust-layer revocation of an admitted rejection).
+    /// An entry whose tallies return to zero is dropped entirely, so the
+    /// vote map is byte-identical to one that never saw the judgment.
+    pub fn retract_add(&mut self, id: PairId) {
+        if let Some(v) = self.votes.get_mut(&id) {
+            v.0 = v.0.saturating_sub(1);
+            if *v == (0, 0) {
+                self.votes.remove(&id);
+            }
+        }
+    }
+
+    /// Retract one positive judgment previously recorded by
+    /// [`Blacklist::endorse`].
+    pub fn retract_endorse(&mut self, id: PairId) {
+        if let Some(v) = self.votes.get_mut(&id) {
+            v.1 = v.1.saturating_sub(1);
+            if *v == (0, 0) {
+                self.votes.remove(&id);
             }
         }
     }
@@ -146,7 +179,7 @@ mod tests {
     #[test]
     fn endorse_without_votes_is_noop() {
         let mut b = Blacklist::new(true);
-        b.endorse(PairId(5));
+        assert!(!b.endorse(PairId(5)), "nothing to endorse yet");
         assert!(!b.blocks(PairId(5)));
         b.add(PairId(5));
         b.add(PairId(5));
@@ -154,5 +187,60 @@ mod tests {
             b.blocks(PairId(5)),
             "endorsements before any vote don't pre-arm"
         );
+    }
+
+    #[test]
+    fn offset_semantics_at_the_threshold_edge() {
+        // Pin the exact offsetting-votes arithmetic the agent relies on:
+        // blocked ⇔ neg >= 2 && neg > pos, evaluated on raw (not netted)
+        // tallies.
+        let mut b = Blacklist::new(true);
+        b.add(PairId(1)); // (1, 0): one strike, open
+        assert!(!b.blocks(PairId(1)));
+        b.add(PairId(1)); // (2, 0): blocked
+        assert!(b.blocks(PairId(1)));
+        b.endorse(PairId(1)); // (2, 1): still blocked, 2 > 1
+        assert!(b.blocks(PairId(1)));
+        b.endorse(PairId(1)); // (2, 2): tie unblocks
+        assert!(!b.blocks(PairId(1)));
+        b.add(PairId(1)); // (3, 2): majority negative re-blocks
+        assert!(b.blocks(PairId(1)));
+    }
+
+    #[test]
+    fn tallies_saturate_at_u32_max() {
+        let mut b = Blacklist::new(true);
+        b.restore_votes(PairId(1), u32::MAX, 0);
+        b.add(PairId(1)); // must not wrap to 0 (which would unblock)
+        assert!(b.blocks(PairId(1)));
+        assert_eq!(b.iter_votes().next(), Some((PairId(1), (u32::MAX, 0))));
+
+        b.restore_votes(PairId(2), u32::MAX, u32::MAX - 1);
+        b.endorse(PairId(2)); // pos reaches the ceiling: MAX vs MAX is a tie
+        assert!(!b.blocks(PairId(2)));
+        b.endorse(PairId(2)); // further endorsements saturate, no wrap to 0
+        assert!(!b.blocks(PairId(2)));
+        let votes: Vec<_> = b.iter_votes().filter(|(id, _)| *id == PairId(2)).collect();
+        assert_eq!(votes, vec![(PairId(2), (u32::MAX, u32::MAX))]);
+    }
+
+    #[test]
+    fn retract_undoes_votes_and_drops_empty_entries() {
+        let mut b = Blacklist::new(true);
+        b.add(PairId(1));
+        b.add(PairId(1));
+        assert!(b.endorse(PairId(1)));
+        b.retract_endorse(PairId(1));
+        assert!(b.blocks(PairId(1)), "(2, 0) after the endorsement retracts");
+        b.retract_add(PairId(1));
+        assert!(!b.blocks(PairId(1)));
+        b.retract_add(PairId(1));
+        // Entry fully retracted: the vote map holds nothing at all, exactly
+        // as if the judgments never happened.
+        assert_eq!(b.iter_votes().count(), 0);
+        // Retracting below zero is inert, not a wrap.
+        b.retract_add(PairId(1));
+        b.retract_endorse(PairId(1));
+        assert_eq!(b.iter_votes().count(), 0);
     }
 }

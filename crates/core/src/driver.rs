@@ -18,7 +18,7 @@ use alex_store::{Recovery, Store};
 use alex_telemetry::{counter, emit, span, Event};
 
 use crate::agent::{Agent, EpisodeSummary};
-use crate::feedback::{Feedback, FeedbackSource};
+use crate::feedback::{Feedback, FeedbackItem, FeedbackSource};
 use crate::metrics::{EpisodeReport, Quality};
 use crate::persist::{self, EpisodeRecord, EpisodeStats, RunSnapshot};
 use crate::space::{LinkSpace, PairId};
@@ -134,7 +134,7 @@ impl<'a> Durability<'a> {
 /// can be journaled (and later replayed) exactly.
 struct RecordingSource<'a> {
     inner: &'a mut dyn FeedbackSource,
-    items: Vec<(u32, u32, bool)>,
+    items: Vec<(u32, u32, bool, u32)>,
 }
 
 impl FeedbackSource for RecordingSource<'_> {
@@ -143,10 +143,20 @@ impl FeedbackSource for RecordingSource<'_> {
         candidates: &crate::candidates::CandidateSet,
         space: &LinkSpace,
     ) -> Option<(PairId, Feedback)> {
-        let (id, feedback) = self.inner.next(candidates, space)?;
-        let (l, r) = space.pair(id);
-        self.items.push((l, r, feedback == Feedback::Positive));
-        Some((id, feedback))
+        self.next_item(candidates, space)
+            .map(|item| (item.state, item.feedback))
+    }
+
+    fn next_item(
+        &mut self,
+        candidates: &crate::candidates::CandidateSet,
+        space: &LinkSpace,
+    ) -> Option<FeedbackItem> {
+        let item = self.inner.next_item(candidates, space)?;
+        let (l, r) = space.pair(item.state);
+        self.items
+            .push((l, r, item.feedback == Feedback::Positive, item.source.0));
+        Some(item)
     }
 
     fn take_degraded(&mut self) -> usize {
@@ -213,6 +223,9 @@ fn note_episode(
         threads: alex_parallel::configured_threads() as u64,
         duration_us: duration.as_micros() as u64,
         recovered_from: st.recovered_from,
+        trust_admitted: summary.admitted as u64,
+        trust_deferred: summary.deferred as u64,
+        trust_cascades: summary.cascades as u64,
     });
 
     if st.relaxed_converged_at.is_none() && change_frac < agent.config().relaxed_convergence_frac {

@@ -8,6 +8,7 @@
 
 use std::collections::HashSet;
 
+use alex_trust::SourceId;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -23,11 +24,38 @@ pub enum Feedback {
     Negative,
 }
 
+/// One attributed feedback item: a judgment on a link plus the identity of
+/// the source that made it. Attribution is what the trust layer keys its
+/// per-source reliability posterior on; unattributed legacy sources use
+/// [`SourceId::ANONYMOUS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedbackItem {
+    /// The judged link.
+    pub state: PairId,
+    /// The judgment.
+    pub feedback: Feedback,
+    /// Who judged it.
+    pub source: SourceId,
+}
+
 /// A source of feedback items.
 pub trait FeedbackSource {
     /// Produce the next feedback item over the current candidate set.
     /// `None` means no feedback is available (e.g. the set is empty).
     fn next(&mut self, candidates: &CandidateSet, space: &LinkSpace) -> Option<(PairId, Feedback)>;
+
+    /// Like [`FeedbackSource::next`] but with source attribution. The
+    /// default wraps `next` and attributes everything to
+    /// [`SourceId::ANONYMOUS`]; multi-source populations override this and
+    /// the agent's trust gate (when enabled) consumes it.
+    fn next_item(&mut self, candidates: &CandidateSet, space: &LinkSpace) -> Option<FeedbackItem> {
+        let (state, feedback) = self.next(candidates, space)?;
+        Some(FeedbackItem {
+            state,
+            feedback,
+            source: SourceId::ANONYMOUS,
+        })
+    }
 
     /// Feedback items withheld since the last call because the producing
     /// query degraded (partial answers from a federation with skipped

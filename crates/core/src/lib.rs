@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod adversary;
 pub mod agent;
 pub mod blacklist;
 pub mod bridge;
@@ -69,10 +70,12 @@ pub mod provenance;
 pub mod query_feedback;
 pub mod simmatrix;
 pub mod space;
+pub mod trust_gate;
 pub mod users;
 pub mod value_fn;
 pub mod values;
 
+pub use adversary::AdversarialPopulation;
 pub use agent::{Agent, EpisodeSummary, StepOutcome};
 pub use blacklist::Blacklist;
 pub use bridge::FeedbackBridge;
@@ -80,7 +83,7 @@ pub use candidates::CandidateSet;
 pub use config::AlexConfig;
 pub use driver::{run, run_durable, Durability, RunReport, StopReason};
 pub use feature::{FeatureCatalog, FeatureId, FeaturePair, FeatureSet};
-pub use feedback::{Feedback, FeedbackSource, OracleFeedback};
+pub use feedback::{Feedback, FeedbackItem, FeedbackSource, OracleFeedback};
 pub use metrics::{EpisodeReport, Quality};
 pub use partition::{run_partitioned, PartitionTrace, PartitionedConfig, PartitionedRun};
 pub use persist::{AgentState, EpisodeRecord, EpisodeStats, RunSnapshot};
@@ -88,5 +91,8 @@ pub use policy::Policy;
 pub use provenance::{Provenance, StateAction};
 pub use query_feedback::{workload_from_links, QueryFeedback};
 pub use space::{LinkSpace, PairId, SpaceConfig};
+pub use trust_gate::{AdmissionRecord, TrustGate};
 pub use users::{UserPopulation, UserProfile};
 pub use value_fn::ActionValue;
+
+pub use alex_trust::{SourceId, TrustConfig};

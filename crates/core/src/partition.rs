@@ -366,6 +366,10 @@ pub fn run_partitioned(
             threads: alex_parallel::configured_threads() as u64,
             duration_us: duration.as_micros() as u64,
             recovered_from: 0,
+            // Trust admission runs single-partition only.
+            trust_admitted: 0,
+            trust_deferred: 0,
+            trust_cascades: 0,
         });
         if relaxed_converged_at.is_none() && change_frac < cfg.alex.relaxed_convergence_frac {
             relaxed_converged_at = Some(episode);

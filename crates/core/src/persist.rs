@@ -24,7 +24,10 @@ use alex_store::{ByteReader, ByteWriter};
 use crate::config::AlexConfig;
 
 /// Version of the domain encoding (independent of the store-layer framing).
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 added feedback-source attribution to journal items and the
+/// trust-layer block (reliability counts, pending quorum votes, admission
+/// log) to snapshots.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Serialized learning state of an [`crate::Agent`], captured after an
 /// episode boundary.
@@ -54,6 +57,80 @@ pub struct AgentState {
     pub generated: Vec<((u32, u32), Vec<u32>)>,
     /// Provenance votes `((state, feature), negatives, positives)`, sorted.
     pub provenance_votes: Vec<((u32, u32), u32, u32)>,
+    /// Trust-layer state, present iff the run has trust admission enabled.
+    pub trust: Option<TrustState>,
+}
+
+/// Serialized state of the agent's trust gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrustState {
+    /// Per-source `(source, agreements, disagreements)` counts, sorted by
+    /// source.
+    pub sources: Vec<(u32, u32, u32)>,
+    /// Discredited sources, sorted.
+    pub discredited: Vec<u32>,
+    /// Pending quorum votes `(link, [(source, positive)])`, links sorted;
+    /// vote lists in first-arrival order (latest-wins replacement keeps the
+    /// slot).
+    pub pending: Vec<(u32, Vec<(u32, bool)>)>,
+    /// The admission log in admission order, including revoked entries
+    /// (revocation is a flag, not a deletion, so log indices are stable).
+    pub log: Vec<AdmissionState>,
+}
+
+/// One serialized admission-log record: the quorum outcome plus the exact
+/// undo information cascading rollback needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionState {
+    /// The judged link.
+    pub state: u32,
+    /// Admitted direction (`true` = positive).
+    pub positive: bool,
+    /// Sources whose buffered vote matched the admitted direction.
+    pub supporters: Vec<u32>,
+    /// Sources whose buffered vote opposed it.
+    pub opposers: Vec<u32>,
+    /// Ancestor `(state, feature)` pairs credited with the return.
+    pub credited: Vec<(u32, u32)>,
+    /// The credited return value.
+    pub reward: f64,
+    /// Positive admissions: whether this admission newly approved the link.
+    pub newly_approved: bool,
+    /// Positive admissions: whether a blacklist endorsement was recorded.
+    pub endorsed: bool,
+    /// Generator `(state, feature)` that received a provenance vote.
+    pub prov_target: Option<(u32, u32)>,
+    /// Positive admissions: the exploration action taken, if any.
+    pub action: Option<u32>,
+    /// Positive admissions: links added by exploration, with whether this
+    /// admission created their provenance attribution.
+    pub added: Vec<(u32, bool)>,
+    /// Negative admissions: whether the judged link was removed from the
+    /// candidate set.
+    pub removed_candidate: bool,
+    /// Negative admissions: whether the link was approved beforehand.
+    pub was_approved: bool,
+    /// Negative admissions: whether a blacklist strike was recorded.
+    pub blacklist_added: bool,
+    /// Negative admissions: rollback undo data when a rollback fired.
+    pub rollback: Option<RollbackUndoState>,
+    /// Whether this admission has been revoked by cascading rollback.
+    pub revoked: bool,
+}
+
+/// Serialized undo data for one fired rollback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollbackUndoState {
+    /// The rolled-back generator `(state, feature)`.
+    pub generator: (u32, u32),
+    /// The full attribution list the rollback cleared, in attribution order.
+    pub links: Vec<u32>,
+    /// The generator's `(negatives, positives)` votes the rollback cleared
+    /// (snapshotted after the triggering negative vote).
+    pub votes: (u32, u32),
+    /// The subset of `links` actually removed from the candidate set, in
+    /// removal order.
+    pub removed: Vec<u32>,
 }
 
 /// Per-episode statistics persisted so a resumed run reports the *full*
@@ -111,8 +188,10 @@ pub struct RunSnapshot {
 /// feedback source's state *after* the episode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EpisodeRecord {
-    /// Judged items as `(left, right, positive)`.
-    pub items: Vec<(u32, u32, bool)>,
+    /// Judged items as `(left, right, positive, source)`. The source id is
+    /// what makes journal replay reproduce trust-gate decisions exactly;
+    /// unattributed sources record [`alex_trust::SourceId::ANONYMOUS`] (0).
+    pub items: Vec<(u32, u32, bool, u32)>,
     /// Feedback-source state after the episode.
     pub source_state: Vec<u8>,
 }
@@ -144,6 +223,17 @@ pub fn config_fingerprint(cfg: &AlexConfig) -> u64 {
     fnv_mix(&mut h, u64::from(cfg.stop_on_relaxed));
     fnv_mix(&mut h, u64::from(cfg.first_visit_only));
     fnv_mix(&mut h, cfg.seed);
+    match &cfg.trust {
+        None => fnv_mix(&mut h, 0),
+        Some(t) => {
+            fnv_mix(&mut h, 1);
+            fnv_mix(&mut h, u64::from(t.prior_agree));
+            fnv_mix(&mut h, u64::from(t.prior_disagree));
+            fnv_mix(&mut h, t.quorum.to_bits());
+            fnv_mix(&mut h, t.discredit_below.to_bits());
+            fnv_mix(&mut h, u64::from(t.discredit_min_obs));
+        }
+    }
     h
 }
 
@@ -245,8 +335,217 @@ pub fn encode_snapshot(s: &RunSnapshot) -> Vec<u8> {
         w.u32(n);
         w.u32(p);
     }
+    match &a.trust {
+        None => w.u8(0),
+        Some(t) => {
+            w.u8(1);
+            encode_trust(&mut w, t);
+        }
+    }
     w.bytes(&s.source_state);
     w.finish()
+}
+
+fn encode_trust(w: &mut ByteWriter, t: &TrustState) {
+    w.u64(t.sources.len() as u64);
+    for &(source, agree, disagree) in &t.sources {
+        w.u32(source);
+        w.u32(agree);
+        w.u32(disagree);
+    }
+    w.u64(t.discredited.len() as u64);
+    for &source in &t.discredited {
+        w.u32(source);
+    }
+    w.u64(t.pending.len() as u64);
+    for (link, votes) in &t.pending {
+        w.u32(*link);
+        w.u64(votes.len() as u64);
+        for &(source, positive) in votes {
+            w.u32(source);
+            w.u8(u8::from(positive));
+        }
+    }
+    w.u64(t.log.len() as u64);
+    for rec in &t.log {
+        w.u32(rec.state);
+        w.u8(u8::from(rec.positive));
+        w.u64(rec.supporters.len() as u64);
+        for &s in &rec.supporters {
+            w.u32(s);
+        }
+        w.u64(rec.opposers.len() as u64);
+        for &s in &rec.opposers {
+            w.u32(s);
+        }
+        w.u64(rec.credited.len() as u64);
+        for &(cs, ca) in &rec.credited {
+            w.u32(cs);
+            w.u32(ca);
+        }
+        w.f64(rec.reward);
+        w.u8(u8::from(rec.newly_approved));
+        w.u8(u8::from(rec.endorsed));
+        match rec.prov_target {
+            None => w.u8(0),
+            Some((ps, pa)) => {
+                w.u8(1);
+                w.u32(ps);
+                w.u32(pa);
+            }
+        }
+        match rec.action {
+            None => w.u8(0),
+            Some(action) => {
+                w.u8(1);
+                w.u32(action);
+            }
+        }
+        w.u64(rec.added.len() as u64);
+        for &(link, attributed) in &rec.added {
+            w.u32(link);
+            w.u8(u8::from(attributed));
+        }
+        w.u8(u8::from(rec.removed_candidate));
+        w.u8(u8::from(rec.was_approved));
+        w.u8(u8::from(rec.blacklist_added));
+        match &rec.rollback {
+            None => w.u8(0),
+            Some(rb) => {
+                w.u8(1);
+                w.u32(rb.generator.0);
+                w.u32(rb.generator.1);
+                w.u64(rb.links.len() as u64);
+                for &l in &rb.links {
+                    w.u32(l);
+                }
+                w.u32(rb.votes.0);
+                w.u32(rb.votes.1);
+                w.u64(rb.removed.len() as u64);
+                for &l in &rb.removed {
+                    w.u32(l);
+                }
+            }
+        }
+        w.u8(u8::from(rec.revoked));
+    }
+}
+
+fn decode_trust(r: &mut ByteReader) -> Result<TrustState, alex_store::CodecError> {
+    let n = r.len("trust sources")?;
+    let mut sources = Vec::with_capacity(n);
+    for _ in 0..n {
+        sources.push((
+            r.u32("trust source")?,
+            r.u32("trust agreements")?,
+            r.u32("trust disagreements")?,
+        ));
+    }
+    let n = r.len("discredited sources")?;
+    let mut discredited = Vec::with_capacity(n);
+    for _ in 0..n {
+        discredited.push(r.u32("discredited source")?);
+    }
+    let n = r.len("pending votes")?;
+    let mut pending = Vec::with_capacity(n);
+    for _ in 0..n {
+        let link = r.u32("pending link")?;
+        let m = r.len("pending vote list")?;
+        let mut votes = Vec::with_capacity(m);
+        for _ in 0..m {
+            votes.push((r.u32("pending source")?, r.u8("pending direction")? != 0));
+        }
+        pending.push((link, votes));
+    }
+    let n = r.len("admission log")?;
+    let mut log = Vec::with_capacity(n);
+    for _ in 0..n {
+        let state = r.u32("admission state")?;
+        let positive = r.u8("admission direction")? != 0;
+        let m = r.len("admission supporters")?;
+        let mut supporters = Vec::with_capacity(m);
+        for _ in 0..m {
+            supporters.push(r.u32("supporter")?);
+        }
+        let m = r.len("admission opposers")?;
+        let mut opposers = Vec::with_capacity(m);
+        for _ in 0..m {
+            opposers.push(r.u32("opposer")?);
+        }
+        let m = r.len("admission credits")?;
+        let mut credited = Vec::with_capacity(m);
+        for _ in 0..m {
+            credited.push((r.u32("credit state")?, r.u32("credit action")?));
+        }
+        let reward = r.f64("admission reward")?;
+        let newly_approved = r.u8("newly approved flag")? != 0;
+        let endorsed = r.u8("endorsed flag")? != 0;
+        let prov_target = if r.u8("prov target flag")? != 0 {
+            Some((r.u32("prov target state")?, r.u32("prov target action")?))
+        } else {
+            None
+        };
+        let action = if r.u8("action flag")? != 0 {
+            Some(r.u32("admission action")?)
+        } else {
+            None
+        };
+        let m = r.len("admission added")?;
+        let mut added = Vec::with_capacity(m);
+        for _ in 0..m {
+            added.push((r.u32("added link")?, r.u8("added attribution flag")? != 0));
+        }
+        let removed_candidate = r.u8("removed candidate flag")? != 0;
+        let was_approved = r.u8("was approved flag")? != 0;
+        let blacklist_added = r.u8("blacklist added flag")? != 0;
+        let rollback = if r.u8("rollback flag")? != 0 {
+            let generator = (r.u32("rollback state")?, r.u32("rollback action")?);
+            let k = r.len("rollback links")?;
+            let mut links = Vec::with_capacity(k);
+            for _ in 0..k {
+                links.push(r.u32("rollback link")?);
+            }
+            let votes = (r.u32("rollback negatives")?, r.u32("rollback positives")?);
+            let k = r.len("rollback removed")?;
+            let mut removed = Vec::with_capacity(k);
+            for _ in 0..k {
+                removed.push(r.u32("rollback removed link")?);
+            }
+            Some(RollbackUndoState {
+                generator,
+                links,
+                votes,
+                removed,
+            })
+        } else {
+            None
+        };
+        let revoked = r.u8("revoked flag")? != 0;
+        log.push(AdmissionState {
+            state,
+            positive,
+            supporters,
+            opposers,
+            credited,
+            reward,
+            newly_approved,
+            endorsed,
+            prov_target,
+            action,
+            added,
+            removed_candidate,
+            was_approved,
+            blacklist_added,
+            rollback,
+            revoked,
+        });
+    }
+    Ok(TrustState {
+        sources,
+        discredited,
+        pending,
+        log,
+    })
 }
 
 /// Decode a snapshot payload (inverse of [`encode_snapshot`]).
@@ -362,6 +661,11 @@ pub fn decode_snapshot(payload: &[u8]) -> Result<RunSnapshot, String> {
             r.u32("vote positives").map_err(map)?,
         ));
     }
+    let trust = if r.u8("trust flag").map_err(map)? != 0 {
+        Some(decode_trust(&mut r).map_err(map)?)
+    } else {
+        None
+    };
     let source_state = r.bytes("source state").map_err(map)?.to_vec();
     r.expect_exhausted("snapshot trailer").map_err(map)?;
 
@@ -382,6 +686,7 @@ pub fn decode_snapshot(payload: &[u8]) -> Result<RunSnapshot, String> {
             blacklist_votes,
             generated,
             provenance_votes,
+            trust,
         },
         source_state,
     })
@@ -392,10 +697,11 @@ pub fn encode_episode(record: &EpisodeRecord) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.u32(FORMAT_VERSION);
     w.u64(record.items.len() as u64);
-    for &(l, r, positive) in &record.items {
+    for &(l, r, positive, source) in &record.items {
         w.u32(l);
         w.u32(r);
         w.u8(u8::from(positive));
+        w.u32(source);
     }
     w.bytes(&record.source_state);
     w.finish()
@@ -418,6 +724,7 @@ pub fn decode_episode(payload: &[u8]) -> Result<EpisodeRecord, String> {
             r.u32("item left").map_err(map)?,
             r.u32("item right").map_err(map)?,
             r.u8("item feedback").map_err(map)? != 0,
+            r.u32("item source").map_err(map)?,
         ));
     }
     let source_state = r.bytes("episode source state").map_err(map)?.to_vec();
@@ -463,8 +770,60 @@ mod tests {
                 blacklist_votes: vec![(3, 2, 1)],
                 generated: vec![((0, 2), vec![4, 1])],
                 provenance_votes: vec![((0, 2), 1, 3)],
+                trust: None,
             },
             source_state: vec![0xAB; 32],
+        }
+    }
+
+    fn sample_trust() -> TrustState {
+        TrustState {
+            sources: vec![(1, 5, 0), (2, 1, 7)],
+            discredited: vec![2],
+            pending: vec![(3, vec![(1, true), (4, false)])],
+            log: vec![
+                AdmissionState {
+                    state: 0,
+                    positive: true,
+                    supporters: vec![1, 3],
+                    opposers: vec![2],
+                    credited: vec![(0, 2)],
+                    reward: 1.0,
+                    newly_approved: true,
+                    endorsed: false,
+                    prov_target: Some((0, 2)),
+                    action: Some(2),
+                    added: vec![(4, true), (1, false)],
+                    removed_candidate: false,
+                    was_approved: false,
+                    blacklist_added: false,
+                    rollback: None,
+                    revoked: false,
+                },
+                AdmissionState {
+                    state: 4,
+                    positive: false,
+                    supporters: vec![2],
+                    opposers: vec![],
+                    credited: vec![],
+                    reward: -2.0,
+                    newly_approved: false,
+                    endorsed: false,
+                    prov_target: Some((0, 2)),
+                    action: None,
+                    added: vec![],
+                    removed_candidate: true,
+                    was_approved: true,
+                    blacklist_added: true,
+                    rollback: Some(RollbackUndoState {
+                        generator: (0, 2),
+                        links: vec![4, 1],
+                        votes: (3, 1),
+                        removed: vec![1],
+                    }),
+                    revoked: true,
+                },
+            ],
         }
     }
 
@@ -477,6 +836,16 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_with_trust_round_trips() {
+        let mut snap = sample_snapshot();
+        snap.agent.trust = Some(sample_trust());
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(encode_snapshot(&snap), encode_snapshot(&snap));
+    }
+
+    #[test]
     fn snapshot_encoding_is_deterministic() {
         let snap = sample_snapshot();
         assert_eq!(encode_snapshot(&snap), encode_snapshot(&snap));
@@ -485,7 +854,7 @@ mod tests {
     #[test]
     fn episode_round_trips() {
         let rec = EpisodeRecord {
-            items: vec![(0, 0, true), (3, 7, false)],
+            items: vec![(0, 0, true, 1), (3, 7, false, 0)],
             source_state: vec![1, 2, 3],
         };
         let bytes = encode_episode(&rec);
@@ -532,5 +901,19 @@ mod tests {
             ..AlexConfig::default()
         };
         assert_ne!(fp, config_fingerprint(&shifted));
+        let trusted = AlexConfig {
+            trust: Some(alex_trust::TrustConfig::default()),
+            ..AlexConfig::default()
+        };
+        let tfp = config_fingerprint(&trusted);
+        assert_ne!(fp, tfp);
+        let requorumed = AlexConfig {
+            trust: Some(alex_trust::TrustConfig {
+                quorum: 2.0,
+                ..alex_trust::TrustConfig::default()
+            }),
+            ..AlexConfig::default()
+        };
+        assert_ne!(tfp, config_fingerprint(&requorumed));
     }
 }

@@ -1,0 +1,295 @@
+//! The agent-side trust gate: quorum admission, the admission log, and the
+//! state cascading rollback needs to undo admitted feedback exactly.
+//!
+//! The gate sits between the feedback stream and the learning update. Every
+//! attributed judgment is buffered as a vote; only when trust-weighted
+//! agreement crosses the configured quorum does the judgment *apply* — and
+//! when it applies, the gate records precisely which mutations it caused
+//! (approvals, blacklist strikes, explored links, credited returns,
+//! rollbacks), so a later discredit can restore byte-identical
+//! pre-admission state.
+
+use std::collections::BTreeSet;
+
+use alex_trust::{QuorumBuffer, SourceId, TrustConfig, TrustModel};
+
+use crate::feature::FeatureId;
+use crate::persist;
+use crate::space::PairId;
+
+/// Exact undo data for one fired provenance rollback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollbackUndo {
+    /// The generator whose attributions were cleared.
+    pub generator: (PairId, FeatureId),
+    /// The full attribution list the rollback cleared, in attribution order.
+    pub links: Vec<PairId>,
+    /// The generator's `(negatives, positives)` votes at clearing time
+    /// (snapshotted *after* the triggering negative vote).
+    pub votes: (u32, u32),
+    /// The subset of `links` actually removed from the candidate set, in
+    /// removal order.
+    pub removed: Vec<PairId>,
+}
+
+/// One admission-log record: the quorum outcome plus everything needed to
+/// undo the admitted feedback's learning-state mutations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionRecord {
+    /// The judged link.
+    pub state: PairId,
+    /// The admitted direction (`true` = positive feedback).
+    pub positive: bool,
+    /// Sources whose buffered vote matched the admitted direction.
+    pub supporters: Vec<SourceId>,
+    /// Sources whose buffered vote opposed it.
+    pub opposers: Vec<SourceId>,
+    /// Ancestor `(state, action)` pairs credited with the return, in credit
+    /// order.
+    pub credited: Vec<(PairId, FeatureId)>,
+    /// The credited return value.
+    pub reward: f64,
+    /// Positive admissions: whether the link was newly approved.
+    pub newly_approved: bool,
+    /// Positive admissions: whether a blacklist endorsement landed.
+    pub endorsed: bool,
+    /// The generator that received a provenance vote (positive or negative).
+    pub prov_target: Option<(PairId, FeatureId)>,
+    /// Positive admissions: the exploration action, if one was taken.
+    pub action: Option<FeatureId>,
+    /// Positive admissions: links added by exploration, paired with whether
+    /// this admission created their provenance attribution.
+    pub added: Vec<(PairId, bool)>,
+    /// Negative admissions: whether the link was removed from candidates.
+    pub removed_candidate: bool,
+    /// Negative admissions: whether the link was approved beforehand.
+    pub was_approved: bool,
+    /// Negative admissions: whether a blacklist strike landed.
+    pub blacklist_added: bool,
+    /// Negative admissions: undo data when a rollback fired.
+    pub rollback: Option<RollbackUndo>,
+    /// Whether cascading rollback has revoked this admission.
+    pub revoked: bool,
+}
+
+impl AdmissionRecord {
+    /// A blank record for `state` admitted in direction `positive`; the
+    /// apply path fills in the mutation fields as they happen.
+    pub fn new(state: PairId, positive: bool) -> Self {
+        AdmissionRecord {
+            state,
+            positive,
+            supporters: Vec::new(),
+            opposers: Vec::new(),
+            credited: Vec::new(),
+            reward: 0.0,
+            newly_approved: false,
+            endorsed: false,
+            prov_target: None,
+            action: None,
+            added: Vec::new(),
+            removed_candidate: false,
+            was_approved: false,
+            blacklist_added: false,
+            rollback: None,
+            revoked: false,
+        }
+    }
+}
+
+/// The trust gate: per-source reliability, the quorum buffer, and the
+/// admission log.
+#[derive(Debug)]
+pub struct TrustGate {
+    /// Trust configuration (validated by [`crate::AlexConfig::validate`]).
+    pub cfg: TrustConfig,
+    /// Per-source Beta–Bernoulli reliability counts.
+    pub model: TrustModel,
+    /// Votes awaiting quorum.
+    pub buffer: QuorumBuffer,
+    /// Admission log in admission order; revocation flags entries rather
+    /// than deleting them, keeping indices stable.
+    pub log: Vec<AdmissionRecord>,
+    /// Sources whose trust collapsed; their votes carry zero weight.
+    pub discredited: BTreeSet<SourceId>,
+}
+
+impl TrustGate {
+    /// A fresh gate under `cfg`.
+    pub fn new(cfg: TrustConfig) -> Self {
+        TrustGate {
+            cfg,
+            model: TrustModel::new(),
+            buffer: QuorumBuffer::new(),
+            log: Vec::new(),
+            discredited: BTreeSet::new(),
+        }
+    }
+
+    /// Effective voting weight of a source: its posterior trust, or zero
+    /// once discredited.
+    pub fn weight(&self, source: SourceId) -> f64 {
+        if self.discredited.contains(&source) {
+            0.0
+        } else {
+            self.model.trust(source, &self.cfg)
+        }
+    }
+
+    /// Serialize for snapshots.
+    pub fn to_state(&self) -> persist::TrustState {
+        persist::TrustState {
+            sources: self
+                .model
+                .iter_counts()
+                .into_iter()
+                .map(|(s, a, d)| (s.0, a, d))
+                .collect(),
+            discredited: self.discredited.iter().map(|s| s.0).collect(),
+            pending: self
+                .buffer
+                .iter_pending()
+                .into_iter()
+                .map(|(link, votes)| (link, votes.into_iter().map(|(s, p)| (s.0, p)).collect()))
+                .collect(),
+            log: self.log.iter().map(record_to_state).collect(),
+        }
+    }
+
+    /// Rebuild a gate from snapshot state under `cfg`.
+    pub fn from_state(cfg: TrustConfig, state: &persist::TrustState) -> Self {
+        let mut model = TrustModel::new();
+        let counts: Vec<(SourceId, u32, u32)> = state
+            .sources
+            .iter()
+            .map(|&(s, a, d)| (SourceId(s), a, d))
+            .collect();
+        model.restore_counts(&counts);
+        let mut buffer = QuorumBuffer::new();
+        let pending: Vec<(u32, Vec<(SourceId, bool)>)> = state
+            .pending
+            .iter()
+            .map(|(link, votes)| {
+                (
+                    *link,
+                    votes.iter().map(|&(s, p)| (SourceId(s), p)).collect(),
+                )
+            })
+            .collect();
+        buffer.restore_pending(&pending);
+        TrustGate {
+            cfg,
+            model,
+            buffer,
+            log: state.log.iter().map(record_from_state).collect(),
+            discredited: state.discredited.iter().map(|&s| SourceId(s)).collect(),
+        }
+    }
+}
+
+fn record_to_state(r: &AdmissionRecord) -> persist::AdmissionState {
+    persist::AdmissionState {
+        state: r.state.0,
+        positive: r.positive,
+        supporters: r.supporters.iter().map(|s| s.0).collect(),
+        opposers: r.opposers.iter().map(|s| s.0).collect(),
+        credited: r.credited.iter().map(|&(s, a)| (s.0, a.0)).collect(),
+        reward: r.reward,
+        newly_approved: r.newly_approved,
+        endorsed: r.endorsed,
+        prov_target: r.prov_target.map(|(s, a)| (s.0, a.0)),
+        action: r.action.map(|a| a.0),
+        added: r.added.iter().map(|&(l, attr)| (l.0, attr)).collect(),
+        removed_candidate: r.removed_candidate,
+        was_approved: r.was_approved,
+        blacklist_added: r.blacklist_added,
+        rollback: r.rollback.as_ref().map(|rb| persist::RollbackUndoState {
+            generator: (rb.generator.0 .0, rb.generator.1 .0),
+            links: rb.links.iter().map(|l| l.0).collect(),
+            votes: rb.votes,
+            removed: rb.removed.iter().map(|l| l.0).collect(),
+        }),
+        revoked: r.revoked,
+    }
+}
+
+fn record_from_state(s: &persist::AdmissionState) -> AdmissionRecord {
+    AdmissionRecord {
+        state: PairId(s.state),
+        positive: s.positive,
+        supporters: s.supporters.iter().map(|&x| SourceId(x)).collect(),
+        opposers: s.opposers.iter().map(|&x| SourceId(x)).collect(),
+        credited: s
+            .credited
+            .iter()
+            .map(|&(st, a)| (PairId(st), FeatureId(a)))
+            .collect(),
+        reward: s.reward,
+        newly_approved: s.newly_approved,
+        endorsed: s.endorsed,
+        prov_target: s.prov_target.map(|(st, a)| (PairId(st), FeatureId(a))),
+        action: s.action.map(FeatureId),
+        added: s.added.iter().map(|&(l, attr)| (PairId(l), attr)).collect(),
+        removed_candidate: s.removed_candidate,
+        was_approved: s.was_approved,
+        blacklist_added: s.blacklist_added,
+        rollback: s.rollback.as_ref().map(|rb| RollbackUndo {
+            generator: (PairId(rb.generator.0), FeatureId(rb.generator.1)),
+            links: rb.links.iter().map(|&l| PairId(l)).collect(),
+            votes: rb.votes,
+            removed: rb.removed.iter().map(|&l| PairId(l)).collect(),
+        }),
+        revoked: s.revoked,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_state_round_trips() {
+        let mut gate = TrustGate::new(TrustConfig::default());
+        gate.model.record(SourceId(1), true);
+        gate.model.record(SourceId(1), true);
+        gate.model.record(SourceId(2), false);
+        gate.buffer.vote(9, SourceId(1), true);
+        gate.buffer.vote(9, SourceId(2), false);
+        gate.discredited.insert(SourceId(2));
+        let mut rec = AdmissionRecord::new(PairId(4), false);
+        rec.supporters = vec![SourceId(1)];
+        rec.opposers = vec![SourceId(2)];
+        rec.credited = vec![(PairId(4), FeatureId(0))];
+        rec.reward = -2.0;
+        rec.prov_target = Some((PairId(0), FeatureId(1)));
+        rec.removed_candidate = true;
+        rec.blacklist_added = true;
+        rec.rollback = Some(RollbackUndo {
+            generator: (PairId(0), FeatureId(1)),
+            links: vec![PairId(4), PairId(7)],
+            votes: (3, 0),
+            removed: vec![PairId(7)],
+        });
+        gate.log.push(rec);
+
+        let state = gate.to_state();
+        let back = TrustGate::from_state(TrustConfig::default(), &state);
+        assert_eq!(back.to_state(), state);
+        assert_eq!(back.log, gate.log);
+        assert!(back.discredited.contains(&SourceId(2)));
+        assert_eq!(back.weight(SourceId(2)), 0.0);
+        assert!(back.weight(SourceId(1)) > 0.5);
+    }
+
+    #[test]
+    fn weight_is_posterior_until_discredited() {
+        let mut gate = TrustGate::new(TrustConfig::default());
+        // Uniform prior: unseen source sits at 1/2.
+        assert!((gate.weight(SourceId(5)) - 0.5).abs() < 1e-12);
+        gate.model.record(SourceId(5), true);
+        assert!(gate.weight(SourceId(5)) > 0.5);
+        gate.discredited.insert(SourceId(5));
+        assert_eq!(gate.weight(SourceId(5)), 0.0);
+    }
+}

@@ -94,6 +94,25 @@ impl ActionValue {
     pub fn restore_returns(&mut self, state: PairId, action: FeatureId, returns: Vec<f64>) {
         self.returns.insert((state, action), returns);
     }
+
+    /// Remove the *last* occurrence of `value` (bitwise comparison) from the
+    /// (s, a) return list — the trust layer revoking a credited return.
+    /// Returns whether anything was removed. An entry whose list empties is
+    /// dropped, so the map is byte-identical to one that never saw the
+    /// return.
+    pub fn retract_return(&mut self, state: PairId, action: FeatureId, value: f64) -> bool {
+        let Some(rs) = self.returns.get_mut(&(state, action)) else {
+            return false;
+        };
+        let Some(idx) = rs.iter().rposition(|r| r.to_bits() == value.to_bits()) else {
+            return false;
+        };
+        rs.remove(idx);
+        if rs.is_empty() {
+            self.returns.remove(&(state, action));
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +178,24 @@ mod tests {
         v.append_return(PairId(0), FeatureId(1), 0.5);
         let actions = vec![FeatureId(1), FeatureId(3)];
         assert_eq!(v.argmax(PairId(0), &actions), Some(FeatureId(1)));
+    }
+
+    #[test]
+    fn retract_return_removes_last_match_only() {
+        let mut v = ActionValue::new();
+        v.append_return(PairId(0), FeatureId(0), 1.0);
+        v.append_return(PairId(0), FeatureId(0), -2.0);
+        v.append_return(PairId(0), FeatureId(0), 1.0);
+        assert!(v.retract_return(PairId(0), FeatureId(0), 1.0));
+        assert_eq!(v.observations(PairId(0), FeatureId(0)), 2);
+        // The earlier 1.0 (append order position 0) survives.
+        assert!((v.q(PairId(0), FeatureId(0)).unwrap() - (-0.5)).abs() < 1e-12);
+        assert!(!v.retract_return(PairId(0), FeatureId(0), 9.0));
+        assert!(v.retract_return(PairId(0), FeatureId(0), -2.0));
+        assert!(v.retract_return(PairId(0), FeatureId(0), 1.0));
+        // Entry emptied out: gone entirely, as if never observed.
+        assert!(v.is_empty());
+        assert!(!v.retract_return(PairId(0), FeatureId(0), 1.0));
     }
 
     #[test]

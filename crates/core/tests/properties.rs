@@ -4,8 +4,8 @@ use std::collections::HashSet;
 
 use alex_core::feature::FeatureId;
 use alex_core::{
-    feature::feature_score, Agent, AlexConfig, CandidateSet, Feedback, LinkSpace, PairId, Policy,
-    SpaceConfig,
+    feature::feature_score, Agent, AlexConfig, CandidateSet, Feedback, FeedbackItem, LinkSpace,
+    PairId, Policy, SourceId, SpaceConfig, TrustConfig,
 };
 use alex_rdf::Dataset;
 use proptest::prelude::*;
@@ -172,5 +172,98 @@ proptest! {
             let _ = agent.space().feature_set_of(id); // must not panic
         }
         prop_assert_eq!(agent.candidate_pairs().len(), agent.candidates().len());
+    }
+
+    /// Trust-gated agent invariants under arbitrary attributed votes,
+    /// including the §6.3 guarantee hardened by cascading rollback: a link
+    /// is blocked only while at least two of its negative admissions are
+    /// still live — rollback victims are never left blacklisted.
+    #[test]
+    fn gated_agent_never_blacklists_rollback_victims(
+        votes in proptest::collection::vec(
+            (0u32..8, 0u32..8, prop::bool::ANY, 1u32..6),
+            0..150,
+        ),
+    ) {
+        let names: Vec<String> = (0..8)
+            .map(|i| format!("entity number{i} alpha{i}"))
+            .collect();
+        let space = space_from_names(&names);
+        let initial: Vec<(u32, u32)> = (0..4).map(|i| (i, i)).collect();
+        let mut agent = Agent::new(space, &initial, AlexConfig {
+            episode_size: 16,
+            trust: Some(TrustConfig::default()),
+            ..AlexConfig::default()
+        });
+        for (i, &(l, r, positive, source)) in votes.iter().enumerate() {
+            let Some(id) = agent.space().id_of(l, r) else { continue };
+            let feedback = if positive { Feedback::Positive } else { Feedback::Negative };
+            agent.process_attributed(FeedbackItem { state: id, feedback, source: SourceId(source) });
+            if i % 10 == 9 {
+                agent.end_episode();
+            }
+        }
+        let gate = agent.trust_gate().expect("trust gate");
+        let mut live_negative: std::collections::HashMap<PairId, u32> =
+            std::collections::HashMap::new();
+        let mut seen: HashSet<PairId> = HashSet::new();
+        for rec in &gate.log {
+            seen.insert(rec.state);
+            if !rec.positive && !rec.revoked {
+                *live_negative.entry(rec.state).or_insert(0) += 1;
+            }
+        }
+        for &state in &seen {
+            if agent.blacklist_blocks(state) {
+                prop_assert!(
+                    live_negative.get(&state).copied().unwrap_or(0) >= 2,
+                    "blocked link {state:?} lacks two live negative admissions"
+                );
+            }
+        }
+        prop_assert_eq!(agent.candidate_pairs().len(), agent.candidates().len());
+    }
+
+    /// Replaying journaled attributed items through [`Agent::replay_episode`]
+    /// reproduces the live run byte-for-byte — links, trust posteriors,
+    /// pending buffer, admission log, RNG — even when the sequence triggers
+    /// quorum flips and cascading rollbacks.
+    #[test]
+    fn gated_replay_from_journal_is_byte_identical(
+        votes in proptest::collection::vec(
+            (0u32..8, 0u32..8, prop::bool::ANY, 1u32..6),
+            1..120,
+        ),
+    ) {
+        let names: Vec<String> = (0..8)
+            .map(|i| format!("entity number{i} alpha{i}"))
+            .collect();
+        let space = space_from_names(&names);
+        let initial: Vec<(u32, u32)> = (0..4).map(|i| (i, i)).collect();
+        let cfg = AlexConfig {
+            episode_size: 16,
+            trust: Some(TrustConfig::default()),
+            ..AlexConfig::default()
+        };
+
+        // Live leg: process each vote, journaling exactly what applied.
+        let mut live = Agent::new(space.clone(), &initial, cfg.clone());
+        let mut journal: Vec<(u32, u32, bool, u32)> = Vec::new();
+        for &(l, r, positive, source) in &votes {
+            let Some(id) = live.space().id_of(l, r) else { continue };
+            let feedback = if positive { Feedback::Positive } else { Feedback::Negative };
+            live.process_attributed(FeedbackItem { state: id, feedback, source: SourceId(source) });
+            journal.push((l, r, positive, source));
+        }
+        live.end_episode();
+
+        // Replay leg: a fresh agent fed the journal.
+        let mut replayed = Agent::new(space, &initial, cfg);
+        replayed.replay_episode(&journal).map_err(|e| {
+            proptest::test_runner::TestCaseError::fail(e)
+        })?;
+
+        prop_assert_eq!(replayed.capture_state(), live.capture_state());
+        prop_assert_eq!(replayed.candidate_pairs(), live.candidate_pairs());
     }
 }

@@ -1,0 +1,273 @@
+//! Seeded adversarial feedback-source profiles.
+//!
+//! The trust layer (`alex-trust`, wired through `alex-core`) defends the
+//! improve loop against hostile feedback. This module generates the attack
+//! side: a deterministic population of feedback sources in which a seeded
+//! subset follows one of four canonical adversary strategies. The module is
+//! pure data — it decides *who* is adversarial and with what parameters;
+//! `alex-core` interprets the roles against live candidates and ground
+//! truth.
+//!
+//! Profiles are written `KIND:FRACTION[:PARAM]`, e.g. `poisoner:0.3` for a
+//! 30% targeted-poisoner mix or `flipper:0.2:0.8` for 20% of sources
+//! flipping 80% of their verdicts.
+
+use rand::prelude::*;
+use rand::seq::SliceRandom;
+
+/// The four canonical adversary strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// Flips each verdict independently with probability `param`
+    /// (default 0.5): indistinguishable from very noisy honesty.
+    Flipper,
+    /// Tells the truth everywhere *except* on high-value links — pairs whose
+    /// best feature score is at least `param` (default 0.9). This is the
+    /// sleeper attack: the source earns trust on easy links, then lies
+    /// exactly where links matter most.
+    Poisoner,
+    /// Always lies. Cheap to detect individually, dangerous in a flood of
+    /// fresh identities that each sit at the prior trust.
+    Sybil,
+    /// Coalition members share a seeded target set covering `param`
+    /// (default 0.35) of the link space and all lie on exactly those links,
+    /// so their lies corroborate each other.
+    Coalition,
+}
+
+impl AdversaryKind {
+    fn parse(name: &str) -> Result<AdversaryKind, String> {
+        match name {
+            "flipper" => Ok(AdversaryKind::Flipper),
+            "poisoner" => Ok(AdversaryKind::Poisoner),
+            "sybil" => Ok(AdversaryKind::Sybil),
+            "coalition" => Ok(AdversaryKind::Coalition),
+            other => Err(format!(
+                "unknown adversary kind {other:?} (expected flipper, poisoner, sybil, or coalition)"
+            )),
+        }
+    }
+
+    fn default_param(self) -> f64 {
+        match self {
+            AdversaryKind::Flipper => 0.5,
+            AdversaryKind::Poisoner => 0.9,
+            AdversaryKind::Sybil => 0.0,
+            AdversaryKind::Coalition => 0.35,
+        }
+    }
+}
+
+/// A parsed adversary profile: which strategy, what share of the source
+/// population runs it, and its strategy parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdversaryProfile {
+    /// Strategy the adversarial sources follow.
+    pub kind: AdversaryKind,
+    /// Fraction of sources that are adversarial, in `[0, 1]`.
+    pub fraction: f64,
+    /// Strategy parameter (flip rate / score threshold / target density).
+    pub param: f64,
+}
+
+impl AdversaryProfile {
+    /// Parses `KIND:FRACTION[:PARAM]`, e.g. `poisoner:0.3`.
+    pub fn parse(spec: &str) -> Result<AdversaryProfile, String> {
+        let mut parts = spec.split(':');
+        let kind = AdversaryKind::parse(parts.next().unwrap_or(""))?;
+        let fraction: f64 = parts
+            .next()
+            .ok_or_else(|| format!("adversary profile {spec:?}: missing fraction (KIND:FRACTION)"))?
+            .parse()
+            .map_err(|e| format!("adversary profile {spec:?}: bad fraction: {e}"))?;
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(format!(
+                "adversary profile {spec:?}: fraction must be in [0, 1], got {fraction}"
+            ));
+        }
+        let param = match parts.next() {
+            Some(raw) => {
+                let p: f64 = raw
+                    .parse()
+                    .map_err(|e| format!("adversary profile {spec:?}: bad parameter: {e}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!(
+                        "adversary profile {spec:?}: parameter must be in [0, 1], got {p}"
+                    ));
+                }
+                p
+            }
+            None => kind.default_param(),
+        };
+        if parts.next().is_some() {
+            return Err(format!(
+                "adversary profile {spec:?}: too many fields (KIND:FRACTION[:PARAM])"
+            ));
+        }
+        Ok(AdversaryProfile {
+            kind,
+            fraction,
+            param,
+        })
+    }
+}
+
+/// The behavior assigned to one feedback source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceRole {
+    /// Answers from ground truth (subject to the run's honest error rate).
+    Honest,
+    /// Flips each verdict with the given probability.
+    Flipper {
+        /// Per-verdict flip probability.
+        rate: f64,
+    },
+    /// Lies iff the judged pair's best feature score is ≥ `threshold`.
+    Poisoner {
+        /// Best-feature-score threshold above which the source lies.
+        threshold: f64,
+    },
+    /// Always lies.
+    Sybil,
+    /// Lies on the coalition's shared seeded target set.
+    Colluder {
+        /// Shared coalition seed; members with equal cohorts lie on the
+        /// same links.
+        cohort: u64,
+        /// Fraction of the link space in the target set.
+        density: f64,
+    },
+}
+
+/// Deterministically assigns roles to `sources` feedback sources.
+///
+/// `round(fraction * sources)` sources (at least one when `fraction > 0`
+/// and `sources > 0`) are adversarial; which ones is decided by a seeded
+/// shuffle so adversaries are not trivially "the last N ids". The same
+/// `(profile, sources, seed)` always yields the same population.
+pub fn assign_roles(
+    profile: Option<&AdversaryProfile>,
+    sources: usize,
+    seed: u64,
+) -> Vec<SourceRole> {
+    let mut roles = vec![SourceRole::Honest; sources];
+    let Some(profile) = profile else {
+        return roles;
+    };
+    if sources == 0 || profile.fraction <= 0.0 {
+        return roles;
+    }
+    let hostile = (((sources as f64) * profile.fraction).round() as usize).clamp(1, sources);
+    let mut order: Vec<usize> = (0..sources).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xAD5E_25A1_7F00_55AA);
+    order.shuffle(&mut rng);
+    let role = match profile.kind {
+        AdversaryKind::Flipper => SourceRole::Flipper {
+            rate: profile.param,
+        },
+        AdversaryKind::Poisoner => SourceRole::Poisoner {
+            threshold: profile.param,
+        },
+        AdversaryKind::Sybil => SourceRole::Sybil,
+        AdversaryKind::Coalition => SourceRole::Colluder {
+            // All members share one cohort seed derived from the run seed.
+            cohort: rng.next_u64(),
+            density: profile.param,
+        },
+    };
+    for &idx in order.iter().take(hostile) {
+        roles[idx] = role;
+    }
+    roles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_kinds_with_defaults() {
+        let p = AdversaryProfile::parse("poisoner:0.3").unwrap();
+        assert_eq!(p.kind, AdversaryKind::Poisoner);
+        assert!((p.fraction - 0.3).abs() < 1e-12);
+        assert!((p.param - 0.9).abs() < 1e-12);
+        let f = AdversaryProfile::parse("flipper:0.2:0.8").unwrap();
+        assert!((f.param - 0.8).abs() < 1e-12);
+        assert_eq!(
+            AdversaryProfile::parse("sybil:1").unwrap().kind,
+            AdversaryKind::Sybil
+        );
+        assert_eq!(
+            AdversaryProfile::parse("coalition:0.5").unwrap().kind,
+            AdversaryKind::Coalition
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(AdversaryProfile::parse("").is_err());
+        assert!(AdversaryProfile::parse("poisoner").is_err());
+        assert!(AdversaryProfile::parse("gremlin:0.3").is_err());
+        assert!(AdversaryProfile::parse("poisoner:1.5").is_err());
+        assert!(AdversaryProfile::parse("flipper:0.2:2.0").is_err());
+        assert!(AdversaryProfile::parse("flipper:0.2:0.5:9").is_err());
+    }
+
+    #[test]
+    fn assign_roles_is_deterministic_and_sized() {
+        let p = AdversaryProfile::parse("poisoner:0.3").unwrap();
+        let a = assign_roles(Some(&p), 10, 42);
+        let b = assign_roles(Some(&p), 10, 42);
+        assert_eq!(a, b);
+        let hostile = a
+            .iter()
+            .filter(|r| !matches!(r, SourceRole::Honest))
+            .count();
+        assert_eq!(hostile, 3);
+        // A different seed picks (generally) different victims but the same
+        // count.
+        let c = assign_roles(Some(&p), 10, 43);
+        assert_eq!(
+            c.iter()
+                .filter(|r| !matches!(r, SourceRole::Honest))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn assign_roles_edge_cases() {
+        assert!(assign_roles(None, 5, 1)
+            .iter()
+            .all(|r| matches!(r, SourceRole::Honest)));
+        let zero = AdversaryProfile::parse("sybil:0").unwrap();
+        assert!(assign_roles(Some(&zero), 5, 1)
+            .iter()
+            .all(|r| matches!(r, SourceRole::Honest)));
+        // fraction > 0 always yields at least one adversary.
+        let tiny = AdversaryProfile::parse("sybil:0.01").unwrap();
+        assert_eq!(
+            assign_roles(Some(&tiny), 5, 1)
+                .iter()
+                .filter(|r| matches!(r, SourceRole::Sybil))
+                .count(),
+            1
+        );
+        assert!(assign_roles(Some(&tiny), 0, 1).is_empty());
+    }
+
+    #[test]
+    fn coalition_members_share_a_cohort() {
+        let p = AdversaryProfile::parse("coalition:0.5").unwrap();
+        let roles = assign_roles(Some(&p), 8, 7);
+        let cohorts: Vec<u64> = roles
+            .iter()
+            .filter_map(|r| match r {
+                SourceRole::Colluder { cohort, .. } => Some(*cohort),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cohorts.len(), 4);
+        assert!(cohorts.windows(2).all(|w| w[0] == w[1]));
+    }
+}

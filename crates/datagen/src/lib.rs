@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod corrupt;
 pub mod generator;
 pub mod identity;
@@ -29,6 +30,7 @@ pub mod profile;
 pub mod queries;
 pub mod schema;
 
+pub use adversary::{assign_roles, AdversaryKind, AdversaryProfile, SourceRole};
 pub use generator::{generate_pair, GeneratedPair, PairConfig, SideConfig};
 pub use identity::{CanonValue, Domain, FieldKey, Identity};
 pub use initial_links::{sample_initial_links, score_links, InitialLinksSpec};

@@ -46,6 +46,13 @@ pub enum Event {
         /// For a resumed durable run, the episode the state was recovered
         /// from (snapshot + journal tail); 0 for fresh runs.
         recovered_from: u64,
+        /// Trust gate: feedback items admitted past the quorum (0 when
+        /// trust admission is disabled).
+        trust_admitted: u64,
+        /// Trust gate: feedback items deferred awaiting quorum.
+        trust_deferred: u64,
+        /// Trust gate: admissions revoked by cascading rollback.
+        trust_cascades: u64,
     },
     /// One feedback item was applied by the agent.
     FeedbackApplied {
@@ -200,6 +207,9 @@ impl Event {
                 threads,
                 duration_us,
                 recovered_from,
+                trust_admitted,
+                trust_deferred,
+                trust_cascades,
             } => {
                 w.u64("episode", *episode)
                     .f64("precision", *precision)
@@ -210,7 +220,10 @@ impl Event {
                     .u64("rollbacks", *rollbacks)
                     .u64("threads", *threads)
                     .u64("duration_us", *duration_us)
-                    .u64("recovered_from", *recovered_from);
+                    .u64("recovered_from", *recovered_from)
+                    .u64("trust_admitted", *trust_admitted)
+                    .u64("trust_deferred", *trust_deferred)
+                    .u64("trust_cascades", *trust_cascades);
             }
             Event::FeedbackApplied {
                 positive,
@@ -348,6 +361,19 @@ impl Event {
                 // Absent in logs written before durable runs existed.
                 recovered_from: map
                     .get("recovered_from")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
+                // Absent in logs written before trust admission existed.
+                trust_admitted: map
+                    .get("trust_admitted")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
+                trust_deferred: map
+                    .get("trust_deferred")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
+                trust_cascades: map
+                    .get("trust_cascades")
                     .and_then(JsonValue::as_u64)
                     .unwrap_or(0),
             }),

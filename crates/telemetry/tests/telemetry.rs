@@ -177,6 +177,9 @@ fn all_event_variants() -> Vec<Event> {
             threads: 4,
             duration_us: 1234,
             recovered_from: 0,
+            trust_admitted: 5,
+            trust_deferred: 2,
+            trust_cascades: 1,
         },
         Event::FeedbackApplied {
             positive: true,
@@ -603,6 +606,9 @@ fn run_report_aggregates_convergence_federation_and_metrics() {
             threads: 2,
             duration_us: 1500,
             recovered_from: 0,
+            trust_admitted: 0,
+            trust_deferred: 0,
+            trust_cascades: 0,
         },
         Event::EpisodeEnd {
             episode: 2,
@@ -615,6 +621,9 @@ fn run_report_aggregates_convergence_federation_and_metrics() {
             threads: 2,
             duration_us: 1200,
             recovered_from: 0,
+            trust_admitted: 0,
+            trust_deferred: 0,
+            trust_cascades: 0,
         },
         Event::FederatedQuery {
             patterns: 2,

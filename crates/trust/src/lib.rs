@@ -1,0 +1,468 @@
+//! Feedback-trust layer for ALEX: per-source reliability posteriors and a
+//! trust-weighted quorum admission buffer.
+//!
+//! The paper's robustness story (§6.3) assumes feedback is merely *noisy*;
+//! at the scale the paper targets (millions of concurrent users) feedback is
+//! *adversarial* — spammers, sybils, and targeted poisoners. This crate
+//! provides the two pure-data primitives the defense is built from:
+//!
+//! * [`TrustModel`] — a Beta–Bernoulli posterior per feedback source. Each
+//!   source starts at the prior and is updated with agreement/disagreement
+//!   observations whenever a quorum settles a link the source voted on.
+//!   Trust is the posterior mean, recomputed on demand from integer counts
+//!   so persistence and replay stay exact.
+//! * [`QuorumBuffer`] — a per-link vote buffer. Votes from low-trust sources
+//!   are *deferred*, never dropped: they stay buffered until the
+//!   trust-weighted net agreement for one direction crosses the quorum
+//!   threshold, at which point the buffered votes are consumed and the
+//!   mutation is admitted.
+//!
+//! The crate is deliberately free of any ALEX dependency (links are opaque
+//! `u32` keys) so the admission-control seam can later front other mutation
+//! streams (e.g. an `alex-server` API).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::HashMap;
+
+/// Identifies one feedback source (a user, tenant, or API client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(pub u32);
+
+impl SourceId {
+    /// The source used for feedback that carries no attribution (legacy
+    /// sources, single-user runs). Treated like any other source.
+    pub const ANONYMOUS: SourceId = SourceId(0);
+}
+
+/// Configuration for the trust layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustConfig {
+    /// Beta prior pseudo-count for "source agrees with quorum outcomes".
+    pub prior_agree: u32,
+    /// Beta prior pseudo-count for "source disagrees with quorum outcomes".
+    pub prior_disagree: u32,
+    /// Trust-weighted net agreement a direction must reach before the
+    /// mutation is admitted. With the default 1/1 prior every source starts
+    /// at trust 0.5, so a quorum of 1.0 needs two fresh sources to agree
+    /// (or one source that has earned trust ≥ the threshold).
+    pub quorum: f64,
+    /// A source whose posterior mean falls below this (with at least
+    /// [`TrustConfig::discredit_min_obs`] observations) is discredited: its
+    /// buffered votes stop counting and admissions that depended on it are
+    /// re-examined for cascading rollback.
+    pub discredit_below: f64,
+    /// Minimum observations before a source can be discredited; protects
+    /// young sources from a run of bad luck against the prior.
+    pub discredit_min_obs: u32,
+}
+
+impl Default for TrustConfig {
+    fn default() -> Self {
+        TrustConfig {
+            prior_agree: 1,
+            prior_disagree: 1,
+            quorum: 1.0,
+            discredit_below: 0.25,
+            discredit_min_obs: 8,
+        }
+    }
+}
+
+impl TrustConfig {
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.prior_agree == 0 && self.prior_disagree == 0 {
+            return Err("trust: prior_agree and prior_disagree cannot both be 0".into());
+        }
+        if !self.quorum.is_finite() || self.quorum <= 0.0 {
+            return Err(format!(
+                "trust: quorum must be finite and > 0, got {}",
+                self.quorum
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.discredit_below) {
+            return Err(format!(
+                "trust: discredit_below must be in [0, 1], got {}",
+                self.discredit_below
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Beta–Bernoulli reliability posterior per feedback source.
+///
+/// Only integer agreement counts are stored; the posterior mean is computed
+/// on demand, so two models with equal counts are byte-identical under the
+/// persistence codec regardless of observation order.
+#[derive(Debug, Default, Clone)]
+pub struct TrustModel {
+    /// `source -> (agreements, disagreements)` with quorum outcomes.
+    counts: HashMap<SourceId, (u32, u32)>,
+}
+
+impl TrustModel {
+    /// Creates an empty model (every source sits at the prior).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Posterior mean reliability of `source` under `cfg`'s prior.
+    pub fn trust(&self, source: SourceId, cfg: &TrustConfig) -> f64 {
+        let (agree, disagree) = self.counts.get(&source).copied().unwrap_or((0, 0));
+        let alpha = f64::from(cfg.prior_agree) + f64::from(agree);
+        let beta = f64::from(cfg.prior_disagree) + f64::from(disagree);
+        alpha / (alpha + beta)
+    }
+
+    /// Records one observation: did `source`'s vote agree with the settled
+    /// quorum outcome? Counts saturate instead of wrapping.
+    pub fn record(&mut self, source: SourceId, agreed: bool) {
+        let entry = self.counts.entry(source).or_insert((0, 0));
+        if agreed {
+            entry.0 = entry.0.saturating_add(1);
+        } else {
+            entry.1 = entry.1.saturating_add(1);
+        }
+    }
+
+    /// Total observations recorded for `source` (excluding the prior).
+    pub fn observations(&self, source: SourceId) -> u32 {
+        let (agree, disagree) = self.counts.get(&source).copied().unwrap_or((0, 0));
+        agree.saturating_add(disagree)
+    }
+
+    /// Whether `source` is discredited under `cfg`: enough observations and
+    /// a posterior mean below the floor.
+    pub fn is_discredited(&self, source: SourceId, cfg: &TrustConfig) -> bool {
+        self.observations(source) >= cfg.discredit_min_obs
+            && self.trust(source, cfg) < cfg.discredit_below
+    }
+
+    /// Counts in ascending `SourceId` order, for persistence.
+    pub fn iter_counts(&self) -> Vec<(SourceId, u32, u32)> {
+        let mut out: Vec<_> = self.counts.iter().map(|(s, (a, d))| (*s, *a, *d)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Restores counts captured by [`TrustModel::iter_counts`].
+    pub fn restore_counts(&mut self, counts: &[(SourceId, u32, u32)]) {
+        for &(source, agree, disagree) in counts {
+            self.counts.insert(source, (agree, disagree));
+        }
+    }
+}
+
+/// Outcome of a quorum evaluation for one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Admission {
+    /// Direction that won the quorum (`true` = positive feedback).
+    pub positive: bool,
+    /// Trust-weighted support for the winning direction.
+    pub weight_for: f64,
+    /// Trust-weighted support for the losing direction.
+    pub weight_against: f64,
+}
+
+/// Per-link buffer of pending votes with latest-vote-wins per source.
+///
+/// Votes accumulate until [`QuorumBuffer::decide`] reports that one
+/// direction's trust-weighted net agreement crosses the threshold; the
+/// caller then drains the entry with [`QuorumBuffer::take`] and applies the
+/// mutation. Until then every vote — however small its weight — stays
+/// buffered: deferral, not rejection.
+#[derive(Debug, Default, Clone)]
+pub struct QuorumBuffer {
+    /// `link key -> votes in arrival order` (one slot per source).
+    pending: HashMap<u32, Vec<(SourceId, bool)>>,
+}
+
+impl QuorumBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `source`'s vote on `key`. A source's newer vote replaces
+    /// its older one in place (latest wins), preserving arrival order of
+    /// first votes so persistence round-trips exactly.
+    pub fn vote(&mut self, key: u32, source: SourceId, positive: bool) {
+        let votes = self.pending.entry(key).or_default();
+        match votes.iter_mut().find(|(s, _)| *s == source) {
+            Some(slot) => slot.1 = positive,
+            None => votes.push((source, positive)),
+        }
+    }
+
+    /// Buffered votes for `key` in first-arrival order.
+    pub fn votes(&self, key: u32) -> &[(SourceId, bool)] {
+        self.pending.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Evaluates the quorum for `key`: if one direction's weight exceeds the
+    /// other's by at least `cfg.quorum` (weights from `trust`, which should
+    /// return 0 for discredited sources), that direction is admitted.
+    pub fn decide(
+        &self,
+        key: u32,
+        cfg: &TrustConfig,
+        trust: impl Fn(SourceId) -> f64,
+    ) -> Option<Admission> {
+        let votes = self.votes(key);
+        let (mut pos, mut neg) = (0.0_f64, 0.0_f64);
+        for &(source, positive) in votes {
+            let w = trust(source);
+            if positive {
+                pos += w;
+            } else {
+                neg += w;
+            }
+        }
+        if pos - neg >= cfg.quorum {
+            Some(Admission {
+                positive: true,
+                weight_for: pos,
+                weight_against: neg,
+            })
+        } else if neg - pos >= cfg.quorum {
+            Some(Admission {
+                positive: false,
+                weight_for: neg,
+                weight_against: pos,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Drains and returns the buffered votes for `key` (empty if none).
+    pub fn take(&mut self, key: u32) -> Vec<(SourceId, bool)> {
+        self.pending.remove(&key).unwrap_or_default()
+    }
+
+    /// Number of links with at least one buffered vote.
+    pub fn pending_links(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total buffered votes across all links.
+    pub fn pending_votes(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// All buffered votes, keys ascending, votes in first-arrival order —
+    /// for persistence.
+    pub fn iter_pending(&self) -> Vec<(u32, Vec<(SourceId, bool)>)> {
+        let mut out: Vec<_> = self.pending.iter().map(|(k, v)| (*k, v.clone())).collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Restores votes captured by [`QuorumBuffer::iter_pending`].
+    pub fn restore_pending(&mut self, pending: &[(u32, Vec<(SourceId, bool)>)]) {
+        for (key, votes) in pending {
+            self.pending.insert(*key, votes.clone());
+        }
+    }
+}
+
+/// Trust-weighted net support for `positive` on a settled vote set, skipping
+/// sources for which `trust` returns 0 (e.g. discredited ones). Used to
+/// re-examine past admissions when a supporter is discredited.
+pub fn net_support(
+    votes: &[(SourceId, bool)],
+    positive: bool,
+    trust: impl Fn(SourceId) -> f64,
+) -> f64 {
+    let mut net = 0.0;
+    for &(source, vote) in votes {
+        let w = trust(source);
+        if vote == positive {
+            net += w;
+        } else {
+            net -= w;
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrustConfig {
+        TrustConfig::default()
+    }
+
+    #[test]
+    fn fresh_source_sits_at_prior_mean() {
+        let model = TrustModel::new();
+        assert!((model.trust(SourceId(3), &cfg()) - 0.5).abs() < 1e-12);
+        assert_eq!(model.observations(SourceId(3)), 0);
+    }
+
+    #[test]
+    fn agreements_raise_trust_and_disagreements_lower_it() {
+        let mut model = TrustModel::new();
+        for _ in 0..8 {
+            model.record(SourceId(1), true);
+            model.record(SourceId(2), false);
+        }
+        // (1+8)/(2+8) = 0.9 and (1+0)/(2+8) = 0.1 under the 1/1 prior.
+        assert!((model.trust(SourceId(1), &cfg()) - 0.9).abs() < 1e-12);
+        assert!((model.trust(SourceId(2), &cfg()) - 0.1).abs() < 1e-12);
+        assert!(!model.is_discredited(SourceId(1), &cfg()));
+        assert!(model.is_discredited(SourceId(2), &cfg()));
+    }
+
+    #[test]
+    fn discredit_needs_min_observations() {
+        let mut model = TrustModel::new();
+        for _ in 0..7 {
+            model.record(SourceId(9), false);
+        }
+        // Trust is well below the floor but only 7 < 8 observations.
+        assert!(model.trust(SourceId(9), &cfg()) < 0.25);
+        assert!(!model.is_discredited(SourceId(9), &cfg()));
+        model.record(SourceId(9), false);
+        assert!(model.is_discredited(SourceId(9), &cfg()));
+    }
+
+    #[test]
+    fn counts_saturate_at_u32_max() {
+        let mut model = TrustModel::new();
+        model.restore_counts(&[(SourceId(1), u32::MAX, u32::MAX)]);
+        model.record(SourceId(1), true);
+        model.record(SourceId(1), false);
+        assert_eq!(model.iter_counts(), vec![(SourceId(1), u32::MAX, u32::MAX)]);
+        // The posterior stays a finite probability even at the ceiling.
+        let t = model.trust(SourceId(1), &cfg());
+        assert!(t.is_finite() && (0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn quorum_defers_until_weighted_agreement_crosses_threshold() {
+        let model = TrustModel::new();
+        let c = cfg();
+        let mut buf = QuorumBuffer::new();
+        buf.vote(7, SourceId(1), true);
+        // One fresh source (trust 0.5) is below the 1.0 quorum: deferred.
+        assert!(buf.decide(7, &c, |s| model.trust(s, &c)).is_none());
+        assert_eq!(buf.pending_votes(), 1);
+        buf.vote(7, SourceId(2), true);
+        let admission = buf.decide(7, &c, |s| model.trust(s, &c)).unwrap();
+        assert!(admission.positive);
+        assert!((admission.weight_for - 1.0).abs() < 1e-12);
+        assert_eq!(buf.take(7).len(), 2);
+        assert_eq!(buf.pending_votes(), 0);
+    }
+
+    #[test]
+    fn opposing_votes_block_admission() {
+        let model = TrustModel::new();
+        let c = cfg();
+        let mut buf = QuorumBuffer::new();
+        buf.vote(7, SourceId(1), true);
+        buf.vote(7, SourceId(2), true);
+        buf.vote(7, SourceId(3), false);
+        buf.vote(7, SourceId(4), false);
+        // 1.0 vs 1.0: net agreement is zero, nothing admitted.
+        assert!(buf.decide(7, &c, |s| model.trust(s, &c)).is_none());
+    }
+
+    #[test]
+    fn latest_vote_wins_per_source() {
+        let mut buf = QuorumBuffer::new();
+        buf.vote(7, SourceId(1), true);
+        buf.vote(7, SourceId(1), false);
+        assert_eq!(buf.votes(7), &[(SourceId(1), false)]);
+    }
+
+    #[test]
+    fn trusted_source_admits_alone_and_untrusted_sybils_cannot() {
+        let mut model = TrustModel::new();
+        let c = cfg();
+        for _ in 0..19 {
+            model.record(SourceId(1), true);
+        }
+        // Trust is (1+19)/(2+19) ≈ 0.952 < 1.0, so even a highly trusted
+        // source cannot cross a 1.0 quorum alone; with a 0.9 quorum it can.
+        let mut low = c;
+        low.quorum = 0.9;
+        let mut buf = QuorumBuffer::new();
+        buf.vote(3, SourceId(1), false);
+        assert!(buf.decide(3, &low, |s| model.trust(s, &low)).is_some());
+
+        // Ten discredited sybils (weight 0 via the trust closure) never cross.
+        let mut sybils = QuorumBuffer::new();
+        for i in 100..110 {
+            sybils.vote(3, SourceId(i), false);
+        }
+        assert!(sybils.decide(3, &low, |_| 0.0).is_none());
+        assert_eq!(sybils.pending_votes(), 10); // deferred, not dropped
+    }
+
+    #[test]
+    fn net_support_skips_zero_weight_sources() {
+        let votes = vec![
+            (SourceId(1), true),
+            (SourceId(2), true),
+            (SourceId(3), false),
+        ];
+        let support = net_support(&votes, true, |s| if s == SourceId(2) { 0.0 } else { 0.5 });
+        assert!((support - 0.0).abs() < 1e-12); // 0.5 - 0.5
+    }
+
+    #[test]
+    fn persistence_round_trips_sorted() {
+        let mut model = TrustModel::new();
+        model.record(SourceId(5), true);
+        model.record(SourceId(2), false);
+        let counts = model.iter_counts();
+        assert_eq!(counts, vec![(SourceId(2), 0, 1), (SourceId(5), 1, 0)]);
+        let mut restored = TrustModel::new();
+        restored.restore_counts(&counts);
+        assert_eq!(restored.iter_counts(), counts);
+
+        let mut buf = QuorumBuffer::new();
+        buf.vote(9, SourceId(1), true);
+        buf.vote(4, SourceId(2), false);
+        buf.vote(9, SourceId(3), false);
+        let pending = buf.iter_pending();
+        assert_eq!(pending[0].0, 4);
+        assert_eq!(
+            pending[1].1,
+            vec![(SourceId(1), true), (SourceId(3), false)]
+        );
+        let mut restored = QuorumBuffer::new();
+        restored.restore_pending(&pending);
+        assert_eq!(restored.iter_pending(), pending);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_values() {
+        assert!(TrustConfig::default().validate().is_ok());
+        let bad_quorum = TrustConfig {
+            quorum: 0.0,
+            ..TrustConfig::default()
+        };
+        assert!(bad_quorum.validate().is_err());
+        let bad_floor = TrustConfig {
+            discredit_below: 1.5,
+            ..TrustConfig::default()
+        };
+        assert!(bad_floor.validate().is_err());
+        let bad_prior = TrustConfig {
+            prior_agree: 0,
+            prior_disagree: 0,
+            ..TrustConfig::default()
+        };
+        assert!(bad_prior.validate().is_err());
+    }
+}

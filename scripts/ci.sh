@@ -23,6 +23,9 @@ cargo clippy -p alex-cache -- -D warnings
 # The profiling layer (timeline/trace/attribution/report modules) carries
 # the same per-module deny, so the exporter and aggregators stay panic-free.
 cargo clippy -p alex-telemetry -- -D warnings
+# The trust subsystem gates every feedback-driven mutation; it must stay
+# panic-free too (crate-wide unwrap/expect deny, see crates/trust/src/lib.rs).
+cargo clippy -p alex-trust -- -D warnings
 
 echo "==> cargo test (ALEX_THREADS=1: deterministic pool runs inline)"
 ALEX_THREADS=1 cargo test --workspace -q
@@ -51,6 +54,19 @@ cargo test --test fuzz_sparql -q
 
 echo "==> trace & report suite (--trace validity, PARIS worker nesting, alex report)"
 cargo test --test trace_report -q
+
+echo "==> adversarial-feedback suite (trust gate vs seeded poisoners, quorum deferral, thread invariance)"
+# A 30% targeted-poisoner mix must not move the gated run's F while the
+# ungated run collapses; deferred votes stay buffered; output is
+# byte-identical across thread counts and the trust counters export.
+cargo test --test adversarial_trust -q
+
+echo "==> composed-chaos suite (storage faults + poisoners + faulty federation, crash & resume)"
+# All three fault domains in one durable loop: a torn journal write kills
+# the run mid-attack, recovery + resume must land on the uninterrupted
+# reference's exact links, admission log, and trust posteriors — plus the
+# CLI SIGKILL leg with the robustness flags.
+cargo test --test composed_chaos -q
 
 echo "==> kill-and-resume smoke (SIGKILL mid-run, --resume, diff vs reference)"
 # An improve run is SIGKILLed at an episode commit, resumed with --resume,

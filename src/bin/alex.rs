@@ -25,10 +25,13 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use alex::core::{
-    driver, run_partitioned, workload_from_links, Agent, AlexConfig, Durability, FeedbackBridge,
-    LinkSpace, OracleFeedback, PartitionedConfig, Quality, QueryFeedback, SpaceConfig, StopReason,
+    driver, run_partitioned, workload_from_links, AdversarialPopulation, Agent, AlexConfig,
+    Durability, FeedbackBridge, FeedbackSource, LinkSpace, OracleFeedback, PartitionedConfig,
+    Quality, QueryFeedback, SpaceConfig, StopReason, TrustConfig,
 };
-use alex::datagen::{all_pairs, generate_pair, DatasetKind, PairSpec};
+use alex::datagen::{
+    all_pairs, assign_roles, generate_pair, AdversaryProfile, DatasetKind, PairSpec,
+};
 use alex::linking::{LabelBaseline, LinkerOutput, Paris, ParisConfig};
 use alex::rdf::{ntriples, turtle, Dataset, Term};
 use alex::sparql::{
@@ -124,6 +127,33 @@ FAULT TOLERANCE (improve --feedback query, and query):
                             failure aborts the query instead of
                             completing partially without that source.
 
+ADVERSARIAL ROBUSTNESS (improve, oracle feedback, single-partition):
+  --trust                   Gate link mutations behind trust-weighted
+                            quorum admission: each feedback item is a
+                            vote; votes apply only once the voters'
+                            trust-weighted net agreement crosses the
+                            quorum. Low-trust votes are deferred, never
+                            dropped. Admissions contradicted by a later
+                            quorum flip or a discredited source are
+                            undone by cascading provenance rollback.
+  --quorum T                Trust-weighted net agreement required to
+                            admit a judgment (default 1.0; fresh
+                            sources carry weight 0.5, so two agreeing
+                            fresh sources admit). Requires --trust.
+  --sources N               Size of the feedback-source population
+                            (default 1). Sources rotate round-robin
+                            and carry stable 1-based ids.
+  --adversary-profile SPEC  Make a seeded fraction of the population
+                            adversarial: KIND:FRACTION[:PARAM] with
+                            KIND one of flipper (random lies), poisoner
+                            (lies only on high-value links), sybil
+                            (always lies), coalition (shared seeded
+                            target set). E.g. 'poisoner:0.3'.
+  These flags compose with --state-dir: trust state (reliability
+  posteriors, pending votes, the admission log) is journaled and
+  snapshotted, so kill-and-resume preserves the defense exactly.
+  Keep them unchanged across --resume invocations.
+
 DURABILITY (improve, oracle feedback):
   --state-dir DIR           Journal every episode and snapshot the full
                             learning state under DIR; a killed run can be
@@ -201,6 +231,7 @@ fn split_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 || name == "resume"
                 || name == "cache"
                 || name == "profile"
+                || name == "trust"
             {
                 flags.push((name.to_string(), "true".to_string()));
                 i += 1;
@@ -424,6 +455,106 @@ fn durable_opts(flags: &Flags) -> Result<Option<DurableOpts>, String> {
     }))
 }
 
+/// Adversarial-robustness options: the trust gate and the feedback-source
+/// population.
+#[derive(Debug)]
+struct RobustnessOpts {
+    /// Trust-gate configuration when `--trust` was given.
+    trust: Option<TrustConfig>,
+    /// Seeded adversary mix when `--adversary-profile` was given.
+    profile: Option<AdversaryProfile>,
+    /// Feedback-source population size (`--sources`, default 1).
+    sources: usize,
+}
+
+impl RobustnessOpts {
+    /// Whether the run needs the multi-source population instead of the
+    /// plain oracle (attribution only matters past one source, and the
+    /// adversary machinery lives in the population).
+    fn needs_population(&self) -> bool {
+        self.sources > 1 || self.profile.is_some()
+    }
+
+    /// Build the run's feedback source: the adversarial population when one
+    /// is needed, the plain oracle otherwise.
+    fn make_source(
+        &self,
+        truth: &std::collections::HashSet<(u32, u32)>,
+        error_rate: f64,
+        seed: u64,
+    ) -> Box<dyn FeedbackSource> {
+        if self.needs_population() {
+            let roles = assign_roles(self.profile.as_ref(), self.sources, seed);
+            Box::new(AdversarialPopulation::new(
+                truth.clone(),
+                roles,
+                error_rate,
+                seed,
+            ))
+        } else {
+            Box::new(OracleFeedback::with_error_rate(
+                truth.clone(),
+                error_rate,
+                seed,
+            ))
+        }
+    }
+}
+
+/// Parse and validate the adversarial-robustness flags. `None` when none of
+/// `--trust`, `--quorum`, `--sources`, `--adversary-profile` was given; an
+/// error on inconsistent combinations (these runs are single-partition and
+/// need oracle feedback, like durable runs).
+fn robustness_opts(flags: &Flags) -> Result<Option<RobustnessOpts>, String> {
+    let trust_enabled = flag(flags, "trust").is_some();
+    if !trust_enabled && flag(flags, "quorum").is_some() {
+        return Err("--quorum requires --trust".into());
+    }
+    let trust = if trust_enabled {
+        let mut cfg = TrustConfig::default();
+        if let Some(v) = flag(flags, "quorum") {
+            cfg.quorum = v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --quorum"))?;
+        }
+        cfg.validate().map_err(|e| format!("--trust: {e}"))?;
+        Some(cfg)
+    } else {
+        None
+    };
+    let profile = flag(flags, "adversary-profile")
+        .map(|spec| AdversaryProfile::parse(spec).map_err(|e| format!("--adversary-profile: {e}")))
+        .transpose()?;
+    let sources: usize = parse_flag(flags, "sources", 1usize)?;
+    if sources == 0 {
+        return Err("--sources must be at least 1".into());
+    }
+    if trust.is_none() && profile.is_none() && flag(flags, "sources").is_none() {
+        return Ok(None);
+    }
+    if flag(flags, "feedback").is_some_and(|f| f != "oracle") {
+        return Err(
+            "--trust/--sources/--adversary-profile require oracle feedback: the trust \
+             gate sits on the oracle improve loop"
+                .into(),
+        );
+    }
+    if let Some(p) = flag(flags, "partitions") {
+        if p != "1" {
+            return Err(
+                "--trust/--sources/--adversary-profile runs are single-partition; \
+                 drop --partitions or set it to 1"
+                    .into(),
+            );
+        }
+    }
+    Ok(Some(RobustnessOpts {
+        trust,
+        profile,
+        sources,
+    }))
+}
+
 /// Build the endpoint resilience policy from the shared fault-tolerance
 /// flags; `None` when no flag was given (keep the engine's default).
 fn resilience_from_flags(flags: &Flags) -> Result<Option<ResilienceConfig>, String> {
@@ -613,6 +744,7 @@ fn cmd_improve(args: &[String]) -> Result<(), String> {
     };
     configure_threads(&flags)?;
     let durable = durable_opts(&flags)?;
+    let robust = robustness_opts(&flags)?;
     let telemetry = telemetry_setup(&flags)?;
     let left = load_dataset(left_path)?;
     let right = load_dataset(right_path)?;
@@ -620,7 +752,12 @@ fn cmd_improve(args: &[String]) -> Result<(), String> {
     let truth = load_links(flag(&flags, "truth").ok_or("--truth is required")?)?;
 
     if let Some(opts) = durable {
-        return improve_durable(&left, &right, &links, &truth, &flags, &telemetry, opts);
+        return improve_durable(
+            &left, &right, &links, &truth, &flags, &telemetry, opts, robust,
+        );
+    }
+    if let Some(robust) = robust {
+        return improve_robust(&left, &right, &links, &truth, &flags, &telemetry, robust);
     }
 
     match flag(&flags, "feedback").unwrap_or("oracle") {
@@ -711,6 +848,7 @@ fn improve_durable(
     flags: &Flags,
     telemetry: &TelemetryOpts,
     opts: DurableOpts,
+    robust: Option<RobustnessOpts>,
 ) -> Result<(), String> {
     let left_index = left.entity_index();
     let right_index = right.entity_index();
@@ -740,12 +878,20 @@ fn improve_durable(
     let cfg = AlexConfig {
         episode_size: parse_flag(flags, "episode-size", 1000usize)?,
         max_episodes: parse_flag(flags, "episodes", 40usize)?,
+        trust: robust.as_ref().and_then(|r| r.trust),
         ..AlexConfig::default()
     };
     let space = LinkSpace::build(left, right, &SpaceConfig::default());
     let mut agent = Agent::new(space, &initial_ids, cfg.clone());
     let error_rate: f64 = parse_flag(flags, "error-rate", 0.0f64)?;
-    let mut oracle = OracleFeedback::with_error_rate(truth_ids.clone(), error_rate, cfg.seed);
+    let mut source: Box<dyn FeedbackSource> = match &robust {
+        Some(r) => r.make_source(&truth_ids, error_rate, cfg.seed),
+        None => Box::new(OracleFeedback::with_error_rate(
+            truth_ids.clone(),
+            error_rate,
+            cfg.seed,
+        )),
+    };
 
     let (mut store, recovery) = alex::store::DirectStore::open(Path::new(&opts.state_dir))
         .map_err(|e| format!("cannot open state dir {}: {e}", opts.state_dir))?;
@@ -786,7 +932,7 @@ fn improve_durable(
             }
         });
     }
-    let report = driver::run_durable(&mut agent, &mut oracle, &truth_ids, durability)?;
+    let report = driver::run_durable(&mut agent, source.as_mut(), &truth_ids, durability)?;
 
     let print_q = |tag: &str, q: Quality| {
         println!(
@@ -810,6 +956,98 @@ fn improve_durable(
             opts.state_dir
         );
     }
+
+    if let Some(out) = flag(flags, "out") {
+        let final_links = SameAsLinks::from_pairs(agent.candidates().iter().map(|id| {
+            let (lt, rt) = agent.space().pair_terms(id);
+            (left.resolve(lt).to_string(), right.resolve(rt).to_string())
+        }));
+        write_or_print(Some(out), &final_links.to_ntriples())?;
+    }
+    telemetry.finish()
+}
+
+/// `improve --trust` / `--sources` / `--adversary-profile` without
+/// `--state-dir`: the single-partition adversarial-robustness run. Feedback
+/// comes from an attributed source population (possibly with seeded
+/// adversaries) and, with `--trust`, link mutations pass through quorum
+/// admission with cascading rollback.
+fn improve_robust(
+    left: &Dataset,
+    right: &Dataset,
+    links: &SameAsLinks,
+    truth: &SameAsLinks,
+    flags: &Flags,
+    telemetry: &TelemetryOpts,
+    robust: RobustnessOpts,
+) -> Result<(), String> {
+    let left_index = left.entity_index();
+    let right_index = right.entity_index();
+    let to_ids = |set: &SameAsLinks| -> Vec<(u32, u32)> {
+        set.iter()
+            .filter_map(|l| {
+                let lt = left.interner().get(&l.left).map(Term::Iri)?;
+                let rt = right.interner().get(&l.right).map(Term::Iri)?;
+                Some((left_index.id(lt)?, right_index.id(rt)?))
+            })
+            .collect()
+    };
+    let initial_ids = to_ids(links);
+    let truth_ids: std::collections::HashSet<(u32, u32)> = to_ids(truth).into_iter().collect();
+    if truth_ids.is_empty() {
+        return Err("no ground-truth link references entities of these data sets".into());
+    }
+    eprintln!(
+        "initial links: {} usable of {}; ground truth: {} usable of {} \
+         (sources: {}, adversary: {}, trust: {})",
+        initial_ids.len(),
+        links.len(),
+        truth_ids.len(),
+        truth.len(),
+        robust.sources,
+        flag(flags, "adversary-profile").unwrap_or("none"),
+        if robust.trust.is_some() { "on" } else { "off" },
+    );
+
+    let cfg = AlexConfig {
+        episode_size: parse_flag(flags, "episode-size", 1000usize)?,
+        max_episodes: parse_flag(flags, "episodes", 40usize)?,
+        trust: robust.trust,
+        ..AlexConfig::default()
+    };
+    let space = LinkSpace::build(left, right, &SpaceConfig::default());
+    let mut agent = Agent::new(space, &initial_ids, cfg.clone());
+    let error_rate: f64 = parse_flag(flags, "error-rate", 0.0f64)?;
+    let mut source = robust.make_source(&truth_ids, error_rate, cfg.seed);
+    let report = driver::run(&mut agent, source.as_mut(), &truth_ids);
+
+    let print_q = |tag: &str, q: Quality| {
+        println!(
+            "{tag:>8}  P {:.3}  R {:.3}  F {:.3}",
+            q.precision, q.recall, q.f_measure
+        );
+    };
+    print_q("initial", report.initial_quality);
+    for e in &report.episodes {
+        print_q(&format!("ep {}", e.episode), e.quality);
+    }
+    if let Some(gate) = agent.trust_gate() {
+        eprintln!(
+            "trust: {} admissions ({} revoked), {} votes pending on {} links, \
+             {} sources discredited",
+            gate.log.len(),
+            gate.log.iter().filter(|r| r.revoked).count(),
+            gate.buffer.pending_votes(),
+            gate.buffer.pending_links(),
+            gate.discredited.len(),
+        );
+    }
+    println!(
+        "stopped: {:?} after {} episodes ({:.2?})",
+        report.stop,
+        report.episodes.len(),
+        report.total_duration
+    );
 
     if let Some(out) = flag(flags, "out") {
         let final_links = SameAsLinks::from_pairs(agent.candidates().iter().map(|id| {
@@ -1140,6 +1378,60 @@ mod tests {
         assert!(cache_opts(&flags_of("--cache-capacity 64")).is_err());
         assert!(cache_opts(&flags_of("--cache --cache-capacity 0")).is_err());
         assert!(cache_opts(&flags_of("--cache --cache-capacity lots")).is_err());
+    }
+
+    #[test]
+    fn robustness_flags_parse_and_validate() {
+        assert!(robustness_opts(&flags_of("--episodes 5"))
+            .unwrap()
+            .is_none());
+        let r = robustness_opts(&flags_of("--trust")).unwrap().unwrap();
+        assert!((r.trust.unwrap().quorum - 1.0).abs() < 1e-12);
+        assert_eq!(r.sources, 1);
+        assert!(!r.needs_population());
+        let r = robustness_opts(&flags_of("--trust --quorum 0.4 --sources 8"))
+            .unwrap()
+            .unwrap();
+        assert!((r.trust.unwrap().quorum - 0.4).abs() < 1e-12);
+        assert_eq!(r.sources, 8);
+        assert!(r.needs_population());
+        let r = robustness_opts(&flags_of("--adversary-profile poisoner:0.3"))
+            .unwrap()
+            .unwrap();
+        assert!(r.trust.is_none());
+        assert!(r.profile.is_some());
+        assert!(r.needs_population());
+    }
+
+    #[test]
+    fn robustness_flags_reject_bad_combinations() {
+        let err = robustness_opts(&flags_of("--quorum 0.5")).unwrap_err();
+        assert!(err.contains("--trust"), "{err}");
+        let err = robustness_opts(&flags_of("--trust --quorum 0")).unwrap_err();
+        assert!(err.contains("quorum"), "{err}");
+        let err = robustness_opts(&flags_of("--trust --sources 0")).unwrap_err();
+        assert!(err.contains("--sources"), "{err}");
+        let err =
+            robustness_opts(&flags_of("--trust --adversary-profile gremlin:0.3")).unwrap_err();
+        assert!(err.contains("adversary"), "{err}");
+        let err = robustness_opts(&flags_of("--trust --feedback query")).unwrap_err();
+        assert!(err.contains("oracle"), "{err}");
+        let err = robustness_opts(&flags_of("--trust --partitions 4")).unwrap_err();
+        assert!(err.contains("single-partition"), "{err}");
+        assert!(robustness_opts(&flags_of("--trust --partitions 1")).is_ok());
+    }
+
+    #[test]
+    fn trust_is_a_value_less_flag() {
+        let (positional, flags) = split_args(&[
+            "--trust".to_string(),
+            "--quorum".to_string(),
+            "0.5".to_string(),
+        ])
+        .unwrap();
+        assert!(positional.is_empty());
+        assert_eq!(flag(&flags, "trust"), Some("true"));
+        assert_eq!(flag(&flags, "quorum"), Some("0.5"));
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Adversarial-feedback defense end-to-end: trust-weighted quorum
+//! admission must contain seeded poisoning attacks that cripple an
+//! ungated run, deferral must never drop votes, and the gated improve
+//! loop must stay deterministic across worker-thread counts.
+
+use std::collections::HashSet;
+
+use alex::core::{
+    driver, AdversarialPopulation, Agent, AlexConfig, LinkSpace, SpaceConfig, TrustConfig,
+};
+use alex::datagen::{assign_roles, generate_pair, AdversaryProfile, DatasetKind, PairSpec};
+
+/// Generate the NBA pair (small, realistic ambiguity) and map its ground
+/// truth into dense ids.
+fn build() -> (LinkSpace, HashSet<(u32, u32)>) {
+    let spec = PairSpec::of(DatasetKind::DBpediaNba, DatasetKind::NYTimes);
+    let pair = generate_pair(&spec.config(7));
+    let space = LinkSpace::build(&pair.left, &pair.right, &SpaceConfig::default());
+    let truth: HashSet<(u32, u32)> = pair
+        .ground_truth
+        .iter()
+        .filter_map(|&(l, r)| Some((space.left_index().id(l)?, space.right_index().id(r)?)))
+        .collect();
+    assert!(!truth.is_empty(), "ground truth must map into the space");
+    (space, truth)
+}
+
+fn initial_links(truth: &HashSet<(u32, u32)>) -> Vec<(u32, u32)> {
+    let mut initial: Vec<(u32, u32)> = truth.iter().copied().collect();
+    initial.sort_unstable();
+    let keep = initial.len() * 2 / 5;
+    initial.truncate(keep);
+    initial.extend([(0, 1), (1, 2), (2, 0)]);
+    initial
+}
+
+fn cfg(trust: Option<TrustConfig>) -> AlexConfig {
+    AlexConfig {
+        episode_size: 400,
+        max_episodes: 12,
+        trust,
+        ..AlexConfig::default()
+    }
+}
+
+/// Run the improve loop against a source population with `profile`
+/// adversaries; returns (final F, final sorted links, trust-log length).
+fn run_population(
+    space: &LinkSpace,
+    truth: &HashSet<(u32, u32)>,
+    profile: Option<&AdversaryProfile>,
+    trust: Option<TrustConfig>,
+) -> (f64, Vec<(u32, u32)>, usize) {
+    let initial = initial_links(truth);
+    let mut agent = Agent::new(space.clone(), &initial, cfg(trust));
+    let roles = assign_roles(profile, 10, 42);
+    let mut population = AdversarialPopulation::new(truth.clone(), roles, 0.0, 42);
+    let report = driver::run(&mut agent, &mut population, truth);
+    let log_len = agent.trust_gate().map(|g| g.log.len()).unwrap_or(0);
+    (
+        report.final_quality().f_measure,
+        agent.candidate_pairs(),
+        log_len,
+    )
+}
+
+/// The headline defense claim: under a 30% targeted-poisoner mix the
+/// trust-gated run must degrade less than the ungated one, and must stay
+/// close to its own clean baseline.
+#[test]
+fn trust_gate_contains_targeted_poisoning() {
+    let (space, truth) = build();
+    let profile = AdversaryProfile::parse("poisoner:0.3").expect("profile");
+    let trust = TrustConfig::default();
+
+    let (clean_on, _, _) = run_population(&space, &truth, None, Some(trust));
+    let (poisoned_on, _, admissions) = run_population(&space, &truth, Some(&profile), Some(trust));
+    let (clean_off, _, _) = run_population(&space, &truth, None, None);
+    let (poisoned_off, _, _) = run_population(&space, &truth, Some(&profile), None);
+
+    eprintln!(
+        "F: clean/on {clean_on:.4} poisoned/on {poisoned_on:.4} \
+         clean/off {clean_off:.4} poisoned/off {poisoned_off:.4}"
+    );
+    assert!(clean_on > 0.5, "gated clean run should learn: F {clean_on}");
+    assert!(admissions > 0, "the gate should admit feedback");
+    let deg_on = clean_on - poisoned_on;
+    let deg_off = clean_off - poisoned_off;
+    assert!(
+        deg_on <= 0.05 + 1e-9,
+        "trust-gated degradation must stay within 5 F-points: \
+         clean {clean_on}, poisoned {poisoned_on} (degradation {deg_on})"
+    );
+    assert!(
+        deg_off > deg_on,
+        "the ungated run must degrade strictly more: \
+         gated {deg_on} (F {clean_on} -> {poisoned_on}), \
+         ungated {deg_off} (F {clean_off} -> {poisoned_off})"
+    );
+}
+
+/// Low-trust votes are deferred, never dropped: with a quorum no single
+/// source can reach, nothing applies and every vote stays buffered.
+#[test]
+fn unreachable_quorum_defers_everything() {
+    let (space, truth) = build();
+    let initial = initial_links(&truth);
+    let trust = TrustConfig {
+        quorum: 50.0,
+        ..TrustConfig::default()
+    };
+    let mut agent = Agent::new(
+        space,
+        &initial,
+        AlexConfig {
+            episode_size: 50,
+            max_episodes: 3,
+            trust: Some(trust),
+            ..AlexConfig::default()
+        },
+    );
+    let roles = assign_roles(None, 4, 9);
+    let mut population = AdversarialPopulation::new(truth, roles, 0.0, 9);
+    driver::run(&mut agent, &mut population, &HashSet::from([(0, 0)]));
+    let gate = agent.trust_gate().expect("gate");
+    assert_eq!(gate.log.len(), 0, "nothing can cross a quorum of 50");
+    assert!(gate.buffer.pending_votes() > 0, "votes must stay buffered");
+    // No mutation applied: the candidate set is exactly the initial links.
+    let mut expected = initial;
+    expected.sort_unstable();
+    expected.dedup();
+    assert_eq!(agent.candidate_pairs(), expected);
+}
+
+/// The gated improve loop is deterministic: byte-identical links, episode
+/// history, and admission log at any worker-thread count.
+#[test]
+fn gated_output_is_byte_identical_across_thread_counts() {
+    let (space, truth) = build();
+    let profile = AdversaryProfile::parse("flipper:0.2:0.8").expect("profile");
+
+    let run_at = |threads: usize| {
+        alex::parallel::set_threads(threads);
+        run_population(&space, &truth, Some(&profile), Some(TrustConfig::default()))
+    };
+    let (f1, links1, log1) = run_at(1);
+    let (f4, links4, log4) = run_at(4);
+    alex::parallel::set_threads(0); // restore default resolution
+
+    assert_eq!(links1, links4, "final links must be thread-invariant");
+    assert_eq!(log1, log4, "admission history must be thread-invariant");
+    assert!((f1 - f4).abs() < 1e-12, "F must match: {f1} vs {f4}");
+}
+
+/// The trust counters flow through the existing Prometheus/JSON metrics
+/// paths.
+#[test]
+fn trust_counters_reach_the_metrics_registry() {
+    let (space, truth) = build();
+    let profile = AdversaryProfile::parse("sybil:0.3").expect("profile");
+    let before_admitted = alex::telemetry::counter!("trust_admitted_total").get();
+    let before_deferred = alex::telemetry::counter!("trust_deferred_total").get();
+
+    let (_, _, admissions) =
+        run_population(&space, &truth, Some(&profile), Some(TrustConfig::default()));
+    assert!(admissions > 0);
+    assert!(
+        alex::telemetry::counter!("trust_admitted_total").get() > before_admitted,
+        "admissions must bump trust_admitted_total"
+    );
+    assert!(
+        alex::telemetry::counter!("trust_deferred_total").get() > before_deferred,
+        "deferrals must bump trust_deferred_total"
+    );
+    let prom = alex::telemetry::global().metrics().render_prometheus();
+    for name in ["trust_admitted_total", "trust_deferred_total"] {
+        assert!(
+            prom.contains(name),
+            "{name} missing from exposition:\n{prom}"
+        );
+    }
+}
