@@ -78,6 +78,7 @@ fn write_snapshot(pair: &GeneratedPair, cfg: &SpaceConfig) {
     if !std::env::args().any(|a| a == "--bench") {
         return;
     }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows = Vec::new();
     let mut base = (0.0f64, 0.0f64);
     for threads in SWEEP {
@@ -91,8 +92,13 @@ fn write_snapshot(pair: &GeneratedPair, cfg: &SpaceConfig) {
         if threads == 1 {
             base = (build_us, paris_us);
         }
+        // Rows oversubscribing the host (threads > cores) can't show real
+        // scaling — label them so a 1-core CI run doesn't read as a
+        // regression and an 8-core box doesn't over-trust its 8-way row.
+        let trusted = threads <= cores;
         rows.push(format!(
-            "    {{\"threads\":{threads},\"space_build_us\":{build_us:.1},\
+            "    {{\"threads\":{threads},\"trusted\":{trusted},\
+             \"space_build_us\":{build_us:.1},\
              \"space_build_speedup\":{:.2},\"paris_align_us\":{paris_us:.1},\
              \"paris_align_speedup\":{:.2}}}",
             base.0 / build_us,
@@ -100,6 +106,7 @@ fn write_snapshot(pair: &GeneratedPair, cfg: &SpaceConfig) {
         ));
     }
     alex_parallel::set_threads(0);
+    let scaling_gate = if cores >= 4 { "measured" } else { "skipped" };
 
     // Worker-attribution snapshot: one PARIS alignment at 4 threads with
     // the timeline recorder on, reduced to per-phase self time, per-worker
@@ -112,9 +119,9 @@ fn write_snapshot(pair: &GeneratedPair, cfg: &SpaceConfig) {
     alex_telemetry::timeline::disable();
     let attribution = alex_telemetry::attribute(&traces).to_json();
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"parallel_sweep\",\n  \"host_cores\": {cores},\n  \
+         \"scaling_gate\": \"{scaling_gate}\",\n  \
          \"results\": [\n{}\n  ],\n  \"attribution\": {attribution}\n}}\n",
         rows.join(",\n")
     );

@@ -8,7 +8,7 @@
 //! column if m > n".
 
 use alex_rdf::Sym;
-use alex_sim::{value_similarity, TypedValue};
+use alex_sim::{prepared_similarity, PreparedValue};
 
 use crate::feature::{FeatureCatalog, FeaturePair, FeatureSet};
 
@@ -22,8 +22,8 @@ use crate::feature::{FeatureCatalog, FeaturePair, FeatureSet};
 /// original candidate order — reproducing the sequential intern order
 /// exactly, which keeps [`FeatureId`]s byte-identical at any thread count.
 pub fn raw_feature_set(
-    left_attrs: &[(Sym, TypedValue)],
-    right_attrs: &[(Sym, TypedValue)],
+    left_attrs: &[(Sym, PreparedValue)],
+    right_attrs: &[(Sym, PreparedValue)],
     theta: f64,
 ) -> Vec<(FeaturePair, f64)> {
     let n = left_attrs.len();
@@ -42,7 +42,7 @@ pub fn raw_feature_set(
         for &(lp, ref lv) in left_attrs {
             let mut best: Option<(Sym, f64)> = None;
             for &(rp, ref rv) in right_attrs {
-                let s = value_similarity(lv, rv);
+                let s = prepared_similarity(lv, rv);
                 if s >= theta && best.map(|(_, b)| s > b).unwrap_or(true) {
                     best = Some((rp, s));
                 }
@@ -62,7 +62,7 @@ pub fn raw_feature_set(
         for &(rp, ref rv) in right_attrs {
             let mut best: Option<(Sym, f64)> = None;
             for &(lp, ref lv) in left_attrs {
-                let s = value_similarity(lv, rv);
+                let s = prepared_similarity(lv, rv);
                 if s >= theta && best.map(|(_, b)| s > b).unwrap_or(true) {
                     best = Some((lp, s));
                 }
@@ -103,8 +103,8 @@ pub fn intern_feature_set(
 /// Returns an empty set when no attribute pair reaches θ — such pairs are
 /// dropped from the link space (§6.1).
 pub fn feature_set(
-    left_attrs: &[(Sym, TypedValue)],
-    right_attrs: &[(Sym, TypedValue)],
+    left_attrs: &[(Sym, PreparedValue)],
+    right_attrs: &[(Sym, PreparedValue)],
     theta: f64,
     catalog: &mut FeatureCatalog,
 ) -> FeatureSet {
@@ -116,6 +116,7 @@ pub fn feature_set(
 mod tests {
     use super::*;
     use crate::feature::feature_score;
+    use alex_sim::{TokenInterner, TypedValue};
 
     fn sym(i: usize) -> Sym {
         Sym::from_index(i)
@@ -125,18 +126,37 @@ mod tests {
         TypedValue::Text(s.to_string())
     }
 
+    /// Prepare raw typed attrs against one shared interner (both sides of
+    /// a comparison must share ids, exactly as `SideValues::build` does).
+    fn prep(
+        attrs: Vec<(Sym, TypedValue)>,
+        interner: &mut TokenInterner,
+    ) -> Vec<(Sym, PreparedValue)> {
+        attrs
+            .into_iter()
+            .map(|(p, v)| (p, PreparedValue::prepare(v, interner)))
+            .collect()
+    }
+
     #[test]
     fn picks_best_counterpart_per_row() {
         let mut catalog = FeatureCatalog::new();
+        let mut interner = TokenInterner::new();
         // Left has 2 attrs, right has 2: n == m so per-row.
-        let left = vec![
-            (sym(0), text("LeBron James")),
-            (sym(1), TypedValue::Year(1984)),
-        ];
-        let right = vec![
-            (sym(10), text("lebron james")),
-            (sym(11), TypedValue::Year(1984)),
-        ];
+        let left = prep(
+            vec![
+                (sym(0), text("LeBron James")),
+                (sym(1), TypedValue::Year(1984)),
+            ],
+            &mut interner,
+        );
+        let right = prep(
+            vec![
+                (sym(10), text("lebron james")),
+                (sym(11), TypedValue::Year(1984)),
+            ],
+            &mut interner,
+        );
         let sf = feature_set(&left, &right, 0.3, &mut catalog);
         assert_eq!(sf.len(), 2);
         let name_feat = catalog
@@ -158,8 +178,9 @@ mod tests {
     #[test]
     fn theta_drops_weak_entries() {
         let mut catalog = FeatureCatalog::new();
-        let left = vec![(sym(0), text("completely unrelated"))];
-        let right = vec![(sym(10), text("zzz qqq"))];
+        let mut interner = TokenInterner::new();
+        let left = prep(vec![(sym(0), text("completely unrelated"))], &mut interner);
+        let right = prep(vec![(sym(10), text("zzz qqq"))], &mut interner);
         let sf = feature_set(&left, &right, 0.3, &mut catalog);
         assert!(sf.is_empty());
     }
@@ -167,12 +188,16 @@ mod tests {
     #[test]
     fn column_mode_when_right_larger() {
         let mut catalog = FeatureCatalog::new();
-        let left = vec![(sym(0), text("alpha"))];
-        let right = vec![
-            (sym(10), text("alpha")),
-            (sym(11), text("alpha beta")),
-            (sym(12), TypedValue::Year(2000)),
-        ];
+        let mut interner = TokenInterner::new();
+        let left = prep(vec![(sym(0), text("alpha"))], &mut interner);
+        let right = prep(
+            vec![
+                (sym(10), text("alpha")),
+                (sym(11), text("alpha beta")),
+                (sym(12), TypedValue::Year(2000)),
+            ],
+            &mut interner,
+        );
         let sf = feature_set(&left, &right, 0.3, &mut catalog);
         // m > n: one entry per right attribute that clears θ against the
         // single left attribute. Year vs text fails θ.
@@ -182,10 +207,14 @@ mod tests {
     #[test]
     fn duplicate_feature_keeps_max() {
         let mut catalog = FeatureCatalog::new();
+        let mut interner = TokenInterner::new();
         // Two left values under the same predicate, both best-matching the
         // same right attribute with different scores.
-        let left = vec![(sym(0), text("miami heat")), (sym(0), text("heat"))];
-        let right = vec![(sym(10), text("miami heat"))];
+        let left = prep(
+            vec![(sym(0), text("miami heat")), (sym(0), text("heat"))],
+            &mut interner,
+        );
+        let right = prep(vec![(sym(10), text("miami heat"))], &mut interner);
         let sf = feature_set(&left, &right, 0.3, &mut catalog);
         assert_eq!(sf.len(), 1);
         assert_eq!(sf[0].1, 1.0);
@@ -194,23 +223,32 @@ mod tests {
     #[test]
     fn empty_sides_give_empty_set() {
         let mut catalog = FeatureCatalog::new();
-        assert!(feature_set(&[], &[(sym(0), text("x"))], 0.3, &mut catalog).is_empty());
-        assert!(feature_set(&[(sym(0), text("x"))], &[], 0.3, &mut catalog).is_empty());
+        let mut interner = TokenInterner::new();
+        let one = prep(vec![(sym(0), text("x"))], &mut interner);
+        assert!(feature_set(&[], &one, 0.3, &mut catalog).is_empty());
+        assert!(feature_set(&one, &[], 0.3, &mut catalog).is_empty());
     }
 
     #[test]
     fn output_is_sorted_by_feature_id() {
         let mut catalog = FeatureCatalog::new();
-        let left = vec![
-            (sym(5), text("beta")),
-            (sym(1), text("alpha")),
-            (sym(3), TypedValue::Year(1999)),
-        ];
-        let right = vec![
-            (sym(11), text("alpha")),
-            (sym(12), text("beta")),
-            (sym(13), TypedValue::Year(1999)),
-        ];
+        let mut interner = TokenInterner::new();
+        let left = prep(
+            vec![
+                (sym(5), text("beta")),
+                (sym(1), text("alpha")),
+                (sym(3), TypedValue::Year(1999)),
+            ],
+            &mut interner,
+        );
+        let right = prep(
+            vec![
+                (sym(11), text("alpha")),
+                (sym(12), text("beta")),
+                (sym(13), TypedValue::Year(1999)),
+            ],
+            &mut interner,
+        );
         let sf = feature_set(&left, &right, 0.3, &mut catalog);
         let ids: Vec<u32> = sf.iter().map(|&(f, _)| f.0).collect();
         let mut sorted = ids.clone();

@@ -71,8 +71,12 @@ impl LinkSpace {
     pub fn build(left: &Dataset, right: &Dataset, cfg: &SpaceConfig) -> LinkSpace {
         let left_index = left.entity_index();
         let right_index = right.entity_index();
-        let left_values = SideValues::build(left, &left_index);
-        let right_values = SideValues::build(right, &right_index);
+        // One interner spans both sides: the interned-Jaccard kernel
+        // compares token ids across data sets, so both must intern into
+        // the same id space.
+        let mut interner = alex_sim::TokenInterner::new();
+        let left_values = SideValues::build(left, &left_index, &mut interner);
+        let right_values = SideValues::build(right, &right_index, &mut interner);
 
         let mut candidates = candidate_pairs(left, &left_index, right, &right_index, &cfg.blocking);
         if let Some((i, n)) = cfg.partition {

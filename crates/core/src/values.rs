@@ -2,21 +2,26 @@
 //!
 //! Building the link space evaluates millions of value similarities; parsing
 //! and classifying each RDF term on every comparison would dominate the
-//! cost. [`SideValues`] resolves and classifies every entity's attribute
-//! values once per side.
+//! cost. [`SideValues`] resolves, classifies, *and prepares* every entity's
+//! attribute values once per side: each value carries its normalized form,
+//! token spans, and interned Jaccard token ids ([`PreparedValue`]), so the
+//! similarity hot loop never re-normalizes a string or allocates a
+//! `HashSet`. Both sides of a comparison must be built against one shared
+//! [`TokenInterner`] — token ids are only meaningful within an interner.
 
 use alex_rdf::{Dataset, EntityIndex, Sym};
-use alex_sim::{typed_value, TypedValue};
+use alex_sim::{typed_value, PreparedValue, TokenInterner};
 
-/// Typed attribute lists for every entity of one data set.
+/// Prepared attribute lists for every entity of one data set.
 #[derive(Debug, Clone, Default)]
 pub struct SideValues {
-    per_entity: Vec<Vec<(Sym, TypedValue)>>,
+    per_entity: Vec<Vec<(Sym, PreparedValue)>>,
 }
 
 impl SideValues {
-    /// Resolve every indexed entity's attributes.
-    pub fn build(ds: &Dataset, idx: &EntityIndex) -> SideValues {
+    /// Resolve and prepare every indexed entity's attributes, interning
+    /// token ids into `interner` (shared across the two sides of a build).
+    pub fn build(ds: &Dataset, idx: &EntityIndex, interner: &mut TokenInterner) -> SideValues {
         let per_entity = (0..idx.len() as u32)
             .map(|id| {
                 ds.graph()
@@ -25,7 +30,8 @@ impl SideValues {
                         // Predicates are IRIs in every well-formed graph;
                         // drop (rather than die on) anything else.
                         let pred = t.predicate.as_iri()?;
-                        Some((pred, typed_value(ds, t.object)))
+                        let value = PreparedValue::prepare(typed_value(ds, t.object), interner);
+                        Some((pred, value))
                     })
                     .collect()
             })
@@ -33,8 +39,8 @@ impl SideValues {
         SideValues { per_entity }
     }
 
-    /// The typed attributes of entity `id`.
-    pub fn attrs(&self, id: u32) -> &[(Sym, TypedValue)] {
+    /// The prepared attributes of entity `id`.
+    pub fn attrs(&self, id: u32) -> &[(Sym, PreparedValue)] {
         &self.per_entity[id as usize]
     }
 
@@ -54,6 +60,7 @@ impl SideValues {
 mod tests {
     use super::*;
     use alex_rdf::vocab;
+    use alex_sim::TypedValue;
 
     #[test]
     fn builds_typed_attrs_per_entity() {
@@ -62,7 +69,8 @@ mod tests {
         ds.add_typed("http://e/a", "http://e/born", "1984", vocab::XSD_GYEAR);
         ds.add_str("http://e/b", "http://e/name", "Beta");
         let idx = ds.entity_index();
-        let vals = SideValues::build(&ds, &idx);
+        let mut interner = TokenInterner::new();
+        let vals = SideValues::build(&ds, &idx, &mut interner);
         assert_eq!(vals.len(), 2);
         let a = idx
             .id(ds
@@ -73,17 +81,24 @@ mod tests {
             .unwrap();
         let attrs = vals.attrs(a);
         assert_eq!(attrs.len(), 2);
-        assert!(attrs.iter().any(|(_, v)| *v == TypedValue::Year(1984)));
         assert!(attrs
             .iter()
-            .any(|(_, v)| matches!(v, TypedValue::Text(s) if s == "Alpha")));
+            .any(|(_, v)| *v.value() == TypedValue::Year(1984)));
+        assert!(attrs
+            .iter()
+            .any(|(_, v)| matches!(v.value(), TypedValue::Text(s) if s == "Alpha")));
+        // Text values arrive pre-tokenized with interned ids.
+        assert!(attrs
+            .iter()
+            .any(|(_, v)| v.text().is_some_and(|t| !t.token_ids().is_empty())));
+        assert!(!interner.is_empty());
     }
 
     #[test]
     fn empty_dataset() {
         let ds = Dataset::new("t");
         let idx = ds.entity_index();
-        let vals = SideValues::build(&ds, &idx);
+        let vals = SideValues::build(&ds, &idx, &mut TokenInterner::new());
         assert!(vals.is_empty());
     }
 }

@@ -14,18 +14,44 @@
 //!    (so matched teams reinforce player matches).
 //!
 //! Iterating the three to a fixed point is what makes PARIS holistic.
+//!
+//! ## Hot-path layout
+//!
+//! The inner loop compares every attribute of `x` against every attribute
+//! of `y` for every candidate pair, every pass. Three structures keep that
+//! loop allocation-free:
+//!
+//! * [`AttrArena`] — per-entity attribute lists packed into one flat
+//!   vector with offsets; each distinct object term's [`PreparedValue`]
+//!   (typed value + normalized/tokenized/interned text) is computed
+//!   **once** per data set, and IRI objects carry their pre-resolved
+//!   entity id.
+//! * [`ScoreTable`] — the previous pass's equivalence estimates in a dense
+//!   pair-indexed `Vec<f64>` (0.0 = no evidence), with the pair→index map
+//!   built once; the hot path does one hash probe instead of building and
+//!   cloning a `HashMap` per pass.
+//! * A **value-similarity memo** keyed by `(left term, right term)`.
+//!   Memoized values are pure function results — `prepared_similarity`
+//!   depends only on the two terms — so *what* the memo contains can never
+//!   change a score, only how fast it is produced. Workers fill per-chunk
+//!   shards that are merged into the global memo in chunk order after each
+//!   pass; any insertion order yields the same map contents because every
+//!   shard computes identical values for identical keys. Hit/miss totals
+//!   land in `simmemo_hits_total` / `simmemo_misses_total`.
+//!
+//! Every pass retains snapshot semantics: each pair scores against the
+//! estimates from the *previous* pass only, so per-pair scoring fans out
+//! over the pool with an ordered merge and the result is byte-identical at
+//! any thread count.
 
 use std::collections::HashMap;
 
 use alex_rdf::{Dataset, EntityIndex, Sym, Term};
-use alex_sim::term_similarity;
-use alex_telemetry::{emit, span, Event};
+use alex_sim::{prepared_similarity, typed_value, PreparedValue, TokenInterner};
+use alex_telemetry::{counter, emit, span, Event};
 
 use super::functionality::Functionality;
 use crate::candidates::{LinkSet, ScoredLink};
-
-/// One entity's attribute list, precomputed for the inner loop.
-type AttrList = Vec<(Sym, Term)>;
 
 /// Tunables for the alignment iteration.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +75,133 @@ impl Default for AlignmentConfig {
     }
 }
 
+/// One packed attribute: predicate, the raw object term (the memo key),
+/// the object's entity id when it is an indexed IRI, and the index of its
+/// prepared value in the arena's value table.
+struct PackedAttr {
+    pred: Sym,
+    term: Term,
+    /// Pre-resolved `idx.id(term)` for IRI objects — saves a hash probe
+    /// per comparison in the hot loop.
+    entity: Option<u32>,
+    /// Index into [`AttrArena::values`].
+    value: u32,
+}
+
+/// Arena-packed per-entity attribute lists for one data set.
+///
+/// `attrs` holds every (entity, predicate, object) occurrence back to
+/// back, grouped by entity id with `offsets` delimiting each group (same
+/// iteration order as the triple store, so noisy-or factor order — and
+/// therefore the floating-point product — is unchanged from the unpacked
+/// representation). `values` holds one [`PreparedValue`] per *distinct*
+/// object term: literals are typed, normalized, and tokenized exactly
+/// once per data set instead of once per comparison.
+struct AttrArena {
+    attrs: Vec<PackedAttr>,
+    /// `attrs[offsets[id] .. offsets[id + 1]]` are entity `id`'s attributes.
+    offsets: Vec<u32>,
+    values: Vec<PreparedValue>,
+}
+
+impl AttrArena {
+    fn build(ds: &Dataset, idx: &EntityIndex, interner: &mut TokenInterner) -> AttrArena {
+        let mut attrs = Vec::new();
+        let mut offsets = Vec::with_capacity(idx.len() + 1);
+        offsets.push(0u32);
+        let mut values: Vec<PreparedValue> = Vec::new();
+        let mut value_of: HashMap<Term, u32> = HashMap::new();
+        for id in 0..idx.len() as u32 {
+            let entity = idx.term(id);
+            for t in ds.graph().matching(Some(entity), None, None) {
+                let pred = t.predicate.as_iri().expect("IRI predicate");
+                let term = t.object;
+                let value = *value_of.entry(term).or_insert_with(|| {
+                    let v = u32::try_from(values.len()).expect("value table fits u32");
+                    values.push(PreparedValue::prepare(typed_value(ds, term), interner));
+                    v
+                });
+                let entity_ref = if term.is_iri() { idx.id(term) } else { None };
+                attrs.push(PackedAttr {
+                    pred,
+                    term,
+                    entity: entity_ref,
+                    value,
+                });
+            }
+            offsets.push(u32::try_from(attrs.len()).expect("arena fits u32"));
+        }
+        AttrArena {
+            attrs,
+            offsets,
+            values,
+        }
+    }
+
+    fn attrs(&self, id: u32) -> &[PackedAttr] {
+        let lo = self.offsets[id as usize] as usize;
+        let hi = self.offsets[id as usize + 1] as usize;
+        &self.attrs[lo..hi]
+    }
+
+    fn value(&self, a: &PackedAttr) -> &PreparedValue {
+        &self.values[a.value as usize]
+    }
+}
+
+/// The previous pass's equivalence estimates, dense over the candidate
+/// pair list: `scores[i]` belongs to `pairs[i]`, 0.0 meaning "no
+/// evidence" (the sparse map never stored non-positive scores, and
+/// `sim.max(0.0)` is the identity, so the dense default is equivalent).
+struct ScoreTable {
+    /// Pair → index into `scores`; built once, reused every pass.
+    index: HashMap<(u32, u32), u32>,
+    scores: Vec<f64>,
+}
+
+impl ScoreTable {
+    fn new(pairs: &[(u32, u32)]) -> ScoreTable {
+        let index = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, u32::try_from(i).expect("pair count fits u32")))
+            .collect();
+        ScoreTable {
+            index,
+            scores: vec![0.0; pairs.len()],
+        }
+    }
+
+    #[inline]
+    fn get(&self, l: u32, r: u32) -> f64 {
+        match self.index.get(&(l, r)) {
+            Some(&i) => self.scores[i as usize],
+            None => 0.0,
+        }
+    }
+
+    fn positive(&self) -> usize {
+        self.scores.iter().filter(|&&s| s > 0.0).count()
+    }
+}
+
+/// Memoized value similarities keyed by `(left term, right term)`.
+///
+/// Values are pure function results of the key, so the map's contents are
+/// independent of which worker inserted them — determinism needs no
+/// coordination, only the chunk-ordered merge below for reproducible
+/// *capacity* behaviour.
+type SimMemo = HashMap<(Term, Term), f64>;
+
+/// Per-chunk output of one scoring pass: the chunk's scores in input
+/// order, its freshly computed memo entries, and memo traffic counts.
+struct ChunkOut {
+    scores: Vec<f64>,
+    shard: SimMemo,
+    hits: u64,
+    misses: u64,
+}
+
 /// Run the alignment over the blocked candidate pairs, returning the raw
 /// (not yet thresholded or one-to-one) scored links.
 pub fn align(
@@ -62,105 +215,92 @@ pub fn align(
     let left_fun = Functionality::compute(left);
     let right_fun = Functionality::compute(right);
 
-    // Precompute attribute lists.
-    let left_attrs: Vec<AttrList> = (0..left_idx.len() as u32)
-        .map(|id| attrs(left, left_idx.term(id)))
-        .collect();
-    let right_attrs: Vec<AttrList> = (0..right_idx.len() as u32)
-        .map(|id| attrs(right, right_idx.term(id)))
-        .collect();
+    // Pack both attribute arenas against one shared token interner: token
+    // ids must agree across data sets for the interned Jaccard kernel.
+    let mut interner = TokenInterner::new();
+    let left_arena = AttrArena::build(left, left_idx, &mut interner);
+    let right_arena = AttrArena::build(right, right_idx, &mut interner);
 
-    // IRI-valued objects can refer to entities that are themselves candidate
-    // pairs; map terms back to ids to reuse equivalence estimates.
-    //
-    // Every pass has snapshot semantics: each pair scores against the
-    // estimates from the *previous* pass only, never against updates made
-    // within the current one. That makes each pass order-independent, so
-    // the per-pair scoring fans out over the pool with an ordered merge
-    // and the result is byte-identical at any thread count.
     let pool = alex_parallel::Pool::new("paris");
-    let mut scores: HashMap<(u32, u32), f64> = HashMap::with_capacity(pairs.len());
-    // Bootstrap pass: relation alignment unknown, assume 1; no previous
-    // equivalence estimates yet.
-    {
-        let bootstrap_span = span("paris/bootstrap");
-        let uniform_align = RelationAlignment::uniform();
-        let prev: HashMap<(u32, u32), f64> = HashMap::new();
-        let boot = pool.map(pairs, |&(l, r)| {
-            pair_score(
-                left,
-                right,
-                &left_attrs[l as usize],
-                &right_attrs[r as usize],
-                &left_fun,
-                &right_fun,
-                &uniform_align,
-                &prev,
-                left_idx,
-                right_idx,
-                cfg,
-            )
+    let mut table = ScoreTable::new(pairs);
+    let mut memo: SimMemo = SimMemo::new();
+
+    // Pass 0 bootstraps with a uniform relation alignment and no previous
+    // equivalence estimates; passes 1..=iterations re-estimate both.
+    for pass in 0..=cfg.iterations {
+        let pass_span = span(if pass == 0 {
+            "paris/bootstrap"
+        } else {
+            "paris/iteration"
         });
-        for (&(l, r), s) in pairs.iter().zip(boot) {
-            if s > 0.0 {
-                scores.insert((l, r), s);
+        let rel_align = if pass == 0 {
+            RelationAlignment::uniform()
+        } else {
+            RelationAlignment::estimate(
+                &left_arena,
+                &right_arena,
+                pairs,
+                &table,
+                cfg,
+                &pool,
+                &mut memo,
+            )
+        };
+        let chunks = pool.map_chunks(pairs, |chunk| {
+            let mut out = ChunkOut {
+                scores: Vec::with_capacity(chunk.len()),
+                shard: SimMemo::new(),
+                hits: 0,
+                misses: 0,
+            };
+            for &(l, r) in chunk {
+                let s = pair_score(
+                    &left_arena,
+                    &right_arena,
+                    left_arena.attrs(l),
+                    right_arena.attrs(r),
+                    &left_fun,
+                    &right_fun,
+                    &rel_align,
+                    &table,
+                    &memo,
+                    &mut out,
+                    cfg,
+                );
+                out.scores.push(s);
             }
+            out
+        });
+        // Ordered merge: scores concatenate in chunk order (byte-identical
+        // to the sequential map at any thread count); memo shards fold in
+        // chunk order — shard contents are pure function results, so merge
+        // order could not change them anyway.
+        let mut next = Vec::with_capacity(pairs.len());
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for chunk in chunks {
+            next.extend(chunk.scores);
+            memo.extend(chunk.shard);
+            hits += chunk.hits;
+            misses += chunk.misses;
         }
+        table.scores = next;
+        counter!("simmemo_hits_total").add(hits);
+        counter!("simmemo_misses_total").add(misses);
         emit!(Event::ParisIteration {
-            iteration: 0,
-            matches: scores.len() as u64,
-            duration_us: bootstrap_span.elapsed().as_micros() as u64,
+            iteration: pass as u64,
+            matches: table.positive() as u64,
+            duration_us: pass_span.elapsed().as_micros() as u64,
         });
     }
 
-    for iteration in 0..cfg.iterations {
-        let iter_span = span("paris/iteration");
-        let rel_align = RelationAlignment::estimate(
-            left,
-            right,
-            &left_attrs,
-            &right_attrs,
-            pairs,
-            &scores,
-            cfg,
-            &pool,
-        );
-        let prev = scores.clone();
-        let next = pool.map(pairs, |&(l, r)| {
-            pair_score(
-                left,
-                right,
-                &left_attrs[l as usize],
-                &right_attrs[r as usize],
-                &left_fun,
-                &right_fun,
-                &rel_align,
-                &prev,
-                left_idx,
-                right_idx,
-                cfg,
-            )
-        });
-        for (&(l, r), s) in pairs.iter().zip(next) {
-            if s > 0.0 {
-                scores.insert((l, r), s);
-            } else {
-                scores.remove(&(l, r));
-            }
-        }
-        emit!(Event::ParisIteration {
-            iteration: iteration as u64 + 1,
-            matches: scores.len() as u64,
-            duration_us: iter_span.elapsed().as_micros() as u64,
-        });
-    }
-
-    // Emit links in (left, right) order: HashMap iteration order varies
-    // per process, and downstream consumers (diffs, link dumps, the
+    // Emit links in (left, right) order: the candidate pair slice's order
+    // is the blocker's, and downstream consumers (diffs, link dumps, the
     // one-to-one pass on score ties) deserve a reproducible sequence.
-    let mut links: Vec<ScoredLink> = scores
-        .into_iter()
-        .map(|((l, r), score)| ScoredLink {
+    let mut links: Vec<ScoredLink> = pairs
+        .iter()
+        .zip(&table.scores)
+        .filter(|&(_, &s)| s > 0.0)
+        .map(|(&(l, r), &score)| ScoredLink {
             left: l,
             right: r,
             score,
@@ -170,11 +310,38 @@ pub fn align(
     links.into_iter().collect()
 }
 
-fn attrs(ds: &Dataset, entity: Term) -> AttrList {
-    ds.graph()
-        .matching(Some(entity), None, None)
-        .map(|t| (t.predicate.as_iri().expect("IRI predicate"), t.object))
-        .collect()
+/// Memoized similarity of one attribute pair's values.
+///
+/// Only pairs where both sides carry prepared text go through the memo —
+/// string comparison is the expensive kernel worth caching; numeric and
+/// temporal comparisons are a few flops, cheaper than the hash probe.
+#[inline]
+fn sim_for(
+    left_arena: &AttrArena,
+    right_arena: &AttrArena,
+    la: &PackedAttr,
+    ra: &PackedAttr,
+    memo: &SimMemo,
+    out: &mut ChunkOut,
+) -> f64 {
+    let lv = left_arena.value(la);
+    let rv = right_arena.value(ra);
+    if !(lv.is_texty() && rv.is_texty()) {
+        return prepared_similarity(lv, rv);
+    }
+    let key = (la.term, ra.term);
+    if let Some(&s) = memo.get(&key) {
+        out.hits += 1;
+        return s;
+    }
+    if let Some(&s) = out.shard.get(&key) {
+        out.hits += 1;
+        return s;
+    }
+    out.misses += 1;
+    let s = prepared_similarity(lv, rv);
+    out.shard.insert(key, s);
+    s
 }
 
 /// Pairwise relation alignment estimates.
@@ -199,54 +366,65 @@ impl RelationAlignment {
     /// matches where some value of `r` agrees (similarity above the floor)
     /// with some value of `r'`.
     ///
-    /// Walks the candidate `pairs` slice (not the score map, whose
-    /// iteration order is arbitrary) and fans chunks out over `pool`.
-    /// Chunk-local agree/seen counts merge by addition, which is exact for
-    /// integer-valued `f64` counters, so the table is independent of both
-    /// chunk boundaries and thread count.
+    /// Matched pairs are filtered sequentially (one dense-table scan), then
+    /// chunk-local agree/seen counts fan out over `pool` and merge by
+    /// addition in chunk order — exact for integer-valued `f64` counters,
+    /// so the table is independent of both chunk boundaries and thread
+    /// count. Freshly computed similarities flow back into the caller's
+    /// memo, so the scoring pass that follows starts warm.
     #[allow(clippy::too_many_arguments)]
     fn estimate(
-        left: &Dataset,
-        right: &Dataset,
-        left_attrs: &[AttrList],
-        right_attrs: &[AttrList],
+        left_arena: &AttrArena,
+        right_arena: &AttrArena,
         pairs: &[(u32, u32)],
-        scores: &HashMap<(u32, u32), f64>,
+        table: &ScoreTable,
         cfg: &AlignmentConfig,
         pool: &alex_parallel::Pool,
+        memo: &mut SimMemo,
     ) -> Self {
         type Counts = HashMap<(Sym, Sym), (f64, f64)>;
-        let counts: Counts = pool.reduce(
-            pairs,
-            Counts::new,
-            |acc, &(l, r)| {
-                let matched = scores
-                    .get(&(l, r))
-                    .is_some_and(|&s| s >= cfg.match_threshold);
-                if !matched {
-                    return;
-                }
-                let la = &left_attrs[l as usize];
-                let ra = &right_attrs[r as usize];
-                for &(lp, lo) in la {
-                    for &(rp, ro) in ra {
-                        let sim = term_similarity(left, lo, right, ro);
-                        let entry = acc.entry((lp, rp)).or_insert((0.0, 0.0));
+        let matched: Vec<(u32, u32)> = pairs
+            .iter()
+            .zip(&table.scores)
+            .filter(|&(_, &s)| s >= cfg.match_threshold)
+            .map(|(&p, _)| p)
+            .collect();
+        let chunks = pool.map_chunks(&matched, |chunk| {
+            let mut counts = Counts::new();
+            let mut out = ChunkOut {
+                scores: Vec::new(),
+                shard: SimMemo::new(),
+                hits: 0,
+                misses: 0,
+            };
+            for &(l, r) in chunk {
+                for la in left_arena.attrs(l) {
+                    for ra in right_arena.attrs(r) {
+                        let sim = sim_for(left_arena, right_arena, la, ra, memo, &mut out);
+                        let entry = counts.entry((la.pred, ra.pred)).or_insert((0.0, 0.0));
                         entry.1 += 1.0;
                         if sim >= cfg.sim_threshold {
                             entry.0 += 1.0;
                         }
                     }
                 }
-            },
-            |acc, other| {
-                for (key, (a, n)) in other {
-                    let entry = acc.entry(key).or_insert((0.0, 0.0));
-                    entry.0 += a;
-                    entry.1 += n;
-                }
-            },
-        );
+            }
+            (counts, out)
+        });
+        let mut counts = Counts::new();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (partial, out) in chunks {
+            for (key, (a, n)) in partial {
+                let entry = counts.entry(key).or_insert((0.0, 0.0));
+                entry.0 += a;
+                entry.1 += n;
+            }
+            memo.extend(out.shard);
+            hits += out.hits;
+            misses += out.misses;
+        }
+        counter!("simmemo_hits_total").add(hits);
+        counter!("simmemo_misses_total").add(misses);
         let table = counts
             .into_iter()
             .map(|(key, (a, n))| {
@@ -259,37 +437,39 @@ impl RelationAlignment {
 }
 
 /// Noisy-or combination of attribute evidence for one candidate pair.
+///
+/// Factor order is the arena's attribute order — the triple store's
+/// iteration order, identical to the pre-arena representation — so the
+/// floating-point product is byte-identical to the unpacked code path.
 #[allow(clippy::too_many_arguments)]
 fn pair_score(
-    left: &Dataset,
-    right: &Dataset,
-    l_attrs: &AttrList,
-    r_attrs: &AttrList,
+    left_arena: &AttrArena,
+    right_arena: &AttrArena,
+    l_attrs: &[PackedAttr],
+    r_attrs: &[PackedAttr],
     left_fun: &Functionality,
     right_fun: &Functionality,
     rel_align: &RelationAlignment,
-    prev_scores: &HashMap<(u32, u32), f64>,
-    left_idx: &EntityIndex,
-    right_idx: &EntityIndex,
+    prev: &ScoreTable,
+    memo: &SimMemo,
+    out: &mut ChunkOut,
     cfg: &AlignmentConfig,
 ) -> f64 {
     let mut not_equal = 1.0f64;
-    for &(lp, lo) in l_attrs {
-        for &(rp, ro) in r_attrs {
-            let mut sim = term_similarity(left, lo, right, ro);
-            // IRI-valued objects: reuse the current entity-equivalence
-            // estimate when both objects are indexed entities.
-            if lo.is_iri() && ro.is_iri() {
-                if let (Some(li), Some(ri)) = (left_idx.id(lo), right_idx.id(ro)) {
-                    if let Some(&s) = prev_scores.get(&(li, ri)) {
-                        sim = sim.max(s);
-                    }
-                }
+    for la in l_attrs {
+        for ra in r_attrs {
+            let mut sim = sim_for(left_arena, right_arena, la, ra, memo, out);
+            // IRI-valued objects: reuse the previous pass's
+            // entity-equivalence estimate when both objects are indexed
+            // entities (ids pre-resolved at arena build).
+            if let (Some(li), Some(ri)) = (la.entity, ra.entity) {
+                sim = sim.max(prev.get(li, ri));
             }
             if sim < cfg.sim_threshold {
                 continue;
             }
-            let weight = right_fun.ifun(rp).max(left_fun.ifun(lp)) * rel_align.get(lp, rp);
+            let weight = right_fun.ifun(ra.pred).max(left_fun.ifun(la.pred))
+                * rel_align.get(la.pred, ra.pred);
             let evidence = (weight * sim).clamp(0.0, 1.0);
             not_equal *= 1.0 - evidence;
         }
@@ -407,5 +587,46 @@ mod tests {
             .map(|x| x.score)
             .unwrap_or(0.0);
         assert!(s > 0.8, "player pair scored {s}");
+    }
+
+    #[test]
+    fn alignment_byte_identical_across_thread_counts() {
+        let (left, right) = build();
+        let (li, ri) = (left.entity_index(), right.entity_index());
+        let pairs = all_pairs(&li, &ri);
+        let run = |threads: usize| {
+            alex_parallel::set_threads(threads);
+            let links = align(&left, &li, &right, &ri, &pairs, &AlignmentConfig::default());
+            alex_parallel::set_threads(0);
+            links
+                .iter()
+                .map(|l| (l.left, l.right, l.score.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let base = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn simmemo_counters_reach_prometheus_export() {
+        let (left, right) = build();
+        let (li, ri) = (left.entity_index(), right.entity_index());
+        let pairs = all_pairs(&li, &ri);
+        align(&left, &li, &right, &ri, &pairs, &AlignmentConfig::default());
+        let text = alex_telemetry::global().metrics().render_prometheus();
+        for name in ["simmemo_hits_total", "simmemo_misses_total"] {
+            assert!(text.contains(&format!("# TYPE {name} counter")), "{text}");
+            // The fixture revisits every literal pair across iterations, so
+            // both counters must be strictly positive after one alignment.
+            assert!(
+                text.lines().any(|l| {
+                    l.strip_prefix(&format!("{name} "))
+                        .is_some_and(|v| v.parse::<u64>().is_ok_and(|n| n >= 1))
+                }),
+                "{name} missing or zero in export:\n{text}"
+            );
+        }
     }
 }

@@ -113,4 +113,27 @@ proptest! {
             );
         }
     }
+
+    /// PARIS alignment is byte-identical at every thread count: the
+    /// work-stealing pool's slot-indexed reassembly and the chunk-ordered
+    /// memo-shard merge must leave no trace of the schedule in the scores.
+    #[test]
+    fn paris_byte_identical_across_thread_counts(
+        names in proptest::collection::vec("[a-z]{4,9} [a-z]{4,9}", 3..9)
+    ) {
+        let (left, right) = datasets_from(&names);
+        let fingerprint = |threads: usize| {
+            alex_parallel::set_threads(threads);
+            let out = Paris::new().link(&left, &right);
+            alex_parallel::set_threads(0);
+            out.links
+                .iter()
+                .map(|l| (l.left, l.right, l.score.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let reference = fingerprint(1);
+        for threads in [2, 4, 8] {
+            prop_assert_eq!(&fingerprint(threads), &reference, "threads = {}", threads);
+        }
+    }
 }

@@ -8,12 +8,22 @@
 //! parallelism with a hard determinism contract:
 //!
 //! **Order-preserving reduction.** [`Pool::map`] splits the input slice
-//! into contiguous chunks, hands chunks to scoped worker threads through
-//! an atomic cursor (dynamic load balancing), and reassembles the per-chunk
-//! outputs *in chunk order* before returning. The returned `Vec` is
-//! byte-identical to the sequential `items.iter().map(f).collect()` at any
-//! thread count, so seeded RNG streams and first-visit Monte-Carlo episode
-//! order downstream are unaffected by `--threads`.
+//! into contiguous chunks, distributes chunk *indices* across per-worker
+//! work-stealing deques (each worker owns a contiguous block; an idle
+//! worker steals from the tail of a busy one, so skewed per-pair costs
+//! rebalance), and reassembles the per-chunk outputs *in chunk order*
+//! before returning. Which worker ran a chunk never affects where its
+//! result lands, so the returned `Vec` is byte-identical to the sequential
+//! `items.iter().map(f).collect()` at any thread count, and seeded RNG
+//! streams and first-visit Monte-Carlo episode order downstream are
+//! unaffected by `--threads`. Steals land in the `steals_total{pool}`
+//! counter.
+//!
+//! **Chunk floor.** Dispatch overhead is per-chunk, so pools whose items
+//! are very cheap (PARIS functionality counting: ~µs per triple batch) set
+//! a minimum-items-per-chunk floor via [`Pool::with_min_chunk`]; below the
+//! floor the input collapses into fewer, fatter chunks, and a single-chunk
+//! dispatch runs inline on the caller with no spawn at all.
 //!
 //! [`Pool::map_chunks`] and [`Pool::reduce`] expose the per-chunk level
 //! for map-reduce shapes (e.g. PARIS's functionality counts). Chunk
@@ -43,6 +53,7 @@
 
 #![forbid(unsafe_code)]
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -89,6 +100,7 @@ fn env_threads() -> Option<usize> {
 pub struct Pool {
     name: &'static str,
     threads: usize,
+    min_chunk: usize,
 }
 
 /// Minimum items per chunk: below this, chunking overhead (cursor
@@ -111,7 +123,20 @@ impl Pool {
         Pool {
             name,
             threads: threads.max(1),
+            min_chunk: MIN_CHUNK,
         }
+    }
+
+    /// Raise the minimum-items-per-chunk floor (the default is
+    /// [`MIN_CHUNK`]). Use for pools whose per-item work is far below
+    /// dispatch overhead — e.g. functionality counting at ~0.7µs/item,
+    /// where 32 chunks of 22µs each spend more time on dispatch than on
+    /// work. The floor only *merges* chunks; chunk boundaries still depend
+    /// solely on the configured thread count and input length, never on
+    /// scheduling, so determinism is unaffected.
+    pub fn with_min_chunk(mut self, min_chunk: usize) -> Pool {
+        self.min_chunk = min_chunk.max(1);
+        self
     }
 
     /// The pool's thread count.
@@ -119,11 +144,16 @@ impl Pool {
         self.threads
     }
 
+    /// The pool's minimum-items-per-chunk floor.
+    pub fn min_chunk(&self) -> usize {
+        self.min_chunk
+    }
+
     /// Chunk size for `len` items: aim for [`CHUNKS_PER_WORKER`] chunks
-    /// per worker, floored at [`MIN_CHUNK`].
+    /// per worker, floored at the pool's minimum chunk size.
     fn chunk_size(&self, len: usize) -> usize {
         let target = len.div_ceil(self.threads * CHUNKS_PER_WORKER);
-        target.max(MIN_CHUNK)
+        target.max(self.min_chunk)
     }
 
     /// Map `f` over `items`, returning outputs in input order —
@@ -249,10 +279,26 @@ impl Pool {
             return out;
         }
 
-        let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
         let busy_us = AtomicU64::new(0);
+        let steals = AtomicU64::new(0);
         let workers = self.threads.min(n_chunks);
+        // Work-stealing deques: worker `w` owns the contiguous block of
+        // chunk indices [w·per, min((w+1)·per, n)), popped from the front;
+        // an idle worker steals single chunks from the *back* of the first
+        // non-empty victim (round-robin from its right neighbour), so
+        // owners and thieves contend on opposite ends. Contiguous blocks
+        // keep each worker streaming through adjacent input — better cache
+        // behaviour than the old striding atomic cursor — while stealing
+        // still rebalances skewed per-chunk costs.
+        let per_worker = n_chunks.div_ceil(workers);
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = w * per_worker;
+                let hi = ((w + 1) * per_worker).min(n_chunks);
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
         let dispatched = tl.as_ref().map(|(_, path, seq)| {
             timeline::begin(
                 self.name,
@@ -269,7 +315,7 @@ impl Pool {
         });
         std::thread::scope(|s| {
             let (f, tl, chunk_labels) = (&f, &tl, &chunk_labels);
-            let (cursor, slots, busy_us) = (&cursor, &slots, &busy_us);
+            let (deques, slots, busy_us, steals) = (&deques, &slots, &busy_us, &steals);
             for worker in 0..workers {
                 s.spawn(move || {
                     // Workers inherit the caller's span context so spans
@@ -277,10 +323,25 @@ impl Pool {
                     let _ctx = tl.as_ref().map(|(ctx, _, _)| ctx.enter());
                     let start = Instant::now();
                     loop {
-                        let c = cursor.fetch_add(1, Ordering::Relaxed);
-                        if c >= n_chunks {
-                            break;
+                        // Own work first (front of own deque) …
+                        let mut next = lock_unpoisoned(&deques[worker]).pop_front();
+                        // … then steal from the back of the first
+                        // non-empty victim. A chunk index lives in exactly
+                        // one deque at any moment (popped under the
+                        // victim's lock), so no chunk runs twice; the scan
+                        // terminates because a pass finding every deque
+                        // empty means all chunks are claimed.
+                        if next.is_none() {
+                            for offset in 1..workers {
+                                let victim = (worker + offset) % workers;
+                                if let Some(c) = lock_unpoisoned(&deques[victim]).pop_back() {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    next = Some(c);
+                                    break;
+                                }
+                            }
                         }
+                        let Some(c) = next else { break };
                         let lo = c * chunk;
                         let hi = (lo + chunk).min(items.len());
                         let began = tl.as_ref().map(|(_, path, seq)| {
@@ -312,7 +373,10 @@ impl Pool {
             timeline::end(b);
         }
         self.record_busy_us(busy_us.load(Ordering::Relaxed));
+        self.record_steals(steals.load(Ordering::Relaxed));
         // Order-preserving reduction: reassemble in chunk index order.
+        // Stealing moved *which worker* ran a chunk, never *where its
+        // result lands* — slot `c` always holds chunk `c`'s output.
         slots
             .into_iter()
             .enumerate()
@@ -366,6 +430,15 @@ impl Pool {
             .metrics()
             .counter_with_labels("parallel_busy_us_total", &[("pool", self.name)])
             .add(us);
+    }
+
+    fn record_steals(&self, n: u64) {
+        if n > 0 {
+            alex_telemetry::global()
+                .metrics()
+                .counter_with_labels("steals_total", &[("pool", self.name)])
+                .add(n);
+        }
     }
 }
 
@@ -467,6 +540,69 @@ mod tests {
         assert_eq!(
             Pool::with_threads("test", 2).map_each(&[] as &[u32], |x| *x),
             Vec::<u32>::new()
+        );
+    }
+
+    #[test]
+    fn min_chunk_floor_merges_chunks() {
+        let pool = Pool::with_threads("floor_test", 8).with_min_chunk(4096);
+        assert_eq!(pool.min_chunk(), 4096);
+        // 1000 items under a 4096 floor → a single chunk, run inline.
+        let items: Vec<u32> = (0..1000).collect();
+        let chunks = pool.map_chunks(&items, |c| c.len());
+        assert_eq!(chunks, vec![1000]);
+        // Well above the floor, chunking resumes (and stays ordered).
+        let big: Vec<u32> = (0..20_000).collect();
+        let chunks = pool.map_chunks(&big, |c| c.len());
+        assert!(chunks.len() > 1);
+        assert!(chunks.iter().all(|&n| n >= 1));
+        assert_eq!(chunks.iter().sum::<usize>(), big.len());
+    }
+
+    #[test]
+    fn min_chunk_does_not_change_map_output() {
+        let items: Vec<u64> = (0..5000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x ^ 0xabcd).collect();
+        for floor in [1, 16, 1024, 100_000] {
+            let pool = Pool::with_threads("floor_test", 4).with_min_chunk(floor);
+            assert_eq!(pool.map(&items, |x| x ^ 0xabcd), expect, "floor={floor}");
+        }
+    }
+
+    #[test]
+    fn stealing_rebalances_skew_and_lands_in_counter() {
+        // Worker 0 owns the heavy front block; with block-partitioned
+        // deques the idle workers must steal from it to finish the run.
+        let items: Vec<usize> = (0..256).collect();
+        let pool = Pool::with_threads("steal_test", 4).with_min_chunk(1);
+        let out = pool.map(&items, |&i| {
+            if i < 64 {
+                std::thread::sleep(std::time::Duration::from_micros(300));
+            }
+            i * 2
+        });
+        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        // The steals counter must exist and be readable; on a 1-core host
+        // the scheduler may serialize workers so steals can be zero.
+        let _ = alex_telemetry::global()
+            .metrics()
+            .counter_with_labels("steals_total", &[("pool", "steal_test")])
+            .get();
+    }
+
+    #[test]
+    fn steals_counter_reaches_prometheus_export() {
+        // Scheduling decides whether a real run steals, so drive the
+        // recording path directly and assert the export format.
+        Pool::with_threads("steal_export", 2).record_steals(3);
+        let text = alex_telemetry::global().metrics().render_prometheus();
+        assert!(text.contains("# TYPE steals_total counter"), "{text}");
+        assert!(
+            text.lines().any(|l| {
+                l.strip_prefix("steals_total{pool=\"steal_export\"} ")
+                    .is_some_and(|v| v.parse::<u64>().is_ok_and(|n| n >= 3))
+            }),
+            "{text}"
         );
     }
 

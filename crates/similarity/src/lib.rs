@@ -17,17 +17,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod combined;
 pub mod date;
 pub mod numeric;
+pub mod prepared;
 pub mod string;
 pub mod value;
 
+pub use batch::{BatchScorer, PreparedCorpus};
 pub use combined::{term_similarity, value_similarity};
 pub use date::{date_similarity, date_year_similarity, year_similarity};
 pub use numeric::{boolean_similarity, relative_numeric, scaled_numeric};
+pub use prepared::{
+    jaccard_ids, prepared_similarity, prepared_string_similarity, PreparedText, PreparedValue,
+    TokenInterner,
+};
 pub use string::{
-    jaccard_tokens, jaro, jaro_winkler, levenshtein, levenshtein_similarity, monge_elkan_jw,
-    ngram_dice, normalize, phonetic_token_similarity, soundex, string_similarity, trigram_dice,
+    jaccard_tokens, jaro, jaro_winkler, levenshtein, levenshtein_dp, levenshtein_similarity,
+    monge_elkan_jw, myers_levenshtein, ngram_dice, normalize, phonetic_token_similarity, soundex,
+    string_similarity, trigram_dice, MyersPattern,
 };
 pub use value::{iri_local_name, sniff, typed_value, Date, TypedValue};

@@ -1,9 +1,22 @@
 //! Levenshtein edit distance and its normalized similarity.
+//!
+//! [`levenshtein`] dispatches to the bit-parallel Myers kernel
+//! ([`super::myers`]); the classic two-row dynamic program survives as
+//! [`levenshtein_dp`], the oracle the kernel is property-tested against.
 
 /// Levenshtein edit distance between two strings, by character.
 ///
-/// Uses the classic two-row dynamic program: O(|a|·|b|) time, O(min) space.
+/// Computed with the bit-parallel Myers kernel — O(|text| · ⌈|pat|/64⌉)
+/// word ops instead of the DP's O(|a|·|b|) cell updates — and equivalent
+/// to [`levenshtein_dp`] on every input (property-tested).
 pub fn levenshtein(a: &str, b: &str) -> usize {
+    super::myers::myers_levenshtein(a, b)
+}
+
+/// Levenshtein edit distance by the classic two-row dynamic program:
+/// O(|a|·|b|) time, O(min) space. Kept as the reference oracle for the
+/// bit-parallel kernel.
+pub fn levenshtein_dp(a: &str, b: &str) -> usize {
     if a == b {
         return 0;
     }
@@ -84,5 +97,17 @@ mod tests {
     #[test]
     fn similarity_of_near_strings_is_high() {
         assert!(levenshtein_similarity("drugbank", "drugbnak") > 0.7);
+    }
+
+    #[test]
+    fn dp_oracle_agrees_with_dispatch() {
+        for (a, b) in [
+            ("kitten", "sitting"),
+            ("", "abc"),
+            ("café", "cafe"),
+            ("same", "same"),
+        ] {
+            assert_eq!(levenshtein(a, b), levenshtein_dp(a, b), "{a:?} vs {b:?}");
+        }
     }
 }

@@ -3,13 +3,15 @@
 pub mod jaccard;
 pub mod jaro;
 pub mod levenshtein;
+pub mod myers;
 pub mod ngram;
 pub mod normalize;
 pub mod phonetic;
 
 pub use jaccard::jaccard_tokens;
 pub use jaro::{jaro, jaro_winkler};
-pub use levenshtein::{levenshtein, levenshtein_similarity};
+pub use levenshtein::{levenshtein, levenshtein_dp, levenshtein_similarity};
+pub use myers::{myers_levenshtein, MyersPattern};
 pub use ngram::{ngram_dice, trigram_dice};
 pub use normalize::{normalize, normalized_tokens, tokenize};
 pub use phonetic::{phonetic_token_similarity, soundex};
@@ -23,15 +25,11 @@ fn token_similarity(a: &str, b: &str) -> f64 {
     (jaro_winkler(a, b) + levenshtein_similarity(a, b)) / 2.0
 }
 
-/// Symmetric Monge-Elkan similarity with a blended Jaro-Winkler/Levenshtein
-/// token measure as the inner
-/// measure: each token is matched to its best counterpart, averaged, and the
-/// two directions are averaged. The standard hybrid for multi-word entity
-/// names — tolerant to token reordering and per-token typos, but not fooled
-/// by whole-string letter overlap.
-pub fn monge_elkan_jw(a: &str, b: &str) -> f64 {
-    let ta = tokenize(a);
-    let tb = tokenize(b);
+/// Symmetric Monge-Elkan over already-tokenized inputs — the shared core of
+/// [`monge_elkan_jw`] and the pre-tokenized paths in [`crate::prepared`] and
+/// [`crate::batch`], which must score byte-identically to the string entry
+/// point.
+pub(crate) fn monge_elkan_tokens(ta: &[&str], tb: &[&str]) -> f64 {
     if ta.is_empty() && tb.is_empty() {
         return 1.0;
     }
@@ -49,7 +47,17 @@ pub fn monge_elkan_jw(a: &str, b: &str) -> f64 {
             .sum();
         total / xs.len() as f64
     };
-    (dir(&ta, &tb) + dir(&tb, &ta)) / 2.0
+    (dir(ta, tb) + dir(tb, ta)) / 2.0
+}
+
+/// Symmetric Monge-Elkan similarity with a blended Jaro-Winkler/Levenshtein
+/// token measure as the inner
+/// measure: each token is matched to its best counterpart, averaged, and the
+/// two directions are averaged. The standard hybrid for multi-word entity
+/// names — tolerant to token reordering and per-token typos, but not fooled
+/// by whole-string letter overlap.
+pub fn monge_elkan_jw(a: &str, b: &str) -> f64 {
+    monge_elkan_tokens(&tokenize(a), &tokenize(b))
 }
 
 /// The combined string similarity used for feature values: the maximum of

@@ -2,9 +2,10 @@
 //! symmetric, bounded to [0, 1], and return 1.0 on identical inputs.
 
 use alex_sim::{
-    jaccard_tokens, jaro, jaro_winkler, levenshtein, levenshtein_similarity, normalize,
+    jaccard_ids, jaccard_tokens, jaro, jaro_winkler, levenshtein, levenshtein_dp,
+    levenshtein_similarity, myers_levenshtein, normalize, prepared_string_similarity,
     relative_numeric, scaled_numeric, string_similarity, trigram_dice, value_similarity,
-    TypedValue,
+    MyersPattern, PreparedText, TokenInterner, TypedValue,
 };
 use proptest::prelude::*;
 
@@ -109,5 +110,65 @@ proptest! {
         let s1 = value_similarity(&va, &vb);
         prop_assert!(unit(s1));
         prop_assert!((s1 - value_similarity(&vb, &va)).abs() < 1e-9);
+    }
+
+    /// The bit-parallel Myers kernel is exactly the classic DP on short
+    /// strings (single u64 block) — including empty strings.
+    #[test]
+    fn myers_equals_dp_single_block(a in ".{0,24}", b in ".{0,24}") {
+        prop_assert_eq!(myers_levenshtein(&a, &b), levenshtein_dp(&a, &b));
+    }
+
+    /// …and on long strings that cross the 64-character block boundary,
+    /// exercising the multi-block carry chain.
+    #[test]
+    fn myers_equals_dp_multi_block(a in ".{55,90}", b in ".{55,90}") {
+        prop_assert_eq!(myers_levenshtein(&a, &b), levenshtein_dp(&a, &b));
+    }
+
+    /// …and with combining diacritics appended/injected, so the kernel's
+    /// char-level (not byte-level) handling matches the DP's.
+    #[test]
+    fn myers_equals_dp_combining_chars(a in ".{0,70}", b in ".{0,70}") {
+        // U+0301 combining acute, U+0308 combining diaeresis — standalone
+        // combining marks are valid chars the DP treats as units.
+        let a = format!("e\u{0301}{a}\u{0308}");
+        let b = format!("{b}\u{0301}");
+        prop_assert_eq!(myers_levenshtein(&a, &b), levenshtein_dp(&a, &b));
+    }
+
+    /// A precompiled pattern answers exactly what the one-shot kernel and
+    /// the DP answer, for every candidate — long or empty.
+    #[test]
+    fn myers_pattern_equals_dp(p in ".{0,80}", c in ".{0,80}") {
+        let pat = MyersPattern::new(&p);
+        prop_assert_eq!(pat.distance(&c), levenshtein_dp(&p, &c));
+    }
+
+    /// Interned sorted-id Jaccard is bitwise equal to the string-token
+    /// `HashSet` formulation when both texts are prepared against one
+    /// shared interner.
+    #[test]
+    fn interned_jaccard_equals_string_jaccard(a in ".{0,60}", b in ".{0,60}") {
+        let mut interner = TokenInterner::new();
+        let pa = PreparedText::prepare(&a, &mut interner);
+        let pb = PreparedText::prepare(&b, &mut interner);
+        let fast = jaccard_ids(pa.token_ids(), pb.token_ids());
+        let slow = jaccard_tokens(&a, &b);
+        prop_assert_eq!(fast.to_bits(), slow.to_bits());
+    }
+
+    /// The full prepared string kernel (batch Monge-Elkan + interned
+    /// Jaccard) is bitwise equal to `string_similarity`, including on
+    /// block-crossing and combining-mark inputs.
+    #[test]
+    fn prepared_equals_string_similarity(a in ".{0,70}", b in ".{0,70}") {
+        let a = format!("{a}\u{0301}");
+        let mut interner = TokenInterner::new();
+        let pa = PreparedText::prepare(&a, &mut interner);
+        let pb = PreparedText::prepare(&b, &mut interner);
+        let fast = prepared_string_similarity(&pa, &pb);
+        let slow = string_similarity(&a, &b);
+        prop_assert_eq!(fast.to_bits(), slow.to_bits());
     }
 }

@@ -26,6 +26,11 @@ cargo clippy -p alex-telemetry -- -D warnings
 # The trust subsystem gates every feedback-driven mutation; it must stay
 # panic-free too (crate-wide unwrap/expect deny, see crates/trust/src/lib.rs).
 cargo clippy -p alex-trust -- -D warnings
+# The similarity kernels and the deterministic pool are the alignment hot
+# path: the bit-parallel/interned/batch kernels and the work-stealing
+# scheduler must stay warning-free.
+cargo clippy -p alex-sim -- -D warnings
+cargo clippy -p alex-parallel -- -D warnings
 
 echo "==> cargo test (ALEX_THREADS=1: deterministic pool runs inline)"
 ALEX_THREADS=1 cargo test --workspace -q
@@ -37,6 +42,16 @@ ALEX_THREADS=4 cargo test --workspace -q
 
 echo "==> cargo bench --no-run (bench targets must compile)"
 cargo bench --workspace --no-run -q
+
+echo "==> kernel equivalence properties (myers ≡ DP, interned ≡ string jaccard)"
+# The fast kernels must stay bitwise-equal to their slow oracles, including
+# multi-block (>64 chars) and combining-mark inputs, and PARIS alignment
+# must stay byte-identical across thread counts.
+cargo test -p alex-sim --test properties -q
+cargo test -p alex-linking --test properties -q
+
+echo "==> kernel bench compiles (throughput gate target)"
+cargo bench -p alex-bench --bench kernels --no-run -q
 
 echo "==> chaos suite (seeded fault injection over the full improve loop)"
 cargo test --test chaos_federation -q
