@@ -169,6 +169,7 @@ fn representative_payloads(
     let record = encode_episode(&EpisodeRecord {
         items,
         source_state: source_state.clone(),
+        degraded: false,
     });
     let snapshot = encode_snapshot(&RunSnapshot {
         base_fingerprint: 0,
@@ -190,6 +191,7 @@ fn representative_payloads(
                 negative_feedback_frac: e.negative_feedback_frac,
                 rollbacks: e.rollbacks as u64,
                 change_frac: e.change_frac,
+                degraded: e.degraded,
             })
             .collect(),
         agent: agent.capture_state(),

@@ -14,6 +14,7 @@
 use std::collections::HashSet;
 use std::time::Duration;
 
+use alex_guard::{BreachPolicy, Supervisor};
 use alex_store::{Recovery, Store};
 use alex_telemetry::{counter, emit, span, Event};
 
@@ -38,6 +39,10 @@ pub enum StopReason {
     /// A durable run suspended itself after `stop_after` committed episodes
     /// (kill-and-resume harness); resume with [`Durability::resume`].
     Suspended,
+    /// A supervised run breached its budget under
+    /// [`alex_guard::BreachPolicy::Stop`]: the breaching episode was
+    /// finalized (and journaled, when durable) before stopping.
+    BudgetExhausted,
 }
 
 /// The full record of a run.
@@ -68,6 +73,23 @@ impl RunReport {
             .last()
             .map(|e| e.quality)
             .unwrap_or(self.initial_quality)
+    }
+
+    /// Episodes that breached their budget and were marked degraded.
+    pub fn degraded_episodes(&self) -> usize {
+        self.episodes.iter().filter(|e| e.degraded).count()
+    }
+
+    /// The run's completeness stamp: `true` only when no episode was
+    /// degraded and the run neither suspended nor stopped on a budget
+    /// breach — i.e. the report describes the run the configuration asked
+    /// for, not a truncated or overrun one.
+    pub fn is_complete(&self) -> bool {
+        self.degraded_episodes() == 0
+            && !matches!(
+                self.stop,
+                StopReason::Suspended | StopReason::BudgetExhausted
+            )
     }
 }
 
@@ -183,6 +205,7 @@ fn note_episode(
     episode: usize,
     summary: &EpisodeSummary,
     duration: Duration,
+    degraded: bool,
 ) {
     let current = agent.candidates().snapshot();
     let changed = current.symmetric_difference(&st.prev).count();
@@ -211,7 +234,11 @@ fn note_episode(
         rollbacks: summary.rollbacks,
         change_frac,
         duration,
+        degraded,
     });
+    if degraded {
+        counter!("episodes_degraded_total").inc();
+    }
     emit!(Event::EpisodeEnd {
         episode: episode as u64,
         precision: quality.precision,
@@ -226,6 +253,7 @@ fn note_episode(
         trust_admitted: summary.admitted as u64,
         trust_deferred: summary.deferred as u64,
         trust_cascades: summary.cascades as u64,
+        degraded,
     });
 
     if st.relaxed_converged_at.is_none() && change_frac < agent.config().relaxed_convergence_frac {
@@ -272,6 +300,7 @@ fn snapshot_payload(
                 negative_feedback_frac: e.negative_feedback_frac,
                 rollbacks: e.rollbacks as u64,
                 change_frac: e.change_frac,
+                degraded: e.degraded,
             })
             .collect(),
         agent: agent.capture_state(),
@@ -286,7 +315,7 @@ pub fn run(
     source: &mut dyn FeedbackSource,
     truth: &HashSet<(u32, u32)>,
 ) -> RunReport {
-    match run_impl(agent, source, truth, None) {
+    match run_impl(agent, source, truth, None, None) {
         Ok(report) => report,
         // Without durability there is no I/O and no recovery: nothing in
         // run_impl can fail.
@@ -308,7 +337,40 @@ pub fn run_durable(
     truth: &HashSet<(u32, u32)>,
     durability: Durability<'_>,
 ) -> Result<RunReport, String> {
-    run_impl(agent, source, truth, Some(durability))
+    run_impl(agent, source, truth, Some(durability), None)
+}
+
+/// Run under budget supervision (see `alex-guard`): the supervisor is
+/// consulted at every episode boundary; a breaching episode is finalized
+/// normally but marked degraded, and the run then continues or stops per
+/// the supervisor's [`BreachPolicy`]. The report's
+/// [`RunReport::is_complete`] stamp records whether any budget was hit.
+pub fn run_supervised(
+    agent: &mut Agent,
+    source: &mut dyn FeedbackSource,
+    truth: &HashSet<(u32, u32)>,
+    supervisor: &mut Supervisor,
+) -> RunReport {
+    match run_impl(agent, source, truth, None, Some(supervisor)) {
+        Ok(report) => report,
+        // Without durability there is no I/O and no recovery: nothing in
+        // run_impl can fail.
+        Err(e) => unreachable!("non-durable run cannot fail: {e}"),
+    }
+}
+
+/// [`run_durable`] plus budget supervision: breach markers are journaled
+/// inside each episode's WAL record, so a resumed run replays the
+/// degraded flags instead of re-measuring wall clocks it cannot
+/// reproduce.
+pub fn run_durable_supervised(
+    agent: &mut Agent,
+    source: &mut dyn FeedbackSource,
+    truth: &HashSet<(u32, u32)>,
+    durability: Durability<'_>,
+    supervisor: &mut Supervisor,
+) -> Result<RunReport, String> {
+    run_impl(agent, source, truth, Some(durability), Some(supervisor))
 }
 
 fn run_impl(
@@ -316,6 +378,7 @@ fn run_impl(
     source: &mut dyn FeedbackSource,
     truth: &HashSet<(u32, u32)>,
     mut durability: Option<Durability<'_>>,
+    mut supervisor: Option<&mut Supervisor>,
 ) -> Result<RunReport, String> {
     let run_span = span("improve");
     let initial_quality = {
@@ -405,6 +468,7 @@ fn run_impl(
                         // Wall-clock time belongs to the original session;
                         // resume identity excludes durations.
                         duration: Duration::ZERO,
+                        degraded: e.degraded,
                     })
                     .collect();
                 st.prev = agent.candidates().snapshot();
@@ -428,6 +492,8 @@ fn run_impl(
                 let record = persist::decode_episode(payload)?;
                 let summary = agent.replay_episode(&record.items)?;
                 source.restore_durable_state(&record.source_state)?;
+                // The degraded marker is replayed from the WAL record, not
+                // re-measured: wall clocks are not reproducible.
                 note_episode(
                     agent,
                     truth,
@@ -435,6 +501,7 @@ fn run_impl(
                     *seq as usize,
                     &summary,
                     episode_span.elapsed(),
+                    record.degraded,
                 );
                 if st.stop.is_some() {
                     break;
@@ -479,6 +546,19 @@ fn run_impl(
                 break;
             }
 
+            // Budget check at the episode boundary, before the commit, so
+            // the degraded marker travels inside the episode's own WAL
+            // record and resume replays it for free.
+            let mut degraded = false;
+            if let Some(sup) = supervisor.as_deref_mut() {
+                if let Some(breach) =
+                    sup.after_episode(episode as u64, duration, summary.feedback_items() as u64)
+                {
+                    degraded = true;
+                    let _ = breach;
+                }
+            }
+
             if let Some(d) = durability.as_mut() {
                 // Commit before acting on the episode: once append returns,
                 // this episode survives a crash.
@@ -488,6 +568,7 @@ fn run_impl(
                 let record = persist::encode_episode(&EpisodeRecord {
                     items,
                     source_state,
+                    degraded,
                 });
                 d.store
                     .append_episode(episode as u64, &record)
@@ -495,7 +576,17 @@ fn run_impl(
                 counter!("store_journal_records_total").inc();
             }
 
-            note_episode(agent, truth, &mut st, episode, &summary, duration);
+            note_episode(agent, truth, &mut st, episode, &summary, duration, degraded);
+
+            if degraded
+                && st.stop.is_none()
+                && supervisor.as_ref().map(|s| s.policy()) == Some(BreachPolicy::Stop)
+            {
+                // Finalize-then-stop: the breaching episode is already
+                // committed and reported; the final snapshot below stamps
+                // the run completed so a later --resume refuses cleanly.
+                st.stop = Some(StopReason::BudgetExhausted);
+            }
 
             if let Some(d) = durability.as_mut() {
                 committed_this_session += 1;
@@ -707,7 +798,7 @@ mod tests {
         )];
         for e in &r.episodes {
             out.push(format!(
-                "ep {} q {:?} cand {} correct {} +{} -{} neg {} rb {} chg {}",
+                "ep {} q {:?} cand {} correct {} +{} -{} neg {} rb {} chg {} deg {}",
                 e.episode,
                 e.quality,
                 e.candidates,
@@ -716,7 +807,8 @@ mod tests {
                 e.removed,
                 e.negative_feedback_frac,
                 e.rollbacks,
-                e.change_frac
+                e.change_frac,
+                e.degraded
             ));
         }
         out
@@ -946,6 +1038,141 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("durable state"), "unexpected error: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // --------------------------------------------------------- supervised
+
+    use alex_guard::Budget;
+
+    #[test]
+    fn supervised_unlimited_budget_matches_plain_run() {
+        let (space, truth) = build();
+        let initial: Vec<(u32, u32)> = truth.iter().copied().take(3).collect();
+
+        let mut plain_agent = Agent::new(space.clone(), &initial, cfg());
+        let mut plain_oracle = OracleFeedback::new(truth.clone(), 21);
+        let plain = run(&mut plain_agent, &mut plain_oracle, &truth);
+
+        let mut agent = Agent::new(space, &initial, cfg());
+        let mut oracle = OracleFeedback::new(truth.clone(), 21);
+        let mut sup = Supervisor::new(Budget::unlimited(), BreachPolicy::Stop);
+        let supervised = run_supervised(&mut agent, &mut oracle, &truth, &mut sup);
+
+        assert_eq!(report_identity(&plain), report_identity(&supervised));
+        assert_eq!(plain_agent.capture_state(), agent.capture_state());
+        assert_eq!(sup.breaches(), 0);
+        assert!(supervised.is_complete());
+        assert_eq!(supervised.degraded_episodes(), 0);
+    }
+
+    #[test]
+    fn item_quota_breach_degrades_and_stops_under_stop_policy() {
+        let (space, truth) = build();
+        let initial: Vec<(u32, u32)> = truth.iter().copied().take(3).collect();
+        let mut agent = Agent::new(space, &initial, cfg());
+        let mut oracle = OracleFeedback::new(truth.clone(), 22);
+        // One feedback item total: the first episode breaches the quota.
+        let mut sup = Supervisor::new(Budget::unlimited().max_items(1), BreachPolicy::Stop);
+        let report = run_supervised(&mut agent, &mut oracle, &truth, &mut sup);
+
+        assert_eq!(report.stop, StopReason::BudgetExhausted);
+        assert_eq!(
+            report.episode_count(),
+            1,
+            "finalize-then-stop keeps the breaching episode"
+        );
+        assert_eq!(report.degraded_episodes(), 1);
+        assert!(report.episodes[0].degraded);
+        assert!(!report.is_complete());
+        assert_eq!(sup.breaches(), 1);
+    }
+
+    #[test]
+    fn item_quota_breach_continues_under_continue_policy() {
+        let (space, truth) = build();
+        let initial: Vec<(u32, u32)> = truth.iter().copied().take(3).collect();
+
+        let mut plain_agent = Agent::new(space.clone(), &initial, cfg());
+        let mut plain_oracle = OracleFeedback::new(truth.clone(), 23);
+        let plain = run(&mut plain_agent, &mut plain_oracle, &truth);
+
+        let mut agent = Agent::new(space, &initial, cfg());
+        let mut oracle = OracleFeedback::new(truth.clone(), 23);
+        let mut sup = Supervisor::new(Budget::unlimited().max_items(1), BreachPolicy::Continue);
+        let report = run_supervised(&mut agent, &mut oracle, &truth, &mut sup);
+
+        // Degradation is recorded but never changes the run's trajectory:
+        // every episode breaches the quota yet the run ends as the plain
+        // run does.
+        assert_ne!(report.stop, StopReason::BudgetExhausted);
+        assert_eq!(report.episode_count(), plain.episode_count());
+        assert_eq!(report.degraded_episodes(), report.episode_count());
+        assert!(!report.is_complete());
+        assert_eq!(sup.breaches(), report.episode_count() as u64);
+        assert_eq!(plain_agent.capture_state(), agent.capture_state());
+    }
+
+    #[test]
+    fn durable_supervised_resume_replays_degraded_markers() {
+        let (space, truth) = build();
+        let initial: Vec<(u32, u32)> = truth.iter().copied().take(3).collect();
+
+        // Reference: one uninterrupted supervised durable run.
+        let dir_ref = tmpdir("sup-ref");
+        let (mut store, recovery) = DirectStore::open(&dir_ref).unwrap();
+        let mut ref_agent = Agent::new(space.clone(), &initial, cfg());
+        let mut ref_oracle = OracleFeedback::new(truth.clone(), 24);
+        let mut ref_sup = Supervisor::new(Budget::unlimited().max_items(1), BreachPolicy::Continue);
+        let reference = run_durable_supervised(
+            &mut ref_agent,
+            &mut ref_oracle,
+            &truth,
+            Durability::new(&mut store, recovery),
+            &mut ref_sup,
+        )
+        .unwrap();
+        assert!(reference.degraded_episodes() > 0);
+        assert!(
+            reference.episode_count() > 1,
+            "need >1 episode to suspend mid-run"
+        );
+
+        // Same run, suspended after three episodes, then resumed WITHOUT a
+        // supervisor: the degraded markers must come back from the WAL.
+        let dir = tmpdir("sup-resume");
+        let (mut store, recovery) = DirectStore::open(&dir).unwrap();
+        let mut agent = Agent::new(space.clone(), &initial, cfg());
+        let mut oracle = OracleFeedback::new(truth.clone(), 24);
+        let mut sup = Supervisor::new(Budget::unlimited().max_items(1), BreachPolicy::Continue);
+        let suspended = run_durable_supervised(
+            &mut agent,
+            &mut oracle,
+            &truth,
+            Durability::new(&mut store, recovery).stop_after(1),
+            &mut sup,
+        )
+        .unwrap();
+        assert_eq!(suspended.stop, StopReason::Suspended);
+        assert_eq!(suspended.degraded_episodes(), 1);
+        drop(store);
+
+        let (mut store, recovery) = DirectStore::open(&dir).unwrap();
+        let mut agent2 = Agent::new(space, &initial, cfg());
+        let mut oracle2 = OracleFeedback::new(truth.clone(), 24);
+        let mut sup2 = Supervisor::new(Budget::unlimited().max_items(1), BreachPolicy::Continue);
+        let resumed = run_durable_supervised(
+            &mut agent2,
+            &mut oracle2,
+            &truth,
+            Durability::new(&mut store, recovery).resume(true),
+            &mut sup2,
+        )
+        .unwrap();
+
+        assert_eq!(report_identity(&reference), report_identity(&resumed));
+        assert_eq!(ref_agent.capture_state(), agent2.capture_state());
+        let _ = std::fs::remove_dir_all(&dir_ref);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -94,6 +94,10 @@ pub struct EpisodeReport {
     pub change_frac: f64,
     /// Wall-clock duration of the episode.
     pub duration: std::time::Duration,
+    /// Whether the episode breached its budget (run supervision, §16):
+    /// the episode still committed normally, but the run's completeness
+    /// stamp records the overrun.
+    pub degraded: bool,
 }
 
 /// Allow sampling-free quality math to be checked exactly.

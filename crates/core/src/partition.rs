@@ -148,6 +148,7 @@ impl PartitionState {
             rollbacks: summary.rollbacks,
             change_frac,
             duration,
+            degraded: false,
         });
         self.prev = current;
         (
@@ -354,6 +355,7 @@ pub fn run_partitioned(
             rollbacks,
             change_frac,
             duration,
+            degraded: false,
         });
         emit!(Event::EpisodeEnd {
             episode: episode as u64,
@@ -370,6 +372,8 @@ pub fn run_partitioned(
             trust_admitted: 0,
             trust_deferred: 0,
             trust_cascades: 0,
+            // Budget supervision runs single-partition only.
+            degraded: false,
         });
         if relaxed_converged_at.is_none() && change_frac < cfg.alex.relaxed_convergence_frac {
             relaxed_converged_at = Some(episode);

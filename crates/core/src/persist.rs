@@ -24,10 +24,12 @@ use alex_store::{ByteReader, ByteWriter};
 use crate::config::AlexConfig;
 
 /// Version of the domain encoding (independent of the store-layer framing).
+/// Version 3 added the `degraded` budget-breach marker to episode stats
+/// and journal records (run supervision).
 /// Version 2 added feedback-source attribution to journal items and the
 /// trust-layer block (reliability counts, pending quorum votes, admission
 /// log) to snapshots.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Serialized learning state of an [`crate::Agent`], captured after an
 /// episode boundary.
@@ -161,6 +163,9 @@ pub struct EpisodeStats {
     pub rollbacks: u64,
     /// Fraction of links changed vs the previous episode.
     pub change_frac: f64,
+    /// Whether the episode breached its budget (run supervision): the
+    /// marker is journaled, never recomputed, so resume reproduces it.
+    pub degraded: bool,
 }
 
 /// One full-run snapshot: agent state plus driver bookkeeping.
@@ -194,6 +199,10 @@ pub struct EpisodeRecord {
     pub items: Vec<(u32, u32, bool, u32)>,
     /// Feedback-source state after the episode.
     pub source_state: Vec<u8>,
+    /// Whether this episode breached its budget (run supervision). Stored
+    /// in the WAL so a resumed run replays the degraded marker instead of
+    /// re-measuring a wall clock it cannot reproduce.
+    pub degraded: bool,
 }
 
 fn fnv_mix(h: &mut u64, v: u64) {
@@ -280,6 +289,7 @@ pub fn encode_snapshot(s: &RunSnapshot) -> Vec<u8> {
         w.f64(e.negative_feedback_frac);
         w.u64(e.rollbacks);
         w.f64(e.change_frac);
+        w.u8(u8::from(e.degraded));
     }
     let a = &s.agent;
     for word in a.rng {
@@ -578,6 +588,7 @@ pub fn decode_snapshot(payload: &[u8]) -> Result<RunSnapshot, String> {
             negative_feedback_frac: r.f64("stat negative frac").map_err(map)?,
             rollbacks: r.u64("stat rollbacks").map_err(map)?,
             change_frac: r.f64("stat change frac").map_err(map)?,
+            degraded: r.u8("stat degraded").map_err(map)? != 0,
         });
     }
     let mut rng = [0u64; 4];
@@ -704,6 +715,7 @@ pub fn encode_episode(record: &EpisodeRecord) -> Vec<u8> {
         w.u32(source);
     }
     w.bytes(&record.source_state);
+    w.u8(u8::from(record.degraded));
     w.finish()
 }
 
@@ -728,10 +740,12 @@ pub fn decode_episode(payload: &[u8]) -> Result<EpisodeRecord, String> {
         ));
     }
     let source_state = r.bytes("episode source state").map_err(map)?.to_vec();
+    let degraded = r.u8("episode degraded").map_err(map)? != 0;
     r.expect_exhausted("episode trailer").map_err(map)?;
     Ok(EpisodeRecord {
         items,
         source_state,
+        degraded,
     })
 }
 
@@ -758,6 +772,7 @@ mod tests {
                 negative_feedback_frac: 0.25,
                 rollbacks: 0,
                 change_frac: 0.125,
+                degraded: true,
             }],
             agent: AgentState {
                 rng: [1, 2, 3, u64::MAX],
@@ -856,6 +871,7 @@ mod tests {
         let rec = EpisodeRecord {
             items: vec![(0, 0, true, 1), (3, 7, false, 0)],
             source_state: vec![1, 2, 3],
+            degraded: true,
         };
         let bytes = encode_episode(&rec);
         assert_eq!(decode_episode(&bytes).unwrap(), rec);
@@ -881,6 +897,7 @@ mod tests {
         let mut bytes = encode_episode(&EpisodeRecord {
             items: vec![],
             source_state: vec![],
+            degraded: false,
         });
         bytes.push(0);
         assert!(decode_episode(&bytes).is_err());

@@ -49,11 +49,36 @@
 //! caller. Disabled, the instrumentation costs one relaxed atomic load
 //! per dispatch.
 //!
+//! **Panic isolation.** Every chunk job runs under
+//! [`std::panic::catch_unwind`]; a panicking chunk never takes down a
+//! worker, never poisons the deques (the locks are poison-recovered
+//! anyway), and never costs the other chunks their results. What happens
+//! next is the process-wide [`PanicPolicy`] (the `--panic-policy` flag):
+//! under `quarantine` (the default) the panic is counted in
+//! `panics_caught_total` and the chunk is deterministically re-executed
+//! *sequentially on the dispatching thread* during ordered reassembly, so
+//! the output stays byte-identical at any thread count and a
+//! deterministic panic still surfaces — on the retry, from the caller,
+//! exactly as it would at `--threads 1`; under `fail` the lowest-index
+//! panicking chunk's payload is rethrown on the caller after all workers
+//! drain. Callers that own recovery themselves use the fallible
+//! [`Pool::try_map`] / [`Pool::try_map_chunks`], which surface a
+//! structured [`PoolError`] instead of unwinding.
+//!
+//! The [`chaos`] module injects seeded per-chunk faults (panic, stall,
+//! allocation spike) for the supervisor test suites; injection fires at
+//! chunk entry, before the job closure, so a quarantine retry runs the
+//! closure exactly once.
+//!
 //! Zero dependencies outside the workspace: `std::thread::scope` only.
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
+
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -91,6 +116,101 @@ fn env_threads() -> Option<usize> {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
+}
+
+/// How a pool treats a panicking chunk job (the `--panic-policy` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PanicPolicy {
+    /// Catch and count the panic, then deterministically re-execute the
+    /// chunk sequentially on the dispatching thread during reassembly.
+    #[default]
+    Quarantine,
+    /// Rethrow the lowest-index panicking chunk's payload on the
+    /// dispatching thread once all workers have drained.
+    Fail,
+}
+
+impl std::str::FromStr for PanicPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<PanicPolicy, String> {
+        match s {
+            "quarantine" => Ok(PanicPolicy::Quarantine),
+            "fail" => Ok(PanicPolicy::Fail),
+            other => Err(format!(
+                "unknown panic policy {other:?} (expected quarantine|fail)"
+            )),
+        }
+    }
+}
+
+/// Process-wide panic policy; 0 = quarantine (default), 1 = fail.
+static PANIC_POLICY: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide [`PanicPolicy`] (the `--panic-policy` CLI flag).
+pub fn set_panic_policy(policy: PanicPolicy) {
+    PANIC_POLICY.store(policy as usize, Ordering::SeqCst);
+}
+
+/// The current process-wide [`PanicPolicy`].
+pub fn panic_policy() -> PanicPolicy {
+    match PANIC_POLICY.load(Ordering::SeqCst) {
+        1 => PanicPolicy::Fail,
+        _ => PanicPolicy::Quarantine,
+    }
+}
+
+/// A pool dispatch failed: a chunk job panicked. Returned by the fallible
+/// entry points ([`Pool::try_map`], [`Pool::try_map_chunks`]) instead of
+/// unwinding, so callers can report or retry without `catch_unwind` of
+/// their own. When several chunks panic, the lowest chunk index is
+/// reported — a deterministic choice at any thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// The pool's telemetry name.
+    pub pool: &'static str,
+    /// Index of the (lowest) panicking chunk.
+    pub chunk: usize,
+    /// The panic payload, rendered: `String`/`&str` payloads verbatim,
+    /// anything else as a placeholder.
+    pub message: String,
+}
+
+impl PoolError {
+    fn new(pool: &'static str, chunk: usize, payload: &(dyn Any + Send)) -> PoolError {
+        let message = if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        PoolError {
+            pool,
+            chunk,
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pool {}: chunk {} panicked: {}",
+            self.pool, self.chunk, self.message
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// What a dispatch does with caught panics: follow the process-wide
+/// [`PanicPolicy`], or hand back a structured [`PoolError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Recovery {
+    Policy,
+    Structured,
 }
 
 /// A named worker pool. Creation is free — threads are scoped to each
@@ -203,20 +323,79 @@ impl Pool {
         self.run_chunks(items, chunk, f)
     }
 
-    /// Shared engine behind `map_chunks`/`map_each`: split into chunks of
-    /// `chunk` items, run on up to `threads` scoped workers via an atomic
-    /// cursor, reassemble in chunk order.
+    /// Fallible [`Pool::map`]: a panicking job yields `Err(`[`PoolError`]`)`
+    /// instead of unwinding or quarantine-retrying — for callers that own
+    /// recovery themselves. On success, output is byte-identical to `map`.
+    pub fn try_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, PoolError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let per_chunk =
+            self.try_map_chunks(items, |chunk| chunk.iter().map(&f).collect::<Vec<R>>())?;
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in per_chunk {
+            out.extend(chunk);
+        }
+        Ok(out)
+    }
+
+    /// Fallible [`Pool::map_chunks`]: a panicking chunk job yields
+    /// `Err(`[`PoolError`]`)` naming the lowest panicking chunk, instead of
+    /// unwinding or quarantine-retrying.
+    pub fn try_map_chunks<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, PoolError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> R + Sync,
+    {
+        let chunk = self.chunk_size(items.len().max(1));
+        self.dispatch(items, chunk, f, Recovery::Structured)
+    }
+
+    /// Infallible engine behind `map`/`map_chunks`/`map_each`: dispatch
+    /// under the process-wide [`PanicPolicy`]. Quarantine retries make
+    /// this total; `fail` rethrows on the caller, so `Err` is impossible.
     fn run_chunks<T, R, F>(&self, items: &[T], chunk: usize, f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(&[T]) -> R + Sync,
     {
+        match self.dispatch(items, chunk, f, Recovery::Policy) {
+            Ok(out) => out,
+            // Policy-mode dispatch never constructs a PoolError.
+            Err(e) => panic!("pool {}: {e}", self.name),
+        }
+    }
+
+    /// Shared engine: split into chunks of `chunk` items, run on up to
+    /// `threads` scoped workers over work-stealing deques, reassemble in
+    /// chunk order. Chunk jobs run under `catch_unwind`; `recovery` says
+    /// whether caught panics follow the process [`PanicPolicy`] or come
+    /// back as a structured [`PoolError`].
+    fn dispatch<T, R, F>(
+        &self,
+        items: &[T],
+        chunk: usize,
+        f: F,
+        recovery: Recovery,
+    ) -> Result<Vec<R>, PoolError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> R + Sync,
+    {
         if items.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let n_chunks = items.len().div_ceil(chunk);
         self.record(items.len(), n_chunks);
+        // Seeded chaos (tests only): reserve this dispatch's block of
+        // global chunk ids on the dispatching thread, so ids are
+        // reproducible at any thread count. None when chaos is off.
+        let chaos = chaos::reserve(n_chunks);
 
         // Timeline instrumentation: when disabled this is one relaxed
         // atomic load; when enabled, capture the caller's span context and
@@ -258,28 +437,73 @@ impl Pool {
                     }),
                 )
             });
-            let out = items
-                .chunks(chunk)
-                .enumerate()
-                .map(|(c, part)| {
-                    let began = tl.as_ref().map(|(_, path, seq)| {
-                        timeline::begin(self.name, path, Some(chunk_labels(*seq, 0, c, part.len())))
-                    });
-                    let result = f(part);
-                    if let Some(b) = began {
-                        timeline::end(b);
+            let mut out = Vec::with_capacity(n_chunks);
+            for (c, part) in items.chunks(chunk).enumerate() {
+                let began = tl.as_ref().map(|(_, path, seq)| {
+                    timeline::begin(self.name, path, Some(chunk_labels(*seq, 0, c, part.len())))
+                });
+                let result = run_job(&f, part, &chaos, c);
+                if let Some(b) = began {
+                    timeline::end(b);
+                }
+                match result {
+                    Ok(r) => out.push(r),
+                    Err(payload) => {
+                        self.note_panics(1);
+                        match recovery {
+                            Recovery::Structured => {
+                                if let Some(b) = dispatched {
+                                    timeline::end(b);
+                                }
+                                self.record_busy(start.elapsed());
+                                return Err(PoolError::new(self.name, c, payload.as_ref()));
+                            }
+                            Recovery::Policy => match panic_policy() {
+                                PanicPolicy::Fail => {
+                                    if let Some(b) = dispatched {
+                                        timeline::end(b);
+                                    }
+                                    resume_unwind(payload);
+                                }
+                                // Quarantine: re-execute sequentially —
+                                // same semantics as the parallel path's
+                                // back-fill. Chaos fires once per chunk
+                                // id, so the retry runs `f` exactly once;
+                                // a genuinely deterministic panic in `f`
+                                // propagates here, as it would without a
+                                // pool at all.
+                                PanicPolicy::Quarantine => {
+                                    self.note_quarantined(1);
+                                    let began = tl.as_ref().map(|(_, path, seq)| {
+                                        timeline::begin(
+                                            self.name,
+                                            path,
+                                            Some(chunk_labels(*seq, 0, c, part.len())),
+                                        )
+                                    });
+                                    let r = f(part);
+                                    if let Some(b) = began {
+                                        timeline::end(b);
+                                    }
+                                    out.push(r);
+                                }
+                            },
+                        }
                     }
-                    result
-                })
-                .collect();
+                }
+            }
             if let Some(b) = dispatched {
                 timeline::end(b);
             }
             self.record_busy(start.elapsed());
-            return out;
+            return Ok(out);
         }
 
         let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        // Chunks whose job panicked: `(chunk index, payload)`. The slot
+        // stays `None`; the worker catches the unwind and keeps draining,
+        // so no deque is abandoned and no lock stays poisoned.
+        let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
         let busy_us = AtomicU64::new(0);
         let steals = AtomicU64::new(0);
         let workers = self.threads.min(n_chunks);
@@ -314,8 +538,9 @@ impl Pool {
             )
         });
         std::thread::scope(|s| {
-            let (f, tl, chunk_labels) = (&f, &tl, &chunk_labels);
-            let (deques, slots, busy_us, steals) = (&deques, &slots, &busy_us, &steals);
+            let (f, tl, chunk_labels, chaos) = (&f, &tl, &chunk_labels, &chaos);
+            let (deques, slots, busy_us, steals, panics) =
+                (&deques, &slots, &busy_us, &steals, &panics);
             for worker in 0..workers {
                 s.spawn(move || {
                     // Workers inherit the caller's span context so spans
@@ -351,11 +576,14 @@ impl Pool {
                                 Some(chunk_labels(*seq, worker, c, hi - lo)),
                             )
                         });
-                        let result = f(&items[lo..hi]);
+                        let result = run_job(f, &items[lo..hi], chaos, c);
                         if let Some(b) = began {
                             timeline::end(b);
                         }
-                        *lock_unpoisoned(&slots[c]) = Some(result);
+                        match result {
+                            Ok(r) => *lock_unpoisoned(&slots[c]) = Some(r),
+                            Err(payload) => lock_unpoisoned(panics).push((c, payload)),
+                        }
                     }
                     busy_us.fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
                     // Hand the buffer over before the closure returns:
@@ -369,23 +597,73 @@ impl Pool {
                 });
             }
         });
+        self.record_busy_us(busy_us.load(Ordering::Relaxed));
+        self.record_steals(steals.load(Ordering::Relaxed));
+        let mut panics = match panics.into_inner() {
+            Ok(p) => p,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Deterministic panic selection: workers race to report, so sort
+        // by chunk index before deciding whose payload wins.
+        panics.sort_by_key(|(c, _)| *c);
+        if !panics.is_empty() {
+            self.note_panics(panics.len() as u64);
+            match recovery {
+                Recovery::Structured => {
+                    if let Some(b) = dispatched {
+                        timeline::end(b);
+                    }
+                    let (c, payload) = &panics[0];
+                    return Err(PoolError::new(self.name, *c, payload.as_ref()));
+                }
+                Recovery::Policy => {
+                    if panic_policy() == PanicPolicy::Fail {
+                        if let Some(b) = dispatched {
+                            timeline::end(b);
+                        }
+                        let (_, payload) = panics.swap_remove(0);
+                        resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        // Order-preserving reduction: reassemble in chunk index order.
+        // Stealing moved *which worker* ran a chunk, never *where its
+        // result lands* — slot `c` always holds chunk `c`'s output. A
+        // `None` slot is a quarantined chunk: re-execute it here, on the
+        // dispatching thread, in chunk order — sequential retry keeps the
+        // output byte-identical to the no-panic run at any thread count
+        // (chaos injection fires once per chunk id, so the retry runs `f`
+        // exactly once; a deterministic panic in `f` itself propagates
+        // from this thread, as at `--threads 1`).
+        let out = slots
+            .into_iter()
+            .enumerate()
+            .map(|(c, slot)| match lock_unpoisoned(&slot).take() {
+                Some(r) => r,
+                None => {
+                    self.note_quarantined(1);
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(items.len());
+                    let began = tl.as_ref().map(|(_, path, seq)| {
+                        timeline::begin(
+                            self.name,
+                            path,
+                            Some(chunk_labels(*seq, workers, c, hi - lo)),
+                        )
+                    });
+                    let r = f(&items[lo..hi]);
+                    if let Some(b) = began {
+                        timeline::end(b);
+                    }
+                    r
+                }
+            })
+            .collect();
         if let Some(b) = dispatched {
             timeline::end(b);
         }
-        self.record_busy_us(busy_us.load(Ordering::Relaxed));
-        self.record_steals(steals.load(Ordering::Relaxed));
-        // Order-preserving reduction: reassemble in chunk index order.
-        // Stealing moved *which worker* ran a chunk, never *where its
-        // result lands* — slot `c` always holds chunk `c`'s output.
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(c, slot)| {
-                lock_unpoisoned(&slot)
-                    .take()
-                    .unwrap_or_else(|| panic!("pool {}: chunk {c} produced no result", self.name))
-            })
-            .collect()
+        Ok(out)
     }
 
     /// Chunked map-reduce: fold each chunk into an accumulator with
@@ -440,6 +718,35 @@ impl Pool {
                 .add(n);
         }
     }
+
+    fn note_panics(&self, n: u64) {
+        alex_telemetry::counter!("panics_caught_total").add(n);
+    }
+
+    fn note_quarantined(&self, n: u64) {
+        alex_telemetry::counter!("panics_quarantined_total").add(n);
+    }
+}
+
+/// Run one chunk job with chaos injection and panic capture. Injection
+/// fires *before* `f`, so an injected panic never half-runs the job and a
+/// quarantine retry runs `f` exactly once. `AssertUnwindSafe` is sound
+/// here because a panicking chunk's partial state is never observed: its
+/// slot stays `None` and the chunk is either re-executed from scratch or
+/// the panic is rethrown/reported — the same states `f` could leave
+/// behind when unwinding through a plain sequential loop.
+fn run_job<T, R>(
+    f: &(impl Fn(&[T]) -> R + Sync),
+    part: &[T],
+    chaos: &Option<(u64, chaos::ChaosProfile)>,
+    c: usize,
+) -> Result<R, Box<dyn Any + Send>> {
+    catch_unwind(AssertUnwindSafe(|| {
+        if let Some((base, profile)) = chaos {
+            chaos::inject(profile, base + c as u64);
+        }
+        f(part)
+    }))
 }
 
 /// Recover the guard from a poisoned mutex: the pool's slots hold plain
@@ -455,6 +762,11 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+
+    /// Serializes tests that set or depend on the process-wide panic
+    /// policy / chaos profile; recovered on poison since several of these
+    /// tests panic on purpose while holding it.
+    static GLOBALS: Mutex<()> = Mutex::new(());
 
     #[test]
     fn map_matches_sequential_at_every_thread_count() {
@@ -622,6 +934,159 @@ mod tests {
         assert_eq!(pool.threads(), 3);
         set_threads(0);
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn quarantine_preserves_output_when_a_chunk_panics() {
+        let _g = lock_unpoisoned(&GLOBALS);
+        // A panic in one chunk must not cost any other chunk its result,
+        // and the quarantined chunk's sequential retry must land in the
+        // right slot: output stays byte-identical to the sequential map.
+        // One-shot firing is emulated with an AtomicBool so the retry
+        // (which bypasses chaos) mirrors an injected transient panic.
+        use std::sync::atomic::AtomicBool;
+        assert_eq!(panic_policy(), PanicPolicy::Quarantine);
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let fired = AtomicBool::new(false);
+            let pool = Pool::with_threads("panic_test", threads);
+            let out = pool.map(&items, |&x| {
+                if x == 617 && !fired.swap(true, Ordering::SeqCst) {
+                    panic!("transient failure at item {x}");
+                }
+                x * 3 + 1
+            });
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn quarantine_counts_caught_and_retried_panics() {
+        let _g = lock_unpoisoned(&GLOBALS);
+        use std::sync::atomic::AtomicBool;
+        let caught = alex_telemetry::counter!("panics_caught_total").get();
+        let retried = alex_telemetry::counter!("panics_quarantined_total").get();
+        let fired = AtomicBool::new(false);
+        let pool = Pool::with_threads("panic_count_test", 4);
+        let items: Vec<u64> = (0..200).collect();
+        let _ = pool.map(&items, |&x| {
+            if x == 0 && !fired.swap(true, Ordering::SeqCst) {
+                panic!("boom");
+            }
+            x
+        });
+        assert!(alex_telemetry::counter!("panics_caught_total").get() > caught);
+        assert!(alex_telemetry::counter!("panics_quarantined_total").get() > retried);
+    }
+
+    #[test]
+    fn quarantine_propagates_deterministic_panics_on_retry() {
+        // A panic that reproduces on the sequential retry must still
+        // surface — quarantine isolates workers, it does not swallow bugs.
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 4] {
+            let pool = Pool::with_threads("panic_det_test", threads);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.map(&items, |&x| {
+                    if x == 50 {
+                        panic!("deterministic bug");
+                    }
+                    x
+                })
+            }));
+            assert!(result.is_err(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fail_policy_rethrows_lowest_chunk_payload() {
+        let _g = lock_unpoisoned(&GLOBALS);
+        set_panic_policy(PanicPolicy::Fail);
+        let items: Vec<u64> = (0..400).collect();
+        let pool = Pool::with_threads("fail_test", 4).with_min_chunk(1);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |&x| {
+                if x % 100 == 7 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        set_panic_policy(PanicPolicy::Quarantine);
+        let payload = result.expect_err("fail policy must propagate");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        // Chunks are 25 items wide (400 / (4 workers · 4)); the lowest
+        // panicking chunk holds item 7, so its payload must win no matter
+        // which worker reported first.
+        assert_eq!(msg, "boom at 7");
+    }
+
+    #[test]
+    fn try_map_surfaces_structured_error() {
+        let _g = lock_unpoisoned(&GLOBALS);
+        let items: Vec<u64> = (0..300).collect();
+        for threads in [1, 4] {
+            let pool = Pool::with_threads("try_test", threads).with_min_chunk(1);
+            let err = pool
+                .try_map(&items, |&x| {
+                    if x >= 150 {
+                        panic!("job failed at {x}");
+                    }
+                    x * 2
+                })
+                .expect_err("must report the panic");
+            assert_eq!(err.pool, "try_test");
+            assert_eq!(err.message, "job failed at 150", "threads={threads}");
+            assert!(err.to_string().contains("panicked"), "{err}");
+            // And a clean run succeeds with map-identical output.
+            let ok = pool.try_map(&items, |&x| x * 2).expect("clean run");
+            assert_eq!(ok, pool.map(&items, |&x| x * 2));
+        }
+    }
+
+    #[test]
+    fn panic_policy_parses_and_round_trips() {
+        assert_eq!(
+            "quarantine".parse::<PanicPolicy>(),
+            Ok(PanicPolicy::Quarantine)
+        );
+        assert_eq!("fail".parse::<PanicPolicy>(), Ok(PanicPolicy::Fail));
+        assert!("explode".parse::<PanicPolicy>().is_err());
+    }
+
+    #[test]
+    fn chaos_injection_is_byte_identical_across_thread_counts() {
+        let _g = lock_unpoisoned(&GLOBALS);
+        // Slow + alloc chaos never changes results; injected panics are
+        // quarantined and retried, so a chaotic run equals a clean one.
+        let items: Vec<u64> = (0..2000).collect();
+        let clean: Vec<u64> = items.iter().map(|x| x ^ 0x5a5a).collect();
+        for threads in [1, 2, 4] {
+            chaos::install(
+                chaos::ChaosProfile::parse(
+                    "seed=9,panic-rate=0.08,slow-rate=0.1,slow-ms=1,alloc-rate=0.1,alloc-mb=1",
+                )
+                .unwrap(),
+            );
+            let pool = Pool::with_threads("chaos_test", threads).with_min_chunk(1);
+            let out = pool.map(&items, |x| x ^ 0x5a5a);
+            chaos::clear();
+            assert_eq!(out, clean, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chaos_panic_at_chunk_hits_exactly_that_chunk() {
+        let _g = lock_unpoisoned(&GLOBALS);
+        chaos::install(chaos::ChaosProfile::parse("panic-at-chunk=2").unwrap());
+        let items: Vec<u64> = (0..64).collect();
+        let pool = Pool::with_threads("chaos_at_test", 4).with_min_chunk(16);
+        let out = pool.map(&items, |&x| x + 1);
+        chaos::clear();
+        assert_eq!(out, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+        // The quarantine counter moved: the injected panic was caught.
+        assert!(alex_telemetry::counter!("panics_caught_total").get() >= 1);
     }
 
     #[test]

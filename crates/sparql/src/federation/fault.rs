@@ -169,9 +169,22 @@ impl<E: Endpoint> FaultyEndpoint<E> {
         let call = state.calls;
         state.calls += 1;
         // Latency first: a slow endpoint burns the caller's budget whether
-        // or not the call would have succeeded.
+        // or not the call would have succeeded. The injected sleep is
+        // clamped to the deadline's remaining budget — sleeping past it
+        // would overshoot the caller's per-call deadline by the full
+        // injected latency — and when the clamp bites, the verdict is
+        // already known: surface `DeadlineExceeded` without racing
+        // `deadline.check` against the clock.
         if !self.profile.latency.is_zero() {
-            std::thread::sleep(self.profile.latency);
+            match deadline.remaining() {
+                Some(remaining) if remaining <= self.profile.latency => {
+                    std::thread::sleep(remaining);
+                    return Err(EndpointError::DeadlineExceeded {
+                        endpoint: self.inner.name().to_string(),
+                    });
+                }
+                _ => std::thread::sleep(self.profile.latency),
+            }
         }
         deadline.check(self.inner.name())?;
         if let Some((start, end)) = self.profile.outage {
@@ -330,6 +343,37 @@ mod tests {
         // With room to spare the same call succeeds.
         let out = ep.matching(None, None, None, &Deadline::within(Duration::from_secs(10)));
         assert_eq!(out.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn injected_latency_is_clamped_to_the_remaining_budget() {
+        // Injected latency far beyond the deadline: the call must give up
+        // at the deadline, not sleep the whole injected duration.
+        let ep = FaultyEndpoint::new(
+            inner(),
+            FaultProfile {
+                latency: Duration::from_secs(30),
+                ..FaultProfile::none()
+            },
+        );
+        let started = std::time::Instant::now();
+        let out = ep.matching(
+            None,
+            None,
+            None,
+            &Deadline::within(Duration::from_millis(20)),
+        );
+        assert_eq!(
+            out,
+            Err(EndpointError::DeadlineExceeded {
+                endpoint: "T".into()
+            })
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "sleep overshot the deadline: {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub enum Event {
         trust_deferred: u64,
         /// Trust gate: admissions revoked by cascading rollback.
         trust_cascades: u64,
+        /// Whether the episode breached its budget and was marked
+        /// degraded by the run supervisor.
+        degraded: bool,
     },
     /// One feedback item was applied by the agent.
     FeedbackApplied {
@@ -210,6 +213,7 @@ impl Event {
                 trust_admitted,
                 trust_deferred,
                 trust_cascades,
+                degraded,
             } => {
                 w.u64("episode", *episode)
                     .f64("precision", *precision)
@@ -223,7 +227,8 @@ impl Event {
                     .u64("recovered_from", *recovered_from)
                     .u64("trust_admitted", *trust_admitted)
                     .u64("trust_deferred", *trust_deferred)
-                    .u64("trust_cascades", *trust_cascades);
+                    .u64("trust_cascades", *trust_cascades)
+                    .bool("degraded", *degraded);
             }
             Event::FeedbackApplied {
                 positive,
@@ -376,6 +381,11 @@ impl Event {
                     .get("trust_cascades")
                     .and_then(JsonValue::as_u64)
                     .unwrap_or(0),
+                // Absent in logs written before run supervision existed.
+                degraded: map
+                    .get("degraded")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false),
             }),
             "feedback_applied" => Ok(Event::FeedbackApplied {
                 positive: map

@@ -180,6 +180,7 @@ fn all_event_variants() -> Vec<Event> {
             trust_admitted: 5,
             trust_deferred: 2,
             trust_cascades: 1,
+            degraded: true,
         },
         Event::FeedbackApplied {
             positive: true,
@@ -609,6 +610,7 @@ fn run_report_aggregates_convergence_federation_and_metrics() {
             trust_admitted: 0,
             trust_deferred: 0,
             trust_cascades: 0,
+            degraded: false,
         },
         Event::EpisodeEnd {
             episode: 2,
@@ -624,6 +626,7 @@ fn run_report_aggregates_convergence_federation_and_metrics() {
             trust_admitted: 0,
             trust_deferred: 0,
             trust_cascades: 0,
+            degraded: false,
         },
         Event::FederatedQuery {
             patterns: 2,

@@ -31,6 +31,10 @@ cargo clippy -p alex-trust -- -D warnings
 # scheduler must stay warning-free.
 cargo clippy -p alex-sim -- -D warnings
 cargo clippy -p alex-parallel -- -D warnings
+# The supervisor layer (budgets, breach policy, degraded bookkeeping) and
+# the bench harness complete the crate-by-crate -D warnings coverage.
+cargo clippy -p alex-guard -- -D warnings
+cargo clippy -p alex-bench -- -D warnings
 
 echo "==> cargo test (ALEX_THREADS=1: deterministic pool runs inline)"
 ALEX_THREADS=1 cargo test --workspace -q
@@ -76,11 +80,21 @@ echo "==> adversarial-feedback suite (trust gate vs seeded poisoners, quorum def
 # byte-identical across thread counts and the trust counters export.
 cargo test --test adversarial_trust -q
 
+echo "==> panic-chaos suite (quarantined chunk panics + WAL replay, byte-identity at 1 and 4 threads)"
+# Seeded chunk panics are quarantined by the pool and re-executed
+# sequentially; a suspended run is resumed through the WAL. Output must be
+# byte-identical to the undisturbed reference at every pool width (the
+# test itself sweeps --threads 1/2/4/8; the env var pins the default width
+# for everything around it).
+ALEX_THREADS=1 cargo test --test panic_chaos -q
+ALEX_THREADS=4 cargo test --test panic_chaos -q
+
 echo "==> composed-chaos suite (storage faults + poisoners + faulty federation, crash & resume)"
-# All three fault domains in one durable loop: a torn journal write kills
+# All fault domains in one durable loop: a torn journal write kills
 # the run mid-attack, recovery + resume must land on the uninterrupted
 # reference's exact links, admission log, and trust posteriors — plus the
-# CLI SIGKILL leg with the robustness flags.
+# chaos gate (chunk panics + stalls + silent store faults + flaky
+# federation under quarantine) and the CLI SIGKILL legs.
 cargo test --test composed_chaos -q
 
 echo "==> kill-and-resume smoke (SIGKILL mid-run, --resume, diff vs reference)"

@@ -29,6 +29,8 @@ use alex::core::{
     Durability, FeedbackBridge, FeedbackSource, LinkSpace, OracleFeedback, PartitionedConfig,
     Quality, QueryFeedback, SpaceConfig, StopReason, TrustConfig,
 };
+use alex::guard::{BreachPolicy, Budget, ChaosProfile, Supervisor};
+
 use alex::datagen::{
     all_pairs, assign_roles, generate_pair, AdversaryProfile, DatasetKind, PairSpec,
 };
@@ -177,6 +179,36 @@ PARALLELISM (link, improve, query):
                             federated endpoint dispatch. Default: the
                             ALEX_THREADS env var, else all available
                             cores. Results are byte-identical at any N.
+  --panic-policy P          What the pool does when a worker job panics:
+                            'quarantine' (default) isolates the panicking
+                            chunk and deterministically re-executes it
+                            sequentially on the dispatching thread, so
+                            output stays byte-identical at any --threads;
+                            'fail' re-raises the panic after the dispatch
+                            drains (lowest chunk wins, deterministically).
+
+SUPERVISION (improve, oracle feedback, single-partition):
+  --episode-budget-ms MS    Wall-clock budget per episode. Budgets are
+                            checked at episode boundaries: an episode is
+                            never interrupted mid-flight, it is finalized,
+                            committed (when --state-dir), and marked
+                            degraded.
+  --run-budget-ms MS        Wall-clock budget for the whole run.
+  --max-rss-mb MB           Resident-set watermark (from /proc); breach
+                            marks the episode degraded like the clocks.
+  --budget-policy P         What a breach does next: 'stop' (default)
+                            finalizes the breaching episode then stops the
+                            run with BudgetExhausted; 'continue' keeps
+                            running and only records the degradation.
+                            Breach markers are journaled with the episode
+                            (--state-dir), so a resumed run replays them.
+  --chaos-profile SPEC      Seeded chunk-level fault injection into every
+                            pool dispatch (chaos suites), e.g.
+                            'seed=7,panic-at-chunk=3+17,panic-rate=0.01,slow-rate=0.05,slow-ms=2,alloc-rate=0.01,alloc-mb=8'.
+                            Chunk ids are global and deterministic, so a
+                            chaos schedule replays exactly; combined with
+                            --panic-policy quarantine the output is still
+                            byte-identical to the undisturbed run.
 
 ANSWER CACHING (improve --feedback query, and query):
   --cache                   Enable the sharded LRU answer cache in the
@@ -271,9 +303,11 @@ fn parse_flag<T: std::str::FromStr>(
     }
 }
 
-/// Apply `--threads N` as the process-global pool width. Without the
-/// flag the pool keeps its own resolution order (ALEX_THREADS env var,
-/// else `available_parallelism`).
+/// Apply the process-global pool settings: `--threads N` (pool width;
+/// without the flag the pool keeps its own resolution order — the
+/// ALEX_THREADS env var, else `available_parallelism`), `--panic-policy`
+/// (quarantine|fail), and `--chaos-profile` (seeded chunk-fault
+/// injection for the chaos suites).
 fn configure_threads(flags: &Flags) -> Result<(), String> {
     if let Some(v) = flag(flags, "threads") {
         let n: usize = v
@@ -284,7 +318,101 @@ fn configure_threads(flags: &Flags) -> Result<(), String> {
         }
         alex::parallel::set_threads(n);
     }
+    if let Some(v) = flag(flags, "panic-policy") {
+        let policy = v
+            .parse()
+            .map_err(|e: String| format!("--panic-policy: {e}"))?;
+        alex::parallel::set_panic_policy(policy);
+    }
+    if let Some(spec) = flag(flags, "chaos-profile") {
+        let profile = ChaosProfile::parse(spec).map_err(|e| format!("--chaos-profile: {e}"))?;
+        alex::guard::chaos::install(profile);
+    }
     Ok(())
+}
+
+/// Run-supervision options: the budget plus what to do on breach.
+#[derive(Debug, PartialEq)]
+struct GuardOpts {
+    budget: Budget,
+    policy: BreachPolicy,
+}
+
+impl GuardOpts {
+    fn make_supervisor(&self) -> Supervisor {
+        Supervisor::new(self.budget, self.policy)
+    }
+}
+
+/// Parse and validate the budget-supervision flags. `None` when no budget
+/// flag was given; an error when `--budget-policy` appears alone (a policy
+/// with nothing to police is a spelling mistake, not a request) or when
+/// the flags are combined with modes the supervisor does not cover
+/// (supervision wraps the single-partition driver loop, like durability).
+fn guard_opts(flags: &Flags) -> Result<Option<GuardOpts>, String> {
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = flag(flags, "episode-budget-ms") {
+        budget = budget.episode_wall_ms(
+            ms.parse()
+                .map_err(|_| format!("invalid value '{ms}' for --episode-budget-ms"))?,
+        );
+    }
+    if let Some(ms) = flag(flags, "run-budget-ms") {
+        budget = budget.run_wall_ms(
+            ms.parse()
+                .map_err(|_| format!("invalid value '{ms}' for --run-budget-ms"))?,
+        );
+    }
+    if let Some(mb) = flag(flags, "max-rss-mb") {
+        budget = budget.max_rss_mb(
+            mb.parse()
+                .map_err(|_| format!("invalid value '{mb}' for --max-rss-mb"))?,
+        );
+    }
+    if budget.is_unlimited() {
+        if flag(flags, "budget-policy").is_some() {
+            return Err("--budget-policy requires a budget flag                  (--episode-budget-ms, --run-budget-ms, or --max-rss-mb)"
+                .into());
+        }
+        return Ok(None);
+    }
+    if flag(flags, "feedback").is_some_and(|f| f != "oracle") {
+        return Err(
+            "budget supervision requires oracle feedback: the supervisor wraps the              single-partition driver loop"
+                .into(),
+        );
+    }
+    if let Some(p) = flag(flags, "partitions") {
+        if p != "1" {
+            return Err(
+                "supervised runs are single-partition; drop --partitions or set it to 1".into(),
+            );
+        }
+    }
+    let policy = match flag(flags, "budget-policy") {
+        None => BreachPolicy::Stop,
+        Some(v) => v
+            .parse()
+            .map_err(|e: String| format!("--budget-policy: {e}"))?,
+    };
+    Ok(Some(GuardOpts { budget, policy }))
+}
+
+/// Print the supervision verdict after a supervised run.
+fn print_supervision(sup: &Supervisor, report: &driver::RunReport) {
+    for breach in sup.breach_log() {
+        eprintln!("budget breach: {breach}");
+    }
+    eprintln!(
+        "supervision: {} breach(es), {} degraded episode(s); run {}",
+        sup.breaches(),
+        report.degraded_episodes(),
+        if report.is_complete() {
+            "complete"
+        } else {
+            "incomplete (degraded)"
+        }
+    );
 }
 
 /// `--cache` / `--cache-capacity N` → Some(capacity) when the answer
@@ -745,6 +873,7 @@ fn cmd_improve(args: &[String]) -> Result<(), String> {
     configure_threads(&flags)?;
     let durable = durable_opts(&flags)?;
     let robust = robustness_opts(&flags)?;
+    let guard = guard_opts(&flags)?;
     let telemetry = telemetry_setup(&flags)?;
     let left = load_dataset(left_path)?;
     let right = load_dataset(right_path)?;
@@ -753,11 +882,25 @@ fn cmd_improve(args: &[String]) -> Result<(), String> {
 
     if let Some(opts) = durable {
         return improve_durable(
-            &left, &right, &links, &truth, &flags, &telemetry, opts, robust,
+            &left, &right, &links, &truth, &flags, &telemetry, opts, robust, guard,
         );
     }
     if let Some(robust) = robust {
-        return improve_robust(&left, &right, &links, &truth, &flags, &telemetry, robust);
+        return improve_robust(
+            &left, &right, &links, &truth, &flags, &telemetry, robust, guard,
+        );
+    }
+    if guard.is_some() {
+        // Supervision alone still runs the single-partition driver loop;
+        // a default (oracle, single-source) robustness shell provides it.
+        let plain = RobustnessOpts {
+            trust: None,
+            profile: None,
+            sources: 1,
+        };
+        return improve_robust(
+            &left, &right, &links, &truth, &flags, &telemetry, plain, guard,
+        );
     }
 
     match flag(&flags, "feedback").unwrap_or("oracle") {
@@ -849,6 +992,7 @@ fn improve_durable(
     telemetry: &TelemetryOpts,
     opts: DurableOpts,
     robust: Option<RobustnessOpts>,
+    guard: Option<GuardOpts>,
 ) -> Result<(), String> {
     let left_index = left.entity_index();
     let right_index = right.entity_index();
@@ -932,7 +1076,21 @@ fn improve_durable(
             }
         });
     }
-    let report = driver::run_durable(&mut agent, source.as_mut(), &truth_ids, durability)?;
+    let supervisor = guard.as_ref().map(GuardOpts::make_supervisor);
+    let report = match supervisor {
+        Some(mut sup) => {
+            let report = driver::run_durable_supervised(
+                &mut agent,
+                source.as_mut(),
+                &truth_ids,
+                durability,
+                &mut sup,
+            )?;
+            print_supervision(&sup, &report);
+            report
+        }
+        None => driver::run_durable(&mut agent, source.as_mut(), &truth_ids, durability)?,
+    };
 
     let print_q = |tag: &str, q: Quality| {
         println!(
@@ -972,6 +1130,7 @@ fn improve_durable(
 /// comes from an attributed source population (possibly with seeded
 /// adversaries) and, with `--trust`, link mutations pass through quorum
 /// admission with cascading rollback.
+#[allow(clippy::too_many_arguments)]
 fn improve_robust(
     left: &Dataset,
     right: &Dataset,
@@ -980,6 +1139,7 @@ fn improve_robust(
     flags: &Flags,
     telemetry: &TelemetryOpts,
     robust: RobustnessOpts,
+    guard: Option<GuardOpts>,
 ) -> Result<(), String> {
     let left_index = left.entity_index();
     let right_index = right.entity_index();
@@ -1019,7 +1179,14 @@ fn improve_robust(
     let mut agent = Agent::new(space, &initial_ids, cfg.clone());
     let error_rate: f64 = parse_flag(flags, "error-rate", 0.0f64)?;
     let mut source = robust.make_source(&truth_ids, error_rate, cfg.seed);
-    let report = driver::run(&mut agent, source.as_mut(), &truth_ids);
+    let report = match guard.as_ref().map(GuardOpts::make_supervisor) {
+        Some(mut sup) => {
+            let report = driver::run_supervised(&mut agent, source.as_mut(), &truth_ids, &mut sup);
+            print_supervision(&sup, &report);
+            report
+        }
+        None => driver::run(&mut agent, source.as_mut(), &truth_ids),
+    };
 
     let print_q = |tag: &str, q: Quality| {
         println!(
@@ -1401,6 +1568,43 @@ mod tests {
         assert!(r.trust.is_none());
         assert!(r.profile.is_some());
         assert!(r.needs_population());
+    }
+
+    #[test]
+    fn guard_flags_parse_and_validate() {
+        assert_eq!(guard_opts(&flags_of("--episodes 5")).unwrap(), None);
+        let g = guard_opts(&flags_of("--episode-budget-ms 50"))
+            .unwrap()
+            .unwrap();
+        assert!(!g.budget.is_unlimited());
+        assert_eq!(g.policy, BreachPolicy::Stop);
+        let g = guard_opts(&flags_of(
+            "--run-budget-ms 1000 --max-rss-mb 512 --budget-policy continue",
+        ))
+        .unwrap()
+        .unwrap();
+        assert_eq!(g.policy, BreachPolicy::Continue);
+        let g = guard_opts(&flags_of("--episode-budget-ms 50 --partitions 1"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(g.policy, BreachPolicy::Stop);
+    }
+
+    #[test]
+    fn guard_flags_reject_bad_combinations() {
+        let err = guard_opts(&flags_of("--budget-policy stop")).unwrap_err();
+        assert!(err.contains("requires a budget flag"), "{err}");
+        let err = guard_opts(&flags_of("--episode-budget-ms lots")).unwrap_err();
+        assert!(err.contains("episode-budget-ms"), "{err}");
+        let err = guard_opts(&flags_of(
+            "--episode-budget-ms 50 --budget-policy sometimes",
+        ))
+        .unwrap_err();
+        assert!(err.contains("stop|continue"), "{err}");
+        let err = guard_opts(&flags_of("--episode-budget-ms 50 --feedback query")).unwrap_err();
+        assert!(err.contains("oracle"), "{err}");
+        let err = guard_opts(&flags_of("--episode-budget-ms 50 --partitions 4")).unwrap_err();
+        assert!(err.contains("single-partition"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`parallel`] (`alex-parallel`) | Deterministic scoped worker pool (order-preserving reduction) |
 //! | [`store`] (`alex-store`) | Crash-safe durable state: episode journal + checksummed snapshots |
 //! | [`cache`] (`alex-cache`) | Sharded LRU answer cache with provenance-keyed invalidation |
+//! | [`guard`] (`alex-guard`) | Run supervision: wall-clock/RSS budgets, breach policy, degraded episodes |
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the experiment harness that regenerates every table and figure of the
@@ -31,6 +32,7 @@
 pub use alex_cache as cache;
 pub use alex_core as core;
 pub use alex_datagen as datagen;
+pub use alex_guard as guard;
 pub use alex_linking as linking;
 pub use alex_parallel as parallel;
 pub use alex_rdf as rdf;

@@ -7,6 +7,10 @@
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::process::Command;
+use std::sync::Mutex;
+
+use alex::guard::chaos::{self, ChaosProfile};
+use alex::guard::{set_panic_policy, PanicPolicy};
 
 use alex::core::{
     driver, AdversarialPopulation, Agent, AlexConfig, Durability, LinkSpace, SpaceConfig,
@@ -20,6 +24,18 @@ use alex::sparql::{
     ResilienceConfig, RetryPolicy,
 };
 use alex::store::{DirectStore, FaultPlan, FaultyStore, StoreError};
+
+/// The in-process tests mutate process-global pool state (thread count,
+/// panic policy, chaos profile); serialize them so the schedules stay
+/// deterministic. Poison-recovered: one failing test must not cascade.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    match SERIAL.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 fn tmpdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("alex-chaos-{tag}-{}", std::process::id()));
@@ -134,6 +150,7 @@ fn end_state(agent: &Agent) -> EndState {
 /// reference's exact end state.
 #[test]
 fn composed_faults_crash_and_resume_converge_to_reference() {
+    let _serial = serial();
     let pair = build_pair();
     let (space, truth) = space_and_truth(&pair);
     let initial = initial_links(&truth);
@@ -240,6 +257,89 @@ fn composed_faults_crash_and_resume_converge_to_reference() {
 /// starting quality (adversaries + faults contained, not merely survived).
 fn report_floor(report: &alex::core::RunReport) -> f64 {
     report.initial_quality.f_measure - 1e-9
+}
+
+/// The full chaos gate: seeded chunk panics and stalls (quarantined by the
+/// pool), silent storage faults (dropped fsyncs), and a flaky federated
+/// query plane (transients + retries) — all in one seeded run that must
+/// exit cleanly with exactly the clean-run oracle's end state.
+#[test]
+fn chaos_gate_full_composition_exits_clean_and_matches_oracle() {
+    let _serial = serial();
+    let pair = build_pair();
+    let (space, truth) = space_and_truth(&pair);
+    let initial = initial_links(&truth);
+    let workload = queries(&pair);
+    set_panic_policy(PanicPolicy::Quarantine);
+
+    // Clean-run oracle: no injectors anywhere.
+    chaos::clear();
+    alex::parallel::set_threads(1);
+    let dir_ref = tmpdir("gate-ref");
+    let (mut store, recovery) = DirectStore::open(&dir_ref).expect("open oracle store");
+    let mut ref_agent = Agent::new(space.clone(), &initial, cfg());
+    let mut clean_engine = FederatedEngine::new();
+    clean_engine.add_endpoint(Box::new(DatasetEndpoint::new(pair.left.clone())));
+    clean_engine.add_endpoint(Box::new(DatasetEndpoint::new(pair.right.clone())));
+    let reference = driver::run_durable(
+        &mut ref_agent,
+        &mut population(&truth),
+        &truth,
+        Durability::new(&mut store, recovery)
+            .snapshot_every(3)
+            .on_commit(|ep| {
+                let _ = clean_engine.execute_full(&workload[ep as usize % workload.len()]);
+            }),
+    )
+    .expect("oracle run");
+    drop(store);
+    let ref_state = end_state(&ref_agent);
+
+    // Chaos leg: every injector at once, four worker threads.
+    alex::parallel::set_threads(4);
+    chaos::install(
+        ChaosProfile::parse("seed=13,panic-at-chunk=0,panic-rate=0.02,slow-rate=0.05,slow-ms=1")
+            .expect("chaos profile"),
+    );
+    let caught_before = alex::telemetry::counter!("panics_caught_total").get();
+    let dir = tmpdir("gate-chaos");
+    let plan = FaultPlan {
+        seed: 31,
+        dropped_fsync_rate: 1.0, // silent: the run survives, durability is degraded
+        ..FaultPlan::none()
+    };
+    let (mut store, recovery) = FaultyStore::open(&dir, plan).expect("open faulty store");
+    let mut agent = Agent::new(space, &initial, cfg());
+    let engine = faulty_engine(&pair);
+    let chaotic = driver::run_durable(
+        &mut agent,
+        &mut population(&truth),
+        &truth,
+        Durability::new(&mut store, recovery)
+            .snapshot_every(3)
+            .on_commit(|ep| {
+                let _ = engine.execute_full(&workload[ep as usize % workload.len()]);
+            }),
+    )
+    .expect("the composed chaos run must exit cleanly");
+    drop(store);
+    chaos::clear();
+
+    assert!(
+        alex::telemetry::counter!("panics_caught_total").get() > caught_before,
+        "the chaos profile must actually inject panics"
+    );
+    assert_eq!(chaotic.stop, reference.stop);
+    assert_eq!(chaotic.episode_count(), reference.episode_count());
+    assert_eq!(
+        end_state(&agent),
+        ref_state,
+        "chaos under quarantine must be invisible in the end state"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir_ref);
+    alex::parallel::set_threads(0);
 }
 
 // ---------------------------------------------------------------- CLI
@@ -353,6 +453,115 @@ fn cli_kill_and_resume_with_adversaries_is_byte_identical() {
         quality_lines(&reference_stdout),
         quality_lines(&String::from_utf8_lossy(&out.stdout)),
         "per-episode quality must match"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tentpole's end-to-end proof: a CLI run with seeded chunk panics and
+/// stalls under `--panic-policy quarantine` is SIGKILLed mid-run, then
+/// `--resume`d (chaos still installed) — and the exported links are
+/// byte-identical to a clean uninterrupted reference run's.
+#[test]
+fn cli_chaos_quarantine_kill_and_resume_byte_identical() {
+    let dir = tmpdir("cli-chaos");
+    std::fs::create_dir_all(&dir).expect("create workdir");
+    let p = |f: &str| dir.join(f).to_string_lossy().to_string();
+
+    let out = alex_bin()
+        .args(["gen", "--out-dir", &p(""), "--pair", "nba", "--seed", "11"])
+        .output()
+        .expect("spawn gen");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let improve = |extra: &[&str]| {
+        let mut args = vec![
+            "improve".to_string(),
+            p("left.nt"),
+            p("right.nt"),
+            "--links".into(),
+            p("truth.nt"),
+            "--truth".into(),
+            p("truth.nt"),
+            "--episodes".into(),
+            "6".into(),
+            "--episode-size".into(),
+            "40".into(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        alex_bin().args(&args).output().expect("spawn improve")
+    };
+    let chaos_flags = [
+        "--chaos-profile",
+        "seed=7,panic-at-chunk=0+5,panic-rate=0.02,slow-rate=0.05,slow-ms=1",
+        "--panic-policy",
+        "quarantine",
+    ];
+
+    // Clean uninterrupted reference.
+    let out = improve(&[
+        "--state-dir",
+        &p("state-ref"),
+        "--out",
+        &p("ref.nt"),
+        "--threads",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Chaos run, SIGKILLed right after the 2nd episode commit.
+    let state_cut = p("state-cut");
+    let mut args = vec![
+        "--state-dir",
+        &state_cut,
+        "--kill-after",
+        "2",
+        "--threads",
+        "4",
+    ];
+    args.extend(chaos_flags);
+    let out = improve(&args);
+    assert!(
+        !out.status.success(),
+        "kill-after run must not exit cleanly"
+    );
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        assert_eq!(out.status.signal(), Some(9), "expected SIGKILL");
+    }
+
+    // Resume under the same chaos schedule; must exit 0.
+    let resumed_out = p("resumed.nt");
+    let mut args = vec![
+        "--state-dir",
+        &state_cut,
+        "--resume",
+        "--out",
+        &resumed_out,
+        "--threads",
+        "4",
+    ];
+    args.extend(chaos_flags);
+    let out = improve(&args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("recovering from"), "{stderr}");
+
+    let reference = std::fs::read(p("ref.nt")).expect("reference links");
+    let resumed = std::fs::read(p("resumed.nt")).expect("resumed links");
+    assert!(!reference.is_empty());
+    assert_eq!(
+        reference, resumed,
+        "chaos + SIGKILL + resume must be byte-identical to the clean run"
     );
 
     let _ = std::fs::remove_dir_all(&dir);
