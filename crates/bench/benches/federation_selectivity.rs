@@ -1,0 +1,229 @@
+//! Source-selection economics: what the endpoint coverage catalog saves
+//! over broadcast dispatch, and what sameAs recall the closure buys.
+//!
+//! The fixture is the coverage-skewed federation scenario from
+//! `alex-datagen` (one anchor hub + four attribute shards with disjoint
+//! predicate coverage): every workload query anchors on the hub and asks
+//! for a shard attribute, so a broadcast probes all five endpoints per
+//! pattern while the catalog can prove four of them empty. The harness
+//! counts *issued* sub-queries (probes actually dispatched, i.e. logical
+//! probes minus catalog-pruned ones) via the global metrics registry and
+//! asserts the catalog saves at least [`REDUCTION_FLOOR`] of them while
+//! answers stay byte-identical.
+//!
+//! In measure mode (`cargo bench`) this target writes
+//! `BENCH_federation.json` at the repo root with the sub-query reduction,
+//! per-pass latencies, and the recall curve as the sameAs closure
+//! converges (recall with the catalog must never trail broadcast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use alex_datagen::{federation_scenario, FederationConfig, FederationScenario};
+use alex_sparql::{parse, DatasetEndpoint, FederatedEngine, Query, SameAsLinks};
+use alex_telemetry::counter;
+
+/// Minimum fraction of sub-queries the catalog must prune on the
+/// coverage-skewed fixture (the acceptance floor is 30%).
+const REDUCTION_FLOOR: f64 = 0.30;
+
+/// Closure convergence points for the recall curve, in percent.
+const CLOSURE_POINTS: [usize; 5] = [0, 25, 50, 75, 100];
+
+struct Fixture {
+    scenario: FederationScenario,
+    queries: Vec<Query>,
+}
+
+fn fixture() -> Fixture {
+    let scenario = federation_scenario(&FederationConfig {
+        entities: 40,
+        shards: 4,
+        seed: 7,
+    });
+    let queries: Vec<Query> = scenario
+        .queries
+        .iter()
+        .map(|q| parse(&q.sparql).expect("generated SPARQL parses"))
+        .collect();
+    Fixture { scenario, queries }
+}
+
+/// Engine over the scenario endpoints with the first `n_links` links of
+/// the ground-truth closure, with or without the coverage catalog.
+fn engine(fx: &Fixture, n_links: usize, catalog: bool) -> FederatedEngine {
+    let mut engine = FederatedEngine::new();
+    for ds in fx.scenario.endpoints() {
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(ds.clone())));
+    }
+    engine.set_links(SameAsLinks::from_pairs(
+        fx.scenario.links[..n_links]
+            .iter()
+            .map(|(l, r)| (l.as_str(), r.as_str())),
+    ));
+    if catalog {
+        let built = engine.build_catalog().expect("in-process probe succeeds");
+        engine.set_catalog(Some(built));
+    }
+    engine
+}
+
+/// One workload pass; returns the per-query answer multisets (sorted debug
+/// forms) so broadcast and pruned passes can be compared exactly.
+fn run_pass(engine: &FederatedEngine, queries: &[Query]) -> Vec<Vec<String>> {
+    queries
+        .iter()
+        .map(|q| {
+            let mut rows: Vec<String> = engine
+                .execute_full(q)
+                .expect("evaluates")
+                .answers
+                .iter()
+                .map(|a| format!("{a:?}"))
+                .collect();
+            rows.sort();
+            rows
+        })
+        .collect()
+}
+
+/// Sub-queries actually dispatched during `f`: logical source-selection
+/// probes minus the catalog-pruned ones, read from the global counters.
+fn issued_during(f: impl FnOnce()) -> u64 {
+    let probes0 = counter!("alex_source_selection_probes_total").get();
+    let pruned0 = counter!("federation_pruned_probes_total").get();
+    f();
+    let probes = counter!("alex_source_selection_probes_total").get() - probes0;
+    let pruned = counter!("federation_pruned_probes_total").get() - pruned0;
+    probes - pruned
+}
+
+/// Fraction of the workload answered with the given closure prefix.
+fn recall(fx: &Fixture, engine: &FederatedEngine) -> f64 {
+    let answered = fx
+        .queries
+        .iter()
+        .filter(|q| {
+            !engine
+                .execute_full(q)
+                .expect("evaluates")
+                .answers
+                .is_empty()
+        })
+        .count();
+    answered as f64 / fx.queries.len() as f64
+}
+
+fn bench_federation_selectivity(c: &mut Criterion) {
+    let fx = fixture();
+    let full = fx.scenario.links.len();
+
+    // Correctness anchor: catalog-pruned answers are identical to
+    // broadcast, and the pruning saves at least the floor.
+    let broadcast = engine(&fx, full, false);
+    let pruned = engine(&fx, full, true);
+    let mut reference = Vec::new();
+    let issued_broadcast = issued_during(|| reference = run_pass(&broadcast, &fx.queries));
+    let mut via_catalog = Vec::new();
+    let issued_pruned = issued_during(|| via_catalog = run_pass(&pruned, &fx.queries));
+    assert_eq!(reference, via_catalog, "pruning must not change answers");
+    let reduction = 1.0 - issued_pruned as f64 / issued_broadcast as f64;
+    assert!(
+        reduction >= REDUCTION_FLOOR,
+        "catalog must prune at least {:.0}% of sub-queries: broadcast {} vs pruned {} ({:.0}%)",
+        REDUCTION_FLOOR * 100.0,
+        issued_broadcast,
+        issued_pruned,
+        reduction * 100.0
+    );
+
+    let mut g = c.benchmark_group("federation_selectivity");
+    g.sample_size(10);
+    g.bench_function("broadcast_pass", |b| {
+        b.iter(|| black_box(run_pass(&broadcast, &fx.queries)))
+    });
+    g.bench_function("catalog_pruned_pass", |b| {
+        b.iter(|| black_box(run_pass(&pruned, &fx.queries)))
+    });
+    g.finish();
+
+    write_bench_snapshot(&fx, issued_broadcast, issued_pruned, reduction);
+}
+
+/// Mean microseconds per iteration of `f` over a small fixed batch.
+fn mean_us(iters: u32, mut f: impl FnMut()) -> f64 {
+    f(); // one unmeasured warm-up iteration
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_micros() as f64 / iters as f64
+}
+
+fn write_bench_snapshot(fx: &Fixture, issued_broadcast: u64, issued_pruned: u64, reduction: f64) {
+    // Only meaningful under `cargo bench`, not the smoke pass.
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    let full = fx.scenario.links.len();
+
+    // Recall curve: as the closure converges, both modes must recover the
+    // same growing fraction of the workload, with the catalog never
+    // issuing more sub-queries than broadcast.
+    let mut curve = Vec::new();
+    for pct in CLOSURE_POINTS {
+        let n = full * pct / 100;
+        let broadcast = engine(fx, n, false);
+        let pruned = engine(fx, n, true);
+        let mut r_broadcast = 0.0;
+        let issued_b = issued_during(|| r_broadcast = recall(fx, &broadcast));
+        let mut r_pruned = 0.0;
+        let issued_p = issued_during(|| r_pruned = recall(fx, &pruned));
+        assert!(
+            r_pruned >= r_broadcast,
+            "catalog recall must never trail broadcast at {pct}% closure"
+        );
+        assert!(
+            issued_p <= issued_b,
+            "catalog must never issue more sub-queries at {pct}% closure"
+        );
+        curve.push(format!(
+            "    {{\"closure_pct\": {pct}, \"recall\": {r_pruned:.3}, \
+             \"issued_pruned\": {issued_p}, \"issued_broadcast\": {issued_b}}}"
+        ));
+    }
+
+    let broadcast = engine(fx, full, false);
+    let pruned = engine(fx, full, true);
+    let broadcast_pass_us = mean_us(3, || {
+        black_box(run_pass(&broadcast, &fx.queries));
+    });
+    let pruned_pass_us = mean_us(3, || {
+        black_box(run_pass(&pruned, &fx.queries));
+    });
+
+    let json = format!(
+        "{{\n  \"bench\": \"federation_selectivity\",\n  \
+         \"endpoints\": {},\n  \
+         \"workload_queries\": {},\n  \
+         \"issued_broadcast\": {issued_broadcast},\n  \
+         \"issued_pruned\": {issued_pruned},\n  \
+         \"subquery_reduction\": {reduction:.3},\n  \
+         \"reduction_floor\": {REDUCTION_FLOOR},\n  \
+         \"broadcast_pass_us\": {broadcast_pass_us:.0},\n  \
+         \"pruned_pass_us\": {pruned_pass_us:.0},\n  \
+         \"recall_curve\": [\n{}\n  ]\n}}\n",
+        fx.scenario.endpoint_count(),
+        fx.queries.len(),
+        curve.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_federation.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_federation_selectivity);
+criterion_main!(benches);

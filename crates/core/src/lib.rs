@@ -91,7 +91,7 @@ pub use partition::{run_partitioned, PartitionTrace, PartitionedConfig, Partitio
 pub use persist::{AgentState, EpisodeRecord, EpisodeStats, RunSnapshot};
 pub use policy::Policy;
 pub use provenance::{Provenance, StateAction};
-pub use query_feedback::{workload_from_links, QueryFeedback};
+pub use query_feedback::{workload_from_links, workload_requiring_links, QueryFeedback};
 pub use space::{LinkSpace, PairId, SpaceConfig};
 pub use trust_gate::{AdmissionRecord, TrustGate};
 pub use users::{UserPopulation, UserProfile};

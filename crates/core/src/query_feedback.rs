@@ -43,6 +43,10 @@ pub struct QueryFeedback {
     degraded_total: usize,
     /// Round-robin position in the workload.
     cursor: usize,
+    /// Execute queries through the explicit sameAs-closure rewrite
+    /// (`rewrite_sameas` + `execute_rewritten`) instead of relying on the
+    /// executor's implicit probe-time expansion alone.
+    rewrite_sameas: bool,
 }
 
 impl QueryFeedback {
@@ -70,7 +74,17 @@ impl QueryFeedback {
             degraded: 0,
             degraded_total: 0,
             cursor: 0,
+            rewrite_sameas: false,
         }
+    }
+
+    /// Toggle sameAs-closure query rewriting: each workload query is
+    /// rewritten against the engine's current closure immediately before
+    /// execution (so the rewrite is never stale) and run through
+    /// [`FederatedEngine::execute_rewritten`], which stamps the closure
+    /// generation into every answer-cache key.
+    pub fn set_rewrite_sameas(&mut self, enabled: bool) {
+        self.rewrite_sameas = enabled;
     }
 
     /// Number of queries in the workload.
@@ -149,7 +163,15 @@ impl QueryFeedback {
         for _ in 0..self.queries.len() {
             let query = &self.queries[self.cursor % self.queries.len()];
             self.cursor += 1;
-            match self.engine.execute_full(query) {
+            let result = if self.rewrite_sameas {
+                // Rewritten against the closure just synced above, executed
+                // before any further mutation — freshness by construction.
+                let rewritten = self.engine.rewrite(query);
+                self.engine.execute_rewritten(&rewritten)
+            } else {
+                self.engine.execute_full(query)
+            };
+            match result {
                 Ok(result) => {
                     for answer in &result.answers {
                         if answer.links_used.is_empty() {
@@ -246,6 +268,41 @@ pub fn workload_from_links(
             "SELECT ?e ?v WHERE {{ ?e <{anchor_pred}> \"{anchor_value}\" . \
              ?e <{right_pred}> ?v }}"
         );
+        if let Ok(query) = parse(&sparql) {
+            out.push(query);
+        }
+    }
+    out
+}
+
+/// Build a workload whose answers are only reachable across a sameAs hop:
+/// each query anchors the *left* entity by IRI and requests an attribute
+/// that only the *right* data set holds,
+///
+/// ```sparql
+/// SELECT ?v WHERE { <left-iri> <right-pred> ?v }
+/// ```
+///
+/// so without the `(left, right)` link in the engine's closure the query
+/// returns nothing, and with it every answer carries link provenance.
+/// This is the workload the recall experiments use: answer recall tracks
+/// closure convergence directly. Constant-IRI anchors also make these
+/// queries rewritable (the literal-anchored [`workload_from_links`] shape
+/// passes through [`FederatedEngine::rewrite`] unchanged).
+pub fn workload_requiring_links(
+    right: &Dataset,
+    links: &[(String, String)],
+    cap: usize,
+) -> Vec<Query> {
+    let mut out = Vec::new();
+    for (left_iri, right_iri) in links {
+        if out.len() >= cap {
+            break;
+        }
+        let Some(right_pred) = any_attribute_predicate(right, right_iri) else {
+            continue;
+        };
+        let sparql = format!("SELECT ?v WHERE {{ <{left_iri}> <{right_pred}> ?v }}");
         if let Ok(query) = parse(&sparql) {
             out.push(query);
         }
@@ -453,5 +510,47 @@ mod tests {
         let (left, right) = datasets();
         let links = truth_links(&left, &right);
         assert_eq!(workload_from_links(&left, &right, &links, 2).len(), 2);
+    }
+
+    #[test]
+    fn link_requiring_workload_answers_only_across_the_closure() {
+        let (left, right) = datasets();
+        let links = truth_links(&left, &right);
+        let queries = workload_requiring_links(&right, &links, 10);
+        assert_eq!(queries.len(), 3);
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(left)));
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(right)));
+        // No links: the constant left IRI never reaches the right source.
+        assert!(engine.execute(&queries[0]).unwrap().is_empty());
+        engine
+            .links_mut()
+            .add(Link::new("http://l/0", "http://r/0"));
+        let answers = engine.execute(&queries[0]).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert!(!answers[0].links_used.is_empty(), "answer rides the link");
+    }
+
+    #[test]
+    fn rewrite_mode_produces_the_same_judgments() {
+        let run = |rewrite: bool| -> Vec<(u32, u32, Feedback)> {
+            let (mut source, mut space, _) = build_source(false);
+            source.set_rewrite_sameas(rewrite);
+            let mut candidates = CandidateSet::new();
+            candidates.insert(space.ensure_pair(0, 0));
+            candidates.insert(space.ensure_pair(1, 2));
+            let mut out = Vec::new();
+            for _ in 0..20 {
+                let Some((id, fb)) = source.next(&candidates, &space) else {
+                    break;
+                };
+                let (l, r) = space.pair(id);
+                out.push((l, r, fb));
+            }
+            out
+        };
+        let plain = run(false);
+        assert!(!plain.is_empty());
+        assert_eq!(plain, run(true), "rewriting must not change any verdict");
     }
 }

@@ -22,6 +22,7 @@
 
 pub mod adversary;
 pub mod corrupt;
+pub mod federation;
 pub mod generator;
 pub mod identity;
 pub mod initial_links;
@@ -31,6 +32,7 @@ pub mod queries;
 pub mod schema;
 
 pub use adversary::{assign_roles, AdversaryKind, AdversaryProfile, SourceRole};
+pub use federation::{federation_scenario, FederationConfig, FederationScenario, HopQuery};
 pub use generator::{generate_pair, GeneratedPair, PairConfig, SideConfig};
 pub use identity::{CanonValue, Domain, FieldKey, Identity};
 pub use initial_links::{sample_initial_links, score_links, InitialLinksSpec};

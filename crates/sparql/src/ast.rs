@@ -2,8 +2,9 @@
 //!
 //! The subset covers what the paper's federated-query scenario needs:
 //! `PREFIX`, `SELECT [DISTINCT] ?v… | *` and `ASK`, basic graph patterns,
-//! `OPTIONAL { … }` groups, `FILTER` with comparisons / boolean connectives
-//! / `CONTAINS` / `STR`, `ORDER BY`, and `LIMIT`.
+//! `OPTIONAL { … }` groups, `{ … } UNION { … }` alternations, `FILTER`
+//! with comparisons / boolean connectives / `CONTAINS` / `STR`,
+//! `ORDER BY`, and `LIMIT`.
 
 use crate::value::Value;
 
@@ -100,6 +101,11 @@ pub enum WhereElement {
     /// An `OPTIONAL { … }` group: left-outer-joined against the required
     /// part. The subset allows triple patterns inside (no nesting).
     Optional(Vec<TriplePattern>),
+    /// A `{ … } UNION { … }` alternation: each branch is a group of triple
+    /// patterns (no nesting), and solutions of the element are the set
+    /// union of the branches' solutions joined against the rest of the
+    /// query. Always has at least two branches.
+    Union(Vec<Vec<TriplePattern>>),
 }
 
 /// Projection clause.
@@ -171,6 +177,15 @@ impl Query {
         })
     }
 
+    /// UNION alternations of the query, in order. Each item is the list of
+    /// branches; each branch is a group of triple patterns.
+    pub fn unions(&self) -> impl Iterator<Item = &Vec<Vec<TriplePattern>>> {
+        self.where_clause.iter().filter_map(|e| match e {
+            WhereElement::Union(branches) => Some(branches),
+            _ => None,
+        })
+    }
+
     /// All variables in order of first appearance in the patterns
     /// (required first, then optional groups).
     pub fn pattern_variables(&self) -> Vec<String> {
@@ -184,6 +199,13 @@ impl Query {
         };
         for p in self.patterns() {
             push(p, &mut out);
+        }
+        for branches in self.unions() {
+            for branch in branches {
+                for p in branch {
+                    push(p, &mut out);
+                }
+            }
         }
         for group in self.optionals() {
             for p in group {
@@ -262,6 +284,22 @@ impl Query {
                         out.push_str(" .");
                     }
                     out.push_str(" }");
+                }
+                WhereElement::Union(branches) => {
+                    for (b, branch) in branches.iter().enumerate() {
+                        if b > 0 {
+                            out.push_str(" UNION ");
+                        }
+                        out.push_str("{ ");
+                        for (j, p) in branch.iter().enumerate() {
+                            if j > 0 {
+                                out.push(' ');
+                            }
+                            write_pattern(&mut out, p);
+                            out.push_str(" .");
+                        }
+                        out.push_str(" }");
+                    }
                 }
             }
         }
@@ -466,6 +504,23 @@ mod tests {
                    OPTIONAL { ?a <http://e/q> ?c } } \
                    ORDER BY ASC(?b) DESC(?a) LIMIT 5";
         let q = crate::parser::parse(src).unwrap();
+        let text = q.to_sparql();
+        let q2 = crate::parser::parse(&text)
+            .unwrap_or_else(|e| panic!("serialized form must re-parse: {e:?}\n{text}"));
+        assert_eq!(q, q2);
+        assert_eq!(q2.to_sparql(), text, "serialization is a fixpoint");
+    }
+
+    #[test]
+    fn union_round_trips_through_the_parser() {
+        let src = "SELECT * WHERE { ?s <http://e/k> ?v . \
+                   { ?s <http://e/p> ?o . } UNION { ?s <http://e/q> ?o . } \
+                   UNION { ?s <http://e/r> ?o . } }";
+        let q = crate::parser::parse(src).unwrap();
+        let branches: Vec<_> = q.unions().collect();
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].len(), 3);
+        assert_eq!(q.pattern_variables(), vec!["s", "v", "o"]);
         let text = q.to_sparql();
         let q2 = crate::parser::parse(&text)
             .unwrap_or_else(|e| panic!("serialized form must re-parse: {e:?}\n{text}"));

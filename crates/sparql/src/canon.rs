@@ -9,7 +9,8 @@
 //!   (which positions, alongside which constants, in which clause
 //!   kinds), starting from a name-independent constant; and
 //! * **triple reordering** — the required patterns (and the patterns
-//!   within each OPTIONAL group, and the filter set) are combined
+//!   within each OPTIONAL group, the branches of each UNION and the
+//!   patterns within each branch, and the filter set) are combined
 //!   commutatively, so their syntactic order cannot matter.
 //!
 //! Everything semantically ordered stays ordered: the projection list,
@@ -204,6 +205,23 @@ fn refine(q: &Query, colors: &mut HashMap<String, u64>) {
             pattern_signals(p, tag, &mut send);
         }
     }
+    // UNION alternations are ordered, but the branches within each are
+    // not: tag each pattern with its union's index plus a commutative
+    // hash of its own branch, so branch reordering cannot change any
+    // signal while "same pattern, different branch shape" still can.
+    for (ui, branches) in q.unions().enumerate() {
+        let union_tag = mix(hash_bytes(b"union"), ui as u64);
+        for branch in branches {
+            let mut bh: u64 = 0;
+            for p in branch {
+                bh = bh.wrapping_add(pattern_hash(p, colors));
+            }
+            let tag = mix(union_tag, bh);
+            for p in branch {
+                pattern_signals(p, tag, &mut send);
+            }
+        }
+    }
     for f in q.filters() {
         let fh = mix(hash_bytes(b"filter"), expr_hash(f, colors));
         for name in crate::expr::expr_variables(f) {
@@ -270,6 +288,21 @@ pub fn fingerprint(q: &Query) -> u64 {
         h = mix(h, mix(hash_bytes(b"group"), gh));
     }
 
+    // UNION alternations: ordered sequence, but within each the branch
+    // set is commutative (a branch hash is itself a commutative pattern
+    // sum, mixed once so the branch partitioning stays visible).
+    for branches in q.unions() {
+        let mut uh: u64 = 0;
+        for branch in branches {
+            let mut bh: u64 = 0;
+            for p in branch {
+                bh = bh.wrapping_add(pattern_hash(p, &colors));
+            }
+            uh = uh.wrapping_add(mix(hash_bytes(b"branch"), bh));
+        }
+        h = mix(h, mix(hash_bytes(b"union"), uh));
+    }
+
     // ORDER BY: ordered, with direction.
     for key in &q.order_by {
         let color = colors.get(&key.variable).copied().unwrap_or(INITIAL_COLOR);
@@ -329,6 +362,34 @@ mod tests {
         assert_ne!(
             fp("SELECT * WHERE { ?a <http://e/p> ?b . ?b <http://e/p> ?c }"),
             fp("SELECT * WHERE { ?a <http://e/p> ?b . ?a <http://e/p> ?c }"),
+        );
+    }
+
+    #[test]
+    fn union_branch_reordering_preserves_the_fingerprint() {
+        assert_eq!(
+            fp("SELECT * WHERE { { ?a <http://e/p> ?b } UNION { ?a <http://e/q> ?b } }"),
+            fp("SELECT * WHERE { { ?a <http://e/q> ?b } UNION { ?a <http://e/p> ?b } }"),
+        );
+        // Renaming composes with branch reordering.
+        assert_eq!(
+            fp("SELECT ?a WHERE { { ?a <http://e/p> ?b . ?b <http://e/r> ?c } UNION { ?a <http://e/q> ?b } }"),
+            fp("SELECT ?x WHERE { { ?x <http://e/q> ?y } UNION { ?x <http://e/p> ?y . ?y <http://e/r> ?z } }"),
+        );
+    }
+
+    #[test]
+    fn union_branch_partitioning_changes_the_fingerprint() {
+        // {A,B} UNION {C} vs {A} UNION {B,C}: same pattern multiset,
+        // different alternation — the branch grouping must be visible.
+        assert_ne!(
+            fp("SELECT * WHERE { { ?a <http://e/p> ?b . ?a <http://e/q> ?b } UNION { ?a <http://e/r> ?b } }"),
+            fp("SELECT * WHERE { { ?a <http://e/p> ?b } UNION { ?a <http://e/q> ?b . ?a <http://e/r> ?b } }"),
+        );
+        // A union is not the same as requiring one branch.
+        assert_ne!(
+            fp("SELECT * WHERE { { ?a <http://e/p> ?b } UNION { ?a <http://e/q> ?b } }"),
+            fp("SELECT * WHERE { ?a <http://e/p> ?b . ?a <http://e/q> ?b }"),
         );
     }
 

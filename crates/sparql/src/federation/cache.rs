@@ -95,6 +95,26 @@ impl CacheProbe {
         CacheProbe { base, anchors }
     }
 
+    /// Stamp a sameAs-closure generation into the signature. Rewritten
+    /// executions use this: a rewritten query is only answer-equivalent
+    /// under the exact closure it was rewritten at, and its dependence
+    /// on the closure is *global* (any link can add or drop a union
+    /// branch somewhere), not limited to this probe's anchors. Anchor
+    /// invalidation therefore cannot keep rewritten entries honest —
+    /// the generation in the key makes every post-mutation lookup miss
+    /// instead. Plain (non-rewritten) probes keep their unstamped keys
+    /// and exact anchor invalidation.
+    pub(crate) fn stamp_generation(mut self, generation: u64) -> CacheProbe {
+        // `base` is a sequence of self-delimiting `push_sig` components,
+        // so appending a fourth component keeps the keyspace disjoint
+        // from (injective against) unstamped three-component keys.
+        push_sig(
+            &mut self.base,
+            Some(&Value::plain(format!("g{generation}"))),
+        );
+        self
+    }
+
     /// The full cache key for one endpoint.
     pub(crate) fn key_for(&self, endpoint: &str) -> String {
         let mut key = String::with_capacity(endpoint.len() + self.base.len() + 8);
@@ -140,5 +160,21 @@ mod tests {
             Some(&Value::iri("http://x")),
         );
         assert_eq!(dup.anchors().len(), 1);
+    }
+
+    #[test]
+    fn generation_stamp_partitions_the_keyspace() {
+        let plain = || CacheProbe::new(Some(&Value::iri("http://s")), None, None);
+        let unstamped = plain().key_for("e");
+        let g0 = plain().stamp_generation(0).key_for("e");
+        let g1 = plain().stamp_generation(1).key_for("e");
+        assert_ne!(unstamped, g0, "stamped keys never alias plain keys");
+        assert_ne!(g0, g1, "each generation is its own keyspace");
+        assert_eq!(g1, plain().stamp_generation(1).key_for("e"));
+        // The stamp does not disturb the anchor set.
+        assert_eq!(
+            plain().stamp_generation(3).anchors(),
+            ["http://s".to_string()]
+        );
     }
 }

@@ -30,11 +30,13 @@ use crate::expr::{eval_expr, expr_variables, Bindings};
 use crate::value::Value;
 
 use super::cache::{CacheInvalidator, CacheProbe, CachedRows, FederationCache};
+use super::catalog::Catalog;
 use super::endpoint::Endpoint;
 use super::links::{Link, SameAsLinks};
 use super::resilience::{
     BreakerState, CircuitBreaker, Completeness, Deadline, EndpointError, ResilienceConfig,
 };
+use super::rewrite::{rewrite_sameas, RewrittenQuery};
 
 /// One answer row: the projected bindings plus the sameAs links used to
 /// produce it. Feedback on the answer is feedback on those links (§3.2).
@@ -81,6 +83,9 @@ pub struct FederatedEngine {
     /// Optional answer cache (per-endpoint sub-query batches). Behind an
     /// `Arc` because the link index holds an invalidator pointing at it.
     cache: Option<Arc<FederationCache>>,
+    /// Optional coverage catalog: with it set, endpoints provably unable
+    /// to answer a pattern are pruned instead of probed.
+    catalog: Option<Catalog>,
 }
 
 impl Default for FederatedEngine {
@@ -93,6 +98,7 @@ impl Default for FederatedEngine {
             breakers: Vec::new(),
             resilience,
             cache: None,
+            catalog: None,
         }
     }
 }
@@ -103,6 +109,9 @@ impl Default for FederatedEngine {
 struct ExecStats {
     /// Per-endpoint `matching` probes issued (source selection + joins).
     probes: u64,
+    /// Probes the coverage catalog proved unnecessary (subset of
+    /// `probes`; never dispatched to the endpoint).
+    pruned_probes: u64,
     /// Bound-join iterations: one per (pattern, partial-solution) pair.
     bound_join_iterations: u64,
     /// sameAs alternatives probed for bound subject/object IRIs.
@@ -181,6 +190,47 @@ impl FederatedEngine {
         self.cache.as_ref().map(|c| c.stats())
     }
 
+    /// Install (or remove, with `None`) the coverage catalog the executor
+    /// consults for source selection. Entries for names that match no
+    /// registered endpoint are simply never looked up; endpoints without
+    /// an entry are broadcast as before.
+    pub fn set_catalog(&mut self, catalog: Option<Catalog>) {
+        self.catalog = catalog;
+    }
+
+    /// Borrow the installed catalog, if any.
+    pub fn catalog(&self) -> Option<&Catalog> {
+        self.catalog.as_ref()
+    }
+
+    /// Mutably borrow the installed catalog (to bump its version or
+    /// refresh entries between queries).
+    pub fn catalog_mut(&mut self) -> Option<&mut Catalog> {
+        self.catalog.as_mut()
+    }
+
+    /// Build a catalog by exhaustively probing every registered endpoint
+    /// (under the engine's per-call endpoint budget). Fails on the first
+    /// endpoint that cannot be scanned — a partial catalog built here
+    /// would be indistinguishable from a complete one.
+    pub fn build_catalog(&self) -> std::result::Result<Catalog, EndpointError> {
+        let mut catalog = Catalog::new();
+        for ep in &self.endpoints {
+            let deadline = match self.resilience.endpoint_budget {
+                Some(budget) => Deadline::within(budget),
+                None => Deadline::none(),
+            };
+            catalog.probe_endpoint(ep.as_ref(), &deadline)?;
+        }
+        Ok(catalog)
+    }
+
+    /// Rewrite a query against the engine's current sameAs closure (see
+    /// [`rewrite_sameas`]).
+    pub fn rewrite(&self, query: &Query) -> RewrittenQuery {
+        rewrite_sameas(query, &self.links)
+    }
+
     /// Replace the link index. With the cache enabled this is the
     /// wholesale path: provenance recorded against the old index says
     /// nothing about the new one, so the cache is cleared outright and
@@ -222,7 +272,40 @@ impl FederatedEngine {
     /// Execute a parsed query, returning answers plus query-level
     /// completeness provenance.
     pub fn execute_full(&self, query: &Query) -> Result<FederatedResult> {
+        self.execute_full_inner(query, None)
+    }
+
+    /// Execute a query rewritten against the sameAs closure (see
+    /// [`rewrite_sameas`]). The rewrite's per-branch link provenance is
+    /// attached to answers produced through substituted branches, and its
+    /// closure generation is stamped into every answer-cache key of the
+    /// execution, so a later link mutation makes rewritten lookups miss
+    /// rather than serve answers computed under a stale closure.
+    ///
+    /// The rewrite must be fresh: executing against a closure the rewrite
+    /// does not reflect would silently drop (or phantom) union branches,
+    /// so a stale rewrite is an error, not a degradation.
+    pub fn execute_rewritten(&self, rewritten: &RewrittenQuery) -> Result<FederatedResult> {
+        if rewritten.is_stale(&self.links) {
+            return Err(SparqlError::Unsupported(format!(
+                "stale sameAs rewrite: rewritten at closure generation {}, engine is at {}",
+                rewritten.generation(),
+                self.links.generation()
+            )));
+        }
+        self.execute_full_inner(rewritten.query(), Some(rewritten))
+    }
+
+    fn execute_full_inner(
+        &self,
+        query: &Query,
+        rewrite: Option<&RewrittenQuery>,
+    ) -> Result<FederatedResult> {
         let query_span = span("federated_query");
+        let ctx = ProbeCtx {
+            in_union: false,
+            generation: rewrite.map(|r| r.generation()),
+        };
         let mut stats = ExecStats::default();
         // Sources skipped this execution (down past their retry allowance
         // or shed by an open breaker). BTreeSet keeps provenance sorted.
@@ -262,6 +345,7 @@ impl FederatedEngine {
                     &mut next,
                     &mut stats,
                     &mut skipped,
+                    ctx,
                 )?;
             }
             partials = next;
@@ -294,6 +378,46 @@ impl FederatedEngine {
             }
         }
 
+        // UNION alternations, in syntactic order: each element joins every
+        // surviving solution through each of its branches independently
+        // and keeps the concatenation (branch-major — deterministic at any
+        // thread count). Inside branches implicit *constant* sameAs
+        // expansion is off: a hand-written or rewrite-generated union
+        // spells its alternatives out, and expanding them again would
+        // duplicate answers; runtime-bound variable values still expand,
+        // so a rewrite can never lose answers the implicit closure found.
+        let union_ctx = ProbeCtx {
+            in_union: true,
+            ..ctx
+        };
+        for (ui, branches) in query.unions().enumerate() {
+            let mut next: Vec<(Bindings, Vec<Link>)> = Vec::new();
+            for (bi, branch) in branches.iter().enumerate() {
+                let mut extended = self.join_patterns(
+                    partials.clone(),
+                    branch.iter().collect(),
+                    &mut stats,
+                    &mut skipped,
+                    union_ctx,
+                )?;
+                // Answers from a substituted branch owe their existence to
+                // the links that justified the substitution.
+                if let Some(rw) = rewrite {
+                    let credit = rw.links_for(ui, bi);
+                    if !credit.is_empty() {
+                        for (_, links_used) in &mut extended {
+                            links_used.extend(credit.iter().cloned());
+                        }
+                    }
+                }
+                next.extend(extended);
+            }
+            partials = next;
+            if partials.is_empty() {
+                break;
+            }
+        }
+
         // Any filter not yet applied (e.g. over a variable that never got
         // bound) is evaluated now and surfaces unbound-variable errors.
         for (fi, filter) in filters.iter().enumerate() {
@@ -316,8 +440,13 @@ impl FederatedEngine {
             let mut next: Vec<(Bindings, Vec<Link>)> = Vec::new();
             for (bindings, links_used) in partials {
                 let seed = vec![(bindings.clone(), links_used.clone())];
-                let extended =
-                    self.join_patterns(seed, group.iter().collect(), &mut stats, &mut skipped)?;
+                let extended = self.join_patterns(
+                    seed,
+                    group.iter().collect(),
+                    &mut stats,
+                    &mut skipped,
+                    ctx,
+                )?;
                 if extended.is_empty() {
                     next.push((bindings, links_used));
                 } else {
@@ -383,8 +512,11 @@ impl FederatedEngine {
         }
 
         let provenance_answers = answers.iter().filter(|a| !a.links_used.is_empty()).count() as u64;
+        let rewrites = rewrite.map_or(0, RewrittenQuery::rewritten_patterns);
         counter!("alex_federated_queries_total").inc();
         counter!("alex_source_selection_probes_total").add(stats.probes);
+        counter!("federation_pruned_probes_total").add(stats.pruned_probes);
+        counter!("federation_rewritten_patterns_total").add(rewrites);
         counter!("alex_bound_join_iterations_total").add(stats.bound_join_iterations);
         counter!("alex_sameas_expansions_total").add(stats.sameas_expansions);
         counter!("alex_provenance_answers_total").add(provenance_answers);
@@ -406,6 +538,7 @@ impl FederatedEngine {
             answers: answers.len() as u64,
             provenance_answers,
             probes: stats.probes,
+            pruned_probes: stats.pruned_probes,
             bound_join_iterations: stats.bound_join_iterations,
             sameas_expansions: stats.sameas_expansions,
             retries: stats.retries,
@@ -413,6 +546,8 @@ impl FederatedEngine {
             cache: self.cache.is_some(),
             cache_hits: stats.cache_hits,
             cache_misses: stats.cache_misses,
+            catalog: self.catalog.is_some(),
+            rewrites,
             threads: alex_parallel::configured_threads() as u64,
             duration_us: query_span.elapsed().as_micros() as u64,
         });
@@ -440,6 +575,7 @@ impl FederatedEngine {
         mut remaining: Vec<&TriplePattern>,
         stats: &mut ExecStats,
         skipped: &mut BTreeSet<String>,
+        ctx: ProbeCtx,
     ) -> Result<Vec<(Bindings, Vec<Link>)>> {
         while !remaining.is_empty() && !partials.is_empty() {
             let bound_vars: HashSet<String> = partials
@@ -457,7 +593,9 @@ impl FederatedEngine {
             let pattern = remaining.remove(idx);
             let mut next = Vec::new();
             for (bindings, links_used) in &partials {
-                self.extend_with_pattern(pattern, bindings, links_used, &mut next, stats, skipped)?;
+                self.extend_with_pattern(
+                    pattern, bindings, links_used, &mut next, stats, skipped, ctx,
+                )?;
             }
             partials = next;
         }
@@ -476,6 +614,7 @@ impl FederatedEngine {
     /// merge below replays the sequential (job, endpoint) nesting, so
     /// answer order, stat totals, skip provenance, and fail-fast error
     /// selection are all unchanged.
+    #[allow(clippy::too_many_arguments)]
     fn extend_with_pattern(
         &self,
         pattern: &TriplePattern,
@@ -484,14 +623,18 @@ impl FederatedEngine {
         out: &mut Vec<(Bindings, Vec<Link>)>,
         stats: &mut ExecStats,
         skipped: &mut BTreeSet<String>,
+        ctx: ProbeCtx,
     ) -> Result<()> {
         stats.bound_join_iterations += 1;
 
         // Resolve each position: bound value (with sameAs alternatives for
-        // IRIs in subject/object position) or wildcard.
-        let s_alts = alternatives(&pattern.subject, bindings, &self.links);
+        // IRIs in subject/object position) or wildcard. Inside UNION
+        // branches constants are not expanded — the branch list is the
+        // explicit expansion.
+        let expand_constants = !ctx.in_union;
+        let s_alts = alternatives(&pattern.subject, bindings, &self.links, expand_constants);
         let p_alts = alternatives_no_expand(&pattern.predicate, bindings);
-        let o_alts = alternatives(&pattern.object, bindings, &self.links);
+        let o_alts = alternatives(&pattern.object, bindings, &self.links, expand_constants);
 
         // Every entry beyond the bound value itself is a sameAs expansion.
         stats.sameas_expansions += (s_alts.len() - 1) as u64 + (o_alts.len() - 1) as u64;
@@ -526,11 +669,18 @@ impl FederatedEngine {
         // re-deriving the job list above yields the same jobs in the
         // same order as when the entry was inserted.
         let probe = self.cache.as_ref().map(|_| {
-            CacheProbe::new(
+            let probe = CacheProbe::new(
                 s_alts[0].0.as_ref(),
                 p_alts[0].as_ref(),
                 o_alts[0].0.as_ref(),
-            )
+            );
+            // Rewritten executions key on the closure generation too: the
+            // rewritten query shape depends on the *whole* closure, which
+            // anchor invalidation cannot track (see `stamp_generation`).
+            match ctx.generation {
+                Some(generation) => probe.stamp_generation(generation),
+                None => probe,
+            }
         });
 
         let mut runs = self.dispatch_jobs(&jobs, probe.as_ref(), stats, skipped)?;
@@ -584,6 +734,30 @@ impl FederatedEngine {
             .map(|ep| skipped.contains(ep.name()))
             .collect();
 
+        // Catalog source selection, on the coordinator thread (the
+        // verdict depends only on the immutable catalog and the job list,
+        // so it is identical at any thread count). An endpoint is pruned
+        // for this batch only when *every* job is provably empty there;
+        // the catalog consults coverage, never health, so a prune is a
+        // statement about the data — it does not mark the source skipped
+        // and does not touch its breaker or completeness.
+        let pruned: Vec<bool> = match &self.catalog {
+            None => vec![false; self.endpoints.len()],
+            Some(catalog) => self
+                .endpoints
+                .iter()
+                .enumerate()
+                .map(|(i, ep)| {
+                    !pre_skipped[i]
+                        && !jobs.is_empty()
+                        && jobs
+                            .iter()
+                            .all(|job| !catalog.may_match(ep.name(), job.p, job.o))
+                })
+                .collect(),
+        };
+        stats.pruned_probes += (jobs.len() * pruned.iter().filter(|&&p| p).count()) as u64;
+
         // Consult the cache before dispatch, on the coordinator thread in
         // endpoint order (deterministic LRU movement). A hit bypasses the
         // resilience layer entirely — no endpoint call, no retry, no
@@ -594,7 +768,10 @@ impl FederatedEngine {
         let mut hits: Vec<Option<Arc<CachedRows>>> = vec![None; self.endpoints.len()];
         if let (Some(cache), Some(probe)) = (self.cache.as_ref(), probe) {
             for (i, ep) in self.endpoints.iter().enumerate() {
-                if pre_skipped[i] {
+                // Pruned endpoints bypass the cache entirely: a lookup
+                // would be wasted work and an insert would cache a batch
+                // the endpoint never served.
+                if pre_skipped[i] || pruned[i] {
                     continue;
                 }
                 let key = probe.key_for(ep.name());
@@ -622,7 +799,10 @@ impl FederatedEngine {
                 terminal: None,
                 duration_us: 0,
             },
-            None => self.run_endpoint_jobs(i, jobs, pre_skipped[i]),
+            // A pruned endpoint behaves like a pre-skipped one for
+            // dispatch (all-`None` rows, no endpoint calls) but records
+            // no terminal and lands in no skip set.
+            None => self.run_endpoint_jobs(i, jobs, pre_skipped[i] || pruned[i]),
         });
 
         for (i, run) in runs.iter().enumerate() {
@@ -643,6 +823,7 @@ impl FederatedEngine {
                 failures: run.delta.endpoint_failures,
                 skipped: pre_skipped[i] || run.terminal.is_some(),
                 cache_hit: hits[i].is_some(),
+                pruned: pruned[i],
             });
         }
         if self.resilience.fail_fast {
@@ -840,25 +1021,44 @@ fn compare_optional(a: Option<&Value>, b: Option<&Value>) -> std::cmp::Ordering 
     }
 }
 
+/// Per-execution probe context, threaded from the query entry point down
+/// to every pattern extension.
+#[derive(Clone, Copy, Default)]
+struct ProbeCtx {
+    /// Whether the pattern sits inside a UNION branch. Branches spell
+    /// their constant alternatives out explicitly, so implicit constant
+    /// sameAs expansion is suppressed there (variables bound at runtime
+    /// still expand).
+    in_union: bool,
+    /// The sameAs-closure generation of a rewritten execution, stamped
+    /// into every answer-cache key (`None` for plain executions).
+    generation: Option<u64>,
+}
+
 /// The probe values for a position: the bound/constant value itself plus,
 /// for IRIs, every sameAs-equivalent (each tagged with the enabling link).
-/// An unbound variable yields a single wildcard.
+/// An unbound variable yields a single wildcard. With `expand_constants`
+/// false, constants stay unexpanded; values bound by earlier patterns
+/// expand either way.
 fn alternatives(
     position: &TermPattern,
     bindings: &Bindings,
     links: &SameAsLinks,
+    expand_constants: bool,
 ) -> Vec<(Option<Value>, Option<Link>)> {
-    let value = match position {
-        TermPattern::Value(v) => Some(v.clone()),
-        TermPattern::Var(name) => bindings.get(name).cloned(),
+    let (value, is_constant) = match position {
+        TermPattern::Value(v) => (Some(v.clone()), true),
+        TermPattern::Var(name) => (bindings.get(name).cloned(), false),
     };
     match value {
         None => vec![(None, None)],
         Some(v) => {
             let mut out = vec![(Some(v.clone()), None)];
-            if let Value::Iri(iri) = &v {
-                for (other, link) in links.equivalents(iri) {
-                    out.push((Some(Value::iri(other)), Some(link)));
+            if expand_constants || !is_constant {
+                if let Value::Iri(iri) = &v {
+                    for (other, link) in links.equivalents(iri) {
+                        out.push((Some(Value::iri(other)), Some(link)));
+                    }
                 }
             }
             out
@@ -1590,5 +1790,293 @@ mod tests {
         let result = engine.execute_full(&q).unwrap();
         assert_eq!(result.answers.len(), 1, "fast source still answers");
         assert_eq!(result.completeness.skipped(), ["NYTimes".to_string()]);
+    }
+
+    // ------------------------------------------------------------- unions
+
+    #[test]
+    fn union_concatenates_branch_solutions() {
+        let engine = engine();
+        let q = parse(
+            "SELECT ?who ?what WHERE { \
+             { ?who <http://db/award> ?what . } UNION { ?who <http://db/label> ?what . } }",
+        )
+        .unwrap();
+        let answers = engine.execute(&q).unwrap();
+        assert_eq!(answers.len(), 3, "2 award rows + 1 label row");
+        // Branch-major order: all award answers precede the label answer.
+        assert_eq!(
+            answers[2].bindings.get("what"),
+            Some(&Value::plain("LeBron James"))
+        );
+        assert!(answers.iter().all(|a| a.links_used.is_empty()));
+    }
+
+    #[test]
+    fn union_branches_join_against_required_bindings() {
+        let engine = engine();
+        // ?who is bound by the required pattern; the union branch probes it
+        // as a bound variable, so sameAs expansion still applies and the
+        // cross-source answer carries link provenance.
+        let q = parse(
+            "SELECT ?article ?x WHERE { \
+             ?who <http://db/award> \"NBA MVP 2013\" . \
+             { ?article <http://nyt/about> ?who . } UNION \
+             { ?article <http://db/never> ?x . } }",
+        )
+        .unwrap();
+        let answers = engine.execute(&q).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(
+            answers[0].links_used,
+            vec![Link::new("http://db/LeBron", "http://nyt/lebron-james")]
+        );
+    }
+
+    #[test]
+    fn union_branch_constants_are_not_sameas_expanded() {
+        let engine = engine();
+        // The NYT IRI has a sameAs link back to http://db/LeBron, which
+        // holds an award row — but inside a union branch the constant is
+        // taken literally, so no answer flows through the link.
+        let q = parse(
+            "SELECT ?what WHERE { \
+             { <http://nyt/lebron-james> <http://db/award> ?what . } UNION \
+             { <http://nyt/lebron-james> <http://db/never> ?what . } }",
+        )
+        .unwrap();
+        assert!(engine.execute(&q).unwrap().is_empty());
+        // The same constant in a required pattern *does* expand.
+        let plain =
+            parse("SELECT ?what WHERE { <http://nyt/lebron-james> <http://db/award> ?what }")
+                .unwrap();
+        let answers = engine.execute(&plain).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert!(!answers[0].links_used.is_empty());
+    }
+
+    // ------------------------------------------------------------ catalog
+
+    /// Two counting endpoints so tests can observe per-source traffic.
+    fn counting_engine() -> (
+        FederatedEngine,
+        Arc<CountingEndpoint>,
+        Arc<CountingEndpoint>,
+    ) {
+        struct Shared(Arc<CountingEndpoint>);
+        impl Endpoint for Shared {
+            fn name(&self) -> &str {
+                self.0.name()
+            }
+            fn matching(
+                &self,
+                s: Option<&Value>,
+                p: Option<&Value>,
+                o: Option<&Value>,
+                deadline: &Deadline,
+            ) -> std::result::Result<Vec<[Value; 3]>, EndpointError> {
+                self.0.matching(s, p, o, deadline)
+            }
+        }
+        let db = Arc::new(CountingEndpoint::new(dbpedia()));
+        let nyt_ep = Arc::new(CountingEndpoint::new(nyt()));
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(Shared(Arc::clone(&db))));
+        engine.add_endpoint(Box::new(Shared(Arc::clone(&nyt_ep))));
+        engine.set_links(SameAsLinks::from_pairs(vec![(
+            "http://db/LeBron",
+            "http://nyt/lebron-james",
+        )]));
+        (engine, db, nyt_ep)
+    }
+
+    fn calls(ep: &CountingEndpoint) -> u64 {
+        ep.calls.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    #[test]
+    fn catalog_prunes_endpoints_that_cannot_answer() {
+        let (mut engine, db, nyt_ep) = counting_engine();
+        let catalog = engine.build_catalog().unwrap();
+        engine.set_catalog(Some(catalog));
+        let probe_calls_nyt = calls(&nyt_ep);
+        let q = parse("SELECT ?who WHERE { ?who <http://db/award> \"NBA MVP 2013\" }").unwrap();
+        let result = engine.execute_full(&q).unwrap();
+        assert_eq!(result.answers.len(), 1);
+        assert!(result.is_complete(), "a prune is not a skip");
+        assert_eq!(
+            calls(&nyt_ep),
+            probe_calls_nyt,
+            "NYT holds no http://db/award triples: provably prunable"
+        );
+        assert!(calls(&db) > 1, "DBpedia answered (1 call was the scan)");
+    }
+
+    #[test]
+    fn catalog_pruned_and_broadcast_answers_are_identical() {
+        let (engine, _, _) = counting_engine();
+        let (mut pruned_engine, _, _) = counting_engine();
+        let catalog = pruned_engine.build_catalog().unwrap();
+        pruned_engine.set_catalog(Some(catalog));
+        for query in [
+            CROSS_SOURCE,
+            "SELECT ?who ?what WHERE { ?who <http://db/award> ?what }",
+            "SELECT ?s WHERE { ?s <http://no/such/predicate> ?o }",
+        ] {
+            let q = parse(query).unwrap();
+            assert_eq!(
+                engine.execute_full(&q).unwrap(),
+                pruned_engine.execute_full(&q).unwrap(),
+                "{query}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_catalog_falls_back_to_broadcast() {
+        let (mut engine, _, nyt_ep) = counting_engine();
+        let catalog = engine.build_catalog().unwrap();
+        engine.set_catalog(Some(catalog));
+        let q = parse("SELECT ?who WHERE { ?who <http://db/award> \"NBA MVP 2013\" }").unwrap();
+        engine.execute(&q).unwrap();
+        let before = calls(&nyt_ep);
+        engine.catalog_mut().unwrap().bump_version();
+        engine.execute(&q).unwrap();
+        assert!(
+            calls(&nyt_ep) > before,
+            "stale coverage is unknown coverage: the endpoint is probed again"
+        );
+    }
+
+    #[test]
+    fn pruning_composes_with_resilience_not_masks_it() {
+        // A covered endpoint that is down still degrades the result: the
+        // catalog only ever removes provably-empty probes, so an outage on
+        // a source that *could* answer keeps its explicit skip marker.
+        let mut engine = FederatedEngine::new();
+        engine.add_endpoint(Box::new(DatasetEndpoint::new(dbpedia())));
+        engine.add_endpoint(Box::new(FaultyEndpoint::new(
+            DatasetEndpoint::new(nyt()),
+            FaultProfile {
+                outage: Some((0, u64::MAX)),
+                ..FaultProfile::none()
+            },
+        )));
+        engine.set_links(SameAsLinks::from_pairs(vec![(
+            "http://db/LeBron",
+            "http://nyt/lebron-james",
+        )]));
+        engine.set_resilience(fast_resilience());
+        // Coverage declared upfront (the outage forbids probing).
+        let mut catalog = Catalog::new();
+        catalog.declare(
+            "DBpedia",
+            ["http://db/award", "http://db/label"].map(String::from),
+            [],
+        );
+        catalog.declare(
+            "NYTimes",
+            ["http://nyt/about", "http://nyt/headline"].map(String::from),
+            [],
+        );
+        engine.set_catalog(Some(catalog));
+
+        // NYT is covered for this query, so it is probed, fails, and the
+        // result is explicitly partial — never a silent gap.
+        let q = parse(CROSS_SOURCE).unwrap();
+        let result = engine.execute_full(&q).unwrap();
+        assert_eq!(result.completeness.skipped(), ["NYTimes".to_string()]);
+
+        // For a DBpedia-only query NYT is pruned before it can fail, and
+        // the answer is complete.
+        let q = parse("SELECT ?what WHERE { ?who <http://db/award> ?what }").unwrap();
+        let result = engine.execute_full(&q).unwrap();
+        assert_eq!(result.answers.len(), 2);
+        assert!(result.is_complete());
+    }
+
+    // ----------------------------------------------------------- rewriting
+
+    #[test]
+    fn rewritten_execution_preserves_answers_and_provenance() {
+        let engine = engine();
+        for query in [
+            "SELECT ?article WHERE { ?article <http://nyt/about> <http://db/LeBron> }",
+            "SELECT ?what WHERE { <http://db/LeBron> <http://db/award> ?what }",
+            CROSS_SOURCE,
+        ] {
+            let q = parse(query).unwrap();
+            let plain = engine.execute_full(&q).unwrap();
+            let rewritten = engine.rewrite(&q);
+            let via_rewrite = engine.execute_rewritten(&rewritten).unwrap();
+            let sorted = |mut r: FederatedResult| {
+                r.answers
+                    .sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+                r
+            };
+            assert_eq!(sorted(plain), sorted(via_rewrite), "{query}");
+        }
+    }
+
+    #[test]
+    fn rewritten_cross_source_answer_credits_the_link() {
+        let engine = engine();
+        let q = parse("SELECT ?article WHERE { ?article <http://nyt/about> <http://db/LeBron> }")
+            .unwrap();
+        let rewritten = engine.rewrite(&q);
+        assert_eq!(rewritten.rewritten_patterns(), 1);
+        let answers = engine.execute_rewritten(&rewritten).unwrap().answers;
+        assert_eq!(answers.len(), 1);
+        assert_eq!(
+            answers[0].links_used,
+            vec![Link::new("http://db/LeBron", "http://nyt/lebron-james")],
+            "the substituted branch owes its answer to the link"
+        );
+    }
+
+    #[test]
+    fn stale_rewrite_is_rejected() {
+        let mut engine = engine();
+        let q = parse(CROSS_SOURCE).unwrap();
+        let rewritten = engine.rewrite(&q);
+        engine
+            .links_mut()
+            .add(Link::new("http://db/Durant", "http://nyt/kevin-durant"));
+        let err = engine.execute_rewritten(&rewritten).unwrap_err();
+        assert!(err.to_string().contains("stale sameAs rewrite"), "{err}");
+    }
+
+    #[test]
+    fn rewritten_cache_keys_miss_after_any_closure_change() {
+        let (mut engine, counter) = cached_engine();
+        let q = parse("SELECT ?article WHERE { ?article <http://nyt/about> <http://db/LeBron> }")
+            .unwrap();
+        let rw = engine.rewrite(&q);
+        let first = engine.execute_rewritten(&rw).unwrap();
+        assert_eq!(first.answers.len(), 1);
+        let warm = calls(&counter);
+        assert_eq!(
+            engine.execute_rewritten(&rw).unwrap(),
+            first,
+            "same closure: repeat is served warm"
+        );
+        assert_eq!(calls(&counter), warm);
+
+        // A mutation that does not touch this query's anchors would leave
+        // plain entries warm — but it bumps the closure generation, so the
+        // re-rewritten execution must go back to the endpoints rather than
+        // trust entries computed under the old closure.
+        engine
+            .links_mut()
+            .add(Link::new("http://db/Unrelated", "http://nyt/unrelated"));
+        let rw2 = engine.rewrite(&q);
+        let misses_before = engine.cache_stats().unwrap().misses;
+        let again = engine.execute_rewritten(&rw2).unwrap();
+        assert_eq!(again.answers, first.answers);
+        assert!(
+            engine.cache_stats().unwrap().misses > misses_before,
+            "generation-stamped keys must miss, not stale-hit"
+        );
+        assert!(calls(&counter) > warm);
     }
 }

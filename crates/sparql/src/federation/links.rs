@@ -48,27 +48,31 @@ pub struct SameAsLinks {
     backward: HashMap<String, Vec<String>>,
     set: HashSet<Link>,
     observers: Vec<Arc<dyn LinkObserver>>,
+    generation: u64,
 }
 
 impl std::fmt::Debug for SameAsLinks {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SameAsLinks")
             .field("links", &self.set.len())
+            .field("generation", &self.generation)
             .field("observers", &self.observers.len())
             .finish()
     }
 }
 
 impl Clone for SameAsLinks {
-    /// Clones carry the link data but *not* the observers: a subscriber
-    /// watches one index instance, and silently attaching it to copies
-    /// would make it fire for mutations of state it never indexed.
+    /// Clones carry the link data (and closure generation) but *not* the
+    /// observers: a subscriber watches one index instance, and silently
+    /// attaching it to copies would make it fire for mutations of state
+    /// it never indexed.
     fn clone(&self) -> Self {
         SameAsLinks {
             forward: self.forward.clone(),
             backward: self.backward.clone(),
             set: self.set.clone(),
             observers: Vec::new(),
+            generation: self.generation,
         }
     }
 }
@@ -103,12 +107,22 @@ impl SameAsLinks {
         self.observers.clear();
     }
 
+    /// Closure generation: a counter bumped on every *effective* mutation
+    /// (the same events observers see). Two indexes with equal generation
+    /// that started from the same state hold the same link closure, so
+    /// rewrite provenance and cache keys can use it as a cheap staleness
+    /// stamp — any add or remove invalidates every key that embeds it.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Add a link. Returns `true` if it was new. Observers are notified
     /// only when the index actually changed.
     pub fn add(&mut self, link: Link) -> bool {
         if !self.set.insert(link.clone()) {
             return false;
         }
+        self.generation += 1;
         self.forward
             .entry(link.left.clone())
             .or_default()
@@ -129,6 +143,7 @@ impl SameAsLinks {
         if !self.set.remove(link) {
             return false;
         }
+        self.generation += 1;
         if let Some(v) = self.forward.get_mut(&link.left) {
             v.retain(|r| r != &link.right);
         }
@@ -265,6 +280,26 @@ mod tests {
         assert_eq!(eq_a.len(), 1);
         assert_eq!(eq_a[0].0, "x");
         assert_eq!(eq_a[0].1, Link::new("a", "x"));
+    }
+
+    #[test]
+    fn generation_counts_effective_mutations_only() {
+        let mut s = SameAsLinks::new();
+        assert_eq!(s.generation(), 0);
+        s.add(Link::new("a", "x"));
+        assert_eq!(s.generation(), 1);
+        s.add(Link::new("a", "x")); // duplicate: no-op
+        assert_eq!(s.generation(), 1);
+        s.remove(&Link::new("ghost", "y")); // absent: no-op
+        assert_eq!(s.generation(), 1);
+        s.remove(&Link::new("a", "x"));
+        assert_eq!(s.generation(), 2);
+        // Clones carry the closure stamp; a mutated clone diverges.
+        let mut c = s.clone();
+        assert_eq!(c.generation(), 2);
+        c.add(Link::new("b", "y"));
+        assert_eq!(c.generation(), 3);
+        assert_eq!(s.generation(), 2);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub(crate) mod cache;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod catalog;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod endpoint;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod executor;
@@ -18,7 +20,10 @@ pub mod fault;
 pub mod links;
 #[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod resilience;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod rewrite;
 
+pub use catalog::{Catalog, CatalogParseError, Coverage};
 pub use endpoint::{DatasetEndpoint, Endpoint};
 pub use executor::{FederatedEngine, FederatedResult, QueryAnswer};
 pub use fault::{FaultProfile, FaultyEndpoint};
@@ -27,3 +32,4 @@ pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, Completeness, Deadline, EndpointError,
     ResilienceConfig, RetryPolicy,
 };
+pub use rewrite::{rewrite_sameas, RewrittenQuery};

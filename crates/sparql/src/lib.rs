@@ -56,9 +56,10 @@ pub use canon::fingerprint;
 pub use error::{Result, SparqlError};
 pub use expr::{eval_expr, Bindings};
 pub use federation::{
-    BreakerConfig, BreakerState, Completeness, DatasetEndpoint, Deadline, Endpoint, EndpointError,
-    FaultProfile, FaultyEndpoint, FederatedEngine, FederatedResult, Link, LinkObserver,
-    QueryAnswer, ResilienceConfig, RetryPolicy, SameAsLinks,
+    rewrite_sameas, BreakerConfig, BreakerState, Catalog, CatalogParseError, Completeness,
+    Coverage, DatasetEndpoint, Deadline, Endpoint, EndpointError, FaultProfile, FaultyEndpoint,
+    FederatedEngine, FederatedResult, Link, LinkObserver, QueryAnswer, ResilienceConfig,
+    RetryPolicy, RewrittenQuery, SameAsLinks,
 };
 pub use parser::parse;
 pub use value::Value;

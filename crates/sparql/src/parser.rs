@@ -151,46 +151,33 @@ impl Parser {
                     if !matches!(self.bump(), TokenKind::LBrace) {
                         return Err(self.err("expected '{' after OPTIONAL"));
                     }
-                    let mut group = Vec::new();
-                    loop {
-                        match self.peek() {
-                            TokenKind::RBrace => {
-                                self.bump();
-                                break;
-                            }
-                            TokenKind::Word(w)
-                                if w.eq_ignore_ascii_case("OPTIONAL")
-                                    || w.eq_ignore_ascii_case("FILTER") =>
-                            {
-                                return Err(SparqlError::Unsupported(format!(
-                                    "{w} inside OPTIONAL"
-                                )));
-                            }
-                            TokenKind::Eof => return Err(self.err("unterminated OPTIONAL group")),
-                            _ => {
-                                let subject = self.term_pattern()?;
-                                let predicate = self.predicate_pattern()?;
-                                let object = self.term_pattern()?;
-                                group.push(TriplePattern {
-                                    subject,
-                                    predicate,
-                                    object,
-                                });
-                                if matches!(self.peek(), TokenKind::Dot) {
-                                    self.bump();
-                                }
-                            }
-                        }
-                    }
-                    if group.is_empty() {
-                        return Err(self.err("empty OPTIONAL group"));
-                    }
+                    let group = self.group_body("OPTIONAL group")?;
                     where_clause.push(WhereElement::Optional(group));
                 }
-                TokenKind::Word(w)
-                    if w.eq_ignore_ascii_case("UNION") || w.eq_ignore_ascii_case("GRAPH") =>
-                {
+                TokenKind::LBrace => {
+                    // `{ … } UNION { … } [UNION { … }]*` — a braced group
+                    // inside WHERE is only valid as the first branch of an
+                    // alternation.
+                    self.bump();
+                    let first = self.group_body("UNION branch")?;
+                    if !self.peek_keyword("UNION") {
+                        return Err(self.err("expected UNION after '{ … }' group"));
+                    }
+                    let mut branches = vec![first];
+                    while self.peek_keyword("UNION") {
+                        self.bump();
+                        if !matches!(self.bump(), TokenKind::LBrace) {
+                            return Err(self.err("expected '{' after UNION"));
+                        }
+                        branches.push(self.group_body("UNION branch")?);
+                    }
+                    where_clause.push(WhereElement::Union(branches));
+                }
+                TokenKind::Word(w) if w.eq_ignore_ascii_case("GRAPH") => {
                     return Err(SparqlError::Unsupported(w.clone()));
+                }
+                TokenKind::Word(w) if w.eq_ignore_ascii_case("UNION") => {
+                    return Err(self.err("UNION must follow a '{ … }' group"));
                 }
                 TokenKind::Eof => return Err(self.err("unterminated WHERE group")),
                 _ => {
@@ -277,6 +264,52 @@ impl Parser {
             order_by,
             limit,
         })
+    }
+
+    /// The body of a braced triple-pattern group (an OPTIONAL group or a
+    /// UNION branch); the opening `{` has already been consumed. The subset
+    /// allows only triple patterns inside — nested OPTIONAL / FILTER /
+    /// UNION / groups are rejected, as are empty groups.
+    fn group_body(&mut self, context: &str) -> Result<Vec<TriplePattern>> {
+        let mut group = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Word(w)
+                    if w.eq_ignore_ascii_case("OPTIONAL")
+                        || w.eq_ignore_ascii_case("FILTER")
+                        || w.eq_ignore_ascii_case("UNION") =>
+                {
+                    return Err(SparqlError::Unsupported(format!("{w} inside {context}")));
+                }
+                TokenKind::LBrace => {
+                    return Err(SparqlError::Unsupported(format!(
+                        "nested group inside {context}"
+                    )));
+                }
+                TokenKind::Eof => return Err(self.err(format!("unterminated {context}"))),
+                _ => {
+                    let subject = self.term_pattern()?;
+                    let predicate = self.predicate_pattern()?;
+                    let object = self.term_pattern()?;
+                    group.push(TriplePattern {
+                        subject,
+                        predicate,
+                        object,
+                    });
+                    if matches!(self.peek(), TokenKind::Dot) {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        if group.is_empty() {
+            return Err(self.err(format!("empty {context}")));
+        }
+        Ok(group)
     }
 
     /// A term in subject/object position.
@@ -571,8 +604,51 @@ mod tests {
     }
 
     #[test]
+    fn parses_union_alternation() {
+        let q = parse(
+            "SELECT * WHERE { ?s <http://e/k> ?v { ?s <http://e/p> ?o } UNION { ?s <http://e/q> ?o . ?o <http://e/r> ?w } }",
+        )
+        .unwrap();
+        assert_eq!(q.patterns().count(), 1);
+        let unions: Vec<_> = q.unions().collect();
+        assert_eq!(unions.len(), 1);
+        assert_eq!(unions[0].len(), 2);
+        assert_eq!(unions[0][0].len(), 1);
+        assert_eq!(unions[0][1].len(), 2);
+        assert_eq!(q.pattern_variables(), vec!["s", "v", "o", "w"]);
+    }
+
+    #[test]
+    fn parses_three_branch_union() {
+        let q = parse(
+            "ASK { { ?s <http://e/p> ?o } UNION { ?s <http://e/q> ?o } UNION { ?s <http://e/r> ?o } }",
+        )
+        .unwrap();
+        assert_eq!(q.unions().next().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn union_rejects_malformed_groups() {
+        // A bare group with no UNION keyword is not part of the subset.
+        assert!(parse("SELECT * WHERE { { ?s ?p ?o } }").is_err());
+        // UNION without a preceding braced group.
+        assert!(parse("SELECT * WHERE { ?s ?p ?o UNION { ?a ?b ?c } }").is_err());
+        // Empty branches and missing braces.
+        assert!(parse("SELECT * WHERE { { } UNION { ?a ?b ?c } }").is_err());
+        assert!(parse("SELECT * WHERE { { ?s ?p ?o } UNION ?a ?b ?c }").is_err());
+        // No nesting inside a branch.
+        let e =
+            parse("SELECT * WHERE { { OPTIONAL { ?a ?b ?c } } UNION { ?s ?p ?o } }").unwrap_err();
+        assert!(matches!(e, SparqlError::Unsupported(_)));
+        let e = parse("SELECT * WHERE { { FILTER(?o = 1) } UNION { ?s ?p ?o } }").unwrap_err();
+        assert!(matches!(e, SparqlError::Unsupported(_)));
+        let e = parse("SELECT * WHERE { { { ?s ?p ?o } } UNION { ?s ?p ?o } }").unwrap_err();
+        assert!(matches!(e, SparqlError::Unsupported(_)));
+    }
+
+    #[test]
     fn rejects_unsupported_features() {
-        let e = parse("SELECT * WHERE { ?s ?p ?o UNION { ?a ?b ?c } }").unwrap_err();
+        let e = parse("SELECT * WHERE { GRAPH <http://e/g> { ?s ?p ?o } }").unwrap_err();
         assert!(matches!(e, SparqlError::Unsupported(_)));
     }
 

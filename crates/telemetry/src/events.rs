@@ -107,6 +107,9 @@ pub enum Event {
         provenance_answers: u64,
         /// Per-endpoint source-selection probes issued.
         probes: u64,
+        /// Probes proven unnecessary by the endpoint catalog (subset of
+        /// `probes`; never dispatched).
+        pruned_probes: u64,
         /// Bound-join iterations executed.
         bound_join_iterations: u64,
         /// sameAs alternative expansions attempted.
@@ -122,6 +125,11 @@ pub enum Event {
         cache_hits: u64,
         /// Batch lookups that missed and were dispatched live.
         cache_misses: u64,
+        /// Whether a coverage catalog was consulted for source selection.
+        catalog: bool,
+        /// Required patterns expanded into sameAs-closure unions when the
+        /// query was rewritten (0 for plain executions).
+        rewrites: u64,
         /// Worker threads configured for endpoint dispatch.
         threads: u64,
         /// Execution wall-clock time in microseconds.
@@ -149,6 +157,9 @@ pub enum Event {
         skipped: bool,
         /// Whether the batch was served from the answer cache.
         cache_hit: bool,
+        /// Whether the catalog proved the batch empty on this endpoint
+        /// (pruned batches are not failures: completeness is unaffected).
+        pruned: bool,
     },
     /// One PARIS probabilistic-matching iteration finished.
     ParisIteration {
@@ -255,6 +266,7 @@ impl Event {
                 answers,
                 provenance_answers,
                 probes,
+                pruned_probes,
                 bound_join_iterations,
                 sameas_expansions,
                 retries,
@@ -262,6 +274,8 @@ impl Event {
                 cache,
                 cache_hits,
                 cache_misses,
+                catalog,
+                rewrites,
                 threads,
                 duration_us,
             } => {
@@ -269,6 +283,7 @@ impl Event {
                     .u64("answers", *answers)
                     .u64("provenance_answers", *provenance_answers)
                     .u64("probes", *probes)
+                    .u64("pruned_probes", *pruned_probes)
                     .u64("bound_join_iterations", *bound_join_iterations)
                     .u64("sameas_expansions", *sameas_expansions)
                     .u64("retries", *retries)
@@ -276,6 +291,8 @@ impl Event {
                     .bool("cache", *cache)
                     .u64("cache_hits", *cache_hits)
                     .u64("cache_misses", *cache_misses)
+                    .bool("catalog", *catalog)
+                    .u64("rewrites", *rewrites)
                     .u64("threads", *threads)
                     .u64("duration_us", *duration_us);
             }
@@ -289,6 +306,7 @@ impl Event {
                 failures,
                 skipped,
                 cache_hit,
+                pruned,
             } => {
                 w.str("endpoint", endpoint)
                     .u64("jobs", *jobs)
@@ -298,7 +316,8 @@ impl Event {
                     .u64("circuit_rejections", *circuit_rejections)
                     .u64("failures", *failures)
                     .bool("skipped", *skipped)
-                    .bool("cache_hit", *cache_hit);
+                    .bool("cache_hit", *cache_hit)
+                    .bool("pruned", *pruned);
             }
             Event::ParisIteration {
                 iteration,
@@ -418,6 +437,12 @@ impl Event {
                 answers: get_u64("answers")?,
                 provenance_answers: get_u64("provenance_answers")?,
                 probes: get_u64("probes")?,
+                // Catalog/rewrite fields postdate the schema; logs written
+                // before they existed parse as "no pruning, no rewriting".
+                pruned_probes: map
+                    .get("pruned_probes")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
                 bound_join_iterations: get_u64("bound_join_iterations")?,
                 sameas_expansions: get_u64("sameas_expansions")?,
                 retries: get_u64("retries")?,
@@ -436,6 +461,11 @@ impl Event {
                     .get("cache_misses")
                     .and_then(JsonValue::as_u64)
                     .unwrap_or(0),
+                catalog: map
+                    .get("catalog")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false),
+                rewrites: map.get("rewrites").and_then(JsonValue::as_u64).unwrap_or(0),
                 threads: get_u64("threads")?,
                 duration_us: get_u64("duration_us")?,
             }),
@@ -453,6 +483,10 @@ impl Event {
                     .unwrap_or(false),
                 cache_hit: map
                     .get("cache_hit")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false),
+                pruned: map
+                    .get("pruned")
                     .and_then(JsonValue::as_bool)
                     .unwrap_or(false),
             }),

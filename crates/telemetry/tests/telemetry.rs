@@ -199,6 +199,7 @@ fn all_event_variants() -> Vec<Event> {
             answers: 7,
             provenance_answers: 3,
             probes: 40,
+            pruned_probes: 12,
             bound_join_iterations: 9,
             sameas_expansions: 4,
             retries: 3,
@@ -206,6 +207,8 @@ fn all_event_variants() -> Vec<Event> {
             cache: true,
             cache_hits: 5,
             cache_misses: 2,
+            catalog: true,
+            rewrites: 1,
             threads: 2,
             duration_us: 99,
         },
@@ -224,6 +227,7 @@ fn all_event_variants() -> Vec<Event> {
             failures: 1,
             skipped: false,
             cache_hit: true,
+            pruned: true,
         },
         Event::BenchSnapshot {
             label: "fig4 \"dbpedia\"\n".to_string(),
@@ -548,6 +552,7 @@ fn run_report_percentiles_exclude_cached_and_skipped_batches() {
             failures: 0,
             skipped: false,
             cache_hit: false,
+            pruned: false,
         })
         .collect();
     // A cache hit and a skip: counted as batches, never as latency samples
@@ -562,6 +567,7 @@ fn run_report_percentiles_exclude_cached_and_skipped_batches() {
         failures: 0,
         skipped: false,
         cache_hit: true,
+        pruned: false,
     });
     events.push(Event::EndpointBatch {
         endpoint: "e".to_string(),
@@ -573,6 +579,7 @@ fn run_report_percentiles_exclude_cached_and_skipped_batches() {
         failures: 1,
         skipped: true,
         cache_hit: false,
+        pruned: false,
     });
 
     let mut report = alex_telemetry::RunReport::new();
@@ -633,6 +640,7 @@ fn run_report_aggregates_convergence_federation_and_metrics() {
             answers: 7,
             provenance_answers: 3,
             probes: 40,
+            pruned_probes: 0,
             bound_join_iterations: 9,
             sameas_expansions: 4,
             retries: 3,
@@ -640,6 +648,8 @@ fn run_report_aggregates_convergence_federation_and_metrics() {
             cache: true,
             cache_hits: 5,
             cache_misses: 5,
+            catalog: false,
+            rewrites: 0,
             threads: 2,
             duration_us: 99,
         },

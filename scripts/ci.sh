@@ -66,10 +66,25 @@ echo "==> cache differential suite (cached vs uncached byte-identity, shadow-ora
 # random link-mutation sequences are checked against a from-scratch oracle.
 cargo test --test cache_differential -q
 
-echo "==> SPARQL fuzz (fixed seed budget: ~4k structured + ~6k mutated inputs)"
+echo "==> SPARQL fuzz (fixed seed budget: ~4k structured + ~6k mutated + ~1.5k rewrite inputs)"
 # Seeds are hard-coded in the test file, so this budget is deterministic;
-# no-panic, parse/serialize fixpoint, and fingerprint-invariance properties.
+# no-panic, parse/serialize fixpoint (UNION included), fingerprint-invariance
+# (incl. union-branch reordering), and sameAs-rewrite idempotence properties.
 cargo test --test fuzz_sparql -q
+
+echo "==> smarter-federation differential + recall suites (ALEX_THREADS=1 and 4)"
+# Catalog-pruned dispatch must be byte-identical to broadcast across seeds,
+# cache settings, and fault profiles; rewritten executions must match plain
+# ones and never serve stale cached answers after a closure change; and the
+# recall/traffic experiment must show recall rising with the closure while
+# pruned traffic stays below broadcast (>= 30% reduction at full closure).
+ALEX_THREADS=1 cargo test --test federation_differential -q
+ALEX_THREADS=4 cargo test --test federation_differential -q
+ALEX_THREADS=1 cargo test --test federation_recall -q
+ALEX_THREADS=4 cargo test --test federation_recall -q
+
+echo "==> federation selectivity bench compiles (sub-query reduction gate target)"
+cargo bench -p alex-bench --bench federation_selectivity --no-run -q
 
 echo "==> trace & report suite (--trace validity, PARIS worker nesting, alex report)"
 cargo test --test trace_report -q

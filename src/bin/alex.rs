@@ -37,8 +37,8 @@ use alex::datagen::{
 use alex::linking::{LabelBaseline, LinkerOutput, Paris, ParisConfig};
 use alex::rdf::{ntriples, turtle, Dataset, Term};
 use alex::sparql::{
-    parse, Completeness, DatasetEndpoint, Endpoint, FaultProfile, FaultyEndpoint, FederatedEngine,
-    ResilienceConfig, SameAsLinks,
+    parse, Catalog, Completeness, DatasetEndpoint, Endpoint, FaultProfile, FaultyEndpoint,
+    FederatedEngine, ResilienceConfig, SameAsLinks,
 };
 
 fn main() -> ExitCode {
@@ -226,6 +226,32 @@ ANSWER CACHING (improve --feedback query, and query):
                             cache_invalidations_total,
                             cache_evictions_total.
 
+SMARTER FEDERATION (improve --feedback query, and query):
+  --catalog probe|FILE      Consult a per-endpoint predicate/class
+                            coverage catalog so the executor only
+                            dispatches each triple pattern to endpoints
+                            that can possibly answer it, instead of
+                            broadcasting. 'probe' builds the catalog by
+                            probing every endpoint once at startup; FILE
+                            loads a serialized catalog (alex-catalog v1
+                            text, see Catalog::to_text). Stale or
+                            missing entries fall back to broadcast, and
+                            pruning never changes answers or downgrades
+                            completeness — only endpoints that provably
+                            hold no matching triple are skipped.
+                            Counters: federation_pruned_probes_total.
+  --rewrite-sameas          Rewrite queries up front: constant subjects
+                            and objects with owl:sameAs equivalents
+                            become UNION alternations carrying
+                            per-branch link provenance. A rewrite is
+                            pinned to the link-closure generation it was
+                            made at: execution is refused after the
+                            closure changes, and cached answers for
+                            rewritten queries are keyed by generation so
+                            they can never be served stale. Accepted
+                            but inert for oracle-feedback improve and
+                            ASK queries.
+
 OBSERVABILITY (link, improve, and query):
   --telemetry FILE.jsonl    Write the structured event log (one JSON
                             object per line: episodes, link changes,
@@ -264,6 +290,7 @@ fn split_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 || name == "cache"
                 || name == "profile"
                 || name == "trust"
+                || name == "rewrite-sameas"
             {
                 flags.push((name.to_string(), "true".to_string()));
                 i += 1;
@@ -431,6 +458,45 @@ fn cache_opts(flags: &Flags) -> Result<Option<usize>, String> {
         return Err("--cache-capacity must be at least 1".into());
     }
     Ok(Some(capacity))
+}
+
+/// Where the endpoint coverage catalog comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CatalogSource {
+    /// Probe every endpoint once at startup and build the catalog live.
+    Probe,
+    /// Load a serialized catalog (`alex-catalog v1` text) from disk.
+    File(String),
+}
+
+/// `--catalog probe|FILE` → how to obtain the predicate-coverage catalog
+/// the executor consults to prune endpoints. `None` means broadcast to
+/// every endpoint (the historical behaviour).
+fn catalog_opts(flags: &Flags) -> Option<CatalogSource> {
+    match flag(flags, "catalog") {
+        None => None,
+        Some("probe") => Some(CatalogSource::Probe),
+        Some(path) => Some(CatalogSource::File(path.to_string())),
+    }
+}
+
+/// Build or load the requested catalog and install it on the engine.
+/// Probing happens after all endpoints are registered so every source
+/// gets an entry; a probe failure aborts (a half-built catalog would
+/// silently broadcast for the missing endpoints, hiding the error).
+fn apply_catalog(engine: &mut FederatedEngine, source: &CatalogSource) -> Result<(), String> {
+    let catalog = match source {
+        CatalogSource::Probe => engine
+            .build_catalog()
+            .map_err(|e| format!("--catalog probe: {e}"))?,
+        CatalogSource::File(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read catalog {path}: {e}"))?;
+            Catalog::from_text(&text).map_err(|e| format!("catalog {path}: {e}"))?
+        }
+    };
+    engine.set_catalog(Some(catalog));
+    Ok(())
 }
 
 /// Load an RDF file, dispatching on extension (.ttl → Turtle, else
@@ -1284,6 +1350,9 @@ fn improve_with_query_feedback(
     if let Some(capacity) = cache_opts(flags)? {
         engine.enable_cache(capacity);
     }
+    if let Some(catalog) = catalog_opts(flags) {
+        apply_catalog(&mut engine, &catalog)?;
+    }
 
     let space = LinkSpace::build(left, right, &SpaceConfig::default());
     let bridge = FeedbackBridge::new(left, space.left_index(), right, space.right_index());
@@ -1301,6 +1370,7 @@ fn improve_with_query_feedback(
         bridge,
         truth_ids.clone(),
     );
+    source.set_rewrite_sameas(flag(flags, "rewrite-sameas").is_some());
     let report = driver::run(&mut agent, &mut source, &truth_ids);
 
     let print_q = |tag: &str, q: Quality| {
@@ -1373,15 +1443,22 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if let Some(capacity) = cache_opts(&flags)? {
         engine.enable_cache(capacity);
     }
+    if let Some(catalog) = catalog_opts(&flags) {
+        apply_catalog(&mut engine, &catalog)?;
+    }
 
     if query.kind == alex::sparql::QueryKind::Ask {
         let answer = engine.ask(&query).map_err(|e| format!("evaluation: {e}"))?;
         println!("{answer}");
         return telemetry.finish();
     }
-    let result = engine
-        .execute_full(&query)
-        .map_err(|e| format!("evaluation: {e}"))?;
+    let result = if flag(&flags, "rewrite-sameas").is_some() {
+        let rewritten = engine.rewrite(&query);
+        engine.execute_rewritten(&rewritten)
+    } else {
+        engine.execute_full(&query)
+    }
+    .map_err(|e| format!("evaluation: {e}"))?;
     if let Completeness::Partial { skipped_sources } = &result.completeness {
         eprintln!(
             "warning: partial result — skipped source(s): {}",
@@ -1652,6 +1729,34 @@ mod tests {
         assert_eq!(positional, vec!["extra"]);
         assert_eq!(flag(&flags, "cache"), Some("true"));
         assert_eq!(flag(&flags, "cache-capacity"), Some("8"));
+    }
+
+    #[test]
+    fn rewrite_sameas_is_a_value_less_flag() {
+        // `--rewrite-sameas --catalog probe` must not swallow the next
+        // token as the value of --rewrite-sameas.
+        let (positional, flags) = split_args(&[
+            "--rewrite-sameas".to_string(),
+            "--catalog".to_string(),
+            "probe".to_string(),
+        ])
+        .unwrap();
+        assert!(positional.is_empty());
+        assert_eq!(flag(&flags, "rewrite-sameas"), Some("true"));
+        assert_eq!(flag(&flags, "catalog"), Some("probe"));
+    }
+
+    #[test]
+    fn catalog_flag_distinguishes_probe_from_file() {
+        assert_eq!(catalog_opts(&flags_of("--episodes 5")), None);
+        assert_eq!(
+            catalog_opts(&flags_of("--catalog probe")),
+            Some(CatalogSource::Probe)
+        );
+        assert_eq!(
+            catalog_opts(&flags_of("--catalog runs/catalog.txt")),
+            Some(CatalogSource::File("runs/catalog.txt".into()))
+        );
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! 2. Well-formed queries round-trip: `parse(to_sparql(parse(s)))` equals
 //!    `parse(s)`, and the serialization is a fixpoint.
 //! 3. `fingerprint` is invariant under variable renaming and required-
-//!    pattern / filter reordering, for every generated structure.
+//!    pattern / filter / UNION-branch reordering, for every generated
+//!    structure (UNION alternations included).
+//! 4. `rewrite_sameas` is idempotent: rewriting a rewritten query changes
+//!    nothing, and rewritten queries still round-trip and canonicalize.
 
-use alex::sparql::{fingerprint, parse};
+use alex::sparql::{fingerprint, parse, rewrite_sameas, SameAsLinks};
 use rand::prelude::*;
 
 const IRIS: &[&str] = &[
@@ -160,6 +163,7 @@ struct Structure {
     selection: Vec<usize>,
     required: Vec<Pat>,
     filters: Vec<E>,
+    unions: Vec<Vec<Vec<Pat>>>,
     optionals: Vec<Vec<Pat>>,
     order: Vec<(usize, bool)>,
     limit: Option<usize>,
@@ -169,6 +173,20 @@ impl Structure {
     /// Render to SPARQL text under a naming scheme and permutations of the
     /// required patterns and filters (the commutative clauses).
     fn render(&self, names: &[String], req_order: &[usize], filter_order: &[usize]) -> String {
+        let branch_orders: Vec<Vec<usize>> =
+            self.unions.iter().map(|u| identity(u.len())).collect();
+        self.render_with_unions(names, req_order, filter_order, &branch_orders)
+    }
+
+    /// Like [`Structure::render`] but with an explicit branch order per
+    /// UNION alternation (branch sets are commutative too).
+    fn render_with_unions(
+        &self,
+        names: &[String],
+        req_order: &[usize],
+        filter_order: &[usize],
+        branch_orders: &[Vec<usize>],
+    ) -> String {
         let mut q = String::new();
         if self.ask {
             q.push_str("ASK {");
@@ -192,6 +210,17 @@ impl Structure {
         for &i in req_order {
             q.push(' ');
             q.push_str(&self.required[i].render(names));
+        }
+        for (u, branches) in self.unions.iter().enumerate() {
+            let rendered: Vec<String> = branch_orders[u]
+                .iter()
+                .map(|&b| {
+                    let pats: Vec<String> = branches[b].iter().map(|p| p.render(names)).collect();
+                    format!("{{ {} }}", pats.join(" "))
+                })
+                .collect();
+            q.push(' ');
+            q.push_str(&rendered.join(" UNION "));
         }
         for &i in filter_order {
             q.push_str(&format!(" FILTER({})", self.filters[i].render(names)));
@@ -307,6 +336,18 @@ fn gen_structure(rng: &mut StdRng) -> Structure {
     let required: Vec<Pat> = (0..n_required).map(|_| gen_pattern(rng, n_vars)).collect();
     let n_filters = rng.random_range(0..3);
     let filters: Vec<E> = (0..n_filters).map(|_| gen_expr(rng, n_vars, 2)).collect();
+    let n_unions = rng.random_range(0..3);
+    let unions: Vec<Vec<Vec<Pat>>> = (0..n_unions)
+        .map(|_| {
+            (0..rng.random_range(2..4))
+                .map(|_| {
+                    (0..rng.random_range(1..3))
+                        .map(|_| gen_pattern(rng, n_vars))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
     let n_optionals = rng.random_range(0..3);
     let optionals: Vec<Vec<Pat>> = (0..n_optionals)
         .map(|_| {
@@ -340,6 +381,7 @@ fn gen_structure(rng: &mut StdRng) -> Structure {
         selection,
         required,
         filters,
+        unions,
         optionals,
         order,
         limit,
@@ -399,12 +441,22 @@ fn generated_queries_round_trip_and_fingerprint_canonically() {
             "case {case}: fingerprint changed under variable renaming\n{text}\n{renamed}"
         );
 
-        // ...and reordering of required patterns and filters.
+        // ...and reordering of required patterns, filters, and the
+        // branches inside each UNION alternation.
         let mut req_order = identity(s.required.len());
         req_order.shuffle(&mut rng);
         let mut filter_order = identity(s.filters.len());
         filter_order.shuffle(&mut rng);
-        let shuffled = s.render(&base_names, &req_order, &filter_order);
+        let branch_orders: Vec<Vec<usize>> = s
+            .unions
+            .iter()
+            .map(|u| {
+                let mut order = identity(u.len());
+                order.shuffle(&mut rng);
+                order
+            })
+            .collect();
+        let shuffled = s.render_with_unions(&base_names, &req_order, &filter_order, &branch_orders);
         let q_shuffled = parse(&shuffled).expect("reordering preserves well-formedness");
         assert_eq!(
             fp,
@@ -412,6 +464,76 @@ fn generated_queries_round_trip_and_fingerprint_canonically() {
             "case {case}: fingerprint changed under clause reordering\n{text}\n{shuffled}"
         );
     }
+}
+
+/// ~1.5k structures against a fixed sameAs closure over the IRI pool:
+/// `rewrite_sameas` must be *idempotent* — rewriting an already rewritten
+/// query changes neither the text nor the fingerprint and introduces zero
+/// new rewrites — and every rewritten query must still round-trip through
+/// the serializer.
+#[test]
+fn sameas_rewriting_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0x5A3E_A55E);
+    // Two of the pool IRIs get equivalents (one of them two), so generated
+    // constants regularly trigger single- and multi-alternative rewrites.
+    let links = SameAsLinks::from_pairs(vec![
+        ("http://ex.org/e/alice", "http://other.example/x#frag"),
+        ("http://ex.org/e/alice", "http://xmlns.com/foaf/0.1/mbox"),
+        ("http://ex.org/e/bob", "http://ex.org/p/knows"),
+    ]);
+
+    let mut rewrote = 0u64;
+    for case in 0..1500u32 {
+        let s = gen_structure(&mut rng);
+        let names: Vec<String> = (0..s.n_vars).map(|i| format!("v{i}")).collect();
+        let text = s.render(
+            &names,
+            &identity(s.required.len()),
+            &identity(s.filters.len()),
+        );
+        let q = parse(&text).expect("generator emits valid SPARQL");
+
+        let first = rewrite_sameas(&q, &links);
+        rewrote += first.rewritten_patterns();
+
+        // The rewritten query is still well-formed: serialize → reparse is
+        // the identity and canonicalization does not panic.
+        let serialized = first.query().to_sparql();
+        let reparsed = parse(&serialized).unwrap_or_else(|e| {
+            panic!("case {case}: rewritten query does not reparse: {e}\n{text}\n-> {serialized}")
+        });
+        assert_eq!(
+            first.query(),
+            &reparsed,
+            "case {case}: rewritten query round trip changed the AST"
+        );
+        let fp = fingerprint(first.query());
+
+        // Idempotence: a second rewrite is a pure pass-through.
+        let second = rewrite_sameas(first.query(), &links);
+        assert_eq!(
+            second.rewritten_patterns(),
+            0,
+            "case {case}: re-rewriting found new patterns\n{serialized}"
+        );
+        assert_eq!(
+            second.query().to_sparql(),
+            serialized,
+            "case {case}: re-rewriting changed the text"
+        );
+        assert_eq!(
+            fingerprint(second.query()),
+            fp,
+            "case {case}: re-rewriting changed the fingerprint"
+        );
+        assert_eq!(second.generation(), first.generation());
+    }
+    // Sanity: the closure must actually fire on a healthy fraction of the
+    // corpus, or idempotence is tested against no-ops only.
+    assert!(
+        rewrote > 100,
+        "only {rewrote} patterns rewritten in 1500 queries"
+    );
 }
 
 /// ~6k char-level mutations of valid queries: the lexer/parser must never
